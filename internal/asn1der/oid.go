@@ -1,0 +1,147 @@
+package asn1der
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// OID is an ASN.1 OBJECT IDENTIFIER as a sequence of arcs.
+type OID []uint32
+
+// String renders the dotted-decimal form.
+func (o OID) String() string {
+	parts := make([]string, len(o))
+	for i, arc := range o {
+		parts[i] = strconv.FormatUint(uint64(arc), 10)
+	}
+	return strings.Join(parts, ".")
+}
+
+// Equal reports arc-wise equality.
+func (o OID) Equal(other OID) bool {
+	if len(o) != len(other) {
+		return false
+	}
+	for i := range o {
+		if o[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseOID parses a dotted-decimal OID string.
+func ParseOID(s string) (OID, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("asn1der: OID %q needs at least two arcs", s)
+	}
+	oid := make(OID, len(parts))
+	for i, p := range parts {
+		n, err := strconv.ParseUint(p, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("asn1der: bad OID arc %q: %v", p, err)
+		}
+		oid[i] = uint32(n)
+	}
+	return oid, nil
+}
+
+// MustOID parses a dotted-decimal OID, panicking on error; for use in
+// package-level OID constants.
+func MustOID(s string) OID {
+	o, err := ParseOID(s)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// AddOID appends an OBJECT IDENTIFIER value.
+func (b *Builder) AddOID(o OID) {
+	content, err := encodeOID(o)
+	if err != nil {
+		b.fail("%v", err)
+		return
+	}
+	b.AddTLV(Tag{Class: ClassUniversal, Number: TagOID}, content)
+}
+
+func encodeOID(o OID) ([]byte, error) {
+	if len(o) < 2 {
+		return nil, errors.New("asn1der: OID needs at least two arcs")
+	}
+	if o[0] > 2 || (o[0] < 2 && o[1] >= 40) {
+		return nil, fmt.Errorf("asn1der: invalid leading arcs %d.%d", o[0], o[1])
+	}
+	out := appendBase128(nil, uint64(o[0])*40+uint64(o[1]))
+	for _, arc := range o[2:] {
+		out = appendBase128(out, uint64(arc))
+	}
+	return out, nil
+}
+
+func appendBase128(buf []byte, n uint64) []byte {
+	var tmp [10]byte
+	i := len(tmp)
+	for first := true; n > 0 || first; first = false {
+		i--
+		tmp[i] = byte(n & 0x7F)
+		if !first {
+			tmp[i] |= 0x80
+		}
+		n >>= 7
+	}
+	return append(buf, tmp[i:]...)
+}
+
+// OID decodes an OBJECT IDENTIFIER content.
+func (v *Value) OID() (OID, error) {
+	if _, err := v.Expect(ClassUniversal, TagOID); err != nil {
+		return nil, err
+	}
+	b := v.Bytes
+	if len(b) == 0 {
+		return nil, errors.New("asn1der: empty OID")
+	}
+	var arcs []uint64
+	var cur uint64
+	started := false
+	for i, c := range b {
+		if !started && c == 0x80 {
+			return nil, fmt.Errorf("asn1der: non-minimal OID arc at byte %d", i)
+		}
+		started = true
+		if cur > 1<<56 {
+			return nil, errors.New("asn1der: OID arc overflow")
+		}
+		cur = cur<<7 | uint64(c&0x7F)
+		if c&0x80 == 0 {
+			arcs = append(arcs, cur)
+			cur = 0
+			started = false
+		}
+	}
+	if started {
+		return nil, errors.New("asn1der: truncated OID arc")
+	}
+	first := arcs[0]
+	out := make(OID, 0, len(arcs)+1)
+	switch {
+	case first < 40:
+		out = append(out, 0, uint32(first))
+	case first < 80:
+		out = append(out, 1, uint32(first-40))
+	default:
+		out = append(out, 2, uint32(first-80))
+	}
+	for _, a := range arcs[1:] {
+		if a > 1<<32-1 {
+			return nil, errors.New("asn1der: OID arc exceeds uint32")
+		}
+		out = append(out, uint32(a))
+	}
+	return out, nil
+}

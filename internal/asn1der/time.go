@@ -1,0 +1,54 @@
+package asn1der
+
+import (
+	"fmt"
+	"time"
+)
+
+// RFC 5280 §4.1.2.5: dates through 2049 are encoded as UTCTime, dates in
+// 2050 and later as GeneralizedTime.
+var generalizedTimeCutoff = time.Date(2050, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// AddTime appends t using the RFC 5280 UTCTime/GeneralizedTime rule.
+func (b *Builder) AddTime(t time.Time) {
+	t = t.UTC()
+	if t.Before(generalizedTimeCutoff) && t.Year() >= 1950 {
+		b.AddTLV(Tag{Class: ClassUniversal, Number: TagUTCTime},
+			[]byte(t.Format("060102150405Z")))
+		return
+	}
+	b.AddTLV(Tag{Class: ClassUniversal, Number: TagGeneralizedTime},
+		[]byte(t.Format("20060102150405Z")))
+}
+
+// Time decodes a UTCTime or GeneralizedTime content.
+func (v *Value) Time() (time.Time, error) {
+	if v.Tag.Class != ClassUniversal {
+		return time.Time{}, fmt.Errorf("asn1der: %s is not a time type", v.Tag)
+	}
+	s := string(v.Bytes)
+	switch v.Tag.Number {
+	case TagUTCTime:
+		t, err := time.Parse("060102150405Z", s)
+		if err != nil {
+			// Seconds are technically optional in UTCTime under BER.
+			t, err = time.Parse("0601021504Z", s)
+			if err != nil {
+				return time.Time{}, fmt.Errorf("asn1der: bad UTCTime %q", s)
+			}
+		}
+		// Two-digit year pivot per RFC 5280: 50..99 → 19xx, 00..49 → 20xx.
+		if t.Year() >= 2050 {
+			t = t.AddDate(-100, 0, 0)
+		}
+		return t, nil
+	case TagGeneralizedTime:
+		t, err := time.Parse("20060102150405Z", s)
+		if err != nil {
+			return time.Time{}, fmt.Errorf("asn1der: bad GeneralizedTime %q", s)
+		}
+		return t, nil
+	default:
+		return time.Time{}, fmt.Errorf("asn1der: %s is not a time type", v.Tag)
+	}
+}

@@ -1,0 +1,223 @@
+// Package browser models the certificate-rendering components of the
+// three browser engine families the paper tests (Appendix F.1,
+// Table 14): Gecko (Firefox), WebKit (Safari), and Blink (the
+// Chromium-based set). Each model renders certificate field values the
+// way its engine's certificate viewer and warning pages do, so the
+// user-spoofing experiment can be replayed.
+package browser
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/uni"
+	"repro/internal/x509cert"
+)
+
+// EngineKind identifies a rendering engine family.
+type EngineKind int
+
+// Engine families of Table 14.
+const (
+	Gecko  EngineKind = iota // Firefox
+	WebKit                   // Safari
+	Blink                    // Chrome, Edge, Brave, Opera, Yandex, 360
+)
+
+func (e EngineKind) String() string {
+	switch e {
+	case Gecko:
+		return "Gecko (Firefox)"
+	case WebKit:
+		return "WebKit (Safari)"
+	default:
+		return "Blink (Chromium)"
+	}
+}
+
+// Engines lists the three families.
+func Engines() []EngineKind { return []EngineKind{Gecko, WebKit, Blink} }
+
+// Behavior is a Table 14 row.
+type Behavior struct {
+	Engine EngineKind
+	// C0C1Visible: the engine marks C0/C1 controls with a visible
+	// indicator (Safari/Chromium); Gecko renders them raw.
+	C0C1Visible bool
+	// LayoutInvisible: invisible layout codes render with no indicator
+	// (true for every engine — the G1.1 finding).
+	LayoutInvisible bool
+	// HomographFeasible: no confusable detection in certificate
+	// components (true everywhere — G1.2).
+	HomographFeasible bool
+	// IncorrectSubstitutions: misapplied equivalence substitutions
+	// (Greek question mark → semicolon).
+	IncorrectSubstitutions bool
+	// FlawedASN1RangeChecking: the viewer accepts out-of-range
+	// characters without flagging them.
+	FlawedASN1RangeChecking bool
+	// WarningSpoofable: warning pages can be manipulated by crafted
+	// fields (G1.3); Safari's are not.
+	WarningSpoofable bool
+	// WarningUsesSAN: Firefox builds warnings from SAN DNSNames;
+	// Chromium prioritizes Subject CN/O/OU.
+	WarningUsesSAN bool
+}
+
+// Behaviors returns the Table 14 matrix.
+func Behaviors() map[EngineKind]Behavior {
+	return map[EngineKind]Behavior{
+		Gecko: {
+			Engine: Gecko, C0C1Visible: false, LayoutInvisible: true,
+			HomographFeasible: true, IncorrectSubstitutions: true,
+			FlawedASN1RangeChecking: true, WarningSpoofable: true, WarningUsesSAN: true,
+		},
+		WebKit: {
+			Engine: WebKit, C0C1Visible: true, LayoutInvisible: true,
+			HomographFeasible: true, IncorrectSubstitutions: true,
+			FlawedASN1RangeChecking: true, WarningSpoofable: false,
+		},
+		Blink: {
+			Engine: Blink, C0C1Visible: true, LayoutInvisible: true,
+			HomographFeasible: true, IncorrectSubstitutions: true,
+			FlawedASN1RangeChecking: false, WarningSpoofable: true,
+		},
+	}
+}
+
+// RenderResult is what the user sees for one field value.
+type RenderResult struct {
+	// Display is the visually effective string (bidi reordering and
+	// invisible-character suppression applied).
+	Display string
+	// Indicators counts visible markers for special characters.
+	Indicators int
+}
+
+// Render models the certificate-viewer rendering of a field value.
+func Render(e EngineKind, value string) RenderResult {
+	b := Behaviors()[e]
+	var sb strings.Builder
+	indicators := 0
+	for _, r := range value {
+		switch {
+		case uni.IsBidiControl(r) || uni.IsInvisibleLayout(r):
+			// Layout controls draw nothing in any engine (G1.1) — their
+			// directional effect is applied by DisplayOrder below.
+			if uni.IsBidiControl(r) {
+				sb.WriteRune(r) // keep for bidi processing
+			}
+		case uni.IsControl(r):
+			if b.C0C1Visible {
+				indicators++
+				fmt.Fprintf(&sb, "%%%02X", r) // URL-encoded marker
+			} else {
+				sb.WriteRune(r) // Gecko: raw, robust but insecure
+			}
+		default:
+			if sub, ok := uni.IncorrectSubstitutions[r]; ok && b.IncorrectSubstitutions {
+				sb.WriteRune(sub.Wrong)
+				continue
+			}
+			sb.WriteRune(r)
+		}
+	}
+	return RenderResult{Display: DisplayOrder(sb.String()), Indicators: indicators}
+}
+
+// DisplayOrder applies a simplified bidirectional display algorithm:
+// runs between an RLO (U+202E) and its PDF (U+202C) render reversed.
+// This is the mechanism behind "www.‮lapyap‬.com" displaying
+// as "www.paypal.com".
+func DisplayOrder(s string) string {
+	var out []rune
+	var stack [][]rune
+	for _, r := range s {
+		switch r {
+		case 0x202E: // RLO
+			stack = append(stack, nil)
+		case 0x202C: // PDF
+			if len(stack) > 0 {
+				run := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for i, j := 0, len(run)-1; i < j; i, j = i+1, j-1 {
+					run[i], run[j] = run[j], run[i]
+				}
+				if len(stack) > 0 {
+					stack[len(stack)-1] = append(stack[len(stack)-1], run...)
+				} else {
+					out = append(out, run...)
+				}
+			}
+		default:
+			if len(stack) > 0 {
+				stack[len(stack)-1] = append(stack[len(stack)-1], r)
+			} else {
+				out = append(out, r)
+			}
+		}
+	}
+	// Unterminated overrides still affect display.
+	for len(stack) > 0 {
+		run := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for i, j := 0, len(run)-1; i < j; i, j = i+1, j-1 {
+			run[i], run[j] = run[j], run[i]
+		}
+		if len(stack) > 0 {
+			stack[len(stack)-1] = append(stack[len(stack)-1], run...)
+		} else {
+			out = append(out, run...)
+		}
+	}
+	return string(out)
+}
+
+// WarningPage models the engine's connection-warning composition
+// (G1.3): Chromium-family pages display the Subject CN/O/OU; Firefox
+// displays SAN DNSNames; Safari renders a fixed-template page that
+// crafted fields cannot alter.
+func WarningPage(e EngineKind, c *x509cert.Certificate) string {
+	b := Behaviors()[e]
+	if !b.WarningSpoofable {
+		return "This connection is not private."
+	}
+	var entity string
+	if b.WarningUsesSAN {
+		names := c.DNSNames()
+		if len(names) > 0 {
+			entity = names[0]
+		} else {
+			entity = c.Subject.CommonName()
+		}
+	} else {
+		entity = c.Subject.CommonName()
+		if entity == "" {
+			entity = c.Subject.First(x509cert.OIDOrganizationName)
+		}
+	}
+	rendered := Render(e, entity)
+	return fmt.Sprintf("Your connection to %s is not private. Attackers might be trying to steal your information.", rendered.Display)
+}
+
+// SpoofFinding is one user-spoofing experiment outcome.
+type SpoofFinding struct {
+	Engine   EngineKind
+	Value    string
+	Rendered string
+	// Deceptive: the rendering visually equals the spoof target while
+	// the underlying value differs.
+	Deceptive bool
+}
+
+// SpoofExperiment renders a crafted value across engines and reports
+// which produce a display visually identical to target.
+func SpoofExperiment(value, target string) []SpoofFinding {
+	var out []SpoofFinding
+	for _, e := range Engines() {
+		r := Render(e, value)
+		deceptive := r.Display == target || uni.Skeleton(r.Display) == uni.Skeleton(target)
+		out = append(out, SpoofFinding{Engine: e, Value: value, Rendered: r.Display, Deceptive: deceptive && value != target})
+	}
+	return out
+}

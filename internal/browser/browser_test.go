@@ -1,0 +1,157 @@
+package browser
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/x509cert"
+)
+
+var (
+	caKey, _   = x509cert.GenerateKey(61)
+	leafKey, _ = x509cert.GenerateKey(62)
+)
+
+func buildCert(t *testing.T, cn string, sans ...string) *x509cert.Certificate {
+	t.Helper()
+	gns := make([]x509cert.GeneralName, 0, len(sans))
+	for _, s := range sans {
+		gns = append(gns, x509cert.DNSName(s))
+	}
+	tpl := &x509cert.Template{
+		SerialNumber: big.NewInt(3),
+		Issuer:       x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "Browser CA")),
+		Subject:      x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, cn)),
+		NotBefore:    time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:     time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC),
+		SAN:          gns,
+	}
+	der, err := x509cert.Build(tpl, caKey, leafKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := x509cert.Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDisplayOrderRLO(t *testing.T) {
+	// "www.‮lapyap‬.com" must display as "www.paypal.com".
+	in := "www.‮lapyap‬.com"
+	if got := DisplayOrder(in); got != "www.paypal.com" {
+		t.Fatalf("DisplayOrder = %q", got)
+	}
+}
+
+func TestDisplayOrderUnterminated(t *testing.T) {
+	in := "abc‮fed"
+	if got := DisplayOrder(in); got != "abcdef" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestDisplayOrderPlain(t *testing.T) {
+	if got := DisplayOrder("plain.example"); got != "plain.example" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestControlRenderingG11(t *testing.T) {
+	value := "bank\x00.example"
+	// Chromium/Safari mark the control; Firefox renders it raw.
+	for _, e := range []EngineKind{WebKit, Blink} {
+		r := Render(e, value)
+		if r.Indicators == 0 || !strings.Contains(r.Display, "%00") {
+			t.Errorf("%s: control char must be visibly marked: %q", e, r.Display)
+		}
+	}
+	r := Render(Gecko, value)
+	if r.Indicators != 0 {
+		t.Errorf("Gecko renders raw: %q", r.Display)
+	}
+}
+
+func TestLayoutInvisibleAcrossEnginesG11(t *testing.T) {
+	value := "pay​pal.example" // ZWSP
+	for _, e := range Engines() {
+		r := Render(e, value)
+		if strings.ContainsRune(r.Display, 0x200B) || strings.Contains(r.Display, "%") {
+			t.Errorf("%s: ZWSP must be invisible with no indicator: %q", e, r.Display)
+		}
+		if r.Display != "paypal.example" {
+			t.Errorf("%s: display %q", e, r.Display)
+		}
+	}
+}
+
+func TestIncorrectSubstitutionG12(t *testing.T) {
+	// Greek question mark (U+037E) becomes ';' instead of '?'.
+	r := Render(Blink, "what;")
+	if r.Display != "what;" {
+		t.Fatalf("got %q", r.Display)
+	}
+}
+
+func TestHomographFeasibleG12(t *testing.T) {
+	findings := SpoofExperiment("раураl.com", "paypal.com") // Cyrillic
+	for _, f := range findings {
+		if !f.Deceptive {
+			t.Errorf("%s: homograph should be deceptive (rendered %q)", f.Engine, f.Rendered)
+		}
+	}
+}
+
+func TestWarningPageSpoofG13(t *testing.T) {
+	// Chromium warning built from a bidi-crafted CN.
+	c := buildCert(t, "www.‮lapyap‬.com", "www.‮lapyap‬.com")
+	page := WarningPage(Blink, c)
+	if !strings.Contains(page, "www.paypal.com") {
+		t.Fatalf("Blink warning not spoofed: %q", page)
+	}
+	// Safari's fixed template is immune.
+	page = WarningPage(WebKit, c)
+	if strings.Contains(page, "paypal") {
+		t.Fatalf("WebKit warning must not include crafted fields: %q", page)
+	}
+	// Firefox builds from the SAN.
+	c2 := buildCert(t, "irrelevant.example", "port 8443. But they're the same site really.example")
+	page = WarningPage(Gecko, c2)
+	if !strings.Contains(page, "port 8443") {
+		t.Fatalf("Gecko warning should carry the crafted SAN: %q", page)
+	}
+}
+
+func TestBehaviorMatrixShape(t *testing.T) {
+	b := Behaviors()
+	if len(b) != 3 {
+		t.Fatal("three engine families")
+	}
+	for _, e := range Engines() {
+		row := b[e]
+		if !row.LayoutInvisible || !row.HomographFeasible || !row.IncorrectSubstitutions {
+			t.Errorf("%s: universal G1.1/G1.2 findings must hold", e)
+		}
+	}
+	if b[Blink].FlawedASN1RangeChecking {
+		t.Error("Chromium's range checking is the one non-flawed cell")
+	}
+	if !b[Gecko].FlawedASN1RangeChecking || !b[WebKit].FlawedASN1RangeChecking {
+		t.Error("Gecko/WebKit flawed range checking expected")
+	}
+	if b[WebKit].WarningSpoofable {
+		t.Error("Safari warnings are not spoofable")
+	}
+}
+
+func TestSpoofExperimentNonDeceptive(t *testing.T) {
+	findings := SpoofExperiment("totally-different.example", "paypal.com")
+	for _, f := range findings {
+		if f.Deceptive {
+			t.Errorf("%s: unrelated value must not be deceptive", f.Engine)
+		}
+	}
+}

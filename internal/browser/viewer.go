@@ -1,0 +1,142 @@
+package browser
+
+// Certificate-viewer models: the digest, general, and details
+// components of Table 14, which render certificate fields for users.
+// Gecko and WebKit expose digest + details panes; Blink renders all
+// parts in one viewer; only Gecko/WebKit have a separate "general"
+// summary (the "-" cells of Table 14).
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/strenc"
+	"repro/internal/uni"
+	"repro/internal/x509cert"
+)
+
+// Component is one certificate-UI surface.
+type Component int
+
+// Components of Table 14.
+const (
+	ComponentDigest Component = iota
+	ComponentGeneral
+	ComponentDetails
+)
+
+func (c Component) String() string {
+	switch c {
+	case ComponentDigest:
+		return "Digest"
+	case ComponentGeneral:
+		return "General"
+	default:
+		return "Details"
+	}
+}
+
+// HasComponent reports whether the engine exposes the component
+// (Table 14 "-" cells: Blink folds everything into one viewer).
+func HasComponent(e EngineKind, c Component) bool {
+	if e == Blink {
+		return c != ComponentGeneral
+	}
+	return true
+}
+
+// ViewerLine is one rendered row of a certificate component.
+type ViewerLine struct {
+	Label string
+	Value string
+	// Flagged marks values the engine visually annotates (range-check
+	// hits); engines with flawed ASN.1 range checking never flag.
+	Flagged bool
+}
+
+// RenderComponent renders the certificate fields the component shows.
+func RenderComponent(e EngineKind, comp Component, c *x509cert.Certificate) []ViewerLine {
+	if !HasComponent(e, comp) {
+		return nil
+	}
+	b := Behaviors()[e]
+	var fields []struct{ label, value string }
+	add := func(label, value string) {
+		if value != "" {
+			fields = append(fields, struct{ label, value string }{label, value})
+		}
+	}
+	switch comp {
+	case ComponentDigest, ComponentGeneral:
+		add("Subject CN", c.Subject.CommonName())
+		add("Organization", c.Subject.First(x509cert.OIDOrganizationName))
+		add("Issuer", c.Issuer.First(x509cert.OIDOrganizationName))
+	case ComponentDetails:
+		for _, atv := range c.Subject.Attributes() {
+			add("Subject "+x509cert.AttrName(atv.Type), atv.Value.MustDecode())
+		}
+		for _, name := range c.DNSNames() {
+			add("SAN DNSName", name)
+		}
+		add("Serial", fmt.Sprintf("%v", c.SerialNumber))
+		add("Not After", c.NotAfter.Format("2006-01-02"))
+	}
+	out := make([]ViewerLine, 0, len(fields))
+	for _, f := range fields {
+		r := Render(e, f.value)
+		line := ViewerLine{Label: f.label, Value: r.Display}
+		if !b.FlawedASN1RangeChecking {
+			// Blink-style range checking flags values whose characters
+			// fall outside the field's declared repertoire.
+			if hasOutOfRange(f.value) {
+				line.Flagged = true
+			}
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// hasOutOfRange approximates the viewer's ASN.1 range check: control
+// characters and undecodable bytes. Invisible layout and bidi format
+// characters pass every engine's check — that is exactly the G1.1
+// finding that makes the spoofs viable.
+func hasOutOfRange(s string) bool {
+	for _, r := range s {
+		if uni.IsControl(r) || r == strenc.ReplacementChar {
+			return true
+		}
+	}
+	return false
+}
+
+// InspectionVerdict summarizes whether a careful user examining every
+// available component could notice the crafted content.
+type InspectionVerdict struct {
+	Engine     EngineKind
+	Noticeable bool
+	Evidence   []string
+}
+
+// Inspect renders every component the engine offers and reports
+// whether any surface exposes the deception (a visible indicator or a
+// flagged value). Invisible layout characters leave no evidence in any
+// engine — the G1.1 conclusion.
+func Inspect(e EngineKind, c *x509cert.Certificate) InspectionVerdict {
+	v := InspectionVerdict{Engine: e}
+	for _, comp := range []Component{ComponentDigest, ComponentGeneral, ComponentDetails} {
+		for _, line := range RenderComponent(e, comp, c) {
+			if line.Flagged {
+				v.Noticeable = true
+				v.Evidence = append(v.Evidence, fmt.Sprintf("%s/%s flagged", comp, line.Label))
+			}
+			if strings.Contains(line.Value, "%") && strings.ContainsAny(line.Value, "0123456789ABCDEF") {
+				if strings.Contains(line.Value, "%0") || strings.Contains(line.Value, "%1") || strings.Contains(line.Value, "%7F") {
+					v.Noticeable = true
+					v.Evidence = append(v.Evidence, fmt.Sprintf("%s/%s shows control marker", comp, line.Label))
+				}
+			}
+		}
+	}
+	return v
+}

@@ -1,0 +1,83 @@
+package browser
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComponentAvailability(t *testing.T) {
+	if HasComponent(Blink, ComponentGeneral) {
+		t.Error("Blink folds the general pane into one viewer")
+	}
+	if !HasComponent(Gecko, ComponentGeneral) || !HasComponent(WebKit, ComponentDetails) {
+		t.Error("Gecko/WebKit expose general and details panes")
+	}
+}
+
+func TestDetailsShowAllSubjectAttrs(t *testing.T) {
+	c := buildCert(t, "viewer.example", "viewer.example", "alt.viewer.example")
+	lines := RenderComponent(Blink, ComponentDetails, c)
+	var sawCN, sawSAN, sawSerial bool
+	for _, l := range lines {
+		switch {
+		case l.Label == "Subject CN":
+			sawCN = true
+		case l.Label == "SAN DNSName":
+			sawSAN = true
+		case l.Label == "Serial":
+			sawSerial = true
+		}
+	}
+	if !sawCN || !sawSAN || !sawSerial {
+		t.Fatalf("details incomplete: %+v", lines)
+	}
+}
+
+func TestBlinkFlagsOutOfRange(t *testing.T) {
+	c := buildCert(t, "bank\x01.example", "bank.example")
+	var flagged bool
+	for _, l := range RenderComponent(Blink, ComponentDetails, c) {
+		if l.Flagged {
+			flagged = true
+		}
+	}
+	if !flagged {
+		t.Error("Blink's range checking should flag the control character")
+	}
+	// Gecko's flawed range checking never flags.
+	for _, l := range RenderComponent(Gecko, ComponentDetails, c) {
+		if l.Flagged {
+			t.Error("Gecko must not flag (flawed range checking)")
+		}
+	}
+}
+
+func TestInspectControlCharactersNoticeable(t *testing.T) {
+	c := buildCert(t, "bank\x00.example", "bank.example")
+	// Safari/Chromium mark controls, so inspection notices.
+	for _, e := range []EngineKind{WebKit, Blink} {
+		v := Inspect(e, c)
+		if !v.Noticeable {
+			t.Errorf("%s: control characters should be noticeable, evidence %v", e, v.Evidence)
+		}
+	}
+}
+
+func TestInspectInvisibleLayoutUnnoticeable(t *testing.T) {
+	// The G1.1 conclusion: zero-width characters leave no evidence on
+	// any surface of any engine.
+	c := buildCert(t, "pay​pal.example", "paypal.example") // ZWSP in CN
+	for _, e := range Engines() {
+		v := Inspect(e, c)
+		if v.Noticeable {
+			t.Errorf("%s: ZWSP must be invisible everywhere, evidence %v", e, v.Evidence)
+		}
+		for _, comp := range []Component{ComponentDigest, ComponentDetails} {
+			for _, l := range RenderComponent(e, comp, c) {
+				if strings.ContainsRune(l.Value, 0x200B) {
+					t.Errorf("%s/%s renders the ZWSP glyph", e, comp)
+				}
+			}
+		}
+	}
+}

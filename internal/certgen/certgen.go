@@ -1,0 +1,283 @@
+// Package certgen crafts the test Unicerts of §3.2. The generator
+// follows the paper's three rules: (i) one RDN per DN and one attribute
+// per RDN, (ii) attribute values built by embedding special Unicode
+// characters into normal defaults, and (iii) one mutated field per
+// certificate with everything else at standard-compliant values.
+package certgen
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+	"time"
+
+	"repro/internal/asn1der"
+	"repro/internal/strenc"
+	"repro/internal/uni"
+	"repro/internal/x509cert"
+)
+
+// Field identifies the single mutated field of a test certificate.
+type Field int
+
+// Mutable fields, covering the paper's test matrix (Appendix E): the
+// Subject/Issuer DN attributes and the GeneralName-bearing extensions.
+const (
+	FieldSubjectCN Field = iota
+	FieldSubjectSerialNumber
+	FieldSubjectLocality
+	FieldSubjectState
+	FieldSubjectOrganization
+	FieldSubjectOrgUnit
+	FieldSubjectBusinessCategory
+	FieldSubjectDomainComponent
+	FieldSubjectEmail
+	FieldIssuerCN
+	FieldSANDNSName
+	FieldSANEmail
+	FieldSANURI
+	FieldIANDNSName
+	FieldCRLDistributionPoint
+	FieldAIALocation
+	FieldSIALocation
+	numFields
+)
+
+// Fields lists every mutable field in declaration order.
+func Fields() []Field {
+	out := make([]Field, numFields)
+	for i := range out {
+		out[i] = Field(i)
+	}
+	return out
+}
+
+func (f Field) String() string {
+	names := [...]string{
+		"Subject.CN", "Subject.serialNumber", "Subject.L", "Subject.ST",
+		"Subject.O", "Subject.OU", "Subject.businessCategory", "Subject.DC",
+		"Subject.emailAddress", "Issuer.CN", "SAN.DNSName", "SAN.RFC822Name",
+		"SAN.URI", "IAN.DNSName", "CRLDistributionPoints", "AIA", "SIA",
+	}
+	if int(f) < len(names) {
+		return names[int(f)]
+	}
+	return fmt.Sprintf("Field(%d)", int(f))
+}
+
+// IsDN reports whether the field lives in a DistinguishedName (vs a
+// GeneralName extension).
+func (f Field) IsDN() bool { return f <= FieldIssuerCN }
+
+// DNStringTags lists the ASN.1 string types the test matrix varies for
+// DN attributes (Appendix E: PrintableString, UTF8String, IA5String,
+// BMPString).
+func DNStringTags() []int {
+	return []int{
+		asn1der.TagPrintableString, asn1der.TagUTF8String,
+		asn1der.TagIA5String, asn1der.TagBMPString,
+	}
+}
+
+// TestCert is one generated certificate together with the mutation
+// that produced it.
+type TestCert struct {
+	DER      []byte
+	Field    Field
+	Tag      int    // ASN.1 string tag used for the mutated value
+	Value    string // logical value before encoding
+	Injected rune   // the special character embedded, if any
+}
+
+// Generator builds mutation suites under a fixed CA.
+type Generator struct {
+	mu      sync.Mutex
+	caKey   *x509cert.KeyPair
+	leafKey *x509cert.KeyPair
+	serial  int64
+}
+
+// New returns a generator with reproducible keys derived from seed.
+func New(seed int64) (*Generator, error) {
+	caKey, err := x509cert.GenerateKey(seed)
+	if err != nil {
+		return nil, err
+	}
+	leafKey, err := x509cert.GenerateKey(seed + 1)
+	if err != nil {
+		return nil, err
+	}
+	return &Generator{caKey: caKey, leafKey: leafKey, serial: 1000}, nil
+}
+
+// CAKey exposes the signing key for chain experiments.
+func (g *Generator) CAKey() *x509cert.KeyPair { return g.caKey }
+
+func (g *Generator) nextSerial() *big.Int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.serial++
+	return big.NewInt(g.serial)
+}
+
+// defaults per §3.2 rule (iii): "test.com" for DNSName and analogous
+// standard-compliant values everywhere else.
+const (
+	defaultDNS   = "test.com"
+	defaultEmail = "user@test.com"
+	defaultURI   = "http://test.com/path"
+	defaultText  = "Test Value"
+)
+
+func (f Field) defaultValue() string {
+	switch f {
+	case FieldSANDNSName, FieldIANDNSName:
+		return defaultDNS
+	case FieldSANEmail, FieldSubjectEmail:
+		return defaultEmail
+	case FieldSANURI, FieldCRLDistributionPoint, FieldAIALocation, FieldSIALocation:
+		return defaultURI
+	default:
+		return defaultText
+	}
+}
+
+// EmbedRune inserts r into the middle of a default value, the paper's
+// embedding strategy for special-character tests.
+func EmbedRune(base string, r rune) string {
+	mid := len(base) / 2
+	return base[:mid] + string(r) + base[mid:]
+}
+
+// Generate builds one certificate with the given field mutated to
+// carry value under the given ASN.1 string tag. All other fields hold
+// compliant defaults.
+func (g *Generator) Generate(field Field, tag int, value string) (*TestCert, error) {
+	tpl := &x509cert.Template{
+		SerialNumber: g.nextSerial(),
+		Issuer:       x509cert.SimpleDN(x509cert.PrintableATV(x509cert.OIDCommonName, "Unicert Test CA")),
+		Subject:      x509cert.SimpleDN(x509cert.PrintableATV(x509cert.OIDCommonName, defaultDNS)),
+		NotBefore:    time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:     time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC),
+		SAN:          []x509cert.GeneralName{x509cert.DNSName(defaultDNS)},
+	}
+	content := strenc.EncodeUnchecked(strenc.StringType(tag).StandardMethod(), value)
+	applyMutation(tpl, field, tag, content)
+	der, err := x509cert.Build(tpl, g.caKey, g.leafKey)
+	if err != nil {
+		return nil, err
+	}
+	return &TestCert{DER: der, Field: field, Tag: tag, Value: value}, nil
+}
+
+// GenerateRaw is Generate with caller-supplied content octets, for
+// byte-level mutations (invalid UTF-8 sequences, truncated UCS-2).
+func (g *Generator) GenerateRaw(field Field, tag int, content []byte) (*TestCert, error) {
+	tpl := &x509cert.Template{
+		SerialNumber: g.nextSerial(),
+		Issuer:       x509cert.SimpleDN(x509cert.PrintableATV(x509cert.OIDCommonName, "Unicert Test CA")),
+		Subject:      x509cert.SimpleDN(x509cert.PrintableATV(x509cert.OIDCommonName, defaultDNS)),
+		NotBefore:    time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:     time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC),
+		SAN:          []x509cert.GeneralName{x509cert.DNSName(defaultDNS)},
+	}
+	applyMutation(tpl, field, tag, content)
+	der, err := x509cert.Build(tpl, g.caKey, g.leafKey)
+	if err != nil {
+		return nil, err
+	}
+	return &TestCert{DER: der, Field: field, Tag: tag, Value: string(content)}, nil
+}
+
+func applyMutation(tpl *x509cert.Template, field Field, tag int, content []byte) {
+	atv := func(oid asn1der.OID) {
+		tpl.Subject = x509cert.SimpleDN(x509cert.RawATV(oid, tag, content))
+	}
+	gn := func(kind x509cert.GNKind) x509cert.GeneralName {
+		return x509cert.GeneralName{Kind: kind, Bytes: content}
+	}
+	switch field {
+	case FieldSubjectCN:
+		atv(x509cert.OIDCommonName)
+	case FieldSubjectSerialNumber:
+		atv(x509cert.OIDSerialNumber)
+	case FieldSubjectLocality:
+		atv(x509cert.OIDLocalityName)
+	case FieldSubjectState:
+		atv(x509cert.OIDStateOrProvinceName)
+	case FieldSubjectOrganization:
+		atv(x509cert.OIDOrganizationName)
+	case FieldSubjectOrgUnit:
+		atv(x509cert.OIDOrganizationalUnit)
+	case FieldSubjectBusinessCategory:
+		atv(x509cert.OIDBusinessCategory)
+	case FieldSubjectDomainComponent:
+		atv(x509cert.OIDDomainComponent)
+	case FieldSubjectEmail:
+		atv(x509cert.OIDEmailAddress)
+	case FieldIssuerCN:
+		tpl.Issuer = x509cert.SimpleDN(x509cert.RawATV(x509cert.OIDCommonName, tag, content))
+	case FieldSANDNSName:
+		tpl.SAN = []x509cert.GeneralName{gn(x509cert.GNDNSName)}
+	case FieldSANEmail:
+		tpl.SAN = []x509cert.GeneralName{gn(x509cert.GNRFC822Name)}
+	case FieldSANURI:
+		tpl.SAN = []x509cert.GeneralName{gn(x509cert.GNURI)}
+	case FieldIANDNSName:
+		tpl.IAN = []x509cert.GeneralName{gn(x509cert.GNDNSName)}
+	case FieldCRLDistributionPoint:
+		tpl.CRLDistributionPoints = []x509cert.GeneralName{gn(x509cert.GNURI)}
+	case FieldAIALocation:
+		tpl.AIA = []x509cert.AccessDescription{{Method: x509cert.OIDAccessCAIssuers, Location: gn(x509cert.GNURI)}}
+	case FieldSIALocation:
+		tpl.SIA = []x509cert.AccessDescription{{Method: x509cert.OIDAccessOCSP, Location: gn(x509cert.GNURI)}}
+	}
+}
+
+// SuiteOptions scopes a mutation suite.
+type SuiteOptions struct {
+	// Fields to mutate; nil means all.
+	Fields []Field
+	// Tags to vary for DN fields; nil means DNStringTags(). GeneralName
+	// fields always use IA5String content.
+	Tags []int
+	// Runes to embed; nil means the §3.2 sample set (all of
+	// U+0000–U+00FF plus one representative per Unicode block).
+	Runes []rune
+}
+
+// Suite generates the full mutation matrix. Each certificate mutates
+// exactly one field with one embedded rune under one string type.
+func (g *Generator) Suite(opts SuiteOptions) ([]*TestCert, error) {
+	fields := opts.Fields
+	if fields == nil {
+		fields = Fields()
+	}
+	tags := opts.Tags
+	if tags == nil {
+		tags = DNStringTags()
+	}
+	runes := opts.Runes
+	if runes == nil {
+		runes = uni.SampleSet()
+	}
+	var out []*TestCert
+	for _, f := range fields {
+		fieldTags := tags
+		if !f.IsDN() {
+			fieldTags = []int{asn1der.TagIA5String}
+		}
+		for _, tag := range fieldTags {
+			for _, r := range runes {
+				value := EmbedRune(f.defaultValue(), r)
+				tc, err := g.Generate(f, tag, value)
+				if err != nil {
+					return nil, fmt.Errorf("certgen: %s tag %d rune U+%04X: %v", f, tag, r, err)
+				}
+				tc.Injected = r
+				out = append(out, tc)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,284 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	_ "repro/internal/lint/lints"
+	"repro/internal/x509cert"
+)
+
+func smallCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	c, err := Generate(Config{Size: 3000, Seed: 7, PrecertFraction: 0.05, VariantFraction: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(Config{Size: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(Config{Size: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Entries) != len(b.Entries) {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.Entries {
+		if string(a.Entries[i].DER) != string(b.Entries[i].DER) {
+			t.Fatalf("entry %d differs", i)
+		}
+	}
+}
+
+func TestEveryEntryIsUnicert(t *testing.T) {
+	c := smallCorpus(t)
+	misses := 0
+	for _, e := range c.Entries {
+		if !IsUnicert(e.Cert) {
+			misses++
+		}
+	}
+	// Every generated certificate carries an IDN SAN or multilingual
+	// subject by construction.
+	if misses > 0 {
+		t.Errorf("%d of %d entries fail the Unicert membership test", misses, len(c.Entries))
+	}
+}
+
+func TestPrecertsCarryPoison(t *testing.T) {
+	c := smallCorpus(t)
+	if len(c.Precerts) == 0 {
+		t.Fatal("no precerts generated")
+	}
+	for _, p := range c.Precerts {
+		if !p.Cert.IsPrecertificate() {
+			t.Fatal("precert lacks CT poison")
+		}
+	}
+	for _, e := range c.Entries {
+		if e.Cert.IsPrecertificate() {
+			t.Fatal("regular entry carries CT poison")
+		}
+	}
+}
+
+func TestIssuerDistribution(t *testing.T) {
+	c := smallCorpus(t)
+	counts := map[string]int{}
+	for _, e := range c.Entries {
+		counts[e.IssuerOrg]++
+	}
+	le := float64(counts["Let's Encrypt"]) / float64(len(c.Entries))
+	if le < 0.60 || le > 0.85 {
+		t.Errorf("Let's Encrypt share %.2f, want ≈0.72", le)
+	}
+	if len(counts) < 15 {
+		t.Errorf("only %d issuer organizations", len(counts))
+	}
+}
+
+func TestMeasurementReproducesPaperShape(t *testing.T) {
+	c := smallCorpus(t)
+	m := RunLinter(c, lint.Global, lint.Options{})
+
+	// Overall NC rate ≈ 0.7% (allow 0.3–2.0% at this scale).
+	rate := float64(m.NCCount()) / float64(len(c.Entries))
+	if rate < 0.003 || rate > 0.02 {
+		t.Errorf("NC rate %.4f, want ≈0.007", rate)
+	}
+
+	// Ignoring effective dates must multiply findings severalfold
+	// (paper: 249K → 1.8M).
+	mAll := RunLinter(c, lint.Global, lint.Options{IgnoreEffectiveDates: true})
+	if mAll.NCCount() < 3*m.NCCount() {
+		t.Errorf("dates-ignored NC %d not ≫ gated NC %d", mAll.NCCount(), m.NCCount())
+	}
+
+	// Invalid Encoding should dominate the taxonomy (60.5% in Table 1).
+	rows := m.Table1(lint.Global)
+	var enc, maxOther int
+	for _, r := range rows {
+		if r.Taxonomy == lint.T3InvalidEncoding {
+			enc = r.NCCerts
+		} else if r.NCCerts > maxOther && r.Taxonomy != lint.T3InvalidStructure {
+			maxOther = r.NCCerts
+		}
+	}
+	if enc == 0 || enc < maxOther {
+		t.Errorf("Invalid Encoding (%d) should dominate (max other %d)", enc, maxOther)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	c := smallCorpus(t)
+	m := RunLinter(c, lint.Global, lint.Options{})
+	rows := m.Table2(10)
+	if len(rows) == 0 {
+		t.Fatal("no issuer rows")
+	}
+	// High-NC regional CAs must show much higher rates than Let's
+	// Encrypt despite lower volume.
+	var leRate float64 = -1
+	var worstRate float64
+	for _, r := range m.Table2(0) {
+		if r.Organization == "Let's Encrypt" {
+			leRate = r.NCRate
+		}
+		if r.NCRate > worstRate && r.Total >= 3 {
+			worstRate = r.NCRate
+		}
+	}
+	if leRate < 0 {
+		t.Skip("Let's Encrypt absent at this corpus size")
+	}
+	if worstRate < 20 {
+		t.Errorf("worst issuer NC rate %.1f%%, expected a high-rate regional CA", worstRate)
+	}
+	if leRate > 1.0 {
+		t.Errorf("Let's Encrypt NC rate %.2f%%, want <1%%", leRate)
+	}
+}
+
+func TestFigure2Monotonic(t *testing.T) {
+	c := smallCorpus(t)
+	m := RunLinter(c, lint.Global, lint.Options{})
+	rows := m.Figure2()
+	if len(rows) < 5 {
+		t.Fatalf("only %d year rows", len(rows))
+	}
+	// Volume in 2023 must far exceed 2015 (the Figure 2 growth trend).
+	byYear := map[int]YearRow{}
+	for _, r := range rows {
+		byYear[r.Year] = r
+	}
+	if byYear[2023].All <= byYear[2015].All {
+		t.Errorf("2023 volume %d not above 2015 volume %d", byYear[2023].All, byYear[2015].All)
+	}
+}
+
+func TestFigure3ValidityShapes(t *testing.T) {
+	c := smallCorpus(t)
+	m := RunLinter(c, lint.Global, lint.Options{})
+	idn := m.ValidityCDF(func(i int, e *Entry) bool { return e.Class == ClassIDNCert })
+	if len(idn) == 0 {
+		t.Fatal("no IDNCerts")
+	}
+	// ≈89.6% of IDNCerts at ≤90 days.
+	if got := CDFAt(idn, 90); got < 0.7 {
+		t.Errorf("IDNCert CDF(90d) = %.2f, want ≈0.9", got)
+	}
+	nc := m.ValidityCDF(func(i int, e *Entry) bool { return m.Noncompliant(i) })
+	if len(nc) > 10 {
+		// ≈50% of NC certs last ≥ a year.
+		if got := 1 - CDFAt(nc, 364); got < 0.25 {
+			t.Errorf("NC certs ≥1y fraction %.2f, want ≈0.5", got)
+		}
+	}
+}
+
+func TestTable3VariantsDetectable(t *testing.T) {
+	c := smallCorpus(t)
+	m := RunLinter(c, lint.Global, lint.Options{})
+	variants := m.Table3()
+	total := 0
+	for _, n := range variants {
+		total += n
+	}
+	if total == 0 {
+		t.Fatal("no variant pairs generated")
+	}
+}
+
+func TestDetectVariantStrategy(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want VariantStrategy
+	}{
+		{"Samco Autotechnik GmbH", "SAMCO AUTOTECHNIK GMBH", VariantCaseConversion},
+		{"Peddy Shield", "PeddyShield", VariantNonPrintableAddition},
+		{"株式会社 中国銀行", "株式会社　中国銀行", VariantWhitespaceSubstitution},
+		{"EDP - Energias", "EDP – Energias", VariantResemblingSubstitution},
+		{"RWE Energie, s.r.o.", "RWE Energie, a.s.", VariantAbbreviation},
+		{"Same Org", "Same Org", VariantNone},
+	}
+	for _, tc := range cases {
+		if got := DetectVariantStrategy(tc.a, tc.b); got != tc.want {
+			t.Errorf("DetectVariantStrategy(%q, %q) = %v, want %v", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestApplyVariantChangesString(t *testing.T) {
+	for _, v := range VariantStrategies() {
+		org := "Test Organisation GmbH"
+		if got := ApplyVariant(v, org); got == org {
+			t.Errorf("%v: variant identical to original", v)
+		}
+	}
+}
+
+func TestFigure4Matrix(t *testing.T) {
+	c := smallCorpus(t)
+	m := RunLinter(c, lint.Global, lint.Options{})
+	matrix := m.Figure4(5)
+	if len(matrix) == 0 {
+		t.Fatal("empty field matrix")
+	}
+	// At least one issuer must show a deviating Unicode field.
+	var anyDeviation bool
+	for _, row := range matrix {
+		for _, cell := range row {
+			if cell.Deviates {
+				anyDeviation = true
+			}
+		}
+	}
+	if !anyDeviation {
+		t.Error("no deviations in the field matrix")
+	}
+}
+
+func TestCorpusChainsVerify(t *testing.T) {
+	c, err := Generate(Config{Size: 120, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.CACerts) == 0 {
+		t.Fatal("no CA certificates")
+	}
+	for i, e := range c.Entries {
+		ca := c.CAFor(e.IssuerOrg)
+		if ca == nil {
+			t.Fatalf("entry %d: no CA for %s", i, e.IssuerOrg)
+		}
+		if !ca.IsCA {
+			t.Fatalf("%s CA lacks the CA flag", e.IssuerOrg)
+		}
+		if err := x509cert.Chain([]*x509cert.Certificate{e.Cert, ca}); err != nil {
+			t.Fatalf("entry %d (%s): %v", i, e.IssuerOrg, err)
+		}
+	}
+}
+
+func TestRunLinterParallelMatchesSequential(t *testing.T) {
+	c, err := Generate(Config{Size: 400, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := RunLinter(c, lint.Global, lint.Options{})
+	par := RunLinterParallel(c, lint.Global, lint.Options{}, 8)
+	if seq.NCCount() != par.NCCount() {
+		t.Fatalf("NC counts differ: %d vs %d", seq.NCCount(), par.NCCount())
+	}
+	for i := range seq.Results {
+		if seq.Results[i].Noncompliant() != par.Results[i].Noncompliant() {
+			t.Fatalf("entry %d verdict differs", i)
+		}
+	}
+}

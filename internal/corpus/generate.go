@@ -1,0 +1,409 @@
+package corpus
+
+import (
+	"fmt"
+	"math/big"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/idna"
+	"repro/internal/uni"
+	"repro/internal/x509cert"
+)
+
+// CertClass is the paper's Unicert taxonomy (§2.3).
+type CertClass int
+
+// Unicert classes.
+const (
+	ClassIDNCert      CertClass = iota // IDNs in DNSName-related fields
+	ClassOtherUnicert                  // multilingual text beyond printable ASCII
+)
+
+func (c CertClass) String() string {
+	if c == ClassIDNCert {
+		return "IDNCert"
+	}
+	return "OtherUnicert"
+}
+
+// Entry is one corpus certificate with its generation provenance.
+type Entry struct {
+	DER       []byte
+	Cert      *x509cert.Certificate
+	IssuerOrg string
+	Trust     TrustStatus
+	// TrustedThen reports public trust at issuance time (footnote 3).
+	TrustedThen bool
+	Region      string
+	Year        int
+	Class       CertClass
+	Mutation    MutationKind
+	Variant     VariantStrategy
+	Precert     bool
+}
+
+// Alive reports whether the certificate is still valid at the paper's
+// analysis cutoff (April 2025).
+func (e *Entry) Alive() bool {
+	cutoff := time.Date(2025, 4, 30, 0, 0, 0, 0, time.UTC)
+	return !e.Cert.NotAfter.Before(cutoff)
+}
+
+// Config parameterizes corpus generation.
+type Config struct {
+	// Size is the number of leaf Unicerts (default 34,800 ≈ 1:1000 of
+	// the paper's dataset).
+	Size int
+	// Seed makes generation reproducible.
+	Seed int64
+	// PrecertFraction adds CT-poisoned twins that the §4.1 filter
+	// must drop (the paper's logs were 54.7% precertificates).
+	PrecertFraction float64
+	// VariantFraction controls Table 3 subject-variant pair injection.
+	VariantFraction float64
+}
+
+// DefaultConfig is the 1:1000-scale configuration.
+func DefaultConfig() Config {
+	return Config{Size: 34800, Seed: 2025, PrecertFraction: 0.05, VariantFraction: 0.004}
+}
+
+// Corpus is the generated dataset.
+type Corpus struct {
+	Entries []*Entry
+	// Precerts are the CT-poisoned entries, kept separate after the
+	// §4.1 filter but available for the filter ablation.
+	Precerts []*Entry
+	// CACerts maps issuer organization to its self-signed CA
+	// certificate, enabling the §5.1 chain-reconstruction verification.
+	CACerts map[string]*x509cert.Certificate
+	cfg     Config
+}
+
+// CAFor returns the signing CA certificate for an issuer organization.
+func (c *Corpus) CAFor(org string) *x509cert.Certificate { return c.CACerts[org] }
+
+// Generate builds a corpus deterministically from cfg.
+func Generate(cfg Config) (*Corpus, error) {
+	if cfg.Size <= 0 {
+		cfg.Size = DefaultConfig().Size
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// One CA key per issuer; one shared leaf key (key material is not
+	// under study).
+	caKeys := make([]*x509cert.KeyPair, len(Profiles))
+	for i := range Profiles {
+		k, err := x509cert.GenerateKey(cfg.Seed + int64(i) + 100)
+		if err != nil {
+			return nil, err
+		}
+		caKeys[i] = k
+	}
+	leafKey, err := x509cert.GenerateKey(cfg.Seed + 99)
+	if err != nil {
+		return nil, err
+	}
+
+	issuerPick := newWeightedIssuerPicker()
+	c := &Corpus{cfg: cfg, CACerts: make(map[string]*x509cert.Certificate, len(Profiles))}
+	for i, p := range Profiles {
+		caTpl := &x509cert.Template{
+			SerialNumber: big.NewInt(int64(i) + 1),
+			Issuer:       issuerDN(p),
+			Subject:      issuerDN(p),
+			NotBefore:    time.Date(p.FirstYear, 1, 1, 0, 0, 0, 0, time.UTC),
+			NotAfter:     time.Date(2051, 1, 1, 0, 0, 0, 0, time.UTC),
+			IsCA:         true,
+		}
+		caDER, err := x509cert.BuildSelfSigned(caTpl, caKeys[i])
+		if err != nil {
+			return nil, err
+		}
+		caCert, err := x509cert.Parse(caDER)
+		if err != nil {
+			return nil, err
+		}
+		c.CACerts[p.Organization] = caCert
+	}
+	serial := int64(1000)
+	for i := 0; i < cfg.Size; i++ {
+		pi := issuerPick(rng)
+		p := Profiles[pi]
+		year := sampleYear(rng, p)
+		entry, err := generateOne(rng, p, caKeys[pi], leafKey, year, serial)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: entry %d: %v", i, err)
+		}
+		serial += 2
+		c.Entries = append(c.Entries, entry)
+
+		if cfg.PrecertFraction > 0 && rng.Float64() < cfg.PrecertFraction {
+			pre, err := generatePrecert(p, caKeys[pi], leafKey, entry, serial)
+			if err != nil {
+				return nil, err
+			}
+			serial += 2
+			c.Precerts = append(c.Precerts, pre)
+		}
+		if cfg.VariantFraction > 0 && rng.Float64() < cfg.VariantFraction && !p.IDNOnly {
+			v, err := generateVariant(rng, p, caKeys[pi], leafKey, entry, serial)
+			if err != nil {
+				return nil, err
+			}
+			serial += 2
+			c.Entries = append(c.Entries, v)
+			i++ // variants count toward Size
+		}
+	}
+	return c, nil
+}
+
+func newWeightedIssuerPicker() func(*rand.Rand) int {
+	cum := make([]float64, len(Profiles))
+	total := 0.0
+	for i, p := range Profiles {
+		total += p.Weight
+		cum[i] = total
+	}
+	return func(rng *rand.Rand) int {
+		x := rng.Float64() * total
+		for i, c := range cum {
+			if x <= c {
+				return i
+			}
+		}
+		return len(Profiles) - 1
+	}
+}
+
+func sampleYear(rng *rand.Rand, p IssuerProfile) int {
+	total := 0.0
+	for y := p.FirstYear; y <= p.LastYear; y++ {
+		total += yearShares[y]
+	}
+	x := rng.Float64() * total
+	for y := p.FirstYear; y <= p.LastYear; y++ {
+		x -= yearShares[y]
+		if x <= 0 {
+			return y
+		}
+	}
+	return p.LastYear
+}
+
+// domainPool supplies plausible IDN and ASCII registrable names.
+var idnDomainBases = []string{"bücher", "köln-shop", "müller", "中国政府", "пример", "ελλάδα", "한국", "日本語", "çilek", "łódź"}
+
+func sampleDomain(rng *rand.Rand, class CertClass) string {
+	if class == ClassIDNCert {
+		base := idnDomainBases[rng.Intn(len(idnDomainBases))]
+		a, err := idna.ToASCII(base)
+		if err != nil {
+			a = "example"
+		}
+		return fmt.Sprintf("host%04d.%s.example", rng.Intn(10000), a)
+	}
+	return fmt.Sprintf("site-%05d.example", rng.Intn(100000))
+}
+
+func sampleValidityDays(rng *rand.Rand, class CertClass, noncompliant bool) int {
+	switch {
+	case noncompliant:
+		// Fig 3: ~50% of NC Unicerts last ≥1 year, >20% exceed 700 days.
+		x := rng.Float64()
+		switch {
+		case x < 0.30:
+			return 90 + rng.Intn(120)
+		case x < 0.50:
+			return 365
+		case x < 0.80:
+			return 365 + rng.Intn(335)
+		default:
+			return 700 + rng.Intn(700)
+		}
+	case class == ClassIDNCert:
+		// 89.6% follow the 90-day automation trend.
+		if rng.Float64() < 0.896 {
+			return 90
+		}
+		return 365
+	default:
+		// Other Unicerts: mostly ≤398 days, 10.7% beyond.
+		x := rng.Float64()
+		switch {
+		case x < 0.35:
+			return 90 + rng.Intn(120)
+		case x < 0.893:
+			return 365 + rng.Intn(33)
+		default:
+			return 399 + rng.Intn(1000)
+		}
+	}
+}
+
+func generateOne(rng *rand.Rand, p IssuerProfile, caKey, leafKey *x509cert.KeyPair, year int, serial int64) (*Entry, error) {
+	class := ClassIDNCert
+	if !p.IDNOnly && rng.Float64() < 0.4 {
+		class = ClassOtherUnicert
+	}
+	mutation := MutNone
+	if rng.Float64() < p.NCRate {
+		mutation = sampleMutation(rng, p.IDNOnly)
+	} else if rng.Float64() < p.LegacyRate {
+		// Pre-effective-date violations: RFC 9598 emails before 2024,
+		// RFC 8399 NFC before 2018. Automated DV issuers (IDNOnly)
+		// carry no email SANs, so only the NFC channel applies to them.
+		switch {
+		case p.IDNOnly && year < 2018:
+			mutation = MutLegacyIDNNotNFC
+		case !p.IDNOnly && year < 2018 && rng.Float64() < 0.2:
+			mutation = MutLegacyIDNNotNFC
+		case !p.IDNOnly && year < 2024:
+			mutation = MutLegacyEmailNonASCII
+		}
+	}
+
+	domain := sampleDomain(rng, class)
+	noncompliant := mutation != MutNone && mutation != MutLegacyEmailNonASCII && mutation != MutLegacyIDNNotNFC
+	days := sampleValidityDays(rng, class, noncompliant)
+	notBefore := time.Date(year, time.Month(1+rng.Intn(12)), 1+rng.Intn(28), rng.Intn(24), 0, 0, 0, time.UTC)
+
+	orgText := sampleOrgText(rng, p, class)
+	tpl := &x509cert.Template{
+		SerialNumber: big.NewInt(serial),
+		Issuer:       issuerDN(p),
+		NotBefore:    notBefore,
+		NotAfter:     notBefore.AddDate(0, 0, days),
+		SAN:          []x509cert.GeneralName{x509cert.DNSName(domain)},
+	}
+	if p.IDNOnly {
+		tpl.Subject = x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, domain))
+	} else {
+		tpl.Subject = x509cert.SimpleDN(
+			x509cert.TextATV(x509cert.OIDCommonName, domain),
+			x509cert.TextATV(x509cert.OIDOrganizationName, orgText),
+			x509cert.PrintableATV(x509cert.OIDCountryName, regionCode(p.Region)),
+		)
+	}
+	if mutation != MutNone {
+		mutation.apply(tpl, rng, domain, orgText)
+	}
+	der, err := x509cert.Build(tpl, caKey, leafKey)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := x509cert.Parse(der)
+	if err != nil {
+		return nil, err
+	}
+	return &Entry{
+		DER: der, Cert: cert, IssuerOrg: p.Organization, Trust: p.Trust,
+		TrustedThen: p.Trust == TrustPublic || p.TrustedAtIssuance,
+		Region:      p.Region, Year: year, Class: class, Mutation: mutation,
+	}, nil
+}
+
+func generatePrecert(p IssuerProfile, caKey, leafKey *x509cert.KeyPair, base *Entry, serial int64) (*Entry, error) {
+	tpl := &x509cert.Template{
+		SerialNumber: big.NewInt(serial),
+		Issuer:       base.Cert.Issuer,
+		Subject:      base.Cert.Subject,
+		NotBefore:    base.Cert.NotBefore,
+		NotAfter:     base.Cert.NotAfter,
+		SAN:          base.Cert.SAN,
+		CTPoison:     true,
+	}
+	der, err := x509cert.Build(tpl, caKey, leafKey)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := x509cert.Parse(der)
+	if err != nil {
+		return nil, err
+	}
+	return &Entry{
+		DER: der, Cert: cert, IssuerOrg: p.Organization, Trust: p.Trust,
+		TrustedThen: p.Trust == TrustPublic || p.TrustedAtIssuance,
+		Region:      p.Region, Year: base.Year, Class: base.Class, Precert: true,
+	}, nil
+}
+
+func sampleOrgText(rng *rand.Rand, p IssuerProfile, class CertClass) string {
+	if class == ClassIDNCert {
+		return "Example Holdings Ltd"
+	}
+	scripts := regionScripts[p.Region]
+	if len(scripts) == 0 {
+		scripts = regionScripts["US"]
+	}
+	return scripts[rng.Intn(len(scripts))]
+}
+
+// issuerDN is the canonical DN shared by an issuer's CA certificate
+// and the Issuer field of everything it signs, so chains link.
+func issuerDN(p IssuerProfile) x509cert.DN {
+	return x509cert.SimpleDN(
+		x509cert.PrintableATV(x509cert.OIDCountryName, regionCode(p.Region)),
+		x509cert.TextATV(x509cert.OIDOrganizationName, p.Organization),
+		x509cert.TextATV(x509cert.OIDCommonName, p.Organization+" CA"),
+	)
+}
+
+func regionCode(region string) string {
+	if len(region) == 2 {
+		return region
+	}
+	return "US"
+}
+
+// IsUnicert re-derives the paper's membership test from certificate
+// content: non-printable-ASCII anywhere, or IDN labels in
+// DNSName-related fields.
+func IsUnicert(c *x509cert.Certificate) bool {
+	for _, atv := range append(c.Subject.Attributes(), c.Issuer.Attributes()...) {
+		if uni.HasNonPrintableASCII(atv.Value.MustDecode()) {
+			return true
+		}
+		if atv.Value.Tag != 19 && atv.Value.Tag != 12 && atv.Value.Tag != 22 {
+			return true // non-standard encodings carry internationalized intent
+		}
+	}
+	for _, name := range c.DNSNames() {
+		if idna.IsIDN(name) {
+			return true
+		}
+		if uni.HasNonPrintableASCII(name) {
+			return true
+		}
+	}
+	for _, p := range c.Policies {
+		for _, et := range p.ExplicitText {
+			if uni.HasNonPrintableASCII(et.Decode()) {
+				return true
+			}
+		}
+	}
+	if strings.Contains(c.Subject.CommonName(), "xn--") {
+		return true
+	}
+	return false
+}
+
+// IssuerOrganizations returns the distinct issuer organizations in the
+// corpus, sorted.
+func (c *Corpus) IssuerOrganizations() []string {
+	set := map[string]bool{}
+	for _, e := range c.Entries {
+		set[e.IssuerOrg] = true
+	}
+	out := make([]string, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,273 @@
+package corpus
+
+import (
+	"math/rand"
+	"strings"
+
+	"repro/internal/asn1der"
+	"repro/internal/punycode"
+	"repro/internal/strenc"
+	"repro/internal/x509cert"
+)
+
+// nonNFCALabel is the A-label of the decomposed form of "bücher"
+// (u + combining diaeresis), the T2 case of a careless CA punycoding
+// un-normalized input.
+var nonNFCALabel = func() string {
+	l, err := punycode.EncodeLabel("bu\u0308cher")
+	if err != nil {
+		panic(err)
+	}
+	return l
+}()
+
+// MutationKind identifies the noncompliance injected into a corpus
+// certificate. Weights derive from the per-lint counts of Table 11, so
+// the linter's output over the corpus reproduces the paper's mix.
+type MutationKind int
+
+// Mutation kinds.
+const (
+	MutNone MutationKind = iota
+	MutExplicitTextNotUTF8
+	MutCNNotInSAN
+	MutIDNUnpermittedChar
+	MutOrgBadEncoding
+	MutCNBadEncoding
+	MutLocalityBadEncoding
+	MutSubjectControlChars
+	MutOUBadEncoding
+	MutJurisdictionBadEncoding
+	MutExplicitTextTooLong
+	MutExplicitTextIA5
+	MutStateBadEncoding
+	MutPrintableBadAlpha
+	MutTrailingWhitespace
+	MutExtraCN
+	MutSerialBadEncoding
+	MutLeadingWhitespace
+	MutCountryBadEncoding
+	MutIDNMalformed
+	MutDNSBadChar
+	MutSANUnicode
+	MutSubjectDEL
+	MutNULInterleave
+	MutIDNNotNFC
+	// Legacy mutations: violations of late-effective-date rules,
+	// injected into pre-date certificates (surface only when effective
+	// dates are ignored).
+	MutLegacyEmailNonASCII
+	MutLegacyIDNNotNFC
+	numMutations
+)
+
+func (m MutationKind) String() string {
+	names := [...]string{
+		"none", "explicit_text_not_utf8", "cn_not_in_san", "idn_unpermitted_char",
+		"org_bad_encoding", "cn_bad_encoding", "locality_bad_encoding",
+		"subject_control_chars", "ou_bad_encoding", "jurisdiction_bad_encoding",
+		"explicit_text_too_long", "explicit_text_ia5", "state_bad_encoding",
+		"printable_badalpha", "trailing_whitespace", "extra_cn",
+		"serial_bad_encoding", "leading_whitespace", "country_bad_encoding",
+		"idn_malformed", "dns_bad_char", "san_unicode", "subject_del",
+		"nul_interleave", "idn_not_nfc", "legacy_email_non_ascii", "legacy_idn_not_nfc",
+	}
+	if int(m) < len(names) {
+		return names[int(m)]
+	}
+	return "unknown"
+}
+
+// Taxonomy returns the Table 1 class the mutation lands in.
+func (m MutationKind) Taxonomy() string {
+	switch m {
+	case MutIDNUnpermittedChar, MutSubjectControlChars, MutPrintableBadAlpha,
+		MutTrailingWhitespace, MutLeadingWhitespace, MutIDNMalformed,
+		MutDNSBadChar, MutSANUnicode, MutSubjectDEL, MutNULInterleave:
+		return "T1 Invalid Character"
+	case MutIDNNotNFC, MutLegacyIDNNotNFC:
+		return "T2 Bad Normalization"
+	case MutExplicitTextTooLong:
+		return "T3 Illegal Format"
+	case MutExplicitTextNotUTF8, MutOrgBadEncoding, MutCNBadEncoding,
+		MutLocalityBadEncoding, MutOUBadEncoding, MutJurisdictionBadEncoding,
+		MutExplicitTextIA5, MutStateBadEncoding, MutSerialBadEncoding,
+		MutCountryBadEncoding, MutLegacyEmailNonASCII:
+		return "T3 Invalid Encoding"
+	case MutCNNotInSAN:
+		return "T3 Invalid Structure"
+	case MutExtraCN:
+		return "T3 Discouraged Field"
+	default:
+		return "none"
+	}
+}
+
+// mutationWeights carries the Table 11 counts as sampling weights.
+var mutationWeights = []struct {
+	kind   MutationKind
+	weight int
+}{
+	{MutExplicitTextNotUTF8, 117471},
+	{MutCNNotInSAN, 93664},
+	{MutIDNUnpermittedChar, 26701},
+	{MutOrgBadEncoding, 25751},
+	{MutCNBadEncoding, 25081},
+	{MutLocalityBadEncoding, 17825},
+	{MutSubjectControlChars, 13320},
+	{MutOUBadEncoding, 11654},
+	{MutJurisdictionBadEncoding, 4213 + 2829 + 1744},
+	{MutExplicitTextTooLong, 2988},
+	{MutExplicitTextIA5, 2550},
+	{MutStateBadEncoding, 1671},
+	{MutPrintableBadAlpha, 1561},
+	{MutTrailingWhitespace, 1356},
+	{MutExtraCN, 589},
+	{MutSerialBadEncoding, 461},
+	{MutLeadingWhitespace, 437},
+	{MutCountryBadEncoding, 409},
+	{MutIDNMalformed, 401},
+	{MutDNSBadChar, 326},
+	{MutSANUnicode, 109},
+	{MutSubjectDEL, 117},
+	{MutNULInterleave, 400},
+	{MutIDNNotNFC, 3},
+}
+
+// sampleMutation draws a mutation from the Table 11 mix. IDN-only
+// issuers are constrained to DNS-side mutations, as their automated
+// pipelines permit no custom fields (§4.3.2).
+func sampleMutation(rng *rand.Rand, idnOnly bool) MutationKind {
+	table := mutationWeights
+	if idnOnly {
+		table = table[:0:0]
+		for _, mw := range mutationWeights {
+			if isIDNMutation(mw.kind) {
+				table = append(table, mw)
+			}
+		}
+	}
+	total := 0
+	for _, mw := range table {
+		total += mw.weight
+	}
+	n := rng.Intn(total)
+	for _, mw := range table {
+		if n < mw.weight {
+			return mw.kind
+		}
+		n -= mw.weight
+	}
+	return MutExplicitTextNotUTF8
+}
+
+func isIDNMutation(m MutationKind) bool {
+	switch m {
+	case MutIDNUnpermittedChar, MutIDNMalformed, MutDNSBadChar, MutSANUnicode, MutIDNNotNFC:
+		return true
+	}
+	return false
+}
+
+// apply injects the mutation into the template. domain is the
+// certificate's primary DNS name; org the issuer's display material.
+func (m MutationKind) apply(tpl *x509cert.Template, rng *rand.Rand, domain, orgText string) {
+	bmp := func(s string) []byte { return strenc.EncodeUnchecked(strenc.UCS2, s) }
+	switch m {
+	case MutExplicitTextNotUTF8:
+		tpl.Policies = append(tpl.Policies, x509cert.PolicyInformation{
+			Policy:       asn1der.OID{2, 23, 140, 1, 2, 2},
+			ExplicitText: []x509cert.DisplayText{{Tag: asn1der.TagVisibleString, Bytes: []byte("Reliance on this certificate is governed by the CPS")}},
+		})
+	case MutExplicitTextIA5:
+		tpl.Policies = append(tpl.Policies, x509cert.PolicyInformation{
+			Policy:       asn1der.OID{2, 23, 140, 1, 2, 2},
+			ExplicitText: []x509cert.DisplayText{{Tag: asn1der.TagIA5String, Bytes: []byte("Certification practice statement")}},
+		})
+	case MutExplicitTextTooLong:
+		tpl.Policies = append(tpl.Policies, x509cert.PolicyInformation{
+			Policy:       asn1der.OID{2, 23, 140, 1, 2, 2},
+			ExplicitText: []x509cert.DisplayText{{Tag: asn1der.TagUTF8String, Bytes: []byte(strings.Repeat("Terms and conditions apply. ", 9))}},
+		})
+	case MutCNNotInSAN:
+		setSubjectAttr(tpl, x509cert.OIDCommonName, x509cert.AttributeValue{Tag: asn1der.TagUTF8String, Bytes: []byte("www." + domain)})
+	case MutIDNUnpermittedChar:
+		// xn--www-hn0a decodes to "‎www" — the P1.3 deceptive label.
+		replaceSAN(tpl, "xn--www-hn0a."+domain)
+	case MutIDNMalformed:
+		replaceSAN(tpl, "xn--"+strings.Repeat("9", 24)+"."+domain)
+	case MutIDNNotNFC, MutLegacyIDNNotNFC:
+		replaceSAN(tpl, nonNFCALabel+"."+domain)
+	case MutDNSBadChar:
+		replaceSAN(tpl, "under_score."+domain)
+	case MutSANUnicode:
+		replaceSAN(tpl, "a."+domain+" DNS:b."+domain)
+	case MutOrgBadEncoding:
+		setSubjectAttr(tpl, x509cert.OIDOrganizationName, x509cert.AttributeValue{Tag: asn1der.TagBMPString, Bytes: bmp(orgText)})
+	case MutCNBadEncoding:
+		setSubjectAttr(tpl, x509cert.OIDCommonName, x509cert.AttributeValue{Tag: asn1der.TagBMPString, Bytes: bmp(domain)})
+	case MutLocalityBadEncoding:
+		setSubjectAttr(tpl, x509cert.OIDLocalityName, x509cert.AttributeValue{Tag: asn1der.TagTeletexString, Bytes: strenc.EncodeUnchecked(strenc.ISO88591, "Île-de-France")})
+	case MutStateBadEncoding:
+		setSubjectAttr(tpl, x509cert.OIDStateOrProvinceName, x509cert.AttributeValue{Tag: asn1der.TagBMPString, Bytes: bmp("Středočeský kraj")})
+	case MutOUBadEncoding:
+		setSubjectAttr(tpl, x509cert.OIDOrganizationalUnit, x509cert.AttributeValue{Tag: asn1der.TagBMPString, Bytes: bmp("事業部")})
+	case MutJurisdictionBadEncoding:
+		setSubjectAttr(tpl, x509cert.OIDJurisdictionLocality, x509cert.AttributeValue{Tag: asn1der.TagBMPString, Bytes: bmp("München")})
+	case MutSerialBadEncoding:
+		setSubjectAttr(tpl, x509cert.OIDSerialNumber, x509cert.AttributeValue{Tag: asn1der.TagUTF8String, Bytes: []byte("SN-2024-001")})
+	case MutCountryBadEncoding:
+		setSubjectAttr(tpl, x509cert.OIDCountryName, x509cert.AttributeValue{Tag: asn1der.TagUTF8String, Bytes: []byte("Germany")})
+	case MutSubjectControlChars:
+		setSubjectAttr(tpl, x509cert.OIDOrganizationName, x509cert.AttributeValue{Tag: asn1der.TagUTF8String, Bytes: []byte("Evil\x00 Entity")})
+	case MutSubjectDEL:
+		// "Prepard\x7F\x7Fid Serc\x7Fvices" — the F4 locale bug pattern.
+		setSubjectAttr(tpl, x509cert.OIDOrganizationName, x509cert.AttributeValue{Tag: asn1der.TagUTF8String, Bytes: []byte("Prepard\x7F\x7Fid Serc\x7Fvices")})
+	case MutNULInterleave:
+		// "[NUL]C[NUL]&[NUL]I[NUL]S" — the IPS CA / Thawte pattern.
+		setSubjectAttr(tpl, x509cert.OIDOrganizationName, x509cert.AttributeValue{Tag: asn1der.TagUTF8String, Bytes: []byte("\x00C\x00&\x00I\x00S")})
+	case MutPrintableBadAlpha:
+		setSubjectAttr(tpl, x509cert.OIDOrganizationName, x509cert.AttributeValue{Tag: asn1der.TagPrintableString, Bytes: []byte("Org @ Home & Co")})
+	case MutTrailingWhitespace:
+		setSubjectAttr(tpl, x509cert.OIDOrganizationName, x509cert.AttributeValue{Tag: asn1der.TagUTF8String, Bytes: []byte(orgText + " ")})
+	case MutLeadingWhitespace:
+		setSubjectAttr(tpl, x509cert.OIDOrganizationName, x509cert.AttributeValue{Tag: asn1der.TagUTF8String, Bytes: []byte(" " + orgText)})
+	case MutExtraCN:
+		tpl.Subject = append(tpl.Subject, x509cert.RDN{x509cert.TextATV(x509cert.OIDCommonName, "alt."+domain)})
+	case MutLegacyEmailNonASCII:
+		// An underscore-bearing email domain is 7-bit clean (so no
+		// RFC 5280-era lint fires) but violates the IDNA2008 LDH rule
+		// that RFC 9598 imposed on RFC822Name domain parts in 2024.
+		tpl.SAN = append(tpl.SAN, x509cert.GeneralName{
+			Kind:  x509cert.GNRFC822Name,
+			Bytes: append([]byte("admin@mail_relay."), []byte(domain)...),
+		})
+	}
+	_ = rng
+}
+
+// setSubjectAttr replaces (or adds) a subject attribute.
+func setSubjectAttr(tpl *x509cert.Template, oid asn1der.OID, v x509cert.AttributeValue) {
+	for i, rdn := range tpl.Subject {
+		for j, atv := range rdn {
+			if atv.Type.Equal(oid) {
+				tpl.Subject[i][j].Value = v
+				return
+			}
+		}
+	}
+	tpl.Subject = append(tpl.Subject, x509cert.RDN{{Type: oid, Value: v}})
+}
+
+// replaceSAN swaps the first DNSName for name and keeps the CN in sync
+// so the CN⊆SAN structure lint stays quiet for non-structure mutations.
+func replaceSAN(tpl *x509cert.Template, name string) {
+	for i, gn := range tpl.SAN {
+		if gn.Kind == x509cert.GNDNSName {
+			tpl.SAN[i] = x509cert.DNSName(name)
+			setSubjectAttr(tpl, x509cert.OIDCommonName, x509cert.AttributeValue{Tag: asn1der.TagUTF8String, Bytes: []byte(name)})
+			return
+		}
+	}
+	tpl.SAN = append(tpl.SAN, x509cert.DNSName(name))
+}

@@ -1,0 +1,131 @@
+// Package corpus generates the synthetic CT Unicert corpus that stands
+// in for the paper's 34.8-million-certificate QiAnXin dataset (§4.1).
+// Every population statistic the paper reports — issuer volume shares,
+// per-issuer noncompliance rates (Table 2), mutation mix (Table 11),
+// issuance trend (Figure 2), validity distributions (Figure 3), and
+// field-usage patterns (Figure 4) — is encoded as a generation
+// parameter, so the measurement pipeline regenerates the same shapes
+// at a configurable scale (default 1:1000).
+package corpus
+
+// TrustStatus mirrors the paper's three-way classification.
+type TrustStatus int
+
+// Trust statuses (Table 2 legend).
+const (
+	TrustPublic  TrustStatus = iota // publicly trusted
+	TrustLimited                    // trusted in specific regions/scenarios
+	TrustNone                       // not trusted
+)
+
+func (t TrustStatus) String() string {
+	switch t {
+	case TrustPublic:
+		return "public"
+	case TrustLimited:
+		return "limited"
+	default:
+		return "untrusted"
+	}
+}
+
+// IssuerProfile drives generation for one issuer organization.
+type IssuerProfile struct {
+	Organization string
+	Trust        TrustStatus
+	Region       string
+	// Weight is the organization's share of total Unicert volume.
+	Weight float64
+	// NCRate is the fraction of its certificates that are noncompliant
+	// under effective-date-gated linting (Table 2).
+	NCRate float64
+	// LegacyRate adds violations of late-effective-date rules to
+	// pre-date certificates; these surface only when effective dates
+	// are ignored (the 249K → 1.8M ablation of footnote 4).
+	LegacyRate float64
+	// IDNOnly models automated DV issuers (Let's Encrypt, Cloudflare,
+	// Amazon): only DNSNames, no customizable subject fields (§4.3.2).
+	IDNOnly bool
+	// FirstYear/LastYear bound the organization's activity.
+	FirstYear, LastYear int
+	// TrustedAtIssuance marks CAs that were publicly trusted while
+	// issuing but have since been distrusted or acquired (footnote 3 of
+	// the paper: longitudinal stats use trust at issuance time, while
+	// Table 2 shows current status).
+	TrustedAtIssuance bool
+}
+
+// Profiles is the issuer population: the volume top-10 (97.6% of
+// issuance), the noncompliance top-10 of Table 2, and a regional tail.
+// Weights approximate the paper's shares of 34.8M; NC rates come from
+// Table 2.
+var Profiles = []IssuerProfile{
+	// Volume leaders (§4.2): Let's Encrypt 25.1M, COMODO 4.8M, cPanel 1.3M.
+	{Organization: "Let's Encrypt", Trust: TrustPublic, Region: "US", Weight: 0.7213, NCRate: 0.0006, LegacyRate: 0.03, IDNOnly: true, FirstYear: 2015, LastYear: 2025},
+	{Organization: "COMODO CA Limited", Trust: TrustNone, Region: "GB", Weight: 0.1379, NCRate: 0.0025, LegacyRate: 0.22, FirstYear: 2012, LastYear: 2018, TrustedAtIssuance: true},
+	{Organization: "cPanel, Inc.", Trust: TrustPublic, Region: "US", Weight: 0.0374, NCRate: 0.0020, LegacyRate: 0.04, IDNOnly: true, FirstYear: 2016, LastYear: 2025},
+	{Organization: "Sectigo Limited", Trust: TrustPublic, Region: "GB", Weight: 0.0330, NCRate: 0.0060, LegacyRate: 0.20, FirstYear: 2018, LastYear: 2025},
+	{Organization: "DigiCert Inc", Trust: TrustPublic, Region: "US", Weight: 0.0180, NCRate: 0.0340, LegacyRate: 0.22, FirstYear: 2012, LastYear: 2025},
+	{Organization: "ZeroSSL", Trust: TrustPublic, Region: "AT", Weight: 0.0127, NCRate: 0.0253, LegacyRate: 0.18, FirstYear: 2020, LastYear: 2025},
+	{Organization: "GEANT Vereniging", Trust: TrustPublic, Region: "NL", Weight: 0.0062, NCRate: 0.0150, LegacyRate: 0.18, FirstYear: 2019, LastYear: 2025},
+	{Organization: "Cloudflare, Inc.", Trust: TrustPublic, Region: "US", Weight: 0.0058, NCRate: 0.0004, LegacyRate: 0.02, IDNOnly: true, FirstYear: 2016, LastYear: 2025},
+	{Organization: "Amazon", Trust: TrustPublic, Region: "US", Weight: 0.0055, NCRate: 0.0004, LegacyRate: 0.02, IDNOnly: true, FirstYear: 2016, LastYear: 2025},
+	{Organization: "GoDaddy.com, Inc.", Trust: TrustPublic, Region: "US", Weight: 0.0047, NCRate: 0.0060, LegacyRate: 0.20, FirstYear: 2013, LastYear: 2025},
+
+	// Noncompliance leaders (Table 2).
+	{Organization: "Dreamcommerce S.A.", Trust: TrustLimited, Region: "PL", Weight: 0.00160, NCRate: 0.4483, LegacyRate: 0.20, FirstYear: 2013, LastYear: 2021},
+	{Organization: "Symantec Corporation", Trust: TrustNone, Region: "US", Weight: 0.00150, NCRate: 0.5147, LegacyRate: 0.30, FirstYear: 2012, LastYear: 2018, TrustedAtIssuance: true},
+	{Organization: "Česká pošta, s.p.", Trust: TrustNone, Region: "CZ", Weight: 0.00120, NCRate: 0.9639, LegacyRate: 0.40, FirstYear: 2012, LastYear: 2020},
+	{Organization: "StartCom Ltd.", Trust: TrustNone, Region: "IL", Weight: 0.00100, NCRate: 0.7297, LegacyRate: 0.35, FirstYear: 2012, LastYear: 2017, TrustedAtIssuance: true},
+	{Organization: "VeriSign, Inc.", Trust: TrustPublic, Region: "US", Weight: 0.00060, NCRate: 0.5912, LegacyRate: 0.35, FirstYear: 2012, LastYear: 2016},
+	{Organization: "Government of Korea", Trust: TrustNone, Region: "KR", Weight: 0.00060, NCRate: 0.8733, LegacyRate: 0.40, FirstYear: 2012, LastYear: 2022},
+	{Organization: "DOMENY.PL sp. z o.o.", Trust: TrustLimited, Region: "PL", Weight: 0.00141, NCRate: 0.1200, LegacyRate: 0.15, FirstYear: 2014, LastYear: 2024},
+
+	// Regional tail with localized scripts.
+	{Organization: "IPS CA", Trust: TrustNone, Region: "ES", Weight: 0.00050, NCRate: 0.6000, LegacyRate: 0.30, FirstYear: 2012, LastYear: 2016},
+	{Organization: "Thawte Consulting", Trust: TrustNone, Region: "ZA", Weight: 0.00050, NCRate: 0.5500, LegacyRate: 0.30, FirstYear: 2012, LastYear: 2017, TrustedAtIssuance: true},
+	{Organization: "GlobalSign nv-sa", Trust: TrustPublic, Region: "BE", Weight: 0.00400, NCRate: 0.0200, LegacyRate: 0.05, FirstYear: 2012, LastYear: 2025},
+	{Organization: "SwissSign AG", Trust: TrustPublic, Region: "CH", Weight: 0.00150, NCRate: 0.0250, LegacyRate: 0.05, FirstYear: 2013, LastYear: 2025},
+	{Organization: "Certum (Asseco)", Trust: TrustPublic, Region: "PL", Weight: 0.00200, NCRate: 0.0350, LegacyRate: 0.08, FirstYear: 2012, LastYear: 2025},
+	{Organization: "NISZ Zrt.", Trust: TrustLimited, Region: "HU", Weight: 0.00100, NCRate: 0.0900, LegacyRate: 0.12, FirstYear: 2014, LastYear: 2025},
+	{Organization: "Telekom Security", Trust: TrustPublic, Region: "DE", Weight: 0.00120, NCRate: 0.0500, LegacyRate: 0.06, FirstYear: 2013, LastYear: 2025},
+	{Organization: "ACCV", Trust: TrustLimited, Region: "ES", Weight: 0.00050, NCRate: 0.1100, LegacyRate: 0.15, FirstYear: 2013, LastYear: 2024},
+	{Organization: "E-Tugra EBG", Trust: TrustNone, Region: "TR", Weight: 0.00080, NCRate: 0.2000, LegacyRate: 0.20, FirstYear: 2013, LastYear: 2022},
+	{Organization: "Japan Registry Services", Trust: TrustLimited, Region: "JP", Weight: 0.00090, NCRate: 0.0400, LegacyRate: 0.08, FirstYear: 2014, LastYear: 2025},
+	{Organization: "HARICA", Trust: TrustPublic, Region: "GR", Weight: 0.00080, NCRate: 0.0350, LegacyRate: 0.06, FirstYear: 2015, LastYear: 2025},
+	{Organization: "SECOM Trust Systems", Trust: TrustPublic, Region: "JP", Weight: 0.00070, NCRate: 0.0400, LegacyRate: 0.06, FirstYear: 2012, LastYear: 2025},
+	{Organization: "TWCA", Trust: TrustLimited, Region: "TW", Weight: 0.00050, NCRate: 0.0700, LegacyRate: 0.10, FirstYear: 2013, LastYear: 2024},
+}
+
+// yearShares approximates Figure 2's log-scale issuance growth from
+// 2012 through April 2025, normalized during generation.
+var yearShares = map[int]float64{
+	2012: 0.00002, 2013: 0.00006, 2014: 0.0002, 2015: 0.0012,
+	2016: 0.006, 2017: 0.016, 2018: 0.034, 2019: 0.055,
+	2020: 0.082, 2021: 0.112, 2022: 0.142, 2023: 0.168,
+	2024: 0.232, 2025: 0.152, // 2025 is a partial year (through April)
+}
+
+// regionScripts picks subject-script material per region for the
+// multilingual Subject fields of Figure 4.
+var regionScripts = map[string][]string{
+	"US": {"Prairie Café LLC", "Señal Networks"},
+	"GB": {"Brontë & Sons Ltd"},
+	"PL": {"NOWOCZESNASTODOŁA.PL SP. Z O.O.", "Spółka Handlowa Łódź"},
+	"CZ": {"Česká pošta, s.p.", "Štěpánská banka a.s."},
+	"IL": {"חברת אבטחה בעמ"},
+	"KR": {"한국정보인증", "주식회사 케이티"},
+	"ES": {"Señalización Ibérica S.A.", "Año Nuevo Consultores"},
+	"ZA": {"Thawte Sekuriteitsmaatskappy (Edms) Bpk – Afrika"},
+	"BE": {"Société Générale de Belgique"},
+	"CH": {"Zürich Versicherung AG"},
+	"HU": {"Magyar Államkincstár"},
+	"DE": {"Müller & Söhne GmbH", "Straßenbau AG"},
+	"TR": {"Türk Standardları Enstitüsü"},
+	"JP": {"株式会社 中国銀行", "日本電信電話株式会社"},
+	"GR": {"Ελληνικό Δημόσιο"},
+	"TW": {"台灣網路認證股份有限公司"},
+	"NL": {"Universiteit van Ámsterdam"},
+	"AT": {"Österreichische Post AG"},
+	"FR": {"Île-de-France Mobilités"},
+}

@@ -1,0 +1,379 @@
+package corpus
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/asn1der"
+	"repro/internal/lint"
+	"repro/internal/uni"
+	"repro/internal/x509cert"
+)
+
+// Measurement is a linted corpus: the raw material for every RQ1 table
+// and figure.
+type Measurement struct {
+	Corpus  *Corpus
+	Results []*lint.CertResult // parallel to Corpus.Entries
+}
+
+// RunLinter applies the registry to every (non-precert) corpus entry.
+func RunLinter(c *Corpus, reg *lint.Registry, opts lint.Options) *Measurement {
+	m := &Measurement{Corpus: c, Results: make([]*lint.CertResult, len(c.Entries))}
+	for i, e := range c.Entries {
+		m.Results[i] = reg.Run(e.Cert, opts)
+	}
+	return m
+}
+
+// Noncompliant reports whether entry i failed any lint.
+func (m *Measurement) Noncompliant(i int) bool { return m.Results[i].Noncompliant() }
+
+// NCCount returns the number of noncompliant entries.
+func (m *Measurement) NCCount() int {
+	n := 0
+	for i := range m.Results {
+		if m.Noncompliant(i) {
+			n++
+		}
+	}
+	return n
+}
+
+// TaxonomyRow is one Table 1 line.
+type TaxonomyRow struct {
+	Taxonomy   lint.Taxonomy
+	LintsAll   int
+	LintsNew   int
+	NCCerts    int
+	ErrorCerts int
+	WarnCerts  int
+	TrustedPct float64
+	Recent     int // issued 2024–2025
+	Alive      int // valid into 2024–2025
+}
+
+// Table1 aggregates the noncompliance taxonomy.
+func (m *Measurement) Table1(reg *lint.Registry) []TaxonomyRow {
+	rows := make(map[lint.Taxonomy]*TaxonomyRow)
+	for _, tax := range lint.Taxonomies() {
+		rows[tax] = &TaxonomyRow{Taxonomy: tax}
+	}
+	for _, l := range reg.All() {
+		rows[l.Taxonomy].LintsAll++
+		if l.New {
+			rows[l.Taxonomy].LintsNew++
+		}
+	}
+	for i, res := range m.Results {
+		e := m.Corpus.Entries[i]
+		seen := map[lint.Taxonomy]bool{}
+		seenErr := map[lint.Taxonomy]bool{}
+		seenWarn := map[lint.Taxonomy]bool{}
+		for _, f := range res.Failed() {
+			tax := f.Lint.Taxonomy
+			if !seen[tax] {
+				seen[tax] = true
+				r := rows[tax]
+				r.NCCerts++
+				if e.TrustedThen {
+					r.TrustedPct++ // numerator; normalized below
+				}
+				if e.Year >= 2024 {
+					r.Recent++
+				}
+				if e.Alive() {
+					r.Alive++
+				}
+			}
+			if f.Lint.Severity == lint.Error && !seenErr[tax] {
+				seenErr[tax] = true
+				rows[tax].ErrorCerts++
+			}
+			if f.Lint.Severity == lint.Warning && !seenWarn[tax] {
+				seenWarn[tax] = true
+				rows[tax].WarnCerts++
+			}
+		}
+	}
+	out := make([]TaxonomyRow, 0, len(rows))
+	for _, tax := range lint.Taxonomies() {
+		r := rows[tax]
+		if r.NCCerts > 0 {
+			r.TrustedPct = r.TrustedPct / float64(r.NCCerts) * 100
+		}
+		out = append(out, *r)
+	}
+	return out
+}
+
+// IssuerRow is one Table 2 line.
+type IssuerRow struct {
+	Organization string
+	Trust        TrustStatus
+	Region       string
+	Total        int
+	NC           int
+	NCRate       float64
+	Recent       int // NC certs issued 2024–2025
+}
+
+// Table2 ranks issuer organizations by noncompliant certificates.
+func (m *Measurement) Table2(topN int) []IssuerRow {
+	byOrg := make(map[string]*IssuerRow)
+	for i, e := range m.Corpus.Entries {
+		r := byOrg[e.IssuerOrg]
+		if r == nil {
+			r = &IssuerRow{Organization: e.IssuerOrg, Trust: e.Trust, Region: e.Region}
+			byOrg[e.IssuerOrg] = r
+		}
+		r.Total++
+		if m.Noncompliant(i) {
+			r.NC++
+			if e.Year >= 2024 {
+				r.Recent++
+			}
+		}
+	}
+	out := make([]IssuerRow, 0, len(byOrg))
+	for _, r := range byOrg {
+		if r.Total > 0 {
+			r.NCRate = float64(r.NC) / float64(r.Total) * 100
+		}
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NC != out[j].NC {
+			return out[i].NC > out[j].NC
+		}
+		return out[i].Organization < out[j].Organization
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// LintRow is one Table 11 line.
+type LintRow struct {
+	Name     string
+	Taxonomy lint.Taxonomy
+	New      bool
+	Severity lint.Severity
+	NCCerts  int
+}
+
+// Table11 counts noncompliant certificates per lint.
+func (m *Measurement) Table11(topN int) []LintRow {
+	counts := make(map[string]*LintRow)
+	for _, res := range m.Results {
+		for _, f := range res.Failed() {
+			r := counts[f.Lint.Name]
+			if r == nil {
+				r = &LintRow{Name: f.Lint.Name, Taxonomy: f.Lint.Taxonomy, New: f.Lint.New, Severity: f.Lint.Severity}
+				counts[f.Lint.Name] = r
+			}
+			r.NCCerts++
+		}
+	}
+	out := make([]LintRow, 0, len(counts))
+	for _, r := range counts {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].NCCerts != out[j].NCCerts {
+			return out[i].NCCerts > out[j].NCCerts
+		}
+		return out[i].Name < out[j].Name
+	})
+	if topN > 0 && len(out) > topN {
+		out = out[:topN]
+	}
+	return out
+}
+
+// YearRow is one Figure 2 series point.
+type YearRow struct {
+	Year      int
+	All       int
+	Trusted   int
+	NC        int
+	NCTrusted int
+	AliveAll  int
+	AliveNC   int
+}
+
+// Figure2 builds the issuance-trend series.
+func (m *Measurement) Figure2() []YearRow {
+	byYear := make(map[int]*YearRow)
+	for i, e := range m.Corpus.Entries {
+		r := byYear[e.Year]
+		if r == nil {
+			r = &YearRow{Year: e.Year}
+			byYear[e.Year] = r
+		}
+		r.All++
+		if e.TrustedThen {
+			r.Trusted++
+		}
+		if e.Alive() {
+			r.AliveAll++
+		}
+		if m.Noncompliant(i) {
+			r.NC++
+			if e.TrustedThen {
+				r.NCTrusted++
+			}
+			if e.Alive() {
+				r.AliveNC++
+			}
+		}
+	}
+	out := make([]YearRow, 0, len(byYear))
+	for _, r := range byYear {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Year < out[j].Year })
+	return out
+}
+
+// ValidityCDF returns sorted validity-period samples (days) for a
+// certificate class filter — the Figure 3 material.
+func (m *Measurement) ValidityCDF(filter func(i int, e *Entry) bool) []int {
+	var out []int
+	for i, e := range m.Corpus.Entries {
+		if filter(i, e) {
+			out = append(out, e.Cert.ValidityDays())
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// CDFAt evaluates an empirical CDF at x over sorted samples.
+func CDFAt(sorted []int, x int) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	n := sort.SearchInts(sorted, x+1)
+	return float64(n) / float64(len(sorted))
+}
+
+// FieldCell is one Figure 4 matrix cell.
+type FieldCell struct {
+	HasUnicode bool
+	Deviates   bool // darkest marker: deviation from standards
+}
+
+// Figure4 builds the issuer × field matrix of internationalized
+// content and standard deviations.
+func (m *Measurement) Figure4(minCerts int) map[string]map[string]FieldCell {
+	fields := map[string]func(e *Entry) (present, unicode bool){
+		"Subject.CN": dnFieldProbe(x509cert.OIDCommonName),
+		"Subject.O":  dnFieldProbe(x509cert.OIDOrganizationName),
+		"Subject.L":  dnFieldProbe(x509cert.OIDLocalityName),
+		"Subject.ST": dnFieldProbe(x509cert.OIDStateOrProvinceName),
+		"SAN.DNSName": func(e *Entry) (bool, bool) {
+			names := e.Cert.DNSNames()
+			for _, n := range names {
+				if uni.HasNonPrintableASCII(n) || len(n) > 4 && n[:4] == "xn--" {
+					return true, true
+				}
+			}
+			return len(names) > 0, false
+		},
+		"CertificatePolicies": func(e *Entry) (bool, bool) {
+			for _, p := range e.Cert.Policies {
+				for _, et := range p.ExplicitText {
+					if uni.HasNonPrintableASCII(et.Decode()) {
+						return true, true
+					}
+				}
+			}
+			return len(e.Cert.Policies) > 0, false
+		},
+	}
+	counts := map[string]int{}
+	for _, e := range m.Corpus.Entries {
+		counts[e.IssuerOrg]++
+	}
+	out := make(map[string]map[string]FieldCell)
+	for i, e := range m.Corpus.Entries {
+		if counts[e.IssuerOrg] < minCerts {
+			continue
+		}
+		row := out[e.IssuerOrg]
+		if row == nil {
+			row = make(map[string]FieldCell)
+			out[e.IssuerOrg] = row
+		}
+		nc := m.Noncompliant(i)
+		for name, probe := range fields {
+			_, unicode := probe(e)
+			cell := row[name]
+			if unicode {
+				cell.HasUnicode = true
+				if nc {
+					cell.Deviates = true
+				}
+			}
+			row[name] = cell
+		}
+	}
+	return out
+}
+
+func dnFieldProbe(oid asn1der.OID) func(e *Entry) (bool, bool) {
+	return func(e *Entry) (bool, bool) {
+		present := false
+		for _, atv := range e.Cert.Subject.Attributes() {
+			if !atv.Type.Equal(oid) {
+				continue
+			}
+			present = true
+			if uni.HasNonPrintableASCII(atv.Value.MustDecode()) ||
+				atv.Value.Tag == asn1der.TagBMPString || atv.Value.Tag == asn1der.TagTeletexString {
+				return true, true
+			}
+		}
+		return present, false
+	}
+}
+
+// Table3 counts detected Subject variant pairs by strategy.
+func (m *Measurement) Table3() map[VariantStrategy]int {
+	out := make(map[VariantStrategy]int)
+	for _, e := range m.Corpus.Entries {
+		if e.Variant != VariantNone {
+			out[e.Variant]++
+		}
+	}
+	return out
+}
+
+// RunLinterParallel is RunLinter fanned out across workers; results are
+// identical and order-stable. The full-scale corpus (34,800+ entries ×
+// 95 lints) is embarrassingly parallel.
+func RunLinterParallel(c *Corpus, reg *lint.Registry, opts lint.Options, workers int) *Measurement {
+	if workers <= 1 {
+		return RunLinter(c, reg, opts)
+	}
+	m := &Measurement{Corpus: c, Results: make([]*lint.CertResult, len(c.Entries))}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				m.Results[i] = reg.Run(c.Entries[i].Cert, opts)
+			}
+		}()
+	}
+	for i := range c.Entries {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return m
+}

@@ -1,0 +1,219 @@
+package corpus
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/strenc"
+	"repro/internal/uni"
+	"repro/internal/x509cert"
+)
+
+// VariantStrategy is one of the Table 3 Subject value variant
+// strategies CAs accepted without strict validation (F5).
+type VariantStrategy int
+
+// Variant strategies, in Table 3 order.
+const (
+	VariantNone VariantStrategy = iota
+	VariantCaseConversion
+	VariantAbbreviation
+	VariantNonPrintableAddition
+	VariantWhitespaceSubstitution
+	VariantResemblingSubstitution
+	VariantIllegalReplacement
+	numVariantStrategies
+)
+
+// VariantStrategies lists the six active strategies.
+func VariantStrategies() []VariantStrategy {
+	out := make([]VariantStrategy, 0, int(numVariantStrategies)-1)
+	for v := VariantCaseConversion; v < numVariantStrategies; v++ {
+		out = append(out, v)
+	}
+	return out
+}
+
+func (v VariantStrategy) String() string {
+	switch v {
+	case VariantCaseConversion:
+		return "Character case conversion"
+	case VariantAbbreviation:
+		return "Abbreviation variations"
+	case VariantNonPrintableAddition:
+		return "Addition of non-printable characters"
+	case VariantWhitespaceSubstitution:
+		return "Use of different whitespace characters"
+	case VariantResemblingSubstitution:
+		return "Substitution of resembling characters"
+	case VariantIllegalReplacement:
+		return "Replacement of illegal characters"
+	default:
+		return "none"
+	}
+}
+
+// ApplyVariant transforms an organization name per the strategy.
+func ApplyVariant(v VariantStrategy, org string) string {
+	switch v {
+	case VariantCaseConversion:
+		if org == strings.ToUpper(org) {
+			return strings.ToLower(org)
+		}
+		return strings.ToUpper(org)
+	case VariantAbbreviation:
+		repl := strings.NewReplacer(
+			"GmbH", "Gesellschaft mbH", "Ltd", "Limited", "s.r.o.", "a.s.",
+			"LLC", "L.L.C.", "Inc.", "Incorporated", "S.A.", "SA",
+		)
+		out := repl.Replace(org)
+		if out == org {
+			out = org + " Ltd."
+		}
+		return out
+	case VariantNonPrintableAddition:
+		mid := len(org) / 2
+		return org[:mid] + " " + org[mid:]
+	case VariantWhitespaceSubstitution:
+		if strings.Contains(org, " ") {
+			return strings.Replace(org, " ", "　", 1)
+		}
+		return org + " "
+	case VariantResemblingSubstitution:
+		repl := strings.NewReplacer("-", "–", "™", "®", ":", " ")
+		out := repl.Replace(org)
+		if out == org {
+			out = strings.Replace(org, "e", "е", 1) // Cyrillic е
+		}
+		return out
+	case VariantIllegalReplacement:
+		for _, r := range org {
+			if r > 0x7F {
+				return strings.Replace(org, string(r), "�", 1)
+			}
+		}
+		return org + "�"
+	default:
+		return org
+	}
+}
+
+// generateVariant issues a sibling certificate whose Subject O is a
+// strategy-mutated variant of base's.
+func generateVariant(rng *rand.Rand, p IssuerProfile, caKey, leafKey *x509cert.KeyPair, base *Entry, serial int64) (*Entry, error) {
+	strat := VariantStrategies()[rng.Intn(len(VariantStrategies()))]
+	org := base.Cert.Subject.First(x509cert.OIDOrganizationName)
+	if org == "" {
+		org = sampleOrgText(rng, p, ClassOtherUnicert)
+	}
+	variant := ApplyVariant(strat, org)
+	notBefore := base.Cert.NotBefore.Add(24 * time.Hour)
+	tpl := &x509cert.Template{
+		SerialNumber: big.NewInt(serial),
+		Issuer:       base.Cert.Issuer,
+		Subject: x509cert.SimpleDN(
+			x509cert.TextATV(x509cert.OIDCommonName, base.Cert.Subject.CommonName()),
+			x509cert.TextATV(x509cert.OIDOrganizationName, variant),
+			x509cert.PrintableATV(x509cert.OIDCountryName, regionCode(p.Region)),
+		),
+		NotBefore: notBefore,
+		NotAfter:  notBefore.AddDate(1, 0, 0),
+		SAN:       base.Cert.SAN,
+	}
+	der, err := x509cert.Build(tpl, caKey, leafKey)
+	if err != nil {
+		return nil, err
+	}
+	cert, err := x509cert.Parse(der)
+	if err != nil {
+		return nil, err
+	}
+	return &Entry{
+		DER: der, Cert: cert, IssuerOrg: p.Organization, Trust: p.Trust,
+		TrustedThen: p.Trust == TrustPublic || p.TrustedAtIssuance,
+		Region:      p.Region, Year: base.Year, Class: ClassOtherUnicert, Variant: strat,
+	}, nil
+}
+
+// DetectVariantStrategy classifies how two subject values differ,
+// powering the Table 3 reproduction. It returns VariantNone when the
+// strings are identical or unrelated.
+func DetectVariantStrategy(a, b string) VariantStrategy {
+	if a == b {
+		return VariantNone
+	}
+	if strings.EqualFold(a, b) {
+		return VariantCaseConversion
+	}
+	stripSpace := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			if r == ' ' || uni.IsWhitespaceVariant(r) {
+				return -1
+			}
+			return r
+		}, s)
+	}
+	stripInvisible := func(s string) string {
+		return strings.Map(func(r rune) rune {
+			if uni.IsInvisibleLayout(r) || r == ' ' {
+				return -1
+			}
+			return r
+		}, s)
+	}
+	if stripInvisible(a) == stripInvisible(b) {
+		return VariantNonPrintableAddition
+	}
+	if stripSpace(a) == stripSpace(b) {
+		return VariantWhitespaceSubstitution
+	}
+	if strings.ContainsRune(a, strenc.ReplacementChar) != strings.ContainsRune(b, strenc.ReplacementChar) {
+		ra := strings.ReplaceAll(a, string(strenc.ReplacementChar), "")
+		rb := strings.ReplaceAll(b, string(strenc.ReplacementChar), "")
+		if len(ra) != len(a) || len(rb) != len(b) {
+			return VariantIllegalReplacement
+		}
+	}
+	if uni.IsHomographOf(a, b) || skeletonFold(a) == skeletonFold(b) {
+		return VariantResemblingSubstitution
+	}
+	if abbreviationRelated(a, b) {
+		return VariantAbbreviation
+	}
+	return VariantNone
+}
+
+func skeletonFold(s string) string {
+	folded := uni.Skeleton(s)
+	// Also fold dash variants for the "EDP -" family.
+	return strings.Map(func(r rune) rune {
+		if uni.IsDashVariant(r) {
+			return '-'
+		}
+		return r
+	}, folded)
+}
+
+var legalForms = []string{
+	"gesellschaft mbh", "gmbh", "limited", "ltd.", "ltd", "l.l.c.", "llc",
+	"incorporated", "inc.", "inc", "s.r.o.", "a.s.", "s.a.", "sa", "000", "ooo",
+}
+
+func abbreviationRelated(a, b string) bool {
+	norm := func(s string) string {
+		s = strings.ToLower(s)
+		for _, f := range legalForms {
+			s = strings.ReplaceAll(s, f, "")
+		}
+		return strings.Join(strings.Fields(strings.Map(func(r rune) rune {
+			if r == ',' || r == '.' {
+				return ' '
+			}
+			return r
+		}, s)), " ")
+	}
+	na, nb := norm(a), norm(b)
+	return na != "" && na == nb
+}

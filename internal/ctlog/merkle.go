@@ -1,0 +1,200 @@
+// Package ctlog is an RFC 6962-style Certificate Transparency substrate:
+// a Merkle hash tree with inclusion and consistency proofs, an
+// append-only log that issues SCTs, and the precertificate handling the
+// paper's dataset pipeline relies on (§4.1 filters precertificates by
+// their CT poison extension before analysis).
+package ctlog
+
+import (
+	"crypto/sha256"
+	"errors"
+)
+
+// Hash is a Merkle tree node hash.
+type Hash = [sha256.Size]byte
+
+// Domain-separation prefixes, RFC 6962 §2.1.
+const (
+	leafPrefix = 0x00
+	nodePrefix = 0x01
+)
+
+// LeafHash computes the RFC 6962 leaf hash of data.
+func LeafHash(data []byte) Hash {
+	h := sha256.New()
+	h.Write([]byte{leafPrefix})
+	h.Write(data)
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+func nodeHash(left, right Hash) Hash {
+	h := sha256.New()
+	h.Write([]byte{nodePrefix})
+	h.Write(left[:])
+	h.Write(right[:])
+	var out Hash
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Tree is an append-only Merkle tree over leaf hashes.
+type Tree struct {
+	leaves []Hash
+}
+
+// Append adds a leaf hash and returns its index.
+func (t *Tree) Append(leaf Hash) int {
+	t.leaves = append(t.leaves, leaf)
+	return len(t.leaves) - 1
+}
+
+// Size returns the number of leaves.
+func (t *Tree) Size() int { return len(t.leaves) }
+
+// Root computes the Merkle tree hash of the first n leaves (RFC 6962
+// §2.1). Root of an empty tree is SHA-256 of the empty string.
+func (t *Tree) Root(n int) (Hash, error) {
+	if n < 0 || n > len(t.leaves) {
+		return Hash{}, errors.New("ctlog: size out of range")
+	}
+	return subtreeRoot(t.leaves[:n]), nil
+}
+
+func subtreeRoot(leaves []Hash) Hash {
+	switch len(leaves) {
+	case 0:
+		return sha256.Sum256(nil)
+	case 1:
+		return leaves[0]
+	}
+	k := largestPowerOfTwoBelow(len(leaves))
+	return nodeHash(subtreeRoot(leaves[:k]), subtreeRoot(leaves[k:]))
+}
+
+func largestPowerOfTwoBelow(n int) int {
+	k := 1
+	for k*2 < n {
+		k *= 2
+	}
+	return k
+}
+
+// InclusionProof returns the audit path for leaf index i in a tree of
+// size n (RFC 6962 §2.1.1).
+func (t *Tree) InclusionProof(i, n int) ([]Hash, error) {
+	if n < 1 || n > len(t.leaves) || i < 0 || i >= n {
+		return nil, errors.New("ctlog: index/size out of range")
+	}
+	return path(i, t.leaves[:n]), nil
+}
+
+func path(i int, leaves []Hash) []Hash {
+	if len(leaves) <= 1 {
+		return nil
+	}
+	k := largestPowerOfTwoBelow(len(leaves))
+	if i < k {
+		return append(path(i, leaves[:k]), subtreeRoot(leaves[k:]))
+	}
+	return append(path(i-k, leaves[k:]), subtreeRoot(leaves[:k]))
+}
+
+// VerifyInclusion checks an audit path against a root, following the
+// bottom-up algorithm of RFC 9162 §2.1.3.2.
+func VerifyInclusion(leaf Hash, i, n int, proof []Hash, root Hash) bool {
+	if i < 0 || i >= n {
+		return false
+	}
+	fn, sn := i, n-1
+	r := leaf
+	for _, p := range proof {
+		if sn == 0 {
+			return false
+		}
+		if fn%2 == 1 || fn == sn {
+			r = nodeHash(p, r)
+			if fn%2 == 0 {
+				for fn != 0 && fn%2 == 0 {
+					fn >>= 1
+					sn >>= 1
+				}
+			}
+		} else {
+			r = nodeHash(r, p)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	return sn == 0 && r == root
+}
+
+// ConsistencyProof returns the proof that the tree of size m is a
+// prefix of the tree of size n (RFC 6962 §2.1.2).
+func (t *Tree) ConsistencyProof(m, n int) ([]Hash, error) {
+	if m < 1 || m > n || n > len(t.leaves) {
+		return nil, errors.New("ctlog: sizes out of range")
+	}
+	return consistency(m, t.leaves[:n], true), nil
+}
+
+func consistency(m int, leaves []Hash, complete bool) []Hash {
+	n := len(leaves)
+	if m == n {
+		if complete {
+			return nil
+		}
+		return []Hash{subtreeRoot(leaves)}
+	}
+	k := largestPowerOfTwoBelow(n)
+	if m <= k {
+		return append(consistency(m, leaves[:k], complete), subtreeRoot(leaves[k:]))
+	}
+	return append(consistency(m-k, leaves[k:], false), subtreeRoot(leaves[:k]))
+}
+
+// VerifyConsistency checks a consistency proof between two roots,
+// following RFC 9162 §2.1.4.2.
+func VerifyConsistency(m, n int, oldRoot, newRoot Hash, proof []Hash) bool {
+	if m < 1 || m > n {
+		return false
+	}
+	if m == n {
+		return oldRoot == newRoot && len(proof) == 0
+	}
+	path := proof
+	// If m is an exact power of two, the old root itself starts the path.
+	if m&(m-1) == 0 {
+		path = append([]Hash{oldRoot}, proof...)
+	}
+	if len(path) == 0 {
+		return false
+	}
+	fn, sn := m-1, n-1
+	for fn%2 == 1 {
+		fn >>= 1
+		sn >>= 1
+	}
+	fr, sr := path[0], path[0]
+	for _, c := range path[1:] {
+		if sn == 0 {
+			return false
+		}
+		if fn%2 == 1 || fn == sn {
+			fr = nodeHash(c, fr)
+			sr = nodeHash(c, sr)
+			if fn%2 == 0 {
+				for fn != 0 && fn%2 == 0 {
+					fn >>= 1
+					sn >>= 1
+				}
+			}
+		} else {
+			sr = nodeHash(sr, c)
+		}
+		fn >>= 1
+		sn >>= 1
+	}
+	return sn == 0 && fr == oldRoot && sr == newRoot
+}

@@ -1,0 +1,207 @@
+package ctlog
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*Log, *httptest.Server) {
+	t.Helper()
+	log, err := NewLog(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer((&Server{Log: log}).Handler())
+	t.Cleanup(srv.Close)
+	return log, srv
+}
+
+func TestAddChainAndGetSTH(t *testing.T) {
+	_, srv := newTestServer(t)
+	der := buildTestCert(t, false)
+	body, _ := json.Marshal(map[string][]string{
+		"chain": {base64.StdEncoding.EncodeToString(der)},
+	})
+	resp, err := http.Post(srv.URL+"/ct/v1/add-chain", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("add-chain: %s", resp.Status)
+	}
+	var sct struct {
+		LogID     string `json:"id"`
+		Signature string `json:"signature"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sct); err != nil {
+		t.Fatal(err)
+	}
+	if sct.LogID == "" || sct.Signature == "" {
+		t.Fatal("empty SCT fields")
+	}
+	cl := &Client{Base: srv.URL}
+	size, root, err := cl.GetSTH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 1 || root == (Hash{}) {
+		t.Fatalf("size %d root %x", size, root)
+	}
+}
+
+func TestGetEntriesInclusiveRange(t *testing.T) {
+	log, srv := newTestServer(t)
+	der := buildTestCert(t, false)
+	pre := buildTestCert(t, true)
+	for i := 0; i < 3; i++ {
+		if _, err := log.Add(der); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := log.Add(pre); err != nil {
+		t.Fatal(err)
+	}
+	cl := &Client{Base: srv.URL}
+	entries, err := cl.GetEntries(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries %d", len(entries))
+	}
+	if !entries[2].Precert {
+		t.Fatal("precert flag lost over HTTP")
+	}
+	if !bytes.Equal(entries[0].DER, der) {
+		t.Fatal("DER mangled in transit")
+	}
+}
+
+func TestGetProofByHash(t *testing.T) {
+	log, srv := newTestServer(t)
+	target := buildTestCert(t, false)
+	for i := 0; i < 8; i++ {
+		if _, err := log.Add(target); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h := LeafHash(target)
+	url := srv.URL + "/ct/v1/get-proof-by-hash?tree_size=8&hash=" + queryEscapeB64(h[:])
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("get-proof: %s", resp.Status)
+	}
+	var pr struct {
+		LeafIndex int      `json:"leaf_index"`
+		AuditPath []string `json:"audit_path"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		t.Fatal(err)
+	}
+	// All entries share the same DER here, so index 0 matches first.
+	proof := make([]Hash, 0, len(pr.AuditPath))
+	for _, p := range pr.AuditPath {
+		raw, err := base64.StdEncoding.DecodeString(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hh Hash
+		copy(hh[:], raw)
+		proof = append(proof, hh)
+	}
+	root, _ := log.tree.Root(8)
+	if !VerifyInclusion(h, pr.LeafIndex, 8, proof, root) {
+		t.Fatal("HTTP-delivered proof does not verify")
+	}
+}
+
+func TestGetConsistencyOverHTTP(t *testing.T) {
+	log, srv := newTestServer(t)
+	der := buildTestCert(t, false)
+	for i := 0; i < 6; i++ {
+		if _, err := log.Add(der); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err := http.Get(srv.URL + "/ct/v1/get-sth-consistency?first=3&second=6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("consistency: %s", resp.Status)
+	}
+	var cr struct {
+		Consistency []string `json:"consistency"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
+		t.Fatal(err)
+	}
+	proof := make([]Hash, 0, len(cr.Consistency))
+	for _, p := range cr.Consistency {
+		raw, _ := base64.StdEncoding.DecodeString(p)
+		var hh Hash
+		copy(hh[:], raw)
+		proof = append(proof, hh)
+	}
+	oldRoot, _ := log.tree.Root(3)
+	newRoot, _ := log.tree.Root(6)
+	if !VerifyConsistency(3, 6, oldRoot, newRoot, proof) {
+		t.Fatal("HTTP-delivered consistency proof does not verify")
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, srv := newTestServer(t)
+	for _, path := range []string{
+		"/ct/v1/get-entries?start=a&end=b",
+		"/ct/v1/get-entries?start=0&end=99",
+		"/ct/v1/get-proof-by-hash?tree_size=1&hash=!!!",
+		"/ct/v1/get-sth-consistency?first=9&second=1",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			t.Errorf("%s should fail", path)
+		}
+	}
+	// add-chain rejects GET and garbage.
+	resp, err := http.Get(srv.URL + "/ct/v1/add-chain")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("GET add-chain should fail")
+	}
+}
+
+func queryEscapeB64(b []byte) string {
+	s := base64.StdEncoding.EncodeToString(b)
+	out := ""
+	for _, c := range s {
+		switch c {
+		case '+':
+			out += "%2B"
+		case '/':
+			out += "%2F"
+		case '=':
+			out += "%3D"
+		default:
+			out += string(c)
+		}
+	}
+	return out
+}

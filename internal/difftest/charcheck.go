@@ -1,0 +1,400 @@
+package difftest
+
+// Character-checking and escaping analysis (§5.2, Table 5).
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"time"
+
+	"repro/internal/asn1der"
+	"repro/internal/certgen"
+	"repro/internal/strenc"
+	"repro/internal/tlsimpl"
+	"repro/internal/x509cert"
+)
+
+// ViolationKind is a Table 5 row.
+type ViolationKind int
+
+// Table 5 rows.
+const (
+	IllegalDNPrintable ViolationKind = iota
+	IllegalDNIA5
+	IllegalDNBMP
+	IllegalGNIA5
+	EscapeDN2253
+	EscapeDN4514
+	EscapeDN1779
+	EscapeGN2253
+	EscapeGN4514
+	EscapeGN1779
+	numViolationKinds
+)
+
+// ViolationKinds lists all Table 5 rows in order.
+func ViolationKinds() []ViolationKind {
+	out := make([]ViolationKind, numViolationKinds)
+	for i := range out {
+		out[i] = ViolationKind(i)
+	}
+	return out
+}
+
+func (k ViolationKind) String() string {
+	names := [...]string{
+		"Illegal chars in DN / PrintableString",
+		"Illegal chars in DN / IA5String",
+		"Illegal chars in DN / BMPString",
+		"Illegal chars in GN / IA5String",
+		"Non-standard escaping in DN / RFC2253",
+		"Non-standard escaping in DN / RFC4514",
+		"Non-standard escaping in DN / RFC1779",
+		"Non-standard escaping in GN / RFC2253",
+		"Non-standard escaping in GN / RFC4514",
+		"Non-standard escaping in GN / RFC1779",
+	}
+	if int(k) < len(names) {
+		return names[int(k)]
+	}
+	return "ViolationKind?"
+}
+
+// IsEscaping reports whether the row audits text escaping.
+func (k ViolationKind) IsEscaping() bool { return k >= EscapeDN2253 }
+
+func (k ViolationKind) style() strenc.EscapeStyle {
+	switch k {
+	case EscapeDN2253, EscapeGN2253:
+		return strenc.RFC2253
+	case EscapeDN4514, EscapeGN4514:
+		return strenc.RFC4514
+	default:
+		return strenc.RFC1779
+	}
+}
+
+// ViolationClass is a Table 5 cell.
+type ViolationClass int
+
+// Cell classes, matching the paper's legend.
+const (
+	NoViolation ViolationClass = iota
+	Unexploited
+	Exploited
+	NotApplicable
+)
+
+func (c ViolationClass) String() string {
+	switch c {
+	case NoViolation:
+		return "ok"
+	case Unexploited:
+		return "violation"
+	case Exploited:
+		return "exploited"
+	default:
+		return "-"
+	}
+}
+
+// Symbol returns the paper's glyph.
+func (c ViolationClass) Symbol() string {
+	switch c {
+	case NoViolation:
+		return "○"
+	case Unexploited:
+		return "⊙"
+	case Exploited:
+		return "⊗"
+	default:
+		return "-"
+	}
+}
+
+// CharFinding is one (row, library) Table 5 cell.
+type CharFinding struct {
+	Kind    ViolationKind
+	Library tlsimpl.Library
+	Class   ViolationClass
+	Detail  string
+}
+
+// CheckViolation evaluates one Table 5 cell.
+func (h *Harness) CheckViolation(p tlsimpl.Parser, kind ViolationKind) (CharFinding, error) {
+	f := CharFinding{Kind: kind, Library: p.Library()}
+	if kind.IsEscaping() {
+		return h.checkEscaping(p, kind)
+	}
+	var (
+		field certgen.Field
+		tag   int
+		raw   []byte
+		bad   string // substring whose verbatim presence means "accepted"
+	)
+	switch kind {
+	case IllegalDNPrintable:
+		field, tag = certgen.FieldSubjectOrganization, asn1der.TagPrintableString
+		raw, bad = []byte("Org@Home*Co"), "@"
+	case IllegalDNIA5:
+		field, tag = certgen.FieldSubjectOrganization, asn1der.TagIA5String
+		raw, bad = []byte{'O', 'r', 'g', 0xE9, 'X'}, "" // 8-bit byte; any non-error output counts
+	case IllegalDNBMP:
+		field, tag = certgen.FieldSubjectOrganization, asn1der.TagBMPString
+		raw, bad = []byte{0xD8, 0x00, 0x00, 'A'}, "" // lone surrogate
+	case IllegalGNIA5:
+		field, tag = certgen.FieldSANDNSName, asn1der.TagIA5String
+		raw, bad = []byte("bad domain!.com"), " "
+	}
+	if field == certgen.FieldSANDNSName && !p.Supports(tlsimpl.FieldSAN) {
+		f.Class = NotApplicable
+		return f, nil
+	}
+	if field == certgen.FieldSubjectOrganization && !p.Supports(tlsimpl.FieldSubject) {
+		f.Class = NotApplicable
+		return f, nil
+	}
+	tc, err := h.gen.GenerateRaw(field, tag, raw)
+	if err != nil {
+		return f, err
+	}
+	out, err := p.Parse(tc.DER)
+	if err != nil {
+		// The library flagged the illegal content — compliant.
+		f.Class = NoViolation
+		f.Detail = "rejected: " + err.Error()
+		return f, nil
+	}
+	v, ok := fieldValue(scenarioFor(field), out)
+	if !ok {
+		f.Class = NoViolation
+		f.Detail = "field dropped"
+		return f, nil
+	}
+	switch {
+	case strings.Contains(v, `\x`):
+		// Escaped output signals the invalid content — treated as
+		// handled.
+		f.Class = NoViolation
+		f.Detail = "escaped: " + v
+	case bad != "" && strings.Contains(v, bad):
+		f.Class = Unexploited
+		f.Detail = fmt.Sprintf("accepted %q", v)
+	case bad == "":
+		// Undecodable probe accepted without an error (verbatim or
+		// silently replaced): the violation of §5.2 class (1).
+		f.Class = Unexploited
+		f.Detail = fmt.Sprintf("accepted %q", v)
+	default:
+		f.Class = NoViolation
+		f.Detail = fmt.Sprintf("sanitized %q", v)
+	}
+	return f, nil
+}
+
+func scenarioFor(field certgen.Field) Scenario {
+	if field == certgen.FieldSANDNSName {
+		return Scenario{Field: certgen.FieldSANDNSName}
+	}
+	return Scenario{Field: certgen.FieldSubjectOrganization}
+}
+
+// checkEscaping audits DN/GN text rendering against a standard's
+// escaping rules and probes exploitability by attribute injection.
+func (h *Harness) checkEscaping(p tlsimpl.Parser, kind ViolationKind) (CharFinding, error) {
+	f := CharFinding{Kind: kind, Library: p.Library()}
+	style := kind.style()
+	isGN := kind >= EscapeGN2253
+
+	if isGN {
+		if !p.Supports(tlsimpl.FieldSAN) {
+			f.Class = NotApplicable
+			return f, nil
+		}
+		// Subfield-forgery payload of §5.2: one DNSName whose text
+		// embeds a second entry.
+		payload := "a.com, DNS:b.com"
+		tc, err := h.gen.Generate(certgen.FieldSANDNSName, asn1der.TagIA5String, payload)
+		if err != nil {
+			return f, err
+		}
+		out, err := p.Parse(tc.DER)
+		if err != nil {
+			f.Class = NoViolation
+			return f, nil
+		}
+		if out.SANText == "" {
+			// Structured-only APIs cannot commit text-escaping
+			// violations.
+			f.Class = NotApplicable
+			return f, nil
+		}
+		entries := strings.Split(out.SANText, ", ")
+		forged := 0
+		for _, e := range entries {
+			// A naive string-based analyzer accepts an entry as a forged
+			// subfield only when it looks like a clean "DNS:<domain>";
+			// quoting (Node's rendering) breaks that shape.
+			if name, ok := strings.CutPrefix(e, "DNS:"); ok && !strings.ContainsAny(name, "\"") {
+				forged++
+			}
+		}
+		switch {
+		case forged > 1:
+			f.Class = Exploited
+			f.Detail = fmt.Sprintf("text %q splits into %d DNS entries", out.SANText, forged)
+		case strenc.NeedsEscaping(style, payload) && !strings.Contains(out.SANText, `\,`):
+			// RFC escaping absent. Quoting (Node) blocks the forgery but
+			// still deviates from the standard representation.
+			f.Class = Unexploited
+			f.Detail = "separator not RFC-escaped: " + out.SANText
+		default:
+			f.Class = NoViolation
+		}
+		return f, nil
+	}
+
+	if !p.Supports(tlsimpl.FieldSubject) {
+		f.Class = NotApplicable
+		return f, nil
+	}
+	// Per-style probe values: the characters whose escaping the style
+	// uniquely mandates.
+	var payload string
+	switch style {
+	case strenc.RFC4514:
+		payload = "Acme\x00Corp, West" // \00 rule
+	case strenc.RFC1779:
+		payload = `Acme = "West", Ltd` // '=' escaping
+	default:
+		payload = `Acme, "West" <1+1>`
+	}
+	tc, err := h.gen.Generate(certgen.FieldSubjectOrganization, asn1der.TagUTF8String, payload)
+	if err != nil {
+		return f, err
+	}
+	out, err := p.Parse(tc.DER)
+	if err != nil {
+		f.Class = NoViolation
+		return f, nil
+	}
+	if out.SubjectOneLine == "" {
+		f.Class = NotApplicable // structured-only API
+		return f, nil
+	}
+	want := strenc.EscapeValue(style, payload)
+	if strings.Contains(out.SubjectOneLine, want) {
+		f.Class = NoViolation
+		return f, nil
+	}
+	// Violation confirmed. Probe exploitability: infer the library's
+	// attribute separator from a benign rendering, then inject it.
+	sep, err := h.inferSeparator(p)
+	if err != nil || sep == "" {
+		f.Class = Unexploited
+		f.Detail = fmt.Sprintf("missing %s escaping in %q", style, out.SubjectOneLine)
+		return f, nil
+	}
+	inj := "evil" + sep + "CN=forged.com"
+	tc2, err := h.gen.Generate(certgen.FieldSubjectOrganization, asn1der.TagUTF8String, inj)
+	if err != nil {
+		return f, err
+	}
+	out2, err := p.Parse(tc2.DER)
+	if err == nil && containsUnescaped(out2.SubjectOneLine, sep+"CN=forged.com") {
+		f.Class = Exploited
+		f.Detail = fmt.Sprintf("injected attribute visible in %q", out2.SubjectOneLine)
+		return f, nil
+	}
+	f.Class = Unexploited
+	f.Detail = fmt.Sprintf("missing %s escaping in %q", style, out.SubjectOneLine)
+	return f, nil
+}
+
+// inferSeparator recovers a text renderer's attribute separator from a
+// benign two-attribute subject, black-box style.
+func (h *Harness) inferSeparator(p tlsimpl.Parser) (string, error) {
+	der, err := h.benignTwoAttrCert()
+	if err != nil {
+		return "", err
+	}
+	out, err := p.Parse(der)
+	if err != nil || out.SubjectOneLine == "" {
+		return "", err
+	}
+	line := out.SubjectOneLine
+	oIdx := strings.Index(line, "O=benignorg")
+	cnIdx := strings.Index(line, "CN=benigncn")
+	if cnIdx < 0 || oIdx <= cnIdx {
+		return "", nil
+	}
+	// Separator is whatever sits between the end of the CN value and
+	// the "O=" that follows.
+	return line[cnIdx+len("CN=benigncn") : oIdx], nil
+}
+
+// benignTwoAttrCert builds (once) a compliant certificate whose subject
+// carries both a CN and an O, for separator inference.
+func (h *Harness) benignTwoAttrCert() ([]byte, error) {
+	if h.benignDER != nil {
+		return h.benignDER, nil
+	}
+	caKey, err := x509cert.GenerateKey(9901)
+	if err != nil {
+		return nil, err
+	}
+	leafKey, err := x509cert.GenerateKey(9902)
+	if err != nil {
+		return nil, err
+	}
+	tpl := &x509cert.Template{
+		SerialNumber: big.NewInt(77),
+		Issuer:       x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "Sep CA")),
+		Subject: x509cert.SimpleDN(
+			x509cert.TextATV(x509cert.OIDCommonName, "benigncn"),
+			x509cert.TextATV(x509cert.OIDOrganizationName, "benignorg"),
+		),
+		NotBefore: time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:  time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC),
+		SAN:       []x509cert.GeneralName{x509cert.DNSName("benigncn")},
+	}
+	der, err := x509cert.Build(tpl, caKey, leafKey)
+	if err != nil {
+		return nil, err
+	}
+	h.benignDER = der
+	return der, nil
+}
+
+// containsUnescaped reports whether needle occurs in s without an
+// immediately preceding backslash (a standards-aware analyzer treats
+// the escaped form as data).
+func containsUnescaped(s, needle string) bool {
+	for idx := strings.Index(s, needle); idx >= 0; {
+		if idx == 0 || s[idx-1] != '\\' {
+			return true
+		}
+		next := strings.Index(s[idx+1:], needle)
+		if next < 0 {
+			return false
+		}
+		idx += 1 + next
+	}
+	return false
+}
+
+// Table5 evaluates the full violation matrix.
+func (h *Harness) Table5() ([]CharFinding, error) {
+	var out []CharFinding
+	for _, kind := range ViolationKinds() {
+		for _, p := range h.parsers {
+			f, err := h.CheckViolation(p, kind)
+			if err != nil {
+				return nil, fmt.Errorf("difftest: %s/%s: %v", kind, p.Library(), err)
+			}
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}

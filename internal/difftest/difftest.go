@@ -1,0 +1,319 @@
+// Package difftest is the differential-testing harness of §3.2: it
+// generates probe Unicerts, runs them through the nine TLS library
+// models, infers each library's decoding method and special-character
+// handling from the observable outputs (Table 4), and classifies
+// character-checking and escaping violations (Table 5).
+package difftest
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asn1der"
+	"repro/internal/certgen"
+	"repro/internal/strenc"
+	"repro/internal/tlsimpl"
+)
+
+// Scenario is one encoding scenario of Table 4.
+type Scenario struct {
+	Name  string
+	Field certgen.Field
+	Tag   int
+}
+
+// Scenarios returns the Table 4 rows: the four DirectoryString
+// encodings in the DN plus the IA5String GeneralName carriers of
+// Appendix E (DNSName, RFC822Name, and the CRL distribution point).
+func Scenarios() []Scenario {
+	return []Scenario{
+		{"PrintableString in Name", certgen.FieldSubjectOrganization, asn1der.TagPrintableString},
+		{"IA5String in Name", certgen.FieldSubjectOrganization, asn1der.TagIA5String},
+		{"BMPString in Name", certgen.FieldSubjectOrganization, asn1der.TagBMPString},
+		{"UTF8String in Name", certgen.FieldSubjectOrganization, asn1der.TagUTF8String},
+		{"IA5String in GN", certgen.FieldSANDNSName, asn1der.TagIA5String},
+		{"IA5String in GN (RFC822Name)", certgen.FieldSANEmail, asn1der.TagIA5String},
+		{"IA5String in CRLDP", certgen.FieldCRLDistributionPoint, asn1der.TagIA5String},
+	}
+}
+
+// DecodeClass is a Table 4 cell classification.
+type DecodeClass int
+
+// Decode classes, matching the paper's legend.
+const (
+	DecodeNoIssue DecodeClass = iota
+	DecodeOverTolerant
+	DecodeIncompatible
+	DecodeModified
+	DecodeUnsupported
+	DecodeParseFailure
+)
+
+func (c DecodeClass) String() string {
+	switch c {
+	case DecodeNoIssue:
+		return "ok"
+	case DecodeOverTolerant:
+		return "over-tolerant"
+	case DecodeIncompatible:
+		return "incompatible"
+	case DecodeModified:
+		return "modified"
+	case DecodeUnsupported:
+		return "-"
+	case DecodeParseFailure:
+		return "parse-failure"
+	default:
+		return "?"
+	}
+}
+
+// Symbol returns the paper's table glyph.
+func (c DecodeClass) Symbol() string {
+	switch c {
+	case DecodeNoIssue:
+		return "○"
+	case DecodeOverTolerant:
+		return "◐"
+	case DecodeIncompatible:
+		return "⊗"
+	case DecodeModified:
+		return "⊙"
+	case DecodeParseFailure:
+		return "✕"
+	default:
+		return "-"
+	}
+}
+
+// DecodeFinding is one inferred (scenario, library) result.
+type DecodeFinding struct {
+	Scenario Scenario
+	Library  tlsimpl.Library
+	// Method is the inferred decoding method.
+	Method strenc.Method
+	// Handling is the inferred special-character handling.
+	Handling strenc.Handling
+	// Classes carries every classification that applies (a library can
+	// be both incompatible and modified, as OpenSSL's BMPString row is).
+	Classes []DecodeClass
+}
+
+// HasClass reports whether the finding carries the class.
+func (f DecodeFinding) HasClass(c DecodeClass) bool {
+	for _, x := range f.Classes {
+		if x == c {
+			return true
+		}
+	}
+	return false
+}
+
+// probes are the byte patterns that tell the five decoding methods
+// apart (§3.2 "inferring decoding methods").
+var probes = [][]byte{
+	[]byte("plain-ascii"),
+	{'t', 0xC3, 0xA9, 't'},               // UTF-8 é / Latin-1 "Ã©" / ASCII invalid
+	{'a', 0xE9, 'b'},                     // Latin-1 é / invalid UTF-8
+	{0x00, 'g', 0x00, 'o'},               // UCS-2 "go" / ASCII "\x00g\x00o"
+	{0xD8, 0x3D, 0xDE, 0x00},             // UTF-16 surrogate pair 😀 / UCS-2 invalid
+	{'x', 0x01, 0x7F, 'y'},               // control characters
+	{0x67, 0x69, 0x74, 0x68, 0x75, 0x62}, // "github" bytes / UCS-2 CJK
+}
+
+// Harness owns a generator and the parser set.
+type Harness struct {
+	gen       *certgen.Generator
+	parsers   []tlsimpl.Parser
+	benignDER []byte
+}
+
+// NewHarness builds a harness with reproducible keys.
+func NewHarness(seed int64) (*Harness, error) {
+	gen, err := certgen.New(seed)
+	if err != nil {
+		return nil, err
+	}
+	return &Harness{gen: gen, parsers: tlsimpl.All()}, nil
+}
+
+// Parsers exposes the models under test.
+func (h *Harness) Parsers() []tlsimpl.Parser { return h.parsers }
+
+// fieldValue extracts the mutated field's observed value from a parse
+// output.
+func fieldValue(sc Scenario, out *tlsimpl.Output) (string, bool) {
+	switch sc.Field {
+	case certgen.FieldSANDNSName, certgen.FieldSANEmail:
+		if len(out.SANValues) == 0 {
+			return "", false
+		}
+		v := out.SANValues[0]
+		v = strings.TrimPrefix(v, "DNS:")
+		v = strings.TrimPrefix(v, "email:")
+		return v, true
+	case certgen.FieldCRLDistributionPoint:
+		if len(out.CRLDPValues) == 0 {
+			return "", false
+		}
+		return strings.TrimPrefix(out.CRLDPValues[0], "URI:"), true
+	}
+	for _, a := range out.SubjectAttrs {
+		if a.Name == "O" {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// supportsScenario checks the library can parse the scenario's field.
+func supportsScenario(p tlsimpl.Parser, sc Scenario) bool {
+	switch sc.Field {
+	case certgen.FieldSANDNSName, certgen.FieldSANEmail:
+		return p.Supports(tlsimpl.FieldSAN)
+	case certgen.FieldCRLDistributionPoint:
+		return p.Supports(tlsimpl.FieldCRLDP)
+	}
+	return p.Supports(tlsimpl.FieldSubject)
+}
+
+// InferDecoding runs the probe suite for one (library, scenario) pair
+// and infers the decoding method and handling mode, exactly as §3.2
+// describes: try the five plain methods first, then method × handling
+// combinations.
+func (h *Harness) InferDecoding(p tlsimpl.Parser, sc Scenario) (DecodeFinding, error) {
+	finding := DecodeFinding{Scenario: sc, Library: p.Library()}
+	if !supportsScenario(p, sc) {
+		finding.Classes = []DecodeClass{DecodeUnsupported}
+		return finding, nil
+	}
+	observed := make([]string, 0, len(probes))
+	var raws [][]byte
+	failures := 0
+	for _, probe := range probes {
+		tc, err := h.gen.GenerateRaw(sc.Field, sc.Tag, probe)
+		if err != nil {
+			return finding, err
+		}
+		out, err := p.Parse(tc.DER)
+		if err != nil {
+			failures++
+			continue
+		}
+		v, ok := fieldValue(sc, out)
+		if !ok {
+			failures++
+			continue
+		}
+		observed = append(observed, v)
+		raws = append(raws, probe)
+	}
+	if len(observed) == 0 {
+		finding.Classes = []DecodeClass{DecodeParseFailure}
+		return finding, nil
+	}
+
+	method, handling, ok := inferMethod(raws, observed)
+	if !ok {
+		finding.Classes = []DecodeClass{DecodeParseFailure}
+		return finding, nil
+	}
+	finding.Method = method
+	finding.Handling = handling
+	finding.Classes = classify(sc.Tag, method, handling, failures > 0)
+	return finding, nil
+}
+
+func inferMethod(raws [][]byte, observed []string) (strenc.Method, strenc.Handling, bool) {
+	for _, h := range []strenc.Handling{strenc.Strict, strenc.Truncate, strenc.Replace, strenc.Escape} {
+		for _, m := range strenc.Methods() {
+			match := true
+			for i, raw := range raws {
+				want, err := strenc.Decode(m, h, raw)
+				if err != nil || want != observed[i] {
+					match = false
+					break
+				}
+			}
+			if match {
+				return m, h, true
+			}
+		}
+	}
+	// PyOpenSSL-style post-decode replacement: controls → '.'.
+	for _, m := range strenc.Methods() {
+		match := true
+		for i, raw := range raws {
+			base, err := strenc.Decode(m, strenc.Replace, raw)
+			if err != nil || strenc.ReplaceControls(base, '.') != observed[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return m, strenc.Replace, true
+		}
+	}
+	return 0, 0, false
+}
+
+// classify compares the inferred behaviour with the standard method
+// for the declared string type.
+func classify(tag int, method strenc.Method, handling strenc.Handling, hadFailures bool) []DecodeClass {
+	std := strenc.StringType(tag).StandardMethod()
+	var classes []DecodeClass
+	switch {
+	case method == std:
+		// Standard method; modified only if it rewrites content.
+	case broader(method, std):
+		classes = append(classes, DecodeOverTolerant)
+	default:
+		classes = append(classes, DecodeIncompatible)
+	}
+	if handling == strenc.Escape || handling == strenc.Truncate ||
+		(handling == strenc.Replace && methodCanFail(method)) {
+		classes = append(classes, DecodeModified)
+	}
+	if hadFailures {
+		classes = append(classes, DecodeParseFailure)
+	}
+	if len(classes) == 0 {
+		classes = []DecodeClass{DecodeNoIssue}
+	}
+	return classes
+}
+
+// broader reports whether method m accepts a superset of the standard
+// method's byte sequences (over-tolerance rather than incompatibility).
+func broader(m, std strenc.Method) bool {
+	switch std {
+	case strenc.ASCII:
+		return m == strenc.ISO88591 || m == strenc.UTF8
+	case strenc.UCS2:
+		return m == strenc.UTF16BE
+	case strenc.T61:
+		return m == strenc.ISO88591 || m == strenc.UTF8
+	default:
+		return false
+	}
+}
+
+// methodCanFail reports whether the method has undecodable inputs (so
+// Replace handling is observable).
+func methodCanFail(m strenc.Method) bool { return m != strenc.ISO88591 }
+
+// Table4 runs the full inference matrix.
+func (h *Harness) Table4() ([]DecodeFinding, error) {
+	var out []DecodeFinding
+	for _, sc := range Scenarios() {
+		for _, p := range h.parsers {
+			f, err := h.InferDecoding(p, sc)
+			if err != nil {
+				return nil, fmt.Errorf("difftest: %s/%s: %v", sc.Name, p.Library(), err)
+			}
+			out = append(out, f)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,257 @@
+package difftest
+
+import (
+	"testing"
+
+	"repro/internal/asn1der"
+	"repro/internal/certgen"
+	"repro/internal/strenc"
+	"repro/internal/tlsimpl"
+)
+
+func newHarness(t *testing.T) *Harness {
+	t.Helper()
+	h, err := NewHarness(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func findDecode(fs []DecodeFinding, lib tlsimpl.Library, scenario string) DecodeFinding {
+	for _, f := range fs {
+		if f.Library == lib && f.Scenario.Name == scenario {
+			return f
+		}
+	}
+	return DecodeFinding{}
+}
+
+func TestTable4HeadlineCells(t *testing.T) {
+	h := newHarness(t)
+	fs, err := h.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// GnuTLS decodes PrintableString with UTF-8 — over-tolerant (§5.1).
+	f := findDecode(fs, tlsimpl.GnuTLS, "PrintableString in Name")
+	if f.Method != strenc.UTF8 || !f.HasClass(DecodeOverTolerant) {
+		t.Errorf("GnuTLS PrintableString: method %v classes %v", f.Method, f.Classes)
+	}
+	// Forge decodes UTF8String with ISO-8859-1 — incompatible.
+	f = findDecode(fs, tlsimpl.Forge, "UTF8String in Name")
+	if f.Method != strenc.ISO88591 || !f.HasClass(DecodeIncompatible) {
+		t.Errorf("Forge UTF8String: method %v classes %v", f.Method, f.Classes)
+	}
+	// OpenSSL reads BMPString bytes as ASCII — incompatible + modified.
+	f = findDecode(fs, tlsimpl.OpenSSL, "BMPString in Name")
+	if f.Method != strenc.ASCII || !f.HasClass(DecodeIncompatible) || !f.HasClass(DecodeModified) {
+		t.Errorf("OpenSSL BMPString: method %v classes %v", f.Method, f.Classes)
+	}
+	// Java: BMPString ASCII-compatible (incompatible) with U+FFFD
+	// replacement (modified).
+	f = findDecode(fs, tlsimpl.JavaSecurity, "BMPString in Name")
+	if f.Method != strenc.ASCII || !f.HasClass(DecodeIncompatible) {
+		t.Errorf("Java BMPString: method %v classes %v", f.Method, f.Classes)
+	}
+	// BouncyCastle decodes BMPString with UTF-16 — over-tolerant.
+	f = findDecode(fs, tlsimpl.BouncyCastle, "BMPString in Name")
+	if f.Method != strenc.UTF16BE || !f.HasClass(DecodeOverTolerant) {
+		t.Errorf("BouncyCastle BMPString: method %v classes %v", f.Method, f.Classes)
+	}
+	// Go crypto: standard methods, strict — parse failures on bad
+	// content, no over-tolerance.
+	f = findDecode(fs, tlsimpl.GoCrypto, "UTF8String in Name")
+	if f.HasClass(DecodeOverTolerant) || f.HasClass(DecodeIncompatible) {
+		t.Errorf("GoCrypto UTF8String misclassified: %v", f.Classes)
+	}
+	// OpenSSL has no SAN parsing — unsupported GN cell.
+	f = findDecode(fs, tlsimpl.OpenSSL, "IA5String in GN")
+	if !f.HasClass(DecodeUnsupported) {
+		t.Errorf("OpenSSL GN should be unsupported: %v", f.Classes)
+	}
+	// GnuTLS decodes GN with UTF-8 — over-tolerant.
+	f = findDecode(fs, tlsimpl.GnuTLS, "IA5String in GN")
+	if f.Method != strenc.UTF8 || !f.HasClass(DecodeOverTolerant) {
+		t.Errorf("GnuTLS GN: method %v classes %v", f.Method, f.Classes)
+	}
+}
+
+func TestTable4EveryLibraryClassified(t *testing.T) {
+	h := newHarness(t)
+	fs, err := h.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs) != len(Scenarios())*9 {
+		t.Fatalf("findings %d", len(fs))
+	}
+	for _, f := range fs {
+		if len(f.Classes) == 0 {
+			t.Errorf("%s/%s unclassified", f.Scenario.Name, f.Library)
+		}
+	}
+}
+
+func findChar(fs []CharFinding, lib tlsimpl.Library, kind ViolationKind) CharFinding {
+	for _, f := range fs {
+		if f.Library == lib && f.Kind == kind {
+			return f
+		}
+	}
+	return CharFinding{Class: NotApplicable}
+}
+
+func TestTable5HeadlineCells(t *testing.T) {
+	h := newHarness(t)
+	fs, err := h.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OpenSSL's unescaped oneline DN is the exploited escaping channel.
+	for _, kind := range []ViolationKind{EscapeDN2253, EscapeDN4514, EscapeDN1779} {
+		if f := findChar(fs, tlsimpl.OpenSSL, kind); f.Class != Exploited {
+			t.Errorf("OpenSSL %s: %v (%s)", kind, f.Class, f.Detail)
+		}
+	}
+	// PyOpenSSL's GN text enables subfield forgery — exploited.
+	if f := findChar(fs, tlsimpl.PyOpenSSL, EscapeGN2253); f.Class != Exploited {
+		t.Errorf("PyOpenSSL GN escaping: %v (%s)", f.Class, f.Detail)
+	}
+	// Node quotes separator-bearing values: violation without forgery.
+	if f := findChar(fs, tlsimpl.NodeCrypto, EscapeGN2253); f.Class != Unexploited {
+		t.Errorf("Node GN escaping: %v (%s)", f.Class, f.Detail)
+	}
+	// Go crypto rejects illegal PrintableString content — compliant.
+	if f := findChar(fs, tlsimpl.GoCrypto, IllegalDNPrintable); f.Class != NoViolation {
+		t.Errorf("GoCrypto printable: %v (%s)", f.Class, f.Detail)
+	}
+	// …but accepts arbitrary IA5 GN payloads — violation.
+	if f := findChar(fs, tlsimpl.GoCrypto, IllegalGNIA5); f.Class != Unexploited {
+		t.Errorf("GoCrypto GN IA5: %v (%s)", f.Class, f.Detail)
+	}
+	// Java accepts 8-bit IA5 content via U+FFFD replacement.
+	if f := findChar(fs, tlsimpl.JavaSecurity, IllegalDNIA5); f.Class != Unexploited {
+		t.Errorf("Java IA5: %v (%s)", f.Class, f.Detail)
+	}
+	// Cryptography escapes per RFC 4514 — compliant DN escaping.
+	if f := findChar(fs, tlsimpl.Cryptography, EscapeDN4514); f.Class != NoViolation {
+		t.Errorf("Cryptography 4514: %v (%s)", f.Class, f.Detail)
+	}
+}
+
+func TestEveryLibraryHasAtLeastOneViolation(t *testing.T) {
+	// §5.2: "each TLS library exhibited at least one violation".
+	h := newHarness(t)
+	fs, err := h.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	violations := map[tlsimpl.Library]int{}
+	for _, f := range fs {
+		if f.Class == Unexploited || f.Class == Exploited {
+			violations[f.Library]++
+		}
+	}
+	for _, lib := range tlsimpl.Libraries() {
+		if violations[lib] == 0 {
+			t.Errorf("%s has no violations — paper requires ≥1 per library", lib)
+		}
+	}
+}
+
+func TestNoLibraryChecksAllStringTypes(t *testing.T) {
+	// §5.2: none of the libraries enforced checks for illegal
+	// characters across all ASN.1 string types.
+	h := newHarness(t)
+	fs, err := h.Table5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lib := range tlsimpl.Libraries() {
+		allChecked := true
+		any := false
+		for _, kind := range []ViolationKind{IllegalDNPrintable, IllegalDNIA5, IllegalDNBMP, IllegalGNIA5} {
+			f := findChar(fs, lib, kind)
+			if f.Class == NotApplicable {
+				continue
+			}
+			any = true
+			if f.Class != NoViolation {
+				allChecked = false
+			}
+		}
+		if any && allChecked {
+			t.Errorf("%s appears to check every string type — contradicts §5.2", lib)
+		}
+	}
+}
+
+func TestPyOpenSSLCRLReplacement(t *testing.T) {
+	// The §5.2 CRL-spoofing primitive: control characters in a CRL DP
+	// URI become '.'.
+	h := newHarness(t)
+	p := tlsimpl.New(tlsimpl.PyOpenSSL)
+	tc2, err := h.gen.GenerateRaw(certgen.FieldCRLDistributionPoint, asn1der.TagIA5String, []byte("http://ssl\x01test.com"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := p.Parse(tc2.DER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.CRLDPValues) != 1 || out.CRLDPValues[0] != "URI:http://ssl.test.com" {
+		t.Fatalf("CRLDP %v", out.CRLDPValues)
+	}
+}
+
+func TestGoCryptoParseFailureOnBadPrintable(t *testing.T) {
+	// §5.1 impact (3): invalid bytes can terminate parsing entirely.
+	h := newHarness(t)
+	p := tlsimpl.New(tlsimpl.GoCrypto)
+	tc, err := h.gen.GenerateRaw(certgen.FieldSubjectOrganization, asn1der.TagPrintableString, []byte("Bad@Org\xFF"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Parse(tc.DER); err == nil {
+		t.Fatal("Go model must fail on invalid PrintableString")
+	}
+	// OpenSSL's modified decoding prevents the failure (§5.1).
+	if _, err := tlsimpl.New(tlsimpl.OpenSSL).Parse(tc.DER); err != nil {
+		t.Fatalf("OpenSSL model must tolerate: %v", err)
+	}
+}
+
+func TestHostnameConfusionBMPAsASCII(t *testing.T) {
+	// §5.1 impact (1): a BMPString CN read byte-wise by an
+	// ASCII-expecting client yields a plausible hostname.
+	h := newHarness(t)
+	payload := []byte{0x67, 0x69, 0x74, 0x68, 0x75, 0x62, 0x2E, 0x63, 0x6E} // "github.cn" bytes
+	tc, err := h.gen.GenerateRaw(certgen.FieldSubjectCN, asn1der.TagBMPString, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := tlsimpl.New(tlsimpl.OpenSSL).Parse(tc.DER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cn string
+	for _, a := range out.SubjectAttrs {
+		if a.Name == "CN" {
+			cn = a.Value
+		}
+	}
+	if cn != "github.cn" {
+		t.Fatalf("OpenSSL-style CN %q", cn)
+	}
+	// A compliant UCS-2 decoder sees CJK text instead.
+	out2, err := tlsimpl.New(tlsimpl.NodeCrypto).Parse(tc.DER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range out2.SubjectAttrs {
+		if a.Name == "CN" && a.Value == "github.cn" {
+			t.Fatal("UCS-2 decoder must not produce the ASCII hostname")
+		}
+	}
+}

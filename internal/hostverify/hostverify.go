@@ -1,0 +1,148 @@
+// Package hostverify implements TLS service-identity verification in
+// the RFC 6125/9525 style, with the legacy behaviours the paper's
+// threat analysis turns on: CN-based fallback (deprecated but still
+// used by Snort, cURL, Postfix — F2), C-string truncation at NUL
+// bytes (the PKI-Layer-Cake attack the paper cites for T1), and
+// IDN-aware matching via A-label conversion.
+package hostverify
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/idna"
+	"repro/internal/uni"
+	"repro/internal/x509cert"
+)
+
+// Policy configures the verifier's strictness.
+type Policy struct {
+	// AllowCNFallback consults the Subject CN when the certificate has
+	// no SAN DNSNames — deprecated by RFC 9525 but widespread.
+	AllowCNFallback bool
+	// CStringSemantics truncates names at the first NUL byte before
+	// comparison, reproducing the classic vulnerable behaviour; a
+	// secure verifier rejects embedded NULs instead.
+	CStringSemantics bool
+	// ConvertIDN maps U-label inputs to A-labels before matching, per
+	// RFC 9525 §6.2.
+	ConvertIDN bool
+}
+
+// Strict is the modern, RFC 9525-conforming policy.
+var Strict = Policy{ConvertIDN: true}
+
+// Legacy reproduces the permissive stack the paper's threats target.
+var Legacy = Policy{AllowCNFallback: true, CStringSemantics: true}
+
+// Verification errors.
+var (
+	ErrNoIdentity    = errors.New("hostverify: certificate presents no usable identity")
+	ErrMismatch      = errors.New("hostverify: hostname does not match certificate")
+	ErrEmbeddedNUL   = errors.New("hostverify: identity contains an embedded NUL byte")
+	ErrBadReference  = errors.New("hostverify: reference hostname is invalid")
+	ErrDeceptiveName = errors.New("hostverify: identity contains deceptive characters")
+)
+
+// Verify checks host against the certificate's identities under the
+// policy.
+func Verify(pol Policy, c *x509cert.Certificate, host string) error {
+	ref := strings.ToLower(strings.TrimSuffix(host, "."))
+	if ref == "" {
+		return ErrBadReference
+	}
+	if pol.ConvertIDN && !isASCII(ref) {
+		a, err := idna.ToASCII(ref)
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrBadReference, err)
+		}
+		ref = a
+	}
+
+	ids := identities(pol, c)
+	if len(ids) == 0 {
+		return ErrNoIdentity
+	}
+	for _, id := range ids {
+		name, err := prepareIdentity(pol, id)
+		if err != nil {
+			// A secure verifier fails closed on a malformed identity.
+			if !pol.CStringSemantics {
+				return err
+			}
+			continue
+		}
+		if matchName(name, ref) {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: %q", ErrMismatch, host)
+}
+
+func identities(pol Policy, c *x509cert.Certificate) []string {
+	names := c.DNSNames()
+	if len(names) > 0 {
+		return names
+	}
+	if pol.AllowCNFallback {
+		if cn := c.Subject.CommonName(); cn != "" {
+			return []string{cn}
+		}
+	}
+	return nil
+}
+
+func prepareIdentity(pol Policy, id string) (string, error) {
+	if i := strings.IndexByte(id, 0); i >= 0 {
+		if pol.CStringSemantics {
+			// The vulnerable path: "victim.example\x00.attacker.site"
+			// silently becomes "victim.example".
+			id = id[:i]
+		} else {
+			return "", ErrEmbeddedNUL
+		}
+	}
+	if !pol.CStringSemantics {
+		for _, r := range id {
+			// U+FFFD marks bytes the IA5 decoder could not represent —
+			// an identity that was never legal DNS material.
+			if uni.IsControl(r) || uni.IsBidiControl(r) || uni.IsInvisibleLayout(r) || r == '�' {
+				return "", fmt.Errorf("%w: U+%04X", ErrDeceptiveName, r)
+			}
+		}
+	}
+	return strings.ToLower(strings.TrimSuffix(id, ".")), nil
+}
+
+// matchName implements exact and single-label wildcard matching
+// (RFC 9525 §6.3: wildcard only as the complete leftmost label).
+func matchName(pattern, ref string) bool {
+	if pattern == ref {
+		return true
+	}
+	rest, ok := strings.CutPrefix(pattern, "*.")
+	if !ok {
+		return false
+	}
+	dot := strings.IndexByte(ref, '.')
+	if dot < 0 {
+		return false
+	}
+	// The wildcard must not match an empty label or cross labels, and
+	// must not be used for a public-suffix-sized name (approximated as
+	// requiring at least two labels after the wildcard).
+	if strings.Count(rest, ".") < 1 {
+		return false
+	}
+	return ref[dot+1:] == rest
+}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}

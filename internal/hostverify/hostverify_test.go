@@ -1,0 +1,122 @@
+package hostverify
+
+import (
+	"errors"
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/x509cert"
+)
+
+var (
+	caKey, _   = x509cert.GenerateKey(301)
+	leafKey, _ = x509cert.GenerateKey(302)
+)
+
+func cert(t *testing.T, cn string, sans ...string) *x509cert.Certificate {
+	t.Helper()
+	gns := make([]x509cert.GeneralName, 0, len(sans))
+	for _, s := range sans {
+		gns = append(gns, x509cert.DNSName(s))
+	}
+	tpl := &x509cert.Template{
+		SerialNumber: big.NewInt(2),
+		Issuer:       x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "HV CA")),
+		Subject:      x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, cn)),
+		NotBefore:    time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:     time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC),
+		SAN:          gns,
+	}
+	der, err := x509cert.Build(tpl, caKey, leafKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := x509cert.Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestExactMatch(t *testing.T) {
+	c := cert(t, "a.example", "a.example", "b.example")
+	if err := Verify(Strict, c, "a.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(Strict, c, "B.EXAMPLE."); err != nil {
+		t.Fatalf("case/trailing-dot insensitivity: %v", err)
+	}
+	if err := Verify(Strict, c, "c.example"); !errors.Is(err, ErrMismatch) {
+		t.Fatalf("want mismatch, got %v", err)
+	}
+}
+
+func TestWildcardRules(t *testing.T) {
+	c := cert(t, "x", "*.wild.example")
+	if err := Verify(Strict, c, "www.wild.example"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(Strict, c, "deep.www.wild.example"); err == nil {
+		t.Fatal("wildcard must not cross labels")
+	}
+	if err := Verify(Strict, c, "wild.example"); err == nil {
+		t.Fatal("wildcard must not match the bare domain")
+	}
+	// A "*.com"-style wildcard never matches (public-suffix guard).
+	c2 := cert(t, "x", "*.com")
+	if err := Verify(Strict, c2, "victim.com"); err == nil {
+		t.Fatal("suffix-wide wildcard must not match")
+	}
+}
+
+func TestCNFallbackPolicy(t *testing.T) {
+	c := cert(t, "cn-only.example") // no SANs
+	if err := Verify(Strict, c, "cn-only.example"); !errors.Is(err, ErrNoIdentity) {
+		t.Fatalf("strict policy must ignore the CN: %v", err)
+	}
+	if err := Verify(Legacy, c, "cn-only.example"); err != nil {
+		t.Fatalf("legacy CN fallback: %v", err)
+	}
+}
+
+func TestNULTruncationAttack(t *testing.T) {
+	// The PKI-Layer-Cake shape: CA validated "attacker.site" but the
+	// identity reads "victim.example\x00.attacker.site".
+	c := cert(t, "x", "victim.example\x00.attacker.site")
+	// The vulnerable C-string verifier truncates and matches the victim.
+	if err := Verify(Legacy, c, "victim.example"); err != nil {
+		t.Fatalf("legacy verifier should be fooled: %v", err)
+	}
+	// The strict verifier fails closed on the embedded NUL.
+	if err := Verify(Strict, c, "victim.example"); !errors.Is(err, ErrEmbeddedNUL) {
+		t.Fatalf("strict verifier must reject NUL: %v", err)
+	}
+}
+
+func TestDeceptiveCharacterRejection(t *testing.T) {
+	c := cert(t, "x", "www.‮vil.example")
+	if err := Verify(Strict, c, "www.evil.example"); !errors.Is(err, ErrDeceptiveName) {
+		t.Fatalf("bidi control must be rejected: %v", err)
+	}
+}
+
+func TestIDNConversion(t *testing.T) {
+	c := cert(t, "x", "xn--bcher-kva.example")
+	// The user types the U-label; RFC 9525 says convert then compare.
+	if err := Verify(Strict, c, "bücher.example"); err != nil {
+		t.Fatal(err)
+	}
+	// Without conversion the same reference misses.
+	noConv := Policy{}
+	if err := Verify(noConv, c, "bücher.example"); err == nil {
+		t.Fatal("non-converting policy should mismatch")
+	}
+}
+
+func TestBadReference(t *testing.T) {
+	c := cert(t, "x", "a.example")
+	if err := Verify(Strict, c, ""); !errors.Is(err, ErrBadReference) {
+		t.Fatalf("empty reference: %v", err)
+	}
+}

@@ -1,0 +1,179 @@
+// Package extras carries constraint lints beyond the paper's fixed
+// 95-rule set — the "plans to incorporate more rules" of §7. They
+// register into their own registry (lint.Extras would collide with the
+// Table 1 counts), so callers opt in explicitly:
+//
+//	results := extras.Registry.Run(cert, lint.Options{})
+package extras
+
+import (
+	"math/big"
+	"strings"
+	"time"
+
+	"repro/internal/idna"
+	"repro/internal/lint"
+	"repro/internal/uni"
+	"repro/internal/x509cert"
+)
+
+// Registry holds the extra lints, separate from lint.Global.
+var Registry = lint.NewRegistry()
+
+func register(l *lint.Lint) { Registry.Register(l) }
+
+var (
+	dateBR398   = time.Date(2020, 9, 1, 0, 0, 0, 0, time.UTC)
+	dateCABF    = time.Date(2012, 7, 1, 0, 0, 0, 0, time.UTC)
+	dateRFC9598 = time.Date(2024, 5, 1, 0, 0, 0, 0, time.UTC)
+)
+
+func init() {
+	// CA/B BRs §6.3.2 (post-ballot SC31): subscriber certificates must
+	// not exceed 398 days — the ceiling Figure 3's long tail violates.
+	register(&lint.Lint{
+		Name:          "e_cab_validity_exceeds_398_days",
+		Description:   "Subscriber certificates must not be valid for more than 398 days",
+		Severity:      lint.Error,
+		Source:        lint.SourceCABF,
+		Taxonomy:      lint.T3IllegalFormat,
+		EffectiveDate: dateBR398,
+		CheckApplies:  func(c *x509cert.Certificate) bool { return !c.IsCA },
+		Run: func(c *x509cert.Certificate) lint.Result {
+			if d := c.ValidityDays(); d > 398 {
+				return lint.Failf("validity is %d days", d)
+			}
+			return lint.PassResult
+		},
+	})
+
+	// CA/B BRs §7.1: serial numbers must be positive.
+	register(&lint.Lint{
+		Name:          "e_cab_serial_not_positive",
+		Description:   "Certificate serial numbers must be positive integers",
+		Severity:      lint.Error,
+		Source:        lint.SourceCABF,
+		Taxonomy:      lint.T3IllegalFormat,
+		EffectiveDate: dateCABF,
+		Run: func(c *x509cert.Certificate) lint.Result {
+			if c.SerialNumber == nil || c.SerialNumber.Cmp(big.NewInt(0)) <= 0 {
+				return lint.Failf("serial %v", c.SerialNumber)
+			}
+			return lint.PassResult
+		},
+	})
+
+	// CA/B BRs §7.1.4.2.1: TLS server certificates must carry a SAN.
+	register(&lint.Lint{
+		Name:          "e_cab_san_missing",
+		Description:   "TLS subscriber certificates must contain a SubjectAltName extension",
+		Severity:      lint.Error,
+		Source:        lint.SourceCABF,
+		Taxonomy:      lint.T3InvalidStructure,
+		EffectiveDate: dateCABF,
+		CheckApplies:  func(c *x509cert.Certificate) bool { return !c.IsCA },
+		Run: func(c *x509cert.Certificate) lint.Result {
+			if len(c.SAN) == 0 {
+				return lint.Failf("no SubjectAltName")
+			}
+			return lint.PassResult
+		},
+	})
+
+	// RFC 9598 §3: SmtpUTF8Mailbox values SHOULD be NFC-normalized.
+	register(&lint.Lint{
+		Name:          "w_smtputf8_mailbox_not_nfc",
+		Description:   "SmtpUTF8Mailbox addresses should be in Unicode Normalization Form C",
+		Severity:      lint.Warning,
+		Source:        lint.SourceRFC9598,
+		Taxonomy:      lint.T2BadNormalization,
+		EffectiveDate: dateRFC9598,
+		CheckApplies:  func(c *x509cert.Certificate) bool { return len(c.SmtpUTF8Mailboxes()) > 0 },
+		Run: func(c *x509cert.Certificate) lint.Result {
+			for _, m := range c.SmtpUTF8Mailboxes() {
+				if !uni.IsNFC(m) {
+					return lint.Failf("mailbox %q is not NFC", m)
+				}
+			}
+			return lint.PassResult
+		},
+	})
+
+	// RFC 9598 §3: SmtpUTF8Mailbox domain parts are expressed as
+	// U-labels, not A-labels.
+	register(&lint.Lint{
+		Name:          "e_smtputf8_mailbox_domain_is_alabel",
+		Description:   "SmtpUTF8Mailbox domain parts must use U-labels, not xn-- A-labels",
+		Severity:      lint.Error,
+		Source:        lint.SourceRFC9598,
+		Taxonomy:      lint.T3InvalidEncoding,
+		EffectiveDate: dateRFC9598,
+		CheckApplies:  func(c *x509cert.Certificate) bool { return len(c.SmtpUTF8Mailboxes()) > 0 },
+		Run: func(c *x509cert.Certificate) lint.Result {
+			for _, m := range c.SmtpUTF8Mailboxes() {
+				parts := strings.SplitN(m, "@", 2)
+				if len(parts) != 2 {
+					continue
+				}
+				for _, label := range strings.Split(strings.ToLower(parts[1]), ".") {
+					if strings.HasPrefix(label, "xn--") {
+						return lint.Failf("domain label %q is an A-label", label)
+					}
+				}
+			}
+			return lint.PassResult
+		},
+	})
+
+	// Community practice: a Subject CN shaped like an IDN homograph of
+	// a different SAN entry deserves review.
+	register(&lint.Lint{
+		Name:          "w_cn_san_homograph_divergence",
+		Description:   "A Subject CN that is a confusable homograph of a SAN entry (rather than an exact duplicate) suggests spoofing",
+		Severity:      lint.Warning,
+		Source:        lint.SourceCommunity,
+		Taxonomy:      lint.T1InvalidCharacter,
+		EffectiveDate: dateCABF,
+		CheckApplies: func(c *x509cert.Certificate) bool {
+			return c.Subject.CommonName() != "" && len(c.DNSNames()) > 0
+		},
+		Run: func(c *x509cert.Certificate) lint.Result {
+			cn := c.Subject.CommonName()
+			for _, n := range c.DNSNames() {
+				if strings.EqualFold(cn, n) {
+					return lint.PassResult
+				}
+			}
+			for _, n := range c.DNSNames() {
+				if uni.IsHomographOf(cn, n) {
+					return lint.Failf("CN %q is a homograph of SAN %q", cn, n)
+				}
+			}
+			return lint.PassResult
+		},
+	})
+
+	// Community practice: wildcard IDN labels are ambiguous under IDNA
+	// and rejected by several user agents.
+	register(&lint.Lint{
+		Name:          "w_wildcard_on_idn_registrable_domain",
+		Description:   "Wildcards over IDN registrable domains behave inconsistently across clients",
+		Severity:      lint.Warning,
+		Source:        lint.SourceCommunity,
+		Taxonomy:      lint.T3DiscouragedField,
+		EffectiveDate: dateCABF,
+		CheckApplies:  func(c *x509cert.Certificate) bool { return len(c.DNSNames()) > 0 },
+		Run: func(c *x509cert.Certificate) lint.Result {
+			for _, n := range c.DNSNames() {
+				rest, ok := strings.CutPrefix(n, "*.")
+				if !ok {
+					continue
+				}
+				if idna.IsIDN(rest) {
+					return lint.Failf("wildcard over IDN domain %q", rest)
+				}
+			}
+			return lint.PassResult
+		},
+	})
+}

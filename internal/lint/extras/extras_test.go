@@ -1,0 +1,130 @@
+package extras
+
+import (
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/lint"
+	"repro/internal/x509cert"
+)
+
+var (
+	caKey, _   = x509cert.GenerateKey(501)
+	leafKey, _ = x509cert.GenerateKey(502)
+)
+
+func build(t *testing.T, mutate func(*x509cert.Template)) *x509cert.Certificate {
+	t.Helper()
+	tpl := &x509cert.Template{
+		SerialNumber: big.NewInt(5),
+		Issuer:       x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "Extras CA")),
+		Subject:      x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "x.example")),
+		NotBefore:    time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:     time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC),
+		SAN:          []x509cert.GeneralName{x509cert.DNSName("x.example")},
+	}
+	if mutate != nil {
+		mutate(tpl)
+	}
+	der, err := x509cert.Build(tpl, caKey, leafKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := x509cert.Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func failed(t *testing.T, c *x509cert.Certificate, name string) bool {
+	t.Helper()
+	res := Registry.Run(c, lint.Options{Only: map[string]bool{name: true}})
+	for _, f := range res.Findings {
+		if f.Lint.Name == name {
+			return f.Status == lint.Fail
+		}
+	}
+	t.Fatalf("lint %s missing", name)
+	return false
+}
+
+func TestExtrasSeparateFromGlobal(t *testing.T) {
+	if Registry.Count() == 0 {
+		t.Fatal("extras registry empty")
+	}
+	for _, l := range Registry.All() {
+		if _, clash := lint.Global.ByName(l.Name); clash {
+			t.Errorf("extra lint %s collides with the paper's 95-rule set", l.Name)
+		}
+	}
+}
+
+func TestValidity398(t *testing.T) {
+	long := build(t, func(tpl *x509cert.Template) {
+		tpl.NotAfter = tpl.NotBefore.AddDate(2, 0, 0)
+	})
+	if !failed(t, long, "e_cab_validity_exceeds_398_days") {
+		t.Error("2-year cert must fail")
+	}
+	short := build(t, nil)
+	if failed(t, short, "e_cab_validity_exceeds_398_days") {
+		t.Error("90-day cert must pass")
+	}
+}
+
+func TestSANMissing(t *testing.T) {
+	noSAN := build(t, func(tpl *x509cert.Template) { tpl.SAN = nil })
+	if !failed(t, noSAN, "e_cab_san_missing") {
+		t.Error("SAN-less cert must fail")
+	}
+}
+
+func TestSmtpUTF8NFC(t *testing.T) {
+	bad := build(t, func(tpl *x509cert.Template) {
+		tpl.SAN = append(tpl.SAN, x509cert.SmtpUTF8Mailbox("usér@bücher.example"))
+	})
+	if !failed(t, bad, "w_smtputf8_mailbox_not_nfc") {
+		t.Error("decomposed mailbox must fail")
+	}
+	good := build(t, func(tpl *x509cert.Template) {
+		tpl.SAN = append(tpl.SAN, x509cert.SmtpUTF8Mailbox("usér@bücher.example"))
+	})
+	if failed(t, good, "w_smtputf8_mailbox_not_nfc") {
+		t.Error("NFC mailbox must pass")
+	}
+}
+
+func TestSmtpUTF8ALabelDomain(t *testing.T) {
+	bad := build(t, func(tpl *x509cert.Template) {
+		tpl.SAN = append(tpl.SAN, x509cert.SmtpUTF8Mailbox("usér@xn--bcher-kva.example"))
+	})
+	if !failed(t, bad, "e_smtputf8_mailbox_domain_is_alabel") {
+		t.Error("A-label mailbox domain must fail")
+	}
+}
+
+func TestCNHomographDivergence(t *testing.T) {
+	bad := build(t, func(tpl *x509cert.Template) {
+		// Cyrillic "х" in the CN, Latin in the SAN.
+		tpl.Subject = x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "х.example"))
+	})
+	if !failed(t, bad, "w_cn_san_homograph_divergence") {
+		t.Error("homograph CN must fail")
+	}
+	good := build(t, nil)
+	if failed(t, good, "w_cn_san_homograph_divergence") {
+		t.Error("exact CN must pass")
+	}
+}
+
+func TestWildcardOverIDN(t *testing.T) {
+	bad := build(t, func(tpl *x509cert.Template) {
+		tpl.SAN = []x509cert.GeneralName{x509cert.DNSName("*.xn--bcher-kva.example")}
+		tpl.Subject = x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "*.xn--bcher-kva.example"))
+	})
+	if !failed(t, bad, "w_wildcard_on_idn_registrable_domain") {
+		t.Error("wildcard over IDN must warn")
+	}
+}

@@ -1,0 +1,312 @@
+// Package lint is the Unicert linter framework: a registry of
+// constraint lints with severities, standards sources, taxonomy tags,
+// and effective dates, plus a runner that applies them to parsed
+// certificates. It mirrors the extension model the paper applied to
+// zlint (§3.1.2) — including per-lint effective dates, which gate
+// whether a rule applies to a certificate by its issuance date.
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/x509cert"
+)
+
+// Severity grades a finding, mapped from the standards' requirement
+// levels (MUST → Error, SHOULD → Warning).
+type Severity int
+
+// Severities.
+const (
+	Notice Severity = iota
+	Warning
+	Error
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Notice:
+		return "notice"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Source names the standard a lint derives from.
+type Source string
+
+// Lint sources.
+const (
+	SourceRFC5280   Source = "RFC5280"
+	SourceRFC6818   Source = "RFC6818"
+	SourceRFC8399   Source = "RFC8399"
+	SourceRFC9549   Source = "RFC9549"
+	SourceRFC9598   Source = "RFC9598"
+	SourceRFC1034   Source = "RFC1034"
+	SourceIDNA      Source = "IDNA2008"
+	SourceCABF      Source = "CABF_BR"
+	SourceCommunity Source = "Community"
+)
+
+// Taxonomy is the paper's noncompliance classification (Table 1).
+type Taxonomy int
+
+// Noncompliance types.
+const (
+	T1InvalidCharacter Taxonomy = iota
+	T2BadNormalization
+	T3IllegalFormat
+	T3InvalidEncoding
+	T3InvalidStructure
+	T3DiscouragedField
+	numTaxonomies
+)
+
+// Taxonomies lists all classes in Table 1 order.
+func Taxonomies() []Taxonomy {
+	out := make([]Taxonomy, numTaxonomies)
+	for i := range out {
+		out[i] = Taxonomy(i)
+	}
+	return out
+}
+
+func (t Taxonomy) String() string {
+	switch t {
+	case T1InvalidCharacter:
+		return "Invalid Character"
+	case T2BadNormalization:
+		return "Bad Normalization"
+	case T3IllegalFormat:
+		return "Illegal Format"
+	case T3InvalidEncoding:
+		return "Invalid Encoding"
+	case T3InvalidStructure:
+		return "Invalid Structure"
+	case T3DiscouragedField:
+		return "Discouraged Field"
+	default:
+		return fmt.Sprintf("Taxonomy(%d)", int(t))
+	}
+}
+
+// Group returns the coarse type (T1/T2/T3).
+func (t Taxonomy) Group() string {
+	switch t {
+	case T1InvalidCharacter:
+		return "T1"
+	case T2BadNormalization:
+		return "T2"
+	default:
+		return "T3"
+	}
+}
+
+// Status is a lint outcome for one certificate.
+type Status int
+
+// Statuses.
+const (
+	Pass Status = iota
+	NA          // the lint does not apply to this certificate
+	NE          // not effective: certificate predates the lint's date
+	Fail
+)
+
+func (s Status) String() string {
+	switch s {
+	case Pass:
+		return "pass"
+	case NA:
+		return "NA"
+	case NE:
+		return "NE"
+	case Fail:
+		return "fail"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Result is what a lint's Run returns.
+type Result struct {
+	Status  Status
+	Details string
+}
+
+// PassResult is the zero finding.
+var PassResult = Result{Status: Pass}
+
+// Failf builds a failing result with formatted details.
+func Failf(format string, args ...any) Result {
+	return Result{Status: Fail, Details: fmt.Sprintf(format, args...)}
+}
+
+// Lint is one registered constraint rule.
+type Lint struct {
+	// Name follows the zlint convention: severity prefix, source infix
+	// (e.g. e_rfc_dns_idn_malformed_unicode).
+	Name        string
+	Description string
+	Severity    Severity
+	Source      Source
+	Taxonomy    Taxonomy
+	// New marks the 50 Unicode/IDN rules the paper added beyond the
+	// coverage of existing linters.
+	New bool
+	// EffectiveDate gates application: certificates issued before it
+	// are reported NE rather than Fail (§3.1.2).
+	EffectiveDate time.Time
+	// CheckApplies filters certificates the rule is relevant to.
+	CheckApplies func(c *x509cert.Certificate) bool
+	// Run evaluates the rule; only called when CheckApplies is true.
+	Run func(c *x509cert.Certificate) Result
+}
+
+// Registry stores lints by name.
+type Registry struct {
+	mu    sync.RWMutex
+	lints map[string]*Lint
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{lints: make(map[string]*Lint)} }
+
+// Register adds a lint; duplicate names are a programming error.
+func (r *Registry) Register(l *Lint) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if l.Name == "" || l.Run == nil {
+		panic("lint: lint needs a name and a Run function")
+	}
+	if _, dup := r.lints[l.Name]; dup {
+		panic("lint: duplicate lint " + l.Name)
+	}
+	if l.CheckApplies == nil {
+		l.CheckApplies = func(*x509cert.Certificate) bool { return true }
+	}
+	r.lints[l.Name] = l
+}
+
+// All returns every lint sorted by name.
+func (r *Registry) All() []*Lint {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Lint, 0, len(r.lints))
+	for _, l := range r.lints {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// ByName looks up one lint.
+func (r *Registry) ByName(name string) (*Lint, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	l, ok := r.lints[name]
+	return l, ok
+}
+
+// Count returns the number of registered lints.
+func (r *Registry) Count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.lints)
+}
+
+// Global is the default registry the lints package populates.
+var Global = NewRegistry()
+
+// Options configures a lint run.
+type Options struct {
+	// IgnoreEffectiveDates applies every rule regardless of issuance
+	// date — the ablation that turns 249.3K findings into 1.8M.
+	IgnoreEffectiveDates bool
+	// Only restricts the run to the named lints (nil = all).
+	Only map[string]bool
+}
+
+// Finding is one lint outcome attached to its lint.
+type Finding struct {
+	Lint    *Lint
+	Status  Status
+	Details string
+}
+
+// CertResult aggregates the findings for one certificate.
+type CertResult struct {
+	Findings []Finding
+}
+
+// Failed returns the failed findings.
+func (cr *CertResult) Failed() []Finding {
+	var out []Finding
+	for _, f := range cr.Findings {
+		if f.Status == Fail {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Noncompliant reports whether any lint failed.
+func (cr *CertResult) Noncompliant() bool { return len(cr.Failed()) > 0 }
+
+// HasError reports whether any error-severity lint failed.
+func (cr *CertResult) HasError() bool {
+	for _, f := range cr.Failed() {
+		if f.Lint.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// HasWarning reports whether any warning-severity lint failed.
+func (cr *CertResult) HasWarning() bool {
+	for _, f := range cr.Failed() {
+		if f.Lint.Severity == Warning {
+			return true
+		}
+	}
+	return false
+}
+
+// Taxonomies returns the set of noncompliance classes the certificate
+// falls into.
+func (cr *CertResult) Taxonomies() map[Taxonomy]bool {
+	out := make(map[Taxonomy]bool)
+	for _, f := range cr.Failed() {
+		out[f.Lint.Taxonomy] = true
+	}
+	return out
+}
+
+// Run applies every applicable lint in the registry to the certificate.
+func (r *Registry) Run(c *x509cert.Certificate, opts Options) *CertResult {
+	res := &CertResult{}
+	for _, l := range r.All() {
+		if opts.Only != nil && !opts.Only[l.Name] {
+			continue
+		}
+		if !l.CheckApplies(c) {
+			res.Findings = append(res.Findings, Finding{Lint: l, Status: NA})
+			continue
+		}
+		if !opts.IgnoreEffectiveDates && !l.EffectiveDate.IsZero() && c.NotBefore.Before(l.EffectiveDate) {
+			res.Findings = append(res.Findings, Finding{Lint: l, Status: NE})
+			continue
+		}
+		out := l.Run(c)
+		res.Findings = append(res.Findings, Finding{Lint: l, Status: out.Status, Details: out.Details})
+	}
+	return res
+}

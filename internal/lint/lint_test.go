@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/x509cert"
+)
+
+func TestRegistryRegisterAndLookup(t *testing.T) {
+	r := NewRegistry()
+	l := &Lint{
+		Name:     "e_test_rule",
+		Severity: Error,
+		Run:      func(*x509cert.Certificate) Result { return PassResult },
+	}
+	r.Register(l)
+	if r.Count() != 1 {
+		t.Fatalf("count %d", r.Count())
+	}
+	got, ok := r.ByName("e_test_rule")
+	if !ok || got != l {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := r.ByName("missing"); ok {
+		t.Fatal("phantom lint")
+	}
+}
+
+func TestRegistryRejectsDuplicates(t *testing.T) {
+	r := NewRegistry()
+	mk := func() *Lint {
+		return &Lint{Name: "e_dup", Run: func(*x509cert.Certificate) Result { return PassResult }}
+	}
+	r.Register(mk())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration must panic")
+		}
+	}()
+	r.Register(mk())
+}
+
+func TestRunStatusTransitions(t *testing.T) {
+	r := NewRegistry()
+	r.Register(&Lint{
+		Name:          "e_always_fails",
+		Severity:      Error,
+		EffectiveDate: time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC),
+		Run:           func(*x509cert.Certificate) Result { return Failf("boom") },
+	})
+	r.Register(&Lint{
+		Name:         "e_never_applies",
+		Severity:     Error,
+		CheckApplies: func(*x509cert.Certificate) bool { return false },
+		Run:          func(*x509cert.Certificate) Result { return Failf("unreachable") },
+	})
+	newCert := &x509cert.Certificate{NotBefore: time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC)}
+	oldCert := &x509cert.Certificate{NotBefore: time.Date(2010, 1, 1, 0, 0, 0, 0, time.UTC)}
+
+	res := r.Run(newCert, Options{})
+	byName := map[string]Status{}
+	for _, f := range res.Findings {
+		byName[f.Lint.Name] = f.Status
+	}
+	if byName["e_always_fails"] != Fail {
+		t.Errorf("new cert: %s", byName["e_always_fails"])
+	}
+	if byName["e_never_applies"] != NA {
+		t.Errorf("inapplicable: %s", byName["e_never_applies"])
+	}
+
+	res = r.Run(oldCert, Options{})
+	for _, f := range res.Findings {
+		if f.Lint.Name == "e_always_fails" && f.Status != NE {
+			t.Errorf("pre-effective cert: %s", f.Status)
+		}
+	}
+	res = r.Run(oldCert, Options{IgnoreEffectiveDates: true})
+	for _, f := range res.Findings {
+		if f.Lint.Name == "e_always_fails" && f.Status != Fail {
+			t.Errorf("ignored dates: %s", f.Status)
+		}
+	}
+}
+
+func TestCertResultSeverityViews(t *testing.T) {
+	r := NewRegistry()
+	r.Register(&Lint{Name: "e_x", Severity: Error, Run: func(*x509cert.Certificate) Result { return Failf("x") }})
+	r.Register(&Lint{Name: "w_y", Severity: Warning, Run: func(*x509cert.Certificate) Result { return Failf("y") }})
+	r.Register(&Lint{Name: "w_z", Severity: Warning, Run: func(*x509cert.Certificate) Result { return PassResult }})
+	res := r.Run(&x509cert.Certificate{NotBefore: time.Now()}, Options{})
+	if !res.HasError() || !res.HasWarning() {
+		t.Fatal("severity views broken")
+	}
+	if len(res.Failed()) != 2 {
+		t.Fatalf("failed %d", len(res.Failed()))
+	}
+}
+
+func TestTaxonomyGrouping(t *testing.T) {
+	if T1InvalidCharacter.Group() != "T1" || T2BadNormalization.Group() != "T2" || T3InvalidEncoding.Group() != "T3" {
+		t.Fatal("taxonomy groups wrong")
+	}
+	if len(Taxonomies()) != 6 {
+		t.Fatalf("want 6 taxonomy classes")
+	}
+}
+
+func TestOnlyFilter(t *testing.T) {
+	r := NewRegistry()
+	r.Register(&Lint{Name: "e_a", Run: func(*x509cert.Certificate) Result { return Failf("a") }})
+	r.Register(&Lint{Name: "e_b", Run: func(*x509cert.Certificate) Result { return Failf("b") }})
+	res := r.Run(&x509cert.Certificate{NotBefore: time.Now()}, Options{Only: map[string]bool{"e_a": true}})
+	if len(res.Findings) != 1 || res.Findings[0].Lint.Name != "e_a" {
+		t.Fatalf("findings %+v", res.Findings)
+	}
+}

@@ -1,0 +1,106 @@
+// Package lints implements the 95 Unicert constraint lints of the
+// paper's §3.1: 45 rules modeled on the coverage of existing linters
+// plus the 50 new Unicode/IDN-specific rules (marked New). Lints
+// register themselves into lint.Global at init time.
+package lints
+
+import (
+	"strings"
+	"time"
+
+	"repro/internal/asn1der"
+	"repro/internal/lint"
+	"repro/internal/strenc"
+	"repro/internal/x509cert"
+)
+
+// Effective dates, per standard publication (§3.1.2).
+var (
+	dateRFC3280 = time.Date(2002, 4, 1, 0, 0, 0, 0, time.UTC)
+	dateRFC5280 = time.Date(2008, 5, 1, 0, 0, 0, 0, time.UTC)
+	dateIDNA    = time.Date(2010, 8, 1, 0, 0, 0, 0, time.UTC)
+	dateCABF    = time.Date(2012, 7, 1, 0, 0, 0, 0, time.UTC)
+	dateComm    = time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	dateRFC8399 = time.Date(2018, 5, 1, 0, 0, 0, 0, time.UTC)
+	dateRFC9549 = time.Date(2024, 3, 1, 0, 0, 0, 0, time.UTC)
+	dateRFC9598 = time.Date(2024, 5, 1, 0, 0, 0, 0, time.UTC)
+)
+
+func register(l *lint.Lint) { lint.Global.Register(l) }
+
+// dnAttr visits every ATV of the DN.
+func dnAttrs(dn x509cert.DN) []x509cert.ATV { return dn.Attributes() }
+
+// attrsOf returns the ATVs of the given type in the DN.
+func attrsOf(dn x509cert.DN, oid asn1der.OID) []x509cert.ATV {
+	var out []x509cert.ATV
+	for _, atv := range dn.Attributes() {
+		if atv.Type.Equal(oid) {
+			out = append(out, atv)
+		}
+	}
+	return out
+}
+
+func hasAttr(dn x509cert.DN, oid asn1der.OID) bool { return len(attrsOf(dn, oid)) > 0 }
+
+// decodedOrRaw decodes an attribute value with replacement handling so
+// character checks can still inspect undecodable content.
+func decoded(atv x509cert.ATV) string { return atv.Value.MustDecode() }
+
+// dnsNameGNs returns the DNSName GeneralNames across SAN and IAN.
+func dnsNameGNs(c *x509cert.Certificate) []x509cert.GeneralName {
+	var out []x509cert.GeneralName
+	for _, gn := range c.SAN {
+		if gn.Kind == x509cert.GNDNSName {
+			out = append(out, gn)
+		}
+	}
+	for _, gn := range c.IAN {
+		if gn.Kind == x509cert.GNDNSName {
+			out = append(out, gn)
+		}
+	}
+	return out
+}
+
+// hasSAN reports whether the certificate carries a SubjectAltName.
+func hasSAN(c *x509cert.Certificate) bool { return len(c.SAN) > 0 }
+
+// isPrintableOrUTF8 reports whether the string tag is one of the two
+// DirectoryString encodings RFC 5280 permits CAs to use for new
+// certificates.
+func isPrintableOrUTF8(tag int) bool {
+	return tag == asn1der.TagPrintableString || tag == asn1der.TagUTF8String
+}
+
+// directoryStringTags are the legal DirectoryString CHOICE arms.
+func isDirectoryStringTag(tag int) bool {
+	switch tag {
+	case asn1der.TagPrintableString, asn1der.TagUTF8String,
+		asn1der.TagTeletexString, asn1der.TagBMPString, asn1der.TagUniversalString:
+		return true
+	}
+	return false
+}
+
+// charsetViolation returns the first rune of s outside the declared
+// string type's charset, if any.
+func charsetViolation(tag int, s string) (rune, bool) {
+	ok, bad := strenc.StringType(tag).ValidString(s)
+	if ok {
+		return 0, false
+	}
+	return bad, true
+}
+
+// appliesToSubjectDN is the common CheckApplies for subject lints.
+func appliesToSubjectDN(c *x509cert.Certificate) bool { return !c.Subject.Empty() }
+
+func appliesToIssuerDN(c *x509cert.Certificate) bool { return !c.Issuer.Empty() }
+
+// splitDomain lowers and splits a dns name into labels, dropping a
+// trailing root dot.
+func splitDomain(name string) []string {
+	return strings.Split(strings.TrimSuffix(strings.ToLower(name), "."), ".")
+}

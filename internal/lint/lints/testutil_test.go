@@ -1,0 +1,7 @@
+package lints
+
+import "repro/internal/punycode"
+
+func punycodeEncode(label string) (string, error) {
+	return punycode.EncodeLabel(label)
+}

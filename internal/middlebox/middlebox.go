@@ -1,0 +1,279 @@
+// Package middlebox models the network-detection engines and HTTP
+// clients of the traffic-obfuscation experiment (§6.2): Snort,
+// Suricata, and Zeek entity extraction, and the SAN-format checking of
+// libcurl, urllib3, requests, and HttpClient. It also provides the
+// in-memory TLS-1.2-style exchange the experiment runs over.
+package middlebox
+
+import (
+	"fmt"
+	"net"
+	"strings"
+
+	"repro/internal/idna"
+	"repro/internal/strenc"
+	"repro/internal/x509cert"
+)
+
+// Engine identifies a detection engine model.
+type Engine int
+
+// The three middlebox engines.
+const (
+	Snort Engine = iota
+	Suricata
+	Zeek
+)
+
+func (e Engine) String() string {
+	switch e {
+	case Snort:
+		return "Snort"
+	case Suricata:
+		return "Suricata"
+	default:
+		return "Zeek"
+	}
+}
+
+// Entity is what an engine extracts from a certificate for rule
+// matching.
+type Entity struct {
+	CN  string
+	Org string
+	OU  string
+	SAN []string
+}
+
+// Extract models each engine's entity extraction (P2.1):
+//   - Snort takes the FIRST CN/OU of duplicated Subject attributes.
+//   - Zeek takes the LAST CN and ignores SAN entries that are not
+//     7-bit IA5 content.
+//   - Suricata takes the first CN but matches case-sensitively (see
+//     Matches).
+func Extract(e Engine, c *x509cert.Certificate) Entity {
+	var ent Entity
+	switch e {
+	case Snort, Suricata:
+		ent.CN = c.Subject.First(x509cert.OIDCommonName)
+		ent.OU = c.Subject.First(x509cert.OIDOrganizationalUnit)
+	case Zeek:
+		ent.CN = c.Subject.Last(x509cert.OIDCommonName)
+		ent.OU = c.Subject.Last(x509cert.OIDOrganizationalUnit)
+	}
+	ent.Org = c.Subject.First(x509cert.OIDOrganizationName)
+	for _, gn := range c.SAN {
+		if gn.Kind != x509cert.GNDNSName {
+			continue
+		}
+		if e == Zeek {
+			ascii := true
+			for _, b := range gn.Bytes {
+				if b >= 0x80 {
+					ascii = false
+					break
+				}
+			}
+			if !ascii {
+				continue // Zeek ignores non-IA5 SAN content
+			}
+		}
+		ent.SAN = append(ent.SAN, gn.MustText())
+	}
+	return ent
+}
+
+// Rule is a blocklist entry ("CN=Evil Entity" style).
+type Rule struct {
+	Field string // "CN", "O", "OU", "SAN"
+	Value string
+}
+
+// Matches models each engine's string comparison: Suricata is
+// case-sensitive; Snort and Zeek compare case-insensitively; all use
+// naive exact equality, which NUL/whitespace variants defeat.
+func Matches(e Engine, c *x509cert.Certificate, r Rule) bool {
+	ent := Extract(e, c)
+	var fields []string
+	switch r.Field {
+	case "CN":
+		fields = []string{ent.CN}
+	case "O":
+		fields = []string{ent.Org}
+	case "OU":
+		fields = []string{ent.OU}
+	case "SAN":
+		fields = ent.SAN
+	}
+	for _, f := range fields {
+		if e == Suricata {
+			if f == r.Value {
+				return true
+			}
+			continue
+		}
+		if strings.EqualFold(f, r.Value) {
+			return true
+		}
+	}
+	return false
+}
+
+// EvasionResult reports whether a crafted certificate evades an
+// engine's rule.
+type EvasionResult struct {
+	Engine  Engine
+	Evaded  bool
+	Extract Entity
+}
+
+// Evasion runs a rule against a crafted certificate across all three
+// engines.
+func Evasion(c *x509cert.Certificate, r Rule) []EvasionResult {
+	var out []EvasionResult
+	for _, e := range []Engine{Snort, Suricata, Zeek} {
+		out = append(out, EvasionResult{Engine: e, Evaded: !Matches(e, c, r), Extract: Extract(e, c)})
+	}
+	return out
+}
+
+// Client identifies an HTTP client model for the P2.2 check.
+type Client int
+
+// The four client implementations.
+const (
+	Libcurl Client = iota
+	Urllib3
+	Requests
+	HTTPClient
+)
+
+func (c Client) String() string {
+	switch c {
+	case Libcurl:
+		return "libcurl"
+	case Urllib3:
+		return "urllib3"
+	case Requests:
+		return "requests"
+	default:
+		return "HttpClient"
+	}
+}
+
+// Clients lists the four models.
+func Clients() []Client { return []Client{Libcurl, Urllib3, Requests, HTTPClient} }
+
+// ValidateSANFormat models each client's SAN format checking (P2.2):
+// libcurl and HttpClient require LDH A-label DNSNames; urllib3 (and
+// requests, which delegates to it) over-tolerantly accept any Latin-1
+// content, including raw U-labels.
+func ValidateSANFormat(cl Client, c *x509cert.Certificate) error {
+	for _, gn := range c.SAN {
+		if gn.Kind != x509cert.GNDNSName {
+			continue
+		}
+		switch cl {
+		case Urllib3, Requests:
+			// Latin-1 decoding accepts every byte, and no Punycode
+			// validation follows — the P2.2 gap: raw U-labels pass.
+			_, _ = strenc.Decode(strenc.ISO88591, strenc.Replace, gn.Bytes)
+		default:
+			name, err := strenc.Decode(strenc.ASCII, strenc.Strict, gn.Bytes)
+			if err != nil {
+				return fmt.Errorf("%s: SAN not ASCII: %v", cl, err)
+			}
+			if err := idna.ValidateDNSName(name); err != nil {
+				return fmt.Errorf("%s: SAN %q: %v", cl, name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// HostnameMatch models client hostname verification against SAN
+// DNSNames (exact or single-label wildcard).
+func HostnameMatch(cl Client, c *x509cert.Certificate, host string) bool {
+	if err := ValidateSANFormat(cl, c); err != nil {
+		return false
+	}
+	host = strings.ToLower(host)
+	for _, name := range c.DNSNames() {
+		n := strings.ToLower(name)
+		if n == host {
+			return true
+		}
+		if rest, ok := strings.CutPrefix(n, "*."); ok {
+			if i := strings.IndexByte(host, '.'); i >= 0 && host[i+1:] == rest {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Handshake carries a certificate chain over an in-memory connection,
+// mirroring a TLS ≤1.2 exchange where the middlebox observes the
+// plaintext Certificate message.
+type Handshake struct {
+	Chain [][]byte
+}
+
+// Serve writes the chain length-prefixed onto conn.
+func (h *Handshake) Serve(conn net.Conn) error {
+	defer conn.Close()
+	for _, der := range h.Chain {
+		hdr := []byte{byte(len(der) >> 16), byte(len(der) >> 8), byte(len(der))}
+		if _, err := conn.Write(hdr); err != nil {
+			return err
+		}
+		if _, err := conn.Write(der); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadChain consumes a served chain from conn.
+func ReadChain(conn net.Conn) ([][]byte, error) {
+	var out [][]byte
+	hdr := make([]byte, 3)
+	for {
+		if _, err := ioReadFull(conn, hdr); err != nil {
+			if len(out) > 0 {
+				return out, nil
+			}
+			return nil, err
+		}
+		n := int(hdr[0])<<16 | int(hdr[1])<<8 | int(hdr[2])
+		buf := make([]byte, n)
+		if _, err := ioReadFull(conn, buf); err != nil {
+			return nil, err
+		}
+		out = append(out, buf)
+	}
+}
+
+func ioReadFull(conn net.Conn, buf []byte) (int, error) {
+	total := 0
+	for total < len(buf) {
+		n, err := conn.Read(buf[total:])
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// ObfuscationPayloads builds the crafted subject values of the §6.2
+// threat model from a blocked entity name.
+func ObfuscationPayloads(blocked string) []string {
+	return []string{
+		blocked[:len(blocked)/2] + "\x00" + blocked[len(blocked)/2:], // NUL insertion
+		blocked + " ",                         // trailing whitespace
+		strings.ToUpper(blocked),              // case variant (defeats Suricata)
+		blocked + ".",                         // trailing dot
+		strings.Replace(blocked, " ", " ", 1), // NBSP variant
+	}
+}

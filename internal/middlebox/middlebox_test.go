@@ -1,0 +1,202 @@
+package middlebox
+
+import (
+	"math/big"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/x509cert"
+)
+
+var (
+	caKey, _   = x509cert.GenerateKey(51)
+	leafKey, _ = x509cert.GenerateKey(52)
+)
+
+func buildCert(t *testing.T, subject x509cert.DN, sans []x509cert.GeneralName) *x509cert.Certificate {
+	t.Helper()
+	tpl := &x509cert.Template{
+		SerialNumber: big.NewInt(9),
+		Issuer:       x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "MB CA")),
+		Subject:      subject,
+		NotBefore:    time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:     time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC),
+		SAN:          sans,
+	}
+	der, err := x509cert.Build(tpl, caKey, leafKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := x509cert.Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDuplicateCNFirstVsLast(t *testing.T) {
+	// P2.1: Snort takes the first CN, Zeek the last — position games
+	// evade one or the other.
+	c := buildCert(t,
+		x509cert.SimpleDN(
+			x509cert.TextATV(x509cert.OIDCommonName, "benign.example"),
+			x509cert.TextATV(x509cert.OIDCommonName, "evil.example"),
+		),
+		[]x509cert.GeneralName{x509cert.DNSName("benign.example")},
+	)
+	if got := Extract(Snort, c).CN; got != "benign.example" {
+		t.Errorf("Snort CN %q", got)
+	}
+	if got := Extract(Zeek, c).CN; got != "evil.example" {
+		t.Errorf("Zeek CN %q", got)
+	}
+	rule := Rule{Field: "CN", Value: "evil.example"}
+	if Matches(Snort, c, rule) {
+		t.Error("Snort should miss the second CN")
+	}
+	if !Matches(Zeek, c, rule) {
+		t.Error("Zeek should catch the last CN")
+	}
+}
+
+func TestZeekIgnoresNonIA5SAN(t *testing.T) {
+	c := buildCert(t,
+		x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "x.example")),
+		[]x509cert.GeneralName{
+			{Kind: x509cert.GNDNSName, Bytes: []byte("evil.example")},
+			{Kind: x509cert.GNDNSName, Bytes: []byte("u\xC3\xABber.example")}, // non-IA5
+		},
+	)
+	zeek := Extract(Zeek, c)
+	if len(zeek.SAN) != 1 || zeek.SAN[0] != "evil.example" {
+		t.Fatalf("Zeek SANs %v", zeek.SAN)
+	}
+	snort := Extract(Snort, c)
+	if len(snort.SAN) != 2 {
+		t.Fatalf("Snort SANs %v", snort.SAN)
+	}
+}
+
+func TestSuricataCaseSensitivityBypass(t *testing.T) {
+	c := buildCert(t,
+		x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "EVIL ENTITY")),
+		[]x509cert.GeneralName{x509cert.DNSName("e.example")},
+	)
+	rule := Rule{Field: "CN", Value: "Evil Entity"}
+	if Matches(Suricata, c, rule) {
+		t.Error("Suricata's case-sensitive match must miss the variant")
+	}
+	if !Matches(Snort, c, rule) {
+		t.Error("Snort's case-insensitive match should catch it")
+	}
+}
+
+func TestObfuscationPayloadsEvade(t *testing.T) {
+	blocked := "Evil Entity"
+	rule := Rule{Field: "CN", Value: blocked}
+	evadedSomething := false
+	for _, payload := range ObfuscationPayloads(blocked) {
+		c := buildCert(t,
+			x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, payload)),
+			[]x509cert.GeneralName{x509cert.DNSName("p.example")},
+		)
+		for _, res := range Evasion(c, rule) {
+			if res.Evaded {
+				evadedSomething = true
+			}
+		}
+	}
+	if !evadedSomething {
+		t.Fatal("crafted payloads should evade naive string matching")
+	}
+	// The exact name is caught everywhere.
+	c := buildCert(t,
+		x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, blocked)),
+		[]x509cert.GeneralName{x509cert.DNSName("p.example")},
+	)
+	for _, res := range Evasion(c, rule) {
+		if res.Evaded {
+			t.Errorf("%s evaded by the exact blocked name", res.Engine)
+		}
+	}
+}
+
+func TestClientSANFormatCheckingP22(t *testing.T) {
+	// A raw U-label SAN: urllib3/requests accept it (over-tolerant
+	// Latin-1), libcurl/HttpClient reject it.
+	c := buildCert(t,
+		x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "bücher.example")),
+		[]x509cert.GeneralName{x509cert.DNSName("b\xFCcher.example")}, // Latin-1 ü in SAN
+	)
+	for _, cl := range Clients() {
+		err := ValidateSANFormat(cl, c)
+		switch cl {
+		case Urllib3, Requests:
+			if err != nil {
+				t.Errorf("%s should tolerate Latin-1 SAN: %v", cl, err)
+			}
+		default:
+			if err == nil {
+				t.Errorf("%s should reject a non-LDH SAN", cl)
+			}
+		}
+	}
+}
+
+func TestHostnameMatch(t *testing.T) {
+	c := buildCert(t,
+		x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "a.example")),
+		[]x509cert.GeneralName{x509cert.DNSName("a.example"), x509cert.DNSName("*.wild.example")},
+	)
+	if !HostnameMatch(Libcurl, c, "a.example") {
+		t.Error("exact match failed")
+	}
+	if !HostnameMatch(Libcurl, c, "www.wild.example") {
+		t.Error("wildcard match failed")
+	}
+	if HostnameMatch(Libcurl, c, "deep.www.wild.example") {
+		t.Error("wildcard must cover one label only")
+	}
+	if HostnameMatch(Libcurl, c, "other.example") {
+		t.Error("mismatch accepted")
+	}
+}
+
+func TestHandshakeTransport(t *testing.T) {
+	c := buildCert(t,
+		x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "hs.example")),
+		[]x509cert.GeneralName{x509cert.DNSName("hs.example")},
+	)
+	client, server := net.Pipe()
+	h := &Handshake{Chain: [][]byte{c.Raw}}
+	go func() { _ = h.Serve(server) }()
+	chain, err := ReadChain(client)
+	if err != nil && len(chain) == 0 {
+		t.Fatal(err)
+	}
+	if len(chain) != 1 {
+		t.Fatalf("chain length %d", len(chain))
+	}
+	got, err := x509cert.Parse(chain[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Subject.CommonName() != "hs.example" {
+		t.Fatalf("CN %q", got.Subject.CommonName())
+	}
+}
+
+func TestObfuscationPayloadShapes(t *testing.T) {
+	ps := ObfuscationPayloads("Evil Entity")
+	if len(ps) != 5 {
+		t.Fatalf("payload count %d", len(ps))
+	}
+	if !strings.Contains(ps[0], "\x00") {
+		t.Error("payload 0 must embed NUL")
+	}
+	if ps[2] != "EVIL ENTITY" {
+		t.Errorf("payload 2 %q", ps[2])
+	}
+}

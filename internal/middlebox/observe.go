@@ -1,0 +1,47 @@
+package middlebox
+
+// TLS-wire integration: the in-path vantage point of §6.2. A passive
+// tap captures the plaintext TLS ≤1.2 handshake, extracts the server
+// certificate with tlswire, and feeds each engine's entity extraction.
+
+import (
+	"io"
+
+	"repro/internal/tlswire"
+	"repro/internal/x509cert"
+)
+
+// TapVerdict is one engine's decision over an observed handshake.
+type TapVerdict struct {
+	Engine  Engine
+	SNI     string
+	Matched bool
+	Entity  Entity
+}
+
+// InspectStream consumes a captured handshake byte stream, parses the
+// leaf certificate leniently (middleboxes cannot afford strict
+// failures), and evaluates the rule across all three engines.
+func InspectStream(stream io.Reader, rule Rule) ([]TapVerdict, error) {
+	obs, err := tlswire.Observe(stream)
+	if err != nil {
+		return nil, err
+	}
+	if len(obs.Chain) == 0 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	leaf, err := x509cert.ParseWithMode(obs.Chain[0], x509cert.ParseLenient)
+	if err != nil {
+		return nil, err
+	}
+	var out []TapVerdict
+	for _, e := range []Engine{Snort, Suricata, Zeek} {
+		out = append(out, TapVerdict{
+			Engine:  e,
+			SNI:     obs.SNI,
+			Matched: Matches(e, leaf, rule),
+			Entity:  Extract(e, leaf),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,72 @@
+package middlebox
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/tlswire"
+	"repro/internal/x509cert"
+)
+
+func captureHandshake(t *testing.T, sni string, chain [][]byte) *bytes.Buffer {
+	t.Helper()
+	var wire bytes.Buffer
+	ch := &tlswire.ClientHello{ServerName: sni}
+	if err := tlswire.WriteRecord(&wire, tlswire.Record{Type: tlswire.TypeHandshake, Version: tlswire.VersionTLS12, Payload: ch.Marshal()}); err != nil {
+		t.Fatal(err)
+	}
+	certMsg, err := tlswire.MarshalCertificate(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tlswire.WriteRecord(&wire, tlswire.Record{Type: tlswire.TypeHandshake, Version: tlswire.VersionTLS12, Payload: certMsg}); err != nil {
+		t.Fatal(err)
+	}
+	return &wire
+}
+
+func TestInspectStreamEndToEnd(t *testing.T) {
+	// A NUL-crafted CN travels the real TLS wire format and still
+	// evades every engine's naive match.
+	evil := buildCert(t,
+		x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "Evil\x00 Entity")),
+		[]x509cert.GeneralName{x509cert.DNSName("c2.example")},
+	)
+	wire := captureHandshake(t, "c2.example", [][]byte{evil.Raw})
+	verdicts, err := InspectStream(wire, Rule{Field: "CN", Value: "Evil Entity"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) != 3 {
+		t.Fatalf("verdicts %d", len(verdicts))
+	}
+	for _, v := range verdicts {
+		if v.SNI != "c2.example" {
+			t.Errorf("%s: SNI %q", v.Engine, v.SNI)
+		}
+		if v.Matched {
+			t.Errorf("%s: NUL-crafted CN must evade the exact-match rule", v.Engine)
+		}
+	}
+	// The clean name is caught by the case-insensitive engines.
+	clean := buildCert(t,
+		x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "Evil Entity")),
+		[]x509cert.GeneralName{x509cert.DNSName("c2.example")},
+	)
+	wire = captureHandshake(t, "c2.example", [][]byte{clean.Raw})
+	verdicts, err = InspectStream(wire, Rule{Field: "CN", Value: "Evil Entity"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range verdicts {
+		if !v.Matched {
+			t.Errorf("%s: exact CN must match", v.Engine)
+		}
+	}
+}
+
+func TestInspectStreamGarbage(t *testing.T) {
+	if _, err := InspectStream(bytes.NewReader([]byte("junk")), Rule{}); err == nil {
+		t.Fatal("garbage stream must error")
+	}
+}

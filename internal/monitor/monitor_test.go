@@ -1,0 +1,183 @@
+package monitor
+
+import (
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/x509cert"
+)
+
+var (
+	caKey, _   = x509cert.GenerateKey(31)
+	leafKey, _ = x509cert.GenerateKey(32)
+)
+
+func cert(t *testing.T, cn string, sans ...string) *x509cert.Certificate {
+	t.Helper()
+	gns := make([]x509cert.GeneralName, 0, len(sans))
+	for _, s := range sans {
+		gns = append(gns, x509cert.DNSName(s))
+	}
+	tpl := &x509cert.Template{
+		SerialNumber: big.NewInt(44),
+		Issuer:       x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "Monitor CA")),
+		Subject:      x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, cn)),
+		NotBefore:    time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:     time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC),
+		SAN:          gns,
+	}
+	der, err := x509cert.Build(tpl, caKey, leafKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := x509cert.Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestFiveMonitors(t *testing.T) {
+	ms := Monitors()
+	if len(ms) != 5 {
+		t.Fatalf("want 5 monitors, got %d", len(ms))
+	}
+}
+
+func TestCaseInsensitiveSearchP11(t *testing.T) {
+	// P1.1: case-insensitive querying is universal.
+	for _, caps := range Monitors() {
+		if caps.Discontinued {
+			continue
+		}
+		m := New(caps)
+		m.Index(1, cert(t, "Example.COM", "Example.COM"))
+		if res := m.Query("example.com"); len(res.IDs) != 1 {
+			t.Errorf("%s: case-insensitive query failed", caps.Name)
+		}
+	}
+}
+
+func TestFuzzySearchP12(t *testing.T) {
+	// P1.2: monitors without fuzzy search miss variants.
+	padded := cert(t, "victim.example corp", "victim.example")
+	for _, caps := range Monitors() {
+		if caps.Discontinued {
+			continue
+		}
+		m := New(caps)
+		m.Index(1, padded)
+		res := m.Query("victim.example")
+		found := len(res.IDs) > 0
+		if caps.FuzzySearch && !found {
+			t.Errorf("%s: fuzzy monitor should find padded CN", caps.Name)
+		}
+	}
+	// Exact-match monitors miss the whitespace-padded CN when it is
+	// the only indexed value.
+	noFuzzy := New(Monitors()[2]) // Facebook: no fuzzy search
+	onlyCN := cert(t, "victim.example corp")
+	noFuzzy.Index(1, onlyCN)
+	if res := noFuzzy.Query("victim.example"); len(res.IDs) != 0 {
+		t.Error("exact-match monitor should miss the variant")
+	}
+}
+
+func TestULabelCheckP13(t *testing.T) {
+	// P1.3: only SSLMate and Facebook refuse deceptive IDN queries.
+	for _, caps := range Monitors() {
+		if caps.Discontinued {
+			continue
+		}
+		m := New(caps)
+		res := m.Query("xn--www-hn0a.example")
+		if caps.ULabelCheck && !res.Refused {
+			t.Errorf("%s: deceptive IDN query must be refused", caps.Name)
+		}
+		if !caps.ULabelCheck && res.Refused {
+			t.Errorf("%s: query unexpectedly refused: %s", caps.Name, res.Reason)
+		}
+	}
+}
+
+func TestSpecialUnicodeIndexingP14(t *testing.T) {
+	// P1.4: SSLMate-style monitors mis-index CNs with special content.
+	sslmate := New(Monitors()[1])
+	c := cert(t, "victim.example/extra path")
+	sslmate.Index(1, c)
+	// Only the substring before '/' is matched.
+	if res := sslmate.Query("victim.example"); len(res.IDs) != 1 {
+		t.Error("SSLMate should match the pre-slash substring")
+	}
+	if res := sslmate.Query("victim.example/extra path"); len(res.IDs) != 0 {
+		t.Error("full value must not match")
+	}
+}
+
+func TestMisleadExperiment(t *testing.T) {
+	// A forged certificate with a NUL-bearing CN and no clean SAN: the
+	// owner's domain query must miss it on monitors without fuzzy
+	// indexing of the corrupted field.
+	forged := cert(t, "victim.example\x00.attacker.site")
+	results := MisleadExperiment(forged, "victim.example")
+	concealedCount := 0
+	for _, r := range results {
+		if r.Concealed {
+			concealedCount++
+		}
+	}
+	if concealedCount == 0 {
+		t.Fatal("the crafted certificate should evade at least one monitor")
+	}
+	// A clean forgery (exact victim CN) is surfaced by every active
+	// monitor.
+	clean := cert(t, "victim.example", "victim.example")
+	visible := 0
+	for _, r := range MisleadExperiment(clean, "victim.example") {
+		if !r.Concealed {
+			visible++
+		}
+	}
+	if visible < 3 {
+		t.Fatalf("clean forgery should be visible to most monitors, got %d", visible)
+	}
+}
+
+func TestPunycodeQuerySupport(t *testing.T) {
+	for _, caps := range Monitors() {
+		if caps.Discontinued || !caps.PunycodeIDN {
+			continue
+		}
+		m := New(caps)
+		m.Index(1, cert(t, "xn--bcher-kva.example", "xn--bcher-kva.example"))
+		if res := m.Query("xn--bcher-kva.example"); len(res.IDs) != 1 {
+			t.Errorf("%s: punycode query failed", caps.Name)
+		}
+	}
+}
+
+func TestUnicodeQueryConversion(t *testing.T) {
+	// Monitors convert U-label queries via Punycode when supported.
+	m := New(Monitors()[0]) // Crt.sh
+	m.Index(1, cert(t, "xn--bcher-kva.example", "xn--bcher-kva.example"))
+	if res := m.Query("bücher.example"); len(res.IDs) != 1 {
+		t.Error("U-label query should convert and match")
+	}
+}
+
+func TestIDNccTLDSupport(t *testing.T) {
+	// Entrust (no IDN-ccTLD support) refuses; the others answer. Use an
+	// active Entrust-like profile to isolate the capability.
+	caps := Capabilities{Name: "Entrust-like", PunycodeIDN: true}
+	m := New(caps)
+	m.Index(1, cert(t, "bank.xn--p1ai", "bank.xn--p1ai"))
+	if res := m.Query("bank.xn--p1ai"); !res.Refused {
+		t.Error("monitor without IDN-ccTLD support must refuse")
+	}
+	full := New(Monitors()[0]) // Crt.sh supports IDN ccTLDs
+	full.Index(1, cert(t, "bank.xn--p1ai", "bank.xn--p1ai"))
+	if res := full.Query("bank.xn--p1ai"); len(res.IDs) != 1 {
+		t.Error("IDN-ccTLD-capable monitor should answer")
+	}
+}

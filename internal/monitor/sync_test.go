@@ -1,0 +1,82 @@
+package monitor
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/ctlog"
+	"repro/internal/x509cert"
+)
+
+func TestSyncFromLog(t *testing.T) {
+	log, err := ctlog.NewLog(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three leaves and one precert.
+	leaves := []*x509cert.Certificate{
+		cert(t, "one.example", "one.example"),
+		cert(t, "two.example", "two.example"),
+		cert(t, "victim.example\x00.attacker.site"),
+	}
+	for _, c := range leaves {
+		if _, err := log.AddParsed(c.Raw, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pre := cert(t, "pre.example", "pre.example")
+	if _, err := log.AddParsed(pre.Raw, true); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer((&ctlog.Server{Log: log}).Handler())
+	defer srv.Close()
+	client := &ctlog.Client{Base: srv.URL}
+
+	// A fuzzy monitor indexes everything and finds both clean domains.
+	crtsh := New(Monitors()[0])
+	stats, err := crtsh.SyncFromLog(client, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fetched != 4 || stats.Precerts != 1 || stats.Indexed != 3 {
+		t.Fatalf("stats %+v", stats)
+	}
+	if res := crtsh.Query("one.example"); len(res.IDs) != 1 {
+		t.Error("one.example not found after sync")
+	}
+	if res := crtsh.Query("two.example"); len(res.IDs) != 1 {
+		t.Error("two.example not found after sync")
+	}
+
+	// The SSLMate-style monitor syncs the same log but the NUL-bearing
+	// forgery never becomes findable by the owner's query.
+	sslmate := New(Monitors()[1])
+	if _, err := sslmate.SyncFromLog(client, 10); err != nil {
+		t.Fatal(err)
+	}
+	if res := sslmate.Query("victim.example"); len(res.IDs) != 0 {
+		t.Error("P1.4 monitor should miss the crafted certificate")
+	}
+	// Fuzzy Crt.sh surfaces it despite the crafted CN.
+	if res := crtsh.Query("victim.example"); len(res.IDs) == 0 {
+		t.Error("fuzzy monitor should surface the crafted certificate")
+	}
+}
+
+func TestSyncEmptyLog(t *testing.T) {
+	log, err := ctlog.NewLog(18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer((&ctlog.Server{Log: log}).Handler())
+	defer srv.Close()
+	m := New(Monitors()[0])
+	stats, err := m.SyncFromLog(&ctlog.Client{Base: srv.URL}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fetched != 0 {
+		t.Fatalf("stats %+v", stats)
+	}
+}

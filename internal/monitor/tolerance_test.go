@@ -1,0 +1,48 @@
+package monitor
+
+import (
+	"testing"
+
+	"repro/internal/x509cert"
+)
+
+func TestToleranceExperiment(t *testing.T) {
+	sample := []*x509cert.Certificate{
+		cert(t, "clean.example", "clean.example"),
+		cert(t, "victim.example\x00attack", "victim.example\x00attack"),
+		cert(t, "pad.example corp", "pad.example corp"),
+		cert(t, "xn--www-hn0a.example", "xn--www-hn0a.example"),
+	}
+	rows := ToleranceExperiment(sample)
+	if len(rows) != 5 {
+		t.Fatalf("rows %d", len(rows))
+	}
+	byName := map[string]ToleranceRow{}
+	for _, r := range rows {
+		byName[r.Monitor] = r
+	}
+	// Fuzzy monitors find even the NUL- and space-crafted entries when
+	// the owner queries the clean substring.
+	crtsh := byName["Crt.sh"]
+	if crtsh.Missed != 0 {
+		t.Errorf("Crt.sh missed %d of %d", crtsh.Missed, crtsh.Sampled)
+	}
+	// SSLMate misses crafted entries (P1.4 indexing failures) and
+	// refuses the deceptive IDN query (U-label check).
+	sslmate := byName["SSLMate Spotter"]
+	if sslmate.Missed == 0 {
+		t.Error("SSLMate should miss special-Unicode certificates")
+	}
+	if sslmate.Refused == 0 {
+		t.Error("SSLMate should refuse the deceptive IDN query")
+	}
+	// The discontinued monitor reports an empty row.
+	if byName["Entrust Search"].Sampled != 0 {
+		t.Error("Entrust row should be empty")
+	}
+	// Exact-match Facebook finds clean entries but not crafted ones.
+	fb := byName["Facebook Monitor"]
+	if fb.Found == 0 || fb.Missed == 0 {
+		t.Errorf("Facebook: %+v", fb)
+	}
+}

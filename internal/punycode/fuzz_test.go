@@ -1,0 +1,62 @@
+package punycode
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func FuzzDecode(f *testing.F) {
+	f.Add("bcher-kva")
+	f.Add("fiqs8sirgfmh")
+	f.Add(strings.Repeat("9", 64))
+	f.Add("a-b-c-")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		out, err := Decode(s)
+		if err != nil {
+			return
+		}
+		// Decoded output must be valid UTF-8 with no surrogates.
+		if !utf8.ValidString(out) {
+			t.Fatalf("Decode(%q) produced invalid UTF-8", s)
+		}
+		for _, r := range out {
+			if r >= 0xD800 && r <= 0xDFFF {
+				t.Fatalf("Decode(%q) produced surrogate U+%04X", s, r)
+			}
+		}
+		// Re-encoding must succeed (the output is by construction in
+		// range).
+		if _, err := Encode(out); err != nil {
+			t.Fatalf("Encode(Decode(%q)): %v", s, err)
+		}
+	})
+}
+
+func FuzzEncodeDecodeRoundTrip(f *testing.F) {
+	f.Add("bücher")
+	f.Add("中国政府")
+	f.Add("plain")
+	f.Fuzz(func(t *testing.T, s string) {
+		if !utf8.ValidString(s) {
+			t.Skip()
+		}
+		for _, r := range s {
+			if r >= 0xD800 && r <= 0xDFFF {
+				t.Skip()
+			}
+		}
+		enc, err := Encode(s)
+		if err != nil {
+			t.Skip()
+		}
+		dec, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(Encode(%q)): %v", s, err)
+		}
+		if dec != s {
+			t.Fatalf("round trip %q -> %q -> %q", s, enc, dec)
+		}
+	})
+}

@@ -1,0 +1,347 @@
+// Package report renders the paper's tables and figures as aligned
+// text, so the benchmark harness and the command-line tools print the
+// same rows and series the paper reports.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"unicode/utf8"
+
+	"repro/internal/corpus"
+	"repro/internal/difftest"
+	"repro/internal/lint"
+	"repro/internal/monitor"
+	"repro/internal/tlsimpl"
+)
+
+// Table renders an aligned text table.
+func Table(headers []string, rows [][]string) string {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && utf8.RuneCountInString(cell) > widths[i] {
+				widths[i] = utf8.RuneCountInString(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(c)))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(headers)
+	sep := make([]string, len(headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// Percent formats n/d as a percentage.
+func Percent(n, d int) string {
+	if d == 0 {
+		return "0.00%"
+	}
+	return fmt.Sprintf("%.2f%%", float64(n)/float64(d)*100)
+}
+
+// Table1 renders the noncompliance taxonomy (paper Table 1).
+func Table1(rows []corpus.TaxonomyRow, totalNC int) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Taxonomy.Group(),
+			r.Taxonomy.String(),
+			fmt.Sprintf("%d (%d)", r.LintsAll, r.LintsNew),
+			fmt.Sprintf("%d", r.NCCerts),
+			fmt.Sprintf("%d", r.ErrorCerts),
+			fmt.Sprintf("%d", r.WarnCerts),
+			fmt.Sprintf("%.1f%%", r.TrustedPct),
+			fmt.Sprintf("%d", r.Recent),
+			fmt.Sprintf("%d", r.Alive),
+		})
+	}
+	header := fmt.Sprintf("Table 1: noncompliance taxonomy (total NC Unicerts: %d)\n", totalNC)
+	return header + Table([]string{"", "Type", "#Lints (new)", "#NC", "Error", "Warning", "Trusted", "Recent", "Alive"}, out)
+}
+
+// Table2 renders the top issuer organizations (paper Table 2).
+func Table2(rows []corpus.IssuerRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Organization,
+			r.Trust.String(),
+			r.Region,
+			fmt.Sprintf("%d (%.2f%%)", r.NC, r.NCRate),
+			fmt.Sprintf("%d", r.Recent),
+		})
+	}
+	return "Table 2: top issuer organizations by noncompliant Unicerts\n" +
+		Table([]string{"IssuerOrganizationName", "Trust", "Region", "Noncompliant", "Recent"}, out)
+}
+
+// Table3 renders the Subject variant strategies (paper Table 3).
+func Table3(counts map[corpus.VariantStrategy]int) string {
+	var out [][]string
+	for _, v := range corpus.VariantStrategies() {
+		out = append(out, []string{v.String(), fmt.Sprintf("%d", counts[v])})
+	}
+	return "Table 3: value variant strategies in Subject fields\n" +
+		Table([]string{"Variant Strategy", "Pairs"}, out)
+}
+
+// Table4 renders the decoding-method matrix (paper Table 4).
+func Table4(findings []difftest.DecodeFinding) string {
+	libs := tlsimpl.Libraries()
+	headers := []string{"Encoding Scenario", "Inferred"}
+	for _, l := range libs {
+		headers = append(headers, shortLib(l))
+	}
+	byScenario := map[string]map[tlsimpl.Library]difftest.DecodeFinding{}
+	var order []string
+	for _, f := range findings {
+		m, ok := byScenario[f.Scenario.Name]
+		if !ok {
+			m = map[tlsimpl.Library]difftest.DecodeFinding{}
+			byScenario[f.Scenario.Name] = m
+			order = append(order, f.Scenario.Name)
+		}
+		m[f.Library] = f
+	}
+	var rows [][]string
+	for _, name := range order {
+		row := []string{name, methodSummary(byScenario[name])}
+		for _, l := range libs {
+			f := byScenario[name][l]
+			cells := make([]string, 0, len(f.Classes))
+			for _, c := range f.Classes {
+				cells = append(cells, c.Symbol())
+			}
+			row = append(row, strings.Join(cells, ""))
+		}
+		rows = append(rows, row)
+	}
+	legend := "○ ok  ◐ over-tolerant  ⊗ incompatible  ⊙ modified  ✕ parse failure  - unsupported\n"
+	return "Table 4: decoding methods for DN and GN\n" + Table(headers, rows) + legend
+}
+
+func methodSummary(m map[tlsimpl.Library]difftest.DecodeFinding) string {
+	counts := map[string]int{}
+	for _, f := range m {
+		if !f.HasClass(difftest.DecodeUnsupported) && !f.HasClass(difftest.DecodeParseFailure) {
+			counts[f.Method.String()]++
+		}
+	}
+	type kv struct {
+		k string
+		v int
+	}
+	var all []kv
+	for k, v := range counts {
+		all = append(all, kv{k, v})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v > all[j].v || (all[i].v == all[j].v && all[i].k < all[j].k) })
+	parts := make([]string, 0, len(all))
+	for _, e := range all {
+		parts = append(parts, fmt.Sprintf("%s×%d", e.k, e.v))
+	}
+	return strings.Join(parts, " ")
+}
+
+func shortLib(l tlsimpl.Library) string {
+	switch l {
+	case tlsimpl.OpenSSL:
+		return "OpenSSL"
+	case tlsimpl.GnuTLS:
+		return "GnuTLS"
+	case tlsimpl.PyOpenSSL:
+		return "PyOSSL"
+	case tlsimpl.Cryptography:
+		return "Crypto"
+	case tlsimpl.GoCrypto:
+		return "Go"
+	case tlsimpl.JavaSecurity:
+		return "Java"
+	case tlsimpl.BouncyCastle:
+		return "Bouncy"
+	case tlsimpl.NodeCrypto:
+		return "Node"
+	default:
+		return "Forge"
+	}
+}
+
+// Table5 renders the standard-violation matrix (paper Table 5).
+func Table5(findings []difftest.CharFinding) string {
+	libs := tlsimpl.Libraries()
+	headers := []string{"Standard Violations"}
+	for _, l := range libs {
+		headers = append(headers, shortLib(l))
+	}
+	byKind := map[difftest.ViolationKind]map[tlsimpl.Library]difftest.CharFinding{}
+	for _, f := range findings {
+		m, ok := byKind[f.Kind]
+		if !ok {
+			m = map[tlsimpl.Library]difftest.CharFinding{}
+			byKind[f.Kind] = m
+		}
+		m[f.Library] = f
+	}
+	var rows [][]string
+	for _, k := range difftest.ViolationKinds() {
+		row := []string{k.String()}
+		for _, l := range libs {
+			row = append(row, byKind[k][l].Class.Symbol())
+		}
+		rows = append(rows, row)
+	}
+	legend := "○ no violation  ⊙ unexploited violation  ⊗ exploited violation  - not applicable\n"
+	return "Table 5: standard violations in parsing DN and GN\n" + Table(headers, rows) + legend
+}
+
+// Table6 renders the CT monitor capability matrix (paper Table 6).
+func Table6(results []monitor.MisleadResult) string {
+	caps := monitor.Monitors()
+	var rows [][]string
+	yn := func(b bool) string {
+		if b {
+			return "yes"
+		}
+		return "no"
+	}
+	byName := map[string]monitor.MisleadResult{}
+	for _, r := range results {
+		byName[r.Monitor] = r
+	}
+	for _, c := range caps {
+		concealed := "-"
+		if r, ok := byName[c.Name]; ok {
+			concealed = yn(r.Concealed)
+		}
+		rows = append(rows, []string{
+			c.Name, yn(c.CaseSensitive), yn(c.UnicodeSearch), yn(c.FuzzySearch),
+			yn(c.ULabelCheck), yn(c.PunycodeIDN), yn(c.FailsOnSpecialUnicode), concealed,
+		})
+	}
+	return "Table 6: Unicert tolerance among CT monitors\n" + Table(
+		[]string{"Monitor", "CaseSens", "Unicode", "Fuzzy", "U-label chk", "Punycode", "FailsSpecial", "Forgery concealed"},
+		rows)
+}
+
+// Figure2 renders the issuance trend as a log-scaled text series.
+func Figure2(rows []corpus.YearRow) string {
+	var out [][]string
+	for _, r := range rows {
+		out = append(out, []string{
+			fmt.Sprintf("%d", r.Year),
+			fmt.Sprintf("%d", r.All),
+			fmt.Sprintf("%d", r.Trusted),
+			fmt.Sprintf("%d", r.NC),
+			fmt.Sprintf("%d", r.AliveAll),
+			fmt.Sprintf("%d", r.AliveNC),
+			bar(r.All),
+		})
+	}
+	return "Figure 2: issuance trend of Unicerts and noncompliant Unicerts\n" +
+		Table([]string{"Year", "All", "Trusted", "NC", "Alive", "AliveNC", "log volume"}, out)
+}
+
+func bar(n int) string {
+	if n <= 0 {
+		return ""
+	}
+	width := 0
+	for v := n; v > 0; v /= 4 {
+		width++
+	}
+	return strings.Repeat("█", width)
+}
+
+// Figure3 renders the validity CDF at the paper's anchor points.
+func Figure3(series map[string][]int) string {
+	anchors := []int{90, 180, 365, 398, 700, 1000}
+	headers := []string{"Class"}
+	for _, a := range anchors {
+		headers = append(headers, fmt.Sprintf("≤%dd", a))
+	}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var rows [][]string
+	for _, name := range names {
+		row := []string{name}
+		for _, a := range anchors {
+			row = append(row, fmt.Sprintf("%.1f%%", corpus.CDFAt(series[name], a)*100))
+		}
+		rows = append(rows, row)
+	}
+	return "Figure 3: CDF of Unicert validity period\n" + Table(headers, rows)
+}
+
+// Figure4 renders the issuer × field Unicode/deviation matrix.
+func Figure4(matrix map[string]map[string]corpus.FieldCell) string {
+	fields := []string{"Subject.CN", "Subject.O", "Subject.L", "Subject.ST", "SAN.DNSName", "CertificatePolicies"}
+	issuers := make([]string, 0, len(matrix))
+	for org := range matrix {
+		issuers = append(issuers, org)
+	}
+	sort.Strings(issuers)
+	headers := append([]string{"Issuer"}, fields...)
+	var rows [][]string
+	for _, org := range issuers {
+		row := []string{org}
+		for _, f := range fields {
+			cell := matrix[org][f]
+			switch {
+			case cell.Deviates:
+				row = append(row, "✚") // darkest: deviation from standards
+			case cell.HasUnicode:
+				row = append(row, "·")
+			default:
+				row = append(row, " ")
+			}
+		}
+		rows = append(rows, row)
+	}
+	legend := "· Unicode content  ✚ deviation from standards\n"
+	return "Figure 4: fields containing internationalized contents\n" + Table(headers, rows) + legend
+}
+
+// Table11 renders the top lints by noncompliant certificates.
+func Table11(rows []corpus.LintRow) string {
+	var out [][]string
+	for _, r := range rows {
+		newMark := ""
+		if r.New {
+			newMark = "✓"
+		}
+		out = append(out, []string{r.Name, r.Taxonomy.String(), newMark, severityLevel(r.Severity), fmt.Sprintf("%d", r.NCCerts)})
+	}
+	return "Table 11: top lints identifying noncompliant cases\n" +
+		Table([]string{"Lint Name", "Lint Type", "New", "Level", "#NC Unicerts"}, out)
+}
+
+func severityLevel(s lint.Severity) string {
+	if s == lint.Error {
+		return "MUST"
+	}
+	return "SHOULD"
+}

@@ -1,0 +1,136 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/difftest"
+	"repro/internal/lint"
+	"repro/internal/monitor"
+	"repro/internal/strenc"
+	"repro/internal/tlsimpl"
+)
+
+func TestTableAlignment(t *testing.T) {
+	out := Table([]string{"A", "Column"}, [][]string{{"longvalue", "x"}, {"y", "zz"}})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines %d", len(lines))
+	}
+	// Separator row covers the widest cell.
+	if !strings.HasPrefix(lines[1], strings.Repeat("-", len("longvalue"))) {
+		t.Fatalf("separator %q", lines[1])
+	}
+	// Header and rows share column offsets.
+	if strings.Index(lines[0], "Column") != strings.Index(lines[2], "x") {
+		t.Fatal("columns misaligned")
+	}
+}
+
+func TestTableUnicodeWidths(t *testing.T) {
+	// Rune-count alignment must not break on multibyte content.
+	out := Table([]string{"Org"}, [][]string{{"Česká pošta, s.p."}, {"plain"}})
+	if !strings.Contains(out, "Česká pošta") {
+		t.Fatal("unicode cell lost")
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(72, 10000); got != "0.72%" {
+		t.Fatalf("got %s", got)
+	}
+	if got := Percent(1, 0); got != "0.00%" {
+		t.Fatalf("division by zero: %s", got)
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	rows := []corpus.TaxonomyRow{{
+		Taxonomy: lint.T3InvalidEncoding, LintsAll: 48, LintsNew: 37,
+		NCCerts: 140, ErrorCerts: 70, WarnCerts: 140, TrustedPct: 55.7, Recent: 13, Alive: 14,
+	}}
+	out := Table1(rows, 284)
+	for _, want := range []string{"Invalid Encoding", "48 (37)", "55.7%", "284"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable4And5Rendering(t *testing.T) {
+	t4 := []difftest.DecodeFinding{{
+		Scenario: difftest.Scenario{Name: "UTF8String in Name"},
+		Library:  tlsimpl.Forge,
+		Method:   strenc.ISO88591,
+		Classes:  []difftest.DecodeClass{difftest.DecodeIncompatible},
+	}}
+	out := Table4(t4)
+	if !strings.Contains(out, "⊗") || !strings.Contains(out, "UTF8String in Name") {
+		t.Errorf("table 4:\n%s", out)
+	}
+	t5 := []difftest.CharFinding{{
+		Kind: difftest.EscapeDN2253, Library: tlsimpl.OpenSSL, Class: difftest.Exploited,
+	}}
+	out = Table5(t5)
+	if !strings.Contains(out, "⊗") || !strings.Contains(out, "RFC2253") {
+		t.Errorf("table 5:\n%s", out)
+	}
+}
+
+func TestTable6Rendering(t *testing.T) {
+	out := Table6([]monitor.MisleadResult{
+		{Monitor: "Crt.sh", Concealed: false},
+		{Monitor: "SSLMate Spotter", Concealed: true},
+	})
+	if !strings.Contains(out, "Crt.sh") || !strings.Contains(out, "SSLMate Spotter") {
+		t.Errorf("table 6:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	var sawConcealedYes bool
+	for _, l := range lines {
+		if strings.Contains(l, "SSLMate") && strings.HasSuffix(strings.TrimRight(l, " "), "yes") {
+			sawConcealedYes = true
+		}
+	}
+	if !sawConcealedYes {
+		t.Errorf("concealed column wrong:\n%s", out)
+	}
+}
+
+func TestFigure2LogBar(t *testing.T) {
+	out := Figure2([]corpus.YearRow{
+		{Year: 2015, All: 100},
+		{Year: 2024, All: 10000},
+	})
+	lines := strings.Split(out, "\n")
+	var w2015, w2024 int
+	for _, l := range lines {
+		if strings.HasPrefix(l, "2015") {
+			w2015 = strings.Count(l, "█")
+		}
+		if strings.HasPrefix(l, "2024") {
+			w2024 = strings.Count(l, "█")
+		}
+	}
+	if w2024 <= w2015 || w2015 == 0 {
+		t.Errorf("log bars wrong: 2015=%d 2024=%d", w2015, w2024)
+	}
+}
+
+func TestFigure3AnchorValues(t *testing.T) {
+	out := Figure3(map[string][]int{"IDNCert": {90, 90, 90, 365}})
+	if !strings.Contains(out, "75.0%") {
+		t.Errorf("CDF(90) should be 75%%:\n%s", out)
+	}
+}
+
+func TestTable11MarksNewLints(t *testing.T) {
+	out := Table11([]corpus.LintRow{
+		{Name: "e_rfc_dns_idn_a2u_unpermitted_unichar", Taxonomy: lint.T1InvalidCharacter, New: true, Severity: lint.Error, NCCerts: 45},
+		{Name: "w_rfc_ext_cp_explicit_text_not_utf8", Taxonomy: lint.T3InvalidEncoding, Severity: lint.Warning, NCCerts: 73},
+	})
+	if !strings.Contains(out, "✓") || !strings.Contains(out, "MUST") || !strings.Contains(out, "SHOULD") {
+		t.Errorf("table 11:\n%s", out)
+	}
+}

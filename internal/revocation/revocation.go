@@ -1,0 +1,150 @@
+// Package revocation completes the §5.2 CRL-spoofing threat chain: a
+// client resolves a certificate's CRL distribution point through its
+// TLS library's parser (with whatever character rewriting that parser
+// performs), fetches the CRL from an in-memory network, verifies it,
+// and checks revocation. A parser that rewrites control characters in
+// the URL (PyOpenSSL's '.'-substitution) fetches from an
+// attacker-chosen host instead of the CA's, silently disabling
+// revocation.
+package revocation
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/tlsimpl"
+	"repro/internal/x509cert"
+)
+
+// Network is an in-memory URL → CRL DER map standing in for HTTP
+// retrieval.
+type Network struct {
+	mu   sync.RWMutex
+	crls map[string][]byte
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network { return &Network{crls: make(map[string][]byte)} }
+
+// Publish makes a CRL fetchable at url.
+func (n *Network) Publish(url string, crlDER []byte) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.crls[url] = append([]byte(nil), crlDER...)
+}
+
+// Fetch retrieves the CRL at url.
+func (n *Network) Fetch(url string) ([]byte, error) {
+	n.mu.RLock()
+	defer n.mu.RUnlock()
+	der, ok := n.crls[url]
+	if !ok {
+		return nil, fmt.Errorf("revocation: no CRL at %q", url)
+	}
+	return der, nil
+}
+
+// Status is a revocation check outcome.
+type Status int
+
+// Outcomes.
+const (
+	// Good: a verified CRL was consulted and the serial is absent.
+	Good Status = iota
+	// Revoked: the serial appears on a verified CRL.
+	Revoked
+	// Unavailable: the CRL could not be fetched (soft-fail territory).
+	Unavailable
+	// Invalid: a CRL was fetched but failed verification.
+	Invalid
+)
+
+func (s Status) String() string {
+	switch s {
+	case Good:
+		return "good"
+	case Revoked:
+		return "revoked"
+	case Unavailable:
+		return "unavailable"
+	default:
+		return "invalid"
+	}
+}
+
+// Check resolves the certificate's CRL distribution point through the
+// given library model, fetches from net, verifies against issuer, and
+// reports status. This is exactly the client behaviour whose parsing
+// differences the threat exploits.
+func Check(lib tlsimpl.Library, net *Network, issuer *x509cert.Certificate, certDER []byte) (Status, string, error) {
+	p := tlsimpl.New(lib)
+	if !p.Supports(tlsimpl.FieldCRLDP) {
+		return Unavailable, "", errors.New("revocation: library does not expose CRL distribution points")
+	}
+	out, err := p.Parse(certDER)
+	if err != nil {
+		return Unavailable, "", err
+	}
+	cert, err := x509cert.ParseWithMode(certDER, x509cert.ParseLenient)
+	if err != nil {
+		return Unavailable, "", err
+	}
+	for _, loc := range out.CRLDPValues {
+		url := strings.TrimPrefix(loc, "URI:")
+		der, err := net.Fetch(url)
+		if err != nil {
+			continue
+		}
+		crl, err := x509cert.ParseCRL(der)
+		if err != nil {
+			return Invalid, url, nil
+		}
+		if !x509cert.VerifyCRL(issuer, crl) {
+			return Invalid, url, nil
+		}
+		if crl.IsRevoked(cert.SerialNumber) {
+			return Revoked, url, nil
+		}
+		return Good, url, nil
+	}
+	return Unavailable, "", nil
+}
+
+// SpoofResult is one row of the CRL-spoofing experiment.
+type SpoofResult struct {
+	Library tlsimpl.Library
+	Status  Status
+	URL     string
+	// Subverted: the client reached a different URL than the one the
+	// CA encoded, or failed to notice an existing revocation.
+	Subverted bool
+}
+
+// SpoofExperiment runs the §5.2 scenario: the CA encodes a CRL DP of
+// crlURL but the attacker-crafted certificate carries craftedURL (the
+// same URL with an embedded control character). The CA's CRL at crlURL
+// revokes the certificate; the attacker also plants a clean CRL at the
+// control-stripped variant. Clients whose parsers rewrite the URL
+// consult the attacker's CRL and see "good".
+func SpoofExperiment(net *Network, issuer *x509cert.Certificate, certDER []byte, caURL string) []SpoofResult {
+	var out []SpoofResult
+	for _, lib := range tlsimpl.Libraries() {
+		p := tlsimpl.New(lib)
+		if !p.Supports(tlsimpl.FieldCRLDP) {
+			continue
+		}
+		status, url, err := Check(lib, net, issuer, certDER)
+		if err != nil {
+			continue
+		}
+		out = append(out, SpoofResult{
+			Library:   lib,
+			Status:    status,
+			URL:       url,
+			Subverted: status == Good && url != caURL,
+		})
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package revocation
+
+import (
+	"math/big"
+	"testing"
+	"time"
+
+	"repro/internal/tlsimpl"
+	"repro/internal/x509cert"
+)
+
+var (
+	caKey, _   = x509cert.GenerateKey(201)
+	leafKey, _ = x509cert.GenerateKey(202)
+)
+
+func buildCA(t *testing.T) *x509cert.Certificate {
+	t.Helper()
+	tpl := &x509cert.Template{
+		SerialNumber: big.NewInt(1),
+		Issuer:       x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "Rev CA")),
+		Subject:      x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "Rev CA")),
+		NotBefore:    time.Date(2024, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:     time.Date(2034, 1, 1, 0, 0, 0, 0, time.UTC),
+		IsCA:         true,
+	}
+	der, err := x509cert.BuildSelfSigned(tpl, caKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, err := x509cert.Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ca
+}
+
+func buildLeaf(t *testing.T, serial int64, crlURL string) []byte {
+	t.Helper()
+	tpl := &x509cert.Template{
+		SerialNumber:          big.NewInt(serial),
+		Issuer:                x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "Rev CA")),
+		Subject:               x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "leaf.example")),
+		NotBefore:             time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:              time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC),
+		SAN:                   []x509cert.GeneralName{x509cert.DNSName("leaf.example")},
+		CRLDistributionPoints: []x509cert.GeneralName{x509cert.URIName(crlURL)},
+	}
+	der, err := x509cert.Build(tpl, caKey, leafKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return der
+}
+
+func buildCRL(t *testing.T, revoked ...int64) []byte {
+	t.Helper()
+	var rcs []x509cert.RevokedCertificate
+	for _, s := range revoked {
+		rcs = append(rcs, x509cert.RevokedCertificate{
+			SerialNumber:   big.NewInt(s),
+			RevocationDate: time.Date(2025, 2, 1, 0, 0, 0, 0, time.UTC),
+		})
+	}
+	der, err := x509cert.BuildCRL(&x509cert.CRLTemplate{
+		Issuer:     x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "Rev CA")),
+		ThisUpdate: time.Date(2025, 2, 1, 0, 0, 0, 0, time.UTC),
+		NextUpdate: time.Date(2025, 3, 1, 0, 0, 0, 0, time.UTC),
+		Revoked:    rcs,
+	}, caKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return der
+}
+
+func TestCRLBuildParseRoundTrip(t *testing.T) {
+	der := buildCRL(t, 7, 8)
+	crl, err := x509cert.ParseCRL(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(crl.Revoked) != 2 {
+		t.Fatalf("revoked %d", len(crl.Revoked))
+	}
+	if !crl.IsRevoked(big.NewInt(7)) || crl.IsRevoked(big.NewInt(9)) {
+		t.Fatal("revocation lookup wrong")
+	}
+	if crl.ThisUpdate.Month() != 2 || crl.NextUpdate.Month() != 3 {
+		t.Fatalf("updates %v / %v", crl.ThisUpdate, crl.NextUpdate)
+	}
+	if crl.Issuer.CommonName() != "Rev CA" {
+		t.Fatalf("issuer %s", crl.Issuer)
+	}
+}
+
+func TestCRLSignatureVerification(t *testing.T) {
+	ca := buildCA(t)
+	crl, err := x509cert.ParseCRL(buildCRL(t, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !x509cert.VerifyCRL(ca, crl) {
+		t.Fatal("CRL must verify against its issuer")
+	}
+	// Tamper with the TBS.
+	crl.RawTBS = append([]byte(nil), crl.RawTBS...)
+	crl.RawTBS[len(crl.RawTBS)-1] ^= 1
+	if x509cert.VerifyCRL(ca, crl) {
+		t.Fatal("tampered CRL must not verify")
+	}
+}
+
+func TestCheckRevokedAndGood(t *testing.T) {
+	ca := buildCA(t)
+	net := NewNetwork()
+	net.Publish("http://crl.ca.example/r.crl", buildCRL(t, 55))
+
+	revokedLeaf := buildLeaf(t, 55, "http://crl.ca.example/r.crl")
+	status, url, err := Check(tlsimpl.GoCrypto, net, ca, revokedLeaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status != Revoked || url != "http://crl.ca.example/r.crl" {
+		t.Fatalf("status %v url %q", status, url)
+	}
+
+	goodLeaf := buildLeaf(t, 56, "http://crl.ca.example/r.crl")
+	status, _, err = Check(tlsimpl.GoCrypto, net, ca, goodLeaf)
+	if err != nil || status != Good {
+		t.Fatalf("status %v, %v", status, err)
+	}
+}
+
+func TestCheckUnavailable(t *testing.T) {
+	ca := buildCA(t)
+	net := NewNetwork()
+	leaf := buildLeaf(t, 57, "http://nowhere.example/r.crl")
+	status, _, err := Check(tlsimpl.GoCrypto, net, ca, leaf)
+	if err != nil || status != Unavailable {
+		t.Fatalf("status %v, %v", status, err)
+	}
+}
+
+func TestCheckInvalidCRL(t *testing.T) {
+	ca := buildCA(t)
+	otherKey, _ := x509cert.GenerateKey(999)
+	bad, err := x509cert.BuildCRL(&x509cert.CRLTemplate{
+		Issuer:     x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "Rev CA")),
+		ThisUpdate: time.Date(2025, 2, 1, 0, 0, 0, 0, time.UTC),
+	}, otherKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork()
+	net.Publish("http://crl.ca.example/r.crl", bad)
+	leaf := buildLeaf(t, 58, "http://crl.ca.example/r.crl")
+	status, _, err := Check(tlsimpl.GoCrypto, net, ca, leaf)
+	if err != nil || status != Invalid {
+		t.Fatalf("status %v, %v", status, err)
+	}
+}
+
+func TestSpoofExperiment(t *testing.T) {
+	// §5.2: the CA's CRL lives at the control-bearing URL the attacker
+	// encoded; the control-stripped URL hosts the attacker's clean CRL.
+	ca := buildCA(t)
+	net := NewNetwork()
+	caURL := "http://ssl\x01test.com/r.crl"
+	strippedURL := "http://ssl.test.com/r.crl"
+	net.Publish(caURL, buildCRL(t, 99))   // real CRL: serial 99 revoked
+	net.Publish(strippedURL, buildCRL(t)) // attacker CRL: empty
+
+	leaf := buildLeaf(t, 99, caURL)
+	results := SpoofExperiment(net, ca, leaf, caURL)
+	if len(results) == 0 {
+		t.Fatal("no results")
+	}
+	byLib := map[tlsimpl.Library]SpoofResult{}
+	for _, r := range results {
+		byLib[r.Library] = r
+	}
+	// PyOpenSSL rewrites the control character and consults the
+	// attacker's CRL — revocation silently disabled.
+	py := byLib[tlsimpl.PyOpenSSL]
+	if py.Status != Good || !py.Subverted || py.URL != strippedURL {
+		t.Fatalf("PyOpenSSL: %+v", py)
+	}
+	// Go preserves the URL byte-for-byte and sees the revocation.
+	gc := byLib[tlsimpl.GoCrypto]
+	if gc.Status != Revoked || gc.Subverted {
+		t.Fatalf("GoCrypto: %+v", gc)
+	}
+}

@@ -1,0 +1,237 @@
+package rfcrules
+
+import "fmt"
+
+// embeddedDocuments carries condensed normative text from the standards
+// the paper analyzed (§3.1.1): the PKIX profile and its updates, the
+// DNS/IDNA references, the DN string representations, and the CA/B BRs
+// (supplemental knowledge, as in Step II).
+var embeddedDocuments = []Document{
+	{
+		Name:     "RFC5280",
+		Title:    "Internet X.509 PKI Certificate and CRL Profile",
+		RefersTo: []string{"RFC1034", "RFC3490", "RFC3454", "X680", "X690"},
+		Sections: []Section{
+			{ID: "4.1.2.4", Text: "CAs conforming to this profile MUST use either the PrintableString or UTF8String encoding of DirectoryString, except for backward compatibility with existing subjects using TeletexString, BMPString, or UniversalString. When the UTF8String encoding is used, all character sequences SHOULD be normalized according to Unicode normalization form C (NFC)."},
+			{ID: "4.1.2.6", Text: "Where it is non-empty, the subject field MUST contain an X.500 distinguished name. The DN MUST be unique for each subject entity."},
+			{ID: "4.2.1.4", Text: "The explicitText field includes a textual statement. It is a string with a maximum size of 200 characters. Conforming CAs SHOULD use the UTF8String encoding for explicitText, but MAY use IA5String... explicitText MUST NOT include any control characters (e.g., U+0000 to U+001F and U+007F to U+009F)."},
+			{ID: "4.2.1.6", Text: "When the subjectAltName extension contains a domain name system label, the domain name MUST be stored in the dNSName (an IA5String). The name MUST be in the preferred name syntax, as specified by Section 3.5 of RFC1034 and as modified by Section 2.1 of RFC1123. When the subjectAltName extension contains an internationalized domain name, conforming implementations MUST convert it to the ASCII Compatible Encoding (ACE) per RFC 3490 with the xn-- prefix. The rfc822Name is an IA5String containing a Mailbox as defined in RFC 2821: the addr-spec MUST NOT include internationalized characters. When the subjectAltName extension contains a URI, the name MUST be stored in the uniformResourceIdentifier (an IA5String)."},
+			{ID: "7.2", Text: "Internationalized domain names are encoded with a constrained subset of ASCII characters: each label that contains internationalized characters is encoded using Punycode with the xn-- prefix."},
+			{ID: "7.3", Text: "Internationalized electronic mail addresses: where the host-part contains an internationalized name, it MUST be encoded as an A-label; the local part MUST NOT contain non-ASCII characters."},
+		},
+	},
+	{
+		Name:    "RFC6818",
+		Title:   "Updates to the Internet X.509 PKI Certificate and CRL Profile",
+		Updates: []string{"RFC5280"},
+		Sections: []Section{
+			{ID: "update:4.2.1.4", Text: "Conforming CAs SHOULD use the UTF8String encoding for explicitText. VisibleString or BMPString are acceptable but less preferred alternatives. Conforming CAs MUST NOT encode explicitText as IA5String."},
+			{ID: "update:7.3", Text: "Update to RFC 5280, Section 7.3: internationalized address handling clarified; an addr-spec with internationalized characters requires alternative name forms."},
+		},
+	},
+	{
+		Name:    "RFC8399",
+		Title:   "Internationalization Updates to RFC 5280",
+		Updates: []string{"RFC5280"},
+		Sections: []Section{
+			{ID: "update:7.2", Text: "IDNs MUST be encoded per IDNA2008 (RFC 5890 series); each label is either an A-label or an NR-LDH label. Before comparison, U-labels MUST be converted to A-labels and the Unicode representation MUST be normalized with NFC."},
+		},
+	},
+	{
+		Name:    "RFC9549",
+		Title:   "Internationalization Updates to RFC 5280 (bis)",
+		Updates: []string{"RFC5280", "RFC8399"},
+		Sections: []Section{
+			{ID: "update:7.2.bis", Text: "IDN U-labels are converted to A-labels for certificate comparison and storage, then back to Unicode for display; conversions MUST be lossless round trips."},
+		},
+	},
+	{
+		Name:    "RFC9598",
+		Title:   "Internationalized Email Addresses in X.509 Certificates",
+		Updates: []string{"RFC5280"},
+		Sections: []Section{
+			{ID: "3", Text: "The rfc822Name is restricted to US-ASCII. When the local-part of an email address contains non-ASCII (internationalized) characters, the SmtpUTF8Mailbox otherName form MUST be used instead. Domain parts MUST be IDNA2008-compliant LDH labels (A-labels for internationalized domains)."},
+		},
+	},
+	{
+		Name:  "RFC1034",
+		Title: "Domain Names — Concepts and Facilities",
+		Sections: []Section{
+			{ID: "3.5", Text: "Preferred name syntax: labels must start with a letter, end with a letter or digit, and have as interior characters only letters, digits, and hyphen (LDH). Labels must be 63 characters or fewer; names 255 octets or fewer."},
+		},
+	},
+	{
+		Name:  "RFC5890",
+		Title: "IDNA: Definitions and Document Framework",
+		Sections: []Section{
+			{ID: "2.3.2.1", Text: "An A-label begins with the ACE prefix xn-- followed by a valid Punycode output; it must be the canonical encoding of a valid U-label. A U-label contains only code points PVALID (or contextually valid) under IDNA2008 and must be in Unicode normalization form NFC."},
+		},
+	},
+	{
+		Name:  "RFC2253",
+		Title: "LDAPv3: UTF-8 String Representation of Distinguished Names",
+		Sections: []Section{
+			{ID: "2.4", Text: "If the value contains any of the characters comma, plus, double quote, backslash, less-than, greater-than, or semicolon, the character must be escaped with a backslash. Leading and trailing spaces and a leading sharp sign must also be escaped."},
+		},
+	},
+	{
+		Name:  "RFC4514",
+		Title: "LDAP: String Representation of Distinguished Names",
+		Sections: []Section{
+			{ID: "2.4", Text: "The null character (U+0000) is escaped as backslash 00. The same special characters as RFC 2253 require escaping; other characters may be escaped as a backslash followed by two hex digits."},
+		},
+	},
+	{
+		Name:  "RFC1779",
+		Title: "A String Representation of Distinguished Names",
+		Sections: []Section{
+			{ID: "2.3", Text: "Values containing special characters such as comma, plus, equals, quotation marks, or angle brackets are quoted or escaped with a backslash."},
+		},
+	},
+	{
+		Name:  "CABF_BR",
+		Title: "CA/Browser Forum Baseline Requirements (certificate profile)",
+		Sections: []Section{
+			{ID: "7.1.4.2", Text: "countryName: MUST be a two-letter ISO 3166-1 country code encoded as PrintableString. commonName: discouraged; if present, MUST contain a single value from the subjectAltName extension. subjectAltName dNSName entries MUST contain only LDH characters or wildcard labels; CAs MUST verify domain control and the Punycode syntax of xn-- labels."},
+		},
+	},
+}
+
+// familyAttrs lists the DirectoryString attributes with per-attribute
+// encoding rules, matching the lint factories.
+var familyAttrs = []struct {
+	slug, field string
+	printable   bool
+}{
+	{"common_name", "CommonName", false},
+	{"organization", "OrganizationName", false},
+	{"ou", "OrganizationalUnit", false},
+	{"locality", "LocalityName", false},
+	{"state", "StateOrProvinceName", false},
+	{"street", "StreetAddress", false},
+	{"postal_code", "PostalCode", false},
+	{"jurisdiction_locality", "JurisdictionLocality", false},
+	{"jurisdiction_state", "JurisdictionState", false},
+	{"jurisdiction_country", "JurisdictionCountry", true},
+	{"given_name", "GivenName", false},
+	{"surname", "Surname", false},
+	{"business_category", "BusinessCategory", false},
+}
+
+func dirStringPath(field string) StructurePath {
+	return StructurePath{"DistinguishedName", "RDNSequence", field, "DirectoryString"}
+}
+
+var embeddedRules = buildRules()
+
+func buildRules() []Rule {
+	r := []Rule{
+		// —— T1 invalid character ——
+		{LintName: "e_rfc_subject_dn_not_printable_characters", Field: "Subject", Source: "RFC5280", Structure: dirStringPath("Subject"), Encoding: "no control characters", Text: "DN attribute values must not contain control characters"},
+		{LintName: "e_rfc_issuer_dn_not_printable_characters", Field: "Issuer", Source: "RFC5280", Structure: dirStringPath("Issuer"), Encoding: "no control characters", Text: "DN attribute values must not contain control characters"},
+		{LintName: "e_rfc_subject_printable_string_badalpha", Field: "Subject", Source: "RFC5280", Structure: dirStringPath("Subject"), Encoding: "PrintableString repertoire", Text: "PrintableString values restricted to A-Z a-z 0-9 space '()+,-./:=?"},
+		{LintName: "e_rfc_issuer_printable_string_badalpha", Field: "Issuer", Source: "RFC5280", Structure: dirStringPath("Issuer"), Encoding: "PrintableString repertoire", Text: "PrintableString values restricted to A-Z a-z 0-9 space '()+,-./:=?"},
+		{LintName: "w_community_subject_dn_leading_whitespace", Field: "Subject", Source: "Community", Encoding: "no leading whitespace", Text: "attribute values should not begin with whitespace"},
+		{LintName: "w_community_subject_dn_trailing_whitespace", Field: "Subject", Source: "Community", Encoding: "no trailing whitespace", Text: "attribute values should not end with whitespace"},
+		{LintName: "e_cab_dns_bad_character_in_label", Field: "SAN.DNSName", Source: "CABF_BR", Structure: StructurePath{"GeneralName", "DNSName", "IA5String"}, Encoding: "[a-zA-Z0-9.-]", Text: "DNS labels contain only LDH characters"},
+		{LintName: "e_rfc_dns_idn_malformed_unicode", Field: "SAN.DNSName", Source: "RFC5890", Structure: StructurePath{"GeneralName", "DNSName", "IA5String"}, Encoding: "Punycode", Text: "A-labels must decode to Unicode"},
+		{LintName: "e_rfc_dns_idn_a2u_unpermitted_unichar", Field: "SAN.DNSName", Source: "RFC5890", Structure: StructurePath{"GeneralName", "DNSName", "IA5String"}, Encoding: "IDNA2008 PVALID", Text: "decoded U-labels must not contain disallowed code points", New: true},
+		{LintName: "e_ext_san_dns_contain_unpermitted_unichar", Field: "SAN.DNSName", Source: "RFC5280", Structure: StructurePath{"GeneralName", "DNSName", "IA5String"}, Encoding: "7-bit, no controls", Text: "DNSNames must not embed non-DNS bytes", New: true},
+		{LintName: "e_ext_ian_dns_contain_unpermitted_unichar", Field: "IAN.DNSName", Source: "RFC5280", Structure: StructurePath{"GeneralName", "DNSName", "IA5String"}, Encoding: "7-bit, no controls", Text: "IAN DNSNames must not embed non-DNS bytes"},
+		{LintName: "e_subject_dn_contains_bidi_controls", Field: "Subject", Source: "RFC5890", Encoding: "no bidi controls", Text: "DN values must not contain bidirectional controls", New: true},
+		{LintName: "e_subject_dn_contains_invisible_layout_chars", Field: "Subject", Source: "RFC5890", Encoding: "no invisible layout characters", Text: "DN values must not contain zero-width or layout characters", New: true},
+		{LintName: "e_ext_san_email_contains_control_chars", Field: "SAN.RFC822Name", Source: "RFC5280", Structure: StructurePath{"GeneralName", "RFC822Name", "IA5String"}, Encoding: "no controls", Text: "email addresses must not contain control characters", New: true},
+		{LintName: "e_ext_san_uri_contains_unpermitted_chars", Field: "SAN.URI", Source: "RFC5280", Structure: StructurePath{"GeneralName", "URI", "IA5String"}, Encoding: "URI characters", Text: "URIs must not contain controls or spaces", New: true},
+		{LintName: "e_numeric_string_badalpha", Field: "DN", Source: "RFC5280", Encoding: "digits and space", Text: "NumericString restricted to digits and space"},
+		{LintName: "e_ia5_string_contains_8bit", Field: "DN", Source: "RFC5280", Encoding: "7-bit", Text: "IA5String is the 7-bit IA5 repertoire"},
+		{LintName: "e_utf8_string_contains_disallowed_controls", Field: "DN", Source: "RFC5280", Encoding: "no C0/C1 in UTF8String", Text: "UTF8String DN values must not carry control characters", New: true},
+		{LintName: "e_bmp_string_contains_surrogate_halves", Field: "DN", Source: "RFC5280", Encoding: "UCS-2 without surrogates", Text: "BMPString must not contain surrogate code units", New: true},
+		{LintName: "w_subject_dn_contains_replacement_char", Field: "Subject", Source: "Community", Encoding: "no U+FFFD", Text: "replacement characters indicate lossy transcoding", New: true},
+		{LintName: "e_crl_dp_contains_control_chars", Field: "CRLDistributionPoints", Source: "RFC5280", Structure: StructurePath{"DistributionPoint", "GeneralName", "URI", "IA5String"}, Encoding: "no controls", Text: "CRL DP URIs must not contain control characters", New: true},
+		{LintName: "e_teletex_string_outside_charset", Field: "DN", Source: "RFC5280", Encoding: "T.61 repertoire", Text: "TeletexString values stay within T.61 graphics"},
+
+		// —— T2 bad normalization ——
+		{LintName: "e_rfc_dns_idn_not_nfc_after_conversion", Field: "SAN.DNSName", Source: "RFC8399", Structure: StructurePath{"GeneralName", "DNSName", "IA5String"}, Encoding: "NFC after A→U conversion", Text: "U-labels must be NFC", New: true},
+		{LintName: "w_subject_utf8_not_nfc", Field: "Subject", Source: "RFC5280", Encoding: "NFC", Text: "UTF8String values should be NFC-normalized", New: true},
+		{LintName: "w_issuer_utf8_not_nfc", Field: "Issuer", Source: "RFC5280", Encoding: "NFC", Text: "UTF8String values should be NFC-normalized", New: true},
+		{LintName: "e_rfc_idn_punycode_roundtrip_mismatch", Field: "SAN.DNSName", Source: "RFC5890", Encoding: "canonical Punycode", Text: "A-labels must round trip through U-labels"},
+
+		// —— T3 illegal format ——
+		{LintName: "e_rfc_ext_cp_explicit_text_too_long", Field: "CertificatePolicies", Source: "RFC5280", Structure: StructurePath{"PolicyInformation", "UserNotice", "DisplayText"}, Encoding: "≤200 chars", Text: "explicitText limited to 200 characters"},
+		{LintName: "e_subject_common_name_max_length", Field: "CommonName", Source: "RFC5280", Encoding: "≤64 chars", Text: "X.520 ub-common-name"},
+		{LintName: "e_subject_organization_name_max_length", Field: "OrganizationName", Source: "RFC5280", Encoding: "≤64 chars", Text: "X.520 ub-organization-name"},
+		{LintName: "e_subject_organizational_unit_name_max_length", Field: "OrganizationalUnit", Source: "RFC5280", Encoding: "≤64 chars", Text: "X.520 ub-organizational-unit-name"},
+		{LintName: "e_subject_locality_name_max_length", Field: "LocalityName", Source: "RFC5280", Encoding: "≤128 chars", Text: "X.520 ub-locality-name"},
+		{LintName: "e_subject_state_name_max_length", Field: "StateOrProvinceName", Source: "RFC5280", Encoding: "≤128 chars", Text: "X.520 ub-state-name"},
+		{LintName: "e_subject_serial_number_max_length", Field: "SerialNumber", Source: "RFC5280", Encoding: "≤64 chars", Text: "X.520 ub-serial-number"},
+		{LintName: "e_subject_country_not_iso", Field: "CountryName", Source: "CABF_BR", Encoding: "2-letter ISO 3166", Text: "countryName is a two-letter code"},
+		{LintName: "e_subject_country_not_uppercase", Field: "CountryName", Source: "CABF_BR", Encoding: "upper case", Text: "ISO country codes are upper case"},
+		{LintName: "e_dns_label_too_long", Field: "SAN.DNSName", Source: "RFC1034", Encoding: "≤63 octets per label", Text: "DNS label length limit"},
+		{LintName: "e_dns_name_too_long", Field: "SAN.DNSName", Source: "RFC1034", Encoding: "≤253 octets", Text: "DNS name length limit"},
+		{LintName: "e_dns_label_leading_hyphen", Field: "SAN.DNSName", Source: "RFC1034", Encoding: "LDH", Text: "labels must not begin with hyphen"},
+		{LintName: "e_dns_label_trailing_hyphen", Field: "SAN.DNSName", Source: "RFC1034", Encoding: "LDH", Text: "labels must not end with hyphen"},
+		{LintName: "e_dns_double_hyphen_no_ace", Field: "SAN.DNSName", Source: "RFC5890", Encoding: "hyphen-34 reserved", Text: "hyphens in positions 3-4 imply the ACE prefix"},
+		{LintName: "e_san_dns_name_empty", Field: "SAN.DNSName", Source: "RFC5280", Encoding: "non-empty", Text: "DNSNames must be non-empty"},
+		{LintName: "e_subject_empty_attribute_value", Field: "Subject", Source: "RFC5280", Encoding: "non-empty", Text: "attribute values must be non-empty"},
+		{LintName: "e_rfc822_name_malformed", Field: "SAN.RFC822Name", Source: "RFC5280", Encoding: "addr-spec", Text: "emails have exactly one @ with non-empty parts"},
+
+		// —— T3 invalid structure ——
+		{LintName: "w_cab_subject_common_name_not_in_san", Field: "CommonName", Source: "CABF_BR", Encoding: "CN ⊆ SAN", Text: "a present CN must duplicate a SAN value"},
+		{LintName: "e_subject_duplicate_attribute", Field: "Subject", Source: "RFC5280", Encoding: "single-valued attributes", Text: "CN, serialNumber, and countryName must not repeat"},
+
+		// —— T3 discouraged field ——
+		{LintName: "w_cab_subject_contain_extra_common_name", Field: "CommonName", Source: "CABF_BR", Encoding: "CN discouraged", Text: "multiple CommonNames are discouraged"},
+		{LintName: "w_san_contains_uri", Field: "SAN.URI", Source: "CABF_BR", Encoding: "URI discouraged", Text: "URIs in TLS server SANs are discouraged"},
+
+		// —— T3 invalid encoding (non-family) ——
+		{LintName: "w_rfc_ext_cp_explicit_text_not_utf8", Field: "CertificatePolicies", Source: "RFC5280", Structure: StructurePath{"PolicyInformation", "UserNotice", "DisplayText", "UTF8String"}, Encoding: "UTF8String SHOULD", Text: "explicitText should be UTF8String"},
+		{LintName: "e_rfc_ext_cp_explicit_text_ia5", Field: "CertificatePolicies", Source: "RFC6818", Structure: StructurePath{"PolicyInformation", "UserNotice", "DisplayText"}, Encoding: "IA5String MUST NOT", Text: "explicitText must not be IA5String"},
+		{LintName: "e_subject_dn_serial_number_not_printable", Field: "SerialNumber", Source: "RFC5280", Encoding: "PrintableString", Text: "serialNumber uses PrintableString"},
+		{LintName: "e_rfc_subject_country_not_printable", Field: "CountryName", Source: "RFC5280", Encoding: "PrintableString", Text: "countryName uses PrintableString"},
+		{LintName: "e_subject_email_not_ia5", Field: "EmailAddress", Source: "RFC5280", Encoding: "IA5String", Text: "emailAddress attribute uses IA5String"},
+		{LintName: "e_subject_dc_not_ia5", Field: "DomainComponent", Source: "RFC5280", Encoding: "IA5String", Text: "domainComponent uses IA5String"},
+		{LintName: "e_directory_string_bad_tag", Field: "DN", Source: "RFC5280", Encoding: "DirectoryString CHOICE", Text: "attributes use a legal CHOICE arm"},
+		{LintName: "w_subject_dn_uses_teletexstring", Field: "Subject", Source: "RFC5280", Encoding: "TeletexString deprecated", Text: "TeletexString retained only for compatibility"},
+		{LintName: "w_subject_dn_uses_bmpstring", Field: "Subject", Source: "RFC5280", Encoding: "BMPString deprecated", Text: "BMPString retained only for compatibility"},
+		{LintName: "w_subject_dn_uses_universalstring", Field: "Subject", Source: "RFC5280", Encoding: "UniversalString deprecated", Text: "UniversalString retained only for compatibility"},
+		{LintName: "e_gn_ia5_contains_8bit", Field: "GeneralName", Source: "RFC5280", Encoding: "7-bit IA5", Text: "IA5String GeneralNames are 7-bit"},
+		{LintName: "e_ext_cp_explicit_text_bmp", Field: "CertificatePolicies", Source: "RFC6818", Encoding: "BMPString MUST NOT", Text: "explicitText must not be BMPString", New: true},
+		{LintName: "w_ext_cp_explicit_text_visible", Field: "CertificatePolicies", Source: "RFC6818", Encoding: "VisibleString discouraged", Text: "VisibleString is a less-preferred alternative", New: true},
+		{LintName: "e_san_email_smtputf8_required", Field: "SAN.RFC822Name", Source: "RFC9598", Encoding: "US-ASCII; SmtpUTF8Mailbox otherwise", Text: "internationalized local parts require SmtpUTF8Mailbox", New: true},
+		{LintName: "e_rfc822_domain_not_ldh", Field: "SAN.RFC822Name", Source: "RFC9598", Encoding: "IDNA2008 LDH labels", Text: "email domain parts are LDH/A-labels", New: true},
+		{LintName: "e_ian_email_not_ascii", Field: "IAN.RFC822Name", Source: "RFC9598", Encoding: "US-ASCII", Text: "IAN emails restricted to ASCII", New: true},
+		{LintName: "e_bmp_string_odd_length", Field: "DN", Source: "RFC5280", Encoding: "2-octet units", Text: "BMPString content is whole UCS-2 units", New: true},
+		{LintName: "e_universal_string_length_not_multiple_4", Field: "DN", Source: "RFC5280", Encoding: "4-octet units", Text: "UniversalString content is whole UCS-4 units", New: true},
+		{LintName: "w_teletex_string_for_new_subject", Field: "Subject", Source: "RFC5280", Encoding: "TeletexString grandfathered", Text: "TeletexString only for previously established subjects", New: true},
+		{LintName: "e_utf8_declared_but_invalid_bytes", Field: "DN", Source: "RFC5280", Encoding: "well-formed UTF-8", Text: "UTF8String content must be valid UTF-8", New: true},
+		{LintName: "e_crl_dp_uri_not_ia5", Field: "CRLDistributionPoints", Source: "RFC5280", Encoding: "7-bit IA5", Text: "CRL DP URIs are 7-bit", New: true},
+		{LintName: "e_aia_location_not_ia5", Field: "AIA/SIA", Source: "RFC5280", Encoding: "7-bit IA5", Text: "access locations are 7-bit", New: true},
+	}
+
+	// Per-attribute DirectoryString encoding families (Subject +
+	// Issuer), mirroring the lint factories.
+	for _, side := range []string{"subject", "issuer"} {
+		fieldPrefix := "Subject"
+		if side == "issuer" {
+			fieldPrefix = "Issuer"
+		}
+		for _, fa := range familyAttrs {
+			enc := "PrintableString or UTF8String"
+			suffix := "_not_printable_or_utf8"
+			if fa.printable {
+				enc = "PrintableString"
+				suffix = "_not_printable"
+			}
+			r = append(r, Rule{
+				LintName:  fmt.Sprintf("e_%s_%s%s", side, fa.slug, suffix),
+				Field:     fieldPrefix + "." + fa.field,
+				Source:    "RFC5280",
+				Structure: dirStringPath(fieldPrefix + "." + fa.field),
+				Encoding:  enc,
+				Text:      "CAs MUST use " + enc + " for this attribute",
+				New:       true,
+			})
+		}
+	}
+	return r
+}

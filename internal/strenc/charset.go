@@ -1,0 +1,133 @@
+package strenc
+
+import "strings"
+
+// StringType identifies an ASN.1 string type by its universal tag number
+// (Table 8 of the paper / X.680).
+type StringType int
+
+// ASN.1 string-type tag numbers used in X.509 certificates.
+const (
+	TypeUTF8String      StringType = 12
+	TypeNumericString   StringType = 18
+	TypePrintableString StringType = 19
+	TypeTeletexString   StringType = 20
+	TypeIA5String       StringType = 22
+	TypeVisibleString   StringType = 26
+	TypeUniversalString StringType = 28
+	TypeBMPString       StringType = 30
+)
+
+// StringTypes lists every ASN.1 string type permitted in X.509
+// certificates, in tag order.
+func StringTypes() []StringType {
+	return []StringType{
+		TypeUTF8String, TypeNumericString, TypePrintableString,
+		TypeTeletexString, TypeIA5String, TypeVisibleString,
+		TypeUniversalString, TypeBMPString,
+	}
+}
+
+func (t StringType) String() string {
+	switch t {
+	case TypeUTF8String:
+		return "UTF8String"
+	case TypeNumericString:
+		return "NumericString"
+	case TypePrintableString:
+		return "PrintableString"
+	case TypeTeletexString:
+		return "TeletexString"
+	case TypeIA5String:
+		return "IA5String"
+	case TypeVisibleString:
+		return "VisibleString"
+	case TypeUniversalString:
+		return "UniversalString"
+	case TypeBMPString:
+		return "BMPString"
+	default:
+		return "UnknownStringType"
+	}
+}
+
+// StandardMethod returns the decoding method the ASN.1 standard assigns
+// to a string type — the method a compliant parser must use.
+func (t StringType) StandardMethod() Method {
+	switch t {
+	case TypeUTF8String:
+		return UTF8
+	case TypeBMPString:
+		return UCS2
+	case TypeUniversalString:
+		return UTF16BE // UCS-4 in the standard; see note in DESIGN.md
+	case TypeTeletexString:
+		return T61
+	default:
+		return ASCII
+	}
+}
+
+// printableExtra holds the punctuation PrintableString permits beyond
+// letters, digits, and space. Note the deliberate absence of '@', '&',
+// '*', and '_' — their acceptance is one of the violations the paper's
+// lints flag.
+const printableExtra = "'()+,-./:=?"
+
+// ValidRune reports whether r belongs to the legal character set of the
+// string type, per X.680 and RFC 5280.
+func (t StringType) ValidRune(r rune) bool {
+	switch t {
+	case TypeUTF8String:
+		return r >= 0 && r <= 0x10FFFF && !(r >= 0xD800 && r <= 0xDFFF)
+	case TypeNumericString:
+		return (r >= '0' && r <= '9') || r == ' '
+	case TypePrintableString:
+		switch {
+		case r >= 'A' && r <= 'Z', r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == ' ':
+			return true
+		default:
+			return strings.ContainsRune(printableExtra, r)
+		}
+	case TypeTeletexString:
+		// The deployed interpretation: T.61 graphic repertoire,
+		// approximated as Latin-1 graphics without C0/C1 controls.
+		return (r >= 0x20 && r <= 0x7E) || (r >= 0xA0 && r <= 0xFF)
+	case TypeIA5String:
+		return r >= 0 && r <= 0x7F
+	case TypeVisibleString:
+		return r >= 0x20 && r <= 0x7E
+	case TypeUniversalString:
+		return r >= 0 && r <= 0x10FFFF && !(r >= 0xD800 && r <= 0xDFFF)
+	case TypeBMPString:
+		return r >= 0 && r <= 0xFFFF && !(r >= 0xD800 && r <= 0xDFFF)
+	default:
+		return false
+	}
+}
+
+// ValidString reports whether every rune of s is legal for t, returning
+// the first offending rune when not.
+func (t StringType) ValidString(s string) (bool, rune) {
+	for _, r := range s {
+		if !t.ValidRune(r) {
+			return false, r
+		}
+	}
+	return true, 0
+}
+
+// DNSNameValid reports whether r is legal inside a DNSName: although a
+// DNSName is carried in an IA5String, RFC 5280 §4.2.1.6 restricts it to
+// letters, digits, hyphen, and dot (the "preferred name syntax" of
+// RFC 1034), plus '*' for wildcards at the leftmost label.
+func DNSNameValid(r rune) bool {
+	switch {
+	case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		return true
+	case r == '-' || r == '.':
+		return true
+	default:
+		return false
+	}
+}

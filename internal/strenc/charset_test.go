@@ -1,0 +1,131 @@
+package strenc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPrintableStringCharset(t *testing.T) {
+	valid := "ABCxyz019 '()+,-./:=?"
+	for _, r := range valid {
+		if !TypePrintableString.ValidRune(r) {
+			t.Errorf("PrintableString should accept %q", r)
+		}
+	}
+	invalid := "@&*_!#;<>\x00\x7Fé株"
+	for _, r := range invalid {
+		if TypePrintableString.ValidRune(r) {
+			t.Errorf("PrintableString should reject %q", r)
+		}
+	}
+}
+
+func TestNumericStringCharset(t *testing.T) {
+	if ok, _ := TypeNumericString.ValidString("0123 456789"); !ok {
+		t.Error("digits and space must be valid")
+	}
+	if ok, bad := TypeNumericString.ValidString("12a3"); ok || bad != 'a' {
+		t.Errorf("letters must be invalid, got ok=%v bad=%q", ok, bad)
+	}
+}
+
+func TestIA5StringCharset(t *testing.T) {
+	if !TypeIA5String.ValidRune(0x00) || !TypeIA5String.ValidRune(0x7F) {
+		t.Error("IA5String covers the full 7-bit range including controls")
+	}
+	if TypeIA5String.ValidRune(0x80) || TypeIA5String.ValidRune('é') {
+		t.Error("IA5String must reject 8-bit characters")
+	}
+}
+
+func TestVisibleStringCharset(t *testing.T) {
+	if TypeVisibleString.ValidRune(0x1F) || TypeVisibleString.ValidRune(0x7F) {
+		t.Error("VisibleString excludes control characters")
+	}
+	if !TypeVisibleString.ValidRune(' ') || !TypeVisibleString.ValidRune('~') {
+		t.Error("VisibleString covers 0x20..0x7E")
+	}
+}
+
+func TestBMPStringCharset(t *testing.T) {
+	if !TypeBMPString.ValidRune(0xFFFD) || !TypeBMPString.ValidRune('株') {
+		t.Error("BMPString covers the BMP")
+	}
+	if TypeBMPString.ValidRune(0x10000) || TypeBMPString.ValidRune(0xD800) {
+		t.Error("BMPString excludes astral planes and surrogates")
+	}
+}
+
+func TestUTF8StringCharset(t *testing.T) {
+	if !TypeUTF8String.ValidRune(0x10FFFF) {
+		t.Error("UTF8String covers all of Unicode")
+	}
+	if TypeUTF8String.ValidRune(0xDC00) {
+		t.Error("UTF8String excludes surrogates")
+	}
+}
+
+func TestStandardMethods(t *testing.T) {
+	cases := map[StringType]Method{
+		TypeUTF8String:      UTF8,
+		TypePrintableString: ASCII,
+		TypeIA5String:       ASCII,
+		TypeBMPString:       UCS2,
+		TypeTeletexString:   T61,
+		TypeNumericString:   ASCII,
+		TypeVisibleString:   ASCII,
+	}
+	for st, want := range cases {
+		if got := st.StandardMethod(); got != want {
+			t.Errorf("%v: got %v want %v", st, got, want)
+		}
+	}
+}
+
+func TestDNSNameValid(t *testing.T) {
+	for _, r := range "abcXYZ019-." {
+		if !DNSNameValid(r) {
+			t.Errorf("DNSName should accept %q", r)
+		}
+	}
+	for _, r := range " _@:/\x00é中‮" {
+		if DNSNameValid(r) {
+			t.Errorf("DNSName should reject %q", r)
+		}
+	}
+}
+
+func TestCharsetNesting(t *testing.T) {
+	// Invariants: VisibleString ⊂ IA5String; PrintableString ⊂
+	// VisibleString; NumericString ⊂ PrintableString; BMPString ⊂
+	// UTF8String.
+	f := func(r rune) bool {
+		if r < 0 || r > 0x10FFFF {
+			return true
+		}
+		if TypeVisibleString.ValidRune(r) && !TypeIA5String.ValidRune(r) {
+			return false
+		}
+		if TypePrintableString.ValidRune(r) && !TypeVisibleString.ValidRune(r) {
+			return false
+		}
+		if TypeNumericString.ValidRune(r) && !TypePrintableString.ValidRune(r) {
+			return false
+		}
+		if TypeBMPString.ValidRune(r) && !TypeUTF8String.ValidRune(r) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringTypeNames(t *testing.T) {
+	for _, st := range StringTypes() {
+		if st.String() == "UnknownStringType" {
+			t.Errorf("tag %d has no name", int(st))
+		}
+	}
+}

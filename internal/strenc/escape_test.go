@@ -1,0 +1,108 @@
+package strenc
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestEscapeValueSpecials(t *testing.T) {
+	got := EscapeValue(RFC2253, `a,b+c"d\e<f>g;h`)
+	want := `a\,b\+c\"d\\e\<f\>g\;h`
+	if got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestEscapeValueLeadingTrailingSpace(t *testing.T) {
+	got := EscapeValue(RFC2253, " padded ")
+	if !strings.HasPrefix(got, `\ `) || !strings.HasSuffix(got, `\ `) {
+		t.Fatalf("got %q", got)
+	}
+	// Interior spaces stay unescaped.
+	if strings.Count(got, `\`) != 2 {
+		t.Fatalf("interior spaces must not be escaped: %q", got)
+	}
+}
+
+func TestEscapeValueLeadingHash(t *testing.T) {
+	if got := EscapeValue(RFC2253, "#hex"); got != `\#hex` {
+		t.Fatalf("got %q", got)
+	}
+	if got := EscapeValue(RFC2253, "a#b"); got != "a#b" {
+		t.Fatalf("interior # must not be escaped: %q", got)
+	}
+}
+
+func TestEscapeValueNUL4514(t *testing.T) {
+	if got := EscapeValue(RFC4514, "a\x00b"); got != `a\00b` {
+		t.Fatalf("RFC 4514 NUL escape: got %q", got)
+	}
+	// RFC 2253 predates the \00 rule.
+	if got := EscapeValue(RFC2253, "a\x00b"); got != "a\x00b" {
+		t.Fatalf("RFC 2253 leaves NUL alone: got %q", got)
+	}
+}
+
+func TestEscapeValue1779Equals(t *testing.T) {
+	if got := EscapeValue(RFC1779, "a=b"); got != `a\=b` {
+		t.Fatalf("got %q", got)
+	}
+	if got := EscapeValue(RFC2253, "a=b"); got != "a=b" {
+		t.Fatalf("RFC 2253 does not escape '=': got %q", got)
+	}
+}
+
+func TestNeedsEscaping(t *testing.T) {
+	if NeedsEscaping(RFC2253, "plain value") {
+		t.Error("plain value needs no escaping")
+	}
+	if !NeedsEscaping(RFC2253, "a.com, DNS:b.com") {
+		t.Error("comma requires escaping")
+	}
+}
+
+func TestEscapeControls(t *testing.T) {
+	got := EscapeControls("test\x01\x7F.com")
+	if got != `test\x01\x7F.com` {
+		t.Fatalf("got %q", got)
+	}
+	if EscapeControls("clean") != "clean" {
+		t.Error("clean strings pass through")
+	}
+}
+
+func TestReplaceControls(t *testing.T) {
+	// The PyOpenSSL CRL behaviour from §5.2: "http://ssl\x01test.com"
+	// becomes "http://ssl.test.com".
+	got := ReplaceControls("http://ssl\x01test.com", '.')
+	if got != "http://ssl.test.com" {
+		t.Fatalf("got %q", got)
+	}
+	// U+000A and U+000D are NOT in the replaced set.
+	if got := ReplaceControls("a\nb", '.'); got != "a\nb" {
+		t.Fatalf("LF must survive: %q", got)
+	}
+}
+
+func TestEscapeIdempotentOnClean(t *testing.T) {
+	f := func(s string) bool {
+		// Strip anything that needs escaping; the remainder must be a
+		// fixed point for every style.
+		clean := strings.Map(func(r rune) rune {
+			if strings.ContainsRune(specials2253+"= #\x00", r) {
+				return -1
+			}
+			return r
+		}, s)
+		for _, style := range EscapeStyles() {
+			if EscapeValue(style, clean) != clean {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

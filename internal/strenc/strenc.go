@@ -1,0 +1,430 @@
+// Package strenc implements the character encodings and decodings that
+// appear in X.509 certificates: the five decoding methods the paper's
+// methodology (§3.2) infers from TLS-library behaviour (ASCII, ISO-8859-1,
+// UTF-8, UCS-2, UTF-16) plus T.61 for TeletexString, together with the
+// three special-character handling modes (truncation, replacement,
+// escaping) and a strict mode that reports undecodable input.
+//
+// It also encodes the per-ASN.1-string-type legal character sets of
+// RFC 5280 / X.680 (Table 8 of the paper), which the linter and the
+// certificate generator both consume.
+package strenc
+
+import (
+	"fmt"
+	"strings"
+	"unicode/utf16"
+	"unicode/utf8"
+)
+
+// Method identifies one of the decoding methods the paper's differential
+// harness distinguishes between.
+type Method int
+
+// Decoding methods, in the order the paper lists them.
+const (
+	ASCII Method = iota
+	ISO88591
+	UTF8
+	UCS2
+	UTF16BE
+	T61
+	numMethods
+)
+
+// Methods lists every decoding method, in a stable order, for harnesses
+// that sweep the full set.
+func Methods() []Method {
+	return []Method{ASCII, ISO88591, UTF8, UCS2, UTF16BE, T61}
+}
+
+func (m Method) String() string {
+	switch m {
+	case ASCII:
+		return "ASCII"
+	case ISO88591:
+		return "ISO-8859-1"
+	case UTF8:
+		return "UTF-8"
+	case UCS2:
+		return "UCS-2"
+	case UTF16BE:
+		return "UTF-16"
+	case T61:
+		return "T.61"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Handling selects what a decoder does with byte sequences that are not
+// valid under the chosen Method. Strict reports an error; the other three
+// are the special-character handling modes of §3.2.
+type Handling int
+
+const (
+	// Strict fails the whole decode on the first invalid sequence.
+	Strict Handling = iota
+	// Truncate drops invalid sequences from the output.
+	Truncate
+	// Replace substitutes U+FFFD for each invalid byte.
+	Replace
+	// Escape renders each invalid byte as a \xNN hexadecimal escape.
+	Escape
+)
+
+// Handlings lists every handling mode in a stable order.
+func Handlings() []Handling { return []Handling{Strict, Truncate, Replace, Escape} }
+
+func (h Handling) String() string {
+	switch h {
+	case Strict:
+		return "strict"
+	case Truncate:
+		return "truncate"
+	case Replace:
+		return "replace"
+	case Escape:
+		return "escape"
+	default:
+		return fmt.Sprintf("Handling(%d)", int(h))
+	}
+}
+
+// ReplacementChar is the substitute used by the Replace handling mode.
+const ReplacementChar = '�'
+
+// DecodeError reports an undecodable byte sequence under Strict handling.
+type DecodeError struct {
+	Method Method
+	Offset int
+	Byte   byte
+}
+
+func (e *DecodeError) Error() string {
+	return fmt.Sprintf("strenc: byte 0x%02X at offset %d is not valid %s", e.Byte, e.Offset, e.Method)
+}
+
+// Decode interprets b according to method m, applying handling h to
+// invalid sequences. Under Strict, the first invalid sequence aborts the
+// decode with a *DecodeError.
+func Decode(m Method, h Handling, b []byte) (string, error) {
+	switch m {
+	case ASCII:
+		return decodeASCII(h, b)
+	case ISO88591:
+		return decodeLatin1(b), nil
+	case UTF8:
+		return decodeUTF8(h, b)
+	case UCS2:
+		return decodeUCS2(h, b)
+	case UTF16BE:
+		return decodeUTF16(h, b)
+	case T61:
+		return decodeT61(h, b)
+	default:
+		return "", fmt.Errorf("strenc: unknown method %d", int(m))
+	}
+}
+
+func invalid(h Handling, sb *strings.Builder, m Method, off int, c byte) error {
+	switch h {
+	case Strict:
+		return &DecodeError{Method: m, Offset: off, Byte: c}
+	case Truncate:
+		// drop
+	case Replace:
+		sb.WriteRune(ReplacementChar)
+	case Escape:
+		fmt.Fprintf(sb, `\x%02X`, c)
+	}
+	return nil
+}
+
+func decodeASCII(h Handling, b []byte) (string, error) {
+	var sb strings.Builder
+	sb.Grow(len(b))
+	for i, c := range b {
+		if c < 0x80 {
+			sb.WriteByte(c)
+			continue
+		}
+		if err := invalid(h, &sb, ASCII, i, c); err != nil {
+			return "", err
+		}
+	}
+	return sb.String(), nil
+}
+
+func decodeLatin1(b []byte) string {
+	// Every byte is a defined ISO-8859-1 code point, so Latin-1 decoding
+	// never fails: this is exactly the over-tolerance the paper observes
+	// in libraries that fall back to it.
+	var sb strings.Builder
+	sb.Grow(len(b))
+	for _, c := range b {
+		sb.WriteRune(rune(c))
+	}
+	return sb.String()
+}
+
+func decodeUTF8(h Handling, b []byte) (string, error) {
+	if utf8.Valid(b) {
+		return string(b), nil
+	}
+	var sb strings.Builder
+	sb.Grow(len(b))
+	for i := 0; i < len(b); {
+		r, size := utf8.DecodeRune(b[i:])
+		if r == utf8.RuneError && size == 1 {
+			if err := invalid(h, &sb, UTF8, i, b[i]); err != nil {
+				return "", err
+			}
+			i++
+			continue
+		}
+		sb.WriteRune(r)
+		i += size
+	}
+	return sb.String(), nil
+}
+
+func decodeUCS2(h Handling, b []byte) (string, error) {
+	var sb strings.Builder
+	sb.Grow(len(b) / 2)
+	n := len(b) - len(b)%2
+	for i := 0; i < n; i += 2 {
+		u := rune(b[i])<<8 | rune(b[i+1])
+		if u >= 0xD800 && u <= 0xDFFF {
+			// UCS-2 has no surrogate mechanism: a surrogate code unit is
+			// an invalid character, not half of a pair.
+			if err := invalid(h, &sb, UCS2, i, b[i]); err != nil {
+				return "", err
+			}
+			continue
+		}
+		sb.WriteRune(u)
+	}
+	if n < len(b) {
+		if err := invalid(h, &sb, UCS2, n, b[n]); err != nil {
+			return "", err
+		}
+	}
+	return sb.String(), nil
+}
+
+func decodeUTF16(h Handling, b []byte) (string, error) {
+	if len(b)%2 != 0 {
+		if h == Strict {
+			return "", &DecodeError{Method: UTF16BE, Offset: len(b) - 1, Byte: b[len(b)-1]}
+		}
+	}
+	units := make([]uint16, 0, len(b)/2)
+	for i := 0; i+1 < len(b); i += 2 {
+		units = append(units, uint16(b[i])<<8|uint16(b[i+1]))
+	}
+	if h == Strict {
+		// utf16.Decode replaces unpaired surrogates silently; detect them.
+		for i := 0; i < len(units); i++ {
+			u := units[i]
+			switch {
+			case u >= 0xD800 && u < 0xDC00:
+				if i+1 >= len(units) || units[i+1] < 0xDC00 || units[i+1] > 0xDFFF {
+					return "", &DecodeError{Method: UTF16BE, Offset: i * 2, Byte: byte(u >> 8)}
+				}
+				i++
+			case u >= 0xDC00 && u <= 0xDFFF:
+				return "", &DecodeError{Method: UTF16BE, Offset: i * 2, Byte: byte(u >> 8)}
+			}
+		}
+	}
+	runes := utf16.Decode(units)
+	var sb strings.Builder
+	for i, r := range runes {
+		if r == ReplacementChar && h != Replace {
+			if err := invalid(h, &sb, UTF16BE, i*2, 0xD8); err != nil {
+				return "", err
+			}
+			continue
+		}
+		sb.WriteRune(r)
+	}
+	if len(b)%2 != 0 {
+		if err := invalid(h, &sb, UTF16BE, len(b)-1, b[len(b)-1]); err != nil {
+			return "", err
+		}
+	}
+	return sb.String(), nil
+}
+
+// decodeT61 implements the commonly deployed simplification of T.61: the
+// graphic characters of ISO 6937's primary set map through ASCII, and
+// bytes in the C1/G1 area map through a Latin-oriented table. Real-world
+// parsers (and the paper's subjects) treat TeletexString as Latin-1 or
+// ASCII; we keep combining-accent handling (0xC0–0xCF prefix bytes),
+// which is the one T.61 feature that changes observable output.
+func decodeT61(h Handling, b []byte) (string, error) {
+	var sb strings.Builder
+	sb.Grow(len(b))
+	for i := 0; i < len(b); i++ {
+		c := b[i]
+		switch {
+		case c < 0x80:
+			sb.WriteByte(c)
+		case c >= 0xC0 && c <= 0xCF && i+1 < len(b):
+			// Combining diacritic prefix: compose with the following base
+			// letter where we know the composition, else emit base alone.
+			base := b[i+1]
+			i++
+			if r, ok := t61Compose(c, base); ok {
+				sb.WriteRune(r)
+			} else if base < 0x80 {
+				sb.WriteByte(base)
+			} else if err := invalid(h, &sb, T61, i, base); err != nil {
+				return "", err
+			}
+		case c >= 0xA0:
+			if r, ok := t61G1[c]; ok {
+				sb.WriteRune(r)
+			} else if err := invalid(h, &sb, T61, i, c); err != nil {
+				return "", err
+			}
+		default:
+			if err := invalid(h, &sb, T61, i, c); err != nil {
+				return "", err
+			}
+		}
+	}
+	return sb.String(), nil
+}
+
+// t61G1 maps the defined graphic bytes of the T.61 supplementary set.
+var t61G1 = map[byte]rune{
+	0xA0: ' ', 0xA1: '¡', 0xA2: '¢', 0xA3: '£', 0xA4: '$', 0xA5: '¥',
+	0xA6: '#', 0xA7: '§', 0xA8: '¤', 0xAB: '«', 0xB0: '°', 0xB1: '±',
+	0xB2: '²', 0xB3: '³', 0xB4: '×', 0xB5: 'µ', 0xB6: '¶', 0xB7: '·',
+	0xB8: '÷', 0xBB: '»', 0xBC: '¼', 0xBD: '½', 0xBE: '¾', 0xBF: '¿',
+	0xE1: 'Æ', 0xE2: 'Đ', 0xE6: 'Ĳ', 0xE8: 'Ł', 0xE9: 'Ø', 0xEA: 'Œ',
+	0xEC: 'Þ', 0xF1: 'æ', 0xF2: 'đ', 0xF3: 'ð', 0xF6: 'ĳ', 0xF8: 'ł',
+	0xF9: 'ø', 0xFA: 'œ', 0xFB: 'ß', 0xFC: 'þ',
+}
+
+// t61Compose composes a T.61 diacritic prefix byte with an ASCII base.
+func t61Compose(diacritic, base byte) (rune, bool) {
+	type key struct{ d, b byte }
+	// Grave, acute, circumflex, tilde, macron-umlaut family: only the
+	// pairs that occur in deployed certificates.
+	table := map[key]rune{
+		{0xC1, 'a'}: 'à', {0xC1, 'e'}: 'è', {0xC1, 'i'}: 'ì', {0xC1, 'o'}: 'ò', {0xC1, 'u'}: 'ù',
+		{0xC1, 'A'}: 'À', {0xC1, 'E'}: 'È', {0xC1, 'O'}: 'Ò', {0xC1, 'U'}: 'Ù',
+		{0xC2, 'a'}: 'á', {0xC2, 'e'}: 'é', {0xC2, 'i'}: 'í', {0xC2, 'o'}: 'ó', {0xC2, 'u'}: 'ú',
+		{0xC2, 'A'}: 'Á', {0xC2, 'E'}: 'É', {0xC2, 'O'}: 'Ó', {0xC2, 'U'}: 'Ú', {0xC2, 'y'}: 'ý',
+		{0xC3, 'a'}: 'â', {0xC3, 'e'}: 'ê', {0xC3, 'i'}: 'î', {0xC3, 'o'}: 'ô', {0xC3, 'u'}: 'û',
+		{0xC4, 'a'}: 'ã', {0xC4, 'n'}: 'ñ', {0xC4, 'o'}: 'õ', {0xC4, 'N'}: 'Ñ',
+		{0xC8, 'a'}: 'ä', {0xC8, 'e'}: 'ë', {0xC8, 'i'}: 'ï', {0xC8, 'o'}: 'ö', {0xC8, 'u'}: 'ü',
+		{0xC8, 'A'}: 'Ä', {0xC8, 'O'}: 'Ö', {0xC8, 'U'}: 'Ü', {0xC8, 'y'}: 'ÿ',
+		{0xCA, 'a'}: 'å', {0xCA, 'A'}: 'Å', {0xCA, 'u'}: 'ů',
+		{0xCB, 'c'}: 'ç', {0xCB, 'C'}: 'Ç', {0xCB, 's'}: 'ş',
+		{0xCD, 'o'}: 'ő', {0xCD, 'u'}: 'ű',
+		{0xCF, 'c'}: 'č', {0xCF, 's'}: 'š', {0xCF, 'z'}: 'ž', {0xCF, 'r'}: 'ř',
+		{0xCF, 'C'}: 'Č', {0xCF, 'S'}: 'Š', {0xCF, 'Z'}: 'Ž', {0xCF, 'e'}: 'ě',
+	}
+	r, ok := table[key{diacritic, base}]
+	return r, ok
+}
+
+// EncodeError reports a rune that cannot be represented under a Method.
+type EncodeError struct {
+	Method Method
+	Rune   rune
+}
+
+func (e *EncodeError) Error() string {
+	return fmt.Sprintf("strenc: rune %q (U+%04X) cannot be encoded as %s", e.Rune, e.Rune, e.Method)
+}
+
+// Encode converts s into the byte representation of method m. It fails
+// with an *EncodeError on the first unrepresentable rune.
+func Encode(m Method, s string) ([]byte, error) {
+	switch m {
+	case ASCII:
+		out := make([]byte, 0, len(s))
+		for _, r := range s {
+			if r >= 0x80 {
+				return nil, &EncodeError{Method: m, Rune: r}
+			}
+			out = append(out, byte(r))
+		}
+		return out, nil
+	case ISO88591, T61:
+		// We emit Latin-1 bytes for T.61 too: that is what every CA
+		// implementation the paper measured actually produces.
+		out := make([]byte, 0, len(s))
+		for _, r := range s {
+			if r > 0xFF {
+				return nil, &EncodeError{Method: m, Rune: r}
+			}
+			out = append(out, byte(r))
+		}
+		return out, nil
+	case UTF8:
+		return []byte(s), nil
+	case UCS2:
+		out := make([]byte, 0, 2*len(s))
+		for _, r := range s {
+			if r > 0xFFFF || (r >= 0xD800 && r <= 0xDFFF) {
+				return nil, &EncodeError{Method: m, Rune: r}
+			}
+			out = append(out, byte(r>>8), byte(r))
+		}
+		return out, nil
+	case UTF16BE:
+		units := utf16.Encode([]rune(s))
+		out := make([]byte, 0, 2*len(units))
+		for _, u := range units {
+			out = append(out, byte(u>>8), byte(u))
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("strenc: unknown method %d", int(m))
+	}
+}
+
+// EncodeUnchecked is Encode without range validation: unrepresentable
+// runes are narrowed modulo the code-unit width. The certificate
+// generator uses it to craft the noncompliant byte sequences the paper's
+// corpus contains (e.g. raw 0x80–0xFF bytes inside a PrintableString).
+func EncodeUnchecked(m Method, s string) []byte {
+	switch m {
+	case ASCII, ISO88591, T61:
+		out := make([]byte, 0, len(s))
+		for _, r := range s {
+			out = append(out, byte(r))
+		}
+		return out
+	case UCS2:
+		out := make([]byte, 0, 2*len(s))
+		for _, r := range s {
+			out = append(out, byte(r>>8), byte(r))
+		}
+		return out
+	default:
+		b, err := Encode(m, s)
+		if err == nil {
+			return b
+		}
+		// UTF-16 with lone surrogates in input: narrow per rune.
+		out := make([]byte, 0, 2*len(s))
+		for _, r := range s {
+			if r <= 0xFFFF {
+				out = append(out, byte(r>>8), byte(r))
+			} else {
+				u := utf16.Encode([]rune{r})
+				for _, x := range u {
+					out = append(out, byte(x>>8), byte(x))
+				}
+			}
+		}
+		return out
+	}
+}

@@ -1,0 +1,219 @@
+package tlsimpl
+
+// The per-library behaviour specifications, transcribed from the
+// paper's Tables 4, 5, 12, and 13 and the §5.1/§5.2 prose:
+//
+//   - OpenSSL decodes DN bytes as (escaped) ASCII regardless of the
+//     declared type — BMPString content is read byte-wise (incompatible)
+//     and undecodable bytes become \xNN escapes (modified). Its oneline
+//     DN format performs no escaping at all, the exploited DN-forgery
+//     channel of Table 5. It exposes no GeneralName convenience APIs.
+//   - GnuTLS decodes every DN/GN string type except BMPString with
+//     UTF-8 (over-tolerant) and accepts illegal PrintableString and
+//     BMPString characters; it escapes DN text per RFC 4514. It has no
+//     IA5String-in-DN path.
+//   - PyOpenSSL exposes structured DN components with standard decoding
+//     but no charset checks; its GN text form ("DNS:a, DNS:b") performs
+//     no escaping (exploited subfield forgery), and its
+//     CRLDistributionPoints decoder replaces control characters with
+//     '.' — the revocation-disable primitive.
+//   - Cryptography renders DNs per RFC 4514 with compliant escaping but
+//     tolerates illegal IA5/BMP characters.
+//   - Go crypto parses into structured values, fails the whole parse on
+//     PrintableString charset violations, and never renders text — so
+//     escaping violations do not apply; GN IA5 payloads are accepted
+//     uninspected.
+//   - Java security.cert reads BMPString ASCII-compatibly
+//     (incompatible), replaces undecodable bytes with U+FFFD (modified),
+//     escapes per RFC 2253 but not per RFC 4514/1779.
+//   - BouncyCastle decodes BMPString with UTF-16 (over-tolerant, it
+//     pairs surrogates), tolerates IA5 violations, and renders DN text
+//     with RFC 2253 escaping only; it exposes no extension parsing.
+//   - Node.js crypto renders the subject line-wise without escaping
+//     (unexploited violations) and joins SAN values with ", " after
+//     prefixing — embedded "DNS:" text is not escaped.
+//   - Forge decodes UTF8String values with ISO-8859-1 (incompatible)
+//     and performs no charset checks in the DN; its GN accessor returns
+//     structured values.
+
+import (
+	"strings"
+
+	"repro/internal/asn1der"
+	"repro/internal/strenc"
+)
+
+func allFields(except ...Field) map[Field]bool {
+	m := map[Field]bool{
+		FieldSubject: true, FieldIssuer: true, FieldSAN: true,
+		FieldIAN: true, FieldAIA: true, FieldCRLDP: true, FieldSIA: true,
+	}
+	for _, f := range except {
+		m[f] = false
+	}
+	return m
+}
+
+func rfc2253Escape(v string) string { return strenc.EscapeValue(strenc.RFC2253, v) }
+func rfc4514Escape(v string) string { return strenc.EscapeValue(strenc.RFC4514, v) }
+
+// asciiEscaped reads content byte-wise as ASCII, escaping high bytes.
+var asciiEscaped = dnRule{Method: strenc.ASCII, Handling: strenc.Escape}
+
+var specs = map[Library]librarySpec{
+	OpenSSL: {
+		dn: map[int]dnRule{
+			asn1der.TagPrintableString: asciiEscaped,
+			asn1der.TagIA5String:       asciiEscaped,
+			asn1der.TagUTF8String:      asciiEscaped,
+			asn1der.TagBMPString:       asciiEscaped, // incompatible: bytes as ASCII
+			asn1der.TagTeletexString:   asciiEscaped,
+			asn1der.TagNumericString:   asciiEscaped,
+			asn1der.TagVisibleString:   asciiEscaped,
+			asn1der.TagUniversalString: asciiEscaped,
+		},
+		// X509_NAME_oneline: '/'-separated, no escaping — exploited.
+		dnText:   &escapeSpec{Separator: "/", Prefix: "/", EscapeFn: nil},
+		supports: allFields(FieldSAN, FieldIAN, FieldAIA, FieldCRLDP, FieldSIA),
+	},
+	GnuTLS: {
+		dn: map[int]dnRule{
+			asn1der.TagPrintableString: {Method: strenc.UTF8, Handling: strenc.Replace}, // over-tolerant
+			asn1der.TagUTF8String:      {Method: strenc.UTF8, Handling: strenc.Replace},
+			asn1der.TagTeletexString:   {Method: strenc.UTF8, Handling: strenc.Replace},
+			asn1der.TagNumericString:   {Method: strenc.UTF8, Handling: strenc.Replace},
+			asn1der.TagVisibleString:   {Method: strenc.UTF8, Handling: strenc.Replace},
+			asn1der.TagUniversalString: {Method: strenc.UTF8, Handling: strenc.Replace},
+			asn1der.TagBMPString:       {Method: strenc.UCS2, Handling: strenc.Replace},
+		},
+		dnText:   &escapeSpec{Separator: ",", EscapeFn: rfc4514Escape},
+		gn:       &gnRule{Method: strenc.UTF8, Handling: strenc.Replace}, // over-tolerant in GN too
+		gnJoin:   ", ",
+		gnPrefix: true,
+		supports: allFields(FieldAIA, FieldSIA),
+	},
+	PyOpenSSL: {
+		dn: map[int]dnRule{
+			asn1der.TagPrintableString: {Method: strenc.ASCII, Handling: strenc.Replace}, // accepts illegal chars
+			asn1der.TagIA5String:       {Method: strenc.ISO88591, Handling: strenc.Replace},
+			asn1der.TagUTF8String:      {Method: strenc.UTF8, Handling: strenc.Replace},
+			asn1der.TagBMPString:       {Method: strenc.UCS2, Handling: strenc.Replace},
+			asn1der.TagTeletexString:   {Method: strenc.ISO88591, Handling: strenc.Replace},
+			asn1der.TagNumericString:   {Method: strenc.ASCII, Handling: strenc.Replace},
+			asn1der.TagVisibleString:   {Method: strenc.ASCII, Handling: strenc.Replace},
+			asn1der.TagUniversalString: {Method: strenc.UTF16BE, Handling: strenc.Replace},
+		},
+		dnText: &escapeSpec{Separator: "/", Prefix: "/", EscapeFn: nil},
+		// str(get_extension()) renders "DNS:a, DNS:b" without escaping
+		// embedded separators — exploited; CRLDP control characters
+		// become '.' (§5.2).
+		gn:       &gnRule{Method: strenc.ASCII, Handling: strenc.Replace, ReplaceRune: '.', ControlsOnly: true},
+		gnJoin:   ", ",
+		gnPrefix: true,
+		supports: allFields(FieldSIA),
+	},
+	Cryptography: {
+		dn: map[int]dnRule{
+			asn1der.TagPrintableString: {Method: strenc.ASCII, Handling: strenc.Replace},
+			asn1der.TagIA5String:       {Method: strenc.ISO88591, Handling: strenc.Replace}, // lax for compatibility
+			asn1der.TagUTF8String:      {Method: strenc.UTF8, Handling: strenc.Replace},
+			asn1der.TagBMPString:       {Method: strenc.UCS2, Handling: strenc.Replace},
+			asn1der.TagTeletexString:   {Method: strenc.ISO88591, Handling: strenc.Replace},
+			asn1der.TagNumericString:   {Method: strenc.ASCII, Handling: strenc.Replace},
+			asn1der.TagVisibleString:   {Method: strenc.ASCII, Handling: strenc.Replace},
+			asn1der.TagUniversalString: {Method: strenc.UTF16BE, Handling: strenc.Replace},
+		},
+		dnText:   &escapeSpec{Separator: ",", EscapeFn: rfc4514Escape},
+		gn:       &gnRule{Method: strenc.ASCII, Handling: strenc.Replace},
+		supports: allFields(FieldSIA),
+	},
+	GoCrypto: {
+		dn: map[int]dnRule{
+			// Strict standard decoding: bad content aborts the parse
+			// ("asn1: syntax error: PrintableString contains invalid
+			// character").
+			asn1der.TagPrintableString: {Method: strenc.ASCII, FailParse: true, CheckCharset: true},
+			asn1der.TagIA5String:       {Method: strenc.ASCII, FailParse: true},
+			asn1der.TagUTF8String:      {Method: strenc.UTF8, FailParse: true},
+			asn1der.TagBMPString:       {Method: strenc.UCS2, FailParse: true},
+			asn1der.TagTeletexString:   {Method: strenc.T61, Handling: strenc.Replace},
+			asn1der.TagNumericString:   {Method: strenc.ASCII, FailParse: true, CheckCharset: true},
+			asn1der.TagVisibleString:   {Method: strenc.ASCII, FailParse: true},
+			asn1der.TagUniversalString: {Method: strenc.UTF16BE, Handling: strenc.Replace},
+		},
+		dnText:   nil, // structured pkix.Name, no text form
+		gn:       &gnRule{Method: strenc.ASCII, Handling: strenc.Replace},
+		supports: allFields(FieldIAN, FieldAIA, FieldSIA),
+	},
+	JavaSecurity: {
+		dn: map[int]dnRule{
+			asn1der.TagPrintableString: {Method: strenc.ASCII, Handling: strenc.Replace},
+			asn1der.TagIA5String:       {Method: strenc.ASCII, Handling: strenc.Replace},
+			asn1der.TagUTF8String:      {Method: strenc.UTF8, Handling: strenc.Replace},
+			asn1der.TagBMPString:       {Method: strenc.ASCII, Handling: strenc.Replace}, // incompatible: ASCII-compatible parsing
+			asn1der.TagTeletexString:   {Method: strenc.ASCII, Handling: strenc.Replace},
+			asn1der.TagNumericString:   {Method: strenc.ASCII, Handling: strenc.Replace},
+			asn1der.TagVisibleString:   {Method: strenc.ASCII, Handling: strenc.Replace},
+			asn1der.TagUniversalString: {Method: strenc.UTF16BE, Handling: strenc.Replace},
+		},
+		dnText:   &escapeSpec{Separator: ", ", EscapeFn: rfc2253Escape}, // 2253 yes, 4514 \00 no
+		gn:       &gnRule{Method: strenc.ASCII, Handling: strenc.Replace},
+		supports: allFields(FieldAIA, FieldCRLDP, FieldSIA),
+	},
+	BouncyCastle: {
+		dn: map[int]dnRule{
+			asn1der.TagPrintableString: {Method: strenc.ASCII, Handling: strenc.Replace},
+			asn1der.TagIA5String:       {Method: strenc.ISO88591, Handling: strenc.Replace},
+			asn1der.TagUTF8String:      {Method: strenc.UTF8, Handling: strenc.Replace},
+			asn1der.TagBMPString:       {Method: strenc.UTF16BE, Handling: strenc.Replace}, // over-tolerant: pairs surrogates
+			asn1der.TagTeletexString:   {Method: strenc.ISO88591, Handling: strenc.Replace},
+			asn1der.TagNumericString:   {Method: strenc.ASCII, Handling: strenc.Replace},
+			asn1der.TagVisibleString:   {Method: strenc.ASCII, Handling: strenc.Replace},
+			asn1der.TagUniversalString: {Method: strenc.UTF16BE, Handling: strenc.Replace},
+		},
+		dnText:   &escapeSpec{Separator: ",", EscapeFn: rfc2253Escape},
+		supports: allFields(FieldSAN, FieldIAN, FieldAIA, FieldCRLDP, FieldSIA),
+	},
+	NodeCrypto: {
+		dn: map[int]dnRule{
+			asn1der.TagPrintableString: {Method: strenc.ASCII, Handling: strenc.Replace},
+			asn1der.TagIA5String:       {Method: strenc.ASCII, Handling: strenc.Replace},
+			asn1der.TagUTF8String:      {Method: strenc.UTF8, Handling: strenc.Replace},
+			asn1der.TagBMPString:       {Method: strenc.UCS2, Handling: strenc.Replace},
+			asn1der.TagTeletexString:   {Method: strenc.ISO88591, Handling: strenc.Replace},
+			asn1der.TagNumericString:   {Method: strenc.ASCII, Handling: strenc.Replace},
+			asn1der.TagVisibleString:   {Method: strenc.ASCII, Handling: strenc.Replace},
+			asn1der.TagUniversalString: {Method: strenc.UTF16BE, Handling: strenc.Replace},
+		},
+		// Line-wise "key=value" rendering without escaping — the
+		// unexploited violations of Table 5.
+		dnText:   &escapeSpec{Separator: "\n", EscapeFn: nil},
+		gn:       &gnRule{Method: strenc.ASCII, Handling: strenc.Replace},
+		gnJoin:   ", ",
+		gnPrefix: true,
+		gnQuote:  true,
+		supports: allFields(FieldIAN, FieldCRLDP, FieldSIA),
+	},
+	Forge: {
+		dn: map[int]dnRule{
+			asn1der.TagPrintableString: {Method: strenc.ISO88591, Handling: strenc.Replace},
+			asn1der.TagIA5String:       {Method: strenc.ISO88591, Handling: strenc.Replace},
+			asn1der.TagUTF8String:      {Method: strenc.ISO88591, Handling: strenc.Replace}, // incompatible
+			asn1der.TagBMPString:       {Method: strenc.UCS2, Handling: strenc.Replace},
+			asn1der.TagTeletexString:   {Method: strenc.ISO88591, Handling: strenc.Replace},
+			asn1der.TagNumericString:   {Method: strenc.ISO88591, Handling: strenc.Replace},
+			asn1der.TagVisibleString:   {Method: strenc.ISO88591, Handling: strenc.Replace},
+			asn1der.TagUniversalString: {Method: strenc.UTF16BE, Handling: strenc.Replace},
+		},
+		dnText:   nil, // subject.getField() is structured
+		gn:       &gnRule{Method: strenc.ISO88591, Handling: strenc.Replace},
+		supports: allFields(FieldAIA, FieldCRLDP, FieldSIA),
+	},
+}
+
+// RenderSANLikeOpenSSLText is a helper the threat experiments use to
+// turn structured SAN values into the "DNS:a.com, DNS:b.com" textual
+// convention shared by several libraries.
+func RenderSANLikeOpenSSLText(values []string) string {
+	return strings.Join(values, ", ")
+}

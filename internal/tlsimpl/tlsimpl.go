@@ -1,0 +1,355 @@
+// Package tlsimpl models the certificate-parsing behaviour of the nine
+// TLS libraries the paper tests (§3.2, Appendix E). Each model
+// implements the same Parser interface over our own X.509 substrate and
+// reproduces the library's observable behaviour: which decoding method
+// it applies per ASN.1 string type (Table 4), how it handles special
+// characters (Table 5), which fields it can parse at all (Tables
+// 12–13), and how it renders DN/GN values into X.509-text form.
+//
+// The models substitute for the real libraries (see DESIGN.md): the
+// paper's RQ2 analysis treats each library as a black box and
+// classifies its parse output, so the differential harness in
+// internal/difftest runs unchanged against these models.
+package tlsimpl
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/strenc"
+	"repro/internal/x509cert"
+)
+
+// Library identifies one modeled TLS implementation.
+type Library int
+
+// The nine libraries, in the column order of Table 4.
+const (
+	OpenSSL Library = iota
+	GnuTLS
+	PyOpenSSL
+	Cryptography
+	GoCrypto
+	JavaSecurity
+	BouncyCastle
+	NodeCrypto
+	Forge
+	numLibraries
+)
+
+// Libraries lists all nine in a stable order.
+func Libraries() []Library {
+	out := make([]Library, numLibraries)
+	for i := range out {
+		out[i] = Library(i)
+	}
+	return out
+}
+
+func (l Library) String() string {
+	names := [...]string{
+		"OpenSSL", "GnuTLS", "PyOpenSSL", "Cryptography", "Golang Crypto",
+		"Java.security.cert", "BouncyCastle", "Node.js Crypto", "Forge",
+	}
+	if int(l) < len(names) {
+		return names[int(l)]
+	}
+	return fmt.Sprintf("Library(%d)", int(l))
+}
+
+// Field identifies a parse surface for support checks (Tables 12–13).
+type Field int
+
+// Parse surfaces.
+const (
+	FieldSubject Field = iota
+	FieldIssuer
+	FieldSAN
+	FieldIAN
+	FieldAIA
+	FieldCRLDP
+	FieldSIA
+)
+
+func (f Field) String() string {
+	names := [...]string{"Subject", "Issuer", "SAN", "IAN", "AIA", "CRLDP", "SIA"}
+	if int(f) < len(names) {
+		return names[int(f)]
+	}
+	return "Field?"
+}
+
+// Attr is one decoded DN attribute.
+type Attr struct {
+	Name  string
+	Value string
+}
+
+// Output is everything a model exposes for one certificate — the
+// observable surface the differential harness classifies.
+type Output struct {
+	// SubjectOneLine is the library's X.509-text rendering of the
+	// subject DN ("" when the library exposes only structured data).
+	SubjectOneLine string
+	IssuerOneLine  string
+	// SubjectAttrs is the structured view (empty when text-only).
+	SubjectAttrs []Attr
+	// SANText is the X.509-text rendering of the SAN extension.
+	SANText string
+	// SANValues are the structured SAN entries ("DNS:x", "email:y",
+	// "URI:z").
+	SANValues []string
+	// IANValues, CRLDPValues, AIAValues, SIAValues mirror SANValues.
+	IANValues   []string
+	CRLDPValues []string
+	AIAValues   []string
+	SIAValues   []string
+}
+
+// Parser is the common interface over the nine models.
+type Parser interface {
+	Library() Library
+	// Supports reports whether the library parses the field at all
+	// ("-" cells of Tables 12–13).
+	Supports(f Field) bool
+	// Parse decodes a DER certificate. A non-nil error models a
+	// complete parsing failure (§5.1 impact 3).
+	Parse(der []byte) (*Output, error)
+}
+
+// New returns the model for a library.
+func New(l Library) Parser { return &model{lib: l, spec: specs[l]} }
+
+// All returns the nine models in Table 4 column order.
+func All() []Parser {
+	out := make([]Parser, 0, int(numLibraries))
+	for _, l := range Libraries() {
+		out = append(out, New(l))
+	}
+	return out
+}
+
+// dnRule describes how a library decodes one ASN.1 string type inside
+// a DistinguishedName.
+type dnRule struct {
+	Method strenc.Method
+	// Handling is what happens to bytes invalid under Method.
+	Handling strenc.Handling
+	// FailParse aborts the whole certificate parse on invalid content
+	// (Go's strict behaviour).
+	FailParse bool
+	// CheckCharset rejects decoded characters outside the declared
+	// type's legal set (almost no library does this).
+	CheckCharset bool
+}
+
+// gnRule is the same for GeneralName (IA5String) payloads.
+type gnRule struct {
+	Method       strenc.Method
+	Handling     strenc.Handling
+	ReplaceRune  rune // 0 = strenc default (U+FFFD)
+	ControlsOnly bool // replacement applies only to control characters
+}
+
+// escapeSpec describes DN text rendering.
+type escapeSpec struct {
+	// Style "" means no text rendering (structured only).
+	Separator string
+	Prefix    string
+	// EscapeFn escapes one value; nil = no escaping (the exploited
+	// OpenSSL behaviour).
+	EscapeFn func(string) string
+}
+
+type librarySpec struct {
+	dn       map[int]dnRule
+	dnText   *escapeSpec
+	gn       *gnRule
+	gnJoin   string // separator when rendering SAN text ("" = structured only)
+	gnPrefix bool   // prefix entries with "DNS:"/"email:"/"URI:"
+	gnQuote  bool   // wrap values containing the join separator in quotes
+	// (Node's nonstandard but forgery-resistant rendering)
+	supports map[Field]bool
+}
+
+type model struct {
+	lib  Library
+	spec librarySpec
+}
+
+func (m *model) Library() Library { return m.lib }
+
+func (m *model) Supports(f Field) bool { return m.spec.supports[f] }
+
+func (m *model) Parse(der []byte) (*Output, error) {
+	cert, err := x509cert.ParseWithMode(der, x509cert.ParseLenient)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", m.lib, err)
+	}
+	out := &Output{}
+	if m.Supports(FieldSubject) {
+		attrs, text, err := m.decodeDN(cert.Subject)
+		if err != nil {
+			return nil, fmt.Errorf("%s: subject: %v", m.lib, err)
+		}
+		out.SubjectAttrs = attrs
+		out.SubjectOneLine = text
+	}
+	if m.Supports(FieldIssuer) {
+		_, text, err := m.decodeDN(cert.Issuer)
+		if err != nil {
+			return nil, fmt.Errorf("%s: issuer: %v", m.lib, err)
+		}
+		out.IssuerOneLine = text
+	}
+	if m.Supports(FieldSAN) {
+		vals, text, err := m.decodeGNs(cert.SAN)
+		if err != nil {
+			return nil, fmt.Errorf("%s: san: %v", m.lib, err)
+		}
+		out.SANValues = vals
+		out.SANText = text
+	}
+	if m.Supports(FieldIAN) {
+		vals, _, err := m.decodeGNs(cert.IAN)
+		if err != nil {
+			return nil, fmt.Errorf("%s: ian: %v", m.lib, err)
+		}
+		out.IANValues = vals
+	}
+	if m.Supports(FieldCRLDP) {
+		vals, _, err := m.decodeGNs(cert.CRLDistributionPoints)
+		if err != nil {
+			return nil, fmt.Errorf("%s: crldp: %v", m.lib, err)
+		}
+		out.CRLDPValues = vals
+	}
+	if m.Supports(FieldAIA) {
+		for _, ad := range cert.AIA {
+			v, err := m.decodeGNValue(ad.Location)
+			if err != nil {
+				return nil, fmt.Errorf("%s: aia: %v", m.lib, err)
+			}
+			out.AIAValues = append(out.AIAValues, v)
+		}
+	}
+	if m.Supports(FieldSIA) {
+		for _, ad := range cert.SIA {
+			v, err := m.decodeGNValue(ad.Location)
+			if err != nil {
+				return nil, fmt.Errorf("%s: sia: %v", m.lib, err)
+			}
+			out.SIAValues = append(out.SIAValues, v)
+		}
+	}
+	return out, nil
+}
+
+func (m *model) decodeDN(dn x509cert.DN) ([]Attr, string, error) {
+	var attrs []Attr
+	for _, atv := range dn.Attributes() {
+		rule, ok := m.spec.dn[atv.Value.Tag]
+		if !ok {
+			// Unknown string tag: fall back to Latin-1 pass-through, as
+			// tolerant parsers do.
+			rule = dnRule{Method: strenc.ISO88591, Handling: strenc.Replace}
+		}
+		s, err := strenc.Decode(rule.Method, decodeHandling(rule), atv.Value.Bytes)
+		if err != nil {
+			if rule.FailParse {
+				return nil, "", fmt.Errorf("invalid %s content", strenc.StringType(atv.Value.Tag))
+			}
+			s, _ = strenc.Decode(rule.Method, strenc.Replace, atv.Value.Bytes)
+		}
+		if rule.FailParse && rule.CheckCharset {
+			if ok, bad := strenc.StringType(atv.Value.Tag).ValidString(s); !ok {
+				return nil, "", fmt.Errorf("%s contains invalid character %q", strenc.StringType(atv.Value.Tag), bad)
+			}
+		}
+		attrs = append(attrs, Attr{Name: x509cert.AttrName(atv.Type), Value: s})
+	}
+	text := ""
+	if es := m.spec.dnText; es != nil {
+		parts := make([]string, 0, len(attrs))
+		for _, a := range attrs {
+			v := a.Value
+			if es.EscapeFn != nil {
+				v = es.EscapeFn(v)
+			}
+			parts = append(parts, a.Name+"="+v)
+		}
+		text = es.Prefix + strings.Join(parts, es.Separator)
+	}
+	return attrs, text, nil
+}
+
+func decodeHandling(r dnRule) strenc.Handling {
+	if r.FailParse {
+		return strenc.Strict
+	}
+	return r.Handling
+}
+
+func (m *model) decodeGNValue(gn x509cert.GeneralName) (string, error) {
+	r := m.spec.gn
+	if r == nil {
+		return gn.MustText(), nil
+	}
+	s, err := strenc.Decode(r.Method, r.Handling, gn.Bytes)
+	if err != nil {
+		s, _ = strenc.Decode(r.Method, strenc.Replace, gn.Bytes)
+	}
+	if r.ReplaceRune != 0 {
+		if r.ControlsOnly {
+			s = strenc.ReplaceControls(s, r.ReplaceRune)
+		} else {
+			s = strings.Map(func(c rune) rune {
+				if c == strenc.ReplacementChar {
+					return r.ReplaceRune
+				}
+				return c
+			}, s)
+		}
+	}
+	return s, nil
+}
+
+func gnKindPrefix(k x509cert.GNKind) string {
+	switch k {
+	case x509cert.GNDNSName:
+		return "DNS:"
+	case x509cert.GNRFC822Name:
+		return "email:"
+	case x509cert.GNURI:
+		return "URI:"
+	case x509cert.GNIPAddress:
+		return "IP Address:"
+	default:
+		return k.String() + ":"
+	}
+}
+
+func (m *model) decodeGNs(gns []x509cert.GeneralName) ([]string, string, error) {
+	var vals []string
+	for _, gn := range gns {
+		switch gn.Kind {
+		case x509cert.GNDNSName, x509cert.GNRFC822Name, x509cert.GNURI:
+			v, err := m.decodeGNValue(gn)
+			if err != nil {
+				return nil, "", err
+			}
+			if m.spec.gnQuote && m.spec.gnJoin != "" && strings.Contains(v, m.spec.gnJoin) {
+				v = "\"" + v + "\""
+			}
+			if m.spec.gnPrefix {
+				v = gnKindPrefix(gn.Kind) + v
+			}
+			vals = append(vals, v)
+		}
+	}
+	text := ""
+	if m.spec.gnJoin != "" {
+		text = strings.Join(vals, m.spec.gnJoin)
+	}
+	return vals, text, nil
+}

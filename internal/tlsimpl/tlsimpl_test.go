@@ -1,0 +1,190 @@
+package tlsimpl
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asn1der"
+	"repro/internal/certgen"
+	"repro/internal/strenc"
+)
+
+var gen = func() *certgen.Generator {
+	g, err := certgen.New(21)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}()
+
+func TestAllModelsParseCompliantCert(t *testing.T) {
+	tc, err := gen.Generate(certgen.FieldSubjectOrganization, asn1der.TagUTF8String, "Plain Org")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range All() {
+		out, err := p.Parse(tc.DER)
+		if err != nil {
+			t.Errorf("%s: %v", p.Library(), err)
+			continue
+		}
+		if p.Supports(FieldSubject) {
+			var found bool
+			for _, a := range out.SubjectAttrs {
+				if a.Name == "O" && strings.Contains(a.Value, "Plain Org") {
+					found = true
+				}
+			}
+			if !found {
+				t.Errorf("%s: O missing from %+v", p.Library(), out.SubjectAttrs)
+			}
+		}
+	}
+}
+
+func TestSupportMatrix(t *testing.T) {
+	// Tables 12–13 "-" cells.
+	cases := []struct {
+		lib     Library
+		field   Field
+		support bool
+	}{
+		{OpenSSL, FieldSubject, true},
+		{OpenSSL, FieldSAN, false},
+		{OpenSSL, FieldCRLDP, false},
+		{GnuTLS, FieldSAN, true},
+		{GnuTLS, FieldCRLDP, true},
+		{GnuTLS, FieldAIA, false},
+		{BouncyCastle, FieldSAN, false},
+		{GoCrypto, FieldSAN, true},
+		{GoCrypto, FieldIAN, false},
+		{GoCrypto, FieldCRLDP, true},
+		{NodeCrypto, FieldAIA, true},
+		{NodeCrypto, FieldIAN, false},
+		{PyOpenSSL, FieldSAN, true},
+		{Cryptography, FieldCRLDP, true},
+	}
+	for _, c := range cases {
+		if got := New(c.lib).Supports(c.field); got != c.support {
+			t.Errorf("%s.Supports(%s) = %v, want %v", c.lib, c.field, got, c.support)
+		}
+	}
+}
+
+func TestOpenSSLOnelineInjection(t *testing.T) {
+	// The exploited Table 5 cell: a '/' in a value forges an attribute.
+	tc, err := gen.Generate(certgen.FieldSubjectOrganization, asn1der.TagUTF8String, "evil/CN=forged.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := New(OpenSSL).Parse(tc.DER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.SubjectOneLine, "/CN=forged.com") {
+		t.Fatalf("oneline %q", out.SubjectOneLine)
+	}
+}
+
+func TestGnuTLSOverTolerantUTF8(t *testing.T) {
+	// UTF-8 bytes inside a PrintableString decode to é under GnuTLS.
+	raw := []byte{'C', 'a', 'f', 0xC3, 0xA9}
+	tc, err := gen.GenerateRaw(certgen.FieldSubjectOrganization, asn1der.TagPrintableString, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := New(GnuTLS).Parse(tc.DER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got string
+	for _, a := range out.SubjectAttrs {
+		if a.Name == "O" {
+			got = a.Value
+		}
+	}
+	if got != "Café" {
+		t.Fatalf("GnuTLS decoded %q", got)
+	}
+}
+
+func TestForgeMojibake(t *testing.T) {
+	// Forge reads UTF-8 é as two Latin-1 characters ("Ã©").
+	tc, err := gen.Generate(certgen.FieldSubjectOrganization, asn1der.TagUTF8String, "Café")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := New(Forge).Parse(tc.DER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o string
+	for _, a := range out.SubjectAttrs {
+		if a.Name == "O" {
+			o = a.Value
+		}
+	}
+	if o != "CafÃ©" {
+		t.Fatalf("Forge decoded %q", o)
+	}
+}
+
+func TestJavaReplacement(t *testing.T) {
+	raw := []byte{'A', 0xFF, 'B'}
+	tc, err := gen.GenerateRaw(certgen.FieldSubjectOrganization, asn1der.TagUTF8String, raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := New(JavaSecurity).Parse(tc.DER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var o string
+	for _, a := range out.SubjectAttrs {
+		if a.Name == "O" {
+			o = a.Value
+		}
+	}
+	if o != "A"+string(strenc.ReplacementChar)+"B" {
+		t.Fatalf("Java decoded %q", o)
+	}
+}
+
+func TestNodeQuotedSAN(t *testing.T) {
+	tc, err := gen.Generate(certgen.FieldSANDNSName, asn1der.TagIA5String, "a.com, DNS:b.com")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := New(NodeCrypto).Parse(tc.DER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.SANText, `"`) {
+		t.Fatalf("Node SAN text %q must quote the value", out.SANText)
+	}
+	// PyOpenSSL does not quote — forgeable.
+	out2, err := New(PyOpenSSL).Parse(tc.DER)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out2.SANText, `"`) {
+		t.Fatalf("PyOpenSSL SAN text %q should not quote", out2.SANText)
+	}
+	if !strings.Contains(out2.SANText, "DNS:a.com, DNS:b.com") {
+		t.Fatalf("PyOpenSSL SAN text %q", out2.SANText)
+	}
+}
+
+func TestLibraryNames(t *testing.T) {
+	if len(Libraries()) != 9 {
+		t.Fatal("the paper tests exactly 9 libraries")
+	}
+	seen := map[string]bool{}
+	for _, l := range Libraries() {
+		name := l.String()
+		if seen[name] || strings.HasPrefix(name, "Library(") {
+			t.Errorf("bad or duplicate name %q", name)
+		}
+		seen[name] = true
+	}
+}

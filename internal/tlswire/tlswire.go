@@ -1,0 +1,334 @@
+// Package tlswire implements the plaintext portion of a TLS 1.2
+// handshake at wire level: the record layer, ClientHello (with SNI),
+// ServerHello, and the Certificate message. This is the surface the
+// paper's §6.2 traffic-analysis threat operates on — in TLS ≤1.2 the
+// server certificate crosses the wire unencrypted, so middleboxes
+// extract entities straight from these records.
+//
+// No cryptography is negotiated: the exchange stops after the
+// Certificate message, which is all the detection engines consume.
+package tlswire
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Record-layer content types.
+const (
+	TypeHandshake byte = 22
+	TypeAlert     byte = 21
+)
+
+// Handshake message types.
+const (
+	MsgClientHello byte = 1
+	MsgServerHello byte = 2
+	MsgCertificate byte = 11
+)
+
+// VersionTLS12 is the 0x0303 protocol version.
+var VersionTLS12 = [2]byte{3, 3}
+
+const maxRecordLen = 1 << 14
+
+// Record is one TLS record.
+type Record struct {
+	Type    byte
+	Version [2]byte
+	Payload []byte
+}
+
+// WriteRecord frames and writes one record.
+func WriteRecord(w io.Writer, r Record) error {
+	if len(r.Payload) > maxRecordLen {
+		return fmt.Errorf("tlswire: record payload %d exceeds 2^14", len(r.Payload))
+	}
+	hdr := []byte{r.Type, r.Version[0], r.Version[1], byte(len(r.Payload) >> 8), byte(len(r.Payload))}
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	_, err := w.Write(r.Payload)
+	return err
+}
+
+// ReadRecord reads one record.
+func ReadRecord(r io.Reader) (Record, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Record{}, err
+	}
+	n := int(hdr[3])<<8 | int(hdr[4])
+	if n > maxRecordLen {
+		return Record{}, fmt.Errorf("tlswire: record length %d exceeds 2^14", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Record{}, err
+	}
+	return Record{Type: hdr[0], Version: [2]byte{hdr[1], hdr[2]}, Payload: payload}, nil
+}
+
+// handshakeMsg frames a handshake body.
+func handshakeMsg(msgType byte, body []byte) []byte {
+	out := make([]byte, 0, 4+len(body))
+	out = append(out, msgType, byte(len(body)>>16), byte(len(body)>>8), byte(len(body)))
+	return append(out, body...)
+}
+
+// parseHandshake splits a handshake record payload into (type, body).
+func parseHandshake(payload []byte) (byte, []byte, error) {
+	if len(payload) < 4 {
+		return 0, nil, errors.New("tlswire: truncated handshake header")
+	}
+	n := int(payload[1])<<16 | int(payload[2])<<8 | int(payload[3])
+	if len(payload) < 4+n {
+		return 0, nil, errors.New("tlswire: truncated handshake body")
+	}
+	return payload[0], payload[4 : 4+n], nil
+}
+
+// ClientHello carries the fields the experiments need.
+type ClientHello struct {
+	Random     [32]byte
+	ServerName string // SNI extension
+}
+
+// Marshal encodes the ClientHello handshake message.
+func (ch *ClientHello) Marshal() []byte {
+	var body []byte
+	body = append(body, VersionTLS12[0], VersionTLS12[1])
+	body = append(body, ch.Random[:]...)
+	body = append(body, 0)          // session id length
+	body = append(body, 0, 2)       // cipher suites length
+	body = append(body, 0xC0, 0x2F) // ECDHE-RSA-AES128-GCM-SHA256
+	body = append(body, 1, 0)       // compression: null
+
+	var exts []byte
+	if ch.ServerName != "" {
+		name := []byte(ch.ServerName)
+		// server_name extension: list length, type 0 (host_name), name.
+		sni := make([]byte, 0, 5+len(name))
+		sni = append(sni, byte((len(name)+3)>>8), byte(len(name)+3))
+		sni = append(sni, 0)
+		sni = append(sni, byte(len(name)>>8), byte(len(name)))
+		sni = append(sni, name...)
+		exts = append(exts, 0, 0) // extension type server_name
+		exts = append(exts, byte(len(sni)>>8), byte(len(sni)))
+		exts = append(exts, sni...)
+	}
+	body = append(body, byte(len(exts)>>8), byte(len(exts)))
+	body = append(body, exts...)
+	return handshakeMsg(MsgClientHello, body)
+}
+
+// ParseClientHello decodes a ClientHello handshake body.
+func ParseClientHello(body []byte) (*ClientHello, error) {
+	ch := &ClientHello{}
+	if len(body) < 2+32+1 {
+		return nil, errors.New("tlswire: short ClientHello")
+	}
+	copy(ch.Random[:], body[2:34])
+	idx := 34
+	sessLen := int(body[idx])
+	idx += 1 + sessLen
+	if idx+2 > len(body) {
+		return nil, errors.New("tlswire: truncated cipher suites")
+	}
+	csLen := int(body[idx])<<8 | int(body[idx+1])
+	idx += 2 + csLen
+	if idx+1 > len(body) {
+		return nil, errors.New("tlswire: truncated compression")
+	}
+	compLen := int(body[idx])
+	idx += 1 + compLen
+	if idx+2 > len(body) {
+		return ch, nil // no extensions
+	}
+	extLen := int(body[idx])<<8 | int(body[idx+1])
+	idx += 2
+	end := idx + extLen
+	if end > len(body) {
+		return nil, errors.New("tlswire: truncated extensions")
+	}
+	for idx+4 <= end {
+		extType := int(body[idx])<<8 | int(body[idx+1])
+		l := int(body[idx+2])<<8 | int(body[idx+3])
+		idx += 4
+		if idx+l > end {
+			return nil, errors.New("tlswire: truncated extension")
+		}
+		if extType == 0 && l >= 5 {
+			nameLen := int(body[idx+3])<<8 | int(body[idx+4])
+			if 5+nameLen <= l {
+				ch.ServerName = string(body[idx+5 : idx+5+nameLen])
+			}
+		}
+		idx += l
+	}
+	return ch, nil
+}
+
+// MarshalServerHello builds a minimal ServerHello message.
+func MarshalServerHello(random [32]byte) []byte {
+	var body []byte
+	body = append(body, VersionTLS12[0], VersionTLS12[1])
+	body = append(body, random[:]...)
+	body = append(body, 0)          // session id
+	body = append(body, 0xC0, 0x2F) // chosen cipher
+	body = append(body, 0)          // compression
+	return handshakeMsg(MsgServerHello, body)
+}
+
+// MarshalCertificate builds the Certificate handshake message from a
+// DER chain, leaf first (RFC 5246 §7.4.2).
+func MarshalCertificate(chain [][]byte) ([]byte, error) {
+	total := 0
+	for _, der := range chain {
+		total += 3 + len(der)
+	}
+	if total > maxRecordLen-16 {
+		return nil, errors.New("tlswire: chain too large for a single record")
+	}
+	body := make([]byte, 0, 3+total)
+	body = append(body, byte(total>>16), byte(total>>8), byte(total))
+	for _, der := range chain {
+		body = append(body, byte(len(der)>>16), byte(len(der)>>8), byte(len(der)))
+		body = append(body, der...)
+	}
+	return handshakeMsg(MsgCertificate, body), nil
+}
+
+// ParseCertificate decodes a Certificate handshake body into the DER
+// chain.
+func ParseCertificate(body []byte) ([][]byte, error) {
+	if len(body) < 3 {
+		return nil, errors.New("tlswire: short Certificate message")
+	}
+	total := int(body[0])<<16 | int(body[1])<<8 | int(body[2])
+	if 3+total > len(body) {
+		return nil, errors.New("tlswire: truncated certificate list")
+	}
+	var chain [][]byte
+	idx := 3
+	for idx < 3+total {
+		if idx+3 > len(body) {
+			return nil, errors.New("tlswire: truncated certificate entry")
+		}
+		n := int(body[idx])<<16 | int(body[idx+1])<<8 | int(body[idx+2])
+		idx += 3
+		if idx+n > len(body) {
+			return nil, errors.New("tlswire: truncated certificate DER")
+		}
+		chain = append(chain, append([]byte(nil), body[idx:idx+n]...))
+		idx += n
+	}
+	return chain, nil
+}
+
+// Serve answers a ClientHello on conn with ServerHello + Certificate
+// and returns the client's SNI.
+func Serve(conn io.ReadWriter, chain [][]byte) (sni string, err error) {
+	rec, err := ReadRecord(conn)
+	if err != nil {
+		return "", err
+	}
+	if rec.Type != TypeHandshake {
+		return "", fmt.Errorf("tlswire: unexpected record type %d", rec.Type)
+	}
+	msgType, body, err := parseHandshake(rec.Payload)
+	if err != nil {
+		return "", err
+	}
+	if msgType != MsgClientHello {
+		return "", fmt.Errorf("tlswire: expected ClientHello, got %d", msgType)
+	}
+	ch, err := ParseClientHello(body)
+	if err != nil {
+		return "", err
+	}
+	var random [32]byte
+	random[0] = 0x5A
+	if err := WriteRecord(conn, Record{Type: TypeHandshake, Version: VersionTLS12, Payload: MarshalServerHello(random)}); err != nil {
+		return "", err
+	}
+	certMsg, err := MarshalCertificate(chain)
+	if err != nil {
+		return "", err
+	}
+	if err := WriteRecord(conn, Record{Type: TypeHandshake, Version: VersionTLS12, Payload: certMsg}); err != nil {
+		return "", err
+	}
+	return ch.ServerName, nil
+}
+
+// Connect sends a ClientHello with the given SNI and reads back the
+// server's certificate chain.
+func Connect(conn io.ReadWriter, serverName string) ([][]byte, error) {
+	ch := &ClientHello{ServerName: serverName}
+	ch.Random[0] = 0xA5
+	if err := WriteRecord(conn, Record{Type: TypeHandshake, Version: VersionTLS12, Payload: ch.Marshal()}); err != nil {
+		return nil, err
+	}
+	for {
+		rec, err := ReadRecord(conn)
+		if err != nil {
+			return nil, err
+		}
+		if rec.Type != TypeHandshake {
+			return nil, fmt.Errorf("tlswire: unexpected record type %d", rec.Type)
+		}
+		msgType, body, err := parseHandshake(rec.Payload)
+		if err != nil {
+			return nil, err
+		}
+		if msgType == MsgCertificate {
+			return ParseCertificate(body)
+		}
+	}
+}
+
+// Observation is what a passive in-path middlebox extracts from one
+// handshake.
+type Observation struct {
+	SNI   string
+	Chain [][]byte
+}
+
+// Observe consumes records from a captured byte stream (client and
+// server flights concatenated in order) and extracts the SNI and the
+// certificate chain — the §6.2 middlebox vantage point.
+func Observe(stream io.Reader) (*Observation, error) {
+	obs := &Observation{}
+	for {
+		rec, err := ReadRecord(stream)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				break
+			}
+			return nil, err
+		}
+		if rec.Type != TypeHandshake {
+			continue
+		}
+		msgType, body, err := parseHandshake(rec.Payload)
+		if err != nil {
+			continue // middleboxes skip what they cannot parse
+		}
+		switch msgType {
+		case MsgClientHello:
+			if ch, err := ParseClientHello(body); err == nil {
+				obs.SNI = ch.ServerName
+			}
+		case MsgCertificate:
+			if chain, err := ParseCertificate(body); err == nil {
+				obs.Chain = chain
+			}
+		}
+	}
+	if obs.SNI == "" && len(obs.Chain) == 0 {
+		return nil, errors.New("tlswire: nothing observed")
+	}
+	return obs, nil
+}

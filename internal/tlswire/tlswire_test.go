@@ -1,0 +1,184 @@
+package tlswire
+
+import (
+	"bytes"
+	"math/big"
+	"net"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/x509cert"
+)
+
+func chainFor(t *testing.T, cn string) [][]byte {
+	t.Helper()
+	caKey, _ := x509cert.GenerateKey(701)
+	leafKey, _ := x509cert.GenerateKey(702)
+	tpl := &x509cert.Template{
+		SerialNumber: big.NewInt(4),
+		Issuer:       x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "Wire CA")),
+		Subject:      x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, cn)),
+		NotBefore:    time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:     time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC),
+		SAN:          []x509cert.GeneralName{x509cert.DNSName(cn)},
+	}
+	der, err := x509cert.Build(tpl, caKey, leafKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return [][]byte{der}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := Record{Type: TypeHandshake, Version: VersionTLS12, Payload: []byte("payload")}
+	if err := WriteRecord(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadRecord(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.Version != in.Version || !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatalf("round trip: %+v", out)
+	}
+}
+
+func TestRecordLengthLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteRecord(&buf, Record{Payload: make([]byte, maxRecordLen+1)}); err == nil {
+		t.Fatal("oversized record must be rejected")
+	}
+	// A hostile length field must be rejected on read.
+	buf.Write([]byte{22, 3, 3, 0xFF, 0xFF})
+	if _, err := ReadRecord(&buf); err == nil {
+		t.Fatal("oversized declared length must be rejected")
+	}
+}
+
+func TestClientHelloSNIRoundTrip(t *testing.T) {
+	ch := &ClientHello{ServerName: "xn--bcher-kva.example"}
+	msg := ch.Marshal()
+	msgType, body, err := parseHandshake(msg)
+	if err != nil || msgType != MsgClientHello {
+		t.Fatalf("type %d, %v", msgType, err)
+	}
+	got, err := ParseClientHello(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ServerName != ch.ServerName {
+		t.Fatalf("SNI %q", got.ServerName)
+	}
+}
+
+func TestClientHelloNoSNI(t *testing.T) {
+	ch := &ClientHello{}
+	_, body, _ := parseHandshake(ch.Marshal())
+	got, err := ParseClientHello(body)
+	if err != nil || got.ServerName != "" {
+		t.Fatalf("%q, %v", got.ServerName, err)
+	}
+}
+
+func TestCertificateMessageRoundTrip(t *testing.T) {
+	chain := [][]byte{[]byte("first-der"), []byte("second-der-longer")}
+	msg, err := MarshalCertificate(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msgType, body, err := parseHandshake(msg)
+	if err != nil || msgType != MsgCertificate {
+		t.Fatal(err)
+	}
+	got, err := ParseCertificate(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !bytes.Equal(got[0], chain[0]) || !bytes.Equal(got[1], chain[1]) {
+		t.Fatalf("chain %q", got)
+	}
+}
+
+func TestHandshakeOverPipe(t *testing.T) {
+	chain := chainFor(t, "wire.example")
+	client, server := net.Pipe()
+	done := make(chan string, 1)
+	go func() {
+		sni, err := Serve(server, chain)
+		if err != nil {
+			t.Error(err)
+		}
+		server.Close()
+		done <- sni
+	}()
+	got, err := Connect(client, "wire.example")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sni := <-done; sni != "wire.example" {
+		t.Fatalf("server saw SNI %q", sni)
+	}
+	if len(got) != 1 || !bytes.Equal(got[0], chain[0]) {
+		t.Fatal("chain mangled in handshake")
+	}
+	c, err := x509cert.Parse(got[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Subject.CommonName() != "wire.example" {
+		t.Fatalf("CN %q", c.Subject.CommonName())
+	}
+}
+
+func TestObserveCapturedStream(t *testing.T) {
+	// Capture both flights into one buffer, as an in-path tap would.
+	chain := chainFor(t, "observed.example")
+	var wire bytes.Buffer
+	ch := &ClientHello{ServerName: "observed.example"}
+	if err := WriteRecord(&wire, Record{Type: TypeHandshake, Version: VersionTLS12, Payload: ch.Marshal()}); err != nil {
+		t.Fatal(err)
+	}
+	var random [32]byte
+	if err := WriteRecord(&wire, Record{Type: TypeHandshake, Version: VersionTLS12, Payload: MarshalServerHello(random)}); err != nil {
+		t.Fatal(err)
+	}
+	certMsg, err := MarshalCertificate(chain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteRecord(&wire, Record{Type: TypeHandshake, Version: VersionTLS12, Payload: certMsg}); err != nil {
+		t.Fatal(err)
+	}
+
+	obs, err := Observe(&wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obs.SNI != "observed.example" {
+		t.Fatalf("SNI %q", obs.SNI)
+	}
+	if len(obs.Chain) != 1 || !bytes.Equal(obs.Chain[0], chain[0]) {
+		t.Fatal("chain not observed")
+	}
+}
+
+func TestObserveGarbage(t *testing.T) {
+	if _, err := Observe(bytes.NewReader([]byte("not tls at all"))); err == nil {
+		t.Fatal("garbage must not observe")
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	f := func(b []byte) bool {
+		_, _ = ParseClientHello(b)
+		_, _ = ParseCertificate(b)
+		_, _, _ = parseHandshake(b)
+		_, _ = Observe(bytes.NewReader(b))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,155 @@
+// Package uni supplies the Unicode knowledge the Unicert experiments
+// depend on: a block table for the test-certificate sampler, the
+// character classes the lints and rendering models consult (C0/C1
+// controls, bidirectional controls, invisible layout characters), a
+// practical NFC implementation for the normalization lints, and the
+// confusable pairs behind the homograph experiments.
+package uni
+
+import (
+	"sort"
+	"unicode"
+)
+
+// Block is a named contiguous code-point range, in the spirit of the
+// Unicode Character Database's Blocks.txt.
+type Block struct {
+	Name string
+	Lo   rune
+	Hi   rune
+}
+
+// Contains reports whether r falls inside the block.
+func (b Block) Contains(r rune) bool { return r >= b.Lo && r <= b.Hi }
+
+// Representative returns a sample code point from the block, preferring
+// an assigned graphic character near the start of the range. The test
+// Unicert generator uses one representative per block (§3.2).
+func (b Block) Representative() rune {
+	for r := b.Lo; r <= b.Hi && r < b.Lo+64; r++ {
+		if unicode.IsGraphic(r) {
+			return r
+		}
+	}
+	return b.Lo
+}
+
+// curatedBlocks covers the structurally important blocks the paper's
+// experiments name explicitly; the remainder of the table is derived
+// from the Go runtime's script ranges (see Blocks).
+var curatedBlocks = []Block{
+	{"Basic Latin", 0x0000, 0x007F},
+	{"C0 Controls", 0x0000, 0x001F},
+	{"Latin-1 Supplement", 0x0080, 0x00FF},
+	{"C1 Controls", 0x0080, 0x009F},
+	{"Latin Extended-A", 0x0100, 0x017F},
+	{"Latin Extended-B", 0x0180, 0x024F},
+	{"IPA Extensions", 0x0250, 0x02AF},
+	{"Spacing Modifier Letters", 0x02B0, 0x02FF},
+	{"Combining Diacritical Marks", 0x0300, 0x036F},
+	{"General Punctuation", 0x2000, 0x206F},
+	{"Superscripts and Subscripts", 0x2070, 0x209F},
+	{"Currency Symbols", 0x20A0, 0x20CF},
+	{"Letterlike Symbols", 0x2100, 0x214F},
+	{"Number Forms", 0x2150, 0x218F},
+	{"Arrows", 0x2190, 0x21FF},
+	{"Mathematical Operators", 0x2200, 0x22FF},
+	{"Box Drawing", 0x2500, 0x257F},
+	{"Geometric Shapes", 0x25A0, 0x25FF},
+	{"Miscellaneous Symbols", 0x2600, 0x26FF},
+	{"Dingbats", 0x2700, 0x27BF},
+	{"CJK Symbols and Punctuation", 0x3000, 0x303F},
+	{"Enclosed CJK Letters and Months", 0x3200, 0x32FF},
+	{"Private Use Area", 0xE000, 0xF8FF},
+	{"Alphabetic Presentation Forms", 0xFB00, 0xFB4F},
+	{"Variation Selectors", 0xFE00, 0xFE0F},
+	{"Halfwidth and Fullwidth Forms", 0xFF00, 0xFFEF},
+	{"Specials", 0xFFF0, 0xFFFF},
+	{"Emoticons", 0x1F600, 0x1F64F},
+	{"Supplementary Private Use Area-A", 0xF0000, 0xFFFFD},
+}
+
+var allBlocks []Block
+
+func init() {
+	seen := make(map[string]bool)
+	for _, b := range curatedBlocks {
+		allBlocks = append(allBlocks, b)
+		seen[b.Name] = true
+	}
+	// Derive the long tail of script blocks from the runtime's Unicode
+	// script tables: each script's primary 16-bit and 32-bit ranges
+	// become pseudo-blocks. This is the documented substitution for the
+	// full 323-block Blocks.txt (DESIGN.md).
+	names := make([]string, 0, len(unicode.Scripts))
+	for name := range unicode.Scripts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if seen[name] {
+			continue
+		}
+		rt := unicode.Scripts[name]
+		if len(rt.R16) > 0 {
+			r := rt.R16[0]
+			allBlocks = append(allBlocks, Block{Name: name, Lo: rune(r.Lo), Hi: rune(r.Hi)})
+		} else if len(rt.R32) > 0 {
+			r := rt.R32[0]
+			allBlocks = append(allBlocks, Block{Name: name, Lo: rune(r.Lo), Hi: rune(r.Hi)})
+		}
+	}
+	sort.SliceStable(allBlocks, func(i, j int) bool {
+		if allBlocks[i].Lo != allBlocks[j].Lo {
+			return allBlocks[i].Lo < allBlocks[j].Lo
+		}
+		return allBlocks[i].Hi > allBlocks[j].Hi
+	})
+}
+
+// Blocks returns the block table (curated structural blocks plus
+// script-derived blocks), sorted by starting code point. Surrogate
+// ranges are never included.
+func Blocks() []Block {
+	out := make([]Block, len(allBlocks))
+	copy(out, allBlocks)
+	return out
+}
+
+// BlockOf returns the most specific block containing r, if any.
+func BlockOf(r rune) (Block, bool) {
+	var best Block
+	found := false
+	for _, b := range allBlocks {
+		if b.Contains(r) {
+			if !found || (b.Hi-b.Lo) < (best.Hi-best.Lo) {
+				best = b
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// SampleSet returns the §3.2 sampling universe: every code point in
+// U+0000–U+00FF plus one representative per block (excluding
+// surrogates), deduplicated and sorted.
+func SampleSet() []rune {
+	set := make(map[rune]bool, 600)
+	for r := rune(0); r <= 0xFF; r++ {
+		set[r] = true
+	}
+	for _, b := range allBlocks {
+		r := b.Representative()
+		if r >= 0xD800 && r <= 0xDFFF {
+			continue
+		}
+		set[r] = true
+	}
+	out := make([]rune, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

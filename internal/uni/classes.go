@@ -1,0 +1,93 @@
+package uni
+
+import "unicode"
+
+// IsC0 reports whether r is a C0 control (U+0000–U+001F) or DEL.
+func IsC0(r rune) bool { return (r >= 0x00 && r <= 0x1F) || r == 0x7F }
+
+// IsC1 reports whether r is a C1 control (U+0080–U+009F).
+func IsC1(r rune) bool { return r >= 0x80 && r <= 0x9F }
+
+// IsControl reports whether r is any control character (C0, DEL, or C1).
+func IsControl(r rune) bool { return IsC0(r) || IsC1(r) }
+
+// IsBidiControl reports whether r is one of the bidirectional control
+// characters behind the "www.‮lapyap‬.com" spoof of §F.1.
+func IsBidiControl(r rune) bool {
+	switch r {
+	case 0x061C, // ALM
+		0x200E, 0x200F, // LRM, RLM
+		0x202A, 0x202B, 0x202C, 0x202D, 0x202E, // LRE RLE PDF LRO RLO
+		0x2066, 0x2067, 0x2068, 0x2069: // LRI RLI FSI PDI
+		return true
+	}
+	return false
+}
+
+// IsInvisibleLayout reports whether r renders with no visible glyph:
+// the layout controls of General Punctuation (U+2000–U+206F) plus a few
+// format characters outside that block. These are the characters the
+// browser experiment (G1.1) finds invisible across all engines.
+func IsInvisibleLayout(r rune) bool {
+	switch r {
+	case 0x00AD, // soft hyphen
+		0x034F,         // combining grapheme joiner
+		0x115F, 0x1160, // Hangul fillers
+		0x17B4, 0x17B5,
+		0x180E, // Mongolian vowel separator
+		0xFEFF, // ZWNBSP / BOM
+		0x3164, // Hangul filler
+		0xFFA0:
+		return true
+	}
+	if r >= 0x2000 && r <= 0x200F {
+		return true // spaces, ZWSP, ZWNJ, ZWJ, LRM, RLM
+	}
+	if r >= 0x2028 && r <= 0x202F {
+		return true // LS, PS, embedding controls, NNBSP
+	}
+	if r >= 0x205F && r <= 0x206F {
+		return true // MMSP, invisible operators, deprecated format chars
+	}
+	return false
+}
+
+// IsNonPrintableASCII implements the paper's §2.3 definition: any
+// character outside the printable ASCII range U+0020–U+007E.
+func IsNonPrintableASCII(r rune) bool { return r < 0x20 || r > 0x7E }
+
+// HasNonPrintableASCII reports whether s contains any character beyond
+// printable ASCII — the membership test for calling a certificate a
+// Unicert.
+func HasNonPrintableASCII(s string) bool {
+	for _, r := range s {
+		if IsNonPrintableASCII(r) {
+			return true
+		}
+	}
+	return false
+}
+
+// IsWhitespaceVariant reports whether r is a non-ASCII whitespace
+// character usable for the Table 3 "different whitespace" variants
+// (e.g. U+00A0 NBSP, U+3000 ideographic space).
+func IsWhitespaceVariant(r rune) bool {
+	if r == ' ' {
+		return false
+	}
+	return unicode.IsSpace(r) || r == 0x00A0 || r == 0x3000 || (r >= 0x2000 && r <= 0x200A)
+}
+
+// DashVariants lists code points that render like an ASCII hyphen-minus,
+// used by the Table 3 variant detector (e.g. "EDP -" vs "EDP –").
+var DashVariants = []rune{'-', 0x2010, 0x2011, 0x2012, 0x2013, 0x2014, 0x2015, 0x2212, 0xFE58, 0xFE63, 0xFF0D}
+
+// IsDashVariant reports whether r renders like a hyphen.
+func IsDashVariant(r rune) bool {
+	for _, d := range DashVariants {
+		if r == d {
+			return true
+		}
+	}
+	return false
+}

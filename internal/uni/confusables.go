@@ -1,0 +1,60 @@
+package uni
+
+import "strings"
+
+// confusable maps visually deceptive code points to the ASCII (or
+// canonical) character they resemble, following the spirit of Unicode
+// TR#39's confusables data. The table covers the Cyrillic/Greek/Latin
+// homographs and symbol lookalikes the paper's spoofing experiments
+// (G1.2, Table 3) exercise.
+var confusable = map[rune]rune{
+	// Cyrillic → Latin.
+	'а': 'a', 'е': 'e', 'о': 'o', 'р': 'p', 'с': 'c', 'х': 'x', 'у': 'y',
+	'і': 'i', 'ј': 'j', 'ѕ': 's', 'һ': 'h', 'ԁ': 'd', 'ɡ': 'g', 'ԛ': 'q', 'ԝ': 'w',
+	'А': 'A', 'В': 'B', 'Е': 'E', 'К': 'K', 'М': 'M', 'Н': 'H', 'О': 'O',
+	'Р': 'P', 'С': 'C', 'Т': 'T', 'Х': 'X', 'Ѕ': 'S', 'І': 'I', 'Ј': 'J',
+	// Greek → Latin.
+	'ο': 'o', 'ν': 'v', 'α': 'a', 'Α': 'A', 'Β': 'B', 'Ε': 'E', 'Ζ': 'Z',
+	'Η': 'H', 'Ι': 'I', 'Κ': 'K', 'Μ': 'M', 'Ν': 'N', 'Ο': 'O', 'Ρ': 'P',
+	'Τ': 'T', 'Υ': 'Y', 'Χ': 'X', 'ρ': 'p',
+	// Fullwidth forms.
+	'ａ': 'a', 'ｏ': 'o', 'ｌ': 'l', '０': '0', '１': '1',
+	// Symbol lookalikes from Table 3 and G1.2.
+	'™': '™', '®': '®', // identity: paired below in VariantPairs
+	';': ';', // Greek question mark U+037E handled via substitution
+	'‚': ',', '٫': ',', '。': '.', '・': '.',
+	'ⅼ': 'l', 'Ⅰ': 'I', 'ℂ': 'C', 'ℊ': 'g', 'ℎ': 'h', 'ℓ': 'l',
+}
+
+// Skeleton maps each confusable character of s to its canonical
+// lookalike, lowercases the result, and strips invisible layout
+// characters — an approximation of the TR#39 skeleton used to decide
+// whether two strings are homographs.
+func Skeleton(s string) string {
+	var sb strings.Builder
+	sb.Grow(len(s))
+	for _, r := range s {
+		if IsInvisibleLayout(r) || IsBidiControl(r) {
+			continue
+		}
+		if c, ok := confusable[r]; ok {
+			r = c
+		}
+		sb.WriteRune(r)
+	}
+	return strings.ToLower(sb.String())
+}
+
+// IsHomographOf reports whether a and b are distinct strings with equal
+// skeletons — a visual-spoofing pair.
+func IsHomographOf(a, b string) bool {
+	return a != b && Skeleton(a) == Skeleton(b)
+}
+
+// IncorrectSubstitutions lists the equivalent-character substitutions
+// browsers misapply (G1.2): the Greek question mark (U+037E) should map
+// to the Latin question mark but Chromium-lineage engines substitute a
+// semicolon.
+var IncorrectSubstitutions = map[rune]struct{ Wrong, Right rune }{
+	0x037E: {Wrong: ';', Right: '?'},
+}

@@ -1,0 +1,237 @@
+package uni
+
+// NFC support. RFC 5280's attribute-normalization guidance (and the
+// paper's T2 lints) require UTF-8 attribute values and displayed
+// U-labels to be in Unicode Normalization Form C. We implement NFC over
+// a curated canonical-decomposition table covering the Latin, Greek,
+// and Cyrillic precomposed letters that occur in certificates, plus the
+// exact algorithmic composition for Hangul syllables. The table is a
+// documented substitution for the full UCD (DESIGN.md): any code point
+// outside it is treated as a normalization singleton.
+
+import "strings"
+
+// decomp maps a precomposed code point to its canonical decomposition
+// (base rune followed by one combining mark).
+var decomp = map[rune][2]rune{
+	// Latin-1 Supplement.
+	'À': {'A', 0x300}, 'Á': {'A', 0x301}, 'Â': {'A', 0x302}, 'Ã': {'A', 0x303}, 'Ä': {'A', 0x308}, 'Å': {'A', 0x30A},
+	'Ç': {'C', 0x327}, 'È': {'E', 0x300}, 'É': {'E', 0x301}, 'Ê': {'E', 0x302}, 'Ë': {'E', 0x308},
+	'Ì': {'I', 0x300}, 'Í': {'I', 0x301}, 'Î': {'I', 0x302}, 'Ï': {'I', 0x308},
+	'Ñ': {'N', 0x303}, 'Ò': {'O', 0x300}, 'Ó': {'O', 0x301}, 'Ô': {'O', 0x302}, 'Õ': {'O', 0x303}, 'Ö': {'O', 0x308},
+	'Ù': {'U', 0x300}, 'Ú': {'U', 0x301}, 'Û': {'U', 0x302}, 'Ü': {'U', 0x308}, 'Ý': {'Y', 0x301},
+	'à': {'a', 0x300}, 'á': {'a', 0x301}, 'â': {'a', 0x302}, 'ã': {'a', 0x303}, 'ä': {'a', 0x308}, 'å': {'a', 0x30A},
+	'ç': {'c', 0x327}, 'è': {'e', 0x300}, 'é': {'e', 0x301}, 'ê': {'e', 0x302}, 'ë': {'e', 0x308},
+	'ì': {'i', 0x300}, 'í': {'i', 0x301}, 'î': {'i', 0x302}, 'ï': {'i', 0x308},
+	'ñ': {'n', 0x303}, 'ò': {'o', 0x300}, 'ó': {'o', 0x301}, 'ô': {'o', 0x302}, 'õ': {'o', 0x303}, 'ö': {'o', 0x308},
+	'ù': {'u', 0x300}, 'ú': {'u', 0x301}, 'û': {'u', 0x302}, 'ü': {'u', 0x308}, 'ý': {'y', 0x301}, 'ÿ': {'y', 0x308},
+	// Latin Extended-A (certificate-relevant subset: Czech, Polish,
+	// Hungarian, Turkish, Nordic names).
+	'Ā': {'A', 0x304}, 'ā': {'a', 0x304}, 'Ă': {'A', 0x306}, 'ă': {'a', 0x306}, 'Ą': {'A', 0x328}, 'ą': {'a', 0x328},
+	'Ć': {'C', 0x301}, 'ć': {'c', 0x301}, 'Č': {'C', 0x30C}, 'č': {'c', 0x30C},
+	'Ď': {'D', 0x30C}, 'ď': {'d', 0x30C}, 'Ē': {'E', 0x304}, 'ē': {'e', 0x304}, 'Ė': {'E', 0x307}, 'ė': {'e', 0x307},
+	'Ę': {'E', 0x328}, 'ę': {'e', 0x328}, 'Ě': {'E', 0x30C}, 'ě': {'e', 0x30C},
+	'Ğ': {'G', 0x306}, 'ğ': {'g', 0x306}, 'Ī': {'I', 0x304}, 'ī': {'i', 0x304}, 'İ': {'I', 0x307},
+	'Ł': {0, 0}, // Ł has no canonical decomposition; sentinel skipped below
+	'Ĺ': {'L', 0x301}, 'ĺ': {'l', 0x301}, 'Ľ': {'L', 0x30C}, 'ľ': {'l', 0x30C},
+	'Ń': {'N', 0x301}, 'ń': {'n', 0x301}, 'Ň': {'N', 0x30C}, 'ň': {'n', 0x30C},
+	'Ō': {'O', 0x304}, 'ō': {'o', 0x304}, 'Ő': {'O', 0x30B}, 'ő': {'o', 0x30B},
+	'Ŕ': {'R', 0x301}, 'ŕ': {'r', 0x301}, 'Ř': {'R', 0x30C}, 'ř': {'r', 0x30C},
+	'Ś': {'S', 0x301}, 'ś': {'s', 0x301}, 'Ş': {'S', 0x327}, 'ş': {'s', 0x327}, 'Š': {'S', 0x30C}, 'š': {'s', 0x30C},
+	'Ť': {'T', 0x30C}, 'ť': {'t', 0x30C}, 'Ū': {'U', 0x304}, 'ū': {'u', 0x304}, 'Ů': {'U', 0x30A}, 'ů': {'u', 0x30A},
+	'Ű': {'U', 0x30B}, 'ű': {'u', 0x30B},
+	'Ź': {'Z', 0x301}, 'ź': {'z', 0x301}, 'Ż': {'Z', 0x307}, 'ż': {'z', 0x307}, 'Ž': {'Z', 0x30C}, 'ž': {'z', 0x30C},
+	// Greek tonos and Cyrillic short-i / io.
+	'Ά': {0x391, 0x301}, 'Έ': {0x395, 0x301}, 'Ή': {0x397, 0x301}, 'Ί': {0x399, 0x301},
+	'Ό': {0x39F, 0x301}, 'Ύ': {0x3A5, 0x301}, 'Ώ': {0x3A9, 0x301},
+	'ά': {0x3B1, 0x301}, 'έ': {0x3B5, 0x301}, 'ή': {0x3B7, 0x301}, 'ί': {0x3B9, 0x301},
+	'ό': {0x3BF, 0x301}, 'ύ': {0x3C5, 0x301}, 'ώ': {0x3C9, 0x301},
+	'Й': {0x418, 0x306}, 'й': {0x438, 0x306}, 'Ё': {0x415, 0x308}, 'ё': {0x435, 0x308},
+	'Ѐ': {0x415, 0x300}, 'ѐ': {0x435, 0x300}, 'Ѝ': {0x418, 0x300}, 'ѝ': {0x438, 0x300},
+	'Ў': {0x423, 0x306}, 'ў': {0x443, 0x306},
+}
+
+// compose is the inverse of decomp.
+var compose map[[2]rune]rune
+
+func init() {
+	compose = make(map[[2]rune]rune, len(decomp))
+	for c, d := range decomp {
+		if d[0] == 0 {
+			delete(decomp, c)
+			continue
+		}
+		compose[d] = c
+	}
+}
+
+// combiningClass returns the canonical combining class of r for the
+// marks our table uses (0 for starters).
+func combiningClass(r rune) int {
+	switch {
+	case r >= 0x0300 && r <= 0x0314:
+		return 230
+	case r >= 0x0315 && r <= 0x031A:
+		return 232
+	case r >= 0x031B && r <= 0x031B:
+		return 216
+	case r >= 0x031C && r <= 0x0320:
+		return 220
+	case r >= 0x0321 && r <= 0x0322:
+		return 202
+	case r >= 0x0323 && r <= 0x0326:
+		return 220
+	case r >= 0x0327 && r <= 0x0328:
+		return 202
+	case r >= 0x0329 && r <= 0x0333:
+		return 220
+	case r >= 0x0334 && r <= 0x0338:
+		return 1
+	case r >= 0x0339 && r <= 0x033C:
+		return 220
+	case r >= 0x033D && r <= 0x0344:
+		return 230
+	case r >= 0x0345 && r <= 0x0345:
+		return 240
+	case r >= 0x0346 && r <= 0x034E:
+		return 230
+	case r >= 0x0350 && r <= 0x036F:
+		return 230
+	default:
+		return 0
+	}
+}
+
+// Hangul constants, Unicode §3.12.
+const (
+	hangulSBase  = 0xAC00
+	hangulLBase  = 0x1100
+	hangulVBase  = 0x1161
+	hangulTBase  = 0x11A7
+	hangulLCount = 19
+	hangulVCount = 21
+	hangulTCount = 28
+	hangulNCount = hangulVCount * hangulTCount
+	hangulSCount = hangulLCount * hangulNCount
+)
+
+// Decompose returns the canonical decomposition (NFD over our table) of s.
+func Decompose(s string) string {
+	var out []rune
+	for _, r := range s {
+		out = appendDecomposed(out, r)
+	}
+	// Canonical ordering of combining marks.
+	sortMarks(out)
+	return string(out)
+}
+
+func appendDecomposed(out []rune, r rune) []rune {
+	if r >= hangulSBase && r < hangulSBase+hangulSCount {
+		si := r - hangulSBase
+		out = append(out, hangulLBase+si/hangulNCount, hangulVBase+(si%hangulNCount)/hangulTCount)
+		if t := si % hangulTCount; t != 0 {
+			out = append(out, hangulTBase+t)
+		}
+		return out
+	}
+	if d, ok := decomp[r]; ok {
+		out = appendDecomposed(out, d[0])
+		return append(out, d[1])
+	}
+	return append(out, r)
+}
+
+func sortMarks(rs []rune) {
+	// Stable insertion sort of maximal runs of non-starters by combining
+	// class (the canonical ordering algorithm).
+	for i := 1; i < len(rs); i++ {
+		cc := combiningClass(rs[i])
+		if cc == 0 {
+			continue
+		}
+		j := i
+		for j > 0 && combiningClass(rs[j-1]) > cc {
+			rs[j-1], rs[j] = rs[j], rs[j-1]
+			j--
+		}
+	}
+}
+
+// NFC returns the canonical composition of s (decompose, reorder,
+// compose).
+func NFC(s string) string {
+	rs := []rune(Decompose(s))
+	if len(rs) == 0 {
+		return s
+	}
+	out := rs[:0:0]
+	out = append(out, rs[0])
+	for i := 1; i < len(rs); i++ {
+		r := rs[i]
+		last := len(out) - 1
+		// Hangul composition.
+		l := out[last]
+		if l >= hangulLBase && l < hangulLBase+hangulLCount && r >= hangulVBase && r < hangulVBase+hangulVCount {
+			out[last] = hangulSBase + (l-hangulLBase)*hangulNCount + (r-hangulVBase)*hangulTCount
+			continue
+		}
+		if l >= hangulSBase && l < hangulSBase+hangulSCount && (l-hangulSBase)%hangulTCount == 0 &&
+			r > hangulTBase && r < hangulTBase+hangulTCount {
+			out[last] = l + (r - hangulTBase)
+			continue
+		}
+		if combiningClass(r) != 0 {
+			// Find the most recent starter; compose if unblocked.
+			starter := -1
+			for j := last; j >= 0; j-- {
+				if combiningClass(out[j]) == 0 {
+					starter = j
+					break
+				}
+			}
+			if starter >= 0 {
+				blocked := false
+				for j := starter + 1; j <= last; j++ {
+					if combiningClass(out[j]) >= combiningClass(r) {
+						blocked = true
+						break
+					}
+				}
+				if !blocked {
+					if c, ok := compose[[2]rune{out[starter], r}]; ok {
+						out[starter] = c
+						continue
+					}
+				}
+			}
+		}
+		out = append(out, r)
+	}
+	return string(out)
+}
+
+// IsNFC reports whether s is already in canonical composition form
+// with respect to our table.
+func IsNFC(s string) bool { return s == NFC(s) }
+
+// HasDecomposedSequence reports whether s contains a base+mark sequence
+// our table would compose — a fast positive signal for the T2 lints.
+func HasDecomposedSequence(s string) bool {
+	rs := []rune(s)
+	for i := 1; i < len(rs); i++ {
+		if _, ok := compose[[2]rune{rs[i-1], rs[i]}]; ok {
+			return true
+		}
+		if rs[i-1] >= hangulLBase && rs[i-1] < hangulLBase+hangulLCount &&
+			rs[i] >= hangulVBase && rs[i] < hangulVBase+hangulVCount {
+			return true
+		}
+	}
+	return false
+}
+
+// CaseFoldEqual reports ASCII-insensitive equality extended with the
+// simple one-to-one foldings of Latin-1 — enough for the monitor
+// models' case-insensitive search.
+func CaseFoldEqual(a, b string) bool { return strings.EqualFold(a, b) }

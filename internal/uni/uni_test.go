@@ -1,0 +1,243 @@
+package uni
+
+import (
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestBlocksNonEmptySorted(t *testing.T) {
+	blocks := Blocks()
+	if len(blocks) < 100 {
+		t.Fatalf("block table too small: %d", len(blocks))
+	}
+	for i := 1; i < len(blocks); i++ {
+		if blocks[i].Lo < blocks[i-1].Lo {
+			t.Fatalf("blocks unsorted at %d: %+v then %+v", i, blocks[i-1], blocks[i])
+		}
+	}
+}
+
+func TestBlocksExcludeSurrogates(t *testing.T) {
+	for _, b := range Blocks() {
+		if b.Lo >= 0xD800 && b.Lo <= 0xDFFF {
+			t.Errorf("block %q starts in surrogate range", b.Name)
+		}
+	}
+}
+
+func TestBlockOf(t *testing.T) {
+	b, ok := BlockOf(0x0001)
+	if !ok || b.Name != "C0 Controls" {
+		t.Fatalf("got %+v, %v", b, ok)
+	}
+	b, ok = BlockOf('é')
+	if !ok || (b.Name != "Latin-1 Supplement" && b.Name != "Latin") {
+		t.Fatalf("got %+v", b)
+	}
+}
+
+func TestSampleSet(t *testing.T) {
+	set := SampleSet()
+	if len(set) < 256 {
+		t.Fatalf("sample set must include all of U+0000-U+00FF: %d", len(set))
+	}
+	seen := make(map[rune]bool)
+	for i, r := range set {
+		if r >= 0xD800 && r <= 0xDFFF {
+			t.Errorf("surrogate U+%04X in sample set", r)
+		}
+		if seen[r] {
+			t.Errorf("duplicate U+%04X", r)
+		}
+		seen[r] = true
+		if i > 0 && set[i-1] >= r {
+			t.Fatal("sample set unsorted")
+		}
+	}
+	for r := rune(0); r <= 0xFF; r++ {
+		if !seen[r] {
+			t.Errorf("U+%04X missing from sample set", r)
+		}
+	}
+}
+
+func TestControlClasses(t *testing.T) {
+	if !IsC0(0x00) || !IsC0(0x1F) || !IsC0(0x7F) {
+		t.Error("C0 must include NUL, US, DEL")
+	}
+	if IsC0(' ') || IsC0('A') {
+		t.Error("printable ASCII is not C0")
+	}
+	if !IsC1(0x80) || !IsC1(0x9F) || IsC1(0xA0) {
+		t.Error("C1 range is U+0080..U+009F")
+	}
+	if !IsControl(0x1B) || !IsControl(0x85) || IsControl('x') {
+		t.Error("IsControl union broken")
+	}
+}
+
+func TestBidiControls(t *testing.T) {
+	for _, r := range []rune{0x202E, 0x202C, 0x200E, 0x200F, 0x2066, 0x061C} {
+		if !IsBidiControl(r) {
+			t.Errorf("U+%04X is a bidi control", r)
+		}
+	}
+	if IsBidiControl('a') || IsBidiControl(0x2014) {
+		t.Error("false positives in bidi controls")
+	}
+}
+
+func TestInvisibleLayout(t *testing.T) {
+	for _, r := range []rune{0x200B, 0x200C, 0x200D, 0x2060, 0xFEFF, 0x00AD, 0x2028} {
+		if !IsInvisibleLayout(r) {
+			t.Errorf("U+%04X should be invisible", r)
+		}
+	}
+	if IsInvisibleLayout('!') || IsInvisibleLayout(0x4E2D) {
+		t.Error("visible characters misclassified")
+	}
+}
+
+func TestNonPrintableASCII(t *testing.T) {
+	if !HasNonPrintableASCII("株式会社") {
+		t.Error("CJK is beyond printable ASCII")
+	}
+	if !HasNonPrintableASCII("a\x00b") {
+		t.Error("NUL is beyond printable ASCII")
+	}
+	if HasNonPrintableASCII("Plain ASCII only!") {
+		t.Error("printable ASCII misdetected")
+	}
+}
+
+func TestNFCComposesLatin(t *testing.T) {
+	// "Île-de-France" with decomposed Î.
+	in := "Île-de-France"
+	want := "Île-de-France"
+	if got := NFC(in); got != want {
+		t.Fatalf("NFC(%q) = %q, want %q", in, got, want)
+	}
+	if IsNFC(in) {
+		t.Error("decomposed input must not be NFC")
+	}
+	if !IsNFC(want) {
+		t.Error("composed form is NFC")
+	}
+}
+
+func TestNFCIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		n := NFC(s)
+		return NFC(n) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecomposeComposeRoundTrip(t *testing.T) {
+	for c := range map[rune][2]rune{'é': {}, 'ü': {}, 'č': {}, 'ń': {}, 'й': {}, 'ё': {}, 'ά': {}} {
+		s := string(c)
+		d := Decompose(s)
+		if d == s {
+			t.Errorf("%q should decompose", s)
+		}
+		if got := NFC(d); got != s {
+			t.Errorf("NFC(Decompose(%q)) = %q", s, got)
+		}
+	}
+}
+
+func TestHangulRoundTrip(t *testing.T) {
+	// 한국 (U+D55C U+AD6D)
+	s := "한국"
+	d := Decompose(s)
+	if len([]rune(d)) <= len([]rune(s)) {
+		t.Fatalf("Hangul must decompose to jamo: %q -> %q", s, d)
+	}
+	if got := NFC(d); got != s {
+		t.Fatalf("NFC(%q) = %q, want %q", d, got, s)
+	}
+}
+
+func TestHangulExhaustiveSample(t *testing.T) {
+	for r := rune(hangulSBase); r < hangulSBase+hangulSCount; r += 97 {
+		s := string(r)
+		if got := NFC(Decompose(s)); got != s {
+			t.Fatalf("Hangul U+%04X round trip failed: %q", r, got)
+		}
+	}
+}
+
+func TestHasDecomposedSequence(t *testing.T) {
+	if !HasDecomposedSequence("Städt") {
+		t.Error("a + diaeresis should be detected")
+	}
+	if HasDecomposedSequence("Städt") {
+		t.Error("precomposed text has no decomposed sequence")
+	}
+}
+
+func TestCanonicalOrdering(t *testing.T) {
+	// cedilla (ccc 202) must sort before acute (ccc 230).
+	in := "ḉ" // c + acute + cedilla
+	d := Decompose(in)
+	rs := []rune(d)
+	if rs[1] != 0x327 || rs[2] != 0x301 {
+		t.Fatalf("marks not canonically ordered: %U", rs)
+	}
+}
+
+func TestSkeletonHomographs(t *testing.T) {
+	// Cyrillic "раураl" vs Latin "paypal".
+	cyr := "раураl"
+	if !IsHomographOf(cyr, "paypal") {
+		t.Fatalf("skeleton(%q)=%q", cyr, Skeleton(cyr))
+	}
+	if IsHomographOf("paypal", "paypal") {
+		t.Error("identical strings are not homographs")
+	}
+	if IsHomographOf("example", "attacker") {
+		t.Error("unrelated strings misdetected")
+	}
+}
+
+func TestSkeletonStripsInvisibles(t *testing.T) {
+	if Skeleton("www​.example") != "www.example" {
+		t.Error("ZWSP must be stripped")
+	}
+	if Skeleton("‮evil‬") != "evil" {
+		t.Error("bidi controls must be stripped")
+	}
+}
+
+func TestWhitespaceVariants(t *testing.T) {
+	for _, r := range []rune{0x00A0, 0x3000, 0x2002} {
+		if !IsWhitespaceVariant(r) {
+			t.Errorf("U+%04X is a whitespace variant", r)
+		}
+	}
+	if IsWhitespaceVariant(' ') {
+		t.Error("plain space is not a variant")
+	}
+}
+
+func TestDashVariants(t *testing.T) {
+	if !IsDashVariant(0x2013) || !IsDashVariant('-') {
+		t.Error("en dash and hyphen are dash variants")
+	}
+	if IsDashVariant('x') {
+		t.Error("letters are not dash variants")
+	}
+}
+
+func TestRepresentativeIsGraphicWherePossible(t *testing.T) {
+	for _, b := range Blocks() {
+		r := b.Representative()
+		if !b.Contains(r) {
+			t.Errorf("block %q representative U+%04X outside range", b.Name, r)
+		}
+		_ = unicode.IsGraphic(r) // must not panic for any representative
+	}
+}

@@ -1,0 +1,344 @@
+package x509cert
+
+import (
+	"errors"
+	"fmt"
+	"math/big"
+	"time"
+
+	"repro/internal/asn1der"
+)
+
+// Template describes a certificate to build. Attribute values carry
+// explicit string tags and raw bytes, so templates can express every
+// noncompliant shape the paper's corpus contains.
+type Template struct {
+	SerialNumber *big.Int
+	Issuer       DN
+	Subject      DN
+	NotBefore    time.Time
+	NotAfter     time.Time
+
+	SAN                   []GeneralName
+	IAN                   []GeneralName
+	CRLDistributionPoints []GeneralName
+	AIA                   []AccessDescription
+	SIA                   []AccessDescription
+	Policies              []PolicyInformation
+
+	IsCA     bool
+	CTPoison bool
+	SCTList  []byte
+
+	ExtraExtensions []Extension
+}
+
+// TextATV builds an ATV with UTF8String encoding — the common
+// compliant case.
+func TextATV(oid asn1der.OID, value string) ATV {
+	return ATV{Type: oid, Value: AttributeValue{Tag: asn1der.TagUTF8String, Bytes: []byte(value)}}
+}
+
+// PrintableATV builds an ATV with PrintableString encoding without
+// validating the charset (validation is the linter's job).
+func PrintableATV(oid asn1der.OID, value string) ATV {
+	return ATV{Type: oid, Value: AttributeValue{Tag: asn1der.TagPrintableString, Bytes: []byte(value)}}
+}
+
+// RawATV builds an ATV with an arbitrary tag and raw content bytes.
+func RawATV(oid asn1der.OID, tag int, content []byte) ATV {
+	return ATV{Type: oid, Value: AttributeValue{Tag: tag, Bytes: content}}
+}
+
+// SimpleDN builds a DN with one ATV per RDN, in order — the simplified
+// structure the paper's test generator uses (§3.2 rule i).
+func SimpleDN(atvs ...ATV) DN {
+	dn := make(DN, len(atvs))
+	for i, atv := range atvs {
+		dn[i] = RDN{atv}
+	}
+	return dn
+}
+
+// DNSName builds a DNSName GeneralName from raw bytes (which need not
+// be valid DNS characters — that is the point).
+func DNSName(name string) GeneralName {
+	return GeneralName{Kind: GNDNSName, Bytes: []byte(name)}
+}
+
+// RFC822Name builds an email GeneralName.
+func RFC822Name(addr string) GeneralName {
+	return GeneralName{Kind: GNRFC822Name, Bytes: []byte(addr)}
+}
+
+// URIName builds a URI GeneralName.
+func URIName(uri string) GeneralName {
+	return GeneralName{Kind: GNURI, Bytes: []byte(uri)}
+}
+
+// Build encodes and signs the template, returning the DER certificate.
+// issuerKey signs; subjectKey supplies the SPKI.
+func Build(t *Template, issuerKey, subjectKey *KeyPair) ([]byte, error) {
+	if t.SerialNumber == nil {
+		return nil, errors.New("x509cert: template needs a serial number")
+	}
+	tbs, err := buildTBS(t, subjectKey)
+	if err != nil {
+		return nil, err
+	}
+	sig, err := issuerKey.Sign(tbs)
+	if err != nil {
+		return nil, err
+	}
+	var b asn1der.Builder
+	b.AddSequence(func(b *asn1der.Builder) {
+		b.AddRaw(tbs)
+		b.AddSequence(func(b *asn1der.Builder) { b.AddOID(OIDECDSAWithSHA256) })
+		b.AddBitString(sig)
+	})
+	return b.Bytes()
+}
+
+func buildTBS(t *Template, subjectKey *KeyPair) ([]byte, error) {
+	exts, err := buildExtensions(t)
+	if err != nil {
+		return nil, err
+	}
+	var b asn1der.Builder
+	b.AddSequence(func(b *asn1der.Builder) {
+		b.AddExplicit(0, func(b *asn1der.Builder) { b.AddInt(2) }) // v3
+		b.AddBigInt(t.SerialNumber)
+		b.AddSequence(func(b *asn1der.Builder) { b.AddOID(OIDECDSAWithSHA256) })
+		addDN(b, t.Issuer)
+		b.AddSequence(func(b *asn1der.Builder) {
+			b.AddTime(t.NotBefore)
+			b.AddTime(t.NotAfter)
+		})
+		addDN(b, t.Subject)
+		addSPKI(b, subjectKey)
+		if len(exts) > 0 {
+			b.AddExplicit(3, func(b *asn1der.Builder) {
+				b.AddSequence(func(b *asn1der.Builder) {
+					for _, e := range exts {
+						addExtension(b, e)
+					}
+				})
+			})
+		}
+	})
+	return b.Bytes()
+}
+
+func addDN(b *asn1der.Builder, dn DN) {
+	b.AddSequence(func(b *asn1der.Builder) {
+		for _, rdn := range dn {
+			rdn := rdn
+			b.AddSet(func(b *asn1der.Builder) {
+				for _, atv := range rdn {
+					atv := atv
+					b.AddSequence(func(b *asn1der.Builder) {
+						b.AddOID(atv.Type)
+						b.AddStringRaw(atv.Value.Tag, atv.Value.Bytes)
+					})
+				}
+			})
+		}
+	})
+}
+
+func addSPKI(b *asn1der.Builder, key *KeyPair) {
+	b.AddSequence(func(b *asn1der.Builder) {
+		b.AddSequence(func(b *asn1der.Builder) {
+			b.AddOID(OIDECPublicKey)
+			b.AddOID(OIDNamedCurveP256)
+		})
+		b.AddBitString(key.PublicPoint())
+	})
+}
+
+func addExtension(b *asn1der.Builder, e Extension) {
+	b.AddSequence(func(b *asn1der.Builder) {
+		b.AddOID(e.OID)
+		if e.Critical {
+			b.AddBool(true)
+		}
+		b.AddOctetString(e.Value)
+	})
+}
+
+func buildExtensions(t *Template) ([]Extension, error) {
+	var exts []Extension
+	add := func(oid asn1der.OID, critical bool, build func(*asn1der.Builder)) error {
+		var b asn1der.Builder
+		build(&b)
+		der, err := b.Bytes()
+		if err != nil {
+			return err
+		}
+		exts = append(exts, Extension{OID: oid, Critical: critical, Value: der})
+		return nil
+	}
+
+	// BasicConstraints, critical, always present so chains verify.
+	if err := add(OIDExtBasicConstraints, true, func(b *asn1der.Builder) {
+		b.AddSequence(func(b *asn1der.Builder) {
+			if t.IsCA {
+				b.AddBool(true)
+			}
+		})
+	}); err != nil {
+		return nil, err
+	}
+
+	if len(t.SAN) > 0 {
+		if err := add(OIDExtSubjectAltName, false, func(b *asn1der.Builder) {
+			addGeneralNames(b, t.SAN)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if len(t.IAN) > 0 {
+		if err := add(OIDExtIssuerAltName, false, func(b *asn1der.Builder) {
+			addGeneralNames(b, t.IAN)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if len(t.CRLDistributionPoints) > 0 {
+		if err := add(OIDExtCRLDistribution, false, func(b *asn1der.Builder) {
+			b.AddSequence(func(b *asn1der.Builder) {
+				for _, gn := range t.CRLDistributionPoints {
+					gn := gn
+					b.AddSequence(func(b *asn1der.Builder) { // DistributionPoint
+						b.AddExplicit(0, func(b *asn1der.Builder) { // distributionPoint
+							b.AddConstructed(asn1der.Tag{Class: asn1der.ClassContextSpecific, Number: 0}, func(b *asn1der.Builder) { // fullName
+								addGeneralName(b, gn)
+							})
+						})
+					})
+				}
+			})
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if len(t.AIA) > 0 {
+		if err := add(OIDExtAuthorityInfo, false, func(b *asn1der.Builder) {
+			addAccessDescriptions(b, t.AIA)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if len(t.SIA) > 0 {
+		if err := add(OIDExtSubjectInfo, false, func(b *asn1der.Builder) {
+			addAccessDescriptions(b, t.SIA)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if len(t.Policies) > 0 {
+		if err := add(OIDExtCertPolicies, false, func(b *asn1der.Builder) {
+			addPolicies(b, t.Policies)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if t.CTPoison {
+		// RFC 6962 §3.1: critical, value is ASN.1 NULL.
+		if err := add(OIDExtCTPoison, true, func(b *asn1der.Builder) {
+			b.AddNull()
+		}); err != nil {
+			return nil, err
+		}
+	}
+	if len(t.SCTList) > 0 {
+		if err := add(OIDExtSCTList, false, func(b *asn1der.Builder) {
+			b.AddOctetString(t.SCTList)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	exts = append(exts, t.ExtraExtensions...)
+	return exts, nil
+}
+
+func addGeneralNames(b *asn1der.Builder, gns []GeneralName) {
+	b.AddSequence(func(b *asn1der.Builder) {
+		for _, gn := range gns {
+			addGeneralName(b, gn)
+		}
+	})
+}
+
+func addGeneralName(b *asn1der.Builder, gn GeneralName) {
+	switch gn.Kind {
+	case GNDirectoryName:
+		b.AddExplicit(int(gn.Kind), func(b *asn1der.Builder) { addDN(b, gn.Directory) })
+	case GNOtherName, GNEDIPartyName, GNX400Address:
+		// These kinds carry a complete pre-encoded GeneralName TLV.
+		b.AddRaw(gn.Bytes)
+	default:
+		b.AddImplicitPrimitive(int(gn.Kind), gn.Bytes)
+	}
+}
+
+func addAccessDescriptions(b *asn1der.Builder, ads []AccessDescription) {
+	b.AddSequence(func(b *asn1der.Builder) {
+		for _, ad := range ads {
+			ad := ad
+			b.AddSequence(func(b *asn1der.Builder) {
+				b.AddOID(ad.Method)
+				addGeneralName(b, ad.Location)
+			})
+		}
+	})
+}
+
+func addPolicies(b *asn1der.Builder, pols []PolicyInformation) {
+	b.AddSequence(func(b *asn1der.Builder) {
+		for _, p := range pols {
+			p := p
+			b.AddSequence(func(b *asn1der.Builder) {
+				b.AddOID(p.Policy)
+				if len(p.CPSURIs) == 0 && len(p.ExplicitText) == 0 {
+					return
+				}
+				b.AddSequence(func(b *asn1der.Builder) { // policyQualifiers
+					for _, uri := range p.CPSURIs {
+						uri := uri
+						b.AddSequence(func(b *asn1der.Builder) {
+							b.AddOID(OIDQtCPS)
+							b.AddStringRaw(asn1der.TagIA5String, []byte(uri))
+						})
+					}
+					for _, dt := range p.ExplicitText {
+						dt := dt
+						b.AddSequence(func(b *asn1der.Builder) {
+							b.AddOID(OIDQtNotice)
+							b.AddSequence(func(b *asn1der.Builder) { // UserNotice
+								b.AddStringRaw(dt.Tag, dt.Bytes)
+							})
+						})
+					}
+				})
+			})
+		}
+	})
+}
+
+// NewSerial builds a positive serial number from an integer for tests
+// and generators.
+func NewSerial(n int64) *big.Int {
+	if n < 0 {
+		n = -n
+	}
+	return big.NewInt(n + 1)
+}
+
+// BuildSelfSigned is a convenience for root-CA construction.
+func BuildSelfSigned(t *Template, key *KeyPair) ([]byte, error) {
+	if !t.IsCA {
+		return nil, fmt.Errorf("x509cert: self-signed certificates here are CAs")
+	}
+	return Build(t, key, key)
+}

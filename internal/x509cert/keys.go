@@ -1,0 +1,167 @@
+package x509cert
+
+import (
+	"crypto/ecdsa"
+	"crypto/elliptic"
+	"crypto/sha256"
+	"encoding/binary"
+	"io"
+	"math/big"
+
+	"repro/internal/asn1der"
+)
+
+// detReader is a deterministic byte stream (SHA-256 in counter mode)
+// used to make key generation and signing reproducible across corpus
+// builds. This substitutes for the paper's fixed historical dataset:
+// the same seed always yields byte-identical certificates.
+type detReader struct {
+	seed    [32]byte
+	counter uint64
+	buf     []byte
+}
+
+// NewDeterministicRand returns an io.Reader producing a reproducible
+// stream derived from seed.
+func NewDeterministicRand(seed int64) io.Reader {
+	var r detReader
+	binary.BigEndian.PutUint64(r.seed[:8], uint64(seed))
+	r.seed = sha256.Sum256(r.seed[:])
+	return &r
+}
+
+func (r *detReader) Read(p []byte) (int, error) {
+	n := 0
+	for n < len(p) {
+		if len(r.buf) == 0 {
+			var block [40]byte
+			copy(block[:32], r.seed[:])
+			binary.BigEndian.PutUint64(block[32:], r.counter)
+			r.counter++
+			sum := sha256.Sum256(block[:])
+			r.buf = sum[:]
+		}
+		c := copy(p[n:], r.buf)
+		r.buf = r.buf[c:]
+		n += c
+	}
+	return n, nil
+}
+
+// KeyPair wraps an ECDSA P-256 key.
+type KeyPair struct {
+	Priv *ecdsa.PrivateKey
+}
+
+// GenerateKey derives a reproducible P-256 key pair from seed. The
+// scalar is derived directly from the deterministic stream because
+// crypto/ecdsa.GenerateKey deliberately randomizes its reads.
+func GenerateKey(seed int64) (*KeyPair, error) {
+	curve := elliptic.P256()
+	n := curve.Params().N
+	r := NewDeterministicRand(seed)
+	var buf [32]byte
+	for {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return nil, err
+		}
+		d := new(big.Int).SetBytes(buf[:])
+		d.Mod(d, new(big.Int).Sub(n, big.NewInt(1)))
+		d.Add(d, big.NewInt(1))
+		x, y := curve.ScalarBaseMult(d.Bytes())
+		if x.Sign() == 0 && y.Sign() == 0 {
+			continue
+		}
+		return &KeyPair{Priv: &ecdsa.PrivateKey{
+			PublicKey: ecdsa.PublicKey{Curve: curve, X: x, Y: y},
+			D:         d,
+		}}, nil
+	}
+}
+
+// PublicPoint returns the uncompressed SEC1 encoding of the public key.
+func (k *KeyPair) PublicPoint() []byte {
+	byteLen := (k.Priv.Curve.Params().BitSize + 7) / 8
+	out := make([]byte, 1+2*byteLen)
+	out[0] = 4
+	k.Priv.X.FillBytes(out[1 : 1+byteLen])
+	k.Priv.Y.FillBytes(out[1+byteLen:])
+	return out
+}
+
+// Sign produces a DER-encoded ECDSA-Sig-Value over SHA-256(tbs). The
+// nonce is derived deterministically from the key and message (in the
+// spirit of RFC 6979), so builds are byte-for-byte reproducible —
+// crypto/ecdsa's hedged signing would not be.
+func (k *KeyPair) Sign(tbs []byte) ([]byte, error) {
+	digest := sha256.Sum256(tbs)
+	curve := k.Priv.Curve
+	n := curve.Params().N
+	z := new(big.Int).SetBytes(digest[:])
+
+	// Deterministic nonce: SHA-256(d || digest || counter), reduced mod n.
+	var counter byte
+	for {
+		var seed []byte
+		seed = append(seed, k.Priv.D.Bytes()...)
+		seed = append(seed, digest[:]...)
+		seed = append(seed, counter)
+		counter++
+		kh := sha256.Sum256(seed)
+		kInt := new(big.Int).SetBytes(kh[:])
+		kInt.Mod(kInt, n)
+		if kInt.Sign() == 0 {
+			continue
+		}
+		rx, _ := curve.ScalarBaseMult(kInt.Bytes())
+		r := new(big.Int).Mod(rx, n)
+		if r.Sign() == 0 {
+			continue
+		}
+		kInv := new(big.Int).ModInverse(kInt, n)
+		s := new(big.Int).Mul(r, k.Priv.D)
+		s.Add(s, z)
+		s.Mul(s, kInv)
+		s.Mod(s, n)
+		if s.Sign() == 0 {
+			continue
+		}
+		var b asn1der.Builder
+		b.AddSequence(func(b *asn1der.Builder) {
+			b.AddBigInt(r)
+			b.AddBigInt(s)
+		})
+		return b.Bytes()
+	}
+}
+
+// parsePublicPoint converts an uncompressed SEC1 point to a P-256
+// public key.
+func parsePublicPoint(b []byte) (*ecdsa.PublicKey, bool) {
+	curve := elliptic.P256()
+	byteLen := (curve.Params().BitSize + 7) / 8
+	if len(b) != 1+2*byteLen || b[0] != 4 {
+		return nil, false
+	}
+	x := new(big.Int).SetBytes(b[1 : 1+byteLen])
+	y := new(big.Int).SetBytes(b[1+byteLen:])
+	if !curve.IsOnCurve(x, y) {
+		return nil, false
+	}
+	return &ecdsa.PublicKey{Curve: curve, X: x, Y: y}, true
+}
+
+// VerifySignature checks child's signature with issuer's public key.
+func VerifySignature(issuer, child *Certificate) bool {
+	pub, ok := parsePublicPoint(issuer.PublicKeyBytes)
+	if !ok {
+		return false
+	}
+	return verifyECDSA(pub, child.RawTBS, child.SignatureValue)
+}
+
+// verifyECDSA checks a DER ECDSA-Sig-Value over SHA-256(tbs).
+func verifyECDSA(pub *ecdsa.PublicKey, tbs, sig []byte) bool {
+	digest := sha256.Sum256(tbs)
+	return ecdsa.VerifyASN1(pub, digest[:], sig)
+}

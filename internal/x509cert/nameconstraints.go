@@ -1,0 +1,172 @@
+package x509cert
+
+// NameConstraints (RFC 5280 §4.2.1.10): permitted/excluded DNS
+// subtrees on CA certificates. The paper's §5.2 attribute-forgery
+// impact cites CVE-2021-44533, where ambiguous string transformations
+// let names escape constraint checks; a structured checker (this one)
+// is immune, while a text-based checker over a forged "DNS:a, DNS:b"
+// rendering is not.
+
+import (
+	"errors"
+	"strings"
+
+	"repro/internal/asn1der"
+	"repro/internal/strenc"
+)
+
+// OIDExtNameConstraints identifies the extension.
+var OIDExtNameConstraints = asn1der.OID{2, 5, 29, 30}
+
+// NameConstraints carries DNS subtrees only (the form TLS uses).
+type NameConstraints struct {
+	PermittedDNS []string
+	ExcludedDNS  []string
+}
+
+// NameConstraintsExtension encodes the extension (critical, per RFC
+// 5280).
+func NameConstraintsExtension(nc NameConstraints) (Extension, error) {
+	var b asn1der.Builder
+	b.AddSequence(func(b *asn1der.Builder) {
+		addSubtrees := func(tag int, names []string) {
+			if len(names) == 0 {
+				return
+			}
+			b.AddConstructed(asn1der.Tag{Class: asn1der.ClassContextSpecific, Number: tag}, func(b *asn1der.Builder) {
+				for _, n := range names {
+					n := n
+					b.AddSequence(func(b *asn1der.Builder) { // GeneralSubtree
+						b.AddImplicitPrimitive(int(GNDNSName), []byte(n))
+					})
+				}
+			})
+		}
+		addSubtrees(0, nc.PermittedDNS)
+		addSubtrees(1, nc.ExcludedDNS)
+	})
+	der, err := b.Bytes()
+	if err != nil {
+		return Extension{}, err
+	}
+	return Extension{OID: OIDExtNameConstraints, Critical: true, Value: der}, nil
+}
+
+// ParseNameConstraints decodes the extension value.
+func ParseNameConstraints(value []byte) (NameConstraints, error) {
+	var nc NameConstraints
+	v, err := asn1der.Parse(value)
+	if err != nil {
+		return nc, err
+	}
+	if _, err := v.Expect(asn1der.ClassUniversal, asn1der.TagSequence); err != nil {
+		return nc, err
+	}
+	for _, sub := range v.Children {
+		if sub.Tag.Class != asn1der.ClassContextSpecific {
+			return nc, errors.New("x509cert: malformed NameConstraints")
+		}
+		var dst *[]string
+		switch sub.Tag.Number {
+		case 0:
+			dst = &nc.PermittedDNS
+		case 1:
+			dst = &nc.ExcludedDNS
+		default:
+			continue
+		}
+		for _, tree := range sub.Children {
+			if len(tree.Children) == 0 {
+				return nc, errors.New("x509cert: empty GeneralSubtree")
+			}
+			gn, err := parseGeneralName(tree.Children[0])
+			if err != nil {
+				return nc, err
+			}
+			if gn.Kind == GNDNSName {
+				*dst = append(*dst, gn.MustText())
+			}
+		}
+	}
+	return nc, nil
+}
+
+// dnsWithinSubtree implements RFC 5280 DNS subtree matching: the name
+// equals the base or is a (dot-separated) descendant of it.
+func dnsWithinSubtree(name, base string) bool {
+	name = strings.ToLower(strings.TrimSuffix(name, "."))
+	base = strings.ToLower(strings.TrimSuffix(strings.TrimPrefix(base, "."), "."))
+	if base == "" {
+		return true // an empty subtree matches everything
+	}
+	if name == base {
+		return true
+	}
+	return strings.HasSuffix(name, "."+base)
+}
+
+// CheckDNSNameConstraints validates a leaf's SAN DNSNames against a
+// CA's constraints using structured values — the robust path the
+// paper's recommendations endorse. Names outside the DNS repertoire
+// fail closed: a composite payload ending in a permitted suffix would
+// otherwise satisfy naive suffix matching.
+func CheckDNSNameConstraints(nc NameConstraints, leaf *Certificate) error {
+	for _, name := range leaf.DNSNames() {
+		for _, r := range name {
+			if r != '*' && !strenc.DNSNameValid(r) {
+				return errors.New("x509cert: name " + name + " contains non-DNS characters")
+			}
+		}
+		for _, excluded := range nc.ExcludedDNS {
+			if dnsWithinSubtree(name, excluded) {
+				return errors.New("x509cert: name " + name + " falls in an excluded subtree")
+			}
+		}
+		if len(nc.PermittedDNS) > 0 {
+			ok := false
+			for _, permitted := range nc.PermittedDNS {
+				if dnsWithinSubtree(name, permitted) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return errors.New("x509cert: name " + name + " outside all permitted subtrees")
+			}
+		}
+	}
+	return nil
+}
+
+// CheckDNSNameConstraintsText models the vulnerable text-based checker:
+// it re-splits an X.509-text SAN rendering ("DNS:a.com, DNS:b.com") and
+// validates each apparent entry. A forged subfield embedded inside one
+// real DNSName (the §5.2 payload) produces entries the structured
+// checker never sees — and, worse, the checker validates the *fragments*
+// instead of the actual composite name.
+func CheckDNSNameConstraintsText(nc NameConstraints, sanText string) error {
+	for _, entry := range strings.Split(sanText, ", ") {
+		name, ok := strings.CutPrefix(entry, "DNS:")
+		if !ok {
+			continue
+		}
+		for _, excluded := range nc.ExcludedDNS {
+			if dnsWithinSubtree(name, excluded) {
+				return errors.New("x509cert: name " + name + " falls in an excluded subtree")
+			}
+		}
+		if len(nc.PermittedDNS) > 0 {
+			ok := false
+			for _, permitted := range nc.PermittedDNS {
+				if dnsWithinSubtree(name, permitted) {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				return errors.New("x509cert: name " + name + " outside all permitted subtrees")
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,133 @@
+package x509cert
+
+import (
+	"math/big"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNameConstraintsRoundTrip(t *testing.T) {
+	nc := NameConstraints{
+		PermittedDNS: []string{"corp.example", ".trusted.example"},
+		ExcludedDNS:  []string{"internal.corp.example"},
+	}
+	ext, err := NameConstraintsExtension(nc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.Critical || !ext.OID.Equal(OIDExtNameConstraints) {
+		t.Fatal("NameConstraints must be critical")
+	}
+	got, err := ParseNameConstraints(ext.Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.PermittedDNS) != 2 || got.PermittedDNS[0] != "corp.example" {
+		t.Fatalf("permitted %v", got.PermittedDNS)
+	}
+	if len(got.ExcludedDNS) != 1 || got.ExcludedDNS[0] != "internal.corp.example" {
+		t.Fatalf("excluded %v", got.ExcludedDNS)
+	}
+}
+
+func TestSubtreeMatching(t *testing.T) {
+	cases := []struct {
+		name, base string
+		want       bool
+	}{
+		{"a.corp.example", "corp.example", true},
+		{"corp.example", "corp.example", true},
+		{"corp.example.evil", "corp.example", false},
+		{"xcorp.example", "corp.example", false},
+		{"deep.a.corp.example", "corp.example", true},
+		{"A.CORP.EXAMPLE", "corp.example", true},
+		{"anything.example", "", true},
+	}
+	for _, c := range cases {
+		if got := dnsWithinSubtree(c.name, c.base); got != c.want {
+			t.Errorf("dnsWithinSubtree(%q, %q) = %v", c.name, c.base, got)
+		}
+	}
+}
+
+func buildConstrainedLeaf(t *testing.T, sans ...string) *Certificate {
+	t.Helper()
+	caKey, _ := GenerateKey(901)
+	leafKey, _ := GenerateKey(902)
+	gns := make([]GeneralName, 0, len(sans))
+	for _, s := range sans {
+		gns = append(gns, DNSName(s))
+	}
+	tpl := &Template{
+		SerialNumber: big.NewInt(8),
+		Issuer:       SimpleDN(TextATV(OIDCommonName, "NC CA")),
+		Subject:      SimpleDN(TextATV(OIDCommonName, sans[0])),
+		NotBefore:    time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:     time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC),
+		SAN:          gns,
+	}
+	der, err := Build(tpl, caKey, leafKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestStructuredConstraintCheck(t *testing.T) {
+	nc := NameConstraints{PermittedDNS: []string{"corp.example"}}
+	ok := buildConstrainedLeaf(t, "www.corp.example")
+	if err := CheckDNSNameConstraints(nc, ok); err != nil {
+		t.Fatal(err)
+	}
+	bad := buildConstrainedLeaf(t, "www.corp.example", "evil.attacker.example")
+	if err := CheckDNSNameConstraints(nc, bad); err == nil {
+		t.Fatal("out-of-subtree name must be rejected")
+	}
+	excluded := buildConstrainedLeaf(t, "secret.internal.corp.example")
+	ncEx := NameConstraints{ExcludedDNS: []string{"internal.corp.example"}}
+	if err := CheckDNSNameConstraints(ncEx, excluded); err == nil {
+		t.Fatal("excluded name must be rejected")
+	}
+}
+
+func TestTextBasedConstraintBypass(t *testing.T) {
+	// The CVE-2021-44533-style bypass: a single DNSName whose bytes
+	// embed a second, constraint-satisfying entry. The structured
+	// checker sees one composite (illegal) name and rejects; a
+	// text-based checker over the naive rendering sees two fragments,
+	// one of which ("evil.attacker.example") is judged on its own.
+	nc := NameConstraints{PermittedDNS: []string{"corp.example"}}
+	forged := "evil.attacker.example, DNS:www.corp.example"
+	leaf := buildConstrainedLeaf(t, forged)
+
+	if err := CheckDNSNameConstraints(nc, leaf); err == nil {
+		t.Fatal("structured checker must reject the composite name")
+	}
+
+	// The text rendering several libraries produce:
+	sanText := "DNS:" + forged
+	if err := CheckDNSNameConstraintsText(nc, sanText); err == nil {
+		t.Fatal("the attacker-controlled fragment still violates permitted-only constraints")
+	}
+
+	// The exploitable shape: every apparent fragment is individually
+	// permitted, so the text checker accepts — but the actual encoded
+	// name is the meaningless composite the structured checker fails
+	// closed on. A downstream string-based system now believes the
+	// certificate is valid for both fragments (the §5.2 subfield
+	// forgery).
+	composite := "www.corp.example, DNS:api.corp.example"
+	leaf2 := buildConstrainedLeaf(t, composite)
+	structuredErr := CheckDNSNameConstraints(nc, leaf2)
+	if structuredErr == nil || !strings.Contains(structuredErr.Error(), "non-DNS characters") {
+		t.Fatalf("structured checker must fail closed: %v", structuredErr)
+	}
+	if err := CheckDNSNameConstraintsText(nc, "DNS:"+composite); err != nil {
+		t.Fatalf("text checker should be fooled into accepting: %v", err)
+	}
+}

@@ -1,0 +1,101 @@
+// Package x509cert is a from-scratch X.509 v3 certificate model built
+// directly on the internal DER codec. Unlike crypto/x509 it preserves
+// the raw encoding of every attribute value (string tag plus content
+// octets), because the paper's entire analysis happens in the gap
+// between declared encodings and actual bytes.
+package x509cert
+
+import "repro/internal/asn1der"
+
+// Distinguished-name attribute type OIDs.
+var (
+	OIDCommonName           = asn1der.OID{2, 5, 4, 3}
+	OIDSurname              = asn1der.OID{2, 5, 4, 4}
+	OIDSerialNumber         = asn1der.OID{2, 5, 4, 5}
+	OIDCountryName          = asn1der.OID{2, 5, 4, 6}
+	OIDLocalityName         = asn1der.OID{2, 5, 4, 7}
+	OIDStateOrProvinceName  = asn1der.OID{2, 5, 4, 8}
+	OIDStreetAddress        = asn1der.OID{2, 5, 4, 9}
+	OIDOrganizationName     = asn1der.OID{2, 5, 4, 10}
+	OIDOrganizationalUnit   = asn1der.OID{2, 5, 4, 11}
+	OIDBusinessCategory     = asn1der.OID{2, 5, 4, 15}
+	OIDPostalCode           = asn1der.OID{2, 5, 4, 17}
+	OIDGivenName            = asn1der.OID{2, 5, 4, 42}
+	OIDDomainComponent      = asn1der.OID{0, 9, 2342, 19200300, 100, 1, 25}
+	OIDEmailAddress         = asn1der.OID{1, 2, 840, 113549, 1, 9, 1}
+	OIDJurisdictionLocality = asn1der.OID{1, 3, 6, 1, 4, 1, 311, 60, 2, 1, 1}
+	OIDJurisdictionState    = asn1der.OID{1, 3, 6, 1, 4, 1, 311, 60, 2, 1, 2}
+	OIDJurisdictionCountry  = asn1der.OID{1, 3, 6, 1, 4, 1, 311, 60, 2, 1, 3}
+)
+
+// Extension OIDs.
+var (
+	OIDExtSubjectKeyID     = asn1der.OID{2, 5, 29, 14}
+	OIDExtKeyUsage         = asn1der.OID{2, 5, 29, 15}
+	OIDExtSubjectAltName   = asn1der.OID{2, 5, 29, 17}
+	OIDExtIssuerAltName    = asn1der.OID{2, 5, 29, 18}
+	OIDExtBasicConstraints = asn1der.OID{2, 5, 29, 19}
+	OIDExtCRLDistribution  = asn1der.OID{2, 5, 29, 31}
+	OIDExtCertPolicies     = asn1der.OID{2, 5, 29, 32}
+	OIDExtAuthorityKeyID   = asn1der.OID{2, 5, 29, 35}
+	OIDExtExtendedKeyUsage = asn1der.OID{2, 5, 29, 37}
+	OIDExtAuthorityInfo    = asn1der.OID{1, 3, 6, 1, 5, 5, 7, 1, 1}
+	OIDExtSubjectInfo      = asn1der.OID{1, 3, 6, 1, 5, 5, 7, 1, 11}
+	OIDExtCTPoison         = asn1der.OID{1, 3, 6, 1, 4, 1, 11129, 2, 4, 3}
+	OIDExtSCTList          = asn1der.OID{1, 3, 6, 1, 4, 1, 11129, 2, 4, 2}
+	OIDExtSmtpUTF8Mailbox  = asn1der.OID{1, 3, 6, 1, 5, 5, 7, 8, 9}
+)
+
+// Algorithm OIDs.
+var (
+	OIDECPublicKey     = asn1der.OID{1, 2, 840, 10045, 2, 1}
+	OIDNamedCurveP256  = asn1der.OID{1, 2, 840, 10045, 3, 1, 7}
+	OIDECDSAWithSHA256 = asn1der.OID{1, 2, 840, 10045, 4, 3, 2}
+)
+
+// Policy qualifier OIDs.
+var (
+	OIDQtCPS    = asn1der.OID{1, 3, 6, 1, 5, 5, 7, 2, 1}
+	OIDQtNotice = asn1der.OID{1, 3, 6, 1, 5, 5, 7, 2, 2}
+)
+
+// Access method OIDs for AIA/SIA.
+var (
+	OIDAccessOCSP      = asn1der.OID{1, 3, 6, 1, 5, 5, 7, 48, 1}
+	OIDAccessCAIssuers = asn1der.OID{1, 3, 6, 1, 5, 5, 7, 48, 2}
+)
+
+// attrShortNames provides the RFC 4514 short names for DN rendering.
+var attrShortNames = []struct {
+	oid  asn1der.OID
+	name string
+}{
+	{OIDCommonName, "CN"},
+	{OIDSurname, "SN"},
+	{OIDSerialNumber, "serialNumber"},
+	{OIDCountryName, "C"},
+	{OIDLocalityName, "L"},
+	{OIDStateOrProvinceName, "ST"},
+	{OIDStreetAddress, "STREET"},
+	{OIDOrganizationName, "O"},
+	{OIDOrganizationalUnit, "OU"},
+	{OIDBusinessCategory, "businessCategory"},
+	{OIDPostalCode, "postalCode"},
+	{OIDGivenName, "GN"},
+	{OIDDomainComponent, "DC"},
+	{OIDEmailAddress, "emailAddress"},
+	{OIDJurisdictionLocality, "jurisdictionL"},
+	{OIDJurisdictionState, "jurisdictionST"},
+	{OIDJurisdictionCountry, "jurisdictionC"},
+}
+
+// AttrName returns the short display name for a DN attribute OID,
+// falling back to dotted-decimal.
+func AttrName(oid asn1der.OID) string {
+	for _, e := range attrShortNames {
+		if e.oid.Equal(oid) {
+			return e.name
+		}
+	}
+	return oid.String()
+}

@@ -1,0 +1,93 @@
+package x509cert
+
+// OtherName support, specifically the SmtpUTF8Mailbox form of RFC 9598:
+// the sanctioned carrier for internationalized email addresses that the
+// paper's recommendations (and its new RFC 9598 lints) point CAs to.
+
+import (
+	"errors"
+
+	"repro/internal/asn1der"
+)
+
+// OtherName is a GeneralName otherName value: a type OID plus the raw
+// DER of its [0] EXPLICIT value.
+type OtherName struct {
+	TypeID asn1der.OID
+	Value  []byte // inner DER (the content of the explicit wrapper)
+}
+
+// SmtpUTF8Mailbox builds the RFC 9598 otherName GeneralName for an
+// internationalized email address. The address is carried as a
+// UTF8String; per the RFC the domain part SHOULD be U-labels.
+func SmtpUTF8Mailbox(addr string) GeneralName {
+	var b asn1der.Builder
+	b.AddOID(OIDExtSmtpUTF8Mailbox)
+	b.AddExplicit(0, func(b *asn1der.Builder) {
+		b.AddStringRaw(asn1der.TagUTF8String, []byte(addr))
+	})
+	content, err := b.Bytes()
+	if err != nil {
+		// OID and tag are constants; this cannot fail.
+		panic(err)
+	}
+	return GeneralName{Kind: GNOtherName, Bytes: wrapOtherName(content)}
+}
+
+// wrapOtherName frames otherName content under the [0] IMPLICIT
+// constructed tag GeneralName assigns it.
+func wrapOtherName(content []byte) []byte {
+	var b asn1der.Builder
+	b.AddConstructed(asn1der.Tag{Class: asn1der.ClassContextSpecific, Number: 0}, func(b *asn1der.Builder) {
+		b.AddRaw(content)
+	})
+	out, err := b.Bytes()
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// ParseOtherName decodes an otherName GeneralName captured in Raw form.
+func ParseOtherName(gn GeneralName) (*OtherName, error) {
+	if gn.Kind != GNOtherName {
+		return nil, errors.New("x509cert: not an otherName")
+	}
+	v, err := asn1der.NewDecoder(asn1der.LenientBER).Parse(gn.Bytes)
+	if err != nil {
+		return nil, err
+	}
+	if len(v.Children) < 2 {
+		return nil, errors.New("x509cert: malformed otherName")
+	}
+	oid, err := v.Children[0].OID()
+	if err != nil {
+		return nil, err
+	}
+	wrapper := v.Children[1]
+	if wrapper.Tag.Class != asn1der.ClassContextSpecific || wrapper.Tag.Number != 0 || len(wrapper.Children) != 1 {
+		return nil, errors.New("x509cert: malformed otherName value wrapper")
+	}
+	return &OtherName{TypeID: oid, Value: wrapper.Children[0].Raw}, nil
+}
+
+// SmtpUTF8Mailboxes extracts the decoded RFC 9598 mailbox values from
+// the SAN.
+func (c *Certificate) SmtpUTF8Mailboxes() []string {
+	var out []string
+	for _, gn := range c.SAN {
+		if gn.Kind != GNOtherName {
+			continue
+		}
+		on, err := ParseOtherName(gn)
+		if err != nil || !on.TypeID.Equal(OIDExtSmtpUTF8Mailbox) {
+			continue
+		}
+		inner, err := asn1der.Parse(on.Value)
+		if err != nil || inner.Tag.Number != asn1der.TagUTF8String {
+			continue
+		}
+		out = append(out, string(inner.Bytes))
+	}
+	return out
+}

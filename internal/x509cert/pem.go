@@ -1,0 +1,63 @@
+package x509cert
+
+import (
+	"encoding/pem"
+	"errors"
+	"fmt"
+)
+
+// EncodePEM wraps a DER certificate in a CERTIFICATE PEM block.
+func EncodePEM(der []byte) []byte {
+	return pem.EncodeToMemory(&pem.Block{Type: "CERTIFICATE", Bytes: der})
+}
+
+// DecodePEM extracts every CERTIFICATE block from PEM data.
+func DecodePEM(data []byte) ([][]byte, error) {
+	var out [][]byte
+	for {
+		var block *pem.Block
+		block, data = pem.Decode(data)
+		if block == nil {
+			break
+		}
+		if block.Type == "CERTIFICATE" {
+			out = append(out, block.Bytes)
+		}
+	}
+	if len(out) == 0 {
+		return nil, errors.New("x509cert: no CERTIFICATE blocks found")
+	}
+	return out, nil
+}
+
+// ParsePEM parses the first certificate in PEM data.
+func ParsePEM(data []byte) (*Certificate, error) {
+	ders, err := DecodePEM(data)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(ders[0])
+}
+
+// Chain verifies child→…→root signatures. certs[0] is the leaf and
+// each certs[i] must be signed by certs[i+1]; the final certificate
+// must be self-signed. This implements the AIA chain-reconstruction
+// verification step of §5.1.
+func Chain(certs []*Certificate) error {
+	if len(certs) == 0 {
+		return errors.New("x509cert: empty chain")
+	}
+	for i := 0; i < len(certs)-1; i++ {
+		if !VerifySignature(certs[i+1], certs[i]) {
+			return fmt.Errorf("x509cert: certificate %d not signed by certificate %d", i, i+1)
+		}
+		if !certs[i+1].IsCA {
+			return fmt.Errorf("x509cert: certificate %d is not a CA", i+1)
+		}
+	}
+	root := certs[len(certs)-1]
+	if !VerifySignature(root, root) {
+		return errors.New("x509cert: root is not self-signed")
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package x509cert
+
+import (
+	"fmt"
+	"math/big"
+	"strings"
+	"time"
+
+	"repro/internal/asn1der"
+	"repro/internal/strenc"
+)
+
+// AttributeValue is a DN attribute value exactly as encoded: its ASN.1
+// string tag and content octets. The certificate generator writes
+// arbitrary tag/byte combinations here; the lints and parser models
+// interpret them.
+type AttributeValue struct {
+	Tag   int // universal string tag number
+	Bytes []byte
+}
+
+// StringType returns the strenc view of the value's tag.
+func (v AttributeValue) StringType() strenc.StringType { return strenc.StringType(v.Tag) }
+
+// Decode interprets the value with the standard method for its declared
+// tag under the given handling mode.
+func (v AttributeValue) Decode(h strenc.Handling) (string, error) {
+	return strenc.Decode(v.StringType().StandardMethod(), h, v.Bytes)
+}
+
+// MustDecode decodes with Replace handling, which never fails.
+func (v AttributeValue) MustDecode() string {
+	s, _ := v.Decode(strenc.Replace)
+	return s
+}
+
+// ATV is one AttributeTypeAndValue.
+type ATV struct {
+	Type  asn1der.OID
+	Value AttributeValue
+}
+
+// RDN is a RelativeDistinguishedName: a SET of one or more ATVs.
+type RDN []ATV
+
+// DN is an RDNSequence.
+type DN []RDN
+
+// Attributes flattens the DN into its ATVs in encoding order.
+func (d DN) Attributes() []ATV {
+	var out []ATV
+	for _, rdn := range d {
+		out = append(out, rdn...)
+	}
+	return out
+}
+
+// Values returns every decoded value of attribute type oid, in order.
+// Duplicated attributes — one of the paper's T3 "invalid structure"
+// findings — yield multiple entries.
+func (d DN) Values(oid asn1der.OID) []string {
+	var out []string
+	for _, atv := range d.Attributes() {
+		if atv.Type.Equal(oid) {
+			out = append(out, atv.Value.MustDecode())
+		}
+	}
+	return out
+}
+
+// First returns the first value of the attribute type, or "".
+func (d DN) First(oid asn1der.OID) string {
+	for _, atv := range d.Attributes() {
+		if atv.Type.Equal(oid) {
+			return atv.Value.MustDecode()
+		}
+	}
+	return ""
+}
+
+// Last returns the last value of the attribute type, or "". (PyOpenSSL
+// takes the first duplicated CN; Go's crypto takes the last — §4.3.1.)
+func (d DN) Last(oid asn1der.OID) string {
+	out := d.Values(oid)
+	if len(out) == 0 {
+		return ""
+	}
+	return out[len(out)-1]
+}
+
+// CommonName returns the first Subject CN.
+func (d DN) CommonName() string { return d.First(OIDCommonName) }
+
+// String renders the DN in RFC 4514 form with compliant escaping.
+func (d DN) String() string {
+	parts := make([]string, 0, len(d))
+	// RFC 4514 renders RDNs in reverse order; we keep encoding order for
+	// readability, as OpenSSL's oneline format does.
+	for _, rdn := range d {
+		sub := make([]string, 0, len(rdn))
+		for _, atv := range rdn {
+			sub = append(sub, AttrName(atv.Type)+"="+strenc.EscapeValue(strenc.RFC4514, atv.Value.MustDecode()))
+		}
+		parts = append(parts, strings.Join(sub, "+"))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Empty reports whether the DN has no attributes.
+func (d DN) Empty() bool { return len(d.Attributes()) == 0 }
+
+// GNKind is a GeneralName CHOICE arm (RFC 5280 §4.2.1.6 tag numbers).
+type GNKind int
+
+// GeneralName kinds.
+const (
+	GNOtherName     GNKind = 0
+	GNRFC822Name    GNKind = 1
+	GNDNSName       GNKind = 2
+	GNX400Address   GNKind = 3
+	GNDirectoryName GNKind = 4
+	GNEDIPartyName  GNKind = 5
+	GNURI           GNKind = 6
+	GNIPAddress     GNKind = 7
+	GNRegisteredID  GNKind = 8
+)
+
+func (k GNKind) String() string {
+	switch k {
+	case GNOtherName:
+		return "OtherName"
+	case GNRFC822Name:
+		return "RFC822Name"
+	case GNDNSName:
+		return "DNSName"
+	case GNDirectoryName:
+		return "DirectoryName"
+	case GNEDIPartyName:
+		return "EDIPartyName"
+	case GNURI:
+		return "URI"
+	case GNIPAddress:
+		return "IPAddress"
+	case GNRegisteredID:
+		return "RegisteredID"
+	default:
+		return fmt.Sprintf("GeneralName(%d)", int(k))
+	}
+}
+
+// GeneralName is one GeneralName value. For the IA5String-carried kinds
+// (RFC822Name, DNSName, URI) Bytes holds the content octets exactly as
+// encoded; Directory is set for DirectoryName.
+type GeneralName struct {
+	Kind      GNKind
+	Bytes     []byte
+	Directory DN
+}
+
+// Text decodes the IA5String payload with the given handling.
+func (g GeneralName) Text(h strenc.Handling) (string, error) {
+	return strenc.Decode(strenc.ASCII, h, g.Bytes)
+}
+
+// MustText decodes with Replace handling.
+func (g GeneralName) MustText() string {
+	s, _ := g.Text(strenc.Replace)
+	return s
+}
+
+// AccessDescription is one AIA/SIA entry.
+type AccessDescription struct {
+	Method   asn1der.OID
+	Location GeneralName
+}
+
+// DisplayText is the CHOICE used by CertificatePolicies userNotice
+// explicitText; Tag records which string type the issuer chose, which
+// is what the paper's most-triggered lint checks.
+type DisplayText struct {
+	Tag   int
+	Bytes []byte
+}
+
+// Decode interprets the display text with its declared encoding.
+func (dt DisplayText) Decode() string {
+	s, _ := strenc.Decode(strenc.StringType(dt.Tag).StandardMethod(), strenc.Replace, dt.Bytes)
+	return s
+}
+
+// PolicyInformation is one CertificatePolicies entry.
+type PolicyInformation struct {
+	Policy       asn1der.OID
+	CPSURIs      []string
+	ExplicitText []DisplayText
+}
+
+// Extension is a raw certificate extension.
+type Extension struct {
+	OID      asn1der.OID
+	Critical bool
+	Value    []byte
+}
+
+// Certificate is a parsed (or built) X.509 v3 certificate.
+type Certificate struct {
+	Raw    []byte
+	RawTBS []byte
+
+	Version            int
+	SerialNumber       *big.Int
+	SignatureAlgorithm asn1der.OID
+	Issuer             DN
+	Subject            DN
+	NotBefore          time.Time
+	NotAfter           time.Time
+
+	RawSPKI        []byte
+	PublicKeyAlgo  asn1der.OID
+	PublicKeyCurve asn1der.OID
+	PublicKeyBytes []byte // uncompressed EC point
+
+	Extensions []Extension
+
+	// Parsed extension conveniences.
+	SAN                   []GeneralName
+	IAN                   []GeneralName
+	CRLDistributionPoints []GeneralName
+	AIA                   []AccessDescription
+	SIA                   []AccessDescription
+	Policies              []PolicyInformation
+	IsCA                  bool
+	HasBasicConstraints   bool
+	HasCTPoison           bool
+
+	SignatureValue []byte
+
+	// ParseWarnings records recoverable structural oddities the lenient
+	// parser tolerated (e.g. BER lengths); strict parsing never sets it.
+	ParseWarnings []string
+}
+
+// DNSNames returns the decoded SAN DNSName values.
+func (c *Certificate) DNSNames() []string {
+	var out []string
+	for _, gn := range c.SAN {
+		if gn.Kind == GNDNSName {
+			out = append(out, gn.MustText())
+		}
+	}
+	return out
+}
+
+// EmailAddresses returns the decoded SAN RFC822Name values.
+func (c *Certificate) EmailAddresses() []string {
+	var out []string
+	for _, gn := range c.SAN {
+		if gn.Kind == GNRFC822Name {
+			out = append(out, gn.MustText())
+		}
+	}
+	return out
+}
+
+// URIs returns the decoded SAN URI values.
+func (c *Certificate) URIs() []string {
+	var out []string
+	for _, gn := range c.SAN {
+		if gn.Kind == GNURI {
+			out = append(out, gn.MustText())
+		}
+	}
+	return out
+}
+
+// Extension returns the raw extension with the given OID, if present.
+func (c *Certificate) Extension(oid asn1der.OID) (Extension, bool) {
+	for _, e := range c.Extensions {
+		if e.OID.Equal(oid) {
+			return e, true
+		}
+	}
+	return Extension{}, false
+}
+
+// ValidityDays returns the certificate lifetime in whole days.
+func (c *Certificate) ValidityDays() int {
+	return int(c.NotAfter.Sub(c.NotBefore).Hours() / 24)
+}
+
+// IsPrecertificate reports whether the CT poison extension is present.
+func (c *Certificate) IsPrecertificate() bool { return c.HasCTPoison }
