@@ -1,0 +1,20 @@
+GO ?= go
+
+# Packages with concurrency-sensitive crawl/retry code; these run
+# under the race detector in `make check`.
+RACE_PKGS := ./internal/ctlog/... ./internal/monitor/... ./internal/faultinject/...
+
+.PHONY: build vet test race check
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS)
+
+check: build vet test race

@@ -4,21 +4,32 @@
 // all five monitor models through the HTTP API, and answers queries —
 // showing which monitors surface the forgery for its victim domain.
 //
+// The crawl path is the fault-tolerant one: with -fault-rate > 0 a
+// seeded injector degrades the HTTP transport (5xx, drops, latency,
+// truncated and corrupted bodies, stale STHs) and the sync must still
+// index every parseable certificate, surfacing its retry/skip
+// accounting in the report.
+//
 // Usage:
 //
-//	ctmonitor [-entries 200] [-query victim.example]
+//	ctmonitor [-entries 200] [-query victim.example] [-batch 64]
+//	          [-fault-rate 0.25] [-fault-seed 42]
+//	          [-max-retries 4] [-timeout 10s]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/big"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/ctlog"
+	"repro/internal/faultinject"
 	"repro/internal/monitor"
 	"repro/internal/report"
 	"repro/internal/x509cert"
@@ -27,6 +38,11 @@ import (
 func main() {
 	entries := flag.Int("entries", 200, "corpus certificates to log")
 	query := flag.String("query", "victim.example", "owner query to replay against every monitor")
+	batch := flag.Int("batch", 64, "get-entries batch size")
+	faultRate := flag.Float64("fault-rate", 0, "probability of injecting a fault per HTTP request (0 disables)")
+	faultSeed := flag.Int64("fault-seed", 42, "seed for the deterministic fault injector")
+	maxRetries := flag.Int("max-retries", ctlog.DefaultMaxRetries, "HTTP retry attempts for retryable failures")
+	timeout := flag.Duration("timeout", ctlog.DefaultTimeout, "per-request HTTP timeout")
 	flag.Parse()
 
 	// 1. Stand up the log.
@@ -59,17 +75,39 @@ func main() {
 	}
 	fmt.Printf("logged %d entries (tree head %x…)\n\n", sth.Size, sth.Root[:8])
 
-	// 3. Every monitor syncs through the HTTP API and answers the
-	// owner's query.
-	client := &ctlog.Client{Base: srv.URL}
+	// 3. Every monitor syncs through the HTTP API — optionally through
+	// the fault injector — and answers the owner's query.
+	var transport http.RoundTripper
+	var injector *faultinject.Transport
+	if *faultRate > 0 {
+		injector = faultinject.New(faultinject.Config{
+			Seed: *faultSeed,
+			Rate: *faultRate,
+		}, nil)
+		transport = injector
+		fmt.Printf("fault injector armed: rate %.0f%%, seed %d\n\n", *faultRate*100, *faultSeed)
+	}
+	// The client treats 0 as "use the default", so translate the
+	// flag's literal 0 into its explicit "no retries" value.
+	retries := *maxRetries
+	if retries == 0 {
+		retries = -1
+	}
+	client := &ctlog.Client{
+		Base:       srv.URL,
+		HTTP:       &http.Client{Transport: transport},
+		MaxRetries: retries,
+		Timeout:    *timeout,
+	}
+	ctx := context.Background()
 	var rows [][]string
 	for _, caps := range monitor.Monitors() {
 		if caps.Discontinued {
-			rows = append(rows, []string{caps.Name, "-", "-", "service discontinued"})
+			rows = append(rows, []string{caps.Name, "-", "-", "-", "-", "service discontinued"})
 			continue
 		}
 		m := monitor.New(caps)
-		stats, err := m.SyncFromLog(client, 64)
+		stats, err := m.SyncFromLog(ctx, client, monitor.SyncOptions{Batch: *batch})
 		if err != nil {
 			fatal("%s: %v", caps.Name, err)
 		}
@@ -84,10 +122,24 @@ func main() {
 			caps.Name,
 			fmt.Sprintf("%d", stats.Indexed),
 			fmt.Sprintf("%d", stats.ParseErrors),
+			fmt.Sprintf("%d", stats.Retries),
+			fmt.Sprintf("%d", stats.SkippedEntries),
 			verdict,
 		})
 	}
-	fmt.Println(report.Table([]string{"Monitor", "Indexed", "Parse errors", fmt.Sprintf("Query %q", *query)}, rows))
+	fmt.Println(report.Table(
+		[]string{"Monitor", "Indexed", "Parse errors", "Retries", "Skipped", fmt.Sprintf("Query %q", *query)},
+		rows))
+	if injector != nil {
+		st := injector.Stats()
+		fmt.Printf("\ninjector: %d requests, %d faults", st.Requests, st.Total())
+		for _, k := range faultinject.AllKinds() {
+			if n := st.Faults[k]; n > 0 {
+				fmt.Printf(", %s×%d", k, n)
+			}
+		}
+		fmt.Println()
+	}
 }
 
 // buildForgery crafts the §6.1 NUL-bearing certificate targeting the

@@ -1,0 +1,275 @@
+package ctlog
+
+// A fault-tolerant RFC 6962 HTTP client for the Server, used by the
+// monitor sync pipeline. Real monitors crawl logs over unreliable
+// networks, so every request carries a context and timeout, response
+// bodies are size-bounded, and retryable failures (5xx, transport
+// errors, truncated bodies) are retried with capped exponential
+// backoff and seeded jitter. Non-retryable failures — 4xx statuses,
+// malformed JSON, bad base64, wrong content types — surface
+// immediately so the caller can isolate the poisoned range instead of
+// hammering the log.
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"mime"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Client defaults; zero-valued fields fall back to these.
+const (
+	DefaultMaxRetries   = 4
+	DefaultTimeout      = 10 * time.Second
+	DefaultMaxBodyBytes = 10 << 20
+	defaultBaseBackoff  = 50 * time.Millisecond
+	defaultMaxBackoff   = 2 * time.Second
+)
+
+// Client fetches from a CT log front end with retries and bounds.
+// The zero value plus Base is usable; it adopts the defaults above.
+// Safe for concurrent use.
+type Client struct {
+	Base string
+	HTTP *http.Client
+
+	// MaxRetries is the number of re-attempts after the first try for
+	// retryable failures (negative disables retries).
+	MaxRetries int
+	// Timeout bounds each individual HTTP attempt.
+	Timeout time.Duration
+	// MaxBodyBytes bounds how much of any response body is read.
+	MaxBodyBytes int64
+	// BaseBackoff/MaxBackoff shape the capped exponential backoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterSeed fixes the backoff jitter sequence for reproducible
+	// tests; 0 means seed 1.
+	JitterSeed int64
+	// Sleep overrides the backoff sleep (tests inject a no-op to keep
+	// chaos runs fast). The default honors context cancellation.
+	Sleep func(context.Context, time.Duration) error
+
+	retries atomic.Int64
+
+	rngMu   sync.Mutex
+	rng     *rand.Rand
+	rngOnce sync.Once
+}
+
+// Retries returns the cumulative number of retry attempts the client
+// has performed; callers snapshot it around a crawl to attribute
+// retries to that crawl.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// RequestError describes an HTTP-level failure and whether retrying
+// could help.
+type RequestError struct {
+	Path      string
+	Status    int // 0 when the failure happened below HTTP
+	Err       error
+	Retryable bool
+}
+
+func (e *RequestError) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("ctlog: %s returned %d: %v", e.Path, e.Status, e.Err)
+	}
+	return fmt.Sprintf("ctlog: %s: %v", e.Path, e.Err)
+}
+
+func (e *RequestError) Unwrap() error { return e.Err }
+
+// IsRetryable reports whether err is a request failure that a retry
+// might cure (5xx, transport errors, truncation) as opposed to one
+// that is deterministic (4xx, malformed payloads).
+func IsRetryable(err error) bool {
+	var re *RequestError
+	if errors.As(err, &re) {
+		return re.Retryable
+	}
+	return false
+}
+
+// GetSTH fetches the current tree head.
+func (c *Client) GetSTH(ctx context.Context) (size int, root Hash, err error) {
+	var resp sthResponse
+	if err = c.getJSON(ctx, "/ct/v1/get-sth", &resp); err != nil {
+		return 0, Hash{}, err
+	}
+	raw, err := base64.StdEncoding.DecodeString(resp.SHA256RootHash)
+	if err != nil || len(raw) != 32 {
+		return 0, Hash{}, &RequestError{Path: "/ct/v1/get-sth", Err: fmt.Errorf("bad root hash")}
+	}
+	copy(root[:], raw)
+	return resp.TreeSize, root, nil
+}
+
+// GetEntries fetches entries [start, end] inclusive. The server may
+// clamp the range to its batch cap, so fewer entries than requested
+// can come back; callers must advance by what they received.
+func (c *Client) GetEntries(ctx context.Context, start, end int) ([]Entry, error) {
+	path := fmt.Sprintf("/ct/v1/get-entries?start=%d&end=%d", start, end)
+	var resp entriesResponse
+	if err := c.getJSON(ctx, path, &resp); err != nil {
+		return nil, err
+	}
+	out := make([]Entry, 0, len(resp.Entries))
+	for _, e := range resp.Entries {
+		der, err := base64.StdEncoding.DecodeString(e.LeafInput)
+		if err != nil {
+			return nil, &RequestError{Path: path, Err: fmt.Errorf("entry %d: bad leaf base64: %v", e.Index, err)}
+		}
+		out = append(out, Entry{Index: e.Index, DER: der, Precert: e.Precert})
+	}
+	return out, nil
+}
+
+func (c *Client) maxRetries() int {
+	switch {
+	case c.MaxRetries > 0:
+		return c.MaxRetries
+	case c.MaxRetries < 0:
+		return 0
+	}
+	return DefaultMaxRetries
+}
+
+func (c *Client) timeout() time.Duration {
+	if c.Timeout > 0 {
+		return c.Timeout
+	}
+	return DefaultTimeout
+}
+
+func (c *Client) maxBody() int64 {
+	if c.MaxBodyBytes > 0 {
+		return c.MaxBodyBytes
+	}
+	return DefaultMaxBodyBytes
+}
+
+// backoff returns the capped exponential delay for attempt (0-based)
+// with ±50% deterministic jitter.
+func (c *Client) backoff(attempt int) time.Duration {
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = defaultBaseBackoff
+	}
+	maxd := c.MaxBackoff
+	if maxd <= 0 {
+		maxd = defaultMaxBackoff
+	}
+	d := base << uint(attempt)
+	if d > maxd || d <= 0 {
+		d = maxd
+	}
+	c.rngOnce.Do(func() {
+		seed := c.JitterSeed
+		if seed == 0 {
+			seed = 1
+		}
+		c.rng = rand.New(rand.NewSource(seed))
+	})
+	c.rngMu.Lock()
+	jitter := c.rng.Float64()
+	c.rngMu.Unlock()
+	return d/2 + time.Duration(jitter*float64(d/2))
+}
+
+func (c *Client) sleep(ctx context.Context, d time.Duration) error {
+	if c.Sleep != nil {
+		return c.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// getJSON performs one logical request with the retry policy.
+func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+	for attempt := 0; ; attempt++ {
+		err := c.doOnce(ctx, path, v)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return err
+		}
+		if !IsRetryable(err) || attempt >= c.maxRetries() {
+			return err
+		}
+		c.retries.Add(1)
+		if serr := c.sleep(ctx, c.backoff(attempt)); serr != nil {
+			return serr
+		}
+	}
+}
+
+// doOnce performs a single HTTP attempt and classifies any failure.
+func (c *Client) doOnce(ctx context.Context, path string, v any) error {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	rctx, cancel := context.WithTimeout(ctx, c.timeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, c.Base+path, nil)
+	if err != nil {
+		return &RequestError{Path: path, Err: err}
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		// Transport-level failures (resets, drops, timeouts) are
+		// retryable unless the caller's context is gone.
+		return &RequestError{Path: path, Err: err, Retryable: ctx.Err() == nil}
+	}
+	defer func() {
+		// Drain so the keep-alive connection is reusable, then close.
+		io.Copy(io.Discard, io.LimitReader(resp.Body, c.maxBody()))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return &RequestError{
+			Path:      path,
+			Status:    resp.StatusCode,
+			Err:       fmt.Errorf("%s", resp.Status),
+			Retryable: resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests,
+		}
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		mt, _, err := mime.ParseMediaType(ct)
+		if err != nil || !strings.Contains(mt, "json") {
+			return &RequestError{Path: path, Status: resp.StatusCode, Err: fmt.Errorf("unexpected content type %q", ct)}
+		}
+	}
+	limit := c.maxBody()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	if err != nil {
+		// A short read is indistinguishable from a torn connection.
+		return &RequestError{Path: path, Err: fmt.Errorf("reading body: %w", err), Retryable: ctx.Err() == nil}
+	}
+	if int64(len(body)) > limit {
+		return &RequestError{Path: path, Err: fmt.Errorf("response body exceeds %d byte limit", limit)}
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		// Malformed JSON is deterministic for a given response; the
+		// monitor's bisection layer decides whether to refetch.
+		return &RequestError{Path: path, Err: fmt.Errorf("decoding body: %w", err)}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package ctlog
+
+import (
+	"context"
+	"encoding/base64"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastClient returns a client whose backoff sleeps are no-ops so
+// retry tests stay instant.
+func fastClient(base string) *Client {
+	return &Client{
+		Base:  base,
+		Sleep: func(context.Context, time.Duration) error { return nil },
+	}
+}
+
+func TestClientRetriesServerErrors(t *testing.T) {
+	var calls atomic.Int64
+	log, err := NewLog(21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Add(buildTestCert(t, false)); err != nil {
+		t.Fatal(err)
+	}
+	inner := (&Server{Log: log}).Handler()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Fail the first two attempts, then serve normally.
+		if calls.Add(1) <= 2 {
+			http.Error(w, "try later", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	cl := fastClient(srv.URL)
+	size, _, err := cl.GetSTH(context.Background())
+	if err != nil {
+		t.Fatalf("GetSTH should survive two 503s: %v", err)
+	}
+	if size != 1 {
+		t.Fatalf("size %d", size)
+	}
+	if got := cl.Retries(); got != 2 {
+		t.Fatalf("retries counter %d, want 2", got)
+	}
+}
+
+func TestClientDoesNotRetry4xx(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "no such range", http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	cl := fastClient(srv.URL)
+	_, err := cl.GetEntries(context.Background(), 0, 10)
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if IsRetryable(err) {
+		t.Fatalf("4xx must be non-retryable: %v", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("4xx retried: %d calls", n)
+	}
+}
+
+func TestClientRetryExhaustion(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	cl := fastClient(srv.URL)
+	cl.MaxRetries = 3
+	_, _, err := cl.GetSTH(context.Background())
+	if err == nil {
+		t.Fatal("want error after exhausting retries")
+	}
+	if !IsRetryable(err) {
+		t.Fatalf("5xx should classify retryable: %v", err)
+	}
+	if n := calls.Load(); n != 4 { // 1 try + 3 retries
+		t.Fatalf("%d calls, want 4", n)
+	}
+}
+
+func TestClientRejectsMalformedJSON(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"tree_size": 5,`)
+	}))
+	defer srv.Close()
+	cl := fastClient(srv.URL)
+	_, _, err := cl.GetSTH(context.Background())
+	if err == nil {
+		t.Fatal("want decode error")
+	}
+	if IsRetryable(err) {
+		t.Fatalf("malformed JSON must fail immediately: %v", err)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("malformed JSON retried: %d calls", n)
+	}
+}
+
+func TestClientRejectsWrongContentType(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html")
+		fmt.Fprint(w, `{"tree_size": 5}`)
+	}))
+	defer srv.Close()
+	cl := fastClient(srv.URL)
+	if _, _, err := cl.GetSTH(context.Background()); err == nil || !strings.Contains(err.Error(), "content type") {
+		t.Fatalf("want content-type error, got %v", err)
+	}
+}
+
+func TestClientBoundsResponseBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintf(w, `{"entries":[{"index":0,"leaf_input":%q}]}`,
+			base64.StdEncoding.EncodeToString(make([]byte, 4096)))
+	}))
+	defer srv.Close()
+	cl := fastClient(srv.URL)
+	cl.MaxBodyBytes = 512
+	_, err := cl.GetEntries(context.Background(), 0, 0)
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("want body-limit error, got %v", err)
+	}
+	if IsRetryable(err) {
+		t.Fatal("oversized body is not retryable")
+	}
+}
+
+func TestClientRejectsBadLeafBase64(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"entries":[{"index":3,"leaf_input":"!!not-base64!!"}]}`)
+	}))
+	defer srv.Close()
+	cl := fastClient(srv.URL)
+	_, err := cl.GetEntries(context.Background(), 3, 3)
+	if err == nil || IsRetryable(err) {
+		t.Fatalf("bad base64 must be a non-retryable error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "entry 3") {
+		t.Fatalf("error should name the poisoned entry: %v", err)
+	}
+}
+
+func TestClientHonorsContextCancel(t *testing.T) {
+	block := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-block
+	}))
+	defer srv.Close()
+	defer close(block)
+	cl := fastClient(srv.URL)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, _, err := cl.GetSTH(ctx); err == nil {
+		t.Fatal("want cancellation error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
+	}
+}
+
+func TestClientPerRequestTimeout(t *testing.T) {
+	block := make(chan struct{})
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// First attempt hangs past the per-request timeout.
+			select {
+			case <-block:
+			case <-r.Context().Done():
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"tree_size":0,"sha256_root_hash":"`+
+			base64.StdEncoding.EncodeToString(make([]byte, 32))+`"}`)
+	}))
+	defer srv.Close()
+	defer close(block)
+	cl := fastClient(srv.URL)
+	cl.Timeout = 50 * time.Millisecond
+	size, _, err := cl.GetSTH(context.Background())
+	if err != nil {
+		t.Fatalf("timeout should trigger a retry that succeeds: %v", err)
+	}
+	if size != 0 || calls.Load() != 2 {
+		t.Fatalf("size %d calls %d", size, calls.Load())
+	}
+}

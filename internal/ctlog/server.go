@@ -13,9 +13,25 @@ import (
 	"strconv"
 )
 
+// DefaultMaxGetEntries is the get-entries batch cap applied when
+// Server.MaxGetEntries is zero. Real RFC 6962 logs cap responses
+// (commonly 256–1024 entries) and clients must tolerate short reads.
+const DefaultMaxGetEntries = 256
+
 // Server exposes a Log over HTTP.
 type Server struct {
 	Log *Log
+	// MaxGetEntries caps how many entries one get-entries response may
+	// carry; requests for larger ranges are clamped, not rejected.
+	// Zero means DefaultMaxGetEntries.
+	MaxGetEntries int
+}
+
+func (s *Server) maxGetEntries() int {
+	if s.MaxGetEntries > 0 {
+		return s.MaxGetEntries
+	}
+	return DefaultMaxGetEntries
 }
 
 // Handler returns the HTTP handler with the ct/v1 routes.
@@ -106,6 +122,13 @@ func (s *Server) getEntries(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "start and end required", http.StatusBadRequest)
 		return
 	}
+	if start < 0 || end < start {
+		http.Error(w, "need 0 <= start <= end", http.StatusBadRequest)
+		return
+	}
+	// Clamp to the batch cap, as real logs do, instead of serving
+	// unbounded ranges.
+	end = min(end, start+s.maxGetEntries()-1)
 	// RFC 6962 uses an inclusive end.
 	entries, err := s.Log.GetEntries(start, end+1)
 	if err != nil {
@@ -197,63 +220,3 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-// Client is a minimal RFC 6962 HTTP client for the Server, used by the
-// monitor sync pipeline.
-type Client struct {
-	Base string
-	HTTP *http.Client
-}
-
-// GetSTH fetches the current tree head.
-func (c *Client) GetSTH() (size int, root Hash, err error) {
-	var resp sthResponse
-	if err = c.getJSON("/ct/v1/get-sth", &resp); err != nil {
-		return 0, Hash{}, err
-	}
-	raw, err := base64.StdEncoding.DecodeString(resp.SHA256RootHash)
-	if err != nil || len(raw) != 32 {
-		return 0, Hash{}, fmt.Errorf("ctlog: bad root hash")
-	}
-	copy(root[:], raw)
-	return resp.TreeSize, root, nil
-}
-
-// GetEntries fetches entries [start, end] inclusive.
-func (c *Client) GetEntries(start, end int) ([]Entry, error) {
-	var resp entriesResponse
-	if err := c.getJSON(fmt.Sprintf("/ct/v1/get-entries?start=%d&end=%d", start, end), &resp); err != nil {
-		return nil, err
-	}
-	out := make([]Entry, 0, len(resp.Entries))
-	for _, e := range resp.Entries {
-		der, err := base64.StdEncoding.DecodeString(e.LeafInput)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, Entry{Index: e.Index, DER: der, Precert: e.Precert})
-	}
-	return out, nil
-}
-
-func (c *Client) getJSON(path string, v any) error {
-	httpc := c.HTTP
-	if httpc == nil {
-		httpc = http.DefaultClient
-	}
-	resp, err := httpc.Get(c.Base + path)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("ctlog: %s returned %s", path, resp.Status)
-	}
-	return json.NewDecoder(resp.Body).Decode(v)
-}

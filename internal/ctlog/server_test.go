@@ -2,6 +2,7 @@ package ctlog
 
 import (
 	"bytes"
+	"context"
 	"encoding/base64"
 	"encoding/json"
 	"net/http"
@@ -45,7 +46,7 @@ func TestAddChainAndGetSTH(t *testing.T) {
 		t.Fatal("empty SCT fields")
 	}
 	cl := &Client{Base: srv.URL}
-	size, root, err := cl.GetSTH()
+	size, root, err := cl.GetSTH(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestGetEntriesInclusiveRange(t *testing.T) {
 		t.Fatal(err)
 	}
 	cl := &Client{Base: srv.URL}
-	entries, err := cl.GetEntries(1, 3)
+	entries, err := cl.GetEntries(context.Background(), 1, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,12 +162,25 @@ func TestGetConsistencyOverHTTP(t *testing.T) {
 }
 
 func TestBadRequests(t *testing.T) {
-	_, srv := newTestServer(t)
+	log, srv := newTestServer(t)
+	if _, err := log.Add(buildTestCert(t, false)); err != nil {
+		t.Fatal(err)
+	}
 	for _, path := range []string{
 		"/ct/v1/get-entries?start=a&end=b",
+		"/ct/v1/get-entries?start=0",
+		"/ct/v1/get-entries?end=0",
+		"/ct/v1/get-entries",
+		"/ct/v1/get-entries?start=-1&end=0",
+		"/ct/v1/get-entries?start=3&end=1",
 		"/ct/v1/get-entries?start=0&end=99",
+		"/ct/v1/get-entries?start=5&end=9",
 		"/ct/v1/get-proof-by-hash?tree_size=1&hash=!!!",
+		"/ct/v1/get-proof-by-hash?tree_size=1",
+		"/ct/v1/get-proof-by-hash?tree_size=x&hash=AAAA",
 		"/ct/v1/get-sth-consistency?first=9&second=1",
+		"/ct/v1/get-sth-consistency?first=a&second=b",
+		"/ct/v1/get-sth-consistency?second=1",
 	} {
 		resp, err := http.Get(srv.URL + path)
 		if err != nil {
@@ -185,6 +199,59 @@ func TestBadRequests(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode == http.StatusOK {
 		t.Error("GET add-chain should fail")
+	}
+	resp, err = http.Post(srv.URL+"/ct/v1/add-chain", "application/json", bytes.NewReader([]byte("{not json")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Error("garbage add-chain should fail")
+	}
+	// A proof request for a hash absent from the tree is a 404.
+	resp, err = http.Get(srv.URL + "/ct/v1/get-proof-by-hash?tree_size=1&hash=" + queryEscapeB64(make([]byte, 32)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown hash: got %s, want 404", resp.Status)
+	}
+}
+
+// TestGetEntriesBatchCap verifies the server clamps get-entries
+// ranges to MaxGetEntries instead of serving unbounded responses.
+func TestGetEntriesBatchCap(t *testing.T) {
+	log, err := NewLog(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	der := buildTestCert(t, false)
+	for i := 0; i < 10; i++ {
+		if _, err := log.Add(der); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer((&Server{Log: log, MaxGetEntries: 3}).Handler())
+	t.Cleanup(srv.Close)
+	cl := &Client{Base: srv.URL}
+	entries, err := cl.GetEntries(context.Background(), 0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("cap 3 but got %d entries", len(entries))
+	}
+	if entries[0].Index != 0 || entries[2].Index != 2 {
+		t.Fatalf("clamped range should start at the requested start: %+v", entries)
+	}
+	// Within the cap the full inclusive range is served.
+	entries, err = cl.GetEntries(context.Background(), 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 || entries[0].Index != 4 {
+		t.Fatalf("in-cap range: %+v", entries)
 	}
 }
 

@@ -1,0 +1,382 @@
+// Package faultinject deterministically injects HTTP faults into the
+// CT crawl path so every degraded-network failure mode the sync
+// pipeline must survive — flaky logs, truncated responses, corrupt
+// encodings, stale tree heads — is reproducible in tests. Crawl gaps
+// and transport failures, not just Unicode tricks, are how
+// certificates go missing from monitor indexes (§6.1 threat model;
+// see also Scheitle et al. on CT monitor coverage), so the resilience
+// layer in internal/ctlog and internal/monitor is exercised against
+// this injector rather than against the network.
+//
+// The injector is seeded: the same Config produces the same fault
+// sequence for a given request order, which keeps chaos tests
+// debuggable. A per-endpoint consecutive-fault cap bounds how many
+// times in a row one URL can fail, so a client that retries at least
+// MaxConsecutive+1 times is guaranteed to make progress.
+package faultinject
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the injectable fault classes.
+type Kind int
+
+const (
+	// ServerError replaces the response with a 503, as overloaded logs do.
+	ServerError Kind = iota
+	// Drop fails the request at the transport layer (connection reset).
+	Drop
+	// Latency delays the request, then lets it through unchanged.
+	Latency
+	// Truncate cuts the response body off mid-stream.
+	Truncate
+	// CorruptJSON mangles response bytes so decoding fails.
+	CorruptJSON
+	// StaleSTH replays an earlier get-sth body, modeling a log frontend
+	// serving a lagging tree head.
+	StaleSTH
+)
+
+func (k Kind) String() string {
+	switch k {
+	case ServerError:
+		return "server-error"
+	case Drop:
+		return "drop"
+	case Latency:
+		return "latency"
+	case Truncate:
+		return "truncate"
+	case CorruptJSON:
+		return "corrupt-json"
+	case StaleSTH:
+		return "stale-sth"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// AllKinds returns every fault class, for configs that want the full mix.
+func AllKinds() []Kind {
+	return []Kind{ServerError, Drop, Latency, Truncate, CorruptJSON, StaleSTH}
+}
+
+// Config controls an injector.
+type Config struct {
+	// Seed fixes the fault sequence; equal seeds and request orders
+	// reproduce identical faults.
+	Seed int64
+	// Rate is the probability in [0,1] that a request draws a fault.
+	Rate float64
+	// Kinds restricts which faults may be drawn; nil means AllKinds.
+	Kinds []Kind
+	// Latency is the injected delay for Latency faults (default 2ms).
+	Latency time.Duration
+	// MaxConsecutive caps back-to-back faults per request key so
+	// retries always terminate (default 2; negative disables the cap).
+	MaxConsecutive int
+	// PoisonEntries lists log entry indices whose leaf_input is
+	// persistently corrupted in every get-entries response — unlike the
+	// transient faults above, retrying never heals these, forcing the
+	// monitor's bisection path.
+	PoisonEntries map[int]bool
+}
+
+// Stats counts what the injector did.
+type Stats struct {
+	Requests int64
+	Faults   map[Kind]int64
+	Poisoned int64
+}
+
+// Total returns the number of transient faults injected.
+func (s Stats) Total() int64 {
+	var n int64
+	for _, c := range s.Faults {
+		n += c
+	}
+	return n
+}
+
+// ErrDropped is the transport error returned for Drop faults.
+var ErrDropped = errors.New("faultinject: connection dropped")
+
+// Transport is an http.RoundTripper that injects faults in front of an
+// inner transport. Safe for concurrent use.
+type Transport struct {
+	cfg  Config
+	next http.RoundTripper
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	consecutive map[string]int
+	staleSTH    []byte
+	stats       Stats
+}
+
+// New builds a Transport applying cfg before next (nil next means
+// http.DefaultTransport).
+func New(cfg Config, next http.RoundTripper) *Transport {
+	if next == nil {
+		next = http.DefaultTransport
+	}
+	if cfg.Latency <= 0 {
+		cfg.Latency = 2 * time.Millisecond
+	}
+	if cfg.MaxConsecutive == 0 {
+		cfg.MaxConsecutive = 2
+	}
+	if cfg.Kinds == nil {
+		cfg.Kinds = AllKinds()
+	}
+	return &Transport{
+		cfg:         cfg,
+		next:        next,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		consecutive: make(map[string]int),
+	}
+}
+
+// Stats returns a snapshot of the injector's counters.
+func (t *Transport) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := Stats{Requests: t.stats.Requests, Poisoned: t.stats.Poisoned, Faults: make(map[Kind]int64, len(t.stats.Faults))}
+	for k, v := range t.stats.Faults {
+		out.Faults[k] = v
+	}
+	return out
+}
+
+// draw decides whether, and which, fault to inject for key. It holds
+// the lock only for the decision so slow downstream requests don't
+// serialize.
+func (t *Transport) draw(key string, isSTH bool) (Kind, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.stats.Requests++
+	capped := t.cfg.MaxConsecutive >= 0 && t.consecutive[key] >= t.cfg.MaxConsecutive
+	if capped || t.rng.Float64() >= t.cfg.Rate {
+		t.consecutive[key] = 0
+		return 0, false
+	}
+	kind := t.cfg.Kinds[t.rng.Intn(len(t.cfg.Kinds))]
+	// StaleSTH only makes sense on get-sth with a cached head; degrade
+	// to a plain 503 elsewhere so the configured rate still holds.
+	if kind == StaleSTH && (!isSTH || t.staleSTH == nil) {
+		kind = ServerError
+	}
+	// Latency and StaleSTH produce usable responses, so they don't
+	// consume the consecutive-failure budget.
+	if kind == Latency || kind == StaleSTH {
+		t.consecutive[key] = 0
+	} else {
+		t.consecutive[key]++
+	}
+	if t.stats.Faults == nil {
+		t.stats.Faults = make(map[Kind]int64)
+	}
+	t.stats.Faults[kind]++
+	return kind, true
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	isSTH := strings.HasSuffix(req.URL.Path, "/get-sth")
+	key := req.URL.Path + "?" + req.URL.RawQuery
+	kind, faulted := t.draw(key, isSTH)
+	if faulted {
+		switch kind {
+		case ServerError:
+			return syntheticResponse(req, http.StatusServiceUnavailable, []byte("injected overload\n"), "text/plain"), nil
+		case Drop:
+			return nil, ErrDropped
+		case StaleSTH:
+			t.mu.Lock()
+			body := t.staleSTH
+			t.mu.Unlock()
+			return syntheticResponse(req, http.StatusOK, body, "application/json"), nil
+		case Latency:
+			select {
+			case <-time.After(t.cfg.Latency):
+			case <-req.Context().Done():
+				return nil, req.Context().Err()
+			}
+		}
+	}
+	resp, err := t.next.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	// Body-level faults and persistent poisoning need the real bytes.
+	needsPoison := len(t.cfg.PoisonEntries) > 0 && strings.HasSuffix(req.URL.Path, "/get-entries")
+	needsBody := needsPoison || isSTH || (faulted && (kind == Truncate || kind == CorruptJSON))
+	if !needsBody || resp.StatusCode != http.StatusOK {
+		return resp, nil
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return nil, rerr
+	}
+	if isSTH {
+		t.mu.Lock()
+		if t.staleSTH == nil {
+			t.staleSTH = body
+		}
+		t.mu.Unlock()
+	}
+	if needsPoison {
+		body = t.poison(body)
+	}
+	if faulted {
+		switch kind {
+		case Truncate:
+			resp.Body = &truncatedBody{r: bytes.NewReader(body[:len(body)/2])}
+			resp.ContentLength = -1
+			resp.Header.Del("Content-Length")
+			return resp, nil
+		case CorruptJSON:
+			body = corrupt(body)
+		}
+	}
+	resp.Body = io.NopCloser(bytes.NewReader(body))
+	resp.ContentLength = int64(len(body))
+	return resp, nil
+}
+
+// poison rewrites the leaf_input of configured entry indices to
+// invalid base64. It decodes the generic get-entries shape so it does
+// not depend on the ctlog package.
+func (t *Transport) poison(body []byte) []byte {
+	var resp struct {
+		Entries []map[string]any `json:"entries"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return body
+	}
+	changed := false
+	for _, e := range resp.Entries {
+		idx, ok := e["index"].(float64)
+		if !ok || !t.cfg.PoisonEntries[int(idx)] {
+			continue
+		}
+		e["leaf_input"] = "!!not-base64!!"
+		changed = true
+		t.mu.Lock()
+		t.stats.Poisoned++
+		t.mu.Unlock()
+	}
+	if !changed {
+		return body
+	}
+	out, err := json.Marshal(map[string]any{"entries": resp.Entries})
+	if err != nil {
+		return body
+	}
+	return out
+}
+
+// corrupt deterministically mangles a JSON body so decoding fails.
+func corrupt(body []byte) []byte {
+	out := append([]byte(nil), body...)
+	if len(out) == 0 {
+		return []byte("\x00garbage")
+	}
+	// Smash the opening brace and a mid-body byte; either alone is
+	// enough to break json.Unmarshal.
+	out[0] = '\x00'
+	out[len(out)/2] = '\xff'
+	return out
+}
+
+// truncatedBody yields its prefix then fails like a torn connection.
+type truncatedBody struct{ r *bytes.Reader }
+
+func (b *truncatedBody) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	if err == io.EOF {
+		return n, io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncatedBody) Close() error { return nil }
+
+func syntheticResponse(req *http.Request, status int, body []byte, contentType string) *http.Response {
+	return &http.Response{
+		Status:        http.StatusText(status),
+		StatusCode:    status,
+		Proto:         "HTTP/1.1",
+		ProtoMajor:    1,
+		ProtoMinor:    1,
+		Header:        http.Header{"Content-Type": []string{contentType}},
+		Body:          io.NopCloser(bytes.NewReader(body)),
+		ContentLength: int64(len(body)),
+		Request:       req,
+	}
+}
+
+// Handler wraps an http.Handler with server-side injection of the
+// response-shaping faults (ServerError, Latency, Truncate,
+// CorruptJSON); transport-only kinds in the config are drawn but
+// served as 503s. Useful when the client under test cannot take a
+// custom RoundTripper.
+func (t *Transport) Handler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.Path + "?" + r.URL.RawQuery
+		kind, faulted := t.draw(key, false)
+		if !faulted {
+			next.ServeHTTP(w, r)
+			return
+		}
+		switch kind {
+		case Latency:
+			select {
+			case <-time.After(t.cfg.Latency):
+			case <-r.Context().Done():
+				return
+			}
+			next.ServeHTTP(w, r)
+		case Truncate, CorruptJSON:
+			rec := &recordingWriter{header: make(http.Header)}
+			next.ServeHTTP(rec, r)
+			body := rec.buf.Bytes()
+			if kind == Truncate {
+				body = body[:len(body)/2]
+			} else {
+				body = corrupt(body)
+			}
+			for k, v := range rec.header {
+				w.Header()[k] = v
+			}
+			w.Header().Del("Content-Length")
+			if rec.status != 0 {
+				w.WriteHeader(rec.status)
+			}
+			w.Write(body)
+		default: // ServerError, Drop, StaleSTH
+			http.Error(w, "injected overload", http.StatusServiceUnavailable)
+		}
+	})
+}
+
+// recordingWriter buffers a handler's response for mangling.
+type recordingWriter struct {
+	header http.Header
+	buf    bytes.Buffer
+	status int
+}
+
+func (w *recordingWriter) Header() http.Header         { return w.header }
+func (w *recordingWriter) Write(p []byte) (int, error) { return w.buf.Write(p) }
+func (w *recordingWriter) WriteHeader(status int)      { w.status = status }

@@ -1,0 +1,318 @@
+package monitor
+
+// Chaos tests: the crawl path is exercised against the deterministic
+// fault injector until the degraded-network conditions of the §6.1
+// threat model — flaky frontends, torn connections, corrupted
+// responses, poisoned entries, lagging tree heads — no longer cost
+// the monitor any parseable certificate.
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ctlog"
+	"repro/internal/faultinject"
+)
+
+// chaosLog builds a log with total entries: a rotating set of
+// distinct parseable leaves, with every precertGap-th entry flagged
+// as a precertificate. It returns the log and the number of precerts.
+func chaosLog(t *testing.T, seed int64, total, precertGap int) (*ctlog.Log, int) {
+	t.Helper()
+	log, err := ctlog.NewLog(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const distinct = 8
+	ders := make([][]byte, distinct)
+	for i := range ders {
+		ders[i] = cert(t, fmt.Sprintf("chaos-%d.example", i), fmt.Sprintf("chaos-%d.example", i)).Raw
+	}
+	precerts := 0
+	for i := 0; i < total; i++ {
+		pre := precertGap > 0 && i%precertGap == precertGap-1
+		if pre {
+			precerts++
+		}
+		if _, err := log.AddParsed(ders[i%distinct], pre); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return log, precerts
+}
+
+// countingHandler tracks get-entries hits around an inner handler.
+type countingHandler struct {
+	inner      http.Handler
+	getEntries atomic.Int64
+}
+
+func (h *countingHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasSuffix(r.URL.Path, "/get-entries") {
+		h.getEntries.Add(1)
+	}
+	h.inner.ServeHTTP(w, r)
+}
+
+func fastChaosClient(base string, transport http.RoundTripper) *ctlog.Client {
+	return &ctlog.Client{
+		Base:       base,
+		HTTP:       &http.Client{Transport: transport},
+		MaxRetries: 4,
+		Timeout:    5 * time.Second,
+		Sleep:      func(context.Context, time.Duration) error { return nil },
+	}
+}
+
+// TestChaosSyncIndexesEveryParseableCert is the acceptance scenario:
+// a ≥500-entry log crawled through a ≥20% fault rate (5xx, drops,
+// latency, truncation, corrupt JSON) plus persistently poisoned
+// entries must still complete one crawl that indexes every parseable
+// certificate, with SyncStats accounting exactly for the damage, and
+// a second crawl must resume from the checkpoint without refetching.
+func TestChaosSyncIndexesEveryParseableCert(t *testing.T) {
+	const total = 520
+	log, precerts := chaosLog(t, 41, total, 10)
+	poisoned := map[int]bool{37: true, 251: true, 404: true, 518: true}
+
+	counter := &countingHandler{inner: (&ctlog.Server{Log: log}).Handler()}
+	srv := httptest.NewServer(counter)
+	defer srv.Close()
+
+	injector := faultinject.New(faultinject.Config{
+		Seed: 99,
+		Rate: 0.25,
+		Kinds: []faultinject.Kind{
+			faultinject.ServerError,
+			faultinject.Drop,
+			faultinject.Latency,
+			faultinject.Truncate,
+			faultinject.CorruptJSON,
+		},
+		Latency:       time.Millisecond,
+		PoisonEntries: poisoned,
+	}, nil)
+	client := fastChaosClient(srv.URL, injector)
+	ctx := context.Background()
+
+	m := New(Monitors()[0]) // Crt.sh profile indexes everything parseable
+	stats, err := m.SyncFromLog(ctx, client, SyncOptions{Batch: 32})
+	if err != nil {
+		t.Fatalf("crawl did not survive the chaos: %v\nstats %+v\ninjector %+v", err, stats, injector.Stats())
+	}
+	ist := injector.Stats()
+	if ist.Total() == 0 || ist.Faults[faultinject.ServerError] == 0 || ist.Faults[faultinject.Drop] == 0 ||
+		ist.Faults[faultinject.CorruptJSON] == 0 || ist.Faults[faultinject.Truncate] == 0 {
+		t.Fatalf("chaos run was not chaotic enough: %+v", ist)
+	}
+
+	// The crawl completed: checkpoint at the head, nothing unexplained.
+	if m.Checkpoint() != total {
+		t.Fatalf("checkpoint %d, want %d", m.Checkpoint(), total)
+	}
+	if stats.SkippedEntries != len(poisoned) {
+		t.Fatalf("skipped %d entries, want exactly the %d poisoned ones; stats %+v", stats.SkippedEntries, len(poisoned), stats)
+	}
+	if stats.Fetched != total-len(poisoned) {
+		t.Fatalf("fetched %d, want %d; stats %+v", stats.Fetched, total-len(poisoned), stats)
+	}
+	if stats.Fetched != stats.Precerts+stats.ParseErrors+stats.Indexed {
+		t.Fatalf("stats do not balance: %+v", stats)
+	}
+	// All poisoned indices here are non-precert positions, so every
+	// parseable certificate is total - precerts - poisoned.
+	for idx := range poisoned {
+		if idx%10 == 9 {
+			t.Fatalf("test bug: poisoned index %d is a precert slot", idx)
+		}
+	}
+	wantIndexed := total - precerts - len(poisoned)
+	if stats.Indexed != wantIndexed || stats.ParseErrors != 0 || stats.Precerts != precerts {
+		t.Fatalf("indexed %d (parse errors %d, precerts %d), want %d/0/%d",
+			stats.Indexed, stats.ParseErrors, stats.Precerts, wantIndexed, precerts)
+	}
+	// Retry accounting is exact: every 5xx, drop, and truncation the
+	// client observed triggered exactly one retry (corrupt JSON is
+	// non-retryable; latency and poisoning cause none).
+	wantRetries := int(ist.Faults[faultinject.ServerError] + ist.Faults[faultinject.Drop] + ist.Faults[faultinject.Truncate])
+	if stats.Retries != wantRetries {
+		t.Fatalf("retries %d, want %d (injector %+v)", stats.Retries, wantRetries, ist)
+	}
+	// The indexed certificates are queryable.
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("chaos-%d.example", i)
+		if res := m.Query(name); len(res.IDs) == 0 {
+			t.Errorf("%s missing from the index after chaos crawl", name)
+		}
+	}
+
+	// Second crawl: resumes at the head, refetches nothing.
+	before := counter.getEntries.Load()
+	stats2, err := m.SyncFromLog(ctx, client, SyncOptions{Batch: 32})
+	if err != nil {
+		t.Fatalf("resumed crawl: %v", err)
+	}
+	if stats2.Fetched != 0 || stats2.ResumedFrom != total {
+		t.Fatalf("resumed crawl refetched: %+v", stats2)
+	}
+	if after := counter.getEntries.Load(); after != before {
+		t.Fatalf("resumed crawl issued %d get-entries requests", after-before)
+	}
+}
+
+// TestChaosResumeAfterHardOutage checks mid-crawl failure semantics:
+// when a region of the log hard-fails past retry exhaustion, the
+// crawl returns an error but keeps its completed progress, and the
+// next call resumes from the checkpoint.
+func TestChaosResumeAfterHardOutage(t *testing.T) {
+	const total = 60
+	log, _ := chaosLog(t, 43, total, 0)
+	inner := (&ctlog.Server{Log: log}).Handler()
+	var outage atomic.Bool
+	outage.Store(true)
+	counter := &countingHandler{}
+	counter.inner = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Entries from 40 on are unavailable during the outage.
+		if outage.Load() && strings.HasSuffix(r.URL.Path, "/get-entries") &&
+			strings.Contains(r.URL.RawQuery, "start=40") {
+			http.Error(w, "shard down", http.StatusServiceUnavailable)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(counter)
+	defer srv.Close()
+
+	client := fastChaosClient(srv.URL, nil)
+	client.MaxRetries = 2
+	ctx := context.Background()
+	m := New(Monitors()[0])
+
+	stats, err := m.SyncFromLog(ctx, client, SyncOptions{Batch: 20})
+	if err == nil {
+		t.Fatalf("crawl should fail while the shard is down; stats %+v", stats)
+	}
+	if !ctlog.IsRetryable(err) {
+		t.Fatalf("outage should surface as retryable: %v", err)
+	}
+	if m.Checkpoint() != 40 || stats.Fetched != 40 {
+		t.Fatalf("checkpoint %d fetched %d, want 40/40", m.Checkpoint(), stats.Fetched)
+	}
+
+	// Outage over: the next crawl fetches only the remainder.
+	outage.Store(false)
+	stats2, err := m.SyncFromLog(ctx, client, SyncOptions{Batch: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.ResumedFrom != 40 || stats2.Fetched != total-40 {
+		t.Fatalf("resume stats %+v", stats2)
+	}
+	if m.Checkpoint() != total {
+		t.Fatalf("checkpoint %d", m.Checkpoint())
+	}
+}
+
+// TestChaosStaleSTH drives the lagging-tree-head fault: crawls see an
+// old head, finish early without error, and later crawls catch up
+// without ever double-indexing.
+func TestChaosStaleSTH(t *testing.T) {
+	const phase1, total = 50, 100
+	log, _ := chaosLog(t, 47, phase1, 0)
+	srv := httptest.NewServer((&ctlog.Server{Log: log}).Handler())
+	defer srv.Close()
+
+	injector := faultinject.New(faultinject.Config{
+		Seed:  7,
+		Rate:  0.5,
+		Kinds: []faultinject.Kind{faultinject.StaleSTH},
+	}, nil)
+	client := fastChaosClient(srv.URL, injector)
+	ctx := context.Background()
+
+	// Prime the injector's stale cache at size 50, then grow the log.
+	if _, _, err := client.GetSTH(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c := cert(t, "late.example", "late.example")
+	for i := phase1; i < total; i++ {
+		if _, err := log.AddParsed(c.Raw, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := New(Monitors()[0])
+	indexed := 0
+	for round := 0; round < 20 && m.Checkpoint() < total; round++ {
+		stats, err := m.SyncFromLog(ctx, client, SyncOptions{Batch: 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		indexed += stats.Indexed
+	}
+	if m.Checkpoint() != total {
+		t.Fatalf("crawl never caught up past the stale head: checkpoint %d", m.Checkpoint())
+	}
+	if indexed != total {
+		t.Fatalf("indexed %d across rounds, want %d (stale heads must not double-index)", indexed, total)
+	}
+	if res := m.Query("late.example"); len(res.IDs) != total-phase1 {
+		t.Fatalf("late.example has %d ids, want %d", len(res.IDs), total-phase1)
+	}
+}
+
+// TestChaosConcurrentMonitors exercises the shared client and
+// injector from several crawls at once — the concurrency-sensitive
+// part of the retry path — and is meant to run under -race.
+func TestChaosConcurrentMonitors(t *testing.T) {
+	const total = 120
+	log, precerts := chaosLog(t, 53, total, 12)
+	srv := httptest.NewServer((&ctlog.Server{Log: log}).Handler())
+	defer srv.Close()
+
+	injector := faultinject.New(faultinject.Config{
+		Seed: 11,
+		Rate: 0.2,
+		Kinds: []faultinject.Kind{
+			faultinject.ServerError,
+			faultinject.Drop,
+			faultinject.Truncate,
+			faultinject.CorruptJSON,
+		},
+	}, nil)
+	client := fastChaosClient(srv.URL, injector)
+	ctx := context.Background()
+
+	profiles := Monitors()
+	monitors := []*Monitor{New(profiles[0]), New(profiles[1]), New(profiles[2]), New(profiles[4])}
+	var wg sync.WaitGroup
+	errs := make([]error, len(monitors))
+	for i, m := range monitors {
+		wg.Add(1)
+		go func(i int, m *Monitor) {
+			defer wg.Done()
+			_, errs[i] = m.SyncFromLog(ctx, client, SyncOptions{Batch: 16})
+		}(i, m)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("monitor %d: %v", i, err)
+		}
+	}
+	for i, m := range monitors {
+		if m.Checkpoint() != total {
+			t.Errorf("monitor %d checkpoint %d, want %d", i, m.Checkpoint(), total)
+		}
+		if m.count != total-precerts {
+			t.Errorf("monitor %d indexed %d certs, want %d", i, m.count, total-precerts)
+		}
+	}
+}

@@ -50,6 +50,9 @@ type Monitor struct {
 	Caps  Capabilities
 	index map[string][]int // normalized key → certificate ids
 	count int
+	// nextIndex is the crawl checkpoint: the next log entry index
+	// SyncFromLog will fetch (see sync.go).
+	nextIndex int
 }
 
 // New builds an empty monitor with the given capabilities.

@@ -3,15 +3,52 @@ package monitor
 // Log synchronization: monitors crawl a CT log through its RFC
 // 6962-style HTTP API and index what they can parse — the pipeline
 // whose gaps the §6.1 threat model exploits. Prior work found
-// third-party monitors miss certificates; the P1.4 behaviour modeled
-// here is one concrete mechanism.
+// third-party monitors miss certificates, and not only through
+// Unicode tricks: crawl aborts, transport failures, and poisoned
+// entries leave the same holes. The crawl here therefore degrades
+// gracefully instead of aborting — progress is checkpointed so a
+// later call resumes where the last one stopped, transient failures
+// are retried inside ctlog.Client, and a batch that fails
+// deterministically is bisected down to the single poisoned entry,
+// which is skipped and accounted for rather than sinking the crawl.
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/ctlog"
 	"repro/internal/x509cert"
 )
+
+// SyncOptions tunes one crawl.
+type SyncOptions struct {
+	// Batch is the entries-per-request window (default 64). The server
+	// may clamp it further; sync advances by what actually arrived.
+	Batch int
+	// STHRetries is how many times the initial get-sth is re-attempted
+	// at the crawl level when it fails non-retryably, e.g. with a
+	// corrupted body the HTTP-level retry policy will not refetch
+	// (default 3; negative disables).
+	STHRetries int
+}
+
+func (o SyncOptions) batch() int {
+	if o.Batch > 0 {
+		return o.Batch
+	}
+	return 64
+}
+
+func (o SyncOptions) sthRetries() int {
+	switch {
+	case o.STHRetries > 0:
+		return o.STHRetries
+	case o.STHRetries < 0:
+		return 0
+	}
+	return 3
+}
 
 // SyncStats summarizes one crawl.
 type SyncStats struct {
@@ -19,43 +56,157 @@ type SyncStats struct {
 	Precerts    int
 	ParseErrors int
 	Indexed     int
+	// Retries counts HTTP-level retry attempts the client performed on
+	// this crawl's behalf.
+	Retries int
+	// SkippedEntries counts entries abandoned after bisection isolated
+	// them as individually unfetchable (poisoned encodings).
+	SkippedEntries int
+	// Bisections counts range splits performed while isolating
+	// failures.
+	Bisections int
+	// ResumedFrom is the checkpoint the crawl started at; 0 means a
+	// fresh crawl.
+	ResumedFrom int
+	// Duration is the wall-clock time of the crawl.
+	Duration time.Duration
 }
 
-// SyncFromLog crawls the log at client, skipping precertificates (as
-// the paper's §4.1 pipeline does), parsing leniently, and indexing
-// every certificate the monitor's capabilities allow.
-func (m *Monitor) SyncFromLog(client *ctlog.Client, batch int) (SyncStats, error) {
-	if batch <= 0 {
-		batch = 64
+// Checkpoint returns the next log index the monitor will fetch — every
+// entry below it has been fetched (indexed, skipped, or rejected) by a
+// previous crawl.
+func (m *Monitor) Checkpoint() int { return m.nextIndex }
+
+// SetCheckpoint restores crawl progress, e.g. from persisted state.
+func (m *Monitor) SetCheckpoint(n int) {
+	if n < 0 {
+		n = 0
 	}
-	var stats SyncStats
-	size, _, err := client.GetSTH()
+	m.nextIndex = n
+}
+
+// SyncFromLog crawls the log at client from the monitor's checkpoint
+// to the current tree head, skipping precertificates (as the paper's
+// §4.1 pipeline does), parsing leniently, and indexing every
+// certificate the monitor's capabilities allow. On error the
+// checkpoint reflects all completed work, so calling again resumes
+// the crawl without refetching indexed entries.
+func (m *Monitor) SyncFromLog(ctx context.Context, client *ctlog.Client, opts SyncOptions) (SyncStats, error) {
+	started := time.Now()
+	retries0 := client.Retries()
+	stats := SyncStats{ResumedFrom: m.nextIndex}
+	finish := func(err error) (SyncStats, error) {
+		stats.Retries = int(client.Retries() - retries0)
+		stats.Duration = time.Since(started)
+		return stats, err
+	}
+
+	size, _, err := m.getSTH(ctx, client, opts)
 	if err != nil {
-		return stats, fmt.Errorf("monitor: get-sth: %w", err)
+		return finish(fmt.Errorf("monitor: get-sth: %w", err))
 	}
-	for start := 0; start < size; start += batch {
-		end := start + batch - 1
-		if end >= size {
-			end = size - 1
+	batch := opts.batch()
+	for m.nextIndex < size {
+		end := min(m.nextIndex+batch-1, size-1)
+		if err := m.syncRange(ctx, client, m.nextIndex, end, &stats); err != nil {
+			return finish(err)
 		}
-		entries, err := client.GetEntries(start, end)
+	}
+	return finish(nil)
+}
+
+// getSTH fetches the tree head with crawl-level re-attempts layered
+// over the client's own HTTP-level retries.
+func (m *Monitor) getSTH(ctx context.Context, client *ctlog.Client, opts SyncOptions) (int, ctlog.Hash, error) {
+	var lastErr error
+	for attempt := 0; attempt <= opts.sthRetries(); attempt++ {
+		size, root, err := client.GetSTH(ctx)
+		if err == nil {
+			return size, root, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return 0, ctlog.Hash{}, lastErr
+}
+
+// syncRange fetches and indexes entries [lo, hi]. A fetch that fails
+// deterministically (corrupt payload, 4xx) is bisected: halves are
+// refetched independently — corrupt-response faults are per-request,
+// so a subrange refetch can succeed — and a single entry that still
+// fails is skipped and counted. A retryable failure that survived the
+// client's whole backoff budget means the log is genuinely down, so
+// the crawl aborts with its checkpoint intact rather than skipping
+// entries that would have been fetchable later. The checkpoint
+// advances past everything handled.
+func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi int, stats *SyncStats) error {
+	if lo > hi {
+		return nil
+	}
+	entries, err := client.GetEntries(ctx, lo, hi)
+	if err == nil {
+		if len(entries) == 0 {
+			// A 200 with no entries for a non-empty range would loop
+			// forever; treat it as a server bug.
+			return fmt.Errorf("monitor: get-entries [%d,%d]: empty response", lo, hi)
+		}
+		m.ingest(entries, stats)
+		return nil
+	}
+	if ctx.Err() != nil || ctlog.IsRetryable(err) {
+		return fmt.Errorf("monitor: get-entries [%d,%d]: %w", lo, hi, err)
+	}
+	if lo == hi {
+		// Down to one entry. Non-retryable failures can still be
+		// transient (a corrupted response is per-request), so re-attempt
+		// a few times before declaring the entry itself poisoned.
+		for attempt := 0; attempt < 3; attempt++ {
+			entries, err = client.GetEntries(ctx, lo, hi)
+			if err == nil && len(entries) > 0 {
+				m.ingest(entries, stats)
+				return nil
+			}
+			if err != nil && (ctx.Err() != nil || ctlog.IsRetryable(err)) {
+				return fmt.Errorf("monitor: get-entries [%d,%d]: %w", lo, hi, err)
+			}
+		}
+		// Isolated a persistently poisoned entry: skip it, keep crawling.
+		stats.SkippedEntries++
+		m.nextIndex = hi + 1
+		return nil
+	}
+	stats.Bisections++
+	mid := lo + (hi-lo)/2
+	if err := m.syncRange(ctx, client, lo, mid, stats); err != nil {
+		return err
+	}
+	// The first half may have been served short of mid (server batch
+	// clamp); continue from the checkpoint, not from mid+1.
+	return m.syncRange(ctx, client, max(mid+1, m.nextIndex), hi, stats)
+}
+
+// ingest indexes one batch of entries and advances the checkpoint.
+func (m *Monitor) ingest(entries []ctlog.Entry, stats *SyncStats) {
+	for _, e := range entries {
+		if e.Index < m.nextIndex {
+			// Overlap with already-crawled work (e.g. a replayed
+			// response); never double-index.
+			continue
+		}
+		stats.Fetched++
+		m.nextIndex = e.Index + 1
+		if e.Precert {
+			stats.Precerts++
+			continue
+		}
+		cert, err := x509cert.ParseWithMode(e.DER, x509cert.ParseLenient)
 		if err != nil {
-			return stats, fmt.Errorf("monitor: get-entries: %w", err)
+			stats.ParseErrors++
+			continue
 		}
-		for _, e := range entries {
-			stats.Fetched++
-			if e.Precert {
-				stats.Precerts++
-				continue
-			}
-			cert, err := x509cert.ParseWithMode(e.DER, x509cert.ParseLenient)
-			if err != nil {
-				stats.ParseErrors++
-				continue
-			}
-			m.Index(e.Index, cert)
-			stats.Indexed++
-		}
+		m.Index(e.Index, cert)
+		stats.Indexed++
 	}
-	return stats, nil
 }

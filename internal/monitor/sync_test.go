@@ -1,6 +1,7 @@
 package monitor
 
 import (
+	"context"
 	"net/http/httptest"
 	"testing"
 
@@ -32,15 +33,19 @@ func TestSyncFromLog(t *testing.T) {
 	srv := httptest.NewServer((&ctlog.Server{Log: log}).Handler())
 	defer srv.Close()
 	client := &ctlog.Client{Base: srv.URL}
+	ctx := context.Background()
 
 	// A fuzzy monitor indexes everything and finds both clean domains.
 	crtsh := New(Monitors()[0])
-	stats, err := crtsh.SyncFromLog(client, 2)
+	stats, err := crtsh.SyncFromLog(ctx, client, SyncOptions{Batch: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.Fetched != 4 || stats.Precerts != 1 || stats.Indexed != 3 {
 		t.Fatalf("stats %+v", stats)
+	}
+	if stats.ResumedFrom != 0 || crtsh.Checkpoint() != 4 {
+		t.Fatalf("checkpoint: resumed from %d, now %d", stats.ResumedFrom, crtsh.Checkpoint())
 	}
 	if res := crtsh.Query("one.example"); len(res.IDs) != 1 {
 		t.Error("one.example not found after sync")
@@ -49,10 +54,36 @@ func TestSyncFromLog(t *testing.T) {
 		t.Error("two.example not found after sync")
 	}
 
+	// A second sync resumes from the checkpoint and refetches nothing.
+	stats, err = crtsh.SyncFromLog(ctx, client, SyncOptions{Batch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fetched != 0 || stats.ResumedFrom != 4 {
+		t.Fatalf("resumed sync refetched: %+v", stats)
+	}
+
+	// New entries added after the first crawl are picked up from the
+	// checkpoint onward.
+	extra := cert(t, "three.example", "three.example")
+	if _, err := log.AddParsed(extra.Raw, false); err != nil {
+		t.Fatal(err)
+	}
+	stats, err = crtsh.SyncFromLog(ctx, client, SyncOptions{Batch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fetched != 1 || stats.Indexed != 1 || stats.ResumedFrom != 4 {
+		t.Fatalf("incremental sync stats %+v", stats)
+	}
+	if res := crtsh.Query("three.example"); len(res.IDs) != 1 {
+		t.Error("three.example not found after incremental sync")
+	}
+
 	// The SSLMate-style monitor syncs the same log but the NUL-bearing
 	// forgery never becomes findable by the owner's query.
 	sslmate := New(Monitors()[1])
-	if _, err := sslmate.SyncFromLog(client, 10); err != nil {
+	if _, err := sslmate.SyncFromLog(ctx, client, SyncOptions{Batch: 10}); err != nil {
 		t.Fatal(err)
 	}
 	if res := sslmate.Query("victim.example"); len(res.IDs) != 0 {
@@ -72,11 +103,50 @@ func TestSyncEmptyLog(t *testing.T) {
 	srv := httptest.NewServer((&ctlog.Server{Log: log}).Handler())
 	defer srv.Close()
 	m := New(Monitors()[0])
-	stats, err := m.SyncFromLog(&ctlog.Client{Base: srv.URL}, 16)
+	stats, err := m.SyncFromLog(context.Background(), &ctlog.Client{Base: srv.URL}, SyncOptions{Batch: 16})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if stats.Fetched != 0 {
 		t.Fatalf("stats %+v", stats)
+	}
+}
+
+// TestSyncBatchAboveServerCap asks for batches larger than the
+// server's get-entries cap; the clamped responses must still advance
+// the crawl to completion without gaps.
+func TestSyncBatchAboveServerCap(t *testing.T) {
+	log, err := ctlog.NewLog(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cert(t, "capped.example", "capped.example")
+	const n = 25
+	for i := 0; i < n; i++ {
+		if _, err := log.AddParsed(c.Raw, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := httptest.NewServer((&ctlog.Server{Log: log, MaxGetEntries: 4}).Handler())
+	defer srv.Close()
+	m := New(Monitors()[0])
+	stats, err := m.SyncFromLog(context.Background(), &ctlog.Client{Base: srv.URL}, SyncOptions{Batch: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Fetched != n || stats.Indexed != n || m.Checkpoint() != n {
+		t.Fatalf("stats %+v checkpoint %d", stats, m.Checkpoint())
+	}
+}
+
+func TestSetCheckpoint(t *testing.T) {
+	m := New(Monitors()[0])
+	m.SetCheckpoint(7)
+	if m.Checkpoint() != 7 {
+		t.Fatalf("checkpoint %d", m.Checkpoint())
+	}
+	m.SetCheckpoint(-3)
+	if m.Checkpoint() != 0 {
+		t.Fatalf("negative checkpoint should clamp to 0, got %d", m.Checkpoint())
 	}
 }
