@@ -1,10 +1,19 @@
 GO ?= go
 
-# Packages with concurrency-sensitive crawl/retry code; these run
-# under the race detector in `make check`.
-RACE_PKGS := ./internal/ctlog/... ./internal/monitor/... ./internal/faultinject/...
+# Packages with concurrency-sensitive code (crawl/retry plus the fused
+# measurement pipeline); these run under the race detector in
+# `make check`.
+RACE_PKGS := ./internal/ctlog/... ./internal/monitor/... ./internal/faultinject/... \
+	./internal/pipeline/... ./internal/corpus/... ./internal/lint/...
 
-.PHONY: build vet test race check
+# End-to-end corpus size for `make bench` (34800 ≈ 1:1000 of the
+# paper's dataset). Lower it for quick local runs:
+#   make bench BENCH_E2E_SIZE=3480
+BENCH_E2E_SIZE ?= 34800
+# Free-form note recorded in BENCH_2.json (hardware caveats etc.).
+BENCH_NOTE ?=
+
+.PHONY: build vet test race check bench
 build:
 	$(GO) build ./...
 
@@ -18,3 +27,13 @@ race:
 	$(GO) test -race $(RACE_PKGS)
 
 check: build vet test race
+
+# bench runs the end-to-end pipeline benchmarks (1 iteration each at
+# paper scale), the per-stage generate/lint benchmarks, and the registry
+# allocation guard, then records everything in BENCH_2.json.
+bench:
+	{ BENCH_E2E_SIZE=$(BENCH_E2E_SIZE) $(GO) test -run '^$$' \
+		-bench 'MeasureCorpusE2E|PipelineGenerateOnly|PipelineLintOnly' \
+		-benchtime 1x -benchmem . ; \
+	  $(GO) test -run '^$$' -bench 'RegistryRun' -benchmem ./internal/lint ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_2.json -note "$(BENCH_NOTE)"

@@ -11,8 +11,11 @@ package repro
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/big"
+	"os"
+	"strconv"
 	"sync"
 	"testing"
 	"time"
@@ -388,6 +391,83 @@ func BenchmarkRuleExtraction(b *testing.B) {
 		}
 	}
 	printTable("§3.1.1 rule extraction", fmt.Sprintf("derived %d constraint rules (%d new)\n", len(rules), newCount))
+}
+
+// ——— E2E pipeline benchmarks (make bench → BENCH_2.json) ———
+
+// benchE2ESize returns the end-to-end corpus size: the paper-scale
+// default of 34,800 (1:1000 of the dataset), overridable through
+// BENCH_E2E_SIZE for quick runs.
+func benchE2ESize(b *testing.B) int {
+	if s := os.Getenv("BENCH_E2E_SIZE"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n <= 0 {
+			b.Fatalf("bad BENCH_E2E_SIZE %q", s)
+		}
+		return n
+	}
+	return 34800
+}
+
+func benchMeasureE2E(b *testing.B, workers int) {
+	a := core.NewAnalyzer()
+	cfg := corpus.DefaultConfig()
+	cfg.Size = benchE2ESize(b)
+	certs := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, err := a.MeasureCorpusParallel(context.Background(), cfg, lint.Options{}, workers)
+		if err != nil {
+			b.Fatal(err)
+		}
+		certs += len(m.Corpus.Entries)
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(certs)/secs, "certs/s")
+	}
+}
+
+// BenchmarkMeasureCorpusE2E1 is the sequential baseline for the
+// speedup figure in BENCH_2.json.
+func BenchmarkMeasureCorpusE2E1(b *testing.B) { benchMeasureE2E(b, 1) }
+
+// BenchmarkMeasureCorpusE2E8 measures the fused pipeline at 8 workers.
+func BenchmarkMeasureCorpusE2E8(b *testing.B) { benchMeasureE2E(b, 8) }
+
+// BenchmarkMeasureCorpusE2ENumCPU measures the default sizing.
+func BenchmarkMeasureCorpusE2ENumCPU(b *testing.B) { benchMeasureE2E(b, 0) }
+
+// BenchmarkPipelineGenerateOnly isolates the generation stage (build,
+// sign, parse) at the shared bench scale.
+func BenchmarkPipelineGenerateOnly(b *testing.B) {
+	cfg := corpus.DefaultConfig()
+	cfg.Size = benchCorpusSize
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := corpus.Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N*benchCorpusSize)/secs, "certs/s")
+	}
+}
+
+// BenchmarkPipelineLintOnly isolates the lint stage over a
+// pre-generated corpus.
+func BenchmarkPipelineLintOnly(b *testing.B) {
+	a, m := sharedMeasurement(b)
+	c := m.Corpus
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = corpus.RunLinter(c, a.Registry, lint.Options{})
+	}
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N*len(c.Entries))/secs, "certs/s")
+	}
 }
 
 // ——— Throughput benchmarks for the core pipeline ———

@@ -1,0 +1,149 @@
+// Command benchjson converts `go test -bench` output into a JSON
+// benchmark record. It tees its stdin to stdout unchanged (so the
+// benchmark tables remain visible in the terminal and CI logs) and
+// writes the parsed results — ns/op, B/op, allocs/op, certs/s — to the
+// file named by -o, along with host facts and the end-to-end speedup of
+// the 8-worker pipeline over the sequential baseline.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem ./... | benchjson -o BENCH_2.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed result line.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      float64 `json:"b_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	CertsPerSec float64 `json:"certs_per_sec,omitempty"`
+}
+
+// Report is the file schema.
+type Report struct {
+	Generated      string      `json:"generated"`
+	GoOS           string      `json:"goos"`
+	GoArch         string      `json:"goarch"`
+	NumCPU         int         `json:"num_cpu"`
+	Note           string      `json:"note,omitempty"`
+	E2ESpeedup8W   float64     `json:"e2e_speedup_8_workers,omitempty"`
+	E2ESpeedupNCPU float64     `json:"e2e_speedup_numcpu,omitempty"`
+	Benchmarks     []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH.json", "output JSON file")
+	note := flag.String("note", "", "free-form note recorded in the report")
+	flag.Parse()
+
+	var benches []Benchmark
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if b, ok := parseBenchLine(line); ok {
+			benches = append(benches, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep := Report{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		Note:       *note,
+		Benchmarks: benches,
+	}
+	if base := nsFor(benches, "BenchmarkMeasureCorpusE2E1"); base > 0 {
+		if w8 := nsFor(benches, "BenchmarkMeasureCorpusE2E8"); w8 > 0 {
+			rep.E2ESpeedup8W = round2(base / w8)
+		}
+		if ncpu := nsFor(benches, "BenchmarkMeasureCorpusE2ENumCPU"); ncpu > 0 {
+			rep.E2ESpeedupNCPU = round2(base / ncpu)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(benches), *out)
+}
+
+// parseBenchLine parses a benchmark result line of the form
+//
+//	BenchmarkName-8   	     123	   9876 ns/op	  12 B/op	  3 allocs/op	  4567 certs/s
+//
+// The -N GOMAXPROCS suffix is stripped from the name.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters}
+	// Remaining fields come in value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		case "certs/s":
+			b.CertsPerSec = v
+		}
+	}
+	if b.NsPerOp == 0 {
+		return Benchmark{}, false
+	}
+	return b, true
+}
+
+func nsFor(benches []Benchmark, name string) float64 {
+	for _, b := range benches {
+		if b.Name == name {
+			return b.NsPerOp
+		}
+	}
+	return 0
+}
+
+func round2(f float64) float64 { return float64(int64(f*100+0.5)) / 100 }

@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	ctscan -size 34800 [-table 1|2|3|11] [-figure 2|3|4] [-all-dates]
+//	ctscan -size 34800 [-workers N] [-table 1|2|3|11] [-figure 2|3|4] [-all-dates]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 func main() {
 	size := flag.Int("size", 34800, "corpus size (34800 ≈ 1:1000 of the paper's dataset)")
 	seed := flag.Int64("seed", 2025, "corpus seed")
+	workers := flag.Int("workers", 0, "pipeline workers (0 = NumCPU); output is identical for any value")
 	table := flag.Int("table", 0, "print one table (1, 2, 3, or 11); 0 = all")
 	figure := flag.Int("figure", 0, "print one figure (2, 3, or 4); 0 = all")
 	allDates := flag.Bool("all-dates", false, "ignore lint effective dates")
@@ -30,7 +32,7 @@ func main() {
 	cfg := corpus.DefaultConfig()
 	cfg.Size = *size
 	cfg.Seed = *seed
-	m, err := a.MeasureCorpus(cfg, lint.Options{IgnoreEffectiveDates: *allDates})
+	m, err := a.MeasureCorpusParallel(context.Background(), cfg, lint.Options{IgnoreEffectiveDates: *allDates}, *workers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ctscan: %v\n", err)
 		os.Exit(1)

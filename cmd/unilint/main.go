@@ -4,12 +4,13 @@
 //
 // Usage:
 //
-//	unilint [-all-dates] [-quiet] cert.pem [cert2.pem ...]
+//	unilint [-all-dates] [-quiet] [-workers N] cert.pem [cert2.pem ...]
 //	unilint -list
 //	unilint -demo
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/asn1der"
 	"repro/internal/core"
 	"repro/internal/lint"
+	"repro/internal/pipeline"
 	"repro/internal/x509cert"
 )
 
@@ -28,6 +30,7 @@ func main() {
 	quiet := flag.Bool("quiet", false, "print only failing lints")
 	demo := flag.Bool("demo", false, "lint a built-in noncompliant demo certificate")
 	jsonOut := flag.Bool("json", false, "emit findings as JSON")
+	workers := flag.Int("workers", 0, "lint workers for multi-certificate inputs (0 = NumCPU)")
 	flag.Parse()
 
 	a := core.NewAnalyzer()
@@ -73,11 +76,12 @@ func main() {
 		Details     string `json:"details"`
 	}
 	var jsonFindings []jsonFinding
+	results, err := pipeline.LintDERs(context.Background(), inputs, a.Registry, opts, pipeline.Config{Workers: *workers})
+	if err != nil {
+		fatal("%v", err)
+	}
 	for i, der := range inputs {
-		res, err := a.LintDER(der, opts)
-		if err != nil {
-			fatal("certificate %d: %v", i, err)
-		}
+		res := results[i]
 		cert, _ := x509cert.ParseWithMode(der, x509cert.ParseLenient)
 		if *jsonOut {
 			for _, f := range res.Failed() {

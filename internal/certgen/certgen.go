@@ -8,7 +8,7 @@ package certgen
 import (
 	"fmt"
 	"math/big"
-	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/asn1der"
@@ -91,10 +91,9 @@ type TestCert struct {
 
 // Generator builds mutation suites under a fixed CA.
 type Generator struct {
-	mu      sync.Mutex
 	caKey   *x509cert.KeyPair
 	leafKey *x509cert.KeyPair
-	serial  int64
+	serial  atomic.Int64
 }
 
 // New returns a generator with reproducible keys derived from seed.
@@ -107,17 +106,16 @@ func New(seed int64) (*Generator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Generator{caKey: caKey, leafKey: leafKey, serial: 1000}, nil
+	g := &Generator{caKey: caKey, leafKey: leafKey}
+	g.serial.Store(1000)
+	return g, nil
 }
 
 // CAKey exposes the signing key for chain experiments.
 func (g *Generator) CAKey() *x509cert.KeyPair { return g.caKey }
 
 func (g *Generator) nextSerial() *big.Int {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	g.serial++
-	return big.NewInt(g.serial)
+	return big.NewInt(g.serial.Add(1))
 }
 
 // defaults per §3.2 rule (iii): "test.com" for DNSName and analogous

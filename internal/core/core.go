@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/browser"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/lint"
 	_ "repro/internal/lint/lints" // register the 95 Unicert lints
 	"repro/internal/monitor"
+	"repro/internal/pipeline"
 	"repro/internal/revocation"
 	"repro/internal/rfcrules"
 	"repro/internal/tlsimpl"
@@ -59,13 +61,21 @@ func (a *Analyzer) LintPEM(pemData []byte, opts lint.Options) ([]*lint.CertResul
 }
 
 // MeasureCorpus generates a corpus and runs the RQ1 measurement over
-// it.
+// it. It delegates to the parallel pipeline sized to the machine
+// (runtime.NumCPU workers); sharded generation makes the result
+// byte-identical to the sequential path.
 func (a *Analyzer) MeasureCorpus(cfg corpus.Config, opts lint.Options) (*corpus.Measurement, error) {
-	c, err := corpus.Generate(cfg)
+	return a.MeasureCorpusParallel(context.Background(), cfg, opts, 0)
+}
+
+// MeasureCorpusParallel is MeasureCorpus with explicit worker count
+// (0 = runtime.NumCPU) and cancellation.
+func (a *Analyzer) MeasureCorpusParallel(ctx context.Context, cfg corpus.Config, opts lint.Options, workers int) (*corpus.Measurement, error) {
+	res, err := pipeline.Measure(ctx, cfg, a.Registry, opts, pipeline.Config{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
-	return corpus.RunLinter(c, a.Registry, opts), nil
+	return res.Measurement, nil
 }
 
 // LibraryAnalysis runs the RQ2 differential tests and returns the

@@ -266,19 +266,58 @@ func TestCorpusChainsVerify(t *testing.T) {
 	}
 }
 
-func TestRunLinterParallelMatchesSequential(t *testing.T) {
-	c, err := Generate(Config{Size: 400, Seed: 13})
+// TestGenerateSlotIndependence is the heart of the sharded scheme:
+// generating a slot in isolation must reproduce the same bytes as the
+// full sequential run, because each slot's RNG stream is derived only
+// from (seed, index).
+func TestGenerateSlotIndependence(t *testing.T) {
+	cfg := Config{Size: 60, Seed: 17, PrecertFraction: 0.2, VariantFraction: 0.1}
+	full, err := Generate(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	seq := RunLinter(c, lint.Global, lint.Options{})
-	par := RunLinterParallel(c, lint.Global, lint.Options{}, 8)
-	if seq.NCCount() != par.NCCount() {
-		t.Fatalf("NC counts differ: %d vs %d", seq.NCCount(), par.NCCount())
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		t.Fatal(err)
 	}
-	for i := range seq.Results {
-		if seq.Results[i].Noncompliant() != par.Results[i].Noncompliant() {
-			t.Fatalf("entry %d verdict differs", i)
+	// Regenerate slots in reverse order, alone, and reassemble.
+	slots := make([]*Slot, g.Slots())
+	for i := g.Slots() - 1; i >= 0; i-- {
+		s, err := g.GenerateSlot(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		slots[i] = s
+	}
+	re := g.Assemble(slots)
+	if len(re.Entries) != len(full.Entries) {
+		t.Fatalf("entry counts differ: %d vs %d", len(re.Entries), len(full.Entries))
+	}
+	for i := range full.Entries {
+		if string(full.Entries[i].DER) != string(re.Entries[i].DER) {
+			t.Fatalf("entry %d DER differs under out-of-order generation", i)
+		}
+	}
+	if len(re.Precerts) != len(full.Precerts) {
+		t.Fatalf("precert counts differ: %d vs %d", len(re.Precerts), len(full.Precerts))
+	}
+	for i := range full.Precerts {
+		if string(full.Precerts[i].DER) != string(re.Precerts[i].DER) {
+			t.Fatalf("precert %d DER differs", i)
+		}
+	}
+}
+
+// TestGenerateExactSize pins the Size contract: variant overshoot is
+// truncated so the corpus always holds exactly cfg.Size entries.
+func TestGenerateExactSize(t *testing.T) {
+	for _, size := range []int{1, 50, 300} {
+		c, err := Generate(Config{Size: size, Seed: 21, VariantFraction: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c.Entries) != size {
+			t.Fatalf("size %d: got %d entries", size, len(c.Entries))
 		}
 	}
 }

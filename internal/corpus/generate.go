@@ -86,13 +86,58 @@ type Corpus struct {
 // CAFor returns the signing CA certificate for an issuer organization.
 func (c *Corpus) CAFor(org string) *x509cert.Certificate { return c.CACerts[org] }
 
-// Generate builds a corpus deterministically from cfg.
-func Generate(cfg Config) (*Corpus, error) {
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-distributed bijection used to derive independent per-slot seeds
+// from (cfg.Seed, slot index).
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// slotSeed derives the RNG seed for one generation slot. Every random
+// decision behind slot i — issuer, year, mutation, domain, precert and
+// variant draws — flows from this value alone, which is what makes
+// sharded generation order-independent.
+func slotSeed(seed int64, slot int) int64 {
+	return int64(splitmix64(splitmix64(uint64(seed)) + uint64(slot)))
+}
+
+// serialStride spaces the index-derived serial numbers so a slot's
+// base certificate (+0), precert twin (+2), and subject variant (+4)
+// never collide across slots.
+const serialStride = 8
+
+// Slot is the output of one generation slot: the base entry, an
+// optional CT-poisoned precert twin, and an optional subject-variant
+// sibling. Slots are the unit of parallel generation.
+type Slot struct {
+	Entries []*Entry // base entry, then variant if drawn
+	Precert *Entry
+}
+
+// Generator holds the immutable shared state for sharded corpus
+// generation: CA/leaf keys and parsed CA certificates. Its GenerateSlot
+// method is safe for concurrent use; any interleaving of disjoint slot
+// calls yields byte-identical certificates.
+type Generator struct {
+	cfg     Config
+	caKeys  []*x509cert.KeyPair
+	leafKey *x509cert.KeyPair
+	caCerts map[string]*x509cert.Certificate
+	pick    func(*rand.Rand) int
+}
+
+// NewGenerator derives the shared key material and CA certificates for
+// cfg. The expensive per-slot work is done by GenerateSlot.
+func NewGenerator(cfg Config) (*Generator, error) {
 	if cfg.Size <= 0 {
 		cfg.Size = DefaultConfig().Size
 	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-
 	// One CA key per issuer; one shared leaf key (key material is not
 	// under study).
 	caKeys := make([]*x509cert.KeyPair, len(Profiles))
@@ -107,9 +152,13 @@ func Generate(cfg Config) (*Corpus, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	issuerPick := newWeightedIssuerPicker()
-	c := &Corpus{cfg: cfg, CACerts: make(map[string]*x509cert.Certificate, len(Profiles))}
+	g := &Generator{
+		cfg:     cfg,
+		caKeys:  caKeys,
+		leafKey: leafKey,
+		caCerts: make(map[string]*x509cert.Certificate, len(Profiles)),
+		pick:    newWeightedIssuerPicker(),
+	}
 	for i, p := range Profiles {
 		caTpl := &x509cert.Template{
 			SerialNumber: big.NewInt(int64(i) + 1),
@@ -127,39 +176,90 @@ func Generate(cfg Config) (*Corpus, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.CACerts[p.Organization] = caCert
+		g.caCerts[p.Organization] = caCert
 	}
-	serial := int64(1000)
-	for i := 0; i < cfg.Size; i++ {
-		pi := issuerPick(rng)
-		p := Profiles[pi]
-		year := sampleYear(rng, p)
-		entry, err := generateOne(rng, p, caKeys[pi], leafKey, year, serial)
-		if err != nil {
-			return nil, fmt.Errorf("corpus: entry %d: %v", i, err)
-		}
-		serial += 2
-		c.Entries = append(c.Entries, entry)
+	return g, nil
+}
 
-		if cfg.PrecertFraction > 0 && rng.Float64() < cfg.PrecertFraction {
-			pre, err := generatePrecert(p, caKeys[pi], leafKey, entry, serial)
-			if err != nil {
-				return nil, err
-			}
-			serial += 2
-			c.Precerts = append(c.Precerts, pre)
+// Config returns the generator's (defaulted) configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Slots returns the number of generation slots. Each slot yields one
+// base entry plus probabilistic extras; Assemble truncates the
+// concatenation back to exactly cfg.Size entries.
+func (g *Generator) Slots() int { return g.cfg.Size }
+
+// GenerateSlot builds slot i from its derived seed. Safe for
+// concurrent use with other slot indices.
+func (g *Generator) GenerateSlot(i int) (*Slot, error) {
+	cfg := g.cfg
+	rng := rand.New(rand.NewSource(slotSeed(cfg.Seed, i)))
+	// Fixed per-slot draw order: issuer, year, precert, variant, then
+	// the content draws consumed inside generateOne/generateVariant.
+	pi := g.pick(rng)
+	p := Profiles[pi]
+	year := sampleYear(rng, p)
+	wantPrecert := cfg.PrecertFraction > 0 && rng.Float64() < cfg.PrecertFraction
+	wantVariant := cfg.VariantFraction > 0 && rng.Float64() < cfg.VariantFraction && !p.IDNOnly
+
+	serial := int64(1000) + int64(i)*serialStride
+	entry, err := generateOne(rng, p, g.caKeys[pi], g.leafKey, year, serial)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: slot %d: %v", i, err)
+	}
+	out := &Slot{Entries: []*Entry{entry}}
+	if wantPrecert {
+		pre, err := generatePrecert(p, g.caKeys[pi], g.leafKey, entry, serial+2)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: slot %d precert: %v", i, err)
 		}
-		if cfg.VariantFraction > 0 && rng.Float64() < cfg.VariantFraction && !p.IDNOnly {
-			v, err := generateVariant(rng, p, caKeys[pi], leafKey, entry, serial)
-			if err != nil {
-				return nil, err
-			}
-			serial += 2
-			c.Entries = append(c.Entries, v)
-			i++ // variants count toward Size
+		out.Precert = pre
+	}
+	if wantVariant {
+		v, err := generateVariant(rng, p, g.caKeys[pi], g.leafKey, entry, serial+4)
+		if err != nil {
+			return nil, fmt.Errorf("corpus: slot %d variant: %v", i, err)
+		}
+		out.Entries = append(out.Entries, v)
+	}
+	return out, nil
+}
+
+// Assemble concatenates slot outputs in slot order into a Corpus and
+// truncates the entry list to exactly cfg.Size. slots must hold every
+// index in [0, Slots()). Truncation drops at most the trailing variant
+// overshoot, so the result is identical no matter how the slots were
+// scheduled across workers.
+func (g *Generator) Assemble(slots []*Slot) *Corpus {
+	c := &Corpus{cfg: g.cfg, CACerts: g.caCerts}
+	c.Entries = make([]*Entry, 0, g.cfg.Size)
+	for _, s := range slots {
+		c.Entries = append(c.Entries, s.Entries...)
+		if s.Precert != nil {
+			c.Precerts = append(c.Precerts, s.Precert)
 		}
 	}
-	return c, nil
+	if len(c.Entries) > g.cfg.Size {
+		c.Entries = c.Entries[:g.cfg.Size]
+	}
+	return c
+}
+
+// Generate builds a corpus deterministically from cfg. It is the
+// sequential driver over the sharded Generator; internal/pipeline runs
+// the same slots across workers and produces byte-identical output.
+func Generate(cfg Config) (*Corpus, error) {
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	slots := make([]*Slot, g.Slots())
+	for i := range slots {
+		if slots[i], err = g.GenerateSlot(i); err != nil {
+			return nil, err
+		}
+	}
+	return g.Assemble(slots), nil
 }
 
 func newWeightedIssuerPicker() func(*rand.Rand) int {

@@ -2,7 +2,6 @@ package corpus
 
 import (
 	"sort"
-	"sync"
 
 	"repro/internal/asn1der"
 	"repro/internal/lint"
@@ -349,31 +348,4 @@ func (m *Measurement) Table3() map[VariantStrategy]int {
 		}
 	}
 	return out
-}
-
-// RunLinterParallel is RunLinter fanned out across workers; results are
-// identical and order-stable. The full-scale corpus (34,800+ entries ×
-// 95 lints) is embarrassingly parallel.
-func RunLinterParallel(c *Corpus, reg *lint.Registry, opts lint.Options, workers int) *Measurement {
-	if workers <= 1 {
-		return RunLinter(c, reg, opts)
-	}
-	m := &Measurement{Corpus: c, Results: make([]*lint.CertResult, len(c.Entries))}
-	var wg sync.WaitGroup
-	ch := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range ch {
-				m.Results[i] = reg.Run(c.Entries[i].Cert, opts)
-			}
-		}()
-	}
-	for i := range c.Entries {
-		ch <- i
-	}
-	close(ch)
-	wg.Wait()
-	return m
 }

@@ -172,8 +172,9 @@ type Lint struct {
 
 // Registry stores lints by name.
 type Registry struct {
-	mu    sync.RWMutex
-	lints map[string]*Lint
+	mu       sync.RWMutex
+	lints    map[string]*Lint
+	snapshot []*Lint // sorted, immutable; nil until first Snapshot after a Register
 }
 
 // NewRegistry returns an empty registry.
@@ -193,17 +194,40 @@ func (r *Registry) Register(l *Lint) {
 		l.CheckApplies = func(*x509cert.Certificate) bool { return true }
 	}
 	r.lints[l.Name] = l
+	r.snapshot = nil // invalidate; rebuilt lazily by Snapshot
 }
 
-// All returns every lint sorted by name.
-func (r *Registry) All() []*Lint {
+// Snapshot returns the registry's lints pre-sorted by name as an
+// immutable shared slice. It is captured once per registry mutation and
+// reused by every Run, so the per-certificate hot path pays neither the
+// lock-protected map walk nor the sort. Callers must not modify the
+// returned slice.
+func (r *Registry) Snapshot() []*Lint {
 	r.mu.RLock()
-	defer r.mu.RUnlock()
-	out := make([]*Lint, 0, len(r.lints))
-	for _, l := range r.lints {
-		out = append(out, l)
+	s := r.snapshot
+	r.mu.RUnlock()
+	if s != nil {
+		return s
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.snapshot == nil {
+		s = make([]*Lint, 0, len(r.lints))
+		for _, l := range r.lints {
+			s = append(s, l)
+		}
+		sort.Slice(s, func(i, j int) bool { return s[i].Name < s[j].Name })
+		r.snapshot = s
+	}
+	return r.snapshot
+}
+
+// All returns every lint sorted by name. The slice is the caller's to
+// keep; it is a copy of the shared snapshot.
+func (r *Registry) All() []*Lint {
+	s := r.Snapshot()
+	out := make([]*Lint, len(s))
+	copy(out, s)
 	return out
 }
 
@@ -291,9 +315,12 @@ func (cr *CertResult) Taxonomies() map[Taxonomy]bool {
 }
 
 // Run applies every applicable lint in the registry to the certificate.
+// It walks the shared pre-sorted snapshot, so concurrent Runs touch no
+// lock and no per-call sort.
 func (r *Registry) Run(c *x509cert.Certificate, opts Options) *CertResult {
-	res := &CertResult{}
-	for _, l := range r.All() {
+	snap := r.Snapshot()
+	res := &CertResult{Findings: make([]Finding, 0, len(snap))}
+	for _, l := range snap {
 		if opts.Only != nil && !opts.Only[l.Name] {
 			continue
 		}

@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -104,6 +106,86 @@ func TestTaxonomyGrouping(t *testing.T) {
 	}
 	if len(Taxonomies()) != 6 {
 		t.Fatalf("want 6 taxonomy classes")
+	}
+}
+
+func TestSnapshotSortedAndCached(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"e_c", "e_a", "e_b"} {
+		r.Register(&Lint{Name: name, Run: func(*x509cert.Certificate) Result { return PassResult }})
+	}
+	s1 := r.Snapshot()
+	if len(s1) != 3 || s1[0].Name != "e_a" || s1[1].Name != "e_b" || s1[2].Name != "e_c" {
+		t.Fatalf("snapshot not sorted: %v", s1)
+	}
+	s2 := r.Snapshot()
+	if &s1[0] != &s2[0] {
+		t.Fatal("snapshot not cached between calls")
+	}
+	// Register invalidates the snapshot.
+	r.Register(&Lint{Name: "e_aa", Run: func(*x509cert.Certificate) Result { return PassResult }})
+	s3 := r.Snapshot()
+	if len(s3) != 4 || s3[1].Name != "e_aa" {
+		t.Fatalf("snapshot stale after Register: %v", s3)
+	}
+	// All returns a private copy; mutating it must not corrupt the
+	// shared snapshot.
+	all := r.All()
+	all[0] = nil
+	if r.Snapshot()[0] == nil {
+		t.Fatal("All aliases the shared snapshot")
+	}
+}
+
+func TestSnapshotConcurrentRuns(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 20; i++ {
+		r.Register(&Lint{Name: fmt.Sprintf("e_l%02d", i), Run: func(*x509cert.Certificate) Result { return PassResult }})
+	}
+	c := &x509cert.Certificate{NotBefore: time.Now()}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				if got := len(r.Run(c, Options{}).Findings); got != 20 {
+					t.Errorf("findings %d", got)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkRegistryRun guards the Snapshot optimization: Run used to
+// call All() (lock + map walk + sort of every lint) once per
+// certificate; it now walks the cached snapshot, and the only
+// remaining allocations are the result and its pre-sized findings.
+func BenchmarkRegistryRun(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 95; i++ {
+		l := &Lint{
+			Name:     fmt.Sprintf("e_bench_lint_%02d", i),
+			Severity: Severity(i % 3),
+			Run:      func(*x509cert.Certificate) Result { return PassResult },
+		}
+		if i%7 == 0 {
+			l.EffectiveDate = time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
+		}
+		if i%11 == 0 {
+			l.CheckApplies = func(*x509cert.Certificate) bool { return false }
+		}
+		r.Register(l)
+	}
+	c := &x509cert.Certificate{NotBefore: time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := r.Run(c, Options{}); len(res.Findings) != 95 {
+			b.Fatalf("findings %d", len(res.Findings))
+		}
 	}
 }
 

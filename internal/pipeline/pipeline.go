@@ -1,0 +1,315 @@
+// Package pipeline is the parallel streaming measurement pipeline for
+// the RQ1 hot path: generate → build/parse → lint → aggregate over the
+// synthetic CT corpus. Generation and linting are fused into one worker
+// stage — each worker takes a slot index off a bounded queue, derives
+// the slot's certificates from its (seed, index) RNG stream (the
+// build/parse step rides inside corpus.Generator.GenerateSlot), lints
+// them in place, and writes the result into its pre-assigned output
+// cell. Fusing the stages keeps a certificate on one core from DER
+// build through lint findings, so no cross-stage channel ever carries
+// parsed-certificate payloads.
+//
+// Determinism: because every slot's bytes depend only on (cfg.Seed,
+// slot index) and collection is by slot index, the output is
+// byte-identical for any worker count, including the sequential
+// corpus.Generate path.
+//
+// Observability: per-stage atomic counters (generated, linted,
+// in-flight, queue depth) are exposed through Stats for later
+// monitoring hooks; they cost one atomic add per certificate.
+package pipeline
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/lint"
+	"repro/internal/x509cert"
+)
+
+// Config sizes the pipeline.
+type Config struct {
+	// Workers is the number of fused generate→lint workers; 0 or
+	// negative means runtime.NumCPU().
+	Workers int
+	// Queue bounds the slot-index feed queue; 0 means 4× workers. A
+	// bounded queue keeps the feeder from racing ahead of slow workers
+	// without idling fast ones.
+	Queue int
+	// Progress, when non-nil, receives a Stats snapshot every
+	// ProgressEvery (default 1s) while Measure runs — the hook for
+	// observability layers.
+	Progress      func(Stats)
+	ProgressEvery time.Duration
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
+}
+
+func (c Config) queue(workers int) int {
+	if c.Queue > 0 {
+		return c.Queue
+	}
+	return 4 * workers
+}
+
+// counters tracks per-stage progress with atomics so Stats can be read
+// concurrently with a running pipeline.
+type counters struct {
+	generated atomic.Uint64 // certificates built+parsed (incl. precerts/variants)
+	linted    atomic.Uint64 // certificates linted
+	inFlight  atomic.Int64  // slots currently inside a worker
+	start     time.Time
+}
+
+// Stats is a point-in-time snapshot of pipeline progress.
+type Stats struct {
+	Workers     int
+	Generated   uint64 // certificates built and parsed
+	Linted      uint64 // certificates linted
+	InFlight    int64  // slots being processed right now
+	QueueDepth  int    // slot indices waiting in the bounded queue
+	Elapsed     time.Duration
+	CertsPerSec float64 // linted certificates per second of wall clock
+}
+
+func (c *counters) snapshot(workers, queueDepth int) Stats {
+	elapsed := time.Since(c.start)
+	s := Stats{
+		Workers:    workers,
+		Generated:  c.generated.Load(),
+		Linted:     c.linted.Load(),
+		InFlight:   c.inFlight.Load(),
+		QueueDepth: queueDepth,
+		Elapsed:    elapsed,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		s.CertsPerSec = float64(s.Linted) / secs
+	}
+	return s
+}
+
+// Result is a measurement plus the pipeline stats observed at
+// completion.
+type Result struct {
+	Measurement *corpus.Measurement
+	Stats       Stats
+}
+
+// Measure generates the corpus for cfg and lints every entry, fanned
+// out across pc.Workers fused workers. The returned measurement is
+// byte-identical to corpus.Generate + corpus.RunLinter for any worker
+// count. The context cancels the run early; the first error (or
+// ctx.Err()) is returned.
+func Measure(ctx context.Context, cfg corpus.Config, reg *lint.Registry, opts lint.Options, pc Config) (*Result, error) {
+	gen, err := corpus.NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	workers := pc.workers()
+	ctr := &counters{start: time.Now()}
+
+	type slotResult struct {
+		slot    *corpus.Slot
+		results []*lint.CertResult // parallel to slot.Entries
+	}
+	outs := make([]slotResult, gen.Slots())
+
+	jobs := make(chan int, pc.queue(workers))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	if pc.Progress != nil {
+		every := pc.ProgressEvery
+		if every <= 0 {
+			every = time.Second
+		}
+		progressDone := make(chan struct{})
+		defer close(progressDone)
+		go func() {
+			t := time.NewTicker(every)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					pc.Progress(ctr.snapshot(workers, len(jobs)))
+				case <-progressDone:
+					return
+				}
+			}
+		}()
+	}
+
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				ctr.inFlight.Add(1)
+				s, err := gen.GenerateSlot(i)
+				if err != nil {
+					ctr.inFlight.Add(-1)
+					fail(err)
+					return
+				}
+				n := len(s.Entries)
+				if s.Precert != nil {
+					n++
+				}
+				ctr.generated.Add(uint64(n))
+				res := make([]*lint.CertResult, len(s.Entries))
+				for j, e := range s.Entries {
+					res[j] = reg.Run(e.Cert, opts)
+				}
+				ctr.linted.Add(uint64(len(s.Entries)))
+				// Disjoint per-slot cells; wg.Wait orders these writes
+				// before the aggregation below.
+				outs[i] = slotResult{slot: s, results: res}
+				ctr.inFlight.Add(-1)
+			}
+		}()
+	}
+
+feed:
+	for i := 0; i < gen.Slots(); i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Aggregate in slot order. Truncation to cfg.Size is mirrored from
+	// corpus.Generator.Assemble so the lint results stay parallel to
+	// the entry list.
+	slots := make([]*corpus.Slot, len(outs))
+	m := &corpus.Measurement{}
+	for i := range outs {
+		slots[i] = outs[i].slot
+		m.Results = append(m.Results, outs[i].results...)
+	}
+	m.Corpus = gen.Assemble(slots)
+	if len(m.Results) > len(m.Corpus.Entries) {
+		m.Results = m.Results[:len(m.Corpus.Entries)]
+	}
+	return &Result{Measurement: m, Stats: ctr.snapshot(workers, 0)}, nil
+}
+
+// LintCorpus lints an already-generated corpus across workers; the
+// results are identical and order-stable versus corpus.RunLinter. It is
+// the pipeline's lint stage alone, for callers that already hold
+// parsed entries.
+func LintCorpus(ctx context.Context, c *corpus.Corpus, reg *lint.Registry, opts lint.Options, pc Config) (*corpus.Measurement, error) {
+	m := &corpus.Measurement{Corpus: c, Results: make([]*lint.CertResult, len(c.Entries))}
+	err := parallelIndexed(ctx, len(c.Entries), pc, func(i int) error {
+		m.Results[i] = reg.Run(c.Entries[i].Cert, opts)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LintDERs parses (leniently) and lints raw DER certificates across
+// workers, preserving input order — the parallel backend for unilint's
+// multi-certificate invocations.
+func LintDERs(ctx context.Context, ders [][]byte, reg *lint.Registry, opts lint.Options, pc Config) ([]*lint.CertResult, error) {
+	out := make([]*lint.CertResult, len(ders))
+	err := parallelIndexed(ctx, len(ders), pc, func(i int) error {
+		cert, err := x509cert.ParseWithMode(ders[i], x509cert.ParseLenient)
+		if err != nil {
+			return err
+		}
+		out[i] = reg.Run(cert, opts)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parallelIndexed runs fn(i) for i in [0, n) across pc workers with a
+// bounded feed queue and context cancellation. Each index is processed
+// exactly once; the first error cancels the run.
+func parallelIndexed(ctx context.Context, n int, pc Config, fn func(int) error) error {
+	workers := pc.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	jobs := make(chan int, pc.queue(workers))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	return firstErr
+}

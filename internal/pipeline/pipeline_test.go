@@ -1,0 +1,183 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/internal/lint"
+	_ "repro/internal/lint/lints" // register the Unicert lints
+)
+
+// TestMeasureDeterminism is the acceptance test for the sharded
+// pipeline: for every worker count the parallel measurement must be
+// byte-identical (DER) and value-identical (Tables 1/2/3/11,
+// Figures 2/3/4) to the sequential corpus.Generate + corpus.RunLinter
+// path.
+func TestMeasureDeterminism(t *testing.T) {
+	sizes := []int{100, 1000}
+	if testing.Short() {
+		sizes = []int{100}
+	}
+	for _, seed := range []int64{1, 2025, 7777} {
+		for _, size := range sizes {
+			cfg := corpus.Config{Size: size, Seed: seed, PrecertFraction: 0.05, VariantFraction: 0.01}
+			ref, err := corpus.Generate(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			refM := corpus.RunLinter(ref, lint.Global, lint.Options{})
+			for _, workers := range []int{1, 2, 8} {
+				res, err := Measure(context.Background(), cfg, lint.Global, lint.Options{}, Config{Workers: workers})
+				if err != nil {
+					t.Fatalf("seed=%d size=%d workers=%d: %v", seed, size, workers, err)
+				}
+				m := res.Measurement
+				compareMeasurements(t, refM, m, seed, size, workers)
+			}
+		}
+	}
+}
+
+func compareMeasurements(t *testing.T, ref, got *corpus.Measurement, seed int64, size, workers int) {
+	t.Helper()
+	tag := func(what string) string {
+		return what
+	}
+	if len(got.Corpus.Entries) != len(ref.Corpus.Entries) {
+		t.Fatalf("seed=%d size=%d workers=%d: entry count %d != %d", seed, size, workers, len(got.Corpus.Entries), len(ref.Corpus.Entries))
+	}
+	for i := range ref.Corpus.Entries {
+		if string(ref.Corpus.Entries[i].DER) != string(got.Corpus.Entries[i].DER) {
+			t.Fatalf("seed=%d size=%d workers=%d: entry %d DER differs", seed, size, workers, i)
+		}
+	}
+	if len(got.Corpus.Precerts) != len(ref.Corpus.Precerts) {
+		t.Fatalf("seed=%d size=%d workers=%d: precert count %d != %d", seed, size, workers, len(got.Corpus.Precerts), len(ref.Corpus.Precerts))
+	}
+	for i := range ref.Corpus.Precerts {
+		if string(ref.Corpus.Precerts[i].DER) != string(got.Corpus.Precerts[i].DER) {
+			t.Fatalf("seed=%d size=%d workers=%d: precert %d DER differs", seed, size, workers, i)
+		}
+	}
+	if got.NCCount() != ref.NCCount() {
+		t.Fatalf("seed=%d size=%d workers=%d: NC count %d != %d", seed, size, workers, got.NCCount(), ref.NCCount())
+	}
+	checks := []struct {
+		name string
+		ref  any
+		got  any
+	}{
+		{"Table1", ref.Table1(lint.Global), got.Table1(lint.Global)},
+		{"Table2", ref.Table2(0), got.Table2(0)},
+		{"Table3", ref.Table3(), got.Table3()},
+		{"Table11", ref.Table11(0), got.Table11(0)},
+		{"Figure2", ref.Figure2(), got.Figure2()},
+		{"Figure3-IDN", ref.ValidityCDF(idnFilter), got.ValidityCDF(idnFilter)},
+		{"Figure3-NC", ncFilter(ref), ncFilter(got)},
+		{"Figure4", ref.Figure4(5), got.Figure4(5)},
+	}
+	for _, c := range checks {
+		if !reflect.DeepEqual(c.ref, c.got) {
+			t.Fatalf("seed=%d size=%d workers=%d: %s differs", seed, size, workers, tag(c.name))
+		}
+	}
+}
+
+func idnFilter(i int, e *corpus.Entry) bool { return e.Class == corpus.ClassIDNCert }
+
+func ncFilter(m *corpus.Measurement) []int {
+	return m.ValidityCDF(func(i int, e *corpus.Entry) bool { return m.Noncompliant(i) })
+}
+
+// TestLintCorpusMatchesSequential replaces the retired
+// corpus.RunLinterParallel test: the pipeline's lint-only stage must be
+// result-identical and order-stable versus corpus.RunLinter.
+func TestLintCorpusMatchesSequential(t *testing.T) {
+	c, err := corpus.Generate(corpus.Config{Size: 400, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := corpus.RunLinter(c, lint.Global, lint.Options{})
+	par, err := LintCorpus(context.Background(), c, lint.Global, lint.Options{}, Config{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.NCCount() != par.NCCount() {
+		t.Fatalf("NC counts differ: %d vs %d", seq.NCCount(), par.NCCount())
+	}
+	for i := range seq.Results {
+		if seq.Results[i].Noncompliant() != par.Results[i].Noncompliant() {
+			t.Fatalf("entry %d verdict differs", i)
+		}
+		if len(seq.Results[i].Findings) != len(par.Results[i].Findings) {
+			t.Fatalf("entry %d finding count differs", i)
+		}
+	}
+}
+
+func TestLintDERsOrderAndErrors(t *testing.T) {
+	c, err := corpus.Generate(corpus.Config{Size: 30, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ders := make([][]byte, len(c.Entries))
+	for i, e := range c.Entries {
+		ders[i] = e.DER
+	}
+	results, err := LintDERs(context.Background(), ders, lint.Global, lint.Options{}, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(ders) {
+		t.Fatalf("results %d", len(results))
+	}
+	for i, r := range results {
+		want := lint.Global.Run(c.Entries[i].Cert, lint.Options{})
+		if r.Noncompliant() != want.Noncompliant() {
+			t.Fatalf("certificate %d verdict differs from direct lint", i)
+		}
+	}
+	// Garbage input must surface a parse error, not a panic or a hole.
+	if _, err := LintDERs(context.Background(), [][]byte{{0x00, 0x01}}, lint.Global, lint.Options{}, Config{Workers: 4}); err == nil {
+		t.Fatal("garbage DER must error")
+	}
+}
+
+func TestMeasureCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Measure(ctx, corpus.Config{Size: 5000, Seed: 1}, lint.Global, lint.Options{}, Config{Workers: 2})
+	if err == nil {
+		t.Fatal("cancelled measure must error")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMeasureStats(t *testing.T) {
+	const size = 200
+	res, err := Measure(context.Background(), corpus.Config{Size: size, Seed: 3, PrecertFraction: 0.1}, lint.Global, lint.Options{}, Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats
+	if s.Workers != 2 {
+		t.Errorf("workers %d", s.Workers)
+	}
+	if s.Linted < size {
+		t.Errorf("linted %d < %d", s.Linted, size)
+	}
+	if s.Generated < s.Linted {
+		t.Errorf("generated %d < linted %d", s.Generated, s.Linted)
+	}
+	if s.CertsPerSec <= 0 {
+		t.Errorf("certs/sec %f", s.CertsPerSec)
+	}
+	if len(res.Measurement.Results) != len(res.Measurement.Corpus.Entries) {
+		t.Errorf("results not parallel to entries: %d vs %d", len(res.Measurement.Results), len(res.Measurement.Corpus.Entries))
+	}
+}

@@ -31,6 +31,15 @@ var confusable = map[rune]rune{
 // characters — an approximation of the TR#39 skeleton used to decide
 // whether two strings are homographs.
 func Skeleton(s string) string {
+	// ASCII fast path: no confusable mapping applies below 0x80 (the
+	// only ASCII key in the table is the identity ';'), and the
+	// invisible/bidi filters only match runes ≥ 0x80, so the skeleton
+	// reduces to lowercasing — and to the input itself when there is
+	// nothing to lowercase. strings.ToLower has its own no-change
+	// fast path, so the common all-lowercase hostname allocates nothing.
+	if allASCII(s) {
+		return strings.ToLower(s)
+	}
 	var sb strings.Builder
 	sb.Grow(len(s))
 	for _, r := range s {

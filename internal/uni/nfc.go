@@ -115,8 +115,25 @@ const (
 	hangulSCount = hangulLCount * hangulNCount
 )
 
+// allASCII reports whether s contains only bytes < 0x80. ASCII strings
+// are NFC-invariant (no decompositions, no combining marks), which lets
+// the normalization entry points return their input without allocating —
+// the common case for certificate fields, where most DNS names and many
+// DirectoryString values are plain ASCII.
+func allASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
 // Decompose returns the canonical decomposition (NFD over our table) of s.
 func Decompose(s string) string {
+	if allASCII(s) {
+		return s
+	}
 	var out []rune
 	for _, r := range s {
 		out = appendDecomposed(out, r)
@@ -161,6 +178,9 @@ func sortMarks(rs []rune) {
 // NFC returns the canonical composition of s (decompose, reorder,
 // compose).
 func NFC(s string) string {
+	if allASCII(s) {
+		return s
+	}
 	rs := []rune(Decompose(s))
 	if len(rs) == 0 {
 		return s
@@ -213,7 +233,12 @@ func NFC(s string) string {
 
 // IsNFC reports whether s is already in canonical composition form
 // with respect to our table.
-func IsNFC(s string) bool { return s == NFC(s) }
+func IsNFC(s string) bool {
+	if allASCII(s) {
+		return true
+	}
+	return s == NFC(s)
+}
 
 // HasDecomposedSequence reports whether s contains a base+mark sequence
 // our table would compose — a fast positive signal for the T2 lints.

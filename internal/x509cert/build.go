@@ -90,7 +90,8 @@ func Build(t *Template, issuerKey, subjectKey *KeyPair) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	var b asn1der.Builder
+	b := asn1der.AcquireBuilder()
+	defer asn1der.ReleaseBuilder(b)
 	b.AddSequence(func(b *asn1der.Builder) {
 		b.AddRaw(tbs)
 		b.AddSequence(func(b *asn1der.Builder) { b.AddOID(OIDECDSAWithSHA256) })
@@ -104,7 +105,8 @@ func buildTBS(t *Template, subjectKey *KeyPair) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	var b asn1der.Builder
+	b := asn1der.AcquireBuilder()
+	defer asn1der.ReleaseBuilder(b)
 	b.AddSequence(func(b *asn1der.Builder) {
 		b.AddExplicit(0, func(b *asn1der.Builder) { b.AddInt(2) }) // v3
 		b.AddBigInt(t.SerialNumber)
@@ -169,8 +171,9 @@ func addExtension(b *asn1der.Builder, e Extension) {
 func buildExtensions(t *Template) ([]Extension, error) {
 	var exts []Extension
 	add := func(oid asn1der.OID, critical bool, build func(*asn1der.Builder)) error {
-		var b asn1der.Builder
-		build(&b)
+		b := asn1der.AcquireBuilder()
+		defer asn1der.ReleaseBuilder(b)
+		build(b)
 		der, err := b.Bytes()
 		if err != nil {
 			return err
