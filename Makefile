@@ -1,19 +1,23 @@
 GO ?= go
 
 # Packages with concurrency-sensitive code (crawl/retry plus the fused
-# measurement pipeline); these run under the race detector in
-# `make check`.
+# measurement pipeline and the lock-free instrument registry); these
+# run under the race detector in `make check`.
 RACE_PKGS := ./internal/ctlog/... ./internal/monitor/... ./internal/faultinject/... \
-	./internal/pipeline/... ./internal/corpus/... ./internal/lint/...
+	./internal/pipeline/... ./internal/corpus/... ./internal/lint/... \
+	./internal/obs/...
 
 # End-to-end corpus size for `make bench` (34800 ≈ 1:1000 of the
 # paper's dataset). Lower it for quick local runs:
 #   make bench BENCH_E2E_SIZE=3480
 BENCH_E2E_SIZE ?= 34800
-# Free-form note recorded in BENCH_2.json (hardware caveats etc.).
+# Free-form note recorded in BENCH_3.json (hardware caveats etc.).
 BENCH_NOTE ?=
 
-.PHONY: build vet test race check bench
+# Address the smoke-metrics crawl serves its /metrics endpoint on.
+SMOKE_METRICS_ADDR ?= 127.0.0.1:19321
+
+.PHONY: build vet test race check bench smoke-metrics
 build:
 	$(GO) build ./...
 
@@ -26,14 +30,45 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-check: build vet test race
+check: build vet test race smoke-metrics
 
 # bench runs the end-to-end pipeline benchmarks (1 iteration each at
 # paper scale), the per-stage generate/lint benchmarks, and the registry
-# allocation guard, then records everything in BENCH_2.json.
+# allocation guard, then records everything — including the obs
+# histogram snapshots the E2E benchmarks print — in BENCH_3.json.
 bench:
 	{ BENCH_E2E_SIZE=$(BENCH_E2E_SIZE) $(GO) test -run '^$$' \
 		-bench 'MeasureCorpusE2E|PipelineGenerateOnly|PipelineLintOnly' \
 		-benchtime 1x -benchmem . ; \
 	  $(GO) test -run '^$$' -bench 'RegistryRun' -benchmem ./internal/lint ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_2.json -note "$(BENCH_NOTE)"
+	| $(GO) run ./cmd/benchjson -o BENCH_3.json -note "$(BENCH_NOTE)"
+
+# smoke-metrics boots a faulted ctmonitor crawl with a live metrics
+# endpoint, scrapes /metrics, and asserts the crawl and client
+# instruments are present with non-zero values.
+smoke-metrics:
+	@$(GO) build -o /tmp/ctmonitor-smoke ./cmd/ctmonitor
+	@rm -f /tmp/ctmonitor-smoke.metrics; \
+	/tmp/ctmonitor-smoke -entries 120 -fault-rate 0.25 -batch 16 \
+		-metrics-addr $(SMOKE_METRICS_ADDR) -linger 30s \
+		>/dev/null 2>/tmp/ctmonitor-smoke.log & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	ok=0; \
+	for i in $$(seq 1 100); do \
+		if curl -sf http://$(SMOKE_METRICS_ADDR)/metrics -o /tmp/ctmonitor-smoke.metrics 2>/dev/null \
+			&& grep -q '^monitor_entries_synced_total [1-9]' /tmp/ctmonitor-smoke.metrics; then \
+			ok=1; break; \
+		fi; \
+		sleep 0.2; \
+	done; \
+	[ $$ok -eq 1 ] || { echo "smoke-metrics: FAIL: no scrape with synced entries (see /tmp/ctmonitor-smoke.log)"; exit 1; }; \
+	for pat in 'ctlog_requests_total{outcome="retryable"} [1-9]' \
+		'ctlog_requests_total{outcome="ok"} [1-9]' \
+		'ctlog_request_seconds_bucket' \
+		'ctlog_server_requests_total' \
+		'monitor_checkpoint_age_seconds'; do \
+		grep -q "$$pat" /tmp/ctmonitor-smoke.metrics || { \
+			echo "smoke-metrics: FAIL: missing $$pat"; exit 1; }; \
+	done; \
+	echo "smoke-metrics: OK ($$(wc -l < /tmp/ctmonitor-smoke.metrics) exposition lines)"

@@ -31,6 +31,8 @@ import (
 	"repro/internal/lint"
 	"repro/internal/middlebox"
 	"repro/internal/monitor"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/report"
 	"repro/internal/revocation"
 	"repro/internal/rfcrules"
@@ -411,20 +413,39 @@ func benchE2ESize(b *testing.B) int {
 
 func benchMeasureE2E(b *testing.B, workers int) {
 	a := core.NewAnalyzer()
+	reg := obs.NewRegistry()
 	cfg := corpus.DefaultConfig()
 	cfg.Size = benchE2ESize(b)
 	certs := 0
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		m, err := a.MeasureCorpusParallel(context.Background(), cfg, lint.Options{}, workers)
+		res, err := a.MeasureCorpusPipeline(context.Background(), cfg, lint.Options{},
+			pipeline.Config{Workers: workers, Obs: reg})
 		if err != nil {
 			b.Fatal(err)
 		}
-		certs += len(m.Corpus.Entries)
+		certs += len(res.Measurement.Corpus.Entries)
 	}
+	b.StopTimer()
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(certs)/secs, "certs/s")
+	}
+	printObsHistograms(b.Name(), reg, "pipeline_slot_generate_seconds", "pipeline_slot_lint_seconds")
+}
+
+// printObsHistograms emits one "obshist" line per named histogram so
+// benchjson records the per-slot latency distributions alongside the
+// throughput numbers in BENCH_3.json.
+func printObsHistograms(bench string, reg *obs.Registry, names ...string) {
+	for _, name := range names {
+		h := reg.Histogram(name, nil)
+		s := h.Snapshot()
+		if s.Count == 0 {
+			continue
+		}
+		fmt.Printf("obshist %s %s count=%d sum=%g p50=%g p90=%g p99=%g\n",
+			bench, name, s.Count, s.Sum, s.Quantile(0.5), s.Quantile(0.9), s.Quantile(0.99))
 	}
 }
 

@@ -32,6 +32,18 @@ type Benchmark struct {
 	CertsPerSec float64 `json:"certs_per_sec,omitempty"`
 }
 
+// Histogram is one parsed "obshist" snapshot line, emitted by the E2E
+// benchmarks from their obs registry (per-slot latency distributions).
+type Histogram struct {
+	Bench  string  `json:"bench"`
+	Metric string  `json:"metric"`
+	Count  int64   `json:"count"`
+	Sum    float64 `json:"sum"`
+	P50    float64 `json:"p50"`
+	P90    float64 `json:"p90"`
+	P99    float64 `json:"p99"`
+}
+
 // Report is the file schema.
 type Report struct {
 	Generated      string      `json:"generated"`
@@ -42,6 +54,7 @@ type Report struct {
 	E2ESpeedup8W   float64     `json:"e2e_speedup_8_workers,omitempty"`
 	E2ESpeedupNCPU float64     `json:"e2e_speedup_numcpu,omitempty"`
 	Benchmarks     []Benchmark `json:"benchmarks"`
+	Histograms     []Histogram `json:"histograms,omitempty"`
 }
 
 func main() {
@@ -50,6 +63,7 @@ func main() {
 	flag.Parse()
 
 	var benches []Benchmark
+	var hists []Histogram
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -57,6 +71,9 @@ func main() {
 		fmt.Println(line)
 		if b, ok := parseBenchLine(line); ok {
 			benches = append(benches, b)
+		}
+		if h, ok := parseObsHistLine(line); ok {
+			hists = append(hists, h)
 		}
 	}
 	if err := sc.Err(); err != nil {
@@ -71,6 +88,7 @@ func main() {
 		NumCPU:     runtime.NumCPU(),
 		Note:       *note,
 		Benchmarks: benches,
+		Histograms: hists,
 	}
 	if base := nsFor(benches, "BenchmarkMeasureCorpusE2E1"); base > 0 {
 		if w8 := nsFor(benches, "BenchmarkMeasureCorpusE2E8"); w8 > 0 {
@@ -135,6 +153,43 @@ func parseBenchLine(line string) (Benchmark, bool) {
 		return Benchmark{}, false
 	}
 	return b, true
+}
+
+// parseObsHistLine parses a histogram snapshot line of the form
+//
+//	obshist BenchmarkMeasureCorpusE2E8 pipeline_slot_lint_seconds count=870 sum=1.23 p50=0.0004 p90=0.0016 p99=0.0065
+func parseObsHistLine(line string) (Histogram, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 3 || fields[0] != "obshist" {
+		return Histogram{}, false
+	}
+	h := Histogram{Bench: fields[1], Metric: fields[2]}
+	for _, f := range fields[3:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok {
+			return Histogram{}, false
+		}
+		x, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return Histogram{}, false
+		}
+		switch k {
+		case "count":
+			h.Count = int64(x)
+		case "sum":
+			h.Sum = x
+		case "p50":
+			h.P50 = x
+		case "p90":
+			h.P90 = x
+		case "p99":
+			h.P99 = x
+		}
+	}
+	if h.Count == 0 {
+		return Histogram{}, false
+	}
+	return h, true
 }
 
 func nsFor(benches []Benchmark, name string) float64 {

@@ -10,18 +10,31 @@
 // index every parseable certificate, surfacing its retry/skip
 // accounting in the report.
 //
+// Observability: the whole run is instrumented through internal/obs.
+// -metrics-addr serves /metrics (Prometheus text), /debug/vars, and
+// /debug/pprof while the crawl runs (the log front end serves the same
+// endpoints); -stats-json prints the final per-monitor SyncStats plus
+// a metrics snapshot as one JSON object on stdout (human output moves
+// to stderr); -linger keeps the process and its metrics endpoint alive
+// after the crawl so scrapers can collect the final state.
+//
 // Usage:
 //
 //	ctmonitor [-entries 200] [-query victim.example] [-batch 64]
 //	          [-fault-rate 0.25] [-fault-seed 42]
 //	          [-max-retries 4] [-timeout 10s]
+//	          [-metrics-addr :9090] [-stats-json] [-linger 30s]
+//	          [-progress 10s]
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/big"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -31,6 +44,7 @@ import (
 	"repro/internal/ctlog"
 	"repro/internal/faultinject"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/x509cert"
 )
@@ -43,16 +57,39 @@ func main() {
 	faultSeed := flag.Int64("fault-seed", 42, "seed for the deterministic fault injector")
 	maxRetries := flag.Int("max-retries", ctlog.DefaultMaxRetries, "HTTP retry attempts for retryable failures")
 	timeout := flag.Duration("timeout", ctlog.DefaultTimeout, "per-request HTTP timeout")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (e.g. :9090)")
+	statsJSON := flag.Bool("stats-json", false, "print final SyncStats + metrics snapshot as one JSON object on stdout")
+	linger := flag.Duration("linger", 0, "keep serving metrics this long after the crawl finishes")
+	progressEvery := flag.Duration("progress", 0, "emit a progress line to stderr every interval (0 disables)")
 	flag.Parse()
 
-	// 1. Stand up the log.
+	// Human-readable output goes to stdout normally, to stderr when
+	// stdout carries the JSON object.
+	out := io.Writer(os.Stdout)
+	if *statsJSON {
+		out = os.Stderr
+	}
+
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(0)
+	if *metricsAddr != "" {
+		serveMetrics(*metricsAddr, reg)
+	}
+	if *progressEvery > 0 {
+		prog := obs.NewProgress(os.Stderr, reg, *progressEvery, "monitor_", "ctlog_")
+		prog.Start()
+		defer prog.Stop()
+	}
+
+	// 1. Stand up the log; its front end serves the same observability
+	// endpoints alongside the ct/v1 API.
 	log, err := ctlog.NewLog(2025)
 	if err != nil {
 		fatal("%v", err)
 	}
-	srv := httptest.NewServer((&ctlog.Server{Log: log}).Handler())
+	srv := httptest.NewServer((&ctlog.Server{Log: log, Obs: reg}).Handler())
 	defer srv.Close()
-	fmt.Printf("CT log serving at %s\n", srv.URL)
+	fmt.Fprintf(out, "CT log serving at %s\n", srv.URL)
 
 	// 2. Submit corpus certificates plus one crafted forgery for the
 	// victim domain.
@@ -73,7 +110,7 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Printf("logged %d entries (tree head %x…)\n\n", sth.Size, sth.Root[:8])
+	fmt.Fprintf(out, "logged %d entries (tree head %x…)\n\n", sth.Size, sth.Root[:8])
 
 	// 3. Every monitor syncs through the HTTP API — optionally through
 	// the fault injector — and answers the owner's query.
@@ -85,7 +122,7 @@ func main() {
 			Rate: *faultRate,
 		}, nil)
 		transport = injector
-		fmt.Printf("fault injector armed: rate %.0f%%, seed %d\n\n", *faultRate*100, *faultSeed)
+		fmt.Fprintf(out, "fault injector armed: rate %.0f%%, seed %d\n\n", *faultRate*100, *faultSeed)
 	}
 	// The client treats 0 as "use the default", so translate the
 	// flag's literal 0 into its explicit "no retries" value.
@@ -98,19 +135,32 @@ func main() {
 		HTTP:       &http.Client{Transport: transport},
 		MaxRetries: retries,
 		Timeout:    *timeout,
+		Obs:        reg,
+		Tracer:     tracer,
 	}
 	ctx := context.Background()
 	var rows [][]string
+	perMonitor := make(map[string]monitor.SyncStats)
+	var totals monitor.SyncStats
 	for _, caps := range monitor.Monitors() {
 		if caps.Discontinued {
 			rows = append(rows, []string{caps.Name, "-", "-", "-", "-", "service discontinued"})
 			continue
 		}
 		m := monitor.New(caps)
-		stats, err := m.SyncFromLog(ctx, client, monitor.SyncOptions{Batch: *batch})
+		stats, err := m.SyncFromLog(ctx, client, monitor.SyncOptions{Batch: *batch, Obs: reg, Tracer: tracer})
 		if err != nil {
 			fatal("%s: %v", caps.Name, err)
 		}
+		perMonitor[caps.Name] = stats
+		totals.Fetched += stats.Fetched
+		totals.Precerts += stats.Precerts
+		totals.ParseErrors += stats.ParseErrors
+		totals.Indexed += stats.Indexed
+		totals.Retries += stats.Retries
+		totals.SkippedEntries += stats.SkippedEntries
+		totals.Bisections += stats.Bisections
+		totals.Duration += stats.Duration
 		res := m.Query(*query)
 		verdict := fmt.Sprintf("%d certificate(s) found", len(res.IDs))
 		if res.Refused {
@@ -127,19 +177,51 @@ func main() {
 			verdict,
 		})
 	}
-	fmt.Println(report.Table(
+	fmt.Fprintln(out, report.Table(
 		[]string{"Monitor", "Indexed", "Parse errors", "Retries", "Skipped", fmt.Sprintf("Query %q", *query)},
 		rows))
 	if injector != nil {
 		st := injector.Stats()
-		fmt.Printf("\ninjector: %d requests, %d faults", st.Requests, st.Total())
+		fmt.Fprintf(out, "\ninjector: %d requests, %d faults", st.Requests, st.Total())
 		for _, k := range faultinject.AllKinds() {
 			if n := st.Faults[k]; n > 0 {
-				fmt.Printf(", %s×%d", k, n)
+				fmt.Fprintf(out, ", %s×%d", k, n)
 			}
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
+
+	if *statsJSON {
+		obj := struct {
+			Monitors map[string]monitor.SyncStats `json:"monitors"`
+			Totals   monitor.SyncStats            `json:"totals"`
+			Metrics  map[string]any               `json:"metrics"`
+		}{perMonitor, totals, reg.VarsSnapshot()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(obj); err != nil {
+			fatal("%v", err)
+		}
+	}
+	if *linger > 0 {
+		fmt.Fprintf(os.Stderr, "ctmonitor: lingering %v for scrapers\n", *linger)
+		time.Sleep(*linger)
+	}
+}
+
+// serveMetrics mounts the registry's exposition endpoints on a
+// dedicated listener; the process serves them until it exits.
+func serveMetrics(addr string, reg *obs.Registry) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fatal("metrics listener: %v", err)
+	}
+	fmt.Fprintf(os.Stderr, "ctmonitor: metrics at http://%s/metrics\n", ln.Addr())
+	go func() {
+		if err := http.Serve(ln, reg.Handler()); err != nil {
+			fmt.Fprintf(os.Stderr, "ctmonitor: metrics server: %v\n", err)
+		}
+	}()
 }
 
 // buildForgery crafts the §6.1 NUL-bearing certificate targeting the

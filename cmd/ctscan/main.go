@@ -2,20 +2,31 @@
 // and regenerates the paper's issuance-side tables and figures:
 // Tables 1, 2, 3, and 11, and Figures 2, 3, and 4.
 //
+// While the measurement runs, -metrics-addr serves the pipeline's
+// live instruments (pipeline_* throughput and latency, per-lint
+// lint_hits_total — the Table 1 cells accumulating in real time) as
+// /metrics, /debug/vars, and /debug/pprof; -progress emits a
+// structured progress line to stderr every interval.
+//
 // Usage:
 //
 //	ctscan -size 34800 [-workers N] [-table 1|2|3|11] [-figure 2|3|4] [-all-dates]
+//	       [-metrics-addr :9090] [-progress 10s]
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/lint"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
 	"repro/internal/report"
 )
 
@@ -26,17 +37,39 @@ func main() {
 	table := flag.Int("table", 0, "print one table (1, 2, 3, or 11); 0 = all")
 	figure := flag.Int("figure", 0, "print one figure (2, 3, or 4); 0 = all")
 	allDates := flag.Bool("all-dates", false, "ignore lint effective dates")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (e.g. :9090)")
+	progressEvery := flag.Duration("progress", 0, "emit a progress line to stderr every interval (0 disables)")
 	flag.Parse()
 
 	a := core.NewAnalyzer()
+	reg := obs.NewRegistry()
+	a.Registry.EnableMetrics(reg)
+	if *metricsAddr != "" {
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctscan: metrics listener: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ctscan: metrics at http://%s/metrics\n", ln.Addr())
+		go http.Serve(ln, reg.Handler())
+	}
+	if *progressEvery > 0 {
+		prog := obs.NewProgress(os.Stderr, reg, *progressEvery, "pipeline_")
+		prog.Start()
+		defer prog.Stop()
+	}
+
 	cfg := corpus.DefaultConfig()
 	cfg.Size = *size
 	cfg.Seed = *seed
-	m, err := a.MeasureCorpusParallel(context.Background(), cfg, lint.Options{IgnoreEffectiveDates: *allDates}, *workers)
+	res, err := a.MeasureCorpusPipeline(context.Background(), cfg,
+		lint.Options{IgnoreEffectiveDates: *allDates},
+		pipeline.Config{Workers: *workers, Obs: reg})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ctscan: %v\n", err)
 		os.Exit(1)
 	}
+	m := res.Measurement
 
 	all := *table == 0 && *figure == 0
 	total := len(m.Corpus.Entries)

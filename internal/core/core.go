@@ -71,11 +71,19 @@ func (a *Analyzer) MeasureCorpus(cfg corpus.Config, opts lint.Options) (*corpus.
 // MeasureCorpusParallel is MeasureCorpus with explicit worker count
 // (0 = runtime.NumCPU) and cancellation.
 func (a *Analyzer) MeasureCorpusParallel(ctx context.Context, cfg corpus.Config, opts lint.Options, workers int) (*corpus.Measurement, error) {
-	res, err := pipeline.Measure(ctx, cfg, a.Registry, opts, pipeline.Config{Workers: workers})
+	res, err := a.MeasureCorpusPipeline(ctx, cfg, opts, pipeline.Config{Workers: workers})
 	if err != nil {
 		return nil, err
 	}
 	return res.Measurement, nil
+}
+
+// MeasureCorpusPipeline is the fully-configurable measurement entry
+// point: the caller supplies the pipeline config (workers, obs
+// registry, progress hook) and receives the pipeline result including
+// its Stats. The command-line tools use it to attach observability.
+func (a *Analyzer) MeasureCorpusPipeline(ctx context.Context, cfg corpus.Config, opts lint.Options, pc pipeline.Config) (*pipeline.Result, error) {
+	return pipeline.Measure(ctx, cfg, a.Registry, opts, pc)
 }
 
 // LibraryAnalysis runs the RQ2 differential tests and returns the

@@ -24,6 +24,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Client defaults; zero-valued fields fall back to these.
@@ -59,11 +61,106 @@ type Client struct {
 	// chaos runs fast). The default honors context cancellation.
 	Sleep func(context.Context, time.Duration) error
 
+	// Obs, when non-nil, receives the client's instruments:
+	// ctlog_requests_total{outcome}, ctlog_request_seconds{endpoint},
+	// and ctlog_retries_total.
+	Obs *obs.Registry
+	// Tracer, when non-nil, records one span per logical request with
+	// per-attempt and backoff child spans, so chaos tests can assert
+	// retry → backoff → success causality.
+	Tracer *obs.Tracer
+
 	retries atomic.Int64
+
+	metOnce sync.Once
+	met     *clientMetrics
 
 	rngMu   sync.Mutex
 	rng     *rand.Rand
 	rngOnce sync.Once
+}
+
+// clientMetrics caches the instrument handles so the request path pays
+// one atomic op per sample, never a registry lookup.
+type clientMetrics struct {
+	reqOK        *obs.Counter
+	reqRetryable *obs.Counter
+	reqFatal     *obs.Counter
+	retries      *obs.Counter
+	latSTH       *obs.Histogram
+	latEntries   *obs.Histogram
+	latOther     *obs.Histogram
+}
+
+func (m *clientMetrics) latency(endpoint string) *obs.Histogram {
+	switch endpoint {
+	case "get-sth":
+		return m.latSTH
+	case "get-entries":
+		return m.latEntries
+	}
+	return m.latOther
+}
+
+func (m *clientMetrics) outcome(o string) *obs.Counter {
+	switch o {
+	case "ok":
+		return m.reqOK
+	case "retryable":
+		return m.reqRetryable
+	}
+	return m.reqFatal
+}
+
+// metrics resolves (once) the client's instruments; nil when Obs is
+// unset, and every instrument method is nil-safe, so call sites stay
+// unconditional.
+func (c *Client) metrics() *clientMetrics {
+	if c.Obs == nil {
+		return nil
+	}
+	c.metOnce.Do(func() {
+		r := c.Obs
+		r.Help("ctlog_requests_total", "CT log HTTP attempts by outcome (ok, retryable, fatal).")
+		r.Help("ctlog_request_seconds", "Per-attempt CT log HTTP latency by endpoint.")
+		r.Help("ctlog_retries_total", "Retry attempts performed after retryable failures.")
+		c.met = &clientMetrics{
+			reqOK:        r.Counter("ctlog_requests_total", "outcome", "ok"),
+			reqRetryable: r.Counter("ctlog_requests_total", "outcome", "retryable"),
+			reqFatal:     r.Counter("ctlog_requests_total", "outcome", "fatal"),
+			retries:      r.Counter("ctlog_retries_total"),
+			latSTH:       r.Histogram("ctlog_request_seconds", nil, "endpoint", "get-sth"),
+			latEntries:   r.Histogram("ctlog_request_seconds", nil, "endpoint", "get-entries"),
+			latOther:     r.Histogram("ctlog_request_seconds", nil, "endpoint", "other"),
+		}
+	})
+	return c.met
+}
+
+// endpointOf classifies a request path into a low-cardinality label —
+// never the raw path, whose query ranges would explode the label space.
+func endpointOf(path string) string {
+	if i := strings.IndexByte(path, '?'); i >= 0 {
+		path = path[:i]
+	}
+	switch {
+	case strings.HasSuffix(path, "/get-sth"):
+		return "get-sth"
+	case strings.HasSuffix(path, "/get-entries"):
+		return "get-entries"
+	}
+	return "other"
+}
+
+// outcomeOf classifies an attempt error for metrics and span attrs.
+func outcomeOf(err error) string {
+	switch {
+	case err == nil:
+		return "ok"
+	case IsRetryable(err):
+		return "retryable"
+	}
+	return "fatal"
 }
 
 // Retries returns the cumulative number of retry attempts the client
@@ -200,10 +297,31 @@ func (c *Client) sleep(ctx context.Context, d time.Duration) error {
 	}
 }
 
-// getJSON performs one logical request with the retry policy.
-func (c *Client) getJSON(ctx context.Context, path string, v any) error {
+// getJSON performs one logical request with the retry policy,
+// recording per-attempt metrics and (when a tracer is attached) a
+// request span with attempt/backoff children.
+func (c *Client) getJSON(ctx context.Context, path string, v any) (err error) {
+	met := c.metrics()
+	endpoint := endpointOf(path)
+	ctx, span := c.Tracer.Start(ctx, "ctlog."+endpoint)
+	span.SetAttr("path", path)
+	defer func() {
+		span.SetAttr("outcome", outcomeOf(err))
+		span.End()
+	}()
 	for attempt := 0; ; attempt++ {
-		err := c.doOnce(ctx, path, v)
+		_, asp := c.Tracer.Start(ctx, "attempt")
+		var start time.Time
+		if met != nil {
+			start = time.Now()
+		}
+		err = c.doOnce(ctx, path, v)
+		if met != nil {
+			met.latency(endpoint).Observe(time.Since(start).Seconds())
+			met.outcome(outcomeOf(err)).Inc()
+		}
+		asp.SetAttr("outcome", outcomeOf(err))
+		asp.End()
 		if err == nil {
 			return nil
 		}
@@ -214,7 +332,13 @@ func (c *Client) getJSON(ctx context.Context, path string, v any) error {
 			return err
 		}
 		c.retries.Add(1)
-		if serr := c.sleep(ctx, c.backoff(attempt)); serr != nil {
+		if met != nil {
+			met.retries.Inc()
+		}
+		_, bsp := c.Tracer.Start(ctx, "backoff")
+		serr := c.sleep(ctx, c.backoff(attempt))
+		bsp.End()
+		if serr != nil {
 			return serr
 		}
 	}

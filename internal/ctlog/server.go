@@ -11,6 +11,9 @@ import (
 	"fmt"
 	"net/http"
 	"strconv"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // DefaultMaxGetEntries is the get-entries batch cap applied when
@@ -25,6 +28,11 @@ type Server struct {
 	// carry; requests for larger ranges are clamped, not rejected.
 	// Zero means DefaultMaxGetEntries.
 	MaxGetEntries int
+	// Obs, when non-nil, adds server-side request accounting
+	// (ctlog_server_requests_total, ctlog_server_request_seconds) and
+	// mounts the registry's exposition endpoints (/metrics,
+	// /debug/vars, /debug/pprof/) on the handler.
+	Obs *obs.Registry
 }
 
 func (s *Server) maxGetEntries() int {
@@ -34,15 +42,40 @@ func (s *Server) maxGetEntries() int {
 	return DefaultMaxGetEntries
 }
 
-// Handler returns the HTTP handler with the ct/v1 routes.
+// Handler returns the HTTP handler with the ct/v1 routes. With Obs
+// set, every route is counted and timed, and the observability
+// endpoints are mounted alongside the log API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/ct/v1/add-chain", s.addChain)
-	mux.HandleFunc("/ct/v1/get-sth", s.getSTH)
-	mux.HandleFunc("/ct/v1/get-entries", s.getEntries)
-	mux.HandleFunc("/ct/v1/get-proof-by-hash", s.getProof)
-	mux.HandleFunc("/ct/v1/get-sth-consistency", s.getConsistency)
+	s.route(mux, "/ct/v1/add-chain", "add-chain", s.addChain)
+	s.route(mux, "/ct/v1/get-sth", "get-sth", s.getSTH)
+	s.route(mux, "/ct/v1/get-entries", "get-entries", s.getEntries)
+	s.route(mux, "/ct/v1/get-proof-by-hash", "get-proof-by-hash", s.getProof)
+	s.route(mux, "/ct/v1/get-sth-consistency", "get-sth-consistency", s.getConsistency)
+	if s.Obs != nil {
+		h := s.Obs.Handler()
+		mux.Handle("/metrics", h)
+		mux.Handle("/debug/", h)
+	}
 	return mux
+}
+
+// route mounts one log endpoint, instrumented when Obs is set.
+func (s *Server) route(mux *http.ServeMux, path, endpoint string, h http.HandlerFunc) {
+	if s.Obs == nil {
+		mux.HandleFunc(path, h)
+		return
+	}
+	s.Obs.Help("ctlog_server_requests_total", "Log front-end requests served, by endpoint.")
+	s.Obs.Help("ctlog_server_request_seconds", "Log front-end handler latency, by endpoint.")
+	ctr := s.Obs.Counter("ctlog_server_requests_total", "endpoint", endpoint)
+	lat := s.Obs.Histogram("ctlog_server_request_seconds", nil, "endpoint", endpoint)
+	mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		lat.Observe(time.Since(start).Seconds())
+		ctr.Inc()
+	})
 }
 
 type addChainRequest struct {

@@ -17,6 +17,7 @@ package faultinject
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -206,10 +207,8 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 			t.mu.Unlock()
 			return syntheticResponse(req, http.StatusOK, body, "application/json"), nil
 		case Latency:
-			select {
-			case <-time.After(t.cfg.Latency):
-			case <-req.Context().Done():
-				return nil, req.Context().Err()
+			if err := sleepCtx(req.Context(), t.cfg.Latency); err != nil {
+				return nil, err
 			}
 		}
 	}
@@ -252,6 +251,21 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	resp.Body = io.NopCloser(bytes.NewReader(body))
 	resp.ContentLength = int64(len(body))
 	return resp, nil
+}
+
+// sleepCtx waits for d or until ctx is cancelled, whichever comes
+// first. Unlike time.After, the timer is stopped on cancellation, so
+// a long configured latency does not pin a timer (and its goroutine
+// wakeup) after the caller has gone away.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
 }
 
 // poison rewrites the leaf_input of configured entry indices to
@@ -341,9 +355,7 @@ func (t *Transport) Handler(next http.Handler) http.Handler {
 		}
 		switch kind {
 		case Latency:
-			select {
-			case <-time.After(t.cfg.Latency):
-			case <-r.Context().Done():
+			if err := sleepCtx(r.Context(), t.cfg.Latency); err != nil {
 				return
 			}
 			next.ServeHTTP(w, r)

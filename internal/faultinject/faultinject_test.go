@@ -1,6 +1,7 @@
 package faultinject
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // backend serves a fixed JSON body on every path, plus a get-entries
@@ -265,5 +267,73 @@ func TestKindString(t *testing.T) {
 		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
 			t.Fatalf("kind %d has no name", int(k))
 		}
+	}
+}
+
+// TestLatencyCancelRoundTrip is the regression test for the latency
+// fault honouring context cancellation: a cancelled request must
+// return promptly with the context's error, not sit out the full
+// configured delay.
+func TestLatencyCancelRoundTrip(t *testing.T) {
+	srv := httptest.NewServer((&backend{sthSize: 5}).handler())
+	defer srv.Close()
+	tr := New(Config{Seed: 3, Rate: 1, Kinds: []Kind{Latency}, Latency: time.Minute, MaxConsecutive: -1}, nil)
+	client := &http.Client{Transport: tr}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = client.Do(req)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("cancelled request returned a response")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; the latency sleep ignored the context", elapsed)
+	}
+}
+
+// TestLatencyCancelHandler covers the server-side middleware's latency
+// path the same way: a client that goes away mid-delay must unblock
+// the handler promptly.
+func TestLatencyCancelHandler(t *testing.T) {
+	tr := New(Config{Seed: 3, Rate: 1, Kinds: []Kind{Latency}, Latency: time.Minute, MaxConsecutive: -1}, nil)
+	done := make(chan struct{})
+	srv := httptest.NewServer(tr.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("inner handler ran despite cancellation")
+	})))
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	go func() {
+		_, cerr := http.DefaultClient.Do(req)
+		if cerr == nil {
+			t.Error("cancelled request returned a response")
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler latency sleep did not unblock on cancellation")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v", elapsed)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/x509cert"
 )
 
@@ -168,6 +169,10 @@ type Lint struct {
 	CheckApplies func(c *x509cert.Certificate) bool
 	// Run evaluates the rule; only called when CheckApplies is true.
 	Run func(c *x509cert.Certificate) Result
+
+	// hits counts Fail outcomes when the registry has metrics enabled;
+	// nil (a no-op) otherwise. One atomic add per failing finding.
+	hits *obs.Counter
 }
 
 // Registry stores lints by name.
@@ -175,6 +180,7 @@ type Registry struct {
 	mu       sync.RWMutex
 	lints    map[string]*Lint
 	snapshot []*Lint // sorted, immutable; nil until first Snapshot after a Register
+	obsReg   *obs.Registry
 }
 
 // NewRegistry returns an empty registry.
@@ -193,8 +199,33 @@ func (r *Registry) Register(l *Lint) {
 	if l.CheckApplies == nil {
 		l.CheckApplies = func(*x509cert.Certificate) bool { return true }
 	}
+	if r.obsReg != nil {
+		l.hits = r.obsReg.Counter("lint_hits_total", "lint", l.Name)
+	}
 	r.lints[l.Name] = l
 	r.snapshot = nil // invalidate; rebuilt lazily by Snapshot
+}
+
+// EnableMetrics attaches a per-lint Fail counter
+// (lint_hits_total{lint="…"}) for every registered — and subsequently
+// registered — lint. The per-certificate cost is one atomic add per
+// failing finding; passing certificates pay nothing. These counters
+// are the live view of the Table 1 reproduction: each one is a
+// Table 1/Table 11 cell accumulating as the pipeline runs.
+//
+// Call it during setup, before concurrent Run traffic: it rewrites
+// each lint's counter pointer, which Run reads unlocked.
+func (r *Registry) EnableMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	reg.Help("lint_hits_total", "Fail outcomes per lint (live Table 1/11 accounting).")
+	r.obsReg = reg
+	for _, l := range r.lints {
+		l.hits = reg.Counter("lint_hits_total", "lint", l.Name)
+	}
 }
 
 // Snapshot returns the registry's lints pre-sorted by name as an
@@ -333,6 +364,9 @@ func (r *Registry) Run(c *x509cert.Certificate, opts Options) *CertResult {
 			continue
 		}
 		out := l.Run(c)
+		if out.Status == Fail {
+			l.hits.Add(1)
+		}
 		res.Findings = append(res.Findings, Finding{Lint: l, Status: out.Status, Details: out.Details})
 	}
 	return res

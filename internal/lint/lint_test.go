@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/x509cert"
 )
 
@@ -159,17 +160,18 @@ func TestSnapshotConcurrentRuns(t *testing.T) {
 	wg.Wait()
 }
 
-// BenchmarkRegistryRun guards the Snapshot optimization: Run used to
-// call All() (lock + map walk + sort of every lint) once per
-// certificate; it now walks the cached snapshot, and the only
-// remaining allocations are the result and its pre-sized findings.
-func BenchmarkRegistryRun(b *testing.B) {
+// benchRegistry builds a 95-lint registry shaped like the real one;
+// every third lint fails so hit counters are exercised.
+func benchRegistry() *Registry {
 	r := NewRegistry()
 	for i := 0; i < 95; i++ {
 		l := &Lint{
 			Name:     fmt.Sprintf("e_bench_lint_%02d", i),
 			Severity: Severity(i % 3),
 			Run:      func(*x509cert.Certificate) Result { return PassResult },
+		}
+		if i%3 == 0 {
+			l.Run = func(*x509cert.Certificate) Result { return Result{Status: Fail, Details: "bench"} }
 		}
 		if i%7 == 0 {
 			l.EffectiveDate = time.Date(2018, 1, 1, 0, 0, 0, 0, time.UTC)
@@ -179,13 +181,66 @@ func BenchmarkRegistryRun(b *testing.B) {
 		}
 		r.Register(l)
 	}
+	return r
+}
+
+// BenchmarkRegistryRun guards the Snapshot optimization: Run used to
+// call All() (lock + map walk + sort of every lint) once per
+// certificate; it now walks the cached snapshot, and the only
+// remaining allocations are the result and its pre-sized findings.
+// The /metrics sub-benchmark proves per-lint hit counters ride along
+// without adding allocations.
+func BenchmarkRegistryRun(b *testing.B) {
 	c := &x509cert.Certificate{NotBefore: time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)}
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if res := r.Run(c, Options{}); len(res.Findings) != 95 {
-			b.Fatalf("findings %d", len(res.Findings))
+	run := func(b *testing.B, r *Registry) {
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res := r.Run(c, Options{}); len(res.Findings) != 95 {
+				b.Fatalf("findings %d", len(res.Findings))
+			}
 		}
+	}
+	b.Run("bare", func(b *testing.B) { run(b, benchRegistry()) })
+	b.Run("metrics", func(b *testing.B) {
+		r := benchRegistry()
+		r.EnableMetrics(obs.NewRegistry())
+		run(b, r)
+	})
+}
+
+// TestRunAllocBudget enforces the instrumentation alloc budget from
+// the bench guard as a test: Run with per-lint hit counters enabled
+// must stay at the bare path's 2 allocations per certificate (the
+// CertResult and its findings slice).
+func TestRunAllocBudget(t *testing.T) {
+	r := benchRegistry()
+	r.EnableMetrics(obs.NewRegistry())
+	c := &x509cert.Certificate{NotBefore: time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)}
+	r.Run(c, Options{}) // warm the snapshot
+	if n := testing.AllocsPerRun(200, func() { r.Run(c, Options{}) }); n > 2 {
+		t.Fatalf("Run with metrics allocates %v/cert, budget is 2", n)
+	}
+}
+
+// TestHitCounters checks the per-lint Fail accounting that feeds the
+// live Table 1 view.
+func TestHitCounters(t *testing.T) {
+	r := NewRegistry()
+	r.Register(&Lint{Name: "e_fails", Run: func(*x509cert.Certificate) Result { return Failf("x") }})
+	oreg := obs.NewRegistry()
+	r.EnableMetrics(oreg)
+	// Lints registered after EnableMetrics get counters too.
+	r.Register(&Lint{Name: "e_passes", Run: func(*x509cert.Certificate) Result { return PassResult }})
+	c := &x509cert.Certificate{NotBefore: time.Date(2024, 6, 1, 0, 0, 0, 0, time.UTC)}
+	for i := 0; i < 3; i++ {
+		r.Run(c, Options{})
+	}
+	if got := oreg.Counter("lint_hits_total", "lint", "e_fails").Value(); got != 3 {
+		t.Fatalf("e_fails hits = %d, want 3", got)
+	}
+	if got := oreg.Counter("lint_hits_total", "lint", "e_passes").Value(); got != 0 {
+		t.Fatalf("e_passes hits = %d, want 0", got)
 	}
 }
 

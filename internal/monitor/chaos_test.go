@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/ctlog"
 	"repro/internal/faultinject"
+	"repro/internal/obs"
 )
 
 // chaosLog builds a log with total entries: a rotating set of
@@ -164,6 +165,140 @@ func TestChaosSyncIndexesEveryParseableCert(t *testing.T) {
 	}
 	if after := counter.getEntries.Load(); after != before {
 		t.Fatalf("resumed crawl issued %d get-entries requests", after-before)
+	}
+}
+
+// TestChaosObservability crawls through faults with a registry and a
+// tracer shared between client and monitor, then asserts the
+// instruments agree with SyncStats and the span ring shows the
+// retry → backoff → success causality parented under the crawl root.
+func TestChaosObservability(t *testing.T) {
+	const total = 200
+	log, _ := chaosLog(t, 61, total, 0)
+	poisoned := map[int]bool{77: true}
+	srv := httptest.NewServer((&ctlog.Server{Log: log}).Handler())
+	defer srv.Close()
+
+	injector := faultinject.New(faultinject.Config{
+		Seed:          5,
+		Rate:          0.3,
+		Kinds:         []faultinject.Kind{faultinject.ServerError, faultinject.Drop, faultinject.CorruptJSON},
+		PoisonEntries: poisoned,
+	}, nil)
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(0)
+	client := fastChaosClient(srv.URL, injector)
+	client.Obs = reg
+	client.Tracer = tracer
+
+	m := New(Monitors()[0])
+	stats, err := m.SyncFromLog(context.Background(), client, SyncOptions{Batch: 16, Obs: reg, Tracer: tracer})
+	if err != nil {
+		t.Fatalf("crawl: %v (injector %+v)", err, injector.Stats())
+	}
+
+	// Instruments agree with the crawl's own accounting.
+	counters := map[string]int{
+		"monitor_entries_synced_total":  stats.Fetched,
+		"monitor_entries_indexed_total": stats.Indexed,
+		"monitor_skipped_entries_total": stats.SkippedEntries,
+		"monitor_bisections_total":      stats.Bisections,
+		"ctlog_retries_total":           stats.Retries,
+	}
+	for name, want := range counters {
+		if got := reg.Counter(name).Value(); int(got) != want {
+			t.Errorf("%s = %d, stats say %d", name, got, want)
+		}
+	}
+	if stats.SkippedEntries == 0 || stats.Bisections == 0 || stats.Retries == 0 {
+		t.Fatalf("chaos run exercised too little: %+v", stats)
+	}
+	if got := reg.Counter("ctlog_requests_total", "outcome", "retryable").Value(); got == 0 {
+		t.Error("no retryable outcomes counted despite injected faults")
+	}
+	if snap := reg.Histogram("ctlog_request_seconds", nil, "endpoint", "get-entries").Snapshot(); snap.Count == 0 {
+		t.Error("get-entries latency histogram is empty")
+	}
+
+	// The exposition carries the names operators grep for.
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`ctlog_requests_total{outcome="retryable"}`,
+		"ctlog_request_seconds_bucket",
+		"monitor_entries_synced_total",
+		"monitor_checkpoint_age_seconds",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+
+	// Span causality: some request under the monitor.sync root saw a
+	// retryable attempt, then a backoff, then a successful attempt.
+	spans := tracer.Spans()
+	byID := make(map[uint64]obs.SpanData, len(spans))
+	var syncID uint64
+	for _, s := range spans {
+		byID[s.ID] = s
+		if s.Name == "monitor.sync" {
+			syncID = s.ID
+		}
+	}
+	if syncID == 0 {
+		t.Fatal("no monitor.sync root span recorded")
+	}
+	underSync := func(s obs.SpanData) bool {
+		for s.Parent != 0 {
+			if s.Parent == syncID {
+				return true
+			}
+			p, ok := byID[s.Parent]
+			if !ok {
+				return false
+			}
+			s = p
+		}
+		return false
+	}
+	found := false
+	for _, s := range spans {
+		if !strings.HasPrefix(s.Name, "ctlog.") || !underSync(s) {
+			continue
+		}
+		stage := 0
+		for _, k := range tracer.Children(s.ID) {
+			switch {
+			case stage == 0 && k.Name == "attempt" && k.Attrs["outcome"] == "retryable":
+				stage = 1
+			case stage == 1 && k.Name == "backoff":
+				stage = 2
+			case stage == 2 && k.Name == "attempt" && k.Attrs["outcome"] == "ok":
+				stage = 3
+			}
+		}
+		if stage == 3 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no request span shows retryable attempt -> backoff -> ok attempt under monitor.sync")
+	}
+	// The poisoned entry left a skip-entry span naming its index.
+	skips := 0
+	for _, s := range spans {
+		if s.Name == "skip-entry" && underSync(s) {
+			skips++
+			if s.Attrs["index"] != "77" {
+				t.Errorf("skip-entry span index %q, want 77", s.Attrs["index"])
+			}
+		}
+	}
+	if skips != stats.SkippedEntries {
+		t.Errorf("skip-entry spans %d, stats say %d", skips, stats.SkippedEntries)
 	}
 }
 

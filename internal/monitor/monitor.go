@@ -8,6 +8,7 @@ package monitor
 
 import (
 	"strings"
+	"sync/atomic"
 
 	"repro/internal/idna"
 	"repro/internal/punycode"
@@ -53,6 +54,10 @@ type Monitor struct {
 	// nextIndex is the crawl checkpoint: the next log entry index
 	// SyncFromLog will fetch (see sync.go).
 	nextIndex int
+	// lastAdvance is the unix-nano time the checkpoint last moved;
+	// atomic because the checkpoint-age gauge reads it from the scrape
+	// goroutine while a crawl runs.
+	lastAdvance atomic.Int64
 }
 
 // New builds an empty monitor with the given capabilities.

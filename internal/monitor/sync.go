@@ -15,9 +15,11 @@ package monitor
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"repro/internal/ctlog"
+	"repro/internal/obs"
 	"repro/internal/x509cert"
 )
 
@@ -31,6 +33,15 @@ type SyncOptions struct {
 	// corrupted body the HTTP-level retry policy will not refetch
 	// (default 3; negative disables).
 	STHRetries int
+	// Obs, when non-nil, receives the crawl instruments
+	// (monitor_entries_synced_total, monitor_entries_per_sec,
+	// monitor_checkpoint, monitor_checkpoint_age_seconds, …).
+	Obs *obs.Registry
+	// Tracer, when non-nil, records the crawl's span tree: one
+	// monitor.sync root, bisect spans for isolation splits, skip-entry
+	// spans for poisoned entries, and (when the client shares the
+	// tracer) the per-request attempt/backoff spans beneath them.
+	Tracer *obs.Tracer
 }
 
 func (o SyncOptions) batch() int {
@@ -72,6 +83,70 @@ type SyncStats struct {
 	Duration time.Duration
 }
 
+// syncMetrics bundles the crawl's instrument handles; the zero value
+// (all nil) is a valid no-op because every obs method is nil-safe.
+type syncMetrics struct {
+	synced      *obs.Counter // monitor_entries_synced_total (= SyncStats.Fetched)
+	indexed     *obs.Counter // monitor_entries_indexed_total
+	precerts    *obs.Counter // monitor_precerts_total
+	parseErrors *obs.Counter // monitor_parse_errors_total
+	skipped     *obs.Counter // monitor_skipped_entries_total
+	bisections  *obs.Counter // monitor_bisections_total
+	perSec      *obs.Gauge   // monitor_entries_per_sec
+	checkpoint  *obs.Gauge   // monitor_checkpoint
+	treeSize    *obs.Gauge   // monitor_sth_tree_size
+	start       time.Time
+	fetched     int // this crawl's fetch count, for the entries/sec gauge
+}
+
+func newSyncMetrics(reg *obs.Registry, m *Monitor) *syncMetrics {
+	sm := &syncMetrics{start: time.Now()}
+	if reg == nil {
+		return sm
+	}
+	reg.Help("monitor_entries_synced_total", "Log entries fetched by crawls (certificates and precerts).")
+	reg.Help("monitor_entries_indexed_total", "Certificates indexed into the monitor.")
+	reg.Help("monitor_precerts_total", "Precertificates fetched and filtered (§4.1).")
+	reg.Help("monitor_parse_errors_total", "Entries whose DER the lenient parser rejected.")
+	reg.Help("monitor_skipped_entries_total", "Entries abandoned after bisection isolated them as poisoned.")
+	reg.Help("monitor_bisections_total", "Range splits performed while isolating failures.")
+	reg.Help("monitor_entries_per_sec", "Fetch rate of the current (or last) crawl.")
+	reg.Help("monitor_checkpoint", "Next log index the crawl will fetch.")
+	reg.Help("monitor_checkpoint_age_seconds", "Seconds since the checkpoint last advanced; a growing age means the crawl is stuck.")
+	reg.Help("monitor_sth_tree_size", "Tree size of the last fetched STH.")
+	sm.synced = reg.Counter("monitor_entries_synced_total")
+	sm.indexed = reg.Counter("monitor_entries_indexed_total")
+	sm.precerts = reg.Counter("monitor_precerts_total")
+	sm.parseErrors = reg.Counter("monitor_parse_errors_total")
+	sm.skipped = reg.Counter("monitor_skipped_entries_total")
+	sm.bisections = reg.Counter("monitor_bisections_total")
+	sm.perSec = reg.Gauge("monitor_entries_per_sec")
+	sm.checkpoint = reg.Gauge("monitor_checkpoint")
+	sm.treeSize = reg.Gauge("monitor_sth_tree_size")
+	// Checkpoint age is computed at scrape time; re-registering lets
+	// each new crawl take the gauge over from its predecessor.
+	reg.GaugeFunc("monitor_checkpoint_age_seconds", func() float64 {
+		last := m.lastAdvance.Load()
+		if last == 0 {
+			return 0
+		}
+		return time.Since(time.Unix(0, last)).Seconds()
+	})
+	return sm
+}
+
+// advanced records crawl progress: fetch counters, checkpoint gauges,
+// and the entries/sec rate.
+func (sm *syncMetrics) advanced(m *Monitor, fetched int) {
+	sm.fetched += fetched
+	sm.synced.Add(uint64(fetched))
+	sm.checkpoint.Set(float64(m.nextIndex))
+	m.lastAdvance.Store(time.Now().UnixNano())
+	if secs := time.Since(sm.start).Seconds(); secs > 0 {
+		sm.perSec.Set(float64(sm.fetched) / secs)
+	}
+}
+
 // Checkpoint returns the next log index the monitor will fetch — every
 // entry below it has been fetched (indexed, skipped, or rejected) by a
 // previous crawl.
@@ -95,9 +170,18 @@ func (m *Monitor) SyncFromLog(ctx context.Context, client *ctlog.Client, opts Sy
 	started := time.Now()
 	retries0 := client.Retries()
 	stats := SyncStats{ResumedFrom: m.nextIndex}
+	sm := newSyncMetrics(opts.Obs, m)
+	m.lastAdvance.Store(started.UnixNano())
+	ctx, span := opts.Tracer.Start(ctx, "monitor.sync")
+	span.SetAttr("resumed_from", strconv.Itoa(m.nextIndex))
 	finish := func(err error) (SyncStats, error) {
 		stats.Retries = int(client.Retries() - retries0)
 		stats.Duration = time.Since(started)
+		span.SetAttr("fetched", strconv.Itoa(stats.Fetched))
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
 		return stats, err
 	}
 
@@ -105,10 +189,12 @@ func (m *Monitor) SyncFromLog(ctx context.Context, client *ctlog.Client, opts Sy
 	if err != nil {
 		return finish(fmt.Errorf("monitor: get-sth: %w", err))
 	}
+	sm.treeSize.Set(float64(size))
+	span.SetAttr("tree_size", strconv.Itoa(size))
 	batch := opts.batch()
 	for m.nextIndex < size {
 		end := min(m.nextIndex+batch-1, size-1)
-		if err := m.syncRange(ctx, client, m.nextIndex, end, &stats); err != nil {
+		if err := m.syncRange(ctx, client, m.nextIndex, end, &stats, sm, opts.Tracer); err != nil {
 			return finish(err)
 		}
 	}
@@ -141,7 +227,7 @@ func (m *Monitor) getSTH(ctx context.Context, client *ctlog.Client, opts SyncOpt
 // the crawl aborts with its checkpoint intact rather than skipping
 // entries that would have been fetchable later. The checkpoint
 // advances past everything handled.
-func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi int, stats *SyncStats) error {
+func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi int, stats *SyncStats, sm *syncMetrics, tracer *obs.Tracer) error {
 	if lo > hi {
 		return nil
 	}
@@ -152,7 +238,7 @@ func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi in
 			// forever; treat it as a server bug.
 			return fmt.Errorf("monitor: get-entries [%d,%d]: empty response", lo, hi)
 		}
-		m.ingest(entries, stats)
+		m.ingest(entries, stats, sm)
 		return nil
 	}
 	if ctx.Err() != nil || ctlog.IsRetryable(err) {
@@ -165,7 +251,7 @@ func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi in
 		for attempt := 0; attempt < 3; attempt++ {
 			entries, err = client.GetEntries(ctx, lo, hi)
 			if err == nil && len(entries) > 0 {
-				m.ingest(entries, stats)
+				m.ingest(entries, stats, sm)
 				return nil
 			}
 			if err != nil && (ctx.Err() != nil || ctlog.IsRetryable(err)) {
@@ -173,22 +259,34 @@ func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi in
 			}
 		}
 		// Isolated a persistently poisoned entry: skip it, keep crawling.
+		_, skip := tracer.Start(ctx, "skip-entry")
+		skip.SetAttr("index", strconv.Itoa(hi))
+		skip.End()
 		stats.SkippedEntries++
+		sm.skipped.Inc()
 		m.nextIndex = hi + 1
+		sm.advanced(m, 0)
 		return nil
 	}
 	stats.Bisections++
+	sm.bisections.Inc()
+	bctx, bisect := tracer.Start(ctx, "bisect")
+	bisect.SetAttr("lo", strconv.Itoa(lo))
+	bisect.SetAttr("hi", strconv.Itoa(hi))
+	defer bisect.End()
 	mid := lo + (hi-lo)/2
-	if err := m.syncRange(ctx, client, lo, mid, stats); err != nil {
+	if err := m.syncRange(bctx, client, lo, mid, stats, sm, tracer); err != nil {
 		return err
 	}
 	// The first half may have been served short of mid (server batch
 	// clamp); continue from the checkpoint, not from mid+1.
-	return m.syncRange(ctx, client, max(mid+1, m.nextIndex), hi, stats)
+	return m.syncRange(bctx, client, max(mid+1, m.nextIndex), hi, stats, sm, tracer)
 }
 
-// ingest indexes one batch of entries and advances the checkpoint.
-func (m *Monitor) ingest(entries []ctlog.Entry, stats *SyncStats) {
+// ingest indexes one batch of entries, advances the checkpoint, and
+// feeds the crawl instruments.
+func (m *Monitor) ingest(entries []ctlog.Entry, stats *SyncStats, sm *syncMetrics) {
+	fetched := 0
 	for _, e := range entries {
 		if e.Index < m.nextIndex {
 			// Overlap with already-crawled work (e.g. a replayed
@@ -196,17 +294,22 @@ func (m *Monitor) ingest(entries []ctlog.Entry, stats *SyncStats) {
 			continue
 		}
 		stats.Fetched++
+		fetched++
 		m.nextIndex = e.Index + 1
 		if e.Precert {
 			stats.Precerts++
+			sm.precerts.Inc()
 			continue
 		}
 		cert, err := x509cert.ParseWithMode(e.DER, x509cert.ParseLenient)
 		if err != nil {
 			stats.ParseErrors++
+			sm.parseErrors.Inc()
 			continue
 		}
 		m.Index(e.Index, cert)
 		stats.Indexed++
+		sm.indexed.Inc()
 	}
+	sm.advanced(m, fetched)
 }

@@ -1,0 +1,162 @@
+package obs
+
+// Exposition: a Prometheus-text-format writer (stable family and
+// label ordering, label-value escaping), a /debug/vars-style JSON
+// snapshot, and an http.Handler bundling both with net/http/pprof —
+// mountable on ctlog.Server or served standalone via the cmds'
+// -metrics-addr flag.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+)
+
+func writeJSONIndent(w io.Writer, v any) {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// escapeLabelValue applies the Prometheus text-format escaping rules
+// for label values: backslash, double-quote, and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// integers without an exponent, floats in shortest form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...} from alternating pairs, appending
+// extra pairs (used for histogram "le") last.
+func labelString(labels []string, extra ...string) string {
+	all := append(append([]string(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i := 0; i+1 < len(all); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(all[i])
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(all[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus writes every instrument in the registry in the
+// Prometheus text exposition format. Families are emitted in name
+// order and children in label order, so output is stable for golden
+// tests and diffable between scrapes.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var err error
+	pr := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	r.visit(func(f familyView) {
+		if f.help != "" {
+			pr("# HELP %s %s\n", f.name, strings.ReplaceAll(f.help, "\n", " "))
+		}
+		pr("# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range f.children {
+			if !c.isHist {
+				pr("%s%s %s\n", f.name, labelString(c.labels), formatValue(c.value))
+				continue
+			}
+			var cum uint64
+			for i, bound := range c.hist.Bounds {
+				cum += c.hist.Counts[i]
+				pr("%s_bucket%s %d\n", f.name, labelString(c.labels, "le", formatValue(bound)), cum)
+			}
+			cum += c.hist.Counts[len(c.hist.Bounds)]
+			pr("%s_bucket%s %d\n", f.name, labelString(c.labels, "le", "+Inf"), cum)
+			pr("%s_sum%s %s\n", f.name, labelString(c.labels), formatValue(c.hist.Sum))
+			pr("%s_count%s %d\n", f.name, labelString(c.labels), c.hist.Count)
+		}
+	})
+	return err
+}
+
+// VarsSnapshot returns a /debug/vars-style map: instrument sample name
+// (including rendered labels) to value; histograms map to an object
+// with count, sum, and quantile approximations.
+func (r *Registry) VarsSnapshot() map[string]any {
+	out := make(map[string]any)
+	r.visit(func(f familyView) {
+		for _, c := range f.children {
+			key := f.name + labelString(c.labels)
+			if !c.isHist {
+				out[key] = c.value
+				continue
+			}
+			out[key] = map[string]any{
+				"count": c.hist.Count,
+				"sum":   c.hist.Sum,
+				"p50":   c.hist.Quantile(0.50),
+				"p90":   c.hist.Quantile(0.90),
+				"p99":   c.hist.Quantile(0.99),
+			}
+		}
+	})
+	return out
+}
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics       Prometheus text format
+//	/debug/vars    JSON snapshot of every instrument
+//	/debug/pprof/  the standard pprof index, profile, symbol, trace
+//
+// Mount it on a mux ("/" or "/debug/") or serve it standalone on a
+// -metrics-addr listener.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSONIndent(w, r.VarsSnapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,491 @@
+// Package obs is the stdlib-only observability layer for the
+// measurement system: a registry of named Counter / Gauge / Histogram
+// instruments with labeled children, lightweight tracing spans
+// recorded into a bounded ring (span.go), Prometheus-text and JSON
+// exposition plus pprof wiring (expo.go), and a periodic progress
+// reporter for long crawls (progress.go).
+//
+// Design rules (see DESIGN.md "Observability"):
+//
+//   - Hot paths pay one atomic op per observation. Instrument handles
+//     are resolved once (registry lock + map walk) and cached by the
+//     caller; Add/Set/Observe never lock or allocate.
+//   - All instrument methods are nil-receiver safe, so call sites can
+//     instrument unconditionally and pass nil when observability is
+//     off.
+//   - Label sets are fixed at instrument creation ("labeled children"):
+//     Registry.Counter(name, "outcome", "retryable") returns the child
+//     for that exact label set, creating it on first use. Labels must
+//     be low-cardinality (enums, lint names — never indices, ranges,
+//     or URLs with queries).
+//   - Histograms use log-scale buckets sized for ns-to-seconds
+//     latencies; observations are in seconds, per Prometheus
+//     convention.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind distinguishes instrument families in exposition.
+type Kind int
+
+// Instrument kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Registry holds metric families by name; each family holds labeled
+// children. Safe for concurrent use. The zero value is not usable —
+// call NewRegistry.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// family is one metric name: a kind, optional help text, and the
+// children keyed by their serialized label set.
+type family struct {
+	name    string
+	kind    Kind
+	help    string
+	buckets []float64 // histogram families only
+
+	mu       sync.RWMutex
+	children map[string]child
+	// fns are computed-at-scrape gauges (GaugeFunc), keyed like children.
+	fns map[string]func() float64
+}
+
+// child is one labeled instrument plus its parsed label pairs for
+// exposition.
+type child struct {
+	labels []string // alternating key, value
+	inst   any      // *Counter, *Gauge, or *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Help sets the HELP text emitted for the named family. Safe to call
+// before or after the family's first instrument.
+func (r *Registry) Help(name, text string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		f.help = text
+		return
+	}
+	// Family not created yet: remember the help by pre-creating it with
+	// an unknown kind; the first instrument call fixes the kind.
+	r.families[name] = &family{name: name, kind: -1, help: text, children: make(map[string]child)}
+}
+
+// labelKey serializes alternating key/value label pairs into the
+// family's child map key. Panics on an odd number of labels — that is
+// a programming error at an instrument-creation site, not a runtime
+// condition.
+func labelKey(labels []string) string {
+	if len(labels)%2 != 0 {
+		panic("obs: labels must be alternating key, value pairs")
+	}
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i := 0; i < len(labels); i += 2 {
+		b.WriteString(labels[i])
+		b.WriteByte('=')
+		b.WriteString(labels[i+1])
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// getFamily returns the family for name, creating it with the given
+// kind. A kind mismatch against an existing family panics: two call
+// sites disagreeing about an instrument's type is a programming error.
+// Instrument lookup is the cold path — callers cache the child handle
+// — so it takes the full registry lock.
+func (r *Registry) getFamily(name string, kind Kind, buckets []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, kind: kind, buckets: buckets, children: make(map[string]child)}
+		r.families[name] = f
+	}
+	if f.kind == -1 { // pre-created by Help
+		f.kind = kind
+		f.buckets = buckets
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: %s registered as %v, requested as %v", name, f.kind, kind))
+	}
+	return f
+}
+
+// Counter returns the counter child of name for the given label pairs,
+// creating both on first use. Callers cache the returned handle; Add
+// is then a single atomic op.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, KindCounter, nil)
+	key := labelKey(labels)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if !ok {
+		f.mu.Lock()
+		c, ok = f.children[key]
+		if !ok {
+			c = child{labels: append([]string(nil), labels...), inst: &Counter{}}
+			f.children[key] = c
+		}
+		f.mu.Unlock()
+	}
+	return c.inst.(*Counter)
+}
+
+// Gauge returns the gauge child of name for the given label pairs.
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	f := r.getFamily(name, KindGauge, nil)
+	key := labelKey(labels)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if !ok {
+		f.mu.Lock()
+		c, ok = f.children[key]
+		if !ok {
+			c = child{labels: append([]string(nil), labels...), inst: &Gauge{}}
+			f.children[key] = c
+		}
+		f.mu.Unlock()
+	}
+	return c.inst.(*Gauge)
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time
+// (checkpoint age, uptime). Re-registering the same name+labels
+// replaces the function, so a new crawl takes over its predecessor's
+// gauge.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...string) {
+	if r == nil {
+		return
+	}
+	f := r.getFamily(name, KindGauge, nil)
+	key := labelKey(labels)
+	f.mu.Lock()
+	if f.fns == nil {
+		f.fns = make(map[string]func() float64)
+	}
+	f.fns[key] = fn
+	if _, ok := f.children[key]; !ok {
+		f.children[key] = child{labels: append([]string(nil), labels...)}
+	}
+	f.mu.Unlock()
+}
+
+// Histogram returns the histogram child of name for the given label
+// pairs. Buckets are fixed per family on first creation; pass nil to
+// adopt DefaultLatencyBuckets.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefaultLatencyBuckets
+	}
+	f := r.getFamily(name, KindHistogram, buckets)
+	key := labelKey(labels)
+	f.mu.RLock()
+	c, ok := f.children[key]
+	f.mu.RUnlock()
+	if !ok {
+		f.mu.Lock()
+		c, ok = f.children[key]
+		if !ok {
+			c = child{labels: append([]string(nil), labels...), inst: newHistogram(f.buckets)}
+			f.children[key] = c
+		}
+		f.mu.Unlock()
+	}
+	return c.inst.(*Histogram)
+}
+
+// Counter is a monotonically increasing count. The zero value is ready
+// to use; methods are nil-safe.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an arbitrary float value. The zero value is ready to use;
+// methods are nil-safe.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add shifts the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// DefaultLatencyBuckets spans 100ns to ~6.7s in factor-4 steps — wide
+// enough for in-process nanosecond stages and injected-fault network
+// latencies alike. Values are seconds.
+var DefaultLatencyBuckets = ExpBuckets(100e-9, 4, 14)
+
+// ExpBuckets returns n log-scale bucket upper bounds starting at start
+// and growing by factor.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Histogram accumulates observations into fixed log-scale buckets.
+// Observe is lock-free: one atomic bucket increment, one atomic count
+// increment, and a CAS loop for the sum. Methods are nil-safe.
+type Histogram struct {
+	bounds  []float64 // ascending upper bounds; +Inf is implicit
+	counts  []atomic.Uint64
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{
+		bounds: append([]float64(nil), bounds...),
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value (seconds for latency histograms).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	// Bounds are the bucket upper bounds; Counts[i] holds observations
+	// <= Bounds[i], Counts[len(Bounds)] the +Inf overflow. Counts are
+	// per-bucket, not cumulative.
+	Bounds []float64
+	Counts []uint64
+	Count  uint64
+	Sum    float64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.counts)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile approximates the q-quantile (0 < q <= 1) as the upper bound
+// of the bucket where the cumulative count crosses q·Count. Returns 0
+// for an empty histogram; observations in the overflow bucket report
+// the largest finite bound.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Bounds) == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(q * float64(s.Count)))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= target {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// visit walks every family in name order and every child in label-key
+// order, handing exposition a stable iteration. Computed gauges are
+// evaluated here.
+func (r *Registry) visit(emit func(f familyView)) {
+	if r == nil {
+		return
+	}
+	// Collect families and their kinds under the registry lock; kind
+	// may be fixed up by a concurrent first-instrument call otherwise.
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	type famKind struct {
+		f    *family
+		kind Kind
+		help string
+	}
+	fams := make([]famKind, 0, len(names))
+	for _, name := range names {
+		f := r.families[name]
+		fams = append(fams, famKind{f: f, kind: f.kind, help: f.help})
+	}
+	r.mu.RUnlock()
+
+	for _, fk := range fams {
+		if fk.kind == -1 {
+			continue // Help for a family never instantiated
+		}
+		f := fk.f
+		f.mu.RLock()
+		keys := make([]string, 0, len(f.children))
+		for k := range f.children {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		view := familyView{name: f.name, kind: fk.kind, help: fk.help}
+		for _, k := range keys {
+			c := f.children[k]
+			cv := childView{labels: c.labels}
+			if fn, ok := f.fns[k]; ok {
+				cv.value = fn()
+			} else {
+				switch inst := c.inst.(type) {
+				case *Counter:
+					cv.value = float64(inst.Value())
+				case *Gauge:
+					cv.value = inst.Value()
+				case *Histogram:
+					cv.hist = inst.Snapshot()
+					cv.isHist = true
+				}
+			}
+			view.children = append(view.children, cv)
+		}
+		f.mu.RUnlock()
+		emit(view)
+	}
+}
+
+// familyView / childView are the read-only iteration types exposition
+// consumes.
+type familyView struct {
+	name     string
+	kind     Kind
+	help     string
+	children []childView
+}
+
+type childView struct {
+	labels []string
+	value  float64
+	hist   HistogramSnapshot
+	isHist bool
+}

@@ -1,0 +1,327 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("reqs_total", "outcome", "ok")
+	c.Add(2)
+	c.Inc()
+	if got := c.Value(); got != 3 {
+		t.Fatalf("counter value = %d, want 3", got)
+	}
+	// Same name+labels returns the same child; different labels a new one.
+	if reg.Counter("reqs_total", "outcome", "ok") != c {
+		t.Fatal("counter handle not cached per label set")
+	}
+	if reg.Counter("reqs_total", "outcome", "fatal") == c {
+		t.Fatal("distinct label sets share a child")
+	}
+
+	g := reg.Gauge("depth")
+	g.Set(4)
+	g.Add(-1.5)
+	if got := g.Value(); got != 2.5 {
+		t.Fatalf("gauge value = %v, want 2.5", got)
+	}
+
+	reg.GaugeFunc("uptime_seconds", func() float64 { return 42 })
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "uptime_seconds 42\n") {
+		t.Fatalf("GaugeFunc missing from exposition:\n%s", buf.String())
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := newHistogram([]float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0005, 0.002, 0.002, 0.05, 2} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count = %d, want 5", s.Count)
+	}
+	want := []uint64{1, 2, 1, 1}
+	for i, w := range want {
+		if s.Counts[i] != w {
+			t.Fatalf("bucket %d = %d, want %d (%v)", i, s.Counts[i], w, s.Counts)
+		}
+	}
+	if got := s.Quantile(0.5); got != 0.01 {
+		t.Fatalf("p50 = %v, want 0.01", got)
+	}
+	// Overflow observations report the largest finite bound.
+	if got := s.Quantile(0.99); got != 0.1 {
+		t.Fatalf("p99 = %v, want 0.1", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); got != 0 {
+		t.Fatalf("empty quantile = %v, want 0", got)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1, 10, 3)
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if b[i] != want[i] {
+			t.Fatalf("buckets = %v, want %v", b, want)
+		}
+	}
+	if n := len(DefaultLatencyBuckets); n != 14 {
+		t.Fatalf("default buckets = %d, want 14", n)
+	}
+}
+
+// TestPrometheusGolden pins the exposition format: family and label
+// ordering, value formatting, histogram cumulative buckets, and label
+// value escaping.
+func TestPrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Help("ctlog_requests_total", "CT log client attempts by outcome.")
+	reg.Counter("ctlog_requests_total", "outcome", "ok").Add(3)
+	reg.Counter("ctlog_requests_total", "outcome", "retryable").Inc()
+	reg.Gauge("monitor_entries_per_sec").Set(1234.5)
+	reg.Counter("weird_total", "path", "a\\b\"c\n").Inc()
+	h := reg.Histogram("req_seconds", []float64{0.001, 0.01, 0.1}, "endpoint", "get-sth")
+	h.Observe(0.0005)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile("testdata/metrics.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != string(golden) {
+		t.Fatalf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", buf.String(), golden)
+	}
+	// A second write must be byte-identical (stable ordering).
+	var buf2 bytes.Buffer
+	if err := reg.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != buf2.String() {
+		t.Fatal("exposition output not stable between writes")
+	}
+}
+
+// TestHistogramRace hammers one histogram from 8 goroutines while a
+// reader scrapes; run under -race via `make check`.
+func TestHistogramRace(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("hot_seconds", nil)
+	const goroutines, each = 8, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var buf bytes.Buffer
+				_ = reg.WritePrometheus(&buf)
+				_ = h.Snapshot()
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				h.Observe(float64(g*each+i) * 1e-6)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	if got := h.Snapshot().Count; got != goroutines*each {
+		t.Fatalf("count = %d, want %d", got, goroutines*each)
+	}
+}
+
+// TestInstrumentAllocBudget proves the hot-path observation ops stay
+// allocation-free, preserving the pipeline's per-certificate budget.
+func TestInstrumentAllocBudget(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "k", "v")
+	g := reg.Gauge("g")
+	h := reg.Histogram("h_seconds", nil)
+	if n := testing.AllocsPerRun(100, func() {
+		c.Add(1)
+		g.Set(3)
+		h.Observe(0.001)
+	}); n != 0 {
+		t.Fatalf("hot-path observation allocates %v times, want 0", n)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x_total")
+	c.Add(1)
+	reg.Gauge("y").Set(1)
+	reg.Histogram("z", nil).Observe(1)
+	reg.GaugeFunc("f", func() float64 { return 1 })
+	reg.Help("x_total", "nope")
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, err %v", buf.String(), err)
+	}
+	var tr *Tracer
+	ctx, sp := tr.Start(context.Background(), "noop")
+	sp.SetAttr("k", "v")
+	sp.End()
+	if sp.ID() != 0 || SpanFromContext(ctx) != nil {
+		t.Fatal("nil tracer leaked a span")
+	}
+	var p *Progress
+	p.Start()
+	p.Stop()
+}
+
+func TestSpansParentLinksAndRing(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.Start(context.Background(), "sync")
+	root.SetAttr("resumed_from", "0")
+	_, child := tr.Start(ctx, "attempt")
+	child.SetAttr("outcome", "retryable")
+	child.End()
+	_, child2 := tr.Start(ctx, "attempt")
+	child2.SetAttr("outcome", "ok")
+	child2.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	// Children end before the root, so ring order is causal order.
+	if spans[0].Name != "attempt" || spans[0].Attrs["outcome"] != "retryable" {
+		t.Fatalf("first span = %+v", spans[0])
+	}
+	if spans[2].Name != "sync" || spans[2].Attrs["resumed_from"] != "0" {
+		t.Fatalf("last span = %+v", spans[2])
+	}
+	kids := tr.Children(root.ID())
+	if len(kids) != 2 || kids[0].Parent != root.ID() || kids[1].Parent != root.ID() {
+		t.Fatalf("children = %+v", kids)
+	}
+	if kids[0].End.After(kids[1].Start) {
+		t.Fatal("child spans out of order")
+	}
+
+	// Ring bound: capacity 4, add more roots and check the oldest fell out.
+	for i := 0; i < 6; i++ {
+		_, s := tr.Start(context.Background(), "filler")
+		s.End()
+	}
+	spans = tr.Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	for _, s := range spans {
+		if s.Name != "filler" {
+			t.Fatalf("old span survived ring wrap: %+v", s)
+		}
+	}
+	// End is idempotent: re-ending must not re-record.
+	child.End()
+	if got := len(tr.Spans()); got != 4 {
+		t.Fatalf("idempotent End re-recorded: %d spans", got)
+	}
+}
+
+func TestHandlerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("handled_total").Add(7)
+	reg.Histogram("lat_seconds", []float64{0.01, 1}).Observe(0.5)
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: %d\n%s", path, resp.StatusCode, buf.String())
+		}
+		return buf.String()
+	}
+
+	metrics := get("/metrics")
+	if !strings.Contains(metrics, "handled_total 7") || !strings.Contains(metrics, `lat_seconds_bucket{le="1"} 1`) {
+		t.Fatalf("/metrics missing instruments:\n%s", metrics)
+	}
+	var vars map[string]any
+	if err := json.Unmarshal([]byte(get("/debug/vars")), &vars); err != nil {
+		t.Fatal(err)
+	}
+	if vars["handled_total"] != float64(7) {
+		t.Fatalf("/debug/vars handled_total = %v", vars["handled_total"])
+	}
+	if _, ok := vars["lat_seconds"].(map[string]any); !ok {
+		t.Fatalf("/debug/vars histogram shape = %T", vars["lat_seconds"])
+	}
+	if idx := get("/debug/pprof/"); !strings.Contains(idx, "profile") {
+		t.Fatalf("pprof index unexpected:\n%.200s", idx)
+	}
+}
+
+func TestProgressEmits(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("crawl_entries_total").Add(11)
+	reg.Gauge("other_depth").Set(3)
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	w := writerFunc(func(p []byte) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		return buf.Write(p)
+	})
+	p := NewProgress(w, reg, 10*time.Millisecond, "crawl_")
+	p.Start()
+	time.Sleep(35 * time.Millisecond)
+	p.Stop()
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	if strings.Count(out, "progress elapsed=") < 2 {
+		t.Fatalf("expected >=2 progress lines, got:\n%s", out)
+	}
+	if !strings.Contains(out, "crawl_entries_total=11") {
+		t.Fatalf("missing selected instrument:\n%s", out)
+	}
+	if strings.Contains(out, "other_depth") {
+		t.Fatalf("prefix filter leaked:\n%s", out)
+	}
+	// Stop again is safe and emits nothing new.
+	p.Stop()
+}
+
+type writerFunc func([]byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

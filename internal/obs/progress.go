@@ -1,0 +1,128 @@
+package obs
+
+// The progress reporter: one structured logfmt line every interval
+// while a long operation (crawl, corpus measurement) runs, built from
+// live registry values. A crawl of millions of entries is otherwise a
+// silent multi-hour process; this is the "is it still moving?" signal
+// that needs no scrape infrastructure.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Progress periodically writes one line of selected instrument values.
+type Progress struct {
+	w        io.Writer
+	reg      *Registry
+	every    time.Duration
+	prefixes []string
+
+	mu    sync.Mutex
+	stop  chan struct{}
+	done  chan struct{}
+	start time.Time
+}
+
+// NewProgress builds a reporter that writes to w every interval
+// (default 10s) the current value of every instrument whose name
+// starts with one of the prefixes (no prefixes = every instrument).
+// Call Start to begin and Stop to emit one final line and halt.
+func NewProgress(w io.Writer, reg *Registry, every time.Duration, prefixes ...string) *Progress {
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	return &Progress{w: w, reg: reg, every: every, prefixes: prefixes}
+}
+
+// Start launches the reporting goroutine. Calling Start on a running
+// reporter is a no-op.
+func (p *Progress) Start() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.stop != nil {
+		return
+	}
+	p.start = time.Now()
+	p.stop = make(chan struct{})
+	p.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		t := time.NewTicker(p.every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				p.emit()
+			case <-stop:
+				return
+			}
+		}
+	}(p.stop, p.done)
+}
+
+// Stop halts the reporter and emits one final line so short runs still
+// leave a record. Safe to call on a never-started or nil reporter.
+func (p *Progress) Stop() {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	stop, done := p.stop, p.done
+	p.stop, p.done = nil, nil
+	p.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+	p.emit()
+}
+
+func (p *Progress) matches(name string) bool {
+	if len(p.prefixes) == 0 {
+		return true
+	}
+	for _, pre := range p.prefixes {
+		if strings.HasPrefix(name, pre) {
+			return true
+		}
+	}
+	return false
+}
+
+// emit writes one logfmt line: progress elapsed=… name=value …
+// Histogram instruments report count and p50/p99 in place of a scalar.
+func (p *Progress) emit() {
+	p.mu.Lock()
+	start := p.start
+	p.mu.Unlock()
+	var fields []string
+	p.reg.visit(func(f familyView) {
+		if !p.matches(f.name) {
+			return
+		}
+		for _, c := range f.children {
+			key := f.name + labelString(c.labels)
+			if !c.isHist {
+				fields = append(fields, fmt.Sprintf("%s=%s", key, formatValue(c.value)))
+				continue
+			}
+			fields = append(fields,
+				fmt.Sprintf("%s_count=%d", key, c.hist.Count),
+				fmt.Sprintf("%s_p50=%s", key, formatValue(c.hist.Quantile(0.5))),
+				fmt.Sprintf("%s_p99=%s", key, formatValue(c.hist.Quantile(0.99))),
+			)
+		}
+	})
+	sort.Strings(fields)
+	fmt.Fprintf(p.w, "progress elapsed=%s %s\n",
+		time.Since(start).Round(time.Millisecond), strings.Join(fields, " "))
+}

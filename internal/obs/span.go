@@ -1,0 +1,185 @@
+package obs
+
+// Lightweight tracing: spans with start/end times, parent links, and
+// string attributes, recorded into a bounded in-memory ring when they
+// end. There is no export protocol — the ring exists so chaos tests
+// can assert on causality (a retryable attempt, then a backoff, then a
+// successful attempt, all parented to one logical request) and so a
+// developer can dump recent spans from a live crawl.
+
+import (
+	"context"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultSpanRing is the ring capacity NewTracer(0) adopts.
+const DefaultSpanRing = 4096
+
+// Tracer allocates span IDs and records completed spans into a
+// bounded ring, overwriting the oldest. A nil *Tracer is a valid
+// no-op tracer: Start returns a nil span whose methods do nothing.
+type Tracer struct {
+	nextID atomic.Uint64
+
+	mu   sync.Mutex
+	ring []SpanData
+	next int  // ring write position
+	full bool // ring has wrapped
+	seq  uint64
+}
+
+// NewTracer returns a tracer with the given ring capacity (0 means
+// DefaultSpanRing).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultSpanRing
+	}
+	return &Tracer{ring: make([]SpanData, 0, capacity)}
+}
+
+// Span is one in-flight operation. Attributes are set before End;
+// after End the span is immutable (it has been copied into the ring).
+// Methods on a nil *Span are no-ops.
+type Span struct {
+	tracer *Tracer
+	data   SpanData
+	mu     sync.Mutex
+	ended  bool
+}
+
+// SpanData is the recorded form of a span.
+type SpanData struct {
+	ID     uint64
+	Parent uint64 // 0 = root
+	Name   string
+	Start  time.Time
+	End    time.Time
+	Attrs  map[string]string
+
+	seq uint64 // ring insertion order, survives ring wrap
+}
+
+// Duration is the span's wall-clock length.
+func (d SpanData) Duration() time.Duration { return d.End.Sub(d.Start) }
+
+type spanCtxKey struct{}
+
+// SpanFromContext returns the span carried by ctx, or nil.
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// Start begins a span named name, parented to the span in ctx (if
+// any), and returns a context carrying the new span. On a nil tracer
+// it returns ctx unchanged and a nil span.
+func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{
+		tracer: t,
+		data: SpanData{
+			ID:    t.nextID.Add(1),
+			Name:  name,
+			Start: time.Now(),
+		},
+	}
+	if parent := SpanFromContext(ctx); parent != nil {
+		s.data.Parent = parent.data.ID
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// ID returns the span's identifier (0 for a nil span).
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.data.ID
+}
+
+// SetAttr attaches a key/value attribute. Calls after End are dropped.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ended {
+		return
+	}
+	if s.data.Attrs == nil {
+		s.data.Attrs = make(map[string]string, 4)
+	}
+	s.data.Attrs[key] = value
+}
+
+// End stamps the span and records it into the tracer's ring. End is
+// idempotent.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.data.End = time.Now()
+	data := s.data
+	s.mu.Unlock()
+	s.tracer.record(data)
+}
+
+func (t *Tracer) record(d SpanData) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.seq++
+	d.seq = t.seq
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, d)
+		return
+	}
+	t.ring[t.next] = d
+	t.next = (t.next + 1) % cap(t.ring)
+	t.full = true
+}
+
+// Spans returns the completed spans currently in the ring, oldest
+// first. The slice and its attribute maps are copies.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]SpanData, len(t.ring))
+	copy(out, t.ring)
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	for i := range out {
+		if out[i].Attrs != nil {
+			m := make(map[string]string, len(out[i].Attrs))
+			for k, v := range out[i].Attrs {
+				m[k] = v
+			}
+			out[i].Attrs = m
+		}
+	}
+	return out
+}
+
+// Children returns the recorded spans parented to id, oldest first.
+func (t *Tracer) Children(id uint64) []SpanData {
+	var out []SpanData
+	for _, s := range t.Spans() {
+		if s.Parent == id {
+			out = append(out, s)
+		}
+	}
+	return out
+}

@@ -14,20 +14,24 @@
 // byte-identical for any worker count, including the sequential
 // corpus.Generate path.
 //
-// Observability: per-stage atomic counters (generated, linted,
-// in-flight, queue depth) are exposed through Stats for later
-// monitoring hooks; they cost one atomic add per certificate.
+// Observability: per-stage progress lives in internal/obs instruments
+// (pipeline_generated_total, pipeline_linted_total, pipeline_in_flight,
+// per-slot generate/lint latency histograms), registered on Config.Obs
+// so a -metrics-addr scrape sees a running measurement live. Stats
+// snapshots are derived from the same instruments. The accounting
+// budget is at most one atomic add per certificate — counters are
+// bumped once per slot, not per certificate.
 package pipeline
 
 import (
 	"context"
 	"runtime"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/lint"
+	"repro/internal/obs"
 	"repro/internal/x509cert"
 )
 
@@ -40,6 +44,9 @@ type Config struct {
 	// bounded queue keeps the feeder from racing ahead of slow workers
 	// without idling fast ones.
 	Queue int
+	// Obs receives the pipeline instruments. Nil means a private
+	// throwaway registry: Stats still works, nothing is exposed.
+	Obs *obs.Registry
 	// Progress, when non-nil, receives a Stats snapshot every
 	// ProgressEvery (default 1s) while Measure runs — the hook for
 	// observability layers.
@@ -61,13 +68,47 @@ func (c Config) queue(workers int) int {
 	return 4 * workers
 }
 
-// counters tracks per-stage progress with atomics so Stats can be read
-// concurrently with a running pipeline.
-type counters struct {
-	generated atomic.Uint64 // certificates built+parsed (incl. precerts/variants)
-	linted    atomic.Uint64 // certificates linted
-	inFlight  atomic.Int64  // slots currently inside a worker
-	start     time.Time
+// metrics holds the run's obs instrument handles, resolved once so the
+// worker loop pays only atomic ops. Counters are registry-lifetime
+// (scrapes see totals across runs); the gen0/lint0 baselines make
+// Stats run-relative.
+type metrics struct {
+	generated   *obs.Counter   // pipeline_generated_total
+	linted      *obs.Counter   // pipeline_linted_total
+	inFlight    *obs.Gauge     // pipeline_in_flight
+	queueDepth  *obs.Gauge     // pipeline_queue_depth
+	certsPerSec *obs.Gauge     // pipeline_certs_per_sec
+	genSeconds  *obs.Histogram // pipeline_slot_generate_seconds
+	lintSeconds *obs.Histogram // pipeline_slot_lint_seconds
+
+	gen0, lint0 uint64
+	start       time.Time
+}
+
+func newMetrics(reg *obs.Registry) *metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	reg.Help("pipeline_generated_total", "Certificates built and parsed (incl. precerts/variants).")
+	reg.Help("pipeline_linted_total", "Certificates linted.")
+	reg.Help("pipeline_in_flight", "Slots currently inside a worker.")
+	reg.Help("pipeline_queue_depth", "Slot indices waiting in the bounded feed queue.")
+	reg.Help("pipeline_certs_per_sec", "Linted certificates per second of wall clock, this run.")
+	reg.Help("pipeline_slot_generate_seconds", "Per-slot generate (build+sign+parse) latency.")
+	reg.Help("pipeline_slot_lint_seconds", "Per-slot lint latency.")
+	m := &metrics{
+		generated:   reg.Counter("pipeline_generated_total"),
+		linted:      reg.Counter("pipeline_linted_total"),
+		inFlight:    reg.Gauge("pipeline_in_flight"),
+		queueDepth:  reg.Gauge("pipeline_queue_depth"),
+		certsPerSec: reg.Gauge("pipeline_certs_per_sec"),
+		genSeconds:  reg.Histogram("pipeline_slot_generate_seconds", nil),
+		lintSeconds: reg.Histogram("pipeline_slot_lint_seconds", nil),
+		start:       time.Now(),
+	}
+	m.gen0 = m.generated.Value()
+	m.lint0 = m.linted.Value()
+	return m
 }
 
 // Stats is a point-in-time snapshot of pipeline progress.
@@ -81,19 +122,22 @@ type Stats struct {
 	CertsPerSec float64 // linted certificates per second of wall clock
 }
 
-func (c *counters) snapshot(workers, queueDepth int) Stats {
-	elapsed := time.Since(c.start)
+func (m *metrics) snapshot(workers, queueDepth int) Stats {
+	elapsed := time.Since(m.start)
 	s := Stats{
 		Workers:    workers,
-		Generated:  c.generated.Load(),
-		Linted:     c.linted.Load(),
-		InFlight:   c.inFlight.Load(),
+		Generated:  m.generated.Value() - m.gen0,
+		Linted:     m.linted.Value() - m.lint0,
+		InFlight:   int64(m.inFlight.Value()),
 		QueueDepth: queueDepth,
 		Elapsed:    elapsed,
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		s.CertsPerSec = float64(s.Linted) / secs
 	}
+	// Mirror the derived values into gauges so a scrape sees them too.
+	m.queueDepth.Set(float64(queueDepth))
+	m.certsPerSec.Set(s.CertsPerSec)
 	return s
 }
 
@@ -115,7 +159,7 @@ func Measure(ctx context.Context, cfg corpus.Config, reg *lint.Registry, opts li
 		return nil, err
 	}
 	workers := pc.workers()
-	ctr := &counters{start: time.Now()}
+	ctr := newMetrics(pc.Obs)
 
 	type slotResult struct {
 		slot    *corpus.Slot
@@ -165,21 +209,25 @@ func Measure(ctx context.Context, cfg corpus.Config, reg *lint.Registry, opts li
 			defer wg.Done()
 			for i := range jobs {
 				ctr.inFlight.Add(1)
+				tGen := time.Now()
 				s, err := gen.GenerateSlot(i)
 				if err != nil {
 					ctr.inFlight.Add(-1)
 					fail(err)
 					return
 				}
+				ctr.genSeconds.Observe(time.Since(tGen).Seconds())
 				n := len(s.Entries)
 				if s.Precert != nil {
 					n++
 				}
 				ctr.generated.Add(uint64(n))
+				tLint := time.Now()
 				res := make([]*lint.CertResult, len(s.Entries))
 				for j, e := range s.Entries {
 					res[j] = reg.Run(e.Cert, opts)
 				}
+				ctr.lintSeconds.Observe(time.Since(tLint).Seconds())
 				ctr.linted.Add(uint64(len(s.Entries)))
 				// Disjoint per-slot cells; wg.Wait orders these writes
 				// before the aggregation below.

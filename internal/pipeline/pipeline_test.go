@@ -4,11 +4,14 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/corpus"
 	"repro/internal/lint"
 	_ "repro/internal/lint/lints" // register the Unicert lints
+	"repro/internal/obs"
 )
 
 // TestMeasureDeterminism is the acceptance test for the sharded
@@ -155,6 +158,63 @@ func TestMeasureCancellation(t *testing.T) {
 	}
 	if !errors.Is(err, context.Canceled) {
 		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestMeasureExportsMetrics checks satellite accounting: the Stats a
+// run reports and the registry a scrape reads are the same numbers.
+func TestMeasureExportsMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	res, err := Measure(context.Background(), corpus.Config{Size: 150, Seed: 9, PrecertFraction: 0.1}, lint.Global, lint.Options{}, Config{Workers: 2, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("pipeline_linted_total").Value(); got != res.Stats.Linted {
+		t.Errorf("pipeline_linted_total = %d, Stats.Linted = %d", got, res.Stats.Linted)
+	}
+	if got := reg.Counter("pipeline_generated_total").Value(); got != res.Stats.Generated {
+		t.Errorf("pipeline_generated_total = %d, Stats.Generated = %d", got, res.Stats.Generated)
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"pipeline_linted_total", "pipeline_slot_generate_seconds_bucket", "pipeline_certs_per_sec"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %s", want)
+		}
+	}
+
+	// A second run on the same registry must report run-relative Stats,
+	// not registry-lifetime totals.
+	res2, err := Measure(context.Background(), corpus.Config{Size: 150, Seed: 9, PrecertFraction: 0.1}, lint.Global, lint.Options{}, Config{Workers: 2, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats.Linted != res.Stats.Linted {
+		t.Errorf("second run Stats.Linted = %d, want run-relative %d", res2.Stats.Linted, res.Stats.Linted)
+	}
+	if got := reg.Counter("pipeline_linted_total").Value(); got != 2*res.Stats.Linted {
+		t.Errorf("registry total %d, want cumulative %d", got, 2*res.Stats.Linted)
+	}
+}
+
+// TestPipelineInstrumentationAllocBudget guards the accounting budget:
+// the per-slot instrument sequence the worker loop executes must not
+// allocate, so instrumentation adds 0 (≤ the budgeted 2) allocations
+// per certificate.
+func TestPipelineInstrumentationAllocBudget(t *testing.T) {
+	ctr := newMetrics(obs.NewRegistry())
+	if n := testing.AllocsPerRun(500, func() {
+		ctr.inFlight.Add(1)
+		t0 := time.Now()
+		ctr.genSeconds.Observe(time.Since(t0).Seconds())
+		ctr.generated.Add(26)
+		ctr.lintSeconds.Observe(time.Since(t0).Seconds())
+		ctr.linted.Add(25)
+		ctr.inFlight.Add(-1)
+	}); n > 0 {
+		t.Fatalf("per-slot instrumentation allocates %v, want 0", n)
 	}
 }
 
