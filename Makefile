@@ -5,7 +5,7 @@ GO ?= go
 # run under the race detector in `make check`.
 RACE_PKGS := ./internal/ctlog/... ./internal/monitor/... ./internal/faultinject/... \
 	./internal/pipeline/... ./internal/corpus/... ./internal/lint/... \
-	./internal/obs/...
+	./internal/obs/... ./internal/serve/...
 
 # End-to-end corpus size for `make bench` (34800 ≈ 1:1000 of the
 # paper's dataset). Lower it for quick local runs:
@@ -17,7 +17,7 @@ BENCH_NOTE ?=
 # Address the smoke-metrics crawl serves its /metrics endpoint on.
 SMOKE_METRICS_ADDR ?= 127.0.0.1:19321
 
-.PHONY: build vet test race check bench smoke-metrics
+.PHONY: build vet test race check bench smoke-metrics soak
 build:
 	$(GO) build ./...
 
@@ -72,3 +72,11 @@ smoke-metrics:
 			echo "smoke-metrics: FAIL: missing $$pat"; exit 1; }; \
 	done; \
 	echo "smoke-metrics: OK ($$(wc -l < /tmp/ctmonitor-smoke.metrics) exposition lines)"
+
+# soak drives the crash/recovery scenario end to end: a rate-limited,
+# fault-injected (hang/reset/5xx) crawl is SIGTERMed mid-flight, then
+# restarted off the same checkpoint file; soakcheck asserts the resumed
+# crawl completes with exact entry accounting, that the overloaded log
+# shed requests, and that the client breaker opened and re-closed.
+soak:
+	./scripts/soak.sh

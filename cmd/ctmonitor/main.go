@@ -1,14 +1,33 @@
 // Command ctmonitor demonstrates the monitor pipeline of §6.1 as a
 // service: it starts an RFC 6962-style CT log over HTTP, submits a
 // slice of the synthetic corpus (including a crafted forgery), syncs
-// all five monitor models through the HTTP API, and answers queries —
-// showing which monitors surface the forgery for its victim domain.
+// monitor models through the HTTP API, and answers queries — showing
+// which monitors surface the forgery for its victim domain.
 //
 // The crawl path is the fault-tolerant one: with -fault-rate > 0 a
 // seeded injector degrades the HTTP transport (5xx, drops, latency,
-// truncated and corrupted bodies, stale STHs) and the sync must still
-// index every parseable certificate, surfacing its retry/skip
-// accounting in the report.
+// truncated and corrupted bodies, stale STHs; -fault-kinds opts into
+// hang and reset) and the sync must still index every parseable
+// certificate, surfacing its retry/skip accounting in the report.
+//
+// Production-hardening surface:
+//
+//   - The log front end and the -metrics-addr listener run under
+//     internal/serve: hardened http.Server timeouts, /healthz and
+//     /readyz probes, and graceful drain on SIGINT/SIGTERM
+//     (-drain bounds the drain).
+//   - -max-inflight and -rate-limit arm the log's overload shedding
+//     (503/429 + Retry-After, counted in ctlog_server_shed_total).
+//   - -breaker-threshold arms the client's circuit breaker so a dying
+//     log is probed, not hammered.
+//   - -checkpoint-file persists each monitor's crawl position
+//     crash-safely; a restarted process resumes instead of refetching
+//     (SyncStats.ResumedFrom in -stats-json shows the resume point).
+//   - -supervise wraps each crawl in a panic-recovering supervisor
+//     with capped exponential restart backoff.
+//
+// On SIGTERM mid-crawl the process checkpoints, reports what it
+// crawled, and exits 0 — the next run picks up where it stopped.
 //
 // Observability: the whole run is instrumented through internal/obs.
 // -metrics-addr serves /metrics (Prometheus text), /debug/vars, and
@@ -21,10 +40,14 @@
 // Usage:
 //
 //	ctmonitor [-entries 200] [-query victim.example] [-batch 64]
-//	          [-fault-rate 0.25] [-fault-seed 42]
+//	          [-listen 127.0.0.1:0] [-drain 10s]
+//	          [-fault-rate 0.25] [-fault-seed 42] [-fault-kinds hang,reset]
 //	          [-max-retries 4] [-timeout 10s]
-//	          [-metrics-addr :9090] [-stats-json] [-linger 30s]
-//	          [-progress 10s]
+//	          [-max-inflight 64] [-rate-limit 100] [-rate-burst 10]
+//	          [-breaker-threshold 5] [-breaker-cooldown 30s]
+//	          [-checkpoint-file /tmp/ctmonitor.ckpt] [-supervise]
+//	          [-monitor crt.sh] [-metrics-addr :9090] [-stats-json]
+//	          [-linger 30s] [-progress 10s]
 package main
 
 import (
@@ -36,8 +59,9 @@ import (
 	"math/big"
 	"net"
 	"net/http"
-	"net/http/httptest"
 	"os"
+	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/corpus"
@@ -46,6 +70,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/serve"
 	"repro/internal/x509cert"
 )
 
@@ -53,15 +78,31 @@ func main() {
 	entries := flag.Int("entries", 200, "corpus certificates to log")
 	query := flag.String("query", "victim.example", "owner query to replay against every monitor")
 	batch := flag.Int("batch", 64, "get-entries batch size")
+	listen := flag.String("listen", "127.0.0.1:0", "address for the CT log front end")
+	drain := flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline for the HTTP servers")
 	faultRate := flag.Float64("fault-rate", 0, "probability of injecting a fault per HTTP request (0 disables)")
 	faultSeed := flag.Int64("fault-seed", 42, "seed for the deterministic fault injector")
+	faultKinds := flag.String("fault-kinds", "", "comma-separated fault kinds (default: the standard mix; hang and reset are opt-in)")
 	maxRetries := flag.Int("max-retries", ctlog.DefaultMaxRetries, "HTTP retry attempts for retryable failures")
 	timeout := flag.Duration("timeout", ctlog.DefaultTimeout, "per-request HTTP timeout")
+	maxInflight := flag.Int("max-inflight", 0, "cap on concurrently served ct/v1 requests; excess sheds 503 (0 = unlimited)")
+	rateLimit := flag.Float64("rate-limit", 0, "sustained ct/v1 requests/second budget; excess sheds 429 (0 = unlimited)")
+	rateBurst := flag.Int("rate-burst", 0, "token-bucket burst for -rate-limit (0 = max(1, ceil(rate)))")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive retryable failures that open the client's circuit breaker (0 disables)")
+	breakerCooldown := flag.Duration("breaker-cooldown", ctlog.DefaultBreakerCooldown, "how long an open breaker waits before a half-open probe")
+	checkpointFile := flag.String("checkpoint-file", "", "crash-safe crawl checkpoint path prefix (one file per monitor)")
+	supervise := flag.Bool("supervise", false, "wrap each crawl in a panic-recovering supervisor with restart backoff")
+	monitorFilter := flag.String("monitor", "", "comma-separated monitor name filter (substring match; empty = all)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (e.g. :9090)")
 	statsJSON := flag.Bool("stats-json", false, "print final SyncStats + metrics snapshot as one JSON object on stdout")
 	linger := flag.Duration("linger", 0, "keep serving metrics this long after the crawl finishes")
 	progressEvery := flag.Duration("progress", 0, "emit a progress line to stderr every interval (0 disables)")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel this context; everything below — servers
+	// and crawls alike — drains off it.
+	ctx, stop := serve.SignalContext(context.Background())
+	defer stop()
 
 	// Human-readable output goes to stdout normally, to stderr when
 	// stdout carries the JSON object.
@@ -72,8 +113,16 @@ func main() {
 
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(0)
+	// crawling flips once the first sync begins; the metrics listener's
+	// /readyz reports it.
+	var crawling atomic.Bool
 	if *metricsAddr != "" {
-		serveMetrics(*metricsAddr, reg)
+		serveMetrics(ctx, *metricsAddr, reg, *drain, func() error {
+			if !crawling.Load() {
+				return fmt.Errorf("no crawl started yet")
+			}
+			return nil
+		})
 	}
 	if *progressEvery > 0 {
 		prog := obs.NewProgress(os.Stderr, reg, *progressEvery, "monitor_", "ctlog_")
@@ -81,18 +130,38 @@ func main() {
 		defer prog.Stop()
 	}
 
-	// 1. Stand up the log; its front end serves the same observability
-	// endpoints alongside the ct/v1 API.
+	// 1. Stand up the log behind the hardened lifecycle wrapper; its
+	// front end serves the observability endpoints alongside the ct/v1
+	// API and sheds when -max-inflight/-rate-limit are armed.
 	log, err := ctlog.NewLog(2025)
 	if err != nil {
 		fatal("%v", err)
 	}
-	srv := httptest.NewServer((&ctlog.Server{Log: log, Obs: reg}).Handler())
-	defer srv.Close()
-	fmt.Fprintf(out, "CT log serving at %s\n", srv.URL)
+	frontend := &ctlog.Server{
+		Log:         log,
+		Obs:         reg,
+		MaxInFlight: *maxInflight,
+		RateLimit:   *rateLimit,
+		RateBurst:   *rateBurst,
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fatal("log listener: %v", err)
+	}
+	logSrv := serve.New(frontend.Handler(), serve.Config{
+		Name:         "ctlog",
+		DrainTimeout: *drain,
+		Obs:          reg,
+	})
+	logDone := make(chan error, 1)
+	go func() { logDone <- logSrv.Run(ctx, ln) }()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Fprintf(out, "CT log serving at %s\n", baseURL)
 
 	// 2. Submit corpus certificates plus one crafted forgery for the
-	// victim domain.
+	// victim domain. The corpus is seeded, so a restarted process
+	// rebuilds an identical log and a checkpointed crawl can resume
+	// against it.
 	c, err := corpus.Generate(corpus.Config{Size: *entries, Seed: 31})
 	if err != nil {
 		fatal("%v", err)
@@ -112,14 +181,19 @@ func main() {
 	}
 	fmt.Fprintf(out, "logged %d entries (tree head %x…)\n\n", sth.Size, sth.Root[:8])
 
-	// 3. Every monitor syncs through the HTTP API — optionally through
-	// the fault injector — and answers the owner's query.
+	// 3. Every selected monitor syncs through the HTTP API — optionally
+	// through the fault injector — and answers the owner's query.
 	var transport http.RoundTripper
 	var injector *faultinject.Transport
+	kinds, err := faultinject.ParseKinds(*faultKinds)
+	if err != nil {
+		fatal("%v", err)
+	}
 	if *faultRate > 0 {
 		injector = faultinject.New(faultinject.Config{
-			Seed: *faultSeed,
-			Rate: *faultRate,
+			Seed:  *faultSeed,
+			Rate:  *faultRate,
+			Kinds: kinds,
 		}, nil)
 		transport = injector
 		fmt.Fprintf(out, "fault injector armed: rate %.0f%%, seed %d\n\n", *faultRate*100, *faultSeed)
@@ -131,42 +205,84 @@ func main() {
 		retries = -1
 	}
 	client := &ctlog.Client{
-		Base:       srv.URL,
+		Base:       baseURL,
 		HTTP:       &http.Client{Transport: transport},
 		MaxRetries: retries,
 		Timeout:    *timeout,
 		Obs:        reg,
 		Tracer:     tracer,
 	}
-	ctx := context.Background()
+	if *breakerThreshold > 0 {
+		client.Breaker = &ctlog.Breaker{Threshold: *breakerThreshold, Cooldown: *breakerCooldown}
+	}
+
 	var rows [][]string
 	perMonitor := make(map[string]monitor.SyncStats)
 	var totals monitor.SyncStats
+	interrupted := false
+	hadError := false
 	for _, caps := range monitor.Monitors() {
+		if !selected(caps.Name, *monitorFilter) {
+			continue
+		}
 		if caps.Discontinued {
 			rows = append(rows, []string{caps.Name, "-", "-", "-", "-", "service discontinued"})
 			continue
 		}
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
 		m := monitor.New(caps)
-		stats, err := m.SyncFromLog(ctx, client, monitor.SyncOptions{Batch: *batch, Obs: reg, Tracer: tracer})
-		if err != nil {
-			fatal("%s: %v", caps.Name, err)
+		opts := monitor.SyncOptions{Batch: *batch, Obs: reg, Tracer: tracer}
+		if *checkpointFile != "" {
+			opts.Checkpoints = &monitor.FileCheckpointStore{Path: *checkpointFile + "." + slug(caps.Name)}
+		}
+		var stats monitor.SyncStats
+		first := true
+		crawl := func(ctx context.Context) error {
+			crawling.Store(true)
+			s, err := m.SyncFromLog(ctx, client, opts)
+			// ResumedFrom is only meaningful for the first attempt;
+			// supervisor restarts resume from in-memory state.
+			if first {
+				stats.ResumedFrom = s.ResumedFrom
+				first = false
+			}
+			addStats(&stats, s)
+			return err
+		}
+		var cerr error
+		if *supervise {
+			cerr = monitor.Supervise(ctx, monitor.SupervisorOptions{
+				Obs: reg,
+				OnRestart: func(attempt int, err error) {
+					fmt.Fprintf(os.Stderr, "ctmonitor: %s crawl restart %d after: %v\n", caps.Name, attempt, err)
+				},
+			}, crawl)
+		} else {
+			cerr = crawl(ctx)
 		}
 		perMonitor[caps.Name] = stats
-		totals.Fetched += stats.Fetched
-		totals.Precerts += stats.Precerts
-		totals.ParseErrors += stats.ParseErrors
-		totals.Indexed += stats.Indexed
-		totals.Retries += stats.Retries
-		totals.SkippedEntries += stats.SkippedEntries
-		totals.Bisections += stats.Bisections
-		totals.Duration += stats.Duration
-		res := m.Query(*query)
-		verdict := fmt.Sprintf("%d certificate(s) found", len(res.IDs))
-		if res.Refused {
-			verdict = "query refused: " + res.Reason
-		} else if len(res.IDs) == 0 {
-			verdict = "forgery concealed"
+		addStats(&totals, stats)
+		verdict := ""
+		switch {
+		case cerr != nil && ctx.Err() != nil:
+			interrupted = true
+			verdict = "crawl interrupted (checkpointed)"
+			fmt.Fprintf(os.Stderr, "ctmonitor: %s crawl interrupted: %v\n", caps.Name, cerr)
+		case cerr != nil:
+			hadError = true
+			verdict = "crawl failed: " + cerr.Error()
+			fmt.Fprintf(os.Stderr, "ctmonitor: %s crawl failed: %v\n", caps.Name, cerr)
+		default:
+			res := m.Query(*query)
+			verdict = fmt.Sprintf("%d certificate(s) found", len(res.IDs))
+			if res.Refused {
+				verdict = "query refused: " + res.Reason
+			} else if len(res.IDs) == 0 {
+				verdict = "forgery concealed"
+			}
 		}
 		rows = append(rows, []string{
 			caps.Name,
@@ -176,6 +292,9 @@ func main() {
 			fmt.Sprintf("%d", stats.SkippedEntries),
 			verdict,
 		})
+		if interrupted {
+			break
+		}
 	}
 	fmt.Fprintln(out, report.Table(
 		[]string{"Monitor", "Indexed", "Parse errors", "Retries", "Skipped", fmt.Sprintf("Query %q", *query)},
@@ -183,7 +302,7 @@ func main() {
 	if injector != nil {
 		st := injector.Stats()
 		fmt.Fprintf(out, "\ninjector: %d requests, %d faults", st.Requests, st.Total())
-		for _, k := range faultinject.AllKinds() {
+		for _, k := range append(faultinject.AllKinds(), faultinject.Hang, faultinject.Reset) {
 			if n := st.Faults[k]; n > 0 {
 				fmt.Fprintf(out, ", %s×%d", k, n)
 			}
@@ -193,32 +312,98 @@ func main() {
 
 	if *statsJSON {
 		obj := struct {
-			Monitors map[string]monitor.SyncStats `json:"monitors"`
-			Totals   monitor.SyncStats            `json:"totals"`
-			Metrics  map[string]any               `json:"metrics"`
-		}{perMonitor, totals, reg.VarsSnapshot()}
+			Entries     int                          `json:"entries"`
+			Interrupted bool                         `json:"interrupted"`
+			Monitors    map[string]monitor.SyncStats `json:"monitors"`
+			Totals      monitor.SyncStats            `json:"totals"`
+			Metrics     map[string]any               `json:"metrics"`
+		}{sth.Size, interrupted, perMonitor, totals, reg.VarsSnapshot()}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(obj); err != nil {
 			fatal("%v", err)
 		}
 	}
-	if *linger > 0 {
+	if *linger > 0 && !interrupted {
 		fmt.Fprintf(os.Stderr, "ctmonitor: lingering %v for scrapers\n", *linger)
-		time.Sleep(*linger)
+		select {
+		case <-time.After(*linger):
+		case <-ctx.Done():
+		}
+	}
+	// Retire the log front end gracefully; Run has already begun the
+	// drain if a signal arrived.
+	stop()
+	if err := logSrv.Shutdown(context.Background()); err != nil {
+		fmt.Fprintf(os.Stderr, "ctmonitor: log shutdown: %v\n", err)
+	}
+	<-logDone
+	if hadError && !interrupted {
+		os.Exit(1)
 	}
 }
 
+// addStats accumulates src's counters into dst. ResumedFrom is
+// deliberately excluded — the caller pins it to the first attempt.
+func addStats(dst *monitor.SyncStats, src monitor.SyncStats) {
+	dst.Fetched += src.Fetched
+	dst.Precerts += src.Precerts
+	dst.ParseErrors += src.ParseErrors
+	dst.Indexed += src.Indexed
+	dst.Retries += src.Retries
+	dst.SkippedEntries += src.SkippedEntries
+	dst.Quarantined += src.Quarantined
+	dst.CheckpointErrors += src.CheckpointErrors
+	dst.Bisections += src.Bisections
+	dst.Duration += src.Duration
+}
+
+// selected applies the -monitor filter: empty matches everything,
+// otherwise any comma-separated term must appear in the name
+// (case-insensitive).
+func selected(name, filter string) bool {
+	if strings.TrimSpace(filter) == "" {
+		return true
+	}
+	for _, term := range strings.Split(filter, ",") {
+		term = strings.TrimSpace(term)
+		if term != "" && strings.Contains(strings.ToLower(name), strings.ToLower(term)) {
+			return true
+		}
+	}
+	return false
+}
+
+// slug turns a monitor name into a filename-safe checkpoint suffix.
+func slug(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('-')
+		}
+	}
+	return b.String()
+}
+
 // serveMetrics mounts the registry's exposition endpoints on a
-// dedicated listener; the process serves them until it exits.
-func serveMetrics(addr string, reg *obs.Registry) {
+// dedicated hardened listener that drains with the process.
+func serveMetrics(ctx context.Context, addr string, reg *obs.Registry, drain time.Duration, ready func() error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal("metrics listener: %v", err)
 	}
+	srv := serve.New(reg.Handler(), serve.Config{
+		Name:         "metrics",
+		DrainTimeout: drain,
+		Ready:        ready,
+		Obs:          reg,
+	})
 	fmt.Fprintf(os.Stderr, "ctmonitor: metrics at http://%s/metrics\n", ln.Addr())
 	go func() {
-		if err := http.Serve(ln, reg.Handler()); err != nil {
+		if err := srv.Run(ctx, ln); err != nil {
 			fmt.Fprintf(os.Stderr, "ctmonitor: metrics server: %v\n", err)
 		}
 	}()

@@ -19,7 +19,6 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 
 	"repro/internal/core"
@@ -28,6 +27,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pipeline"
 	"repro/internal/report"
+	"repro/internal/serve"
 )
 
 func main() {
@@ -41,6 +41,11 @@ func main() {
 	progressEvery := flag.Duration("progress", 0, "emit a progress line to stderr every interval (0 disables)")
 	flag.Parse()
 
+	// SIGINT/SIGTERM cancel the measurement and drain the metrics
+	// listener instead of killing the process mid-write.
+	ctx, stop := serve.SignalContext(context.Background())
+	defer stop()
+
 	a := core.NewAnalyzer()
 	reg := obs.NewRegistry()
 	a.Registry.EnableMetrics(reg)
@@ -51,7 +56,12 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "ctscan: metrics at http://%s/metrics\n", ln.Addr())
-		go http.Serve(ln, reg.Handler())
+		msrv := serve.New(reg.Handler(), serve.Config{Name: "metrics", Obs: reg})
+		go func() {
+			if err := msrv.Run(ctx, ln); err != nil {
+				fmt.Fprintf(os.Stderr, "ctscan: metrics server: %v\n", err)
+			}
+		}()
 	}
 	if *progressEvery > 0 {
 		prog := obs.NewProgress(os.Stderr, reg, *progressEvery, "pipeline_")
@@ -62,7 +72,7 @@ func main() {
 	cfg := corpus.DefaultConfig()
 	cfg.Size = *size
 	cfg.Seed = *seed
-	res, err := a.MeasureCorpusPipeline(context.Background(), cfg,
+	res, err := a.MeasureCorpusPipeline(ctx, cfg,
 		lint.Options{IgnoreEffectiveDates: *allDates},
 		pipeline.Config{Workers: *workers, Obs: reg})
 	if err != nil {

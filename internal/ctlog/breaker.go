@@ -1,0 +1,193 @@
+package ctlog
+
+// Circuit breaker for the CT log client, layered UNDER the retry
+// policy: each HTTP attempt consults the breaker before touching the
+// network. Consecutive retryable failures trip the breaker open, after
+// which attempts are rejected locally (ErrCircuitOpen, itself
+// retryable, so the caller's backoff schedule keeps running and
+// naturally spaces out the half-open probes). After a cooldown one
+// probe attempt is let through half-open; success closes the breaker,
+// failure re-opens it for another cooldown.
+//
+// Deterministic failures (4xx, malformed payloads) are NOT breaker
+// signals: they prove the log is answering, so they reset the
+// consecutive-failure streak just like a success.
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Breaker states, exported for the ctlog_breaker_state gauge and tests.
+const (
+	BreakerClosed int32 = iota
+	BreakerOpen
+	BreakerHalfOpen
+)
+
+// BreakerStateName names a breaker state for logs and span attrs.
+func BreakerStateName(s int32) string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrCircuitOpen is the rejection a tripped breaker returns instead of
+// attempting the network. It is wrapped in a retryable RequestError so
+// the existing retry/backoff loop treats a rejection like any other
+// transient failure.
+var ErrCircuitOpen = errors.New("circuit breaker open")
+
+// Breaker default thresholds.
+const (
+	DefaultBreakerThreshold = 5
+	DefaultBreakerCooldown  = 30 * time.Second
+)
+
+// Breaker is a consecutive-failure circuit breaker. The zero value is
+// usable and adopts the defaults above. Safe for concurrent use.
+type Breaker struct {
+	// Threshold is the consecutive retryable-failure count that trips
+	// closed → open (default 5).
+	Threshold int
+	// Cooldown is how long the breaker stays open before allowing a
+	// half-open probe (default 30s).
+	Cooldown time.Duration
+	// Now is a test hook for the cooldown clock.
+	Now func() time.Time
+
+	mu       sync.Mutex
+	state    int32
+	failures int       // consecutive retryable failures while closed
+	openedAt time.Time // when the breaker last tripped open
+
+	// transition counters, attached by instrument(). Nil-safe.
+	toOpen     *obs.Counter
+	toHalfOpen *obs.Counter
+	toClosed   *obs.Counter
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold > 0 {
+		return b.Threshold
+	}
+	return DefaultBreakerThreshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown > 0 {
+		return b.Cooldown
+	}
+	return DefaultBreakerCooldown
+}
+
+func (b *Breaker) now() time.Time {
+	if b.Now != nil {
+		return b.Now()
+	}
+	return time.Now()
+}
+
+// State returns the current breaker state.
+func (b *Breaker) State() int32 {
+	if b == nil {
+		return BreakerClosed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether an attempt may proceed. In the open state it
+// returns false until the cooldown elapses, then moves to half-open and
+// admits exactly one probe; further attempts are rejected until that
+// probe's Record call settles the state.
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		// One probe is already in flight; hold the rest back.
+		return false
+	default: // BreakerOpen
+		if b.now().Sub(b.openedAt) < b.cooldown() {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		b.toHalfOpen.Inc()
+		return true
+	}
+}
+
+// Record feeds an attempt outcome into the breaker. Success and
+// deterministic (non-retryable) failure both count as "the service
+// answered": they close a half-open breaker and reset the failure
+// streak. A retryable failure extends the streak, trips closed → open
+// at the threshold, and re-opens a half-open breaker immediately.
+func (b *Breaker) Record(err error) {
+	if b == nil {
+		return
+	}
+	retryable := err != nil && IsRetryable(err)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !retryable {
+		if b.state != BreakerClosed {
+			b.toClosed.Inc()
+		}
+		b.state = BreakerClosed
+		b.failures = 0
+		return
+	}
+	switch b.state {
+	case BreakerHalfOpen:
+		// The probe failed: back to a full cooldown.
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.toOpen.Inc()
+	case BreakerClosed:
+		b.failures++
+		if b.failures >= b.threshold() {
+			b.state = BreakerOpen
+			b.openedAt = b.now()
+			b.failures = 0
+			b.toOpen.Inc()
+		}
+	}
+}
+
+// instrument attaches the breaker's obs instruments: the
+// ctlog_breaker_state gauge and ctlog_breaker_transitions_total{to}.
+func (b *Breaker) instrument(reg *obs.Registry) {
+	if b == nil || reg == nil {
+		return
+	}
+	reg.Help("ctlog_breaker_state", "Client circuit breaker state (0 closed, 1 open, 2 half-open).")
+	reg.Help("ctlog_breaker_transitions_total", "Breaker state transitions by destination state.")
+	reg.GaugeFunc("ctlog_breaker_state", func() float64 { return float64(b.State()) })
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.toOpen = reg.Counter("ctlog_breaker_transitions_total", "to", "open")
+	b.toHalfOpen = reg.Counter("ctlog_breaker_transitions_total", "to", "half-open")
+	b.toClosed = reg.Counter("ctlog_breaker_transitions_total", "to", "closed")
+}
+
+// breakerRejection builds the retryable error a rejection surfaces.
+func breakerRejection(path string) error {
+	return &RequestError{Path: path, Err: ErrCircuitOpen, Retryable: true}
+}

@@ -1,0 +1,372 @@
+package ctlog
+
+import (
+	"bytes"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestBreakerDefaults(t *testing.T) {
+	var b Breaker
+	if b.threshold() != DefaultBreakerThreshold {
+		t.Fatalf("threshold = %d", b.threshold())
+	}
+	if b.cooldown() != DefaultBreakerCooldown {
+		t.Fatalf("cooldown = %v", b.cooldown())
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("zero state = %s", BreakerStateName(b.State()))
+	}
+}
+
+func TestBreakerNilSafe(t *testing.T) {
+	var b *Breaker
+	if !b.Allow() {
+		t.Fatal("nil breaker must allow")
+	}
+	b.Record(errors.New("x"))
+	if b.State() != BreakerClosed {
+		t.Fatal("nil breaker state")
+	}
+	b.instrument(obs.NewRegistry())
+}
+
+func retryableErr() error {
+	return &RequestError{Path: "/x", Err: errors.New("boom"), Retryable: true}
+}
+
+func fatalErr() error {
+	return &RequestError{Path: "/x", Err: errors.New("bad"), Retryable: false}
+}
+
+func TestBreakerTripsAtThreshold(t *testing.T) {
+	b := &Breaker{Threshold: 3, Cooldown: time.Hour}
+	for i := 0; i < 2; i++ {
+		b.Record(retryableErr())
+		if b.State() != BreakerClosed {
+			t.Fatalf("tripped after %d failures, threshold 3", i+1)
+		}
+	}
+	b.Record(retryableErr())
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %s after threshold failures", BreakerStateName(b.State()))
+	}
+	if b.Allow() {
+		t.Fatal("open breaker must reject before cooldown")
+	}
+}
+
+func TestBreakerFatalAndSuccessResetStreak(t *testing.T) {
+	b := &Breaker{Threshold: 2, Cooldown: time.Hour}
+	b.Record(retryableErr())
+	b.Record(fatalErr()) // the log answered: streak resets
+	b.Record(retryableErr())
+	b.Record(nil) // success: streak resets
+	b.Record(retryableErr())
+	if b.State() != BreakerClosed {
+		t.Fatal("interleaved successes must keep the breaker closed")
+	}
+	b.Record(retryableErr())
+	if b.State() != BreakerOpen {
+		t.Fatal("2 consecutive failures must trip threshold 2")
+	}
+}
+
+func TestBreakerHalfOpenProbe(t *testing.T) {
+	now := time.Unix(1000, 0)
+	b := &Breaker{Threshold: 1, Cooldown: time.Minute, Now: func() time.Time { return now }}
+	b.Record(retryableErr())
+	if b.State() != BreakerOpen {
+		t.Fatal("not open")
+	}
+	if b.Allow() {
+		t.Fatal("must reject during cooldown")
+	}
+	now = now.Add(time.Minute)
+	if !b.Allow() {
+		t.Fatal("cooldown elapsed: must admit the half-open probe")
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state = %s, want half-open", BreakerStateName(b.State()))
+	}
+	if b.Allow() {
+		t.Fatal("only one probe may be in flight half-open")
+	}
+	// Failed probe: full cooldown again.
+	b.Record(retryableErr())
+	if b.State() != BreakerOpen {
+		t.Fatal("failed probe must re-open")
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker must reject")
+	}
+	now = now.Add(time.Minute)
+	if !b.Allow() {
+		t.Fatal("second probe after second cooldown")
+	}
+	b.Record(nil)
+	if b.State() != BreakerClosed {
+		t.Fatal("successful probe must close")
+	}
+	if !b.Allow() {
+		t.Fatal("closed breaker must allow")
+	}
+}
+
+// TestClientBreakerShortCircuits is the integration contract: once the
+// breaker opens, further attempts in the same retry loop are rejected
+// locally — the origin sees exactly Threshold requests, and the
+// rejection counter picks up the rest.
+func TestClientBreakerShortCircuits(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "down", http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	cl := &Client{
+		Base:       srv.URL,
+		MaxRetries: 5,
+		Breaker:    &Breaker{Threshold: 2, Cooldown: time.Hour},
+		Sleep:      func(context.Context, time.Duration) error { return nil },
+		Obs:        reg,
+	}
+	_, _, err := cl.GetSTH(context.Background())
+	if err == nil {
+		t.Fatal("want error from a dead log")
+	}
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("final error = %v, want ErrCircuitOpen rejection", err)
+	}
+	if !IsRetryable(err) {
+		t.Fatal("breaker rejection must stay retryable for outer layers")
+	}
+	if got := hits.Load(); got != 2 {
+		t.Fatalf("origin saw %d requests, want exactly Threshold=2", got)
+	}
+	// 6 attempts total (1 + 5 retries): 2 hit the network, 4 rejected.
+	if got := reg.Counter("ctlog_breaker_rejected_total").Value(); got != 4 {
+		t.Fatalf("rejected = %d, want 4", got)
+	}
+	if got := reg.Counter("ctlog_requests_total", "outcome", "retryable").Value(); got != 2 {
+		t.Fatalf("retryable attempts = %d, want 2 (rejections are not attempts)", got)
+	}
+	if cl.Breaker.State() != BreakerOpen {
+		t.Fatalf("state = %s", BreakerStateName(cl.Breaker.State()))
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"ctlog_breaker_state 1", `ctlog_breaker_transitions_total{to="open"} 1`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("exposition missing %q in:\n%s", want, buf.String())
+		}
+	}
+}
+
+// TestClientBreakerRecovers drives the full open → half-open → closed
+// cycle inside one retry loop: the log fails 3 times then comes back,
+// and the crawl succeeds without caller involvement.
+func TestClientBreakerRecovers(t *testing.T) {
+	log, err := NewLog(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Add(buildTestCert(t, false)); err != nil {
+		t.Fatal(err)
+	}
+	inner := (&Server{Log: log}).Handler()
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 3 {
+			http.Error(w, "down", http.StatusInternalServerError)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	br := &Breaker{Threshold: 2, Cooldown: time.Nanosecond}
+	cl := &Client{
+		Base:       srv.URL,
+		MaxRetries: 5,
+		Breaker:    br,
+		Sleep:      func(context.Context, time.Duration) error { return nil },
+		Obs:        reg,
+	}
+	size, _, err := cl.GetSTH(context.Background())
+	if err != nil {
+		t.Fatalf("GetSTH after recovery: %v", err)
+	}
+	if size != 1 {
+		t.Fatalf("size = %d", size)
+	}
+	if br.State() != BreakerClosed {
+		t.Fatalf("state = %s, want closed after recovery", BreakerStateName(br.State()))
+	}
+	if got := reg.Counter("ctlog_breaker_transitions_total", "to", "open").Value(); got < 2 {
+		t.Fatalf("to=open transitions = %d, want >= 2 (trip + failed probe)", got)
+	}
+	if got := reg.Counter("ctlog_breaker_transitions_total", "to", "closed").Value(); got < 1 {
+		t.Fatalf("to=closed transitions = %d, want >= 1", got)
+	}
+}
+
+func TestServerRateShed(t *testing.T) {
+	log, err := NewLog(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s := &Server{Log: log, RateLimit: 0.001, RateBurst: 1, Obs: reg}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/ct/v1/get-sth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("first request = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/ct/v1/get-sth")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response must carry Retry-After")
+	}
+	if got := reg.Counter("ctlog_server_shed_total", "reason", "rate").Value(); got != 1 {
+		t.Fatalf("shed{rate} = %d", got)
+	}
+	// The exposition endpoints bypass the limiter: an overloaded log
+	// must still answer scrapes.
+	resp, err = http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics behind exhausted limiter = %d, want 200", resp.StatusCode)
+	}
+}
+
+func TestServerInFlightShed(t *testing.T) {
+	log, err := NewLog(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s := &Server{Log: log, MaxInFlight: 1, Obs: reg}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	// Park a request inside the semaphore deterministically: an
+	// add-chain whose declared body never fully arrives keeps its
+	// handler blocked in the JSON decoder.
+	conn, err := net.Dial("tcp", srv.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("POST /ct/v1/add-chain HTTP/1.1\r\nHost: x\r\nContent-Type: application/json\r\nContent-Length: 1000\r\n\r\n{\"chain\"")); err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the parked request occupies the single slot.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/ct/v1/get-sth")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable {
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatal("inflight shed must carry Retry-After")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("never shed while a request was parked in flight")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := reg.Counter("ctlog_server_shed_total", "reason", "inflight").Value(); got == 0 {
+		t.Fatal("ctlog_server_shed_total{reason=inflight} = 0")
+	}
+	// Releasing the parked request frees the slot.
+	conn.Close()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(srv.URL + "/ct/v1/get-sth")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed: still %d", resp.StatusCode)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestAddChainBodyBound(t *testing.T) {
+	log, err := NewLog(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &Server{Log: log, MaxRequestBytes: 1 << 10}
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	big, _ := json.Marshal(map[string][]string{
+		"chain": {base64.StdEncoding.EncodeToString(bytes.Repeat([]byte{0xAA}, 1<<12))},
+	})
+	resp, err := http.Post(srv.URL+"/ct/v1/add-chain", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized add-chain = %d, want 413", resp.StatusCode)
+	}
+
+	// A normal-sized chain still works with the bound in place.
+	okBody, _ := json.Marshal(map[string][]string{
+		"chain": {base64.StdEncoding.EncodeToString(buildTestCert(t, false))},
+	})
+	if int64(len(okBody)) >= s.MaxRequestBytes {
+		t.Skipf("test cert unexpectedly large: %d bytes", len(okBody))
+	}
+	resp2, err := http.Post(srv.URL+"/ct/v1/add-chain", "application/json", bytes.NewReader(okBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("bounded add-chain of a normal cert = %d", resp2.StatusCode)
+	}
+}

@@ -61,9 +61,17 @@ type Client struct {
 	// chaos runs fast). The default honors context cancellation.
 	Sleep func(context.Context, time.Duration) error
 
+	// Breaker, when non-nil, gates every HTTP attempt with a circuit
+	// breaker layered under the retry policy: rejected attempts fail
+	// locally with ErrCircuitOpen (retryable, so backoff still paces
+	// the loop) instead of touching the network. Nil disables breaking
+	// — the zero-value Client behaves exactly as before.
+	Breaker *Breaker
+
 	// Obs, when non-nil, receives the client's instruments:
 	// ctlog_requests_total{outcome}, ctlog_request_seconds{endpoint},
-	// and ctlog_retries_total.
+	// ctlog_retries_total, and (with a Breaker) ctlog_breaker_state
+	// plus ctlog_breaker_rejected_total.
 	Obs *obs.Registry
 	// Tracer, when non-nil, records one span per logical request with
 	// per-attempt and backoff child spans, so chaos tests can assert
@@ -87,6 +95,7 @@ type clientMetrics struct {
 	reqRetryable *obs.Counter
 	reqFatal     *obs.Counter
 	retries      *obs.Counter
+	rejected     *obs.Counter // breaker rejections; not HTTP attempts
 	latSTH       *obs.Histogram
 	latEntries   *obs.Histogram
 	latOther     *obs.Histogram
@@ -124,15 +133,18 @@ func (c *Client) metrics() *clientMetrics {
 		r.Help("ctlog_requests_total", "CT log HTTP attempts by outcome (ok, retryable, fatal).")
 		r.Help("ctlog_request_seconds", "Per-attempt CT log HTTP latency by endpoint.")
 		r.Help("ctlog_retries_total", "Retry attempts performed after retryable failures.")
+		r.Help("ctlog_breaker_rejected_total", "Attempts rejected locally by the open circuit breaker.")
 		c.met = &clientMetrics{
 			reqOK:        r.Counter("ctlog_requests_total", "outcome", "ok"),
 			reqRetryable: r.Counter("ctlog_requests_total", "outcome", "retryable"),
 			reqFatal:     r.Counter("ctlog_requests_total", "outcome", "fatal"),
 			retries:      r.Counter("ctlog_retries_total"),
+			rejected:     r.Counter("ctlog_breaker_rejected_total"),
 			latSTH:       r.Histogram("ctlog_request_seconds", nil, "endpoint", "get-sth"),
 			latEntries:   r.Histogram("ctlog_request_seconds", nil, "endpoint", "get-entries"),
 			latOther:     r.Histogram("ctlog_request_seconds", nil, "endpoint", "other"),
 		}
+		c.Breaker.instrument(r)
 	})
 	return c.met
 }
@@ -310,18 +322,31 @@ func (c *Client) getJSON(ctx context.Context, path string, v any) (err error) {
 		span.End()
 	}()
 	for attempt := 0; ; attempt++ {
-		_, asp := c.Tracer.Start(ctx, "attempt")
-		var start time.Time
-		if met != nil {
-			start = time.Now()
+		if c.Breaker != nil && !c.Breaker.Allow() {
+			// Rejected locally: no network attempt, no latency sample,
+			// no ctlog_requests_total — only the rejection counter, so
+			// attempt accounting still reflects real HTTP traffic.
+			err = breakerRejection(path)
+			if met != nil {
+				met.rejected.Inc()
+			}
+			_, rsp := c.Tracer.Start(ctx, "breaker-reject")
+			rsp.End()
+		} else {
+			_, asp := c.Tracer.Start(ctx, "attempt")
+			var start time.Time
+			if met != nil {
+				start = time.Now()
+			}
+			err = c.doOnce(ctx, path, v)
+			c.Breaker.Record(err)
+			if met != nil {
+				met.latency(endpoint).Observe(time.Since(start).Seconds())
+				met.outcome(outcomeOf(err)).Inc()
+			}
+			asp.SetAttr("outcome", outcomeOf(err))
+			asp.End()
 		}
-		err = c.doOnce(ctx, path, v)
-		if met != nil {
-			met.latency(endpoint).Observe(time.Since(start).Seconds())
-			met.outcome(outcomeOf(err)).Inc()
-		}
-		asp.SetAttr("outcome", outcomeOf(err))
-		asp.End()
 		if err == nil {
 			return nil
 		}

@@ -8,18 +8,24 @@ package ctlog
 import (
 	"encoding/base64"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/serve"
 )
 
 // DefaultMaxGetEntries is the get-entries batch cap applied when
 // Server.MaxGetEntries is zero. Real RFC 6962 logs cap responses
 // (commonly 256–1024 entries) and clients must tolerate short reads.
 const DefaultMaxGetEntries = 256
+
+// DefaultMaxRequestBytes bounds add-chain request bodies when
+// Server.MaxRequestBytes is zero.
+const DefaultMaxRequestBytes = 1 << 20
 
 // Server exposes a Log over HTTP.
 type Server struct {
@@ -28,10 +34,24 @@ type Server struct {
 	// carry; requests for larger ranges are clamped, not rejected.
 	// Zero means DefaultMaxGetEntries.
 	MaxGetEntries int
+	// MaxInFlight caps concurrently executing ct/v1 requests; excess
+	// sheds with 503 + Retry-After. Zero means unlimited.
+	MaxInFlight int
+	// RateLimit is the sustained ct/v1 requests/second budget enforced
+	// by a token bucket (burst RateBurst); excess sheds with 429 +
+	// Retry-After. Zero means unlimited.
+	RateLimit float64
+	// RateBurst is the token-bucket capacity; zero defaults to
+	// max(1, ceil(RateLimit)).
+	RateBurst int
+	// MaxRequestBytes bounds request bodies (add-chain); zero means
+	// DefaultMaxRequestBytes. Oversized bodies get 413.
+	MaxRequestBytes int64
 	// Obs, when non-nil, adds server-side request accounting
-	// (ctlog_server_requests_total, ctlog_server_request_seconds) and
-	// mounts the registry's exposition endpoints (/metrics,
-	// /debug/vars, /debug/pprof/) on the handler.
+	// (ctlog_server_requests_total, ctlog_server_request_seconds,
+	// ctlog_server_shed_total{reason}) and mounts the registry's
+	// exposition endpoints (/metrics, /debug/vars, /debug/pprof/) on
+	// the handler.
 	Obs *obs.Registry
 }
 
@@ -42,9 +62,19 @@ func (s *Server) maxGetEntries() int {
 	return DefaultMaxGetEntries
 }
 
+func (s *Server) maxRequestBytes() int64 {
+	if s.MaxRequestBytes > 0 {
+		return s.MaxRequestBytes
+	}
+	return DefaultMaxRequestBytes
+}
+
 // Handler returns the HTTP handler with the ct/v1 routes. With Obs
 // set, every route is counted and timed, and the observability
-// endpoints are mounted alongside the log API.
+// endpoints are mounted alongside the log API. With MaxInFlight or
+// RateLimit set, the ct/v1 routes (but not the exposition endpoints)
+// sit behind a shedding serve.Limiter; sheds land OUTSIDE the
+// per-endpoint request accounting, in ctlog_server_shed_total{reason}.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	s.route(mux, "/ct/v1/add-chain", "add-chain", s.addChain)
@@ -52,12 +82,46 @@ func (s *Server) Handler() http.Handler {
 	s.route(mux, "/ct/v1/get-entries", "get-entries", s.getEntries)
 	s.route(mux, "/ct/v1/get-proof-by-hash", "get-proof-by-hash", s.getProof)
 	s.route(mux, "/ct/v1/get-sth-consistency", "get-sth-consistency", s.getConsistency)
-	if s.Obs != nil {
-		h := s.Obs.Handler()
-		mux.Handle("/metrics", h)
-		mux.Handle("/debug/", h)
+	var api http.Handler = mux
+	if s.MaxInFlight > 0 || s.RateLimit > 0 {
+		lim := &serve.Limiter{
+			MaxInFlight: s.MaxInFlight,
+			Rate:        s.RateLimit,
+			Burst:       s.RateBurst,
+			OnShed:      s.shedObserver(),
+		}
+		api = lim.Wrap(mux)
 	}
-	return mux
+	if s.Obs == nil {
+		return api
+	}
+	// Exposition endpoints bypass the limiter: an overloaded log must
+	// still answer its scrapes.
+	outer := http.NewServeMux()
+	h := s.Obs.Handler()
+	outer.Handle("/metrics", h)
+	outer.Handle("/debug/", h)
+	outer.Handle("/", api)
+	return outer
+}
+
+// shedObserver resolves the shed counters once; nil (a no-op observer)
+// when Obs is unset.
+func (s *Server) shedObserver() func(string) {
+	if s.Obs == nil {
+		return nil
+	}
+	s.Obs.Help("ctlog_server_shed_total", "Requests shed by overload protection, by reason (inflight, rate).")
+	inflight := s.Obs.Counter("ctlog_server_shed_total", "reason", serve.ShedInFlight)
+	rate := s.Obs.Counter("ctlog_server_shed_total", "reason", serve.ShedRate)
+	return func(reason string) {
+		switch reason {
+		case serve.ShedInFlight:
+			inflight.Inc()
+		case serve.ShedRate:
+			rate.Inc()
+		}
+	}
 }
 
 // route mounts one log endpoint, instrumented when Obs is set.
@@ -93,8 +157,14 @@ func (s *Server) addChain(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
 		return
 	}
+	body := http.MaxBytesReader(w, r.Body, s.maxRequestBytes())
 	var req addChainRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || len(req.Chain) == 0 {
+	if err := json.NewDecoder(body).Decode(&req); err != nil || len(req.Chain) == 0 {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, "request body too large", http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "bad request", http.StatusBadRequest)
 		return
 	}
@@ -252,4 +322,3 @@ func writeJSON(w http.ResponseWriter, v any) {
 		_ = fmt.Sprint(err)
 	}
 }
-

@@ -46,6 +46,15 @@ const (
 	// StaleSTH replays an earlier get-sth body, modeling a log frontend
 	// serving a lagging tree head.
 	StaleSTH
+	// Hang stalls the request (slow-loris style) for Config.HangFor,
+	// honoring the request context, then fails it. Opt-in: not part of
+	// AllKinds, because it holds connections open far longer than the
+	// other faults and would stall mixed-kind chaos runs.
+	Hang
+	// Reset serves a partial body then closes the connection abruptly,
+	// modeling a mid-transfer TCP reset. Opt-in like Hang: adding it to
+	// AllKinds would reshuffle every seeded fault sequence.
+	Reset
 )
 
 func (k Kind) String() string {
@@ -62,13 +71,44 @@ func (k Kind) String() string {
 		return "corrupt-json"
 	case StaleSTH:
 		return "stale-sth"
+	case Hang:
+		return "hang"
+	case Reset:
+		return "reset"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
 
-// AllKinds returns every fault class, for configs that want the full mix.
+// AllKinds returns every fault class drawn by default, for configs
+// that want the full mix. Hang and Reset are deliberately excluded:
+// they are opt-in via Config.Kinds (or ParseKinds) so that existing
+// seeded fault sequences stay stable and mixed-kind runs don't park
+// on stalled connections.
 func AllKinds() []Kind {
 	return []Kind{ServerError, Drop, Latency, Truncate, CorruptJSON, StaleSTH}
+}
+
+// ParseKinds turns a comma-separated list of kind names (as printed by
+// Kind.String, e.g. "hang,reset,server-error") into kinds for
+// Config.Kinds. Empty input yields nil, which means AllKinds.
+func ParseKinds(s string) ([]Kind, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	byName := make(map[string]Kind)
+	for _, k := range append(AllKinds(), Hang, Reset) {
+		byName[k.String()] = k
+	}
+	var kinds []Kind
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		k, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("faultinject: unknown fault kind %q", name)
+		}
+		kinds = append(kinds, k)
+	}
+	return kinds, nil
 }
 
 // Config controls an injector.
@@ -82,6 +122,10 @@ type Config struct {
 	Kinds []Kind
 	// Latency is the injected delay for Latency faults (default 2ms).
 	Latency time.Duration
+	// HangFor is how long a Hang fault stalls before failing the
+	// request (default 1s). The stall always honors the request
+	// context, so a client with a deadline is released early.
+	HangFor time.Duration
 	// MaxConsecutive caps back-to-back faults per request key so
 	// retries always terminate (default 2; negative disables the cap).
 	MaxConsecutive int
@@ -111,6 +155,13 @@ func (s Stats) Total() int64 {
 // ErrDropped is the transport error returned for Drop faults.
 var ErrDropped = errors.New("faultinject: connection dropped")
 
+// ErrHung is the transport error returned when a Hang fault's stall
+// elapses without the request context expiring first.
+var ErrHung = errors.New("faultinject: connection stalled then dropped")
+
+// ErrReset is the mid-body read error produced by Reset faults.
+var ErrReset = errors.New("faultinject: connection reset mid-body")
+
 // Transport is an http.RoundTripper that injects faults in front of an
 // inner transport. Safe for concurrent use.
 type Transport struct {
@@ -132,6 +183,9 @@ func New(cfg Config, next http.RoundTripper) *Transport {
 	}
 	if cfg.Latency <= 0 {
 		cfg.Latency = 2 * time.Millisecond
+	}
+	if cfg.HangFor <= 0 {
+		cfg.HangFor = time.Second
 	}
 	if cfg.MaxConsecutive == 0 {
 		cfg.MaxConsecutive = 2
@@ -201,6 +255,14 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 			return syntheticResponse(req, http.StatusServiceUnavailable, []byte("injected overload\n"), "text/plain"), nil
 		case Drop:
 			return nil, ErrDropped
+		case Hang:
+			// Slow loris: the far end accepts and then goes silent. A
+			// client deadline fires first if one is set; otherwise the
+			// stall ends in a dead connection.
+			if err := sleepCtx(req.Context(), t.cfg.HangFor); err != nil {
+				return nil, err
+			}
+			return nil, ErrHung
 		case StaleSTH:
 			t.mu.Lock()
 			body := t.staleSTH
@@ -218,7 +280,7 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 	// Body-level faults and persistent poisoning need the real bytes.
 	needsPoison := len(t.cfg.PoisonEntries) > 0 && strings.HasSuffix(req.URL.Path, "/get-entries")
-	needsBody := needsPoison || isSTH || (faulted && (kind == Truncate || kind == CorruptJSON))
+	needsBody := needsPoison || isSTH || (faulted && (kind == Truncate || kind == CorruptJSON || kind == Reset))
 	if !needsBody || resp.StatusCode != http.StatusOK {
 		return resp, nil
 	}
@@ -240,7 +302,12 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	if faulted {
 		switch kind {
 		case Truncate:
-			resp.Body = &truncatedBody{r: bytes.NewReader(body[:len(body)/2])}
+			resp.Body = &truncatedBody{r: bytes.NewReader(body[:len(body)/2]), err: io.ErrUnexpectedEOF}
+			resp.ContentLength = -1
+			resp.Header.Del("Content-Length")
+			return resp, nil
+		case Reset:
+			resp.Body = &truncatedBody{r: bytes.NewReader(body[:len(body)/2]), err: ErrReset}
 			resp.ContentLength = -1
 			resp.Header.Del("Content-Length")
 			return resp, nil
@@ -313,13 +380,17 @@ func corrupt(body []byte) []byte {
 	return out
 }
 
-// truncatedBody yields its prefix then fails like a torn connection.
-type truncatedBody struct{ r *bytes.Reader }
+// truncatedBody yields its prefix then fails with err, like a torn
+// (Truncate) or reset (Reset) connection.
+type truncatedBody struct {
+	r   *bytes.Reader
+	err error
+}
 
 func (b *truncatedBody) Read(p []byte) (int, error) {
 	n, err := b.r.Read(p)
 	if err == io.EOF {
-		return n, io.ErrUnexpectedEOF
+		return n, b.err
 	}
 	return n, err
 }
@@ -359,6 +430,30 @@ func (t *Transport) Handler(next http.Handler) http.Handler {
 				return
 			}
 			next.ServeHTTP(w, r)
+		case Hang:
+			// Stall without writing a byte, then abort the connection.
+			// ErrAbortHandler makes net/http slam the socket shut rather
+			// than finish the response, so the client sees a dead peer,
+			// not a clean error status.
+			if err := sleepCtx(r.Context(), t.cfg.HangFor); err != nil {
+				return // client gave up first
+			}
+			panic(http.ErrAbortHandler)
+		case Reset:
+			rec := &recordingWriter{header: make(http.Header)}
+			next.ServeHTTP(rec, r)
+			body := rec.buf.Bytes()
+			// Deliver half the payload, force it onto the wire, then
+			// abort mid-body like a TCP reset.
+			w.Header().Del("Content-Length")
+			if rec.status != 0 {
+				w.WriteHeader(rec.status)
+			}
+			w.Write(body[:len(body)/2])
+			if f, ok := w.(http.Flusher); ok {
+				f.Flush()
+			}
+			panic(http.ErrAbortHandler)
 		case Truncate, CorruptJSON:
 			rec := &recordingWriter{header: make(http.Header)}
 			next.ServeHTTP(rec, r)

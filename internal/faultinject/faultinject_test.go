@@ -263,10 +263,159 @@ func TestHandlerMiddleware(t *testing.T) {
 }
 
 func TestKindString(t *testing.T) {
-	for _, k := range AllKinds() {
+	for _, k := range append(AllKinds(), Hang, Reset) {
 		if s := k.String(); s == "" || strings.HasPrefix(s, "kind(") {
 			t.Fatalf("kind %d has no name", int(k))
 		}
+	}
+}
+
+// TestAllKindsExcludesOptIn pins the seed-stability contract: adding
+// Hang or Reset to the default mix would reshuffle every seeded fault
+// sequence and park mixed-kind chaos runs on stalled connections.
+func TestAllKindsExcludesOptIn(t *testing.T) {
+	for _, k := range AllKinds() {
+		if k == Hang || k == Reset {
+			t.Fatalf("%v must stay opt-in, not part of AllKinds", k)
+		}
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	kinds, err := ParseKinds("hang, reset,server-error")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{Hang, Reset, ServerError}
+	if len(kinds) != len(want) {
+		t.Fatalf("kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kinds = %v, want %v", kinds, want)
+		}
+	}
+	if kinds, err := ParseKinds(""); err != nil || kinds != nil {
+		t.Fatalf("empty spec: %v, %v", kinds, err)
+	}
+	if _, err := ParseKinds("hang,bogus"); err == nil {
+		t.Fatal("unknown kind must be rejected")
+	}
+	// Every printable kind round-trips through its own name.
+	for _, k := range append(AllKinds(), Hang, Reset) {
+		got, err := ParseKinds(k.String())
+		if err != nil || len(got) != 1 || got[0] != k {
+			t.Fatalf("round-trip %v: %v, %v", k, got, err)
+		}
+	}
+}
+
+// TestHangFaultHonorsContext: a hung request must release as soon as
+// the caller's deadline fires, not sit out the full stall.
+func TestHangFaultHonorsContext(t *testing.T) {
+	srv := httptest.NewServer((&backend{sthSize: 5}).handler())
+	defer srv.Close()
+	tr := New(Config{Seed: 1, Rate: 1, Kinds: []Kind{Hang}, HangFor: time.Minute, MaxConsecutive: -1}, nil)
+	client := &http.Client{Transport: tr}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/x", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, err = client.Do(req)
+	if err == nil {
+		t.Fatal("hung request returned a response")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("hang ignored the context: released after %v", elapsed)
+	}
+}
+
+// TestHangFaultElapses: without a deadline the stall ends in a dead
+// connection, so deadline-less clients are not stuck forever.
+func TestHangFaultElapses(t *testing.T) {
+	srv := httptest.NewServer((&backend{sthSize: 5}).handler())
+	defer srv.Close()
+	tr := New(Config{Seed: 1, Rate: 1, Kinds: []Kind{Hang}, HangFor: 5 * time.Millisecond, MaxConsecutive: -1}, nil)
+	client := &http.Client{Transport: tr}
+	_, err := client.Get(srv.URL + "/x")
+	if err == nil || !errors.Is(errors.Unwrap(err), ErrHung) {
+		t.Fatalf("want ErrHung, got %v", err)
+	}
+	if st := tr.Stats(); st.Faults[Hang] != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// TestResetFaultTransport: the response starts normally and dies
+// mid-body with ErrReset.
+func TestResetFaultTransport(t *testing.T) {
+	srv := httptest.NewServer((&backend{sthSize: 5}).handler())
+	defer srv.Close()
+	tr := New(Config{Seed: 1, Rate: 1, Kinds: []Kind{Reset}, MaxConsecutive: -1}, nil)
+	client := &http.Client{Transport: tr}
+	resp, err := client.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("reset fault must start as a 200: %s", resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if !errors.Is(err, ErrReset) {
+		t.Fatalf("want ErrReset mid-body, got err=%v body=%q", err, body)
+	}
+	if len(body) == 0 {
+		t.Fatal("reset must deliver a partial body, not none")
+	}
+}
+
+// TestHangHandler: the server-side middleware stalls without writing a
+// byte and the inner handler never runs; a client deadline escapes.
+func TestHangHandler(t *testing.T) {
+	tr := New(Config{Seed: 1, Rate: 1, Kinds: []Kind{Hang}, HangFor: time.Minute, MaxConsecutive: -1}, nil)
+	srv := httptest.NewServer(tr.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("inner handler ran during a hang")
+	})))
+	defer srv.Close()
+	client := &http.Client{Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := client.Get(srv.URL + "/x")
+	if err == nil {
+		t.Fatal("hung request returned a response")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("client stuck %v behind a hang", elapsed)
+	}
+}
+
+// TestResetHandler: the middleware delivers part of the body then
+// aborts the connection, so the client read fails mid-stream.
+func TestResetHandler(t *testing.T) {
+	big := strings.Repeat(`{"pad":"xxxxxxxx"}`, 512)
+	tr := New(Config{Seed: 1, Rate: 1, Kinds: []Kind{Reset}, MaxConsecutive: -1}, nil)
+	srv := httptest.NewServer(tr.Handler(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, big)
+	})))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err == nil {
+		t.Fatalf("reset connection read cleanly: %d bytes", len(body))
+	}
+	if len(body) >= len(big) {
+		t.Fatalf("full body arrived despite reset: %d bytes", len(body))
 	}
 }
 

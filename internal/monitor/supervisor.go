@@ -1,0 +1,143 @@
+package monitor
+
+// Containment for crawls: Supervise runs a function (typically one
+// monitor's SyncFromLog loop) under a restart policy, converting
+// panics into errors and errors into capped-exponential-backoff
+// restarts. With a CheckpointStore wired into the crawl, each restart
+// resumes from the last persisted index, so a hostile entry or a log
+// outage degrades a crawl into a delay instead of killing the process.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Supervisor defaults.
+const (
+	DefaultMaxRestarts        = 5
+	DefaultSupervisorBackoff  = 100 * time.Millisecond
+	defaultSupervisorMaxSleep = 5 * time.Second
+)
+
+// SupervisorOptions tunes Supervise. The zero value adopts the
+// defaults above.
+type SupervisorOptions struct {
+	// MaxRestarts caps re-runs after the first attempt (negative
+	// disables restarts; zero means DefaultMaxRestarts).
+	MaxRestarts int
+	// BaseBackoff/MaxBackoff shape the capped exponential delay
+	// between restarts.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// OnRestart, when non-nil, observes each restart decision with the
+	// 1-based attempt number about to run and the error that caused it.
+	OnRestart func(attempt int, err error)
+	// Obs, when non-nil, receives monitor_supervisor_restarts_total
+	// and monitor_supervisor_panics_total.
+	Obs *obs.Registry
+	// Sleep overrides the backoff sleep (tests inject a no-op). The
+	// default honors context cancellation.
+	Sleep func(context.Context, time.Duration) error
+}
+
+func (o SupervisorOptions) maxRestarts() int {
+	switch {
+	case o.MaxRestarts > 0:
+		return o.MaxRestarts
+	case o.MaxRestarts < 0:
+		return 0
+	}
+	return DefaultMaxRestarts
+}
+
+func (o SupervisorOptions) backoff(attempt int) time.Duration {
+	base := o.BaseBackoff
+	if base <= 0 {
+		base = DefaultSupervisorBackoff
+	}
+	maxd := o.MaxBackoff
+	if maxd <= 0 {
+		maxd = defaultSupervisorMaxSleep
+	}
+	d := base << uint(attempt)
+	if d > maxd || d <= 0 {
+		d = maxd
+	}
+	return d
+}
+
+func (o SupervisorOptions) sleep(ctx context.Context, d time.Duration) error {
+	if o.Sleep != nil {
+		return o.Sleep(ctx, d)
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// PanicError is the error a recovered panic surfaces through
+// Supervise, so callers (and OnRestart hooks) can distinguish crashes
+// from ordinary failures.
+type PanicError struct {
+	Value any
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("monitor: supervised run panicked: %v", e.Value)
+}
+
+// Supervise runs fn, restarting it on error or panic with capped
+// exponential backoff until it succeeds, the restart budget is spent,
+// or ctx is cancelled. It returns nil on success, ctx.Err() on
+// cancellation, and otherwise the last failure.
+func Supervise(ctx context.Context, opts SupervisorOptions, fn func(context.Context) error) error {
+	var restarts, panics *obs.Counter
+	if opts.Obs != nil {
+		opts.Obs.Help("monitor_supervisor_restarts_total", "Supervised crawl restarts after an error or panic.")
+		opts.Obs.Help("monitor_supervisor_panics_total", "Panics recovered by the crawl supervisor.")
+		restarts = opts.Obs.Counter("monitor_supervisor_restarts_total")
+		panics = opts.Obs.Counter("monitor_supervisor_panics_total")
+	}
+	run := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				panics.Inc()
+				err = &PanicError{Value: r}
+			}
+		}()
+		return fn(ctx)
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lastErr = run()
+		if lastErr == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			// Cancellation, not failure: the error is just the run
+			// observing its dying context.
+			return ctx.Err()
+		}
+		if attempt >= opts.maxRestarts() {
+			return lastErr
+		}
+		restarts.Inc()
+		if opts.OnRestart != nil {
+			opts.OnRestart(attempt+1, lastErr)
+		}
+		if err := opts.sleep(ctx, opts.backoff(attempt)); err != nil {
+			return err
+		}
+	}
+}

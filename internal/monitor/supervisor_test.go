@@ -1,0 +1,169 @@
+package monitor
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ctlog"
+	"repro/internal/obs"
+)
+
+func noSleep(context.Context, time.Duration) error { return nil }
+
+func TestSuperviseSucceedsFirstTry(t *testing.T) {
+	calls := 0
+	err := Supervise(context.Background(), SupervisorOptions{Sleep: noSleep}, func(context.Context) error {
+		calls++
+		return nil
+	})
+	if err != nil || calls != 1 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+}
+
+func TestSuperviseRestartsOnError(t *testing.T) {
+	calls := 0
+	var attempts []int
+	err := Supervise(context.Background(), SupervisorOptions{
+		MaxRestarts: 10,
+		Sleep:       noSleep,
+		OnRestart:   func(attempt int, err error) { attempts = append(attempts, attempt) },
+	}, func(context.Context) error {
+		calls++
+		if calls < 4 {
+			return errors.New("flaky")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 4 {
+		t.Fatalf("calls = %d", calls)
+	}
+	if len(attempts) != 3 || attempts[0] != 1 || attempts[2] != 3 {
+		t.Fatalf("OnRestart attempts = %v", attempts)
+	}
+}
+
+func TestSuperviseRecoversPanics(t *testing.T) {
+	reg := obs.NewRegistry()
+	calls := 0
+	err := Supervise(context.Background(), SupervisorOptions{MaxRestarts: 5, Sleep: noSleep, Obs: reg}, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			panic("hostile cert")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("supervisor did not absorb panics: %v", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d", calls)
+	}
+	if got := reg.Counter("monitor_supervisor_panics_total").Value(); got != 2 {
+		t.Fatalf("panics counter = %d", got)
+	}
+	if got := reg.Counter("monitor_supervisor_restarts_total").Value(); got != 2 {
+		t.Fatalf("restarts counter = %d", got)
+	}
+}
+
+func TestSuperviseBudgetExhausted(t *testing.T) {
+	calls := 0
+	err := Supervise(context.Background(), SupervisorOptions{MaxRestarts: 2, Sleep: noSleep}, func(context.Context) error {
+		calls++
+		panic("always")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want PanicError", err)
+	}
+	if calls != 3 { // first try + 2 restarts
+		t.Fatalf("calls = %d", calls)
+	}
+}
+
+func TestSuperviseHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := Supervise(ctx, SupervisorOptions{MaxRestarts: 100, Sleep: noSleep}, func(context.Context) error {
+		calls++
+		cancel()
+		return errors.New("dying run")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want no restart after cancellation", calls)
+	}
+}
+
+func TestSuperviseBackoffShape(t *testing.T) {
+	o := SupervisorOptions{BaseBackoff: 100 * time.Millisecond, MaxBackoff: time.Second}
+	want := []time.Duration{100, 200, 400, 800, 1000, 1000}
+	for i, w := range want {
+		if got := o.backoff(i); got != w*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, want %v", i, got, w*time.Millisecond)
+		}
+	}
+	// Overflow-safe far out.
+	if got := o.backoff(80); got != time.Second {
+		t.Fatalf("backoff(80) = %v", got)
+	}
+}
+
+// TestIngestQuarantinesPanickingIndex drives the per-entry
+// containment: an Index step that panics (here: a monitor whose index
+// map was never initialised) must quarantine that one entry and let
+// the rest of the batch land.
+func TestIngestQuarantinesPanickingIndex(t *testing.T) {
+	der := cert(t, "quarantine.example", "quarantine.example").Raw
+	broken := &Monitor{Caps: Monitors()[0]} // nil index map: Index panics
+	stats := &SyncStats{}
+	sm := newSyncMetrics(obs.NewRegistry(), broken)
+	entries := []ctlog.Entry{
+		{Index: 0, DER: der},
+		{Index: 1, DER: []byte{0x00}}, // parse error, not a panic
+		{Index: 2, DER: der},
+	}
+	broken.ingest(entries, stats, sm)
+	if stats.Quarantined != 2 {
+		t.Fatalf("Quarantined = %d, want 2", stats.Quarantined)
+	}
+	if stats.ParseErrors != 1 {
+		t.Fatalf("ParseErrors = %d, want 1", stats.ParseErrors)
+	}
+	if stats.Fetched != 3 {
+		t.Fatalf("Fetched = %d, want 3", stats.Fetched)
+	}
+	if broken.Checkpoint() != 3 {
+		t.Fatalf("checkpoint %d, want 3 (quarantine must advance past the entry)", broken.Checkpoint())
+	}
+	if got := sm.quarantined.Value(); got != 2 {
+		t.Fatalf("monitor_quarantined_entries_total = %d", got)
+	}
+
+	// A healthy monitor ingests the same batch without quarantining.
+	ok := New(Monitors()[0])
+	stats2 := &SyncStats{}
+	ok.ingest(entries, stats2, newSyncMetrics(nil, ok))
+	if stats2.Quarantined != 0 || stats2.Indexed != 2 {
+		t.Fatalf("healthy ingest: %+v", stats2)
+	}
+}
+
+func TestSuperviseDefaults(t *testing.T) {
+	var o SupervisorOptions
+	if o.maxRestarts() != DefaultMaxRestarts {
+		t.Fatalf("maxRestarts = %d", o.maxRestarts())
+	}
+	o.MaxRestarts = -1
+	if o.maxRestarts() != 0 {
+		t.Fatal("negative MaxRestarts must disable restarts")
+	}
+}

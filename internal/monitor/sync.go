@@ -33,6 +33,14 @@ type SyncOptions struct {
 	// corrupted body the HTTP-level retry policy will not refetch
 	// (default 3; negative disables).
 	STHRetries int
+	// Checkpoints, when non-nil, makes the crawl crash-safe: the
+	// resume point is persisted after every ingested batch and
+	// restored (for a monitor with no in-memory progress) before the
+	// crawl starts, so a killed process resumes where it stopped
+	// instead of refetching the log. Persistence failures degrade the
+	// crawl (counted in SyncStats.CheckpointErrors and
+	// monitor_checkpoint_persist_errors_total), they do not abort it.
+	Checkpoints CheckpointStore
 	// Obs, when non-nil, receives the crawl instruments
 	// (monitor_entries_synced_total, monitor_entries_per_sec,
 	// monitor_checkpoint, monitor_checkpoint_age_seconds, …).
@@ -73,6 +81,12 @@ type SyncStats struct {
 	// SkippedEntries counts entries abandoned after bisection isolated
 	// them as individually unfetchable (poisoned encodings).
 	SkippedEntries int
+	// Quarantined counts entries whose parse or index step panicked;
+	// the panic is contained per entry and the crawl continues.
+	Quarantined int
+	// CheckpointErrors counts failed checkpoint persistence attempts
+	// (the crawl continues; only durability degrades).
+	CheckpointErrors int
 	// Bisections counts range splits performed while isolating
 	// failures.
 	Bisections int
@@ -92,6 +106,8 @@ type syncMetrics struct {
 	parseErrors *obs.Counter // monitor_parse_errors_total
 	skipped     *obs.Counter // monitor_skipped_entries_total
 	bisections  *obs.Counter // monitor_bisections_total
+	quarantined *obs.Counter // monitor_quarantined_entries_total
+	cpErrors    *obs.Counter // monitor_checkpoint_persist_errors_total
 	perSec      *obs.Gauge   // monitor_entries_per_sec
 	checkpoint  *obs.Gauge   // monitor_checkpoint
 	treeSize    *obs.Gauge   // monitor_sth_tree_size
@@ -110,6 +126,8 @@ func newSyncMetrics(reg *obs.Registry, m *Monitor) *syncMetrics {
 	reg.Help("monitor_parse_errors_total", "Entries whose DER the lenient parser rejected.")
 	reg.Help("monitor_skipped_entries_total", "Entries abandoned after bisection isolated them as poisoned.")
 	reg.Help("monitor_bisections_total", "Range splits performed while isolating failures.")
+	reg.Help("monitor_quarantined_entries_total", "Entries whose parse/index step panicked and was contained.")
+	reg.Help("monitor_checkpoint_persist_errors_total", "Checkpoint saves that failed (crawl continued).")
 	reg.Help("monitor_entries_per_sec", "Fetch rate of the current (or last) crawl.")
 	reg.Help("monitor_checkpoint", "Next log index the crawl will fetch.")
 	reg.Help("monitor_checkpoint_age_seconds", "Seconds since the checkpoint last advanced; a growing age means the crawl is stuck.")
@@ -120,6 +138,8 @@ func newSyncMetrics(reg *obs.Registry, m *Monitor) *syncMetrics {
 	sm.parseErrors = reg.Counter("monitor_parse_errors_total")
 	sm.skipped = reg.Counter("monitor_skipped_entries_total")
 	sm.bisections = reg.Counter("monitor_bisections_total")
+	sm.quarantined = reg.Counter("monitor_quarantined_entries_total")
+	sm.cpErrors = reg.Counter("monitor_checkpoint_persist_errors_total")
 	sm.perSec = reg.Gauge("monitor_entries_per_sec")
 	sm.checkpoint = reg.Gauge("monitor_checkpoint")
 	sm.treeSize = reg.Gauge("monitor_sth_tree_size")
@@ -169,12 +189,34 @@ func (m *Monitor) SetCheckpoint(n int) {
 func (m *Monitor) SyncFromLog(ctx context.Context, client *ctlog.Client, opts SyncOptions) (SyncStats, error) {
 	started := time.Now()
 	retries0 := client.Retries()
+	if opts.Checkpoints != nil && m.nextIndex == 0 {
+		// A monitor with no in-memory progress adopts the persisted
+		// resume point — the crash-recovery path. In-memory progress
+		// wins otherwise: it is at least as fresh as any save.
+		if cp, ok, err := opts.Checkpoints.Load(); err != nil {
+			return SyncStats{}, fmt.Errorf("monitor: loading checkpoint: %w", err)
+		} else if ok {
+			m.SetCheckpoint(cp.NextIndex)
+		}
+	}
 	stats := SyncStats{ResumedFrom: m.nextIndex}
 	sm := newSyncMetrics(opts.Obs, m)
 	m.lastAdvance.Store(started.UnixNano())
 	ctx, span := opts.Tracer.Start(ctx, "monitor.sync")
 	span.SetAttr("resumed_from", strconv.Itoa(m.nextIndex))
+	treeSize := 0
+	persist := func() {
+		if opts.Checkpoints == nil {
+			return
+		}
+		cp := Checkpoint{NextIndex: m.nextIndex, TreeSize: treeSize, UpdatedAt: time.Now()}
+		if err := opts.Checkpoints.Save(cp); err != nil {
+			stats.CheckpointErrors++
+			sm.cpErrors.Inc()
+		}
+	}
 	finish := func(err error) (SyncStats, error) {
+		persist()
 		stats.Retries = int(client.Retries() - retries0)
 		stats.Duration = time.Since(started)
 		span.SetAttr("fetched", strconv.Itoa(stats.Fetched))
@@ -189,6 +231,7 @@ func (m *Monitor) SyncFromLog(ctx context.Context, client *ctlog.Client, opts Sy
 	if err != nil {
 		return finish(fmt.Errorf("monitor: get-sth: %w", err))
 	}
+	treeSize = size
 	sm.treeSize.Set(float64(size))
 	span.SetAttr("tree_size", strconv.Itoa(size))
 	batch := opts.batch()
@@ -197,6 +240,7 @@ func (m *Monitor) SyncFromLog(ctx context.Context, client *ctlog.Client, opts Sy
 		if err := m.syncRange(ctx, client, m.nextIndex, end, &stats, sm, opts.Tracer); err != nil {
 			return finish(err)
 		}
+		persist()
 	}
 	return finish(nil)
 }
@@ -284,7 +328,10 @@ func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi in
 }
 
 // ingest indexes one batch of entries, advances the checkpoint, and
-// feeds the crawl instruments.
+// feeds the crawl instruments. A panic from the parse or index step —
+// a hostile DER hitting a parser edge case — is contained to that one
+// entry (quarantined and counted) so the batch, and the crawl, keep
+// going.
 func (m *Monitor) ingest(entries []ctlog.Entry, stats *SyncStats, sm *syncMetrics) {
 	fetched := 0
 	for _, e := range entries {
@@ -301,15 +348,40 @@ func (m *Monitor) ingest(entries []ctlog.Entry, stats *SyncStats, sm *syncMetric
 			sm.precerts.Inc()
 			continue
 		}
-		cert, err := x509cert.ParseWithMode(e.DER, x509cert.ParseLenient)
-		if err != nil {
+		switch m.ingestOne(e) {
+		case ingestIndexed:
+			stats.Indexed++
+			sm.indexed.Inc()
+		case ingestParseError:
 			stats.ParseErrors++
 			sm.parseErrors.Inc()
-			continue
+		case ingestQuarantined:
+			stats.Quarantined++
+			sm.quarantined.Inc()
 		}
-		m.Index(e.Index, cert)
-		stats.Indexed++
-		sm.indexed.Inc()
 	}
 	sm.advanced(m, fetched)
+}
+
+// ingestOne outcomes.
+const (
+	ingestIndexed = iota
+	ingestParseError
+	ingestQuarantined
+)
+
+// ingestOne parses and indexes a single entry, converting a panic into
+// a quarantined outcome.
+func (m *Monitor) ingestOne(e ctlog.Entry) (outcome int) {
+	defer func() {
+		if recover() != nil {
+			outcome = ingestQuarantined
+		}
+	}()
+	cert, err := x509cert.ParseWithMode(e.DER, x509cert.ParseLenient)
+	if err != nil {
+		return ingestParseError
+	}
+	m.Index(e.Index, cert)
+	return ingestIndexed
 }

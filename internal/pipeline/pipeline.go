@@ -25,6 +25,7 @@ package pipeline
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
@@ -75,14 +76,15 @@ func (c Config) queue(workers int) int {
 type metrics struct {
 	generated   *obs.Counter   // pipeline_generated_total
 	linted      *obs.Counter   // pipeline_linted_total
+	quarantined *obs.Counter   // pipeline_quarantined_total
 	inFlight    *obs.Gauge     // pipeline_in_flight
 	queueDepth  *obs.Gauge     // pipeline_queue_depth
 	certsPerSec *obs.Gauge     // pipeline_certs_per_sec
 	genSeconds  *obs.Histogram // pipeline_slot_generate_seconds
 	lintSeconds *obs.Histogram // pipeline_slot_lint_seconds
 
-	gen0, lint0 uint64
-	start       time.Time
+	gen0, lint0, quar0 uint64
+	start              time.Time
 }
 
 func newMetrics(reg *obs.Registry) *metrics {
@@ -91,6 +93,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 	}
 	reg.Help("pipeline_generated_total", "Certificates built and parsed (incl. precerts/variants).")
 	reg.Help("pipeline_linted_total", "Certificates linted.")
+	reg.Help("pipeline_quarantined_total", "Generate/lint panics contained to one item instead of killing the run.")
 	reg.Help("pipeline_in_flight", "Slots currently inside a worker.")
 	reg.Help("pipeline_queue_depth", "Slot indices waiting in the bounded feed queue.")
 	reg.Help("pipeline_certs_per_sec", "Linted certificates per second of wall clock, this run.")
@@ -99,6 +102,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 	m := &metrics{
 		generated:   reg.Counter("pipeline_generated_total"),
 		linted:      reg.Counter("pipeline_linted_total"),
+		quarantined: reg.Counter("pipeline_quarantined_total"),
 		inFlight:    reg.Gauge("pipeline_in_flight"),
 		queueDepth:  reg.Gauge("pipeline_queue_depth"),
 		certsPerSec: reg.Gauge("pipeline_certs_per_sec"),
@@ -108,6 +112,7 @@ func newMetrics(reg *obs.Registry) *metrics {
 	}
 	m.gen0 = m.generated.Value()
 	m.lint0 = m.linted.Value()
+	m.quar0 = m.quarantined.Value()
 	return m
 }
 
@@ -116,6 +121,7 @@ type Stats struct {
 	Workers     int
 	Generated   uint64 // certificates built and parsed
 	Linted      uint64 // certificates linted
+	Quarantined uint64 // generate/lint panics contained per item
 	InFlight    int64  // slots being processed right now
 	QueueDepth  int    // slot indices waiting in the bounded queue
 	Elapsed     time.Duration
@@ -125,12 +131,13 @@ type Stats struct {
 func (m *metrics) snapshot(workers, queueDepth int) Stats {
 	elapsed := time.Since(m.start)
 	s := Stats{
-		Workers:    workers,
-		Generated:  m.generated.Value() - m.gen0,
-		Linted:     m.linted.Value() - m.lint0,
-		InFlight:   int64(m.inFlight.Value()),
-		QueueDepth: queueDepth,
-		Elapsed:    elapsed,
+		Workers:     workers,
+		Generated:   m.generated.Value() - m.gen0,
+		Linted:      m.linted.Value() - m.lint0,
+		Quarantined: m.quarantined.Value() - m.quar0,
+		InFlight:    int64(m.inFlight.Value()),
+		QueueDepth:  queueDepth,
+		Elapsed:     elapsed,
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		s.CertsPerSec = float64(s.Linted) / secs
@@ -141,11 +148,55 @@ func (m *metrics) snapshot(workers, queueDepth int) Stats {
 	return s
 }
 
+// Quarantine records one generate or lint panic that was contained to
+// its item instead of killing the run.
+type Quarantine struct {
+	// Slot is the corpus slot the panic happened in.
+	Slot int
+	// Index is the certificate's global index in the assembled corpus;
+	// -1 when the whole slot's generation panicked (no entries exist
+	// to index).
+	Index int
+	// Stage is "generate" or "lint".
+	Stage string
+	// Err carries the recovered panic value.
+	Err error
+}
+
 // Result is a measurement plus the pipeline stats observed at
 // completion.
 type Result struct {
 	Measurement *corpus.Measurement
 	Stats       Stats
+	// Quarantines lists the contained generate/lint panics, in slot
+	// order; empty on a healthy run.
+	Quarantines []Quarantine
+}
+
+// safeGenerateSlot builds slot i, converting a panic inside the
+// generator into an error so one hostile slot cannot kill the run.
+func safeGenerateSlot(gen *corpus.Generator, i int) (s *corpus.Slot, err error, panicked bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("pipeline: generate slot %d panicked: %v", i, r)
+			panicked = true
+		}
+	}()
+	s, err = gen.GenerateSlot(i)
+	return s, err, false
+}
+
+// runLintSafe lints one certificate, converting a panicking lint into
+// an empty result plus a false ok. The happy path adds nothing: same
+// registry Run, one open-coded defer.
+func runLintSafe(reg *lint.Registry, c *x509cert.Certificate, opts lint.Options) (res *lint.CertResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = &lint.CertResult{}
+			err = fmt.Errorf("pipeline: lint panicked: %v", r)
+		}
+	}()
+	return reg.Run(c, opts), nil
 }
 
 // Measure generates the corpus for cfg and lints every entry, fanned
@@ -162,8 +213,9 @@ func Measure(ctx context.Context, cfg corpus.Config, reg *lint.Registry, opts li
 	ctr := newMetrics(pc.Obs)
 
 	type slotResult struct {
-		slot    *corpus.Slot
-		results []*lint.CertResult // parallel to slot.Entries
+		slot        *corpus.Slot
+		results     []*lint.CertResult // parallel to slot.Entries
+		quarantined []Quarantine       // Index holds the slot-local entry index until aggregation
 	}
 	outs := make([]slotResult, gen.Slots())
 
@@ -210,11 +262,23 @@ func Measure(ctx context.Context, cfg corpus.Config, reg *lint.Registry, opts li
 			for i := range jobs {
 				ctr.inFlight.Add(1)
 				tGen := time.Now()
-				s, err := gen.GenerateSlot(i)
+				s, err, panicked := safeGenerateSlot(gen, i)
 				if err != nil {
+					if !panicked {
+						// A clean generator error is a configuration
+						// problem; panics are hostile inputs and are
+						// contained to the slot.
+						ctr.inFlight.Add(-1)
+						fail(err)
+						return
+					}
+					ctr.quarantined.Inc()
+					outs[i] = slotResult{
+						slot:        &corpus.Slot{},
+						quarantined: []Quarantine{{Slot: i, Index: -1, Stage: "generate", Err: err}},
+					}
 					ctr.inFlight.Add(-1)
-					fail(err)
-					return
+					continue
 				}
 				ctr.genSeconds.Observe(time.Since(tGen).Seconds())
 				n := len(s.Entries)
@@ -224,14 +288,20 @@ func Measure(ctx context.Context, cfg corpus.Config, reg *lint.Registry, opts li
 				ctr.generated.Add(uint64(n))
 				tLint := time.Now()
 				res := make([]*lint.CertResult, len(s.Entries))
+				var quar []Quarantine
 				for j, e := range s.Entries {
-					res[j] = reg.Run(e.Cert, opts)
+					r, lerr := runLintSafe(reg, e.Cert, opts)
+					res[j] = r
+					if lerr != nil {
+						ctr.quarantined.Inc()
+						quar = append(quar, Quarantine{Slot: i, Index: j, Stage: "lint", Err: lerr})
+					}
 				}
 				ctr.lintSeconds.Observe(time.Since(tLint).Seconds())
 				ctr.linted.Add(uint64(len(s.Entries)))
 				// Disjoint per-slot cells; wg.Wait orders these writes
 				// before the aggregation below.
-				outs[i] = slotResult{slot: s, results: res}
+				outs[i] = slotResult{slot: s, results: res, quarantined: quar}
 				ctr.inFlight.Add(-1)
 			}
 		}()
@@ -254,18 +324,27 @@ feed:
 
 	// Aggregate in slot order. Truncation to cfg.Size is mirrored from
 	// corpus.Generator.Assemble so the lint results stay parallel to
-	// the entry list.
+	// the entry list. Quarantine records are rewritten from slot-local
+	// to global certificate indexes as the offsets become known.
 	slots := make([]*corpus.Slot, len(outs))
 	m := &corpus.Measurement{}
+	var quarantines []Quarantine
 	for i := range outs {
 		slots[i] = outs[i].slot
+		base := len(m.Results)
 		m.Results = append(m.Results, outs[i].results...)
+		for _, q := range outs[i].quarantined {
+			if q.Index >= 0 {
+				q.Index += base
+			}
+			quarantines = append(quarantines, q)
+		}
 	}
 	m.Corpus = gen.Assemble(slots)
 	if len(m.Results) > len(m.Corpus.Entries) {
 		m.Results = m.Results[:len(m.Corpus.Entries)]
 	}
-	return &Result{Measurement: m, Stats: ctr.snapshot(workers, 0)}, nil
+	return &Result{Measurement: m, Stats: ctr.snapshot(workers, 0), Quarantines: quarantines}, nil
 }
 
 // LintCorpus lints an already-generated corpus across workers; the
@@ -275,7 +354,13 @@ feed:
 func LintCorpus(ctx context.Context, c *corpus.Corpus, reg *lint.Registry, opts lint.Options, pc Config) (*corpus.Measurement, error) {
 	m := &corpus.Measurement{Corpus: c, Results: make([]*lint.CertResult, len(c.Entries))}
 	err := parallelIndexed(ctx, len(c.Entries), pc, func(i int) error {
-		m.Results[i] = reg.Run(c.Entries[i].Cert, opts)
+		r, lerr := runLintSafe(reg, c.Entries[i].Cert, opts)
+		if lerr != nil {
+			// Surface the panic as a clean per-certificate error so the
+			// caller sees which input was hostile.
+			return fmt.Errorf("certificate %d: %w", i, lerr)
+		}
+		m.Results[i] = r
 		return nil
 	})
 	if err != nil {
@@ -294,7 +379,11 @@ func LintDERs(ctx context.Context, ders [][]byte, reg *lint.Registry, opts lint.
 		if err != nil {
 			return err
 		}
-		out[i] = reg.Run(cert, opts)
+		r, lerr := runLintSafe(reg, cert, opts)
+		if lerr != nil {
+			return fmt.Errorf("certificate %d: %w", i, lerr)
+		}
+		out[i] = r
 		return nil
 	})
 	if err != nil {

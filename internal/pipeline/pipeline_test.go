@@ -3,8 +3,10 @@ package pipeline
 import (
 	"context"
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -12,6 +14,7 @@ import (
 	"repro/internal/lint"
 	_ "repro/internal/lint/lints" // register the Unicert lints
 	"repro/internal/obs"
+	"repro/internal/x509cert"
 )
 
 // TestMeasureDeterminism is the acceptance test for the sharded
@@ -196,6 +199,116 @@ func TestMeasureExportsMetrics(t *testing.T) {
 	}
 	if got := reg.Counter("pipeline_linted_total").Value(); got != 2*res.Stats.Linted {
 		t.Errorf("registry total %d, want cumulative %d", got, 2*res.Stats.Linted)
+	}
+}
+
+// panickingRegistry builds a fresh registry holding the Global lints
+// plus one deliberately panicking lint that fires on every sel-th
+// certificate it sees — the regression harness for the containment
+// satellite: before it, one bad lint killed the whole run.
+func panickingRegistry(t *testing.T, every int) *lint.Registry {
+	t.Helper()
+	reg := lint.NewRegistry()
+	for _, l := range lint.Global.All() {
+		cp := *l
+		reg.Register(&cp)
+	}
+	var seen atomic.Int64
+	reg.Register(&lint.Lint{
+		Name:        "e_test_panicking_lint",
+		Description: "panics to prove containment",
+		Severity:    lint.Error,
+		Source:      lint.SourceCommunity,
+		Run: func(c *x509cert.Certificate) lint.Result {
+			if n := seen.Add(1); every > 0 && n%int64(every) == 0 {
+				panic(fmt.Sprintf("hostile certificate #%d", n))
+			}
+			return lint.PassResult
+		},
+	})
+	return reg
+}
+
+// TestMeasureQuarantinesPanickingLint: a lint that panics on some
+// certificates must not kill Measure; the affected items are
+// quarantined with their indexes, everything else lints normally.
+func TestMeasureQuarantinesPanickingLint(t *testing.T) {
+	const size = 120
+	reg := obs.NewRegistry()
+	res, err := Measure(context.Background(), corpus.Config{Size: size, Seed: 17}, panickingRegistry(t, 10), lint.Options{}, Config{Workers: 4, Obs: reg})
+	if err != nil {
+		t.Fatalf("panicking lint killed the run: %v", err)
+	}
+	if res.Stats.Quarantined == 0 || len(res.Quarantines) == 0 {
+		t.Fatalf("no quarantines recorded: stats %+v", res.Stats)
+	}
+	if uint64(len(res.Quarantines)) != res.Stats.Quarantined {
+		t.Fatalf("Quarantines %d != Stats.Quarantined %d", len(res.Quarantines), res.Stats.Quarantined)
+	}
+	if got := reg.Counter("pipeline_quarantined_total").Value(); got != res.Stats.Quarantined {
+		t.Fatalf("pipeline_quarantined_total = %d, Stats = %d", got, res.Stats.Quarantined)
+	}
+	if len(res.Measurement.Results) != len(res.Measurement.Corpus.Entries) {
+		t.Fatalf("results not parallel to entries after quarantine: %d vs %d",
+			len(res.Measurement.Results), len(res.Measurement.Corpus.Entries))
+	}
+	for _, q := range res.Quarantines {
+		if q.Stage != "lint" {
+			t.Fatalf("stage = %q", q.Stage)
+		}
+		if q.Index < 0 || q.Index >= len(res.Measurement.Results) {
+			t.Fatalf("quarantine index %d out of range", q.Index)
+		}
+		if q.Err == nil || !strings.Contains(q.Err.Error(), "hostile certificate") {
+			t.Fatalf("quarantine error = %v", q.Err)
+		}
+		// The quarantined cell holds a valid empty result, not a nil
+		// hole that would crash aggregation.
+		if res.Measurement.Results[q.Index] == nil {
+			t.Fatalf("quarantined result %d is nil", q.Index)
+		}
+	}
+	// Healthy items are unaffected: a clean run over the same corpus
+	// agrees wherever no quarantine happened.
+	clean, err := Measure(context.Background(), corpus.Config{Size: size, Seed: 17}, lint.Global, lint.Options{}, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarantined := make(map[int]bool, len(res.Quarantines))
+	for _, q := range res.Quarantines {
+		quarantined[q.Index] = true
+	}
+	for i := range clean.Measurement.Results {
+		if quarantined[i] {
+			continue
+		}
+		if clean.Measurement.Results[i].Noncompliant() != res.Measurement.Results[i].Noncompliant() {
+			t.Fatalf("healthy certificate %d verdict changed by quarantine machinery", i)
+		}
+	}
+}
+
+// TestLintDERsPanickingLintErrorsWithIndex: the lint-only entry points
+// surface a panicking lint as a per-certificate error naming the
+// input, instead of a process panic.
+func TestLintDERsPanickingLintErrorsWithIndex(t *testing.T) {
+	c, err := corpus.Generate(corpus.Config{Size: 8, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ders := make([][]byte, len(c.Entries))
+	for i, e := range c.Entries {
+		ders[i] = e.DER
+	}
+	_, err = LintDERs(context.Background(), ders, panickingRegistry(t, 1), lint.Options{}, Config{Workers: 2})
+	if err == nil {
+		t.Fatal("panicking lint must surface as an error")
+	}
+	if !strings.Contains(err.Error(), "certificate ") || !strings.Contains(err.Error(), "lint panicked") {
+		t.Fatalf("error lacks certificate index context: %v", err)
+	}
+	if _, err := LintCorpus(context.Background(), c, panickingRegistry(t, 1), lint.Options{}, Config{Workers: 2}); err == nil {
+		t.Fatal("LintCorpus must surface the panic as an error too")
 	}
 }
 

@@ -1,0 +1,132 @@
+package serve
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Limiter sheds load before it reaches a handler: a max-in-flight
+// semaphore models the server's concurrency budget (exceeding it sheds
+// 503), and a token bucket models its sustained request rate (exceeding
+// it sheds 429). Both shed responses carry Retry-After so well-behaved
+// clients back off instead of hammering. The zero value passes all
+// traffic through.
+type Limiter struct {
+	// MaxInFlight caps concurrently executing requests; 0 = unlimited.
+	MaxInFlight int
+	// Rate is the sustained requests/second budget; 0 = unlimited.
+	Rate float64
+	// Burst is the token-bucket capacity; 0 defaults to
+	// max(1, ceil(Rate)).
+	Burst int
+	// RetryAfter is the backoff hint on shed responses (default 1s;
+	// rounded up to whole seconds for the header).
+	RetryAfter time.Duration
+	// OnShed, when non-nil, observes every shed with its reason
+	// ("inflight" or "rate") — the hook ctlog wires to
+	// ctlog_server_shed_total{reason}.
+	OnShed func(reason string)
+	// Now is a test hook for the token bucket clock.
+	Now func() time.Time
+
+	semOnce sync.Once
+	sem     chan struct{}
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// Shed reasons, the label values of ctlog_server_shed_total.
+const (
+	ShedInFlight = "inflight"
+	ShedRate     = "rate"
+)
+
+func (l *Limiter) now() time.Time {
+	if l.Now != nil {
+		return l.Now()
+	}
+	return time.Now()
+}
+
+func (l *Limiter) burst() float64 {
+	if l.Burst > 0 {
+		return float64(l.Burst)
+	}
+	if b := math.Ceil(l.Rate); b > 1 {
+		return b
+	}
+	return 1
+}
+
+// allowRate takes one token from the bucket, refilling by elapsed
+// wall-clock first; it reports false when the bucket is empty.
+func (l *Limiter) allowRate() bool {
+	if l.Rate <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	if l.last.IsZero() {
+		l.tokens = l.burst()
+	} else if dt := now.Sub(l.last).Seconds(); dt > 0 {
+		l.tokens = math.Min(l.burst(), l.tokens+dt*l.Rate)
+	}
+	l.last = now
+	if l.tokens < 1 {
+		return false
+	}
+	l.tokens--
+	return true
+}
+
+func (l *Limiter) shed(w http.ResponseWriter, status int, reason string) {
+	retry := l.RetryAfter
+	if retry <= 0 {
+		retry = time.Second
+	}
+	secs := int(math.Ceil(retry.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	if l.OnShed != nil {
+		l.OnShed(reason)
+	}
+	http.Error(w, http.StatusText(status), status)
+}
+
+// Wrap returns a handler that sheds overload before calling next. The
+// rate gate runs first (cheap, rejects floods), then the in-flight
+// gate (bounds concurrency for admitted requests).
+func (l *Limiter) Wrap(next http.Handler) http.Handler {
+	if l == nil || (l.MaxInFlight <= 0 && l.Rate <= 0) {
+		return next
+	}
+	l.semOnce.Do(func() {
+		if l.MaxInFlight > 0 {
+			l.sem = make(chan struct{}, l.MaxInFlight)
+		}
+	})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !l.allowRate() {
+			l.shed(w, http.StatusTooManyRequests, ShedRate)
+			return
+		}
+		if l.sem != nil {
+			select {
+			case l.sem <- struct{}{}:
+				defer func() { <-l.sem }()
+			default:
+				l.shed(w, http.StatusServiceUnavailable, ShedInFlight)
+				return
+			}
+		}
+		next.ServeHTTP(w, r)
+	})
+}

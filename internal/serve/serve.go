@@ -1,0 +1,222 @@
+// Package serve is the production HTTP lifecycle layer: it wraps an
+// http.Handler in an http.Server with hardened read/write/idle
+// deadlines, bounded header size, liveness (/healthz) and readiness
+// (/readyz) probes, and signal-driven graceful shutdown with a drain
+// deadline. Every listener the repo exposes — the CT log frontend and
+// the -metrics-addr scrape endpoints — mounts through this package so
+// a slow-loris client cannot pin a connection forever and a SIGTERM
+// drains in-flight requests instead of dropping them.
+//
+// Lifecycle states: idle → serving → draining → stopped. The /readyz
+// probe flips to 503 the moment draining begins (or whenever the
+// caller's Ready hook reports an error), so load balancers stop
+// routing before the drain deadline cuts remaining connections. The
+// /healthz probe stays 200 for as long as the process can answer at
+// all — it reports liveness, not willingness.
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Lifecycle states, exported for tests and the serve_state gauge.
+const (
+	StateIdle int32 = iota
+	StateServing
+	StateDraining
+	StateStopped
+)
+
+// StateName names a lifecycle state for logs and probe bodies.
+func StateName(s int32) string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateServing:
+		return "serving"
+	case StateDraining:
+		return "draining"
+	case StateStopped:
+		return "stopped"
+	default:
+		return "unknown"
+	}
+}
+
+// Config hardens one listener. The zero value is usable: every
+// deadline defaults to a production-safe bound rather than "no limit".
+type Config struct {
+	// ReadTimeout bounds reading an entire request, body included
+	// (default 15s).
+	ReadTimeout time.Duration
+	// ReadHeaderTimeout bounds the request-header read alone — the
+	// slow-loris guard (default 5s).
+	ReadHeaderTimeout time.Duration
+	// WriteTimeout bounds writing the response (default 30s).
+	WriteTimeout time.Duration
+	// IdleTimeout bounds keep-alive idleness (default 2m).
+	IdleTimeout time.Duration
+	// MaxHeaderBytes caps request-header size (default 1 MiB).
+	MaxHeaderBytes int
+	// DrainTimeout bounds graceful Shutdown once draining starts; past
+	// it remaining connections are cut (default 10s).
+	DrainTimeout time.Duration
+	// Ready, when non-nil, gates /readyz: a non-nil error reports 503
+	// with the error text. Draining overrides it — /readyz is 503 for
+	// the whole drain regardless of Ready.
+	Ready func() error
+	// Obs, when non-nil, exports serve_state{listener=...}.
+	Obs *obs.Registry
+	// Name labels this listener's obs instruments (default "server").
+	Name string
+}
+
+func (c Config) readTimeout() time.Duration       { return defDur(c.ReadTimeout, 15*time.Second) }
+func (c Config) readHeaderTimeout() time.Duration { return defDur(c.ReadHeaderTimeout, 5*time.Second) }
+func (c Config) writeTimeout() time.Duration      { return defDur(c.WriteTimeout, 30*time.Second) }
+func (c Config) idleTimeout() time.Duration       { return defDur(c.IdleTimeout, 2*time.Minute) }
+func (c Config) drainTimeout() time.Duration      { return defDur(c.DrainTimeout, 10*time.Second) }
+
+func (c Config) maxHeaderBytes() int {
+	if c.MaxHeaderBytes > 0 {
+		return c.MaxHeaderBytes
+	}
+	return 1 << 20
+}
+
+func (c Config) name() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return "server"
+}
+
+func defDur(d, def time.Duration) time.Duration {
+	if d > 0 {
+		return d
+	}
+	return def
+}
+
+// Server is one hardened listener with probes and graceful shutdown.
+type Server struct {
+	cfg   Config
+	http  *http.Server
+	state atomic.Int32
+}
+
+// New wraps h with the /healthz and /readyz probes and builds the
+// hardened http.Server around it. The handler is not mutated; probe
+// paths shadow it.
+func New(h http.Handler, cfg Config) *Server {
+	s := &Server{cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.healthz)
+	mux.HandleFunc("/readyz", s.readyz)
+	mux.Handle("/", h)
+	s.http = &http.Server{
+		Handler:           mux,
+		ReadTimeout:       cfg.readTimeout(),
+		ReadHeaderTimeout: cfg.readHeaderTimeout(),
+		WriteTimeout:      cfg.writeTimeout(),
+		IdleTimeout:       cfg.idleTimeout(),
+		MaxHeaderBytes:    cfg.maxHeaderBytes(),
+	}
+	if cfg.Obs != nil {
+		cfg.Obs.Help("serve_state", "Listener lifecycle state (0 idle, 1 serving, 2 draining, 3 stopped).")
+		cfg.Obs.GaugeFunc("serve_state", func() float64 { return float64(s.State()) }, "listener", cfg.name())
+	}
+	return s
+}
+
+// State returns the current lifecycle state.
+func (s *Server) State() int32 { return s.state.Load() }
+
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	// Liveness: answering at all is the signal. Draining processes are
+	// still alive — only report failure once fully stopped.
+	if s.State() == StateStopped {
+		http.Error(w, "stopped", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ok\n"))
+}
+
+func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
+	if st := s.State(); st != StateServing {
+		http.Error(w, StateName(st), http.StatusServiceUnavailable)
+		return
+	}
+	if s.cfg.Ready != nil {
+		if err := s.cfg.Ready(); err != nil {
+			http.Error(w, err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Write([]byte("ready\n"))
+}
+
+// Serve accepts on ln until Shutdown or a listener error. Unlike
+// http.Serve it swallows http.ErrServerClosed, which graceful paths
+// always produce.
+func (s *Server) Serve(ln net.Listener) error {
+	s.state.CompareAndSwap(StateIdle, StateServing)
+	err := s.http.Serve(ln)
+	// A graceful Shutdown is mid-drain here: leave the draining state
+	// for Shutdown to retire. Only a hard listener death jumps straight
+	// from serving to stopped.
+	s.state.CompareAndSwap(StateServing, StateStopped)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains gracefully: readiness flips to 503 immediately, then
+// in-flight requests get up to DrainTimeout to finish before remaining
+// connections are cut. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.state.CompareAndSwap(StateServing, StateDraining)
+	dctx, cancel := context.WithTimeout(ctx, s.cfg.drainTimeout())
+	defer cancel()
+	err := s.http.Shutdown(dctx)
+	s.state.Store(StateStopped)
+	return err
+}
+
+// Run serves ln until ctx is cancelled, then drains. It returns the
+// listener error if serving failed, else the drain error (nil when all
+// in-flight requests finished inside the drain deadline).
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	// Drain on a fresh context: the trigger context is already done.
+	err := s.Shutdown(context.Background())
+	if serr := <-serveErr; serr != nil {
+		return serr
+	}
+	return err
+}
+
+// SignalContext returns a context cancelled on SIGINT or SIGTERM — the
+// trigger every cmd wires into Run for graceful shutdown.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

@@ -1,0 +1,432 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func okHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "hello")
+	})
+}
+
+func startServer(t *testing.T, h http.Handler, cfg Config) (*Server, string, context.CancelFunc, chan error) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(h, cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx, ln) }()
+	waitState(t, s, StateServing)
+	return s, "http://" + ln.Addr().String(), cancel, done
+}
+
+func waitState(t *testing.T, s *Server, want int32) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.State() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("state = %s, want %s", StateName(s.State()), StateName(want))
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(b)
+}
+
+func TestConfigDefaults(t *testing.T) {
+	var c Config
+	if c.readTimeout() != 15*time.Second ||
+		c.readHeaderTimeout() != 5*time.Second ||
+		c.writeTimeout() != 30*time.Second ||
+		c.idleTimeout() != 2*time.Minute ||
+		c.maxHeaderBytes() != 1<<20 ||
+		c.drainTimeout() != 10*time.Second {
+		t.Fatalf("zero Config must default to production bounds, got %+v", c)
+	}
+	c = Config{ReadTimeout: time.Second, MaxHeaderBytes: 100}
+	if c.readTimeout() != time.Second || c.maxHeaderBytes() != 100 {
+		t.Fatal("explicit values must win over defaults")
+	}
+}
+
+func TestProbesAndPassthrough(t *testing.T) {
+	reg := obs.NewRegistry()
+	s, base, cancel, done := startServer(t, okHandler(), Config{Obs: reg, Name: "test"})
+	defer func() { cancel(); <-done }()
+
+	if code, body := get(t, base+"/healthz"); code != 200 || body != "ok\n" {
+		t.Fatalf("healthz = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/readyz"); code != 200 || body != "ready\n" {
+		t.Fatalf("readyz = %d %q", code, body)
+	}
+	if code, body := get(t, base+"/anything"); code != 200 || body != "hello" {
+		t.Fatalf("passthrough = %d %q", code, body)
+	}
+	if got := snapshotGauge(t, reg, `serve_state{listener="test"}`); got != float64(StateServing) {
+		t.Fatalf("serve_state = %v, want %d", got, StateServing)
+	}
+	_ = s
+}
+
+func snapshotGauge(t *testing.T, reg *obs.Registry, key string) float64 {
+	t.Helper()
+	v, ok := reg.VarsSnapshot()[key]
+	if !ok {
+		t.Fatalf("missing %s in %v", key, reg.VarsSnapshot())
+	}
+	f, ok := v.(float64)
+	if !ok {
+		t.Fatalf("%s = %T", key, v)
+	}
+	return f
+}
+
+func TestReadyHook(t *testing.T) {
+	var notReady atomic.Bool
+	cfg := Config{Ready: func() error {
+		if notReady.Load() {
+			return errors.New("sync lagging")
+		}
+		return nil
+	}}
+	_, base, cancel, done := startServer(t, okHandler(), cfg)
+	defer func() { cancel(); <-done }()
+
+	if code, _ := get(t, base+"/readyz"); code != 200 {
+		t.Fatalf("ready readyz = %d", code)
+	}
+	notReady.Store(true)
+	code, body := get(t, base+"/readyz")
+	if code != http.StatusServiceUnavailable || !strings.Contains(body, "sync lagging") {
+		t.Fatalf("unready readyz = %d %q", code, body)
+	}
+}
+
+// TestGracefulDrain checks the whole lifecycle: a request in flight
+// when shutdown begins completes, readiness flips to 503 during the
+// drain, and Run returns nil.
+func TestGracefulDrain(t *testing.T) {
+	inHandler := make(chan struct{})
+	release := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		<-release
+		io.WriteString(w, "drained")
+	})
+	s, base, cancel, done := startServer(t, h, Config{DrainTimeout: 5 * time.Second})
+
+	type result struct {
+		code int
+		body string
+	}
+	slow := make(chan result, 1)
+	go func() {
+		resp, err := http.Get(base + "/slow")
+		if err != nil {
+			slow <- result{code: -1, body: err.Error()}
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		slow <- result{resp.StatusCode, string(b)}
+	}()
+	<-inHandler
+
+	cancel() // trigger graceful shutdown with the request still in flight
+	waitState(t, s, StateDraining)
+	close(release)
+
+	if r := <-slow; r.code != 200 || r.body != "drained" {
+		t.Fatalf("in-flight request = %d %q, want it to complete", r.code, r.body)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Run = %v, want nil after clean drain", err)
+	}
+	if s.State() != StateStopped {
+		t.Fatalf("state after Run = %s", StateName(s.State()))
+	}
+}
+
+func TestDrainDeadlineCutsStuckRequests(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	inHandler := make(chan struct{})
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		close(inHandler)
+		select {
+		case <-release:
+		case <-r.Context().Done():
+		}
+	})
+	_, base, cancel, done := startServer(t, h, Config{DrainTimeout: 50 * time.Millisecond})
+	go func() { http.Get(base + "/stuck") }()
+	<-inHandler
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Run = nil, want a deadline error for the cut connection")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after drain deadline")
+	}
+}
+
+// TestSlowLorisReadHeaderTimeout opens a raw TCP connection, sends a
+// partial request line, and stalls: ReadHeaderTimeout must close the
+// connection instead of letting it pin the server.
+func TestSlowLorisReadHeaderTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(okHandler(), Config{ReadHeaderTimeout: 100 * time.Millisecond})
+	done := make(chan error, 1)
+	go func() { done <- s.Serve(ln) }()
+	defer func() { s.Shutdown(context.Background()); <-done }()
+	waitState(t, s, StateServing)
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: x\r\nX-Slow:")); err != nil {
+		t.Fatal(err)
+	}
+	// Stall. The server must hang up on its own, well before the test
+	// deadline, because the header never completes.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	_, err = conn.Read(buf)
+	for err == nil {
+		// A timeout response body is acceptable; what matters is the
+		// connection dies. Drain until EOF / reset.
+		_, err = conn.Read(buf)
+	}
+	if ne, ok := err.(net.Error); ok && ne.Timeout() {
+		t.Fatal("connection still open after ReadHeaderTimeout: slow-loris not cut")
+	}
+}
+
+func TestRunReturnsListenerError(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(okHandler(), Config{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx, ln) }()
+	waitState(t, s, StateServing)
+	ln.Close() // yank the listener out from under Serve
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Run = nil, want the listener error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not observe the dead listener")
+	}
+}
+
+func TestLimiterZeroValuePassesThrough(t *testing.T) {
+	var l Limiter
+	h := l.Wrap(okHandler())
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+	if rec.Code != 200 {
+		t.Fatalf("code = %d", rec.Code)
+	}
+}
+
+func TestLimiterInFlightShed(t *testing.T) {
+	var sheds []string
+	var mu sync.Mutex
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	l := &Limiter{MaxInFlight: 2, RetryAfter: 3 * time.Second, OnShed: func(r string) {
+		mu.Lock()
+		sheds = append(sheds, r)
+		mu.Unlock()
+	}}
+	h := l.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		entered <- struct{}{}
+		<-block
+	}))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+	defer close(block)
+
+	for i := 0; i < 2; i++ {
+		go http.Get(srv.URL)
+		<-entered
+	}
+	resp, err := http.Get(srv.URL) // third concurrent request must shed
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("code = %d, want 503", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want 3", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sheds) != 1 || sheds[0] != ShedInFlight {
+		t.Fatalf("sheds = %v", sheds)
+	}
+}
+
+func TestLimiterRateShedAndRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var sheds int
+	l := &Limiter{Rate: 2, Burst: 2, Now: func() time.Time { return now }, OnShed: func(string) { sheds++ }}
+	h := l.Wrap(okHandler())
+	do := func() int {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+		return rec.Code
+	}
+	if do() != 200 || do() != 200 {
+		t.Fatal("burst of 2 must pass")
+	}
+	if code := do(); code != http.StatusTooManyRequests {
+		t.Fatalf("exhausted bucket = %d, want 429", code)
+	}
+	if sheds != 1 {
+		t.Fatalf("sheds = %d", sheds)
+	}
+	now = now.Add(time.Second) // refills 2 tokens at Rate=2
+	if do() != 200 || do() != 200 {
+		t.Fatal("refilled bucket must pass")
+	}
+	if code := do(); code != http.StatusTooManyRequests {
+		t.Fatalf("re-exhausted bucket = %d, want 429", code)
+	}
+}
+
+func TestLimiterBurstDefault(t *testing.T) {
+	l := &Limiter{Rate: 7.5}
+	if got := l.burst(); got != 8 {
+		t.Fatalf("burst() = %v, want ceil(Rate)=8", got)
+	}
+	l = &Limiter{Rate: 0.5}
+	if got := l.burst(); got != 1 {
+		t.Fatalf("burst() = %v, want 1 floor", got)
+	}
+}
+
+// TestLimiterConcurrentHammer races many goroutines through both gates
+// to let -race catch bucket/semaphore misuse; every request must get
+// exactly one terminal status.
+func TestLimiterConcurrentHammer(t *testing.T) {
+	var shed atomic.Int64
+	l := &Limiter{MaxInFlight: 4, Rate: 1e6, OnShed: func(string) { shed.Add(1) }}
+	h := l.Wrap(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		time.Sleep(time.Microsecond)
+	}))
+	var ok atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", "/", nil))
+				switch rec.Code {
+				case 200:
+					ok.Add(1)
+				case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+				default:
+					t.Errorf("unexpected code %d", rec.Code)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if total := ok.Load() + shed.Load(); total != 16*200 {
+		t.Fatalf("accounted %d of %d requests", total, 16*200)
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no request ever passed")
+	}
+}
+
+func TestStateName(t *testing.T) {
+	for s, want := range map[int32]string{StateIdle: "idle", StateServing: "serving", StateDraining: "draining", StateStopped: "stopped", 99: "unknown"} {
+		if got := StateName(s); got != want {
+			t.Fatalf("StateName(%d) = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	_, _, cancel, done := startServer(t, okHandler(), Config{})
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHealthzAfterStop(t *testing.T) {
+	s := New(okHandler(), Config{})
+	s.state.Store(StateStopped)
+	rec := httptest.NewRecorder()
+	s.healthz(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("stopped healthz = %d", rec.Code)
+	}
+}
+
+func TestMaxHeaderBytesEnforced(t *testing.T) {
+	_, base, cancel, done := startServer(t, okHandler(), Config{MaxHeaderBytes: 1 << 10})
+	defer func() { cancel(); <-done }()
+	req, err := http.NewRequest("GET", base+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// net/http grants ~4KiB of slack above MaxHeaderBytes; overshoot
+	// well past limit+slack.
+	req.Header.Set("X-Big", strings.Repeat("a", 1<<14))
+	resp, err := http.DefaultClient.Do(req)
+	if err == nil {
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusRequestHeaderFieldsTooLarge {
+			t.Fatalf("oversized header = %d, want 431 (or connection error)", resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+#!/bin/sh
+# soak.sh — crash/recovery soak for the hardened serving path.
+#
+# Run 1 crawls a rate-limited CT log through a fault injector (hang,
+# reset, 25% 5xx) and is SIGTERMed mid-crawl; it must checkpoint and
+# exit 0. Run 2 restarts with the same -checkpoint-file against an
+# identically rebuilt log and must finish. soakcheck then asserts:
+# resumed from a non-zero checkpoint with no refetch, exact entry
+# accounting across the kill, non-zero ctlog_server_shed_total, and a
+# breaker that opened and re-closed.
+#
+# Tunables (env): SOAK_ENTRIES, SOAK_KILL_AFTER, SOAK_DIR.
+set -eu
+
+GO=${GO:-go}
+SOAK_ENTRIES=${SOAK_ENTRIES:-1000}
+SOAK_KILL_AFTER=${SOAK_KILL_AFTER:-5}
+SOAK_DIR=${SOAK_DIR:-$(mktemp -d /tmp/ctsoak.XXXXXX)}
+
+echo "soak: workdir $SOAK_DIR"
+$GO build -o "$SOAK_DIR/ctmonitor" ./cmd/ctmonitor
+$GO build -o "$SOAK_DIR/soakcheck" ./cmd/soakcheck
+
+# The knobs below are deliberately hostile: the log sheds above
+# 10 req/s (burst 2), a quarter of requests fault (hang stalls past the
+# 300ms client timeout, reset tears bodies mid-read, the rest are 5xx),
+# and the breaker trips after 2 consecutive retryable failures.
+# run execs the monitor so that backgrounding `run ... &` makes $!
+# the ctmonitor PID itself (not a wrapping subshell that would swallow
+# the SIGTERM); foreground callers wrap it in ( ... ).
+run() {
+    seed=$1
+    out=$2
+    shift 2
+    exec "$SOAK_DIR/ctmonitor" \
+        -entries "$SOAK_ENTRIES" -batch 16 -monitor crt.sh \
+        -checkpoint-file "$SOAK_DIR/ckpt" \
+        -fault-rate 0.25 -fault-kinds hang,reset,server-error -fault-seed "$seed" \
+        -timeout 300ms -max-retries 6 \
+        -rate-limit 10 -rate-burst 2 \
+        -breaker-threshold 2 -breaker-cooldown 200ms \
+        -supervise -stats-json "$@" >"$out" 2>"$out.log"
+}
+
+rm -f "$SOAK_DIR"/ckpt.*
+
+echo "soak: run 1 (SIGTERM after ${SOAK_KILL_AFTER}s)"
+run 7 "$SOAK_DIR/run1.json" &
+pid=$!
+sleep "$SOAK_KILL_AFTER"
+if ! kill -TERM "$pid" 2>/dev/null; then
+    echo "soak: FAIL: run 1 exited before the SIGTERM landed; raise SOAK_ENTRIES or lower SOAK_KILL_AFTER" >&2
+    exit 1
+fi
+wait "$pid" || {
+    echo "soak: FAIL: run 1 exited non-zero after SIGTERM (see $SOAK_DIR/run1.json.log)" >&2
+    exit 1
+}
+
+echo "soak: run 2 (resume from checkpoint)"
+( run 8 "$SOAK_DIR/run2.json" )
+
+"$SOAK_DIR/soakcheck" "$SOAK_DIR/run1.json" "$SOAK_DIR/run2.json"
+echo "soak: OK (artifacts in $SOAK_DIR)"
