@@ -5,19 +5,19 @@ GO ?= go
 # run under the race detector in `make check`.
 RACE_PKGS := ./internal/ctlog/... ./internal/monitor/... ./internal/faultinject/... \
 	./internal/pipeline/... ./internal/corpus/... ./internal/lint/... \
-	./internal/obs/... ./internal/serve/...
+	./internal/obs/... ./internal/serve/... ./internal/fleet/...
 
 # End-to-end corpus size for `make bench` (34800 ≈ 1:1000 of the
 # paper's dataset). Lower it for quick local runs:
 #   make bench BENCH_E2E_SIZE=3480
 BENCH_E2E_SIZE ?= 34800
-# Free-form note recorded in BENCH_3.json (hardware caveats etc.).
+# Free-form note recorded in BENCH_4.json (hardware caveats etc.).
 BENCH_NOTE ?=
 
 # Address the smoke-metrics crawl serves its /metrics endpoint on.
 SMOKE_METRICS_ADDR ?= 127.0.0.1:19321
 
-.PHONY: build vet test race check bench smoke-metrics soak
+.PHONY: build vet test race check bench smoke-metrics soak soak-fleet
 build:
 	$(GO) build ./...
 
@@ -30,18 +30,20 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-check: build vet test race smoke-metrics
+check: build vet test race smoke-metrics soak-fleet
 
 # bench runs the end-to-end pipeline benchmarks (1 iteration each at
-# paper scale), the per-stage generate/lint benchmarks, and the registry
-# allocation guard, then records everything — including the obs
-# histogram snapshots the E2E benchmarks print — in BENCH_3.json.
+# paper scale), the per-stage generate/lint benchmarks, the registry
+# allocation guard, and the fleet-crawl throughput benchmark, then
+# records everything — including the obs histogram snapshots the E2E
+# benchmarks print and the fleet entries/s rate — in BENCH_4.json.
 bench:
 	{ BENCH_E2E_SIZE=$(BENCH_E2E_SIZE) $(GO) test -run '^$$' \
 		-bench 'MeasureCorpusE2E|PipelineGenerateOnly|PipelineLintOnly' \
 		-benchtime 1x -benchmem . ; \
-	  $(GO) test -run '^$$' -bench 'RegistryRun' -benchmem ./internal/lint ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_3.json -note "$(BENCH_NOTE)"
+	  $(GO) test -run '^$$' -bench 'RegistryRun' -benchmem ./internal/lint ; \
+	  $(GO) test -run '^$$' -bench 'FleetCrawl' -benchtime 5x ./internal/fleet ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_4.json -note "$(BENCH_NOTE)"
 
 # smoke-metrics boots a faulted ctmonitor crawl with a live metrics
 # endpoint, scrapes /metrics, and asserts the crawl and client
@@ -80,3 +82,13 @@ smoke-metrics:
 # shed requests, and that the client breaker opened and re-closed.
 soak:
 	./scripts/soak.sh
+
+# soak-fleet drives the multi-log crash/recovery scenario: four logs
+# with disjoint fault profiles (hang, 25% 5xx, poisoned entries,
+# clean) crawled by the fleet coordinator, SIGTERMed mid-flight, then
+# restarted; soakcheck -fleet asserts per-log checkpoint resume with
+# zero refetch, exact cross-log dedup accounting, poisoned-entry
+# quarantine without stalling the healthy logs, and a fleet that
+# degraded without dying.
+soak-fleet:
+	./scripts/soak_fleet.sh

@@ -1,7 +1,8 @@
 // Command benchjson converts `go test -bench` output into a JSON
 // benchmark record. It tees its stdin to stdout unchanged (so the
 // benchmark tables remain visible in the terminal and CI logs) and
-// writes the parsed results — ns/op, B/op, allocs/op, certs/s — to the
+// writes the parsed results — ns/op, B/op, allocs/op, certs/s,
+// entries/s — to the
 // file named by -o, along with host facts and the end-to-end speedup of
 // the 8-worker pipeline over the sequential baseline.
 //
@@ -30,6 +31,9 @@ type Benchmark struct {
 	BPerOp      float64 `json:"b_per_op,omitempty"`
 	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
 	CertsPerSec float64 `json:"certs_per_sec,omitempty"`
+	// EntriesPerSec is the fleet-crawl throughput: unique CT entries
+	// delivered downstream per second, summed across all logs.
+	EntriesPerSec float64 `json:"entries_per_sec,omitempty"`
 }
 
 // Histogram is one parsed "obshist" snapshot line, emitted by the E2E
@@ -147,6 +151,8 @@ func parseBenchLine(line string) (Benchmark, bool) {
 			b.AllocsPerOp = v
 		case "certs/s":
 			b.CertsPerSec = v
+		case "entries/s":
+			b.EntriesPerSec = v
 		}
 	}
 	if b.NsPerOp == 0 {

@@ -1,0 +1,425 @@
+package main
+
+// Fleet mode: ctmonitor stands up several in-process CT logs — each
+// with its own fault profile — and crawls them all through
+// internal/fleet, one supervised worker per log, with cross-log dedup,
+// bounded-feed backpressure, per-log crash-safe checkpoints, and the
+// quorum-gated /readyz. This is the multi-log production shape of the
+// §6.1 pipeline: one sick log degrades the fleet, it does not kill it.
+//
+// Log windows deliberately OVERLAP: the corpus is split into per-log
+// slices that each extend half a stride into their neighbours, and the
+// crafted forgery is submitted to every log, so the run always
+// exercises the dedup path with a known shape.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/ctlog"
+	"repro/internal/faultinject"
+	"repro/internal/fleet"
+	"repro/internal/monitor"
+	"repro/internal/obs"
+	"repro/internal/report"
+	"repro/internal/serve"
+	"repro/internal/x509cert"
+)
+
+// fleetParams carries the flag values fleet mode consumes.
+type fleetParams struct {
+	specs            string
+	entries          int
+	batch            int
+	drain            time.Duration
+	faultSeed        int64
+	timeout          time.Duration
+	maxRetries       int
+	breakerThreshold int
+	breakerCooldown  time.Duration
+	rateLimit        float64
+	rateBurst        int
+	checkpointDir    string
+	quorum           int
+	queueDepth       int
+	stallAfter       time.Duration
+	metricsAddr      string
+	statsJSON        bool
+	query            string
+	monitorFilter    string
+	progressEvery    time.Duration
+}
+
+// fleetLog is one stood-up log with its fault profile.
+type fleetLog struct {
+	name     string
+	profile  string
+	size     int
+	poisoned []int
+	injector *faultinject.Transport
+	srv      *serve.Server
+	done     chan error
+}
+
+// parseFleetSpecs turns "alpha:hang,bravo:flaky,charlie" into
+// (name, profile) pairs; a missing profile means clean.
+func parseFleetSpecs(s string) ([][2]string, error) {
+	var out [][2]string
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, profile := part, "clean"
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			name, profile = part[:i], part[i+1:]
+		}
+		if name == "" {
+			return nil, fmt.Errorf("empty log name in -logs spec %q", part)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate log name %q in -logs", name)
+		}
+		seen[name] = true
+		switch profile {
+		case "clean", "flaky", "hang", "poison":
+		default:
+			return nil, fmt.Errorf("unknown fault profile %q for log %q (want clean, flaky, hang, or poison)", profile, name)
+		}
+		out = append(out, [2]string{name, profile})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-logs given but no log specs parsed")
+	}
+	return out, nil
+}
+
+// fleetWindow is log i's half-stride-overlapping slice of [0, total).
+func fleetWindow(i, n, total int) (lo, hi int) {
+	if n <= 1 || total <= n {
+		return 0, total
+	}
+	stride := total / n
+	lo = i*stride - stride/2
+	if lo < 0 {
+		lo = 0
+	}
+	hi = (i+1)*stride + stride/2
+	if i == n-1 || hi > total {
+		hi = total
+	}
+	return lo, hi
+}
+
+// poisonIndices picks the deterministic per-log poisoned entries for
+// the "poison" profile: quartile positions within the log.
+func poisonIndices(size int) []int {
+	if size < 4 {
+		return []int{0}
+	}
+	set := map[int]bool{size / 4: true, size / 2: true, 3 * size / 4: true}
+	out := make([]int, 0, len(set))
+	for i := range set {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// fleetTransport builds one log's fault injector (nil for clean).
+func fleetTransport(profile string, seed int64, timeout time.Duration, poisoned []int) *faultinject.Transport {
+	switch profile {
+	case "flaky":
+		return faultinject.New(faultinject.Config{
+			Seed: seed, Rate: 0.25,
+			Kinds:          []faultinject.Kind{faultinject.ServerError},
+			MaxConsecutive: 2,
+		}, nil)
+	case "hang":
+		// The hang outlasts the client timeout, so every hang costs the
+		// crawl one full timeout before the retry path takes over.
+		return faultinject.New(faultinject.Config{
+			Seed: seed, Rate: 0.2,
+			Kinds:          []faultinject.Kind{faultinject.Hang},
+			HangFor:        2 * timeout,
+			MaxConsecutive: 2,
+		}, nil)
+	case "poison":
+		pe := map[int]bool{}
+		for _, i := range poisoned {
+			pe[i] = true
+		}
+		return faultinject.New(faultinject.Config{Seed: seed, PoisonEntries: pe}, nil)
+	default:
+		return nil
+	}
+}
+
+// runFleet executes fleet mode end to end and returns the process exit
+// code.
+func runFleet(ctx context.Context, out io.Writer, reg *obs.Registry, tracer *obs.Tracer, p fleetParams) int {
+	specs, err := parseFleetSpecs(p.specs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctmonitor: %v\n", err)
+		return 1
+	}
+	if p.progressEvery > 0 {
+		prog := obs.NewProgress(os.Stderr, reg, p.progressEvery, "fleet_", "monitor_", "ctlog_")
+		prog.Start()
+		defer prog.Stop()
+	}
+
+	// The corpus is seeded identically to single-log mode, so a
+	// restarted process rebuilds byte-identical logs and checkpointed
+	// crawls resume against unchanged trees.
+	c, err := corpus.Generate(corpus.Config{Size: p.entries, Seed: 31})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctmonitor: %v\n", err)
+		return 1
+	}
+	forged := buildForgery(p.query)
+
+	retries := p.maxRetries
+	if retries == 0 {
+		retries = -1
+	}
+
+	var logs []*fleetLog
+	var fleetSpecs []fleet.LogSpec
+	for i, sp := range specs {
+		name, profile := sp[0], sp[1]
+		lo, hi := fleetWindow(i, len(specs), len(c.Entries))
+		log, err := ctlog.NewLog(2025 + int64(i))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctmonitor: %v\n", err)
+			return 1
+		}
+		for _, e := range c.Entries[lo:hi] {
+			if _, err := log.AddParsed(e.DER, false); err != nil {
+				fmt.Fprintf(os.Stderr, "ctmonitor: %s: %v\n", name, err)
+				return 1
+			}
+		}
+		// Every log carries the forgery: the fleet must index it exactly
+		// once and dedup the other copies.
+		if _, err := log.AddParsed(forged, false); err != nil {
+			fmt.Fprintf(os.Stderr, "ctmonitor: %s: %v\n", name, err)
+			return 1
+		}
+		fl := &fleetLog{name: name, profile: profile, size: hi - lo + 1, done: make(chan error, 1)}
+		if profile == "poison" {
+			fl.poisoned = poisonIndices(fl.size)
+		}
+		fl.injector = fleetTransport(profile, p.faultSeed+int64(i), p.timeout, fl.poisoned)
+
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctmonitor: %s listener: %v\n", name, err)
+			return 1
+		}
+		// Per-log front ends skip the shared registry: four servers
+		// would fight over the unlabeled ctlog_server_* series, and the
+		// fleet's labeled instruments carry the per-log story. The
+		// rate limit applies per log — every front end gets its own
+		// token bucket.
+		fl.srv = serve.New((&ctlog.Server{Log: log, RateLimit: p.rateLimit, RateBurst: p.rateBurst}).Handler(), serve.Config{
+			Name:         "ctlog-" + name,
+			DrainTimeout: p.drain,
+		})
+		go func(fl *fleetLog, ln net.Listener) { fl.done <- fl.srv.Run(ctx, ln) }(fl, ln)
+
+		var transport http.RoundTripper
+		if fl.injector != nil {
+			transport = fl.injector
+		}
+		// Client metrics (ctlog_client_*, ctlog_breaker_*) are unlabeled
+		// and therefore aggregate across the fleet's clients — the
+		// fleet_* series carry the per-log story.
+		client := &ctlog.Client{
+			Base:       "http://" + ln.Addr().String(),
+			HTTP:       &http.Client{Transport: transport},
+			MaxRetries: retries,
+			Timeout:    p.timeout,
+			Obs:        reg,
+			Tracer:     tracer,
+		}
+		if p.breakerThreshold > 0 {
+			client.Breaker = &ctlog.Breaker{Threshold: p.breakerThreshold, Cooldown: p.breakerCooldown}
+		}
+		logs = append(logs, fl)
+		fleetSpecs = append(fleetSpecs, fleet.LogSpec{Name: name, Client: client, Batch: p.batch})
+		fmt.Fprintf(out, "fleet log %-10s profile=%-6s entries=%d (corpus [%d,%d) + forgery)", name, profile, fl.size, lo, hi)
+		if len(fl.poisoned) > 0 {
+			fmt.Fprintf(out, " poisoned=%v", fl.poisoned)
+		}
+		fmt.Fprintln(out)
+	}
+
+	// The consumer indexes each unique entry into every selected
+	// monitor model, serially; per-entry panics are contained like the
+	// single-log ingest path.
+	var mons []*monitor.Monitor
+	for _, caps := range monitor.Monitors() {
+		if selected(caps.Name, p.monitorFilter) && !caps.Discontinued {
+			mons = append(mons, monitor.New(caps))
+		}
+	}
+	nextID := 0
+	parseErrors := 0
+	handle := func(e ctlog.Entry) {
+		cert, err := x509cert.ParseWithMode(e.DER, x509cert.ParseLenient)
+		if err != nil {
+			parseErrors++
+			return
+		}
+		nextID++
+		for _, m := range mons {
+			indexContained(m, nextID, cert)
+		}
+	}
+
+	coord, err := fleet.New(fleet.Config{
+		Logs:          fleetSpecs,
+		CheckpointDir: p.checkpointDir,
+		Quorum:        p.quorum,
+		QueueDepth:    p.queueDepth,
+		StallAfter:    p.stallAfter,
+		Handle:        handle,
+		Obs:           reg,
+		Tracer:        tracer,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctmonitor: %v\n", err)
+		return 1
+	}
+	if p.metricsAddr != "" {
+		serveMetrics(ctx, p.metricsAddr, reg, p.drain, coord.Ready)
+	}
+
+	res, err := coord.Run(ctx)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ctmonitor: fleet: %v\n", err)
+		return 1
+	}
+
+	// Per-log outcome table.
+	var rows [][]string
+	for _, fl := range logs {
+		rep := res.Logs[fl.name]
+		note := rep.State
+		if rep.Err != "" {
+			note += ": " + rep.Err
+		}
+		rows = append(rows, []string{
+			fl.name,
+			fl.profile,
+			fmt.Sprintf("%d", fl.size),
+			fmt.Sprintf("%d", rep.Stats.Fetched),
+			fmt.Sprintf("%d", rep.Stats.SkippedEntries),
+			fmt.Sprintf("%d", rep.Stats.Retries),
+			fmt.Sprintf("%d", rep.Restarts),
+			fmt.Sprintf("%d", rep.Stats.ResumedFrom),
+			note,
+		})
+	}
+	fmt.Fprintln(out, report.Table(
+		[]string{"Log", "Profile", "Size", "Fetched", "Skipped", "Retries", "Restarts", "Resumed", "State"},
+		rows))
+	fmt.Fprintf(out, "\nfleet: %d unique, %d cross-log duplicates, state %s", res.UniqueEntries, res.DupEntries, res.FinalState)
+	if res.Interrupted {
+		fmt.Fprintf(out, " (interrupted, checkpointed)")
+	}
+	fmt.Fprintln(out)
+
+	// Query verdicts, as in single-log mode: which monitors surface the
+	// forgery for the victim domain?
+	if !res.Interrupted {
+		var qrows [][]string
+		for _, m := range mons {
+			qres := m.Query(p.query)
+			verdict := fmt.Sprintf("%d certificate(s) found", len(qres.IDs))
+			if qres.Refused {
+				verdict = "query refused: " + qres.Reason
+			} else if len(qres.IDs) == 0 {
+				verdict = "forgery concealed"
+			}
+			qrows = append(qrows, []string{m.Caps.Name, verdict})
+		}
+		fmt.Fprintln(out, report.Table([]string{"Monitor", fmt.Sprintf("Query %q", p.query)}, qrows))
+	}
+
+	if p.statsJSON {
+		sizes := map[string]int{}
+		poisoned := map[string][]int{}
+		injectors := map[string]any{}
+		total := 0
+		for _, fl := range logs {
+			sizes[fl.name] = fl.size
+			total += fl.size
+			if len(fl.poisoned) > 0 {
+				poisoned[fl.name] = fl.poisoned
+			}
+			if fl.injector != nil {
+				st := fl.injector.Stats()
+				injectors[fl.name] = map[string]int64{"requests": st.Requests, "faults": st.Total(), "poisoned": st.Poisoned}
+			}
+		}
+		obj := struct {
+			Mode        string                      `json:"mode"`
+			Entries     int                         `json:"entries"`
+			Interrupted bool                        `json:"interrupted"`
+			FinalState  string                      `json:"final_state"`
+			Unique      int                         `json:"unique_entries"`
+			Deduped     int                         `json:"dup_entries"`
+			ParseErrors int                         `json:"parse_errors"`
+			LogSizes    map[string]int              `json:"log_sizes"`
+			Poisoned    map[string][]int            `json:"poisoned"`
+			Injectors   map[string]any              `json:"injectors"`
+			Logs        map[string]*fleet.LogReport `json:"logs"`
+			Metrics     map[string]any              `json:"metrics"`
+		}{"fleet", total, res.Interrupted, res.FinalState, res.UniqueEntries, res.DupEntries,
+			parseErrors, sizes, poisoned, injectors, res.Logs, reg.VarsSnapshot()}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(obj); err != nil {
+			fmt.Fprintf(os.Stderr, "ctmonitor: %v\n", err)
+			return 1
+		}
+	}
+
+	// Retire the per-log front ends.
+	for _, fl := range logs {
+		if err := fl.srv.Shutdown(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "ctmonitor: %s shutdown: %v\n", fl.name, err)
+		}
+		<-fl.done
+	}
+
+	// Degraded-not-dead: a stalled log exits 0 as long as the quorum
+	// holds (or the run was interrupted and will be resumed).
+	if !res.Interrupted {
+		if err := coord.Ready(); err != nil {
+			fmt.Fprintf(os.Stderr, "ctmonitor: fleet below quorum: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
+
+// indexContained mirrors the single-log quarantine: a hostile
+// certificate that panics one monitor's index step must not take down
+// the fleet consumer.
+func indexContained(m *monitor.Monitor, id int, cert *x509cert.Certificate) {
+	defer func() { recover() }()
+	m.Index(id, cert)
+}

@@ -97,6 +97,11 @@ func main() {
 	statsJSON := flag.Bool("stats-json", false, "print final SyncStats + metrics snapshot as one JSON object on stdout")
 	linger := flag.Duration("linger", 0, "keep serving metrics this long after the crawl finishes")
 	progressEvery := flag.Duration("progress", 0, "emit a progress line to stderr every interval (0 disables)")
+	fleetLogs := flag.String("logs", "", "fleet mode: comma-separated name[:profile] log specs (profiles: clean, flaky, hang, poison); empty runs the single-log pipeline")
+	fleetQuorum := flag.Int("fleet-quorum", 0, "fleet mode: non-stalled logs required for /readyz (0 = majority)")
+	checkpointDir := flag.String("checkpoint-dir", "", "fleet mode: directory for per-log crash-safe checkpoints (one advisory-locked file per log)")
+	fleetQueue := flag.Int("fleet-queue", 0, "fleet mode: bounded entry-feed depth shared by all crawls (0 = 256)")
+	fleetStallAfter := flag.Duration("fleet-stall-after", 0, "fleet mode: mark a log stalled when its checkpoint stops advancing for this long (0 disables age-based stalling)")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel this context; everything below — servers
@@ -113,6 +118,37 @@ func main() {
 
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(0)
+
+	// Fleet mode replaces the single-log pipeline wholesale: N in-process
+	// logs, one supervised crawl worker per log, fleet-wide dedup and
+	// health. Everything below this block is the single-log path.
+	if *fleetLogs != "" {
+		code := runFleet(ctx, out, reg, tracer, fleetParams{
+			specs:            *fleetLogs,
+			entries:          *entries,
+			batch:            *batch,
+			drain:            *drain,
+			faultSeed:        *faultSeed,
+			timeout:          *timeout,
+			maxRetries:       *maxRetries,
+			breakerThreshold: *breakerThreshold,
+			breakerCooldown:  *breakerCooldown,
+			rateLimit:        *rateLimit,
+			rateBurst:        *rateBurst,
+			checkpointDir:    *checkpointDir,
+			quorum:           *fleetQuorum,
+			queueDepth:       *fleetQueue,
+			stallAfter:       *fleetStallAfter,
+			metricsAddr:      *metricsAddr,
+			statsJSON:        *statsJSON,
+			query:            *query,
+			monitorFilter:    *monitorFilter,
+			progressEvery:    *progressEvery,
+		})
+		stop()
+		os.Exit(code)
+	}
+
 	// crawling flips once the first sync begins; the metrics listener's
 	// /readyz reports it.
 	var crawling atomic.Bool
@@ -256,8 +292,8 @@ func main() {
 		if *supervise {
 			cerr = monitor.Supervise(ctx, monitor.SupervisorOptions{
 				Obs: reg,
-				OnRestart: func(attempt int, err error) {
-					fmt.Fprintf(os.Stderr, "ctmonitor: %s crawl restart %d after: %v\n", caps.Name, attempt, err)
+				OnRestart: func(r monitor.Restart) {
+					fmt.Fprintf(os.Stderr, "ctmonitor: %s crawl restart %d after: %v\n", caps.Name, r.Attempt, r.Err)
 				},
 			}, crawl)
 		} else {

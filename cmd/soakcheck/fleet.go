@@ -1,0 +1,222 @@
+package main
+
+// Fleet-mode soak verification: two `ctmonitor -logs ... -stats-json`
+// outputs, the first SIGTERMed mid-crawl, the second a restarted
+// process resuming every log off its own advisory-locked checkpoint
+// against identically rebuilt logs.
+//
+// Asserted acceptance criteria:
+//
+//   - run 1 was interrupted and never reported the fleet stalled
+//     (degraded-not-dead); run 2 completed with every log healthy;
+//   - every log resumed exactly where run 1's checkpoint left it —
+//     run 2's ResumedFrom equals run 1's fetched+skipped, and run 2
+//     fetched exactly the remainder (zero refetch);
+//   - entry accounting is exact per log across the kill:
+//     fetched + skipped over both runs equals the log size;
+//   - cross-log dedup is exact per run: unique + duplicates delivered
+//     equals the sum of per-log fetches;
+//   - the poisoned log skipped exactly its poisoned indices — across
+//     both runs combined — and still ended healthy (bisection
+//     quarantines entries, it does not stall the log);
+//   - the shared client breaker opened and re-closed at least once.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// fleetSyncStats mirrors the monitor.SyncStats fields the fleet
+// checker needs; the nested "stats" object carries Go field names.
+type fleetSyncStats struct {
+	Fetched        int
+	SkippedEntries int
+	ResumedFrom    int
+	Forwarded      int
+	Deduped        int
+}
+
+type fleetLogReport struct {
+	Stats    fleetSyncStats `json:"stats"`
+	Restarts int            `json:"restarts"`
+	State    string         `json:"state"`
+	Err      string         `json:"err"`
+}
+
+type fleetRun struct {
+	Mode        string                    `json:"mode"`
+	Entries     int                       `json:"entries"`
+	Interrupted bool                      `json:"interrupted"`
+	FinalState  string                    `json:"final_state"`
+	Unique      int                       `json:"unique_entries"`
+	Deduped     int                       `json:"dup_entries"`
+	LogSizes    map[string]int            `json:"log_sizes"`
+	Poisoned    map[string][]int          `json:"poisoned"`
+	Logs        map[string]fleetLogReport `json:"logs"`
+	Metrics     map[string]any            `json:"metrics"`
+}
+
+func checkFleet(path1, path2 string) int {
+	run1, run2 := loadFleet(path1), loadFleet(path2)
+
+	var failures []string
+	failf := func(format string, args ...any) {
+		failures = append(failures, fmt.Sprintf(format, args...))
+	}
+
+	for _, r := range []struct {
+		path string
+		run  fleetRun
+	}{{path1, run1}, {path2, run2}} {
+		if r.run.Mode != "fleet" {
+			failf("%s: mode %q, want \"fleet\" (was ctmonitor run with -logs?)", r.path, r.run.Mode)
+		}
+	}
+	if len(run1.LogSizes) < 2 {
+		failf("run 1 reports %d logs; a fleet soak needs at least 2", len(run1.LogSizes))
+	}
+	if !sameSizes(run1.LogSizes, run2.LogSizes) {
+		failf("per-log sizes disagree between runs: %v vs %v (different -entries or -logs?)", run1.LogSizes, run2.LogSizes)
+	}
+	if !run1.Interrupted {
+		failf("run 1 was not interrupted; the SIGTERM landed after the crawl finished — lengthen the crawl or shorten the kill delay")
+	}
+	if run2.Interrupted {
+		failf("run 2 was interrupted; the resumed fleet crawl must complete")
+	}
+
+	// Degraded-not-dead across the kill: an interrupted fleet may be
+	// degraded, but must never have collapsed below quorum; the
+	// resumed fleet must finish with every failure domain healthy.
+	if run1.FinalState == "stalled" {
+		failf("run 1 ended with the fleet stalled; degraded-mode isolation failed")
+	}
+	if run2.FinalState != "healthy" {
+		failf("run 2 ended with fleet state %q, want healthy", run2.FinalState)
+	}
+
+	// Per-log checkpoint resume and exact entry accounting. A log's
+	// durable checkpoint is exactly the entries it handled (fetched or
+	// bisection-skipped); the resumed crawl must start there and fetch
+	// exactly the remainder.
+	names := make([]string, 0, len(run1.LogSizes))
+	for name := range run1.LogSizes {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	resumed := 0
+	for _, name := range names {
+		size := run1.LogSizes[name]
+		l1, ok1 := run1.Logs[name]
+		l2, ok2 := run2.Logs[name]
+		if !ok1 || !ok2 {
+			failf("%s: missing from a run's logs map (run1 %v, run2 %v)", name, ok1, ok2)
+			continue
+		}
+		handled1 := l1.Stats.Fetched + l1.Stats.SkippedEntries
+		if l2.Stats.ResumedFrom != handled1 {
+			failf("%s: run 2 resumed at %d but run 1 handled %d (fetched %d + skipped %d); checkpoint lost progress",
+				name, l2.Stats.ResumedFrom, handled1, l1.Stats.Fetched, l1.Stats.SkippedEntries)
+		}
+		if l2.Stats.ResumedFrom > 0 {
+			resumed++
+		}
+		if want := size - l2.Stats.ResumedFrom - l2.Stats.SkippedEntries; l2.Stats.Fetched != want {
+			failf("%s: resumed at %d but fetched %d of %d (want exactly %d; skipped %d) — refetch or loss",
+				name, l2.Stats.ResumedFrom, l2.Stats.Fetched, size, want, l2.Stats.SkippedEntries)
+		}
+		if sum := handled1 + l2.Stats.Fetched + l2.Stats.SkippedEntries; sum != size {
+			failf("%s: runs handled %d entries total, want the log size %d", name, sum, size)
+		}
+		if l2.State != "healthy" {
+			failf("%s: run 2 ended %s (%s), want healthy", name, l2.State, l2.Err)
+		}
+	}
+	if resumed == 0 {
+		failf("no log resumed from a checkpoint (ResumedFrom == 0 everywhere)")
+	}
+
+	// Cross-log dedup is exact per run: every fetched entry was
+	// delivered downstream exactly once or counted as a duplicate.
+	for _, r := range []struct {
+		path string
+		run  fleetRun
+	}{{path1, run1}, {path2, run2}} {
+		fetched := 0
+		for _, l := range r.run.Logs {
+			fetched += l.Stats.Fetched
+		}
+		if got := r.run.Unique + r.run.Deduped; got != fetched {
+			failf("%s: unique %d + duplicates %d = %d, want the %d entries fetched — dedup lost or double-delivered",
+				r.path, r.run.Unique, r.run.Deduped, got, fetched)
+		}
+	}
+
+	// Poisoned-log quarantine: exactly the poisoned indices were
+	// bisected out, across both runs combined, and nothing else.
+	if len(run2.Poisoned) == 0 {
+		failf("no poisoned log in the fleet; quarantine untested (add a :poison profile)")
+	}
+	for name, idxs := range run2.Poisoned {
+		skipped := run1.Logs[name].Stats.SkippedEntries + run2.Logs[name].Stats.SkippedEntries
+		if skipped != len(idxs) {
+			failf("%s: skipped %d entries across both runs, want exactly the %d poisoned %v",
+				name, skipped, len(idxs), idxs)
+		}
+	}
+	for _, name := range names {
+		if _, poisoned := run2.Poisoned[name]; poisoned {
+			continue
+		}
+		if skipped := run1.Logs[name].Stats.SkippedEntries + run2.Logs[name].Stats.SkippedEntries; skipped != 0 {
+			failf("%s: skipped %d entries but is not a poisoned log", name, skipped)
+		}
+	}
+
+	opened := metricSum(`ctlog_breaker_transitions_total{to="open"}`, run1.Metrics, run2.Metrics)
+	closed := metricSum(`ctlog_breaker_transitions_total{to="closed"}`, run1.Metrics, run2.Metrics)
+	if opened < 1 {
+		failf("no per-log circuit breaker ever opened")
+	}
+	if closed < 1 {
+		failf("no circuit breaker re-closed after opening")
+	}
+
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(os.Stderr, "soakcheck: FAIL: %s\n", f)
+		}
+		return 1
+	}
+	fmt.Printf("soakcheck: PASS: fleet of %d logs, %d resumed, %d+%d unique entries, %d+%d duplicates, breaker opened %.0f× and closed %.0f×\n",
+		len(run1.LogSizes), resumed, run1.Unique, run2.Unique, run1.Deduped, run2.Deduped, opened, closed)
+	return 0
+}
+
+func sameSizes(a, b map[string]int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func loadFleet(path string) fleetRun {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soakcheck: %v\n", err)
+		os.Exit(2)
+	}
+	var r fleetRun
+	if err := json.Unmarshal(data, &r); err != nil {
+		fmt.Fprintf(os.Stderr, "soakcheck: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	return r
+}

@@ -14,13 +14,19 @@
 //   - the overloaded log shed requests (ctlog_server_shed_total > 0);
 //   - the client's circuit breaker both opened and re-closed.
 //
+// With -fleet it instead checks a fleet-mode soak (ctmonitor -logs):
+// per-log checkpoint resume with zero refetch, exact cross-log dedup
+// accounting, poisoned-entry quarantine, and fleet health that
+// degrades without dying. See fleet.go.
+//
 // Usage:
 //
-//	soakcheck run1.json run2.json
+//	soakcheck [-fleet] run1.json run2.json
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
@@ -41,11 +47,16 @@ type run struct {
 }
 
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: soakcheck run1.json run2.json")
+	fleetMode := flag.Bool("fleet", false, "check a fleet-mode soak (ctmonitor -logs stats-json schema)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: soakcheck [-fleet] run1.json run2.json")
 		os.Exit(2)
 	}
-	run1, run2 := load(os.Args[1]), load(os.Args[2])
+	if *fleetMode {
+		os.Exit(checkFleet(flag.Arg(0), flag.Arg(1)))
+	}
+	run1, run2 := load(flag.Arg(0)), load(flag.Arg(1))
 
 	var failures []string
 	failf := func(format string, args ...any) {
@@ -99,12 +110,12 @@ func main() {
 		}
 	}
 
-	shed := metricSum(run1, run2, "ctlog_server_shed_total")
+	shed := metricSum("ctlog_server_shed_total", run1.Metrics, run2.Metrics)
 	if shed <= 0 {
 		failf("log never shed a request (ctlog_server_shed_total == 0); overload protection untested")
 	}
-	opened := metricSum(run1, run2, `ctlog_breaker_transitions_total{to="open"}`)
-	closed := metricSum(run1, run2, `ctlog_breaker_transitions_total{to="closed"}`)
+	opened := metricSum(`ctlog_breaker_transitions_total{to="open"}`, run1.Metrics, run2.Metrics)
+	closed := metricSum(`ctlog_breaker_transitions_total{to="closed"}`, run1.Metrics, run2.Metrics)
 	if opened < 1 {
 		failf("circuit breaker never opened")
 	}
@@ -123,11 +134,12 @@ func main() {
 }
 
 // metricSum adds every metric sample whose key starts with prefix
-// across both runs. Counter values arrive as float64 via JSON.
-func metricSum(a, b run, prefix string) float64 {
+// across the given snapshots. Counter values arrive as float64 via
+// JSON.
+func metricSum(prefix string, snapshots ...map[string]any) float64 {
 	var sum float64
-	for _, r := range []run{a, b} {
-		for k, v := range r.Metrics {
+	for _, m := range snapshots {
+		for k, v := range m {
 			if !strings.HasPrefix(k, prefix) {
 				continue
 			}

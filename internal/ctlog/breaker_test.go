@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -368,5 +369,150 @@ func TestAddChainBodyBound(t *testing.T) {
 	defer resp2.Body.Close()
 	if resp2.StatusCode != http.StatusOK {
 		t.Fatalf("bounded add-chain of a normal cert = %d", resp2.StatusCode)
+	}
+}
+
+// TestBreakerConcurrentTransitionAccounting hammers one breaker from
+// many goroutines through full open → half-open → closed cycles and
+// pins the accounting the fleet health state machine reads: each cycle
+// increments ctlog_breaker_transitions_total{to=...} exactly once per
+// destination, no matter how many goroutines race the same transition.
+// Run under -race this also proves the breaker's internal locking.
+func TestBreakerConcurrentTransitionAccounting(t *testing.T) {
+	const (
+		goroutines = 16
+		rounds     = 50
+	)
+	var clock atomic.Int64 // unix nanos; atomic because Allow reads Now under b.mu from many goroutines
+	clock.Store(time.Unix(1000, 0).UnixNano())
+	b := &Breaker{
+		Threshold: 1,
+		Cooldown:  time.Minute,
+		Now:       func() time.Time { return time.Unix(0, clock.Load()) },
+	}
+	reg := obs.NewRegistry()
+	b.instrument(reg)
+	toOpen := reg.Counter("ctlog_breaker_transitions_total", "to", "open")
+	toHalfOpen := reg.Counter("ctlog_breaker_transitions_total", "to", "half-open")
+	toClosed := reg.Counter("ctlog_breaker_transitions_total", "to", "closed")
+
+	for round := 0; round < rounds; round++ {
+		// Phase 1: every goroutine reports a retryable failure at once.
+		// Threshold 1 means the first one trips closed → open; the rest
+		// arrive with the breaker already open and must not re-count.
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b.Record(retryableErr())
+			}()
+		}
+		wg.Wait()
+		if got := toOpen.Value(); got != uint64(round+1) {
+			t.Fatalf("round %d: to=open counter = %d, want %d", round, got, round+1)
+		}
+		if b.State() != BreakerOpen {
+			t.Fatalf("round %d: state = %s after concurrent failures", round, BreakerStateName(b.State()))
+		}
+
+		// Phase 2: cooldown elapses and every goroutine races Allow().
+		// Exactly one probe slot exists, so exactly one Allow must win
+		// and the half-open transition must count exactly once.
+		clock.Add(int64(time.Minute) + 1)
+		admitted := atomic.Int32{}
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if b.Allow() {
+					admitted.Add(1)
+				}
+			}()
+		}
+		wg.Wait()
+		if n := admitted.Load(); n != 1 {
+			t.Fatalf("round %d: %d goroutines admitted half-open, want exactly 1", round, n)
+		}
+		if got := toHalfOpen.Value(); got != uint64(round+1) {
+			t.Fatalf("round %d: to=half-open counter = %d, want %d", round, got, round+1)
+		}
+
+		// Phase 3: the probe succeeds while the losers race more
+		// successes through Record; closing must count exactly once
+		// (the losers find the breaker already closed).
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				b.Record(nil)
+			}()
+		}
+		wg.Wait()
+		if got := toClosed.Value(); got != uint64(round+1) {
+			t.Fatalf("round %d: to=closed counter = %d, want %d", round, got, round+1)
+		}
+		if b.State() != BreakerClosed {
+			t.Fatalf("round %d: state = %s after successful probe", round, BreakerStateName(b.State()))
+		}
+	}
+
+	if o, h, c := toOpen.Value(), toHalfOpen.Value(), toClosed.Value(); o != rounds || h != rounds || c != rounds {
+		t.Fatalf("transition totals open=%d half-open=%d closed=%d, want %d each", o, h, c, rounds)
+	}
+}
+
+// TestBreakerChaoticHammer interleaves Allow, success/failure Records,
+// and clock jumps from many goroutines with no phase barriers, then
+// checks the structural invariants that must survive ANY interleaving:
+// a half-open transition needs a prior open, and so does a close.
+func TestBreakerChaoticHammer(t *testing.T) {
+	var clock atomic.Int64
+	clock.Store(time.Unix(2000, 0).UnixNano())
+	b := &Breaker{
+		Threshold: 2,
+		Cooldown:  time.Millisecond,
+		Now:       func() time.Time { return time.Unix(0, clock.Load()) },
+	}
+	reg := obs.NewRegistry()
+	b.instrument(reg)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 12; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			// Cheap deterministic per-goroutine sequence; no shared rand.
+			x := uint64(seed)*2654435761 + 12345
+			for i := 0; i < 2000; i++ {
+				x = x*6364136223846793005 + 1442695040888963407
+				switch x % 7 {
+				case 0, 1:
+					b.Record(retryableErr())
+				case 2:
+					b.Record(nil)
+				case 3:
+					b.Record(fatalErr())
+				case 4:
+					clock.Add(int64(time.Millisecond) * int64(x%3))
+				default:
+					b.Allow()
+				}
+			}
+		}(int64(g + 1))
+	}
+	wg.Wait()
+
+	open := reg.Counter("ctlog_breaker_transitions_total", "to", "open").Value()
+	half := reg.Counter("ctlog_breaker_transitions_total", "to", "half-open").Value()
+	closed := reg.Counter("ctlog_breaker_transitions_total", "to", "closed").Value()
+	if half > open {
+		t.Fatalf("to=half-open (%d) exceeds to=open (%d): a probe was admitted without a trip", half, open)
+	}
+	if closed > open {
+		t.Fatalf("to=closed (%d) exceeds to=open (%d): a close was counted without a trip", closed, open)
+	}
+	if open == 0 {
+		t.Fatal("chaotic hammer never tripped the breaker; the test exercised nothing")
 	}
 }

@@ -1,0 +1,591 @@
+package fleet
+
+// Multi-log fleet coordination. Real CT monitors do not watch one log:
+// they crawl dozens, any of which can hang, rot, rate-limit, or serve
+// poisoned entries at any time — and the paper's §6.1 blind spots get
+// strictly worse when one sick log can stall the whole monitor. The
+// Coordinator therefore runs each log's crawl as an independent
+// failure domain: its own supervisor restart loop, its own circuit
+// breaker (on the per-log ctlog.Client), its own crash-safe checkpoint
+// file under an advisory lock. Entries from every log funnel through
+// one bounded feed — the global backpressure seam — into a single
+// consumer, deduplicated fleet-wide by leaf hash so cross-logged
+// certificates (the normal case: CAs submit to several logs) are
+// indexed once.
+//
+// Health is evaluated by ONE goroutine on a timer, never by the
+// workers themselves, so state transitions are counted exactly once:
+// per log, healthy → degraded (breaker open or restarts accumulating)
+// → stalled (checkpoint age beyond StallAfter, or the supervisor's
+// restart budget exhausted); fleet-wide, ready iff at least Quorum of
+// the logs are not stalled. A poisoned log that is skipping entries by
+// bisection stays HEALTHY — skips are progress; that is the designed
+// degradation, not a failure.
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ctlog"
+	"repro/internal/monitor"
+	"repro/internal/obs"
+	"repro/internal/pipeline"
+)
+
+// State is a log's (or the whole fleet's) health.
+type State int32
+
+// Health states, ordered by severity.
+const (
+	Healthy State = iota
+	Degraded
+	Stalled
+)
+
+func (s State) String() string {
+	switch s {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Stalled:
+		return "stalled"
+	default:
+		return "unknown"
+	}
+}
+
+// LogSpec describes one log the fleet crawls.
+type LogSpec struct {
+	// Name labels the log in metrics, reports, and checkpoint paths.
+	Name string
+	// Client is this log's private client. Give each spec its OWN
+	// client (and breaker): a shared breaker would let one sick log
+	// open the circuit for every healthy one, which is exactly the
+	// failure coupling the fleet exists to prevent.
+	Client *ctlog.Client
+	// Batch is the per-request entry window (default 64).
+	Batch int
+	// CheckpointPath overrides Config.CheckpointDir/<Name>.ckpt.
+	CheckpointPath string
+}
+
+// Config tunes a Coordinator. Logs is required; everything else has
+// workable defaults.
+type Config struct {
+	Logs []LogSpec
+	// CheckpointDir is where per-log checkpoint files live (one file
+	// per log, <dir>/<name>.ckpt, advisory-locked). Empty disables
+	// persistence for specs without an explicit CheckpointPath.
+	CheckpointDir string
+	// Quorum is how many logs must be non-stalled for the fleet to be
+	// ready (default: majority, N/2+1).
+	Quorum int
+	// QueueDepth bounds the shared entry feed (default 256). When the
+	// consumer falls behind, every crawl blocks at this depth — global
+	// backpressure.
+	QueueDepth int
+	// MaxRestarts is each log's supervisor restart budget per
+	// coordinator run (default monitor.DefaultMaxRestarts).
+	MaxRestarts int
+	// StallAfter marks a still-running log stalled when its checkpoint
+	// has not advanced for this long (0 disables age-based stalling;
+	// supervisor exhaustion always stalls a log).
+	StallAfter time.Duration
+	// HealthEvery is the health-evaluation cadence (default 250ms).
+	HealthEvery time.Duration
+	// Handle consumes each unique (first-seen across all logs) entry,
+	// serially from one goroutine. Nil means count-only.
+	Handle func(e ctlog.Entry)
+	// Obs, when non-nil, receives the fleet instruments:
+	// fleet_log_state{log}, fleet_state, fleet_state_transitions_total,
+	// fleet_log_restarts_total{log}, fleet_log_checkpoint{log},
+	// fleet_entries_unique_total, fleet_entries_deduped_total, and the
+	// fleet_feed_* backpressure series.
+	Obs *obs.Registry
+	// Tracer, when non-nil, is shared by all crawls.
+	Tracer *obs.Tracer
+	// Backoff/sleep overrides for tests.
+	BaseBackoff time.Duration
+	Sleep       func(context.Context, time.Duration) error
+}
+
+func (c Config) quorum() int {
+	if c.Quorum > 0 {
+		return c.Quorum
+	}
+	return len(c.Logs)/2 + 1
+}
+
+func (c Config) queueDepth() int {
+	if c.QueueDepth > 0 {
+		return c.QueueDepth
+	}
+	return 256
+}
+
+func (c Config) healthEvery() time.Duration {
+	if c.HealthEvery > 0 {
+		return c.HealthEvery
+	}
+	return 250 * time.Millisecond
+}
+
+// LogReport is one log's outcome in a Result.
+type LogReport struct {
+	Name string `json:"name"`
+	// Stats sums the crawl stats across every supervised run this
+	// coordinator performed for the log; ResumedFrom is the first
+	// run's resume point.
+	Stats    monitor.SyncStats `json:"stats"`
+	Restarts int               `json:"restarts"`
+	State    string            `json:"state"`
+	// Err is the terminal failure when the log's supervisor gave up.
+	Err string `json:"err,omitempty"`
+}
+
+// Result is a completed (or interrupted) coordinator run.
+type Result struct {
+	Logs map[string]*LogReport `json:"logs"`
+	// UniqueEntries counts first-seen entries delivered downstream;
+	// DupEntries counts cross-log duplicates dropped at the sink. Per
+	// run: unique + deduped == Σ per-log non-precert fetches.
+	UniqueEntries int    `json:"unique_entries"`
+	DupEntries    int    `json:"dup_entries"`
+	Interrupted   bool   `json:"interrupted"`
+	FinalState    string `json:"final_state"`
+}
+
+// worker is one log's failure domain.
+type worker struct {
+	spec  LogSpec
+	mon   *monitor.Monitor // crawl cursor only; entries route through the sink
+	store *monitor.LockedFileCheckpointStore
+
+	state       atomic.Int32 // State; written only by the health evaluator
+	restarts    atomic.Int32
+	consecFails atomic.Int32
+	checkpoint  atomic.Int64
+	done        atomic.Bool
+	gaveUp      atomic.Bool
+
+	mu    sync.Mutex
+	stats monitor.SyncStats
+	err   error
+
+	stateGauge *obs.Gauge
+	restartCtr *obs.Counter
+}
+
+func (w *worker) addStats(s monitor.SyncStats) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	first := w.stats.Duration == 0 && w.stats.Fetched == 0 && w.stats.ResumedFrom == 0
+	if first {
+		w.stats.ResumedFrom = s.ResumedFrom
+	}
+	w.stats.Fetched += s.Fetched
+	w.stats.Precerts += s.Precerts
+	w.stats.ParseErrors += s.ParseErrors
+	w.stats.Indexed += s.Indexed
+	w.stats.Retries += s.Retries
+	w.stats.SkippedEntries += s.SkippedEntries
+	w.stats.Forwarded += s.Forwarded
+	w.stats.Deduped += s.Deduped
+	w.stats.Quarantined += s.Quarantined
+	w.stats.CheckpointErrors += s.CheckpointErrors
+	w.stats.Bisections += s.Bisections
+	w.stats.Duration += s.Duration
+}
+
+func (w *worker) snapshotStats() monitor.SyncStats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// Coordinator runs one crawl worker per configured log.
+type Coordinator struct {
+	cfg     Config
+	workers []*worker
+	feed    *pipeline.Feed[ctlog.Entry]
+
+	dedupMu sync.Mutex
+	seen    map[ctlog.Hash]struct{}
+
+	fleetState  atomic.Int32
+	unique      atomic.Int64
+	dups        atomic.Int64
+	stateGauge  *obs.Gauge
+	uniqueCtr   *obs.Counter
+	dedupedCtr  *obs.Counter
+	transitions map[State]*obs.Counter
+}
+
+// New validates cfg and builds a Coordinator. Checkpoint locks are NOT
+// taken here — Run acquires and releases them.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Logs) == 0 {
+		return nil, fmt.Errorf("fleet: no logs configured")
+	}
+	names := map[string]bool{}
+	c := &Coordinator{cfg: cfg, seen: make(map[ctlog.Hash]struct{})}
+	for _, spec := range cfg.Logs {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("fleet: log with empty name")
+		}
+		if names[spec.Name] {
+			return nil, fmt.Errorf("fleet: duplicate log name %q", spec.Name)
+		}
+		names[spec.Name] = true
+		if spec.Client == nil {
+			return nil, fmt.Errorf("fleet: log %q has no client", spec.Name)
+		}
+		w := &worker{spec: spec, mon: monitor.New(monitor.Monitors()[0])}
+		c.workers = append(c.workers, w)
+	}
+	if q := cfg.quorum(); q > len(cfg.Logs) {
+		return nil, fmt.Errorf("fleet: quorum %d exceeds %d logs", q, len(cfg.Logs))
+	}
+	c.feed = pipeline.NewFeed[ctlog.Entry](cfg.queueDepth(), "fleet_feed", cfg.Obs)
+	c.instrument()
+	return c, nil
+}
+
+func (c *Coordinator) instrument() {
+	reg := c.cfg.Obs
+	c.transitions = map[State]*obs.Counter{}
+	if reg == nil {
+		// Nil-safe instruments keep the hot paths branch-free.
+		for _, s := range []State{Healthy, Degraded, Stalled} {
+			c.transitions[s] = nil
+		}
+		return
+	}
+	reg.Help("fleet_log_state", "Per-log health (0 healthy, 1 degraded, 2 stalled).")
+	reg.Help("fleet_state", "Fleet health (0 healthy, 1 degraded, 2 stalled).")
+	reg.Help("fleet_state_transitions_total", "Fleet state transitions by destination state.")
+	reg.Help("fleet_log_restarts_total", "Per-log supervised crawl restarts.")
+	reg.Help("fleet_log_checkpoint", "Per-log next index the crawl will fetch.")
+	reg.Help("fleet_entries_unique_total", "First-seen entries delivered downstream (cross-log dedup winners).")
+	reg.Help("fleet_entries_deduped_total", "Cross-log duplicate entries dropped at the fleet sink.")
+	reg.Help("fleet_logs", "Number of logs the fleet crawls.")
+	reg.Help("fleet_quorum", "Non-stalled logs required for readiness.")
+	c.stateGauge = reg.Gauge("fleet_state")
+	c.uniqueCtr = reg.Counter("fleet_entries_unique_total")
+	c.dedupedCtr = reg.Counter("fleet_entries_deduped_total")
+	for _, s := range []State{Healthy, Degraded, Stalled} {
+		c.transitions[s] = reg.Counter("fleet_state_transitions_total", "to", s.String())
+	}
+	reg.Gauge("fleet_logs").Set(float64(len(c.workers)))
+	reg.Gauge("fleet_quorum").Set(float64(c.cfg.quorum()))
+	for _, w := range c.workers {
+		w.stateGauge = reg.Gauge("fleet_log_state", "log", w.spec.Name)
+		w.restartCtr = reg.Counter("fleet_log_restarts_total", "log", w.spec.Name)
+		w := w
+		reg.GaugeFunc("fleet_log_checkpoint", func() float64 { return float64(w.checkpoint.Load()) }, "log", w.spec.Name)
+	}
+}
+
+// State returns the fleet's current health.
+func (c *Coordinator) State() State { return State(c.fleetState.Load()) }
+
+// LogState returns one log's current health (Healthy for unknown
+// names, matching the zero value).
+func (c *Coordinator) LogState(name string) State {
+	for _, w := range c.workers {
+		if w.spec.Name == name {
+			return State(w.state.Load())
+		}
+	}
+	return Healthy
+}
+
+// Ready implements the /readyz quorum rule: nil while at least Quorum
+// logs are not stalled, an error naming the stalled logs otherwise.
+func (c *Coordinator) Ready() error {
+	alive, stalled := 0, []string{}
+	for _, w := range c.workers {
+		if State(w.state.Load()) == Stalled {
+			stalled = append(stalled, w.spec.Name)
+		} else {
+			alive++
+		}
+	}
+	if q := c.cfg.quorum(); alive < q {
+		sort.Strings(stalled)
+		return fmt.Errorf("fleet: %d/%d logs alive, quorum %d (stalled: %s)",
+			alive, len(c.workers), q, strings.Join(stalled, ","))
+	}
+	return nil
+}
+
+// checkpointPath resolves a spec's checkpoint file, or "" for none.
+func (c *Coordinator) checkpointPath(spec LogSpec) string {
+	if spec.CheckpointPath != "" {
+		return spec.CheckpointPath
+	}
+	if c.cfg.CheckpointDir == "" {
+		return ""
+	}
+	return filepath.Join(c.cfg.CheckpointDir, spec.Name+".ckpt")
+}
+
+// sink builds one worker's SyncOptions.Sink: fleet-wide dedup by leaf
+// hash, then a blocking Put into the bounded feed (the backpressure
+// seam). The hash is marked seen BEFORE Put so two logs racing the
+// same certificate cannot both deliver it, and unmarked if Put fails
+// so the crawl's resume re-delivers an entry that never made it
+// downstream.
+func (c *Coordinator) sink(ctx context.Context, w *worker) func(ctlog.Entry) (monitor.SinkAction, error) {
+	return func(e ctlog.Entry) (monitor.SinkAction, error) {
+		h := ctlog.LeafHash(e.DER)
+		c.dedupMu.Lock()
+		if _, dup := c.seen[h]; dup {
+			c.dedupMu.Unlock()
+			c.dups.Add(1)
+			c.dedupedCtr.Inc()
+			w.checkpoint.Store(int64(e.Index + 1))
+			return monitor.SinkDuplicate, nil
+		}
+		c.seen[h] = struct{}{}
+		c.dedupMu.Unlock()
+		if err := c.feed.Put(ctx, e); err != nil {
+			c.dedupMu.Lock()
+			delete(c.seen, h)
+			c.dedupMu.Unlock()
+			return 0, err
+		}
+		w.checkpoint.Store(int64(e.Index + 1))
+		return monitor.SinkForward, nil
+	}
+}
+
+// Run crawls every configured log to its current head concurrently and
+// returns when all logs are done (or have exhausted their restart
+// budget) and the feed is drained, or when ctx ends — then with
+// Result.Interrupted set. The error is reserved for setup failures
+// (checkpoint lock collisions, unusable checkpoint dir); per-log crawl
+// failures are reported in the Result, not as an error — a dead log
+// must not look like a dead fleet.
+func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
+	// Acquire every checkpoint lock before starting any crawl: a
+	// misconfigured fleet (two logs sharing a path) must fail fast and
+	// whole, not half-start.
+	if c.cfg.CheckpointDir != "" {
+		if err := os.MkdirAll(c.cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("fleet: checkpoint dir: %w", err)
+		}
+	}
+	for _, w := range c.workers {
+		if path := c.checkpointPath(w.spec); path != "" {
+			store, err := monitor.AcquireFileCheckpointStore(path)
+			if err != nil {
+				c.releaseStores()
+				return nil, fmt.Errorf("fleet: log %q: %w", w.spec.Name, err)
+			}
+			w.store = store
+		}
+	}
+	defer c.releaseStores()
+
+	healthCtx, stopHealth := context.WithCancel(context.Background())
+	healthDone := make(chan struct{})
+	go c.healthLoop(healthCtx, healthDone)
+
+	consumerDone := make(chan struct{})
+	go c.consume(consumerDone)
+
+	var wg sync.WaitGroup
+	for _, w := range c.workers {
+		wg.Add(1)
+		go func(w *worker) {
+			defer wg.Done()
+			c.runWorker(ctx, w)
+		}(w)
+	}
+	wg.Wait()
+	c.feed.Close()
+	<-consumerDone
+
+	// One final evaluation so the result reflects the end state, then
+	// stop the evaluator.
+	c.evalHealth()
+	stopHealth()
+	<-healthDone
+
+	res := &Result{
+		Logs:          map[string]*LogReport{},
+		UniqueEntries: int(c.unique.Load()),
+		DupEntries:    int(c.dups.Load()),
+		Interrupted:   ctx.Err() != nil,
+		FinalState:    c.State().String(),
+	}
+	for _, w := range c.workers {
+		rep := &LogReport{
+			Name:     w.spec.Name,
+			Stats:    w.snapshotStats(),
+			Restarts: int(w.restarts.Load()),
+			State:    State(w.state.Load()).String(),
+		}
+		w.mu.Lock()
+		if w.err != nil {
+			rep.Err = w.err.Error()
+		}
+		w.mu.Unlock()
+		res.Logs[w.spec.Name] = rep
+	}
+	return res, nil
+}
+
+func (c *Coordinator) releaseStores() {
+	for _, w := range c.workers {
+		if w.store != nil {
+			w.store.Close()
+			w.store = nil
+		}
+	}
+}
+
+// runWorker is one log's failure domain: a supervised single-pass
+// crawl to the log's current head. Per-log sync metrics stay OFF the
+// shared registry (monitor_* series are unlabeled globals; four crawls
+// would fight over them) — the fleet's labeled instruments carry the
+// per-log story instead.
+func (c *Coordinator) runWorker(ctx context.Context, w *worker) {
+	opts := monitor.SyncOptions{
+		Batch:  w.spec.Batch,
+		Tracer: c.cfg.Tracer,
+		Sink:   c.sink(ctx, w),
+	}
+	if w.store != nil {
+		opts.Checkpoints = w.store
+	}
+	err := monitor.Supervise(ctx, monitor.SupervisorOptions{
+		MaxRestarts: c.cfg.MaxRestarts,
+		BaseBackoff: c.cfg.BaseBackoff,
+		Sleep:       c.cfg.Sleep,
+		Obs:         c.cfg.Obs,
+		OnRestart: func(r monitor.Restart) {
+			w.restarts.Add(1)
+			w.consecFails.Add(1)
+			w.restartCtr.Inc()
+		},
+	}, func(ctx context.Context) error {
+		stats, err := w.mon.SyncFromLog(ctx, w.spec.Client, opts)
+		w.addStats(stats)
+		w.checkpoint.Store(int64(w.mon.Checkpoint()))
+		if err != nil {
+			return err
+		}
+		w.consecFails.Store(0)
+		return nil
+	})
+	w.done.Store(true)
+	if err != nil && ctx.Err() == nil {
+		// Restart budget exhausted while the fleet was still supposed
+		// to run: this log is terminally stuck. The others keep going.
+		w.gaveUp.Store(true)
+		w.mu.Lock()
+		w.err = err
+		w.mu.Unlock()
+	}
+}
+
+// consume drains the feed serially into Handle. It uses a background
+// context on purpose: entries already accepted into the feed are
+// delivered even during shutdown — the feed is bounded, so this drains
+// quickly — and the loop ends when Run closes the feed.
+func (c *Coordinator) consume(done chan<- struct{}) {
+	defer close(done)
+	for {
+		e, ok, _ := c.feed.Get(context.Background())
+		if !ok {
+			return
+		}
+		c.unique.Add(1)
+		c.uniqueCtr.Inc()
+		if c.cfg.Handle != nil {
+			c.cfg.Handle(e)
+		}
+	}
+}
+
+// healthLoop re-evaluates fleet health on a timer until stopped. It is
+// the ONLY writer of state fields and transition counters, so a
+// transition is counted exactly once no matter how many goroutines
+// observe the underlying signals.
+func (c *Coordinator) healthLoop(ctx context.Context, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(c.cfg.healthEvery())
+	defer t.Stop()
+	c.evalHealth()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			c.evalHealth()
+		}
+	}
+}
+
+// evalHealth derives each log's state from its failure-domain signals
+// and rolls them up into the fleet state.
+func (c *Coordinator) evalHealth() {
+	now := time.Now()
+	healthyLogs, stalledLogs := 0, 0
+	for _, w := range c.workers {
+		s := Healthy
+		switch {
+		case w.gaveUp.Load():
+			s = Stalled
+		case w.done.Load():
+			s = Healthy // finished its pass cleanly
+		default:
+			if c.cfg.StallAfter > 0 {
+				if last := w.mon.LastAdvance(); !last.IsZero() && now.Sub(last) > c.cfg.StallAfter {
+					s = Stalled
+				}
+			}
+			if s == Healthy {
+				breakerOpen := w.spec.Client.Breaker != nil && w.spec.Client.Breaker.State() != ctlog.BreakerClosed
+				if breakerOpen || w.consecFails.Load() > 0 {
+					s = Degraded
+				}
+			}
+		}
+		if prev := State(w.state.Swap(int32(s))); prev != s {
+			if c.cfg.Obs != nil {
+				c.cfg.Obs.Counter("fleet_log_state_transitions_total", "log", w.spec.Name, "to", s.String()).Inc()
+			}
+		}
+		w.stateGauge.Set(float64(s))
+		switch s {
+		case Healthy:
+			healthyLogs++
+		case Stalled:
+			stalledLogs++
+		}
+	}
+	fs := Healthy
+	switch {
+	case healthyLogs == len(c.workers):
+		fs = Healthy
+	case len(c.workers)-stalledLogs >= c.cfg.quorum():
+		fs = Degraded
+	default:
+		fs = Stalled
+	}
+	if prev := State(c.fleetState.Swap(int32(fs))); prev != fs {
+		c.transitions[fs].Inc()
+	}
+	c.stateGauge.Set(float64(fs))
+}

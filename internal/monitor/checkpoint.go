@@ -173,3 +173,45 @@ func (s *FileCheckpointStore) Save(cp Checkpoint) error {
 	}
 	return nil
 }
+
+// LockedFileCheckpointStore is a FileCheckpointStore whose path is
+// guarded by an advisory lock, so two workers accidentally configured
+// with the same checkpoint path fail fast at acquisition time instead
+// of silently interleaving saves — each would persist its own crawl
+// position over the other's and a restart would resume both from a
+// blend of wrong indexes. Acquire with AcquireFileCheckpointStore and
+// release with Close.
+type LockedFileCheckpointStore struct {
+	FileCheckpointStore
+	lock *lockHandle
+}
+
+// AcquireFileCheckpointStore opens a file checkpoint store at path
+// after taking an advisory lock on path+".lock". If another holder —
+// in this process or any other — already owns the lock, it returns an
+// error immediately (ErrCheckpointLocked wrapped with the path).
+func AcquireFileCheckpointStore(path string) (*LockedFileCheckpointStore, error) {
+	h, err := acquireLock(path + ".lock")
+	if err != nil {
+		return nil, err
+	}
+	return &LockedFileCheckpointStore{
+		FileCheckpointStore: FileCheckpointStore{Path: path},
+		lock:                h,
+	}, nil
+}
+
+// Close releases the advisory lock. The checkpoint file itself is left
+// in place — it is the durable artifact; only the exclusivity goes.
+func (s *LockedFileCheckpointStore) Close() error {
+	if s == nil || s.lock == nil {
+		return nil
+	}
+	err := s.lock.release()
+	s.lock = nil
+	return err
+}
+
+// ErrCheckpointLocked reports that another store holds the checkpoint
+// path's advisory lock.
+var ErrCheckpointLocked = errors.New("monitor: checkpoint path locked by another holder")

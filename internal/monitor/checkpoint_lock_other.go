@@ -1,0 +1,40 @@
+//go:build !unix
+
+package monitor
+
+// Fallback advisory locking for platforms without flock(2): an O_EXCL
+// sentinel file. Weaker than the unix path — a crashed holder leaves
+// the sentinel behind and the operator must remove it — but it still
+// guarantees the fail-fast collision semantics the fleet depends on.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+)
+
+type lockHandle struct {
+	path string
+}
+
+func acquireLock(path string) (*lockHandle, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("%w: %s", ErrCheckpointLocked, path)
+		}
+		return nil, fmt.Errorf("monitor: creating checkpoint lock %s: %w", path, err)
+	}
+	f.WriteString(strconv.Itoa(os.Getpid()) + "\n")
+	f.Close()
+	return &lockHandle{path: path}, nil
+}
+
+func (h *lockHandle) release() error {
+	if h == nil || h.path == "" {
+		return nil
+	}
+	err := os.Remove(h.path)
+	h.path = ""
+	return err
+}

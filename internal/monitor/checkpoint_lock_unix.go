@@ -1,0 +1,54 @@
+//go:build unix
+
+package monitor
+
+// Advisory checkpoint locking on unix uses flock(2): the lock lives on
+// the open file description, so it conflicts across processes AND
+// across independent opens within one process, and — unlike an O_EXCL
+// sentinel — it evaporates when the holder dies, so a SIGKILLed crawl
+// never leaves a stale lock that blocks the restart the checkpoint
+// exists to serve.
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"syscall"
+)
+
+type lockHandle struct {
+	f    *os.File
+	path string
+}
+
+func acquireLock(path string) (*lockHandle, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("monitor: opening checkpoint lock %s: %w", path, err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%w: %s", ErrCheckpointLocked, path)
+	}
+	// Record the holder for operators debugging a collision; the lock
+	// itself is the flock, not this content.
+	f.Truncate(0)
+	f.WriteAt([]byte(strconv.Itoa(os.Getpid())+"\n"), 0)
+	return &lockHandle{f: f, path: path}, nil
+}
+
+func (h *lockHandle) release() error {
+	if h == nil || h.f == nil {
+		return nil
+	}
+	// Removing before unlocking keeps the window where a new holder
+	// could lock a file we are about to unlink closed: a fresh acquire
+	// recreates the path and flocks the new inode.
+	os.Remove(h.path)
+	err := syscall.Flock(int(h.f.Fd()), syscall.LOCK_UN)
+	if cerr := h.f.Close(); err == nil {
+		err = cerr
+	}
+	h.f = nil
+	return err
+}

@@ -3,6 +3,7 @@ package monitor
 import (
 	"bytes"
 	"context"
+	"errors"
 	"hash/crc32"
 	"net/http/httptest"
 	"os"
@@ -300,4 +301,59 @@ func reseal(buf []byte) {
 	buf[33] = byte(c >> 8)
 	buf[34] = byte(c >> 16)
 	buf[35] = byte(c >> 24)
+}
+
+// TestLockedCheckpointStoreCollision pins the fleet's fail-fast
+// guarantee: two workers accidentally configured with the same
+// checkpoint path must collide at acquisition time, not silently
+// interleave saves.
+func TestLockedCheckpointStoreCollision(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "shared.ckpt")
+	first, err := AcquireFileCheckpointStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AcquireFileCheckpointStore(path); !errors.Is(err, ErrCheckpointLocked) {
+		t.Fatalf("second acquire: err = %v, want ErrCheckpointLocked", err)
+	}
+	// The holder still works as a normal store through the lock.
+	if err := first.Save(Checkpoint{NextIndex: 42, TreeSize: 100, UpdatedAt: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	if cp, ok, err := first.Load(); err != nil || !ok || cp.NextIndex != 42 {
+		t.Fatalf("Load through locked store: cp=%+v ok=%v err=%v", cp, ok, err)
+	}
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Release makes the path acquirable again, and the durable
+	// checkpoint survives the lock cycle.
+	second, err := AcquireFileCheckpointStore(path)
+	if err != nil {
+		t.Fatalf("acquire after release: %v", err)
+	}
+	defer second.Close()
+	if cp, ok, err := second.Load(); err != nil || !ok || cp.NextIndex != 42 {
+		t.Fatalf("checkpoint lost across lock cycle: cp=%+v ok=%v err=%v", cp, ok, err)
+	}
+	// Double-close is safe.
+	if err := first.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLockedCheckpointStoreDistinctPaths: locks are per path — two
+// stores on different files coexist.
+func TestLockedCheckpointStoreDistinctPaths(t *testing.T) {
+	dir := t.TempDir()
+	a, err := AcquireFileCheckpointStore(filepath.Join(dir, "a.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := AcquireFileCheckpointStore(filepath.Join(dir, "b.ckpt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
 }

@@ -9,6 +9,7 @@ package monitor
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -32,9 +33,13 @@ type SupervisorOptions struct {
 	// between restarts.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
-	// OnRestart, when non-nil, observes each restart decision with the
-	// 1-based attempt number about to run and the error that caused it.
-	OnRestart func(attempt int, err error)
+	// OnRestart, when non-nil, observes each restart decision. The
+	// Restart record carries the 1-based attempt number about to run,
+	// the error that caused it, and — when the failure was a recovered
+	// panic — the panic value itself, so a coordinator can distinguish
+	// a flapping (repeatedly crashing) worker from one hitting ordinary
+	// transient errors and escalate it instead of restarting forever.
+	OnRestart func(Restart)
 	// Obs, when non-nil, receives monitor_supervisor_restarts_total
 	// and monitor_supervisor_panics_total.
 	Obs *obs.Registry
@@ -94,6 +99,21 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("monitor: supervised run panicked: %v", e.Value)
 }
 
+// Restart describes one supervisor restart decision, delivered to
+// SupervisorOptions.OnRestart before the backoff sleep.
+type Restart struct {
+	// Attempt is the 1-based attempt number about to run; it equals the
+	// number of restarts performed so far.
+	Attempt int
+	// Err is the failure that caused this restart (a *PanicError when
+	// the run crashed).
+	Err error
+	// Panicked reports whether Err wraps a recovered panic;
+	// PanicValue then carries the recovered value.
+	Panicked   bool
+	PanicValue any
+}
+
 // Supervise runs fn, restarting it on error or panic with capped
 // exponential backoff until it succeeds, the restart budget is spent,
 // or ctx is cancelled. It returns nil on success, ctx.Err() on
@@ -134,7 +154,13 @@ func Supervise(ctx context.Context, opts SupervisorOptions, fn func(context.Cont
 		}
 		restarts.Inc()
 		if opts.OnRestart != nil {
-			opts.OnRestart(attempt+1, lastErr)
+			r := Restart{Attempt: attempt + 1, Err: lastErr}
+			var pe *PanicError
+			if errors.As(lastErr, &pe) {
+				r.Panicked = true
+				r.PanicValue = pe.Value
+			}
+			opts.OnRestart(r)
 		}
 		if err := opts.sleep(ctx, opts.backoff(attempt)); err != nil {
 			return err

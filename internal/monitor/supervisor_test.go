@@ -3,6 +3,7 @@ package monitor
 import (
 	"context"
 	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -29,7 +30,12 @@ func TestSuperviseRestartsOnError(t *testing.T) {
 	err := Supervise(context.Background(), SupervisorOptions{
 		MaxRestarts: 10,
 		Sleep:       noSleep,
-		OnRestart:   func(attempt int, err error) { attempts = append(attempts, attempt) },
+		OnRestart: func(r Restart) {
+			attempts = append(attempts, r.Attempt)
+			if r.Panicked {
+				t.Errorf("restart %d reported a panic for a plain error", r.Attempt)
+			}
+		},
 	}, func(context.Context) error {
 		calls++
 		if calls < 4 {
@@ -45,6 +51,49 @@ func TestSuperviseRestartsOnError(t *testing.T) {
 	}
 	if len(attempts) != 3 || attempts[0] != 1 || attempts[2] != 3 {
 		t.Fatalf("OnRestart attempts = %v", attempts)
+	}
+}
+
+// TestSuperviseReportsPanicValue pins the escalation contract the fleet
+// coordinator depends on: every restart caused by a crash must surface
+// the recovered panic value and the running restart count through
+// OnRestart, so a flapping worker can be escalated instead of silently
+// restarting forever.
+func TestSuperviseReportsPanicValue(t *testing.T) {
+	var restarts []Restart
+	calls := 0
+	err := Supervise(context.Background(), SupervisorOptions{
+		MaxRestarts: 5,
+		Sleep:       noSleep,
+		OnRestart:   func(r Restart) { restarts = append(restarts, r) },
+	}, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			panic(fmt.Sprintf("hostile entry %d", calls))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restarts) != 2 {
+		t.Fatalf("restarts = %d, want 2", len(restarts))
+	}
+	for i, r := range restarts {
+		if r.Attempt != i+1 {
+			t.Fatalf("restart %d has Attempt %d", i, r.Attempt)
+		}
+		if !r.Panicked {
+			t.Fatalf("restart %d not marked Panicked: %+v", i, r)
+		}
+		want := fmt.Sprintf("hostile entry %d", i+1)
+		if r.PanicValue != want {
+			t.Fatalf("restart %d PanicValue = %v, want %q", i, r.PanicValue, want)
+		}
+		var pe *PanicError
+		if !errors.As(r.Err, &pe) || pe.Value != want {
+			t.Fatalf("restart %d Err = %v, want PanicError(%q)", i, r.Err, want)
+		}
 	}
 }
 
@@ -131,7 +180,9 @@ func TestIngestQuarantinesPanickingIndex(t *testing.T) {
 		{Index: 1, DER: []byte{0x00}}, // parse error, not a panic
 		{Index: 2, DER: der},
 	}
-	broken.ingest(entries, stats, sm)
+	if err := broken.ingest(entries, stats, sm, nil); err != nil {
+		t.Fatal(err)
+	}
 	if stats.Quarantined != 2 {
 		t.Fatalf("Quarantined = %d, want 2", stats.Quarantined)
 	}
@@ -151,7 +202,9 @@ func TestIngestQuarantinesPanickingIndex(t *testing.T) {
 	// A healthy monitor ingests the same batch without quarantining.
 	ok := New(Monitors()[0])
 	stats2 := &SyncStats{}
-	ok.ingest(entries, stats2, newSyncMetrics(nil, ok))
+	if err := ok.ingest(entries, stats2, newSyncMetrics(nil, ok), nil); err != nil {
+		t.Fatal(err)
+	}
 	if stats2.Quarantined != 0 || stats2.Indexed != 2 {
 		t.Fatalf("healthy ingest: %+v", stats2)
 	}

@@ -50,7 +50,34 @@ type SyncOptions struct {
 	// spans for poisoned entries, and (when the client shares the
 	// tracer) the per-request attempt/backoff spans beneath them.
 	Tracer *obs.Tracer
+	// Sink, when non-nil, intercepts every fetched non-precert entry
+	// BEFORE the checkpoint advances past it and before the local
+	// parse/index step. It is how a fleet coordinator dedups entries
+	// across logs and applies global backpressure: a Sink that blocks
+	// on a bounded channel slows this crawl down to the consumer's
+	// pace. Returning SinkIngest keeps the normal parse/index path;
+	// SinkForward and SinkDuplicate skip it (the entry was consumed
+	// elsewhere, or is a cross-log duplicate, counted in
+	// SyncStats.Forwarded / SyncStats.Deduped). A non-nil error aborts
+	// the crawl with the checkpoint still BEFORE the entry, so a resume
+	// re-delivers it — an entry is never claimed without being sunk.
+	Sink func(e ctlog.Entry) (SinkAction, error)
 }
+
+// SinkAction is a Sink's verdict on one fetched entry.
+type SinkAction int
+
+// Sink verdicts.
+const (
+	// SinkIngest runs the normal local parse/index path.
+	SinkIngest SinkAction = iota
+	// SinkForward means the sink consumed the entry (e.g. forwarded it
+	// into a fleet pipeline); local indexing is skipped.
+	SinkForward
+	// SinkDuplicate marks a cross-log duplicate: skipped locally and
+	// counted in SyncStats.Deduped.
+	SinkDuplicate
+)
 
 func (o SyncOptions) batch() int {
 	if o.Batch > 0 {
@@ -81,6 +108,13 @@ type SyncStats struct {
 	// SkippedEntries counts entries abandoned after bisection isolated
 	// them as individually unfetchable (poisoned encodings).
 	SkippedEntries int
+	// Forwarded counts entries a SyncOptions.Sink consumed instead of
+	// the local index (fleet mode: first-seen entries fed downstream).
+	Forwarded int
+	// Deduped counts entries a SyncOptions.Sink identified as cross-log
+	// duplicates; they are fetched (so checkpoint accounting is exact)
+	// but not parsed or indexed.
+	Deduped int
 	// Quarantined counts entries whose parse or index step panicked;
 	// the panic is contained per entry and the crawl continues.
 	Quarantined int
@@ -105,6 +139,8 @@ type syncMetrics struct {
 	precerts    *obs.Counter // monitor_precerts_total
 	parseErrors *obs.Counter // monitor_parse_errors_total
 	skipped     *obs.Counter // monitor_skipped_entries_total
+	forwarded   *obs.Counter // monitor_entries_forwarded_total
+	deduped     *obs.Counter // monitor_entries_deduped_total
 	bisections  *obs.Counter // monitor_bisections_total
 	quarantined *obs.Counter // monitor_quarantined_entries_total
 	cpErrors    *obs.Counter // monitor_checkpoint_persist_errors_total
@@ -125,6 +161,8 @@ func newSyncMetrics(reg *obs.Registry, m *Monitor) *syncMetrics {
 	reg.Help("monitor_precerts_total", "Precertificates fetched and filtered (§4.1).")
 	reg.Help("monitor_parse_errors_total", "Entries whose DER the lenient parser rejected.")
 	reg.Help("monitor_skipped_entries_total", "Entries abandoned after bisection isolated them as poisoned.")
+	reg.Help("monitor_entries_forwarded_total", "Entries consumed by a sink (fleet pipeline) instead of the local index.")
+	reg.Help("monitor_entries_deduped_total", "Entries a sink identified as cross-log duplicates.")
 	reg.Help("monitor_bisections_total", "Range splits performed while isolating failures.")
 	reg.Help("monitor_quarantined_entries_total", "Entries whose parse/index step panicked and was contained.")
 	reg.Help("monitor_checkpoint_persist_errors_total", "Checkpoint saves that failed (crawl continued).")
@@ -137,6 +175,8 @@ func newSyncMetrics(reg *obs.Registry, m *Monitor) *syncMetrics {
 	sm.precerts = reg.Counter("monitor_precerts_total")
 	sm.parseErrors = reg.Counter("monitor_parse_errors_total")
 	sm.skipped = reg.Counter("monitor_skipped_entries_total")
+	sm.forwarded = reg.Counter("monitor_entries_forwarded_total")
+	sm.deduped = reg.Counter("monitor_entries_deduped_total")
 	sm.bisections = reg.Counter("monitor_bisections_total")
 	sm.quarantined = reg.Counter("monitor_quarantined_entries_total")
 	sm.cpErrors = reg.Counter("monitor_checkpoint_persist_errors_total")
@@ -171,6 +211,18 @@ func (sm *syncMetrics) advanced(m *Monitor, fetched int) {
 // entry below it has been fetched (indexed, skipped, or rejected) by a
 // previous crawl.
 func (m *Monitor) Checkpoint() int { return m.nextIndex }
+
+// LastAdvance reports when a crawl last advanced this monitor's
+// checkpoint (the zero time if no crawl has run). Safe to call from
+// any goroutine while a crawl runs; fleet health evaluation uses it to
+// detect a stuck log without touching crawl internals.
+func (m *Monitor) LastAdvance() time.Time {
+	ns := m.lastAdvance.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
 
 // SetCheckpoint restores crawl progress, e.g. from persisted state.
 func (m *Monitor) SetCheckpoint(n int) {
@@ -237,7 +289,7 @@ func (m *Monitor) SyncFromLog(ctx context.Context, client *ctlog.Client, opts Sy
 	batch := opts.batch()
 	for m.nextIndex < size {
 		end := min(m.nextIndex+batch-1, size-1)
-		if err := m.syncRange(ctx, client, m.nextIndex, end, &stats, sm, opts.Tracer); err != nil {
+		if err := m.syncRange(ctx, client, m.nextIndex, end, &stats, sm, &opts); err != nil {
 			return finish(err)
 		}
 		persist()
@@ -271,10 +323,11 @@ func (m *Monitor) getSTH(ctx context.Context, client *ctlog.Client, opts SyncOpt
 // the crawl aborts with its checkpoint intact rather than skipping
 // entries that would have been fetchable later. The checkpoint
 // advances past everything handled.
-func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi int, stats *SyncStats, sm *syncMetrics, tracer *obs.Tracer) error {
+func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi int, stats *SyncStats, sm *syncMetrics, opts *SyncOptions) error {
 	if lo > hi {
 		return nil
 	}
+	tracer := opts.Tracer
 	entries, err := client.GetEntries(ctx, lo, hi)
 	if err == nil {
 		if len(entries) == 0 {
@@ -282,8 +335,7 @@ func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi in
 			// forever; treat it as a server bug.
 			return fmt.Errorf("monitor: get-entries [%d,%d]: empty response", lo, hi)
 		}
-		m.ingest(entries, stats, sm)
-		return nil
+		return m.ingest(entries, stats, sm, opts)
 	}
 	if ctx.Err() != nil || ctlog.IsRetryable(err) {
 		return fmt.Errorf("monitor: get-entries [%d,%d]: %w", lo, hi, err)
@@ -295,8 +347,7 @@ func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi in
 		for attempt := 0; attempt < 3; attempt++ {
 			entries, err = client.GetEntries(ctx, lo, hi)
 			if err == nil && len(entries) > 0 {
-				m.ingest(entries, stats, sm)
-				return nil
+				return m.ingest(entries, stats, sm, opts)
 			}
 			if err != nil && (ctx.Err() != nil || ctlog.IsRetryable(err)) {
 				return fmt.Errorf("monitor: get-entries [%d,%d]: %w", lo, hi, err)
@@ -319,20 +370,22 @@ func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi in
 	bisect.SetAttr("hi", strconv.Itoa(hi))
 	defer bisect.End()
 	mid := lo + (hi-lo)/2
-	if err := m.syncRange(bctx, client, lo, mid, stats, sm, tracer); err != nil {
+	if err := m.syncRange(bctx, client, lo, mid, stats, sm, opts); err != nil {
 		return err
 	}
 	// The first half may have been served short of mid (server batch
 	// clamp); continue from the checkpoint, not from mid+1.
-	return m.syncRange(bctx, client, max(mid+1, m.nextIndex), hi, stats, sm, tracer)
+	return m.syncRange(bctx, client, max(mid+1, m.nextIndex), hi, stats, sm, opts)
 }
 
 // ingest indexes one batch of entries, advances the checkpoint, and
 // feeds the crawl instruments. A panic from the parse or index step —
 // a hostile DER hitting a parser edge case — is contained to that one
 // entry (quarantined and counted) so the batch, and the crawl, keep
-// going.
-func (m *Monitor) ingest(entries []ctlog.Entry, stats *SyncStats, sm *syncMetrics) {
+// going. When opts carries a Sink, each non-precert entry is offered
+// to it first; a sink error aborts the batch with the checkpoint still
+// before the undelivered entry (work already handled stays claimed).
+func (m *Monitor) ingest(entries []ctlog.Entry, stats *SyncStats, sm *syncMetrics, opts *SyncOptions) error {
 	fetched := 0
 	for _, e := range entries {
 		if e.Index < m.nextIndex {
@@ -340,12 +393,32 @@ func (m *Monitor) ingest(entries []ctlog.Entry, stats *SyncStats, sm *syncMetric
 			// response); never double-index.
 			continue
 		}
+		action := SinkIngest
+		if !e.Precert && opts != nil && opts.Sink != nil {
+			var err error
+			if action, err = opts.Sink(e); err != nil {
+				// The checkpoint has NOT advanced past e: a resume
+				// re-fetches and re-sinks it.
+				sm.advanced(m, fetched)
+				return fmt.Errorf("monitor: sink at entry %d: %w", e.Index, err)
+			}
+		}
 		stats.Fetched++
 		fetched++
 		m.nextIndex = e.Index + 1
 		if e.Precert {
 			stats.Precerts++
 			sm.precerts.Inc()
+			continue
+		}
+		switch action {
+		case SinkForward:
+			stats.Forwarded++
+			sm.forwarded.Inc()
+			continue
+		case SinkDuplicate:
+			stats.Deduped++
+			sm.deduped.Inc()
 			continue
 		}
 		switch m.ingestOne(e) {
@@ -361,6 +434,7 @@ func (m *Monitor) ingest(entries []ctlog.Entry, stats *SyncStats, sm *syncMetric
 		}
 	}
 	sm.advanced(m, fetched)
+	return nil
 }
 
 // ingestOne outcomes.

@@ -1,0 +1,129 @@
+package pipeline
+
+// Feed is the bounded hand-off between producers and a consumer: a
+// typed channel with context-aware Put/Get and observable depth. Its
+// capacity IS the global backpressure mechanism — when the consumer
+// falls behind, Put blocks, and whatever upstream loop is driving Put
+// (a per-log crawl in the fleet coordinator) slows to the consumer's
+// pace instead of buffering unboundedly.
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// ErrFeedClosed reports a Put against a closed feed.
+var ErrFeedClosed = errors.New("pipeline: feed closed")
+
+// Feed is a bounded multi-producer queue. Safe for concurrent Put and
+// Get from any number of goroutines; items go to exactly one getter.
+type Feed[T any] struct {
+	ch   chan T
+	done chan struct{}
+	once sync.Once
+
+	puts  *obs.Counter // <name>_put_total
+	gets  *obs.Counter // <name>_get_total
+	stall *obs.Counter // <name>_put_stalls_total
+}
+
+// NewFeed builds a feed holding at most depth items (minimum 1). When
+// reg is non-nil the feed registers <name>_depth (current queue depth),
+// <name>_put_total, <name>_get_total, and <name>_put_stalls_total
+// (Puts that found the queue full and had to block — the backpressure
+// signal an operator watches to see consumers falling behind).
+func NewFeed[T any](depth int, name string, reg *obs.Registry) *Feed[T] {
+	if depth < 1 {
+		depth = 1
+	}
+	f := &Feed[T]{ch: make(chan T, depth), done: make(chan struct{})}
+	if reg != nil && name != "" {
+		reg.Help(name+"_depth", "Items currently queued in the "+name+" feed.")
+		reg.Help(name+"_put_total", "Items accepted by the "+name+" feed.")
+		reg.Help(name+"_get_total", "Items drained from the "+name+" feed.")
+		reg.Help(name+"_put_stalls_total", "Puts that blocked on a full "+name+" feed (backpressure events).")
+		reg.GaugeFunc(name+"_depth", func() float64 { return float64(len(f.ch)) })
+		f.puts = reg.Counter(name + "_put_total")
+		f.gets = reg.Counter(name + "_get_total")
+		f.stall = reg.Counter(name + "_put_stalls_total")
+	}
+	return f
+}
+
+// Put enqueues v, blocking while the feed is full. It returns
+// ctx.Err() if the context ends first and ErrFeedClosed if the feed
+// was closed (either before the call or while blocked).
+func (f *Feed[T]) Put(ctx context.Context, v T) error {
+	select {
+	case <-f.done:
+		return ErrFeedClosed
+	default:
+	}
+	// Fast path: room available right now.
+	select {
+	case f.ch <- v:
+		f.puts.Inc()
+		return nil
+	default:
+	}
+	// Full: this Put is a backpressure event.
+	f.stall.Inc()
+	select {
+	case f.ch <- v:
+		f.puts.Inc()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-f.done:
+		return ErrFeedClosed
+	}
+}
+
+// Get dequeues the next item. ok is false when the feed is closed AND
+// drained, or when the context ends (err distinguishes the two: nil
+// means closed-and-drained).
+func (f *Feed[T]) Get(ctx context.Context) (v T, ok bool, err error) {
+	// Drain-first: queued items are delivered even after Close or
+	// cancellation races — the consumer decides when to stop draining.
+	select {
+	case v = <-f.ch:
+		f.gets.Inc()
+		return v, true, nil
+	default:
+	}
+	select {
+	case v = <-f.ch:
+		f.gets.Inc()
+		return v, true, nil
+	case <-ctx.Done():
+		select {
+		case v = <-f.ch:
+			f.gets.Inc()
+			return v, true, nil
+		default:
+		}
+		var zero T
+		return zero, false, ctx.Err()
+	case <-f.done:
+		select {
+		case v = <-f.ch:
+			f.gets.Inc()
+			return v, true, nil
+		default:
+		}
+		var zero T
+		return zero, false, nil
+	}
+}
+
+// Close marks the feed done: blocked and subsequent Puts return
+// ErrFeedClosed, and Get drains what remains then reports closed.
+// Idempotent. The buffered channel itself is never closed, so a Put
+// racing Close can never panic.
+func (f *Feed[T]) Close() { f.once.Do(func() { close(f.done) }) }
+
+// Depth reports how many items are queued right now.
+func (f *Feed[T]) Depth() int { return len(f.ch) }

@@ -1,0 +1,158 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestFeedPutGet(t *testing.T) {
+	ctx := context.Background()
+	f := NewFeed[int](4, "test_feed", obs.NewRegistry())
+	for i := 0; i < 3; i++ {
+		if err := f.Put(ctx, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.Depth() != 3 {
+		t.Fatalf("Depth = %d", f.Depth())
+	}
+	for i := 0; i < 3; i++ {
+		v, ok, err := f.Get(ctx)
+		if err != nil || !ok || v != i {
+			t.Fatalf("Get %d: v=%d ok=%v err=%v", i, v, ok, err)
+		}
+	}
+}
+
+// TestFeedBackpressure pins the mechanism the fleet's global
+// backpressure rides on: a Put into a full feed blocks until the
+// consumer drains, and the stall is counted.
+func TestFeedBackpressure(t *testing.T) {
+	ctx := context.Background()
+	reg := obs.NewRegistry()
+	f := NewFeed[int](1, "bp", reg)
+	if err := f.Put(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+	unblocked := make(chan error, 1)
+	go func() { unblocked <- f.Put(ctx, 2) }()
+	select {
+	case err := <-unblocked:
+		t.Fatalf("Put into a full feed did not block (err=%v)", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v, ok, err := f.Get(ctx); err != nil || !ok || v != 1 {
+		t.Fatalf("Get: v=%d ok=%v err=%v", v, ok, err)
+	}
+	if err := <-unblocked; err != nil {
+		t.Fatalf("blocked Put failed after drain: %v", err)
+	}
+	if got := reg.Counter("bp_put_stalls_total").Value(); got != 1 {
+		t.Fatalf("bp_put_stalls_total = %d, want 1", got)
+	}
+}
+
+func TestFeedPutHonorsContext(t *testing.T) {
+	f := NewFeed[int](1, "", nil)
+	if err := f.Put(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- f.Put(ctx, 2) }()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestFeedCloseSemantics: Close rejects blocked and later Puts but Get
+// still drains everything already accepted before reporting closed.
+func TestFeedCloseSemantics(t *testing.T) {
+	ctx := context.Background()
+	f := NewFeed[int](2, "", nil)
+	f.Put(ctx, 10)
+	f.Put(ctx, 20)
+	blocked := make(chan error, 1)
+	go func() { blocked <- f.Put(ctx, 30) }()
+	time.Sleep(10 * time.Millisecond)
+	f.Close()
+	if err := <-blocked; !errors.Is(err, ErrFeedClosed) {
+		t.Fatalf("blocked Put after Close: err = %v, want ErrFeedClosed", err)
+	}
+	if err := f.Put(ctx, 40); !errors.Is(err, ErrFeedClosed) {
+		t.Fatalf("Put after Close: err = %v", err)
+	}
+	for _, want := range []int{10, 20} {
+		v, ok, err := f.Get(ctx)
+		if err != nil || !ok || v != want {
+			t.Fatalf("drain after Close: v=%d ok=%v err=%v, want %d", v, ok, err, want)
+		}
+	}
+	if _, ok, err := f.Get(ctx); ok || err != nil {
+		t.Fatalf("drained closed feed: ok=%v err=%v, want ok=false err=nil", ok, err)
+	}
+	f.Close() // idempotent
+}
+
+func TestFeedGetHonorsContext(t *testing.T) {
+	f := NewFeed[int](1, "", nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, ok, err := f.Get(ctx); ok || !errors.Is(err, context.Canceled) {
+		t.Fatalf("Get on cancelled ctx: ok=%v err=%v", ok, err)
+	}
+	// Cancelled context still drains a queued item first.
+	f.Put(context.Background(), 7)
+	if v, ok, err := f.Get(ctx); !ok || err != nil || v != 7 {
+		t.Fatalf("cancelled Get with queued item: v=%d ok=%v err=%v", v, ok, err)
+	}
+}
+
+// TestFeedConcurrentAccounting hammers the feed from many producers and
+// one consumer under -race and checks exact item conservation.
+func TestFeedConcurrentAccounting(t *testing.T) {
+	const producers, perProducer = 8, 500
+	ctx := context.Background()
+	reg := obs.NewRegistry()
+	f := NewFeed[int](16, "cc", reg)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				if err := f.Put(ctx, p*perProducer+i); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(p)
+	}
+	go func() { wg.Wait(); f.Close() }()
+	seen := make(map[int]bool)
+	for {
+		v, ok, err := f.Get(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			break
+		}
+		if seen[v] {
+			t.Fatalf("item %d delivered twice", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != producers*perProducer {
+		t.Fatalf("delivered %d items, want %d", len(seen), producers*perProducer)
+	}
+	if puts, gets := reg.Counter("cc_put_total").Value(), reg.Counter("cc_get_total").Value(); puts != gets || puts != producers*perProducer {
+		t.Fatalf("put=%d get=%d, want both %d", puts, gets, producers*perProducer)
+	}
+}

@@ -1,0 +1,68 @@
+#!/bin/sh
+# soak_fleet.sh — crash/recovery soak for the multi-log fleet
+# coordinator.
+#
+# Run 1 stands up four in-process CT logs with disjoint fault profiles
+# (alpha hangs past the client timeout, bravo throws 25% 5xx, charlie
+# carries poisoned entries, delta is clean), crawls them all through
+# internal/fleet with per-log advisory-locked checkpoints, and is
+# SIGTERMed mid-crawl; it must checkpoint every log and exit 0. Run 2
+# restarts against identically rebuilt logs and must finish.
+# soakcheck -fleet then asserts: every log resumed exactly where its
+# checkpoint left it with zero refetch, exact per-log entry accounting
+# across the kill, exact cross-log dedup counts, the poisoned log
+# quarantined exactly its poisoned indices without stalling, the fleet
+# never reported stalled, and the breakers opened and re-closed.
+#
+# Tunables (env): SOAK_ENTRIES, SOAK_KILL_AFTER, SOAK_DIR.
+set -eu
+
+GO=${GO:-go}
+SOAK_ENTRIES=${SOAK_ENTRIES:-1000}
+SOAK_KILL_AFTER=${SOAK_KILL_AFTER:-3.5}
+SOAK_DIR=${SOAK_DIR:-$(mktemp -d /tmp/ctsoakfleet.XXXXXX)}
+
+echo "soak-fleet: workdir $SOAK_DIR"
+$GO build -o "$SOAK_DIR/ctmonitor" ./cmd/ctmonitor
+$GO build -o "$SOAK_DIR/soakcheck" ./cmd/soakcheck
+
+# Each log front end sheds above 10 req/s (burst 2) so the crawl is
+# slow enough for the SIGTERM to land mid-flight on every worker; the
+# per-log breakers trip after 2 consecutive retryable failures. run
+# execs the monitor so that backgrounding `run ... &` makes $! the
+# ctmonitor PID itself; foreground callers wrap it in ( ... ).
+run() {
+    seed=$1
+    out=$2
+    shift 2
+    exec "$SOAK_DIR/ctmonitor" \
+        -logs "alpha:hang,bravo:flaky,charlie:poison,delta:clean" \
+        -entries "$SOAK_ENTRIES" -batch 16 -monitor crt.sh \
+        -checkpoint-dir "$SOAK_DIR/ckpt" \
+        -fault-seed "$seed" \
+        -timeout 300ms -max-retries 6 \
+        -rate-limit 10 -rate-burst 2 \
+        -breaker-threshold 2 -breaker-cooldown 200ms \
+        -stats-json "$@" >"$out" 2>"$out.log"
+}
+
+rm -rf "$SOAK_DIR/ckpt"
+
+echo "soak-fleet: run 1 (SIGTERM after ${SOAK_KILL_AFTER}s)"
+run 7 "$SOAK_DIR/run1.json" &
+pid=$!
+sleep "$SOAK_KILL_AFTER"
+if ! kill -TERM "$pid" 2>/dev/null; then
+    echo "soak-fleet: FAIL: run 1 exited before the SIGTERM landed; raise SOAK_ENTRIES or lower SOAK_KILL_AFTER" >&2
+    exit 1
+fi
+wait "$pid" || {
+    echo "soak-fleet: FAIL: run 1 exited non-zero after SIGTERM (see $SOAK_DIR/run1.json.log)" >&2
+    exit 1
+}
+
+echo "soak-fleet: run 2 (resume all logs from checkpoints)"
+( run 8 "$SOAK_DIR/run2.json" )
+
+"$SOAK_DIR/soakcheck" -fleet "$SOAK_DIR/run1.json" "$SOAK_DIR/run2.json"
+echo "soak-fleet: OK (artifacts in $SOAK_DIR)"
