@@ -11,13 +11,17 @@ RACE_PKGS := ./internal/ctlog/... ./internal/monitor/... ./internal/faultinject/
 # paper's dataset). Lower it for quick local runs:
 #   make bench BENCH_E2E_SIZE=3480
 BENCH_E2E_SIZE ?= 34800
-# Free-form note recorded in BENCH_4.json (hardware caveats etc.).
+# Free-form note recorded in BENCH_5.json (hardware caveats etc.).
 BENCH_NOTE ?=
+# Interleaved bench rounds: the whole suite runs BENCH_ROUNDS times
+# (round-robin, not back-to-back -count repeats) so benchjson's medians
+# and min/max spread reflect cross-round noise, not warm-cache luck.
+BENCH_ROUNDS ?= 3
 
 # Address the smoke-metrics crawl serves its /metrics endpoint on.
 SMOKE_METRICS_ADDR ?= 127.0.0.1:19321
 
-.PHONY: build vet test race check bench smoke-metrics soak soak-fleet
+.PHONY: build vet test race check bench profile allocguard smoke-metrics soak soak-fleet
 build:
 	$(GO) build ./...
 
@@ -30,20 +34,37 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-check: build vet test race smoke-metrics soak-fleet
+check: build vet test race allocguard smoke-metrics soak-fleet
 
 # bench runs the end-to-end pipeline benchmarks (1 iteration each at
-# paper scale), the per-stage generate/lint benchmarks, the registry
-# allocation guard, and the fleet-crawl throughput benchmark, then
-# records everything — including the obs histogram snapshots the E2E
-# benchmarks print and the fleet entries/s rate — in BENCH_4.json.
+# paper scale), the streaming slot-recycling variant, the per-stage
+# generate/lint benchmarks, the registry allocation guard, and the
+# fleet-crawl throughput benchmark — BENCH_ROUNDS interleaved times —
+# then records medians, min/max spread, derived per-cert allocation
+# costs, the obs histogram snapshots, and a delta table against the
+# previous BENCH_*.json in BENCH_5.json.
 bench:
-	{ BENCH_E2E_SIZE=$(BENCH_E2E_SIZE) $(GO) test -run '^$$' \
-		-bench 'MeasureCorpusE2E|PipelineGenerateOnly|PipelineLintOnly' \
+	{ for r in $$(seq 1 $(BENCH_ROUNDS)); do \
+	    BENCH_E2E_SIZE=$(BENCH_E2E_SIZE) $(GO) test -run '^$$' \
+		-bench 'MeasureCorpusE2E|MeasureCorpusStreamE2E|PipelineGenerateOnly|PipelineLintOnly' \
 		-benchtime 1x -benchmem . ; \
-	  $(GO) test -run '^$$' -bench 'RegistryRun' -benchmem ./internal/lint ; \
-	  $(GO) test -run '^$$' -bench 'FleetCrawl' -benchtime 5x ./internal/fleet ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_4.json -note "$(BENCH_NOTE)"
+	    $(GO) test -run '^$$' -bench 'RegistryRun' -benchmem ./internal/lint ; \
+	    $(GO) test -run '^$$' -bench 'FleetCrawl' -benchtime 5x ./internal/fleet ; \
+	  done ; } \
+	| $(GO) run ./cmd/benchjson -o BENCH_5.json -note "$(BENCH_NOTE)"
+
+# profile captures CPU + heap (alloc_space) pprof profiles from a live
+# paper-scale ctscan run via the internal/obs pprof handler; artifacts
+# land in profiles/ (see profiles/README.md).
+profile:
+	./scripts/profile.sh
+
+# allocguard enforces the per-cert allocation budgets in
+# scripts/alloc_budgets.txt against the committed BENCH_5.json — a
+# fast read-only check that fails `make check` when a recorded budget
+# regresses.
+allocguard:
+	./scripts/allocguard.sh
 
 # smoke-metrics boots a faulted ctmonitor crawl with a live metrics
 # endpoint, scrapes /metrics, and asserts the crawl and client

@@ -459,6 +459,42 @@ func BenchmarkMeasureCorpusE2E8(b *testing.B) { benchMeasureE2E(b, 8) }
 // BenchmarkMeasureCorpusE2ENumCPU measures the default sizing.
 func BenchmarkMeasureCorpusE2ENumCPU(b *testing.B) { benchMeasureE2E(b, 0) }
 
+// BenchmarkMeasureCorpusStreamE2E8 measures the slot-recycling
+// streaming pipeline at 8 workers: same generate→lint work as
+// MeasureCorpusE2E8, but slots are folded and released instead of
+// retained, so steady-state memory is O(workers) and Entry/Certificate
+// structs recycle batch-wise. The fold mirrors a realistic consumer by
+// tallying per-status finding counts.
+func BenchmarkMeasureCorpusStreamE2E8(b *testing.B) {
+	cfg := corpus.DefaultConfig()
+	cfg.Size = benchE2ESize(b)
+	certs := 0
+	var failed int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := pipeline.MeasureStream(context.Background(), cfg, lint.Global, lint.Options{},
+			pipeline.Config{Workers: 8},
+			func(_ int, s *corpus.Slot, results []*lint.CertResult) error {
+				certs += len(s.Entries)
+				for _, r := range results {
+					if r != nil && r.Noncompliant() {
+						failed++
+					}
+				}
+				return nil
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(certs)/secs, "certs/s")
+	}
+	_ = failed
+}
+
 // BenchmarkPipelineGenerateOnly isolates the generation stage (build,
 // sign, parse) at the shared bench scale.
 func BenchmarkPipelineGenerateOnly(b *testing.B) {

@@ -1,0 +1,76 @@
+package asn1der
+
+import (
+	"testing"
+
+	"repro/internal/raceflag"
+)
+
+// allocGuard fails the test when fn exceeds its allocation budget.
+// Budgets are deliberately a little above the measured steady state so
+// routine churn doesn't flake, but a lost pooling or arena path (the
+// kind of regression that re-inflates per-cert allocations) trips
+// immediately.
+func allocGuard(t *testing.T, budget float64, fn func()) {
+	t.Helper()
+	if raceflag.Enabled {
+		t.Skip("allocation accounting is skewed under -race")
+	}
+	got := testing.AllocsPerRun(200, fn)
+	t.Logf("%.1f allocs/op (budget %.0f)", got, budget)
+	if got > budget {
+		t.Errorf("%.1f allocs/op exceeds budget of %.0f", got, budget)
+	}
+}
+
+// TestAllocBudgetBuilderRoundTrip covers the pooled-builder encode path
+// plus the arena-backed parse of the result — the exact shape of the
+// per-certificate hot loop.
+func TestAllocBudgetBuilderRoundTrip(t *testing.T) {
+	oid := MustOID("2.5.4.3")
+	allocGuard(t, 4, func() {
+		b := AcquireBuilder()
+		b.AddSequence(func(b *Builder) {
+			b.AddOID(oid)
+			b.AddInt(42)
+			b.AddStringRaw(TagUTF8String, []byte("r\xc3\xa9pro.example"))
+			b.AddSet(func(b *Builder) {
+				b.AddSequence(func(b *Builder) {
+					b.AddOID(oid)
+					b.AddStringRaw(TagPrintableString, []byte("Test CA"))
+				})
+			})
+		})
+		der, err := b.Bytes()
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := AcquireArena()
+		if _, err := NewDecoder(StrictDER).WithArena(a).Parse(der); err != nil {
+			t.Fatal(err)
+		}
+		ReleaseArena(a)
+		ReleaseBuilder(b)
+	})
+}
+
+// TestAllocBudgetOIDDecode pins the interned OID decode at zero
+// steady-state allocations.
+func TestAllocBudgetOIDDecode(t *testing.T) {
+	b := AcquireBuilder()
+	b.AddOID(MustOID("2.5.4.10"))
+	der, err := b.Bytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := NewDecoder(StrictDER).Parse(der)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ReleaseBuilder(b)
+	allocGuard(t, 0, func() {
+		if _, err := v.OID(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

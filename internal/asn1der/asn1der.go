@@ -173,11 +173,20 @@ const (
 
 // Decoder walks a DER byte stream.
 type Decoder struct {
-	mode Mode
+	mode  Mode
+	arena *Arena
 }
 
 // NewDecoder returns a decoder in the given mode.
 func NewDecoder(mode Mode) *Decoder { return &Decoder{mode: mode} }
+
+// WithArena makes the decoder carve Value nodes and child slices out of
+// a instead of the heap. See the Arena lifecycle contract: everything a
+// subsequent Parse returns is invalidated by a.Reset().
+func (d *Decoder) WithArena(a *Arena) *Decoder {
+	d.arena = a
+	return d
+}
 
 // Parse decodes exactly one value spanning all of data.
 func (d *Decoder) Parse(data []byte) (*Value, error) {
@@ -239,8 +248,22 @@ func (d *Decoder) parseValue(data []byte, base, depth int) (*Value, []byte, erro
 		return nil, nil, syntaxErr(base+idx, "length %d exceeds remaining %d bytes", length, len(data)-idx)
 	}
 	content := data[idx : idx+length]
-	v := &Value{Tag: tag, Raw: data[:idx+length]}
+	var v *Value
+	if d.arena != nil {
+		v = d.arena.newValue()
+		v.Tag, v.Raw = tag, data[:idx+length]
+	} else {
+		v = &Value{Tag: tag, Raw: data[:idx+length]}
+	}
 	if tag.Constructed {
+		if d.arena != nil {
+			// Pre-count the children by scanning TLV headers so the
+			// child slice can be carved at its exact size. The count is
+			// best-effort: on malformed input the real recursive parse
+			// below reports the error, and append past the carved
+			// capacity falls back to the heap.
+			v.Children = d.arena.newChildren(countTLVs(content))
+		}
 		rest := content
 		off := base + idx
 		for len(rest) > 0 {
@@ -256,6 +279,45 @@ func (d *Decoder) parseValue(data []byte, base, depth int) (*Value, []byte, erro
 		v.Bytes = content
 	}
 	return v, data[idx+length:], nil
+}
+
+// countTLVs scans the TLV headers in data and returns how many sibling
+// values it holds. It never recurses and stops counting at the first
+// structural inconsistency, leaving error reporting to the real parse.
+func countTLVs(data []byte) int {
+	n := 0
+	for len(data) > 0 {
+		idx := 1
+		if data[0]&0x1F == 0x1F {
+			for idx < len(data) && data[idx]&0x80 != 0 {
+				idx++
+			}
+			idx++ // final (or missing) high-tag octet
+		}
+		if idx >= len(data) {
+			return n + 1
+		}
+		b := data[idx]
+		idx++
+		length := int(b)
+		if b >= 0x80 {
+			ll := int(b & 0x7F)
+			if ll == 0 || ll > 4 || idx+ll > len(data) {
+				return n + 1
+			}
+			length = 0
+			for i := 0; i < ll; i++ {
+				length = length<<8 | int(data[idx+i])
+			}
+			idx += ll
+		}
+		if length < 0 || length > len(data)-idx {
+			return n + 1
+		}
+		data = data[idx+length:]
+		n++
+	}
+	return n
 }
 
 func (d *Decoder) parseLength(data []byte, idx, base int) (int, int, error) {

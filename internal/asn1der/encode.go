@@ -134,8 +134,8 @@ func (b *Builder) AddSet(fn func(*Builder)) {
 		b.fail("%v", child.err)
 		return
 	}
-	// sortSetElements copies into a fresh slice, so releasing child
-	// afterwards is safe.
+	// sorted may alias child.buf (single-element fast path), so it must
+	// be appended into b.buf before the deferred ReleaseBuilder runs.
 	sorted, err := sortSetElements(child.buf)
 	if err != nil {
 		b.fail("%v", err)
@@ -147,16 +147,26 @@ func (b *Builder) AddSet(fn func(*Builder)) {
 }
 
 func sortSetElements(buf []byte) ([]byte, error) {
-	var elems [][]byte
 	d := NewDecoder(StrictDER)
-	rest := buf
+	// The elements come from a child Builder and are well-formed by
+	// construction, so splitting on TLV headers (without materializing
+	// parse nodes) is enough to find the sort boundaries.
+	first, rest, err := d.splitTLV(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) == 0 {
+		// Single-element SET (the common RDN case): already sorted.
+		return buf, nil
+	}
+	elems := [][]byte{first}
 	for len(rest) > 0 {
-		v, r, err := d.parseValue(rest, 0, 0)
+		var e []byte
+		e, rest, err = d.splitTLV(rest)
 		if err != nil {
 			return nil, err
 		}
-		elems = append(elems, v.Raw)
-		rest = r
+		elems = append(elems, e)
 	}
 	sort.Slice(elems, func(i, j int) bool {
 		a, b := elems[i], elems[j]
@@ -172,6 +182,32 @@ func sortSetElements(buf []byte) ([]byte, error) {
 		out = append(out, e...)
 	}
 	return out, nil
+}
+
+// splitTLV returns the first complete TLV in data and the remainder,
+// validating only the identifier and length octets.
+func (d *Decoder) splitTLV(data []byte) ([]byte, []byte, error) {
+	if len(data) == 0 {
+		return nil, nil, syntaxErr(0, "truncated: missing identifier octet")
+	}
+	idx := 1
+	if data[0]&0x1F == 0x1F {
+		for idx < len(data) && data[idx]&0x80 != 0 {
+			idx++
+		}
+		if idx >= len(data) {
+			return nil, nil, syntaxErr(idx, "truncated high tag number")
+		}
+		idx++
+	}
+	length, idx, err := d.parseLength(data, idx, 0)
+	if err != nil {
+		return nil, nil, err
+	}
+	if length < 0 || length > len(data)-idx {
+		return nil, nil, syntaxErr(idx, "length %d exceeds remaining %d bytes", length, len(data)-idx)
+	}
+	return data[:idx+length], data[idx+length:], nil
 }
 
 // AddExplicit wraps fn's output in a context-specific constructed tag.

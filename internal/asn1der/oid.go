@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+
+	"repro/internal/intern"
 )
 
 // OID is an ASN.1 OBJECT IDENTIFIER as a sequence of arcs.
@@ -61,7 +63,11 @@ func MustOID(s string) OID {
 
 // AddOID appends an OBJECT IDENTIFIER value.
 func (b *Builder) AddOID(o OID) {
-	content, err := encodeOID(o)
+	// X.509 OIDs encode to well under 32 bytes, so the content is
+	// normally assembled on the stack; appendOID spills to the heap only
+	// for outsized inputs.
+	var tmp [32]byte
+	content, err := appendOID(tmp[:0], o)
 	if err != nil {
 		b.fail("%v", err)
 		return
@@ -69,14 +75,14 @@ func (b *Builder) AddOID(o OID) {
 	b.AddTLV(Tag{Class: ClassUniversal, Number: TagOID}, content)
 }
 
-func encodeOID(o OID) ([]byte, error) {
+func appendOID(dst []byte, o OID) ([]byte, error) {
 	if len(o) < 2 {
 		return nil, errors.New("asn1der: OID needs at least two arcs")
 	}
 	if o[0] > 2 || (o[0] < 2 && o[1] >= 40) {
 		return nil, fmt.Errorf("asn1der: invalid leading arcs %d.%d", o[0], o[1])
 	}
-	out := appendBase128(nil, uint64(o[0])*40+uint64(o[1]))
+	out := appendBase128(dst, uint64(o[0])*40+uint64(o[1]))
 	for _, arc := range o[2:] {
 		out = appendBase128(out, uint64(arc))
 	}
@@ -97,7 +103,17 @@ func appendBase128(buf []byte, n uint64) []byte {
 	return append(buf, tmp[i:]...)
 }
 
-// OID decodes an OBJECT IDENTIFIER content.
+// oidCache memoizes decoded OIDs by their encoded content octets.
+// Certificates repeat a few dozen OIDs (attribute types, extension
+// IDs, algorithm identifiers) endlessly, so the steady state returns a
+// shared arc slice instead of allocating one per decode. Cached OIDs
+// are shared across callers and must be treated as read-only; every
+// consumer only compares or formats them.
+var oidCache = intern.New[OID](1024)
+
+// OID decodes an OBJECT IDENTIFIER content. The returned arc slice may
+// be shared with other decodes of the same bytes and must not be
+// mutated.
 func (v *Value) OID() (OID, error) {
 	if _, err := v.Expect(ClassUniversal, TagOID); err != nil {
 		return nil, err
@@ -106,6 +122,20 @@ func (v *Value) OID() (OID, error) {
 	if len(b) == 0 {
 		return nil, errors.New("asn1der: empty OID")
 	}
+	if len(b) <= 64 {
+		if o, ok := oidCache.Get(0, b); ok {
+			return o, nil
+		}
+		o, err := decodeOID(b)
+		if err == nil {
+			oidCache.Put(0, b, o)
+		}
+		return o, err
+	}
+	return decodeOID(b)
+}
+
+func decodeOID(b []byte) (OID, error) {
 	var arcs []uint64
 	var cur uint64
 	started := false

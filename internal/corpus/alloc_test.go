@@ -1,0 +1,42 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/raceflag"
+)
+
+// TestAllocBudgetGenerateSlot pins the steady-state allocation cost of
+// generating (and recycling) one corpus slot — key derivation, DER
+// build, signing, and the strict re-parse included. The budget reflects
+// pooled builders, arenas, RNGs, entries, and certificates; losing any
+// of those pools roughly doubles it.
+func TestAllocBudgetGenerateSlot(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation accounting is skewed under -race")
+	}
+	gen, err := NewGenerator(Config{Size: 64, Seed: 11, PrecertFraction: 0.1, VariantFraction: 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the pools and pick a representative slot.
+	for i := 0; i < gen.Slots(); i++ {
+		s, err := gen.GenerateSlot(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ReleaseSlot(s)
+	}
+	const budget = 110.0
+	got := testing.AllocsPerRun(100, func() {
+		s, err := gen.GenerateSlot(7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ReleaseSlot(s)
+	})
+	t.Logf("%.1f allocs/slot (budget %.0f)", got, budget)
+	if got > budget {
+		t.Errorf("%.1f allocs per generated slot exceeds budget of %.0f", got, budget)
+	}
+}

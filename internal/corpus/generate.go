@@ -6,12 +6,45 @@ import (
 	"math/rand"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/idna"
 	"repro/internal/uni"
 	"repro/internal/x509cert"
 )
+
+// rngPool recycles math/rand generators across slots; each use must
+// Seed before drawing. The underlying rngSource is ~5KB, which
+// dominated per-slot allocation before pooling.
+var rngPool = sync.Pool{New: func() any { return rand.New(rand.NewSource(0)) }}
+
+// entryPool recycles Entry structs. Entries flow back in only through
+// ReleaseSlot, so retained-corpus callers just allocate fresh structs.
+var entryPool = sync.Pool{New: func() any { return new(Entry) }}
+
+// ReleaseSlot returns a slot's entries (and their certificates) to the
+// generation pools. Only streaming consumers that have finished with
+// every entry, certificate, DER slice, and memoized view derived from
+// the slot may call it; afterwards all of those belong to future slots.
+func ReleaseSlot(s *Slot) {
+	if s == nil {
+		return
+	}
+	release := func(e *Entry) {
+		if e == nil {
+			return
+		}
+		x509cert.ReleaseCertificate(e.Cert)
+		*e = Entry{}
+		entryPool.Put(e)
+	}
+	for _, e := range s.Entries {
+		release(e)
+	}
+	release(s.Precert)
+	s.Entries, s.Precert = nil, nil
+}
 
 // CertClass is the paper's Unicert taxonomy (§2.3).
 type CertClass int
@@ -193,7 +226,13 @@ func (g *Generator) Slots() int { return g.cfg.Size }
 // concurrent use with other slot indices.
 func (g *Generator) GenerateSlot(i int) (*Slot, error) {
 	cfg := g.cfg
-	rng := rand.New(rand.NewSource(slotSeed(cfg.Seed, i)))
+	// Recycle rand.Rand instances across slots: Seed re-seeds in place,
+	// so the draw sequence is byte-identical to a freshly constructed
+	// source (EXPERIMENTS.md golden numbers depend on it) without the
+	// ~5KB rngSource allocation per slot.
+	rng := rngPool.Get().(*rand.Rand)
+	defer rngPool.Put(rng)
+	rng.Seed(slotSeed(cfg.Seed, i))
 	// Fixed per-slot draw order: issuer, year, precert, variant, then
 	// the content draws consumed inside generateOne/generateVariant.
 	pi := g.pick(rng)
@@ -396,15 +435,17 @@ func generateOne(rng *rand.Rand, p IssuerProfile, caKey, leafKey *x509cert.KeyPa
 	if err != nil {
 		return nil, err
 	}
-	cert, err := x509cert.Parse(der)
+	cert, err := x509cert.ParseLint(der, x509cert.ParseStrict)
 	if err != nil {
 		return nil, err
 	}
-	return &Entry{
+	e := entryPool.Get().(*Entry)
+	*e = Entry{
 		DER: der, Cert: cert, IssuerOrg: p.Organization, Trust: p.Trust,
 		TrustedThen: p.Trust == TrustPublic || p.TrustedAtIssuance,
 		Region:      p.Region, Year: year, Class: class, Mutation: mutation,
-	}, nil
+	}
+	return e, nil
 }
 
 func generatePrecert(p IssuerProfile, caKey, leafKey *x509cert.KeyPair, base *Entry, serial int64) (*Entry, error) {
@@ -421,15 +462,17 @@ func generatePrecert(p IssuerProfile, caKey, leafKey *x509cert.KeyPair, base *En
 	if err != nil {
 		return nil, err
 	}
-	cert, err := x509cert.Parse(der)
+	cert, err := x509cert.ParseLint(der, x509cert.ParseStrict)
 	if err != nil {
 		return nil, err
 	}
-	return &Entry{
+	e := entryPool.Get().(*Entry)
+	*e = Entry{
 		DER: der, Cert: cert, IssuerOrg: p.Organization, Trust: p.Trust,
 		TrustedThen: p.Trust == TrustPublic || p.TrustedAtIssuance,
 		Region:      p.Region, Year: base.Year, Class: base.Class, Precert: true,
-	}, nil
+	}
+	return e, nil
 }
 
 func sampleOrgText(rng *rand.Rand, p IssuerProfile, class CertClass) string {
@@ -464,7 +507,7 @@ func regionCode(region string) string {
 // content: non-printable-ASCII anywhere, or IDN labels in
 // DNSName-related fields.
 func IsUnicert(c *x509cert.Certificate) bool {
-	for _, atv := range append(c.Subject.Attributes(), c.Issuer.Attributes()...) {
+	for _, atv := range c.AllAttributes() {
 		if uni.HasNonPrintableASCII(atv.Value.MustDecode()) {
 			return true
 		}

@@ -126,15 +126,17 @@ func generateVariant(rng *rand.Rand, p IssuerProfile, caKey, leafKey *x509cert.K
 	if err != nil {
 		return nil, err
 	}
-	cert, err := x509cert.Parse(der)
+	cert, err := x509cert.ParseLint(der, x509cert.ParseStrict)
 	if err != nil {
 		return nil, err
 	}
-	return &Entry{
+	e := entryPool.Get().(*Entry)
+	*e = Entry{
 		DER: der, Cert: cert, IssuerOrg: p.Organization, Trust: p.Trust,
 		TrustedThen: p.Trust == TrustPublic || p.TrustedAtIssuance,
 		Region:      p.Region, Year: base.Year, Class: ClassOtherUnicert, Variant: strat,
-	}, nil
+	}
+	return e, nil
 }
 
 // DetectVariantStrategy classifies how two subject values differ,

@@ -1,0 +1,188 @@
+// Package intern provides small fixed-size, lock-free intern tables
+// for the measurement hot path. The corpus repeats the same byte
+// strings millions of times — issuer DNs, organization names, domain
+// labels, algorithm identifiers — and every lint that decodes or
+// normalizes one of them used to pay a fresh allocation. A Table
+// memoizes a pure function of those bytes so the steady state is a
+// hash probe and zero allocations.
+//
+// Design constraints (see DESIGN.md "Memory discipline"):
+//
+//   - Fixed capacity, set at construction, never grown: memory is
+//     bounded to capacity × (entry header + stored key + stored value)
+//     no matter how hostile the input distribution is.
+//   - No locks anywhere. Lookups are atomic pointer loads; inserts are
+//     a single compare-and-swap. A lost CAS race simply discards the
+//     duplicate entry.
+//   - No eviction. When the probe window is full the table computes
+//     without caching — a miss costs exactly what the uncached code
+//     path cost before interning existed.
+package intern
+
+import (
+	"sync/atomic"
+)
+
+// probeWindow bounds the linear probe so a full table degrades to
+// compute-without-caching instead of a long scan.
+const probeWindow = 8
+
+// entry is one interned key→value binding. key is a private copy of
+// the caller's bytes; aux discriminates variants of the same bytes
+// (e.g. string tag or decode method) so one table serves them all.
+type entry[V any] struct {
+	key string
+	aux uint32
+	val V
+}
+
+// Table memoizes a pure function of (aux, bytes) → V. The zero value
+// is not usable; construct with New.
+type Table[V any] struct {
+	slots []atomic.Pointer[entry[V]]
+	mask  uint64
+}
+
+// New returns a table with the given capacity rounded up to a power of
+// two. Capacity is a hard bound: the table never grows.
+func New[V any](capacity int) *Table[V] {
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &Table[V]{slots: make([]atomic.Pointer[entry[V]], n), mask: uint64(n - 1)}
+}
+
+// fnv1a hashes aux and b without allocating.
+func fnv1a(aux uint32, b []byte) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 4; i++ {
+		h ^= uint64(byte(aux >> (8 * i)))
+		h *= prime64
+	}
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// fnv1aString mirrors fnv1a for string keys so byte-keyed and
+// string-keyed accesses to one table agree on slot placement.
+func fnv1aString(aux uint32, s string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < 4; i++ {
+		h ^= uint64(byte(aux >> (8 * i)))
+		h *= prime64
+	}
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Get returns the cached value for (aux, key) if present. The lookup
+// performs no allocation.
+func (t *Table[V]) Get(aux uint32, key []byte) (V, bool) {
+	h := fnv1a(aux, key)
+	for i := uint64(0); i < probeWindow; i++ {
+		e := t.slots[(h+i)&t.mask].Load()
+		if e == nil {
+			break
+		}
+		if e.aux == aux && e.key == string(key) {
+			return e.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// Put caches val for (aux, key) if a slot inside the probe window is
+// free. The key bytes are copied; the caller keeps ownership of key.
+// When the window is full the value is silently not cached — the table
+// trades hit rate for a hard memory bound.
+func (t *Table[V]) Put(aux uint32, key []byte, val V) {
+	h := fnv1a(aux, key)
+	for i := uint64(0); i < probeWindow; i++ {
+		slot := &t.slots[(h+i)&t.mask]
+		e := slot.Load()
+		if e == nil {
+			// string(key) copies, so the entry never aliases caller
+			// memory. A lost race leaves the winner's entry in place.
+			slot.CompareAndSwap(nil, &entry[V]{key: string(key), aux: aux, val: val})
+			return
+		}
+		if e.aux == aux && e.key == string(key) {
+			return // already interned by a racing goroutine
+		}
+	}
+}
+
+// GetOrCompute returns the cached value for (aux, key), computing and
+// caching it on a miss. compute must be a pure function of its inputs:
+// the table may return a value computed by any goroutine for the same
+// key.
+func (t *Table[V]) GetOrCompute(aux uint32, key []byte, compute func() V) V {
+	if v, ok := t.Get(aux, key); ok {
+		return v
+	}
+	v := compute()
+	t.Put(aux, key, v)
+	return v
+}
+
+// GetString is Get with a string key; no conversion or allocation.
+func (t *Table[V]) GetString(aux uint32, key string) (V, bool) {
+	h := fnv1aString(aux, key)
+	for i := uint64(0); i < probeWindow; i++ {
+		e := t.slots[(h+i)&t.mask].Load()
+		if e == nil {
+			break
+		}
+		if e.aux == aux && e.key == key {
+			return e.val, true
+		}
+	}
+	var zero V
+	return zero, false
+}
+
+// PutString is Put with a string key.
+func (t *Table[V]) PutString(aux uint32, key string, val V) {
+	h := fnv1aString(aux, key)
+	for i := uint64(0); i < probeWindow; i++ {
+		slot := &t.slots[(h+i)&t.mask]
+		e := slot.Load()
+		if e == nil {
+			slot.CompareAndSwap(nil, &entry[V]{key: key, aux: aux, val: val})
+			return
+		}
+		if e.aux == aux && e.key == key {
+			return
+		}
+	}
+}
+
+// Len counts the occupied slots (for tests and introspection; O(n)).
+func (t *Table[V]) Len() int {
+	n := 0
+	for i := range t.slots {
+		if t.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Cap returns the slot capacity.
+func (t *Table[V]) Cap() int { return len(t.slots) }

@@ -1,0 +1,113 @@
+package intern
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestGetPut(t *testing.T) {
+	tb := New[string](64)
+	if _, ok := tb.Get(0, []byte("a")); ok {
+		t.Fatal("empty table reported a hit")
+	}
+	tb.Put(0, []byte("a"), "A")
+	if v, ok := tb.Get(0, []byte("a")); !ok || v != "A" {
+		t.Fatalf("Get = %q, %v; want A, true", v, ok)
+	}
+	// Same bytes, different aux must be a distinct entry.
+	if _, ok := tb.Get(1, []byte("a")); ok {
+		t.Fatal("aux discriminator ignored")
+	}
+	tb.Put(1, []byte("a"), "B")
+	if v, _ := tb.Get(1, []byte("a")); v != "B" {
+		t.Fatalf("aux=1 entry = %q, want B", v)
+	}
+	if v, _ := tb.Get(0, []byte("a")); v != "A" {
+		t.Fatalf("aux=0 entry clobbered: %q", v)
+	}
+}
+
+func TestKeyIsCopied(t *testing.T) {
+	tb := New[string](8)
+	key := []byte("mutate-me")
+	tb.Put(0, key, "v")
+	key[0] = 'X'
+	if _, ok := tb.Get(0, []byte("mutate-me")); !ok {
+		t.Fatal("table aliased the caller's key bytes")
+	}
+	if _, ok := tb.Get(0, key); ok {
+		t.Fatal("mutated key should miss")
+	}
+}
+
+func TestGetOrCompute(t *testing.T) {
+	tb := New[int](64)
+	calls := 0
+	f := func() int { calls++; return 42 }
+	if v := tb.GetOrCompute(7, []byte("k"), f); v != 42 {
+		t.Fatalf("computed %d", v)
+	}
+	if v := tb.GetOrCompute(7, []byte("k"), f); v != 42 {
+		t.Fatalf("cached %d", v)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+}
+
+// TestBoundedCapacity fills far past capacity and checks the table
+// neither grows nor fails — overflow keys just aren't cached.
+func TestBoundedCapacity(t *testing.T) {
+	tb := New[int](16)
+	for i := 0; i < 1000; i++ {
+		k := []byte(fmt.Sprintf("key-%d", i))
+		if got := tb.GetOrCompute(0, k, func() int { return i }); got != i {
+			t.Fatalf("GetOrCompute(%d) = %d", i, got)
+		}
+	}
+	if n, c := tb.Len(), tb.Cap(); n > c {
+		t.Fatalf("table overgrew: len %d > cap %d", n, c)
+	}
+	if tb.Cap() != 16 {
+		t.Fatalf("capacity changed: %d", tb.Cap())
+	}
+}
+
+// TestConcurrent hammers one table from many goroutines; run with
+// -race in make check.
+func TestConcurrent(t *testing.T) {
+	tb := New[string](256)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := []byte(fmt.Sprintf("key-%d", i%100))
+				want := fmt.Sprintf("val-%d", i%100)
+				got := tb.GetOrCompute(uint32(i%3), k, func() string { return want })
+				if got != want {
+					t.Errorf("worker %d: got %q want %q", w, got, want)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestGetAllocs pins the zero-allocation contract of the hit path.
+func TestGetAllocs(t *testing.T) {
+	tb := New[string](64)
+	key := []byte("steady-state")
+	tb.Put(3, key, "hit")
+	allocs := testing.AllocsPerRun(200, func() {
+		if _, ok := tb.Get(3, key); !ok {
+			t.Fatal("miss")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("Get allocated %v times per run, want 0", allocs)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/asn1der"
+	"repro/internal/intern"
 	"repro/internal/lint"
 	"repro/internal/strenc"
 	"repro/internal/x509cert"
@@ -31,37 +32,25 @@ func register(l *lint.Lint) { lint.Global.Register(l) }
 // dnAttr visits every ATV of the DN.
 func dnAttrs(dn x509cert.DN) []x509cert.ATV { return dn.Attributes() }
 
-// attrsOf returns the ATVs of the given type in the DN.
-func attrsOf(dn x509cert.DN, oid asn1der.OID) []x509cert.ATV {
-	var out []x509cert.ATV
-	for _, atv := range dn.Attributes() {
-		if atv.Type.Equal(oid) {
-			out = append(out, atv)
+func hasAttr(dn x509cert.DN, oid asn1der.OID) bool {
+	for _, rdn := range dn {
+		for _, atv := range rdn {
+			if atv.Type.Equal(oid) {
+				return true
+			}
 		}
 	}
-	return out
+	return false
 }
-
-func hasAttr(dn x509cert.DN, oid asn1der.OID) bool { return len(attrsOf(dn, oid)) > 0 }
 
 // decodedOrRaw decodes an attribute value with replacement handling so
 // character checks can still inspect undecodable content.
 func decoded(atv x509cert.ATV) string { return atv.Value.MustDecode() }
 
-// dnsNameGNs returns the DNSName GeneralNames across SAN and IAN.
+// dnsNameGNs returns the DNSName GeneralNames across SAN and IAN,
+// memoized on the certificate.
 func dnsNameGNs(c *x509cert.Certificate) []x509cert.GeneralName {
-	var out []x509cert.GeneralName
-	for _, gn := range c.SAN {
-		if gn.Kind == x509cert.GNDNSName {
-			out = append(out, gn)
-		}
-	}
-	for _, gn := range c.IAN {
-		if gn.Kind == x509cert.GNDNSName {
-			out = append(out, gn)
-		}
-	}
-	return out
+	return c.DNSNameGNs()
 }
 
 // hasSAN reports whether the certificate carries a SubjectAltName.
@@ -99,8 +88,22 @@ func appliesToSubjectDN(c *x509cert.Certificate) bool { return !c.Subject.Empty(
 
 func appliesToIssuerDN(c *x509cert.Certificate) bool { return !c.Issuer.Empty() }
 
+// splitCache memoizes splitDomain. The corpus reuses a small pool of
+// SAN names and a dozen lints re-split each one per certificate, so the
+// steady state is a table hit. Cached slices are shared across callers
+// and MUST be treated as read-only; every caller only ranges over them.
+var splitCache = intern.New[[]string](4096)
+
 // splitDomain lowers and splits a dns name into labels, dropping a
-// trailing root dot.
+// trailing root dot. The returned slice is shared and read-only.
 func splitDomain(name string) []string {
-	return strings.Split(strings.TrimSuffix(strings.ToLower(name), "."), ".")
+	if len(name) > 256 {
+		return strings.Split(strings.TrimSuffix(strings.ToLower(name), "."), ".")
+	}
+	if v, ok := splitCache.GetString(0, name); ok {
+		return v
+	}
+	v := strings.Split(strings.TrimSuffix(strings.ToLower(name), "."), ".")
+	splitCache.PutString(0, name, v)
+	return v
 }

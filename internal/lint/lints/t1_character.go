@@ -127,8 +127,7 @@ func init() {
 		EffectiveDate: dateCABF,
 		CheckApplies:  func(c *x509cert.Certificate) bool { return len(dnsNameGNs(c)) > 0 },
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, gn := range dnsNameGNs(c) {
-				name := gn.MustText()
+			for _, name := range c.DNSNameTexts() {
 				for _, r := range name {
 					if r == '*' {
 						continue
@@ -152,8 +151,8 @@ func init() {
 		EffectiveDate: dateIDNA,
 		CheckApplies:  hasIDNLabel,
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, gn := range dnsNameGNs(c) {
-				for _, label := range splitDomain(gn.MustText()) {
+			for _, labels := range c.DNSNameLabels() {
+				for _, label := range labels {
 					if !strings.HasPrefix(label, punycode.ACEPrefix) {
 						continue
 					}
@@ -178,8 +177,8 @@ func init() {
 		EffectiveDate: dateIDNA,
 		CheckApplies:  hasIDNLabel,
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, gn := range dnsNameGNs(c) {
-				for _, label := range splitDomain(gn.MustText()) {
+			for _, labels := range c.DNSNameLabels() {
+				for _, label := range labels {
 					if !strings.HasPrefix(label, punycode.ACEPrefix) {
 						continue
 					}
@@ -343,7 +342,7 @@ func init() {
 		Taxonomy:      lint.T1InvalidCharacter,
 		EffectiveDate: dateRFC3280,
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, atv := range append(dnAttrs(c.Subject), dnAttrs(c.Issuer)...) {
+			for _, atv := range c.AllAttributes() {
 				if atv.Value.Tag != asn1der.TagNumericString {
 					continue
 				}
@@ -364,7 +363,7 @@ func init() {
 		Taxonomy:      lint.T1InvalidCharacter,
 		EffectiveDate: dateRFC3280,
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, atv := range append(dnAttrs(c.Subject), dnAttrs(c.Issuer)...) {
+			for _, atv := range c.AllAttributes() {
 				if atv.Value.Tag != asn1der.TagIA5String {
 					continue
 				}
@@ -388,7 +387,7 @@ func init() {
 		New:           true,
 		EffectiveDate: dateRFC5280,
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, atv := range append(dnAttrs(c.Subject), dnAttrs(c.Issuer)...) {
+			for _, atv := range c.AllAttributes() {
 				if atv.Value.Tag != asn1der.TagUTF8String {
 					continue
 				}
@@ -412,7 +411,7 @@ func init() {
 		New:           true,
 		EffectiveDate: dateRFC5280,
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, atv := range append(dnAttrs(c.Subject), dnAttrs(c.Issuer)...) {
+			for _, atv := range c.AllAttributes() {
 				if atv.Value.Tag != asn1der.TagBMPString {
 					continue
 				}
@@ -482,7 +481,7 @@ func init() {
 		Taxonomy:      lint.T1InvalidCharacter,
 		EffectiveDate: dateRFC3280,
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, atv := range append(dnAttrs(c.Subject), dnAttrs(c.Issuer)...) {
+			for _, atv := range c.AllAttributes() {
 				if atv.Value.Tag != asn1der.TagTeletexString {
 					continue
 				}
@@ -523,8 +522,8 @@ func printableBadAlpha(dn x509cert.DN) lint.Result {
 }
 
 func hasIDNLabel(c *x509cert.Certificate) bool {
-	for _, gn := range dnsNameGNs(c) {
-		for _, label := range splitDomain(gn.MustText()) {
+	for _, labels := range c.DNSNameLabels() {
+		for _, label := range labels {
 			if strings.HasPrefix(label, punycode.ACEPrefix) {
 				return true
 			}

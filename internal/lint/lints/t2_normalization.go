@@ -26,8 +26,8 @@ func init() {
 		EffectiveDate: dateRFC8399,
 		CheckApplies:  hasIDNLabel,
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, gn := range dnsNameGNs(c) {
-				for _, label := range splitDomain(gn.MustText()) {
+			for _, labels := range c.DNSNameLabels() {
+				for _, label := range labels {
 					if !strings.HasPrefix(label, punycode.ACEPrefix) {
 						continue
 					}
@@ -86,8 +86,8 @@ func init() {
 		EffectiveDate: dateIDNA,
 		CheckApplies:  hasIDNLabel,
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, gn := range dnsNameGNs(c) {
-				for _, label := range splitDomain(gn.MustText()) {
+			for _, labels := range c.DNSNameLabels() {
+				for _, label := range labels {
 					if !strings.HasPrefix(label, punycode.ACEPrefix) {
 						continue
 					}

@@ -60,7 +60,10 @@ func notPrintableOrUTF8Lint(name string, side dnSide, oid asn1der.OID, printable
 			return hasAttr(side.dn(c), oid)
 		},
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, atv := range attrsOf(side.dn(c), oid) {
+			for _, atv := range dnAttrs(side.dn(c)) {
+				if !atv.Type.Equal(oid) {
+					continue
+				}
 				tag := atv.Value.Tag
 				if printableOnly {
 					if tag != asn1der.TagPrintableString {
@@ -137,7 +140,10 @@ func init() {
 		EffectiveDate: dateRFC3280,
 		CheckApplies:  func(c *x509cert.Certificate) bool { return hasAttr(c.Subject, x509cert.OIDEmailAddress) },
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, atv := range attrsOf(c.Subject, x509cert.OIDEmailAddress) {
+			for _, atv := range dnAttrs(c.Subject) {
+				if !atv.Type.Equal(x509cert.OIDEmailAddress) {
+					continue
+				}
 				if atv.Value.Tag != asn1der.TagIA5String {
 					return lint.Failf("emailAddress uses tag %d", atv.Value.Tag)
 				}
@@ -156,7 +162,10 @@ func init() {
 		EffectiveDate: dateRFC3280,
 		CheckApplies:  func(c *x509cert.Certificate) bool { return hasAttr(c.Subject, x509cert.OIDDomainComponent) },
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, atv := range attrsOf(c.Subject, x509cert.OIDDomainComponent) {
+			for _, atv := range dnAttrs(c.Subject) {
+				if !atv.Type.Equal(x509cert.OIDDomainComponent) {
+					continue
+				}
 				if atv.Value.Tag != asn1der.TagIA5String {
 					return lint.Failf("domainComponent uses tag %d", atv.Value.Tag)
 				}
@@ -174,7 +183,7 @@ func init() {
 		Taxonomy:      lint.T3InvalidEncoding,
 		EffectiveDate: dateRFC3280,
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, atv := range append(dnAttrs(c.Subject), dnAttrs(c.Issuer)...) {
+			for _, atv := range c.AllAttributes() {
 				if atv.Type.Equal(x509cert.OIDEmailAddress) || atv.Type.Equal(x509cert.OIDDomainComponent) {
 					continue // IA5String attributes, checked separately
 				}
@@ -412,7 +421,7 @@ func init() {
 		New:           true,
 		EffectiveDate: dateRFC3280,
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, atv := range append(dnAttrs(c.Subject), dnAttrs(c.Issuer)...) {
+			for _, atv := range c.AllAttributes() {
 				if atv.Value.Tag == asn1der.TagBMPString && len(atv.Value.Bytes)%2 != 0 {
 					return lint.Failf("%s BMPString has %d octets", x509cert.AttrName(atv.Type), len(atv.Value.Bytes))
 				}
@@ -431,7 +440,7 @@ func init() {
 		New:           true,
 		EffectiveDate: dateRFC3280,
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, atv := range append(dnAttrs(c.Subject), dnAttrs(c.Issuer)...) {
+			for _, atv := range c.AllAttributes() {
 				if atv.Value.Tag == asn1der.TagUniversalString && len(atv.Value.Bytes)%4 != 0 {
 					return lint.Failf("%s UniversalString has %d octets", x509cert.AttrName(atv.Type), len(atv.Value.Bytes))
 				}
@@ -474,7 +483,7 @@ func init() {
 		New:           true,
 		EffectiveDate: dateRFC3280,
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, atv := range append(dnAttrs(c.Subject), dnAttrs(c.Issuer)...) {
+			for _, atv := range c.AllAttributes() {
 				if atv.Value.Tag == asn1der.TagUTF8String && !utf8.Valid(atv.Value.Bytes) {
 					return lint.Failf("%s UTF8String carries invalid bytes", x509cert.AttrName(atv.Type))
 				}

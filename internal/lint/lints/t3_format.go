@@ -28,7 +28,10 @@ func maxLengthLint(name string, oid asn1der.OID, max int) *lint.Lint {
 			return hasAttr(c.Subject, oid)
 		},
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, atv := range attrsOf(c.Subject, oid) {
+			for _, atv := range dnAttrs(c.Subject) {
+				if !atv.Type.Equal(oid) {
+					continue
+				}
 				if n := len([]rune(decoded(atv))); n > max {
 					return lint.Failf("%s has %d characters (max %d)", x509cert.AttrName(oid), n, max)
 				}
@@ -79,7 +82,10 @@ func init() {
 		EffectiveDate: dateCABF,
 		CheckApplies:  func(c *x509cert.Certificate) bool { return hasAttr(c.Subject, x509cert.OIDCountryName) },
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, atv := range attrsOf(c.Subject, x509cert.OIDCountryName) {
+			for _, atv := range dnAttrs(c.Subject) {
+				if !atv.Type.Equal(x509cert.OIDCountryName) {
+					continue
+				}
 				v := decoded(atv)
 				if len(v) != 2 || !isLetters(v) {
 					return lint.Failf("countryName %q is not a 2-letter code", v)
@@ -99,7 +105,10 @@ func init() {
 		EffectiveDate: dateCABF,
 		CheckApplies:  func(c *x509cert.Certificate) bool { return hasAttr(c.Subject, x509cert.OIDCountryName) },
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, atv := range attrsOf(c.Subject, x509cert.OIDCountryName) {
+			for _, atv := range dnAttrs(c.Subject) {
+				if !atv.Type.Equal(x509cert.OIDCountryName) {
+					continue
+				}
 				v := decoded(atv)
 				if len(v) == 2 && isLetters(v) && v != strings.ToUpper(v) {
 					return lint.Failf("countryName %q is not upper case", v)
@@ -119,8 +128,8 @@ func init() {
 		EffectiveDate: dateRFC3280,
 		CheckApplies:  func(c *x509cert.Certificate) bool { return len(dnsNameGNs(c)) > 0 },
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, gn := range dnsNameGNs(c) {
-				for _, l := range splitDomain(gn.MustText()) {
+			for _, labels := range c.DNSNameLabels() {
+				for _, l := range labels {
 					if len(l) > idna.MaxLabelLength {
 						return lint.Failf("label %q has %d octets", l, len(l))
 					}
@@ -179,8 +188,8 @@ func init() {
 		EffectiveDate: dateIDNA,
 		CheckApplies:  func(c *x509cert.Certificate) bool { return len(dnsNameGNs(c)) > 0 },
 		Run: func(c *x509cert.Certificate) lint.Result {
-			for _, gn := range dnsNameGNs(c) {
-				for _, l := range splitDomain(gn.MustText()) {
+			for _, labels := range c.DNSNameLabels() {
+				for _, l := range labels {
 					if len(l) >= 4 && l[2] == '-' && l[3] == '-' && !strings.HasPrefix(l, punycode.ACEPrefix) {
 						return lint.Failf("label %q has hyphen-34 without ACE prefix", l)
 					}
@@ -263,8 +272,8 @@ func isLetters(s string) bool {
 }
 
 func hyphenCheck(c *x509cert.Certificate, leading bool) lint.Result {
-	for _, gn := range dnsNameGNs(c) {
-		for _, l := range splitDomain(gn.MustText()) {
+	for _, labels := range c.DNSNameLabels() {
+		for _, l := range labels {
 			if l == "" || l == "*" {
 				continue
 			}

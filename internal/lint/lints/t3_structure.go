@@ -6,9 +6,18 @@ package lints
 import (
 	"strings"
 
+	"repro/internal/asn1der"
 	"repro/internal/lint"
 	"repro/internal/x509cert"
 )
+
+// singleValuedAttrs are the attribute types the duplicate-attribute
+// lint flags; hoisted so the per-certificate run is allocation-free.
+var singleValuedAttrs = []asn1der.OID{
+	x509cert.OIDCommonName,
+	x509cert.OIDSerialNumber,
+	x509cert.OIDCountryName,
+}
 
 func init() {
 	// Structure 1. CN must appear in the SAN (CA/B BRs) — the second
@@ -50,17 +59,9 @@ func init() {
 		EffectiveDate: dateRFC5280,
 		CheckApplies:  appliesToSubjectDN,
 		Run: func(c *x509cert.Certificate) lint.Result {
-			counts := make(map[string]int)
-			for _, atv := range dnAttrs(c.Subject) {
-				counts[atv.Type.String()]++
-			}
-			for _, oid := range []string{
-				x509cert.OIDCommonName.String(),
-				x509cert.OIDSerialNumber.String(),
-				x509cert.OIDCountryName.String(),
-			} {
-				if counts[oid] > 1 {
-					return lint.Failf("attribute %s appears %d times", oid, counts[oid])
+			for _, oid := range singleValuedAttrs {
+				if n := c.Subject.Count(oid); n > 1 {
+					return lint.Failf("attribute %s appears %d times", oid, n)
 				}
 			}
 			return lint.PassResult
@@ -77,10 +78,10 @@ func init() {
 		Taxonomy:      lint.T3DiscouragedField,
 		EffectiveDate: dateCABF,
 		CheckApplies: func(c *x509cert.Certificate) bool {
-			return len(c.Subject.Values(x509cert.OIDCommonName)) > 1
+			return c.Subject.Count(x509cert.OIDCommonName) > 1
 		},
 		Run: func(c *x509cert.Certificate) lint.Result {
-			return lint.Failf("Subject contains %d CommonName attributes", len(c.Subject.Values(x509cert.OIDCommonName)))
+			return lint.Failf("Subject contains %d CommonName attributes", c.Subject.Count(x509cert.OIDCommonName))
 		},
 	})
 

@@ -199,6 +199,110 @@ func runLintSafe(reg *lint.Registry, c *x509cert.Certificate, opts lint.Options)
 	return reg.Run(c, opts), nil
 }
 
+// MeasureStream runs the fused generate→lint pipeline without
+// retaining the corpus: each slot is linted, handed to fold, and then
+// recycled via corpus.ReleaseSlot, so a steady-state run holds
+// O(workers) slots in memory instead of O(corpus) and reuses Entry and
+// Certificate structs batch-wise.
+//
+// fold is called from worker goroutines one at a time (a mutex
+// serializes it) in arbitrary slot order. results is parallel to
+// s.Entries; a nil element marks a certificate whose lint run panicked
+// (it is also reported in the returned quarantine count via Stats).
+// fold must copy out whatever it aggregates: the slot, its entries,
+// certificates, DER slices, memoized views, and results are all
+// invalid — owned by future slots — the moment fold returns. A non-nil
+// error from fold cancels the run.
+func MeasureStream(ctx context.Context, cfg corpus.Config, reg *lint.Registry, opts lint.Options, pc Config, fold func(slot int, s *corpus.Slot, results []*lint.CertResult) error) (Stats, error) {
+	gen, err := corpus.NewGenerator(cfg)
+	if err != nil {
+		return Stats{}, err
+	}
+	workers := pc.workers()
+	ctr := newMetrics(pc.Obs)
+
+	jobs := make(chan int, pc.queue(workers))
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		foldMu   sync.Mutex
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() {
+			firstErr = err
+			cancel()
+		})
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var results []*lint.CertResult // reused across slots
+			for i := range jobs {
+				ctr.inFlight.Add(1)
+				tGen := time.Now()
+				s, err, panicked := safeGenerateSlot(gen, i)
+				if err != nil {
+					ctr.inFlight.Add(-1)
+					if !panicked {
+						fail(err)
+						return
+					}
+					ctr.quarantined.Inc()
+					continue
+				}
+				ctr.genSeconds.Observe(time.Since(tGen).Seconds())
+				n := len(s.Entries)
+				if s.Precert != nil {
+					n++
+				}
+				ctr.generated.Add(uint64(n))
+				tLint := time.Now()
+				results = results[:0]
+				for _, e := range s.Entries {
+					r, lerr := runLintSafe(reg, e.Cert, opts)
+					if lerr != nil {
+						ctr.quarantined.Inc()
+						r = nil
+					}
+					results = append(results, r)
+				}
+				ctr.lintSeconds.Observe(time.Since(tLint).Seconds())
+				ctr.linted.Add(uint64(len(s.Entries)))
+				foldMu.Lock()
+				ferr := fold(i, s, results)
+				foldMu.Unlock()
+				corpus.ReleaseSlot(s)
+				ctr.inFlight.Add(-1)
+				if ferr != nil {
+					fail(ferr)
+					return
+				}
+			}
+		}()
+	}
+
+feedStream:
+	for i := 0; i < gen.Slots(); i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			fail(ctx.Err())
+			break feedStream
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return Stats{}, firstErr
+	}
+	return ctr.snapshot(workers, 0), nil
+}
+
 // Measure generates the corpus for cfg and lints every entry, fanned
 // out across pc.Workers fused workers. The returned measurement is
 // byte-identical to corpus.Generate + corpus.RunLinter for any worker
@@ -375,7 +479,9 @@ func LintCorpus(ctx context.Context, c *corpus.Corpus, reg *lint.Registry, opts 
 func LintDERs(ctx context.Context, ders [][]byte, reg *lint.Registry, opts lint.Options, pc Config) ([]*lint.CertResult, error) {
 	out := make([]*lint.CertResult, len(ders))
 	err := parallelIndexed(ctx, len(ders), pc, func(i int) error {
-		cert, err := x509cert.ParseWithMode(ders[i], x509cert.ParseLenient)
+		// Zero-copy parse: ders[i] is caller-owned and outlives the
+		// results, which is exactly the ParseLint ownership contract.
+		cert, err := x509cert.ParseLint(ders[i], x509cert.ParseLenient)
 		if err != nil {
 			return err
 		}

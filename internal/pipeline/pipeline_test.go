@@ -354,3 +354,89 @@ func TestMeasureStats(t *testing.T) {
 		t.Errorf("results not parallel to entries: %d vs %d", len(res.Measurement.Results), len(res.Measurement.Corpus.Entries))
 	}
 }
+
+// TestMeasureStreamEquivalence checks the streaming (slot-recycling)
+// pipeline against the retaining one: folding per-lint finding counts
+// and a DER checksum out of MeasureStream must reproduce exactly what
+// Measure retains, for any worker count. The fold copies everything it
+// aggregates, per the MeasureStream contract.
+func TestMeasureStreamEquivalence(t *testing.T) {
+	cfg := corpus.Config{Size: 300, Seed: 9, PrecertFraction: 0.1, VariantFraction: 0.05}
+
+	type key struct {
+		lint   string
+		status lint.Status
+	}
+	aggregate := func(findings []lint.Finding, into map[key]int) {
+		for _, f := range findings {
+			into[key{f.Lint.Name, f.Status}]++
+		}
+	}
+	derSum := func(der []byte) uint64 {
+		var h uint64 = 1469598103934665603
+		for _, b := range der {
+			h = (h ^ uint64(b)) * 1099511628211
+		}
+		return h
+	}
+
+	ref, err := Measure(context.Background(), cfg, lint.Global, lint.Options{}, Config{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refCounts := map[key]int{}
+	for _, r := range ref.Measurement.Results {
+		aggregate(r.Findings, refCounts)
+	}
+	var refDER uint64
+	for _, e := range ref.Measurement.Corpus.Entries {
+		refDER += derSum(e.DER)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		gotCounts := map[key]int{}
+		var gotDER uint64
+		entries := 0
+		stats, err := MeasureStream(context.Background(), cfg, lint.Global, lint.Options{}, Config{Workers: workers},
+			func(slot int, s *corpus.Slot, results []*lint.CertResult) error {
+				if len(results) != len(s.Entries) {
+					return fmt.Errorf("slot %d: %d results for %d entries", slot, len(results), len(s.Entries))
+				}
+				for i, e := range s.Entries {
+					entries++
+					gotDER += derSum(e.DER)
+					if results[i] == nil {
+						return fmt.Errorf("slot %d entry %d: unexpected quarantine", slot, i)
+					}
+					aggregate(results[i].Findings, gotCounts)
+				}
+				return nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if entries != len(ref.Measurement.Corpus.Entries) {
+			t.Fatalf("workers=%d: folded %d entries, Measure retained %d", workers, entries, len(ref.Measurement.Corpus.Entries))
+		}
+		if gotDER != refDER {
+			t.Fatalf("workers=%d: DER checksum diverged", workers)
+		}
+		if !reflect.DeepEqual(gotCounts, refCounts) {
+			t.Fatalf("workers=%d: finding counts diverge:\nstream: %v\nretain: %v", workers, gotCounts, refCounts)
+		}
+		if stats.Linted != uint64(entries) {
+			t.Fatalf("workers=%d: Stats.Linted = %d, folded %d", workers, stats.Linted, entries)
+		}
+	}
+}
+
+// TestMeasureStreamFoldError checks that a failing fold cancels the
+// run and surfaces the error.
+func TestMeasureStreamFoldError(t *testing.T) {
+	boom := errors.New("fold rejected slot")
+	_, err := MeasureStream(context.Background(), corpus.Config{Size: 200, Seed: 3}, lint.Global, lint.Options{}, Config{Workers: 4},
+		func(int, *corpus.Slot, []*lint.CertResult) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"repro/internal/intern"
 )
 
 // Bootstring parameters for Punycode, RFC 3492 §5.
@@ -134,10 +136,35 @@ func Encode(s string) (string, error) {
 	return out.String(), nil
 }
 
+// decodedLabels memoizes Decode: the corpus reuses a small pool of IDN
+// labels, and every IDN lint re-decodes them for every certificate.
+// Decode is pure, so a bounded lock-free table (2048 slots) makes the
+// steady state allocation-free; oversized or overflow labels just
+// decode uncached.
+var decodedLabels = intern.New[decodeResult](2048)
+
+type decodeResult struct {
+	s   string
+	err error
+}
+
 // Decode converts a Punycode label (without the "xn--" prefix) back to
 // Unicode. It enforces the overflow checks of RFC 3492 §6.4 and rejects
-// encoded surrogates and out-of-range code points.
+// encoded surrogates and out-of-range code points. Results for labels
+// of DNS-plausible length are memoized.
 func Decode(s string) (string, error) {
+	if len(s) > 256 {
+		return decode(s)
+	}
+	if r, ok := decodedLabels.GetString(0, s); ok {
+		return r.s, r.err
+	}
+	out, err := decode(s)
+	decodedLabels.PutString(0, s, decodeResult{s: out, err: err})
+	return out, err
+}
+
+func decode(s string) (string, error) {
 	var output []rune
 	pos := 0
 	if i := strings.LastIndexByte(s, delimiter); i >= 0 {

@@ -1,0 +1,10 @@
+//go:build race
+
+// Package raceflag exposes whether the race detector is compiled in.
+// Allocation-budget tests skip under -race: the detector instruments
+// allocations and sync.Pool behaviour, so AllocsPerRun numbers are
+// meaningless there.
+package raceflag
+
+// Enabled reports whether the binary was built with -race.
+const Enabled = true

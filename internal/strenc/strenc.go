@@ -15,6 +15,8 @@ import (
 	"strings"
 	"unicode/utf16"
 	"unicode/utf8"
+
+	"repro/internal/intern"
 )
 
 // Method identifies one of the decoding methods the paper's differential
@@ -105,10 +107,40 @@ func (e *DecodeError) Error() string {
 	return fmt.Sprintf("strenc: byte 0x%02X at offset %d is not valid %s", e.Byte, e.Offset, e.Method)
 }
 
+// decoded memoizes Decode outcomes. The measurement loop decodes the
+// same issuer DNs, organization names, and domains for every lint of
+// every certificate; Decode is pure in (method, handling, bytes), so
+// the steady state is a lock-free probe and zero allocations. The
+// table is fixed-size (8192 slots ≈ a few hundred KB worst case) and
+// never evicts; overflow simply decodes uncached. Values longer than
+// internMaxKey skip the cache so one large blob cannot occupy it.
+var decoded = intern.New[decodeResult](8192)
+
+const internMaxKey = 256
+
+type decodeResult struct {
+	s   string
+	err error
+}
+
 // Decode interprets b according to method m, applying handling h to
 // invalid sequences. Under Strict, the first invalid sequence aborts the
-// decode with a *DecodeError.
+// decode with a *DecodeError. Results for small inputs are memoized in
+// a bounded intern table, which is safe because decoding is pure.
 func Decode(m Method, h Handling, b []byte) (string, error) {
+	if len(b) > internMaxKey {
+		return decode(m, h, b)
+	}
+	aux := uint32(m)<<8 | uint32(h)
+	if r, ok := decoded.Get(aux, b); ok {
+		return r.s, r.err
+	}
+	s, err := decode(m, h, b)
+	decoded.Put(aux, b, decodeResult{s: s, err: err})
+	return s, err
+}
+
+func decode(m Method, h Handling, b []byte) (string, error) {
 	switch m {
 	case ASCII:
 		return decodeASCII(h, b)

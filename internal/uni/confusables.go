@@ -1,6 +1,10 @@
 package uni
 
-import "strings"
+import (
+	"strings"
+
+	"repro/internal/intern"
+)
 
 // confusable maps visually deceptive code points to the ASCII (or
 // canonical) character they resemble, following the spirit of Unicode
@@ -26,10 +30,16 @@ var confusable = map[rune]rune{
 	'ⅼ': 'l', 'Ⅰ': 'I', 'ℂ': 'C', 'ℊ': 'g', 'ℎ': 'h', 'ℓ': 'l',
 }
 
+// skeletonCache memoizes the non-ASCII skeleton path; like nfcCache it
+// exists because the homograph lints re-skeletonize the same small pool
+// of IDN labels for every certificate in the corpus.
+var skeletonCache = intern.New[string](4096)
+
 // Skeleton maps each confusable character of s to its canonical
 // lookalike, lowercases the result, and strips invisible layout
 // characters — an approximation of the TR#39 skeleton used to decide
-// whether two strings are homographs.
+// whether two strings are homographs. Non-ASCII results are memoized
+// for strings of certificate-plausible length.
 func Skeleton(s string) string {
 	// ASCII fast path: no confusable mapping applies below 0x80 (the
 	// only ASCII key in the table is the identity ';'), and the
@@ -40,6 +50,18 @@ func Skeleton(s string) string {
 	if allASCII(s) {
 		return strings.ToLower(s)
 	}
+	if len(s) > 256 {
+		return skeleton(s)
+	}
+	if v, ok := skeletonCache.GetString(0, s); ok {
+		return v
+	}
+	v := skeleton(s)
+	skeletonCache.PutString(0, s, v)
+	return v
+}
+
+func skeleton(s string) string {
 	var sb strings.Builder
 	sb.Grow(len(s))
 	for _, r := range s {

@@ -9,7 +9,11 @@ package uni
 // documented substitution for the full UCD (DESIGN.md): any code point
 // outside it is treated as a normalization singleton.
 
-import "strings"
+import (
+	"strings"
+
+	"repro/internal/intern"
+)
 
 // decomp maps a precomposed code point to its canonical decomposition
 // (base rune followed by one combining mark).
@@ -175,12 +179,31 @@ func sortMarks(rs []rune) {
 	}
 }
 
+// nfcCache memoizes the non-ASCII composition path: the corpus draws
+// internationalized attribute values from a small pool, and the T2
+// lints renormalize each one for every certificate. NFC is pure, so
+// a bounded lock-free table keeps the steady state allocation-free.
+var nfcCache = intern.New[string](4096)
+
 // NFC returns the canonical composition of s (decompose, reorder,
-// compose).
+// compose). Results for strings of certificate-plausible length are
+// memoized; the ASCII fast path never touches the cache.
 func NFC(s string) string {
 	if allASCII(s) {
 		return s
 	}
+	if len(s) > 256 {
+		return nfc(s)
+	}
+	if v, ok := nfcCache.GetString(0, s); ok {
+		return v
+	}
+	v := nfc(s)
+	nfcCache.PutString(0, s, v)
+	return v
+}
+
+func nfc(s string) string {
 	rs := []rune(Decompose(s))
 	if len(rs) == 0 {
 		return s

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/asn1der"
+	"repro/internal/intern"
 )
 
 // Template describes a certificate to build. Attribute values carry
@@ -33,16 +34,37 @@ type Template struct {
 	ExtraExtensions []Extension
 }
 
+// textBytes memoizes string→[]byte conversions for the ATV and
+// GeneralName constructors. The corpus draws attribute values and
+// organization names from small fixed pools, so the steady state reuses
+// one shared byte slice per distinct string. The cached slices are
+// shared and must never be written through — builders copy them into
+// output buffers and nothing in the repo mutates ATV/GeneralName bytes
+// in place.
+var textBytes = intern.New[[]byte](4096)
+
+func internBytes(s string) []byte {
+	if len(s) > 256 {
+		return []byte(s)
+	}
+	if b, ok := textBytes.GetString(0, s); ok {
+		return b
+	}
+	b := []byte(s)
+	textBytes.PutString(0, s, b)
+	return b
+}
+
 // TextATV builds an ATV with UTF8String encoding — the common
 // compliant case.
 func TextATV(oid asn1der.OID, value string) ATV {
-	return ATV{Type: oid, Value: AttributeValue{Tag: asn1der.TagUTF8String, Bytes: []byte(value)}}
+	return ATV{Type: oid, Value: AttributeValue{Tag: asn1der.TagUTF8String, Bytes: internBytes(value)}}
 }
 
 // PrintableATV builds an ATV with PrintableString encoding without
 // validating the charset (validation is the linter's job).
 func PrintableATV(oid asn1der.OID, value string) ATV {
-	return ATV{Type: oid, Value: AttributeValue{Tag: asn1der.TagPrintableString, Bytes: []byte(value)}}
+	return ATV{Type: oid, Value: AttributeValue{Tag: asn1der.TagPrintableString, Bytes: internBytes(value)}}
 }
 
 // RawATV builds an ATV with an arbitrary tag and raw content bytes.
@@ -53,9 +75,13 @@ func RawATV(oid asn1der.OID, tag int, content []byte) ATV {
 // SimpleDN builds a DN with one ATV per RDN, in order — the simplified
 // structure the paper's test generator uses (§3.2 rule i).
 func SimpleDN(atvs ...ATV) DN {
+	// Lay the single-ATV RDNs out over one contiguous backing array so
+	// DN.Attributes can flatten by reslicing (see parseDN).
+	flat := make([]ATV, len(atvs))
+	copy(flat, atvs)
 	dn := make(DN, len(atvs))
-	for i, atv := range atvs {
-		dn[i] = RDN{atv}
+	for i := range flat {
+		dn[i] = RDN(flat[i : i+1])
 	}
 	return dn
 }
@@ -63,17 +89,17 @@ func SimpleDN(atvs ...ATV) DN {
 // DNSName builds a DNSName GeneralName from raw bytes (which need not
 // be valid DNS characters — that is the point).
 func DNSName(name string) GeneralName {
-	return GeneralName{Kind: GNDNSName, Bytes: []byte(name)}
+	return GeneralName{Kind: GNDNSName, Bytes: internBytes(name)}
 }
 
 // RFC822Name builds an email GeneralName.
 func RFC822Name(addr string) GeneralName {
-	return GeneralName{Kind: GNRFC822Name, Bytes: []byte(addr)}
+	return GeneralName{Kind: GNRFC822Name, Bytes: internBytes(addr)}
 }
 
 // URIName builds a URI GeneralName.
 func URIName(uri string) GeneralName {
-	return GeneralName{Kind: GNURI, Bytes: []byte(uri)}
+	return GeneralName{Kind: GNURI, Bytes: internBytes(uri)}
 }
 
 // Build encodes and signs the template, returning the DER certificate.

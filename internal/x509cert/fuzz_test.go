@@ -2,6 +2,7 @@ package x509cert
 
 import (
 	"math/big"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -109,5 +110,57 @@ func FuzzParseCRL(f *testing.F) {
 		}
 		_ = crl.IsRevoked(big.NewInt(9))
 		_ = crl.Issuer.String()
+	})
+}
+
+// exportedCertFieldsEqual compares two parsed certificates over the
+// exported Certificate fields only. The unexported lazily-built memos
+// are deliberately excluded: they depend on which accessors have been
+// called, not on the input bytes.
+func exportedCertFieldsEqual(t *testing.T, a, b *Certificate) {
+	t.Helper()
+	rt := reflect.TypeOf(Certificate{})
+	av, bv := reflect.ValueOf(*a), reflect.ValueOf(*b)
+	for i := 0; i < rt.NumField(); i++ {
+		f := rt.Field(i)
+		if f.PkgPath != "" { // unexported memo
+			continue
+		}
+		if !reflect.DeepEqual(av.Field(i).Interface(), bv.Field(i).Interface()) {
+			t.Errorf("field %s diverges:\n copying: %#v\nzerocopy: %#v",
+				f.Name, av.Field(i).Interface(), bv.Field(i).Interface())
+		}
+	}
+}
+
+// FuzzParseLintEquivalence proves the zero-copy parser's ownership
+// contract: for any input, ParseLint over a private copy and
+// ParseWithMode over the original must agree byte-for-byte on every
+// exported Certificate field — including after the original buffer is
+// scribbled over, which a borrowed (rather than copied) ParseWithMode
+// result would fail.
+func FuzzParseLintEquivalence(f *testing.F) {
+	f.Add(fuzzSeedCert())
+	f.Add([]byte{0x30, 0x03, 0x30, 0x01, 0x00})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		for _, mode := range []ParseMode{ParseStrict, ParseLenient} {
+			private := append([]byte(nil), data...)
+			cCopy, errCopy := ParseWithMode(data, mode)
+			cZero, errZero := ParseLint(private, mode)
+			if (errCopy == nil) != (errZero == nil) {
+				t.Fatalf("mode %v: copying err=%v, zero-copy err=%v", mode, errCopy, errZero)
+			}
+			if errCopy != nil {
+				continue
+			}
+			exportedCertFieldsEqual(t, cCopy, cZero)
+			// ParseWithMode owns its memory: destroying the caller's
+			// buffer must not reach into the returned certificate.
+			for i := range data {
+				data[i] = 0xAA
+			}
+			exportedCertFieldsEqual(t, cCopy, cZero)
+		}
 	})
 }

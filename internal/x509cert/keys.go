@@ -7,6 +7,7 @@ import (
 	"encoding/binary"
 	"io"
 	"math/big"
+	"sync"
 
 	"repro/internal/asn1der"
 )
@@ -93,33 +94,44 @@ func (k *KeyPair) PublicPoint() []byte {
 // nonce is derived deterministically from the key and message (in the
 // spirit of RFC 6979), so builds are byte-for-byte reproducible —
 // crypto/ecdsa's hedged signing would not be.
+// signScratch recycles the big.Int working set of Sign; at steady state
+// each Int's nat storage is wide enough and the arithmetic below
+// allocates nothing new.
+type signScratch struct{ z, k, r, s, kInv big.Int }
+
+var signPool = sync.Pool{New: func() any { return new(signScratch) }}
+
 func (k *KeyPair) Sign(tbs []byte) ([]byte, error) {
 	digest := sha256.Sum256(tbs)
 	curve := k.Priv.Curve
 	n := curve.Params().N
-	z := new(big.Int).SetBytes(digest[:])
+	sc := signPool.Get().(*signScratch)
+	defer signPool.Put(sc)
+	z := sc.z.SetBytes(digest[:])
 
 	// Deterministic nonce: SHA-256(d || digest || counter), reduced mod n.
 	var counter byte
+	dBytes := k.Priv.D.Bytes()
+	var seedBuf [80]byte // P-256 d (≤32) + digest (32) + counter (1)
 	for {
-		var seed []byte
-		seed = append(seed, k.Priv.D.Bytes()...)
+		seed := seedBuf[:0]
+		seed = append(seed, dBytes...)
 		seed = append(seed, digest[:]...)
 		seed = append(seed, counter)
 		counter++
 		kh := sha256.Sum256(seed)
-		kInt := new(big.Int).SetBytes(kh[:])
+		kInt := sc.k.SetBytes(kh[:])
 		kInt.Mod(kInt, n)
 		if kInt.Sign() == 0 {
 			continue
 		}
 		rx, _ := curve.ScalarBaseMult(kInt.Bytes())
-		r := new(big.Int).Mod(rx, n)
+		r := sc.r.Mod(rx, n)
 		if r.Sign() == 0 {
 			continue
 		}
-		kInv := new(big.Int).ModInverse(kInt, n)
-		s := new(big.Int).Mul(r, k.Priv.D)
+		kInv := sc.kInv.ModInverse(kInt, n)
+		s := sc.s.Mul(r, k.Priv.D)
 		s.Add(s, z)
 		s.Mul(s, kInv)
 		s.Mod(s, n)

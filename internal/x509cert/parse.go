@@ -3,9 +3,29 @@ package x509cert
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/asn1der"
 )
+
+// certPool recycles Certificate structs between parses. Certificates
+// flow back in only through ReleaseCertificate, so callers that never
+// release simply fall through to fresh allocations.
+var certPool = sync.Pool{New: func() any { return new(Certificate) }}
+
+// ReleaseCertificate returns a parsed certificate to the reuse pool.
+// The caller must hold the only reference: after release every field —
+// including memoized slices handed out by AllAttributes, DNSNames, and
+// friends — belongs to a future parse. Only steady-state pipelines
+// (pipeline.MeasureStream) should bother; one-shot callers can let the
+// garbage collector do its job.
+func ReleaseCertificate(c *Certificate) {
+	if c == nil {
+		return
+	}
+	*c = Certificate{}
+	certPool.Put(c)
+}
 
 // ParseMode selects structural strictness for certificate parsing.
 type ParseMode int
@@ -21,13 +41,34 @@ const (
 // Parse decodes a DER certificate in strict mode.
 func Parse(der []byte) (*Certificate, error) { return ParseWithMode(der, ParseStrict) }
 
-// ParseWithMode decodes a DER (or, leniently, BER) certificate.
+// ParseWithMode decodes a DER (or, leniently, BER) certificate. The
+// input is copied once up front, so the returned Certificate owns all
+// of its memory and the caller may mutate or discard der freely.
 func ParseWithMode(der []byte, mode ParseMode) (*Certificate, error) {
+	owned := make([]byte, len(der))
+	copy(owned, der)
+	return ParseLint(owned, mode)
+}
+
+// ParseLint is the zero-copy parse used by lint-only pipelines: every
+// byte field of the returned Certificate (Raw, RawTBS, extension
+// values, name bytes, attribute values, …) is a subslice of der.
+//
+// Ownership contract: the caller must keep der alive and unmodified
+// for as long as the Certificate (or anything derived from it, such as
+// lint findings that retain name bytes) is in use. Borrowing is
+// illegal when der is a reused read buffer or will be mutated —
+// use ParseWithMode there instead. Parse scratch (the TLV node tree)
+// comes from a pooled arena and is released before returning; the
+// Certificate retains no arena memory.
+func ParseLint(der []byte, mode ParseMode) (*Certificate, error) {
 	dm := asn1der.StrictDER
 	if mode == ParseLenient {
 		dm = asn1der.LenientBER
 	}
-	root, err := asn1der.NewDecoder(dm).Parse(der)
+	arena := asn1der.AcquireArena()
+	defer asn1der.ReleaseArena(arena)
+	root, err := asn1der.NewDecoder(dm).WithArena(arena).Parse(der)
 	if err != nil {
 		return nil, err
 	}
@@ -37,7 +78,8 @@ func ParseWithMode(der []byte, mode ParseMode) (*Certificate, error) {
 	if len(root.Children) != 3 {
 		return nil, fmt.Errorf("x509cert: certificate has %d elements, want 3", len(root.Children))
 	}
-	c := &Certificate{Raw: root.Raw}
+	c := certPool.Get().(*Certificate)
+	*c = Certificate{Raw: root.Raw}
 	tbs := root.Children[0]
 	if _, err := tbs.Expect(asn1der.ClassUniversal, asn1der.TagSequence); err != nil {
 		return nil, fmt.Errorf("x509cert: tbsCertificate: %v", err)
@@ -153,12 +195,20 @@ func parseDN(v *asn1der.Value) (DN, error) {
 	if _, err := v.Expect(asn1der.ClassUniversal, asn1der.TagSequence); err != nil {
 		return nil, err
 	}
+	// Count ATVs up front so every RDN can be a subslice of one
+	// contiguous backing array. DN.Attributes detects this layout and
+	// flattens by reslicing instead of copying.
+	total := 0
+	for _, set := range v.Children {
+		total += len(set.Children)
+	}
+	flat := make([]ATV, 0, total)
 	dn := make(DN, 0, len(v.Children))
 	for _, set := range v.Children {
 		if _, err := set.Expect(asn1der.ClassUniversal, asn1der.TagSet); err != nil {
 			return nil, err
 		}
-		rdn := make(RDN, 0, len(set.Children))
+		start := len(flat)
 		for _, seq := range set.Children {
 			if _, err := seq.Expect(asn1der.ClassUniversal, asn1der.TagSequence); err != nil {
 				return nil, err
@@ -171,12 +221,12 @@ func parseDN(v *asn1der.Value) (DN, error) {
 				return nil, err
 			}
 			val := seq.Children[1]
-			rdn = append(rdn, ATV{
+			flat = append(flat, ATV{
 				Type:  oid,
 				Value: AttributeValue{Tag: val.Tag.Number, Bytes: val.Bytes},
 			})
 		}
-		dn = append(dn, rdn)
+		dn = append(dn, RDN(flat[start:len(flat)]))
 	}
 	return dn, nil
 }

@@ -47,8 +47,43 @@ type RDN []ATV
 type DN []RDN
 
 // Attributes flattens the DN into its ATVs in encoding order.
+//
+// DNs produced by parseDN and SimpleDN store every RDN as a subslice
+// of one contiguous backing array; for those the flattening is a
+// zero-allocation reslice of the first RDN. The layout is verified by
+// pointer identity, so a DN assembled by hand from independent slices
+// still flattens correctly, by copying. Callers must treat the result
+// as read-only either way.
 func (d DN) Attributes() []ATV {
-	var out []ATV
+	if len(d) == 0 {
+		return nil
+	}
+	n := 0
+	for _, rdn := range d {
+		n += len(rdn)
+	}
+	if n == 0 {
+		return nil
+	}
+	if n <= cap(d[0]) {
+		flat := d[0][:n]
+		off := len(d[0])
+		contiguous := true
+	outer:
+		for _, rdn := range d[1:] {
+			for j := range rdn {
+				if &rdn[j] != &flat[off] {
+					contiguous = false
+					break outer
+				}
+				off++
+			}
+		}
+		if contiguous {
+			return flat
+		}
+	}
+	out := make([]ATV, 0, n)
 	for _, rdn := range d {
 		out = append(out, rdn...)
 	}
@@ -60,19 +95,37 @@ func (d DN) Attributes() []ATV {
 // findings — yield multiple entries.
 func (d DN) Values(oid asn1der.OID) []string {
 	var out []string
-	for _, atv := range d.Attributes() {
-		if atv.Type.Equal(oid) {
-			out = append(out, atv.Value.MustDecode())
+	for _, rdn := range d {
+		for _, atv := range rdn {
+			if atv.Type.Equal(oid) {
+				out = append(out, atv.Value.MustDecode())
+			}
 		}
 	}
 	return out
 }
 
+// Count returns how many attributes of the given type the DN carries,
+// without decoding or allocating.
+func (d DN) Count(oid asn1der.OID) int {
+	n := 0
+	for _, rdn := range d {
+		for _, atv := range rdn {
+			if atv.Type.Equal(oid) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // First returns the first value of the attribute type, or "".
 func (d DN) First(oid asn1der.OID) string {
-	for _, atv := range d.Attributes() {
-		if atv.Type.Equal(oid) {
-			return atv.Value.MustDecode()
+	for _, rdn := range d {
+		for _, atv := range rdn {
+			if atv.Type.Equal(oid) {
+				return atv.Value.MustDecode()
+			}
 		}
 	}
 	return ""
@@ -81,11 +134,15 @@ func (d DN) First(oid asn1der.OID) string {
 // Last returns the last value of the attribute type, or "". (PyOpenSSL
 // takes the first duplicated CN; Go's crypto takes the last — §4.3.1.)
 func (d DN) Last(oid asn1der.OID) string {
-	out := d.Values(oid)
-	if len(out) == 0 {
-		return ""
+	out := ""
+	for _, rdn := range d {
+		for _, atv := range rdn {
+			if atv.Type.Equal(oid) {
+				out = atv.Value.MustDecode()
+			}
+		}
 	}
-	return out[len(out)-1]
+	return out
 }
 
 // CommonName returns the first Subject CN.
@@ -107,7 +164,14 @@ func (d DN) String() string {
 }
 
 // Empty reports whether the DN has no attributes.
-func (d DN) Empty() bool { return len(d.Attributes()) == 0 }
+func (d DN) Empty() bool {
+	for _, rdn := range d {
+		if len(rdn) > 0 {
+			return false
+		}
+	}
+	return true
+}
 
 // GNKind is a GeneralName CHOICE arm (RFC 5280 §4.2.1.6 tag numbers).
 type GNKind int
@@ -238,28 +302,141 @@ type Certificate struct {
 	// ParseWarnings records recoverable structural oddities the lenient
 	// parser tolerated (e.g. BER lengths); strict parsing never sets it.
 	ParseWarnings []string
+
+	// Lazily-built memos for hot accessors. Lints re-walk the same
+	// certificate dozens of times per run; each memo is filled on first
+	// use and shared read-only after. Not goroutine-safe to fill
+	// concurrently: the pipeline lints each certificate from exactly
+	// one worker, which is the ownership contract these rely on.
+	allAttrs      []ATV
+	allAttrsOK    bool
+	dnsNames      []string
+	dnsNamesOK    bool
+	dnsNameGNs    []GeneralName
+	dnsNameGNsOK  bool
+	emails        []string
+	emailsOK      bool
+	dnsTexts      []string
+	dnsTextsOK    bool
+	dnsLabels     [][]string
+	dnsLabelsOK   bool
+	dnsLabelsFlat []string
 }
 
-// DNSNames returns the decoded SAN DNSName values.
+// DNSNameGNs returns the DNSName GeneralNames across SAN and IAN — the
+// set the IDN lints walk. The slice is memoized and must be treated as
+// read-only.
+func (c *Certificate) DNSNameGNs() []GeneralName {
+	if !c.dnsNameGNsOK {
+		for _, gn := range c.SAN {
+			if gn.Kind == GNDNSName {
+				c.dnsNameGNs = append(c.dnsNameGNs, gn)
+			}
+		}
+		for _, gn := range c.IAN {
+			if gn.Kind == GNDNSName {
+				c.dnsNameGNs = append(c.dnsNameGNs, gn)
+			}
+		}
+		c.dnsNameGNsOK = true
+	}
+	return c.dnsNameGNs
+}
+
+// DNSNameTexts returns the decoded text of each DNSNameGNs entry,
+// parallel to that slice. A dozen lints re-decode the same names per
+// certificate; this memo makes that one decode each. The slice is
+// memoized and must be treated as read-only.
+func (c *Certificate) DNSNameTexts() []string {
+	if !c.dnsTextsOK {
+		for _, gn := range c.DNSNameGNs() {
+			c.dnsTexts = append(c.dnsTexts, gn.MustText())
+		}
+		c.dnsTextsOK = true
+	}
+	return c.dnsTexts
+}
+
+// DNSNameLabels returns each DNSNameGNs entry lowered and split into
+// DNS labels (trailing root dot dropped), parallel to DNSNameGNs.
+// All labels share one flat backing slice. The result is memoized and
+// must be treated as read-only.
+func (c *Certificate) DNSNameLabels() [][]string {
+	if !c.dnsLabelsOK {
+		texts := c.DNSNameTexts()
+		if n := len(texts); n > 0 {
+			c.dnsLabels = make([][]string, n)
+			total := 0
+			for _, t := range texts {
+				total += strings.Count(t, ".") + 1
+			}
+			c.dnsLabelsFlat = make([]string, 0, total)
+			for i, t := range texts {
+				t = strings.TrimSuffix(strings.ToLower(t), ".")
+				start := len(c.dnsLabelsFlat)
+				for {
+					dot := strings.IndexByte(t, '.')
+					if dot < 0 {
+						c.dnsLabelsFlat = append(c.dnsLabelsFlat, t)
+						break
+					}
+					c.dnsLabelsFlat = append(c.dnsLabelsFlat, t[:dot])
+					t = t[dot+1:]
+				}
+				c.dnsLabels[i] = c.dnsLabelsFlat[start:len(c.dnsLabelsFlat):len(c.dnsLabelsFlat)]
+			}
+		}
+		c.dnsLabelsOK = true
+	}
+	return c.dnsLabels
+}
+
+// AllAttributes returns the subject attributes followed by the issuer
+// attributes — the combined view many character-repertoire lints walk.
+// The slice is memoized and must be treated as read-only.
+func (c *Certificate) AllAttributes() []ATV {
+	if !c.allAttrsOK {
+		sub := c.Subject.Attributes()
+		iss := c.Issuer.Attributes()
+		if len(iss) == 0 {
+			c.allAttrs = sub
+		} else if len(sub) == 0 {
+			c.allAttrs = iss
+		} else {
+			all := make([]ATV, 0, len(sub)+len(iss))
+			c.allAttrs = append(append(all, sub...), iss...)
+		}
+		c.allAttrsOK = true
+	}
+	return c.allAttrs
+}
+
+// DNSNames returns the decoded SAN DNSName values. The slice is
+// memoized and must be treated as read-only.
 func (c *Certificate) DNSNames() []string {
-	var out []string
-	for _, gn := range c.SAN {
-		if gn.Kind == GNDNSName {
-			out = append(out, gn.MustText())
+	if !c.dnsNamesOK {
+		for _, gn := range c.SAN {
+			if gn.Kind == GNDNSName {
+				c.dnsNames = append(c.dnsNames, gn.MustText())
+			}
 		}
+		c.dnsNamesOK = true
 	}
-	return out
+	return c.dnsNames
 }
 
-// EmailAddresses returns the decoded SAN RFC822Name values.
+// EmailAddresses returns the decoded SAN RFC822Name values. The slice
+// is memoized and must be treated as read-only.
 func (c *Certificate) EmailAddresses() []string {
-	var out []string
-	for _, gn := range c.SAN {
-		if gn.Kind == GNRFC822Name {
-			out = append(out, gn.MustText())
+	if !c.emailsOK {
+		for _, gn := range c.SAN {
+			if gn.Kind == GNRFC822Name {
+				c.emails = append(c.emails, gn.MustText())
+			}
 		}
+		c.emailsOK = true
 	}
-	return out
+	return c.emails
 }
 
 // URIs returns the decoded SAN URI values.

@@ -1,0 +1,60 @@
+#!/bin/sh
+# allocguard fails `make check` when any derived per-certificate
+# allocation number in the committed benchmark record exceeds its
+# budget in scripts/alloc_budgets.txt. It only reads the committed
+# BENCH_5.json — it never runs benchmarks — so it is fast and
+# deterministic: the contract is "whoever regenerates the record must
+# keep (or consciously renegotiate) the budgets".
+set -eu
+RECORD=${ALLOCGUARD_RECORD:-BENCH_5.json}
+BUDGETS=${ALLOCGUARD_BUDGETS:-scripts/alloc_budgets.txt}
+
+[ -f "$RECORD" ] || { echo "allocguard: FAIL: $RECORD missing (run 'make bench' and commit the record)"; exit 1; }
+[ -f "$BUDGETS" ] || { echo "allocguard: FAIL: $BUDGETS missing"; exit 1; }
+
+python3 - "$RECORD" "$BUDGETS" <<'PYEOF'
+import json, sys
+
+record_path, budgets_path = sys.argv[1], sys.argv[2]
+with open(record_path) as f:
+    report = json.load(f)
+by_name = {b["name"]: b for b in report.get("benchmarks", [])}
+
+failed = checked = 0
+with open(budgets_path) as f:
+    for raw in f:
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        name, alloc_budget = parts[0], float(parts[1])
+        byte_budget = float(parts[2]) if len(parts) > 2 else None
+        b = by_name.get(name)
+        if b is None:
+            print(f"allocguard: FAIL: {name}: not present in {record_path}")
+            failed += 1
+            continue
+        allocs = b.get("allocs_per_cert", 0)
+        if not allocs:
+            print(f"allocguard: FAIL: {name}: no allocs_per_cert in {record_path}")
+            failed += 1
+            continue
+        checked += 1
+        if allocs > alloc_budget:
+            print(f"allocguard: FAIL: {name}: {allocs} allocs/cert > budget {alloc_budget}")
+            failed += 1
+        else:
+            print(f"allocguard: OK: {name}: {allocs} allocs/cert (budget {alloc_budget})")
+        if byte_budget is not None:
+            bts = b.get("bytes_per_cert", 0)
+            if not bts or bts > byte_budget:
+                print(f"allocguard: FAIL: {name}: {bts} bytes/cert > budget {byte_budget}")
+                failed += 1
+            else:
+                print(f"allocguard: OK: {name}: {bts} bytes/cert (budget {byte_budget})")
+
+if checked == 0:
+    print("allocguard: FAIL: no budgets checked")
+    failed += 1
+sys.exit(1 if failed else 0)
+PYEOF

@@ -1,0 +1,49 @@
+#!/bin/sh
+# profile captures CPU and heap pprof profiles from a live paper-scale
+# measurement: it boots ctscan with its metrics listener (which bundles
+# net/http/pprof via internal/obs) and scrapes /debug/pprof while the
+# generate->lint pipeline runs. Profiles land in profiles/ — see
+# profiles/README.md for how to read them (alloc_space lives inside
+# the heap profile; select it with -sample_index=alloc_space).
+set -eu
+ADDR=${PROFILE_ADDR:-127.0.0.1:19421}
+SIZE=${PROFILE_SIZE:-348000}
+CPU_SECONDS=${PROFILE_CPU_SECONDS:-10}
+OUT=${PROFILE_DIR:-profiles}
+
+mkdir -p "$OUT"
+go build -o /tmp/ctscan-profile ./cmd/ctscan
+
+/tmp/ctscan-profile -size "$SIZE" -metrics-addr "$ADDR" \
+    >/dev/null 2>"$OUT/ctscan.log" &
+pid=$!
+trap 'kill $pid 2>/dev/null || true' EXIT
+
+ok=0
+for i in $(seq 1 100); do
+    if curl -sf "http://$ADDR/debug/pprof/" -o /dev/null 2>/dev/null; then
+        ok=1; break
+    fi
+    sleep 0.1
+done
+[ $ok -eq 1 ] || { echo "profile: FAIL: pprof endpoint never came up (see $OUT/ctscan.log)"; exit 1; }
+
+echo "profile: capturing ${CPU_SECONDS}s CPU profile from a ${SIZE}-cert run..."
+curl -sf "http://$ADDR/debug/pprof/profile?seconds=$CPU_SECONDS" -o "$OUT/cpu.pprof" \
+    || { echo "profile: FAIL: CPU capture (did the run finish early? raise PROFILE_SIZE)"; exit 1; }
+echo "profile: capturing heap profile (includes alloc_space)..."
+curl -sf "http://$ADDR/debug/pprof/heap" -o "$OUT/heap.pprof" \
+    || { echo "profile: FAIL: heap capture"; exit 1; }
+
+kill $pid 2>/dev/null || true
+wait $pid 2>/dev/null || true
+
+echo
+echo "profile: top CPU consumers:"
+go tool pprof -top -nodecount 12 /tmp/ctscan-profile "$OUT/cpu.pprof" | sed -n '1,20p'
+echo
+echo "profile: top allocators (alloc_space):"
+go tool pprof -top -nodecount 12 -sample_index=alloc_space /tmp/ctscan-profile "$OUT/heap.pprof" | sed -n '1,20p'
+echo
+echo "profile: wrote $OUT/cpu.pprof and $OUT/heap.pprof"
+echo "profile: explore with: go tool pprof -http=: $OUT/cpu.pprof"
