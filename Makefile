@@ -21,7 +21,7 @@ BENCH_ROUNDS ?= 3
 # Address the smoke-metrics crawl serves its /metrics endpoint on.
 SMOKE_METRICS_ADDR ?= 127.0.0.1:19321
 
-.PHONY: build vet test race check bench profile allocguard smoke-metrics soak soak-fleet
+.PHONY: build vet test race check bench profile allocguard obs-lint smoke-metrics soak soak-fleet
 build:
 	$(GO) build ./...
 
@@ -34,7 +34,7 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-check: build vet test race allocguard smoke-metrics soak-fleet
+check: build vet test race allocguard obs-lint smoke-metrics soak-fleet
 
 # bench runs the end-to-end pipeline benchmarks (1 iteration each at
 # paper scale), the streaming slot-recycling variant, the per-stage
@@ -65,6 +65,12 @@ profile:
 # regresses.
 allocguard:
 	./scripts/allocguard.sh
+
+# obs-lint fails when the metric families registered in code and the
+# metrics reference table in DESIGN.md drift apart — in either
+# direction (undocumented metric, or stale doc row).
+obs-lint:
+	./scripts/obs_lint.sh
 
 # smoke-metrics boots a faulted ctmonitor crawl with a live metrics
 # endpoint, scrapes /metrics, and asserts the crawl and client

@@ -57,7 +57,26 @@ type fleetParams struct {
 	query            string
 	monitorFilter    string
 	progressEvery    time.Duration
+	journal          *obs.Journal
+	flight           *obs.Flight
 }
+
+// SLO policy for fleet mode. Windows are short because a ctmonitor run
+// is short — a production deploy would stretch these to SRE-book spans
+// (5m/1h) without touching the engine.
+const (
+	sloTickEvery  = 500 * time.Millisecond
+	sloFastWindow = 10 * time.Second
+	sloSlowWindow = 60 * time.Second
+	// sloErrObjective is the tolerated retryable share of CT log
+	// attempts; warn at 2x budget burn, page at 10x on both windows.
+	sloErrObjective = 0.05
+	sloBurnWarn     = 2
+	sloBurnPage     = 10
+	// sloFreshTarget is the default checkpoint-age target when
+	// -fleet-stall-after is unset; warn at half the budget, page at it.
+	sloFreshTarget = 30 * time.Second
+)
 
 // fleetLog is one stood-up log with its fault profile.
 type fleetLog struct {
@@ -227,14 +246,22 @@ func runFleet(ctx context.Context, out io.Writer, reg *obs.Registry, tracer *obs
 			fmt.Fprintf(os.Stderr, "ctmonitor: %s listener: %v\n", name, err)
 			return 1
 		}
-		// Per-log front ends skip the shared registry: four servers
-		// would fight over the unlabeled ctlog_server_* series, and the
-		// fleet's labeled instruments carry the per-log story. The
-		// rate limit applies per log — every front end gets its own
-		// token bucket.
-		fl.srv = serve.New((&ctlog.Server{Log: log, RateLimit: p.rateLimit, RateBurst: p.rateBurst}).Handler(), serve.Config{
+		// Per-log front ends share the registry's ctlog_server_*
+		// COUNTERS — counters aggregate cleanly across servers, and the
+		// fleet-wide totals are exactly what the shed-rate SLO burns
+		// against; the fleet's labeled instruments carry the per-log
+		// story. The rate limit applies per log — every front end gets
+		// its own token bucket.
+		fl.srv = serve.New((&ctlog.Server{
+			Log:       log,
+			RateLimit: p.rateLimit, RateBurst: p.rateBurst,
+			Obs:     reg,
+			Journal: p.journal,
+			Name:    "ctlog-" + name,
+		}).Handler(), serve.Config{
 			Name:         "ctlog-" + name,
 			DrainTimeout: p.drain,
+			Journal:      p.journal,
 		})
 		go func(fl *fleetLog, ln net.Listener) { fl.done <- fl.srv.Run(ctx, ln) }(fl, ln)
 
@@ -297,19 +324,68 @@ func runFleet(ctx context.Context, out io.Writer, reg *obs.Registry, tracer *obs
 		Handle:        handle,
 		Obs:           reg,
 		Tracer:        tracer,
+		Journal:       p.journal,
+		Flight:        p.flight,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ctmonitor: %v\n", err)
 		return 1
 	}
+
+	// The SLO engine reads its signals straight off the registry: one
+	// freshness rule per log (checkpoint age vs the stall budget), one
+	// fleet-wide sync error-rate rule, one shed-rate rule. A page feeds
+	// /readyz, so a sustained burn takes the fleet out of rotation even
+	// while the quorum technically holds.
+	slo := obs.NewSLOEngine(reg, p.journal)
+	freshTarget := p.stallAfter
+	if freshTarget <= 0 {
+		freshTarget = sloFreshTarget
+	}
+	for _, sp := range fleetSpecs {
+		name := sp.Name
+		slo.AddFreshness("freshness:"+name, func() float64 {
+			v, _ := reg.Sample("fleet_log_checkpoint_age_seconds", "log", name)
+			return v
+		}, freshTarget.Seconds(), 0.5, 1.0)
+	}
+	slo.AddBurnRate("sync-errors", func() float64 {
+		v, _ := reg.Sample("ctlog_requests_total", "outcome", "retryable")
+		return v
+	}, func() float64 {
+		v, _ := reg.Sum("ctlog_requests_total")
+		return v
+	}, sloErrObjective, sloFastWindow, sloSlowWindow, sloBurnWarn, sloBurnPage)
+	slo.AddBurnRate("shed-rate", func() float64 {
+		v, _ := reg.Sum("ctlog_server_shed_total")
+		return v
+	}, func() float64 {
+		v, _ := reg.Sum("ctlog_server_requests_total")
+		return v
+	}, sloErrObjective, sloFastWindow, sloSlowWindow, sloBurnWarn, sloBurnPage)
+	go slo.Run(ctx, sloTickEvery)
+
 	if p.metricsAddr != "" {
-		serveMetrics(ctx, p.metricsAddr, reg, p.drain, coord.Ready)
+		ready := func() error {
+			if err := coord.Ready(); err != nil {
+				return err
+			}
+			return slo.Err()
+		}
+		serveMetrics(ctx, p.metricsAddr, reg, p.journal, p.drain, ready, map[string]http.Handler{
+			"/debug/fleet": coord.DebugHandler(slo, p.flight),
+		})
 	}
 
 	res, err := coord.Run(ctx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ctmonitor: fleet: %v\n", err)
 		return 1
+	}
+	// An interrupted or less-than-healthy finish is a flight moment:
+	// capture what every subsystem was doing as the run wound down.
+	if res.Interrupted || res.FinalState != fleet.Healthy.String() {
+		_, _ = p.flight.Trigger("degraded-exit")
 	}
 
 	// Per-log outcome table.

@@ -60,8 +60,10 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/corpus"
@@ -102,6 +104,8 @@ func main() {
 	checkpointDir := flag.String("checkpoint-dir", "", "fleet mode: directory for per-log crash-safe checkpoints (one advisory-locked file per log)")
 	fleetQueue := flag.Int("fleet-queue", 0, "fleet mode: bounded entry-feed depth shared by all crawls (0 = 256)")
 	fleetStallAfter := flag.Duration("fleet-stall-after", 0, "fleet mode: mark a log stalled when its checkpoint stops advancing for this long (0 disables age-based stalling)")
+	journalPath := flag.String("journal", "", "append schema-versioned JSONL audit events (sync, health, breaker, checkpoint, shed) to this file")
+	flightDir := flag.String("flight-dir", "", "write flight-recorder dumps (JSONL) here on panic, quarantine, breaker-open, fleet transitions, SIGQUIT, and degraded exit")
 	flag.Parse()
 
 	// SIGINT/SIGTERM cancel this context; everything below — servers
@@ -118,6 +122,34 @@ func main() {
 
 	reg := obs.NewRegistry()
 	tracer := obs.NewTracer(0)
+
+	// The journal is the run's append-only audit trail; the flight
+	// recorder always records into its in-memory rings and dumps to
+	// -flight-dir when set. Journal lines are written whole per event,
+	// so the os.Exit paths below lose nothing.
+	var journal *obs.Journal
+	if *journalPath != "" {
+		j, err := obs.OpenJournal(*journalPath, reg)
+		if err != nil {
+			fatal("journal: %v", err)
+		}
+		journal = j
+		defer journal.Close()
+	}
+	flight := obs.NewFlight(*flightDir, 0, reg)
+	flight.Journal = journal
+
+	// SIGQUIT dumps the flight recorder and keeps running — the
+	// "what is it doing right now" probe for a live process.
+	sigquit := make(chan os.Signal, 1)
+	signal.Notify(sigquit, syscall.SIGQUIT)
+	go func() {
+		for range sigquit {
+			if path, err := flight.Trigger("sigquit"); err == nil && path != "" {
+				fmt.Fprintf(os.Stderr, "ctmonitor: flight dump: %s\n", path)
+			}
+		}
+	}()
 
 	// Fleet mode replaces the single-log pipeline wholesale: N in-process
 	// logs, one supervised crawl worker per log, fleet-wide dedup and
@@ -144,8 +176,11 @@ func main() {
 			query:            *query,
 			monitorFilter:    *monitorFilter,
 			progressEvery:    *progressEvery,
+			journal:          journal,
+			flight:           flight,
 		})
 		stop()
+		journal.Close()
 		os.Exit(code)
 	}
 
@@ -153,15 +188,16 @@ func main() {
 	// /readyz reports it.
 	var crawling atomic.Bool
 	if *metricsAddr != "" {
-		serveMetrics(ctx, *metricsAddr, reg, *drain, func() error {
+		serveMetrics(ctx, *metricsAddr, reg, journal, *drain, func() error {
 			if !crawling.Load() {
 				return fmt.Errorf("no crawl started yet")
 			}
 			return nil
-		})
+		}, nil)
 	}
+	var prog *obs.Progress
 	if *progressEvery > 0 {
-		prog := obs.NewProgress(os.Stderr, reg, *progressEvery, "monitor_", "ctlog_")
+		prog = obs.NewProgress(os.Stderr, reg, *progressEvery, "monitor_", "ctlog_")
 		prog.Start()
 		defer prog.Stop()
 	}
@@ -179,6 +215,8 @@ func main() {
 		MaxInFlight: *maxInflight,
 		RateLimit:   *rateLimit,
 		RateBurst:   *rateBurst,
+		Journal:     journal,
+		Name:        "ctlog",
 	}
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -188,6 +226,7 @@ func main() {
 		Name:         "ctlog",
 		DrainTimeout: *drain,
 		Obs:          reg,
+		Journal:      journal,
 	})
 	logDone := make(chan error, 1)
 	go func() { logDone <- logSrv.Run(ctx, ln) }()
@@ -270,7 +309,10 @@ func main() {
 			break
 		}
 		m := monitor.New(caps)
-		opts := monitor.SyncOptions{Batch: *batch, Obs: reg, Tracer: tracer}
+		opts := monitor.SyncOptions{
+			Batch: *batch, Obs: reg, Tracer: tracer,
+			Name: caps.Name, Journal: journal, Flight: flight,
+		}
 		if *checkpointFile != "" {
 			opts.Checkpoints = &monitor.FileCheckpointStore{Path: *checkpointFile + "." + slug(caps.Name)}
 		}
@@ -291,7 +333,8 @@ func main() {
 		var cerr error
 		if *supervise {
 			cerr = monitor.Supervise(ctx, monitor.SupervisorOptions{
-				Obs: reg,
+				Obs:    reg,
+				Flight: flight,
 				OnRestart: func(r monitor.Restart) {
 					fmt.Fprintf(os.Stderr, "ctmonitor: %s crawl restart %d after: %v\n", caps.Name, r.Attempt, r.Err)
 				},
@@ -375,6 +418,11 @@ func main() {
 	}
 	<-logDone
 	if hadError && !interrupted {
+		// os.Exit skips defers: flush the progress line and capture the
+		// failing run's flight rings before going down degraded.
+		_, _ = flight.Trigger("degraded-exit")
+		prog.Stop()
+		journal.Close()
 		os.Exit(1)
 	}
 }
@@ -424,18 +472,29 @@ func slug(name string) string {
 	return b.String()
 }
 
-// serveMetrics mounts the registry's exposition endpoints on a
-// dedicated hardened listener that drains with the process.
-func serveMetrics(ctx context.Context, addr string, reg *obs.Registry, drain time.Duration, ready func() error) {
+// serveMetrics mounts the registry's exposition endpoints — plus any
+// extra debug mounts (e.g. /debug/fleet) — on a dedicated hardened
+// listener that drains with the process.
+func serveMetrics(ctx context.Context, addr string, reg *obs.Registry, journal *obs.Journal, drain time.Duration, ready func() error, mounts map[string]http.Handler) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		fatal("metrics listener: %v", err)
 	}
-	srv := serve.New(reg.Handler(), serve.Config{
+	h := http.Handler(reg.Handler())
+	if len(mounts) > 0 {
+		mux := http.NewServeMux()
+		for path, mh := range mounts {
+			mux.Handle(path, mh)
+		}
+		mux.Handle("/", h)
+		h = mux
+	}
+	srv := serve.New(h, serve.Config{
 		Name:         "metrics",
 		DrainTimeout: drain,
 		Ready:        ready,
 		Obs:          reg,
+		Journal:      journal,
 	})
 	fmt.Fprintf(os.Stderr, "ctmonitor: metrics at http://%s/metrics\n", ln.Addr())
 	go func() {

@@ -26,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+
+	"repro/internal/obs"
 )
 
 // fleetSyncStats mirrors the monitor.SyncStats fields the fleet
@@ -36,6 +38,7 @@ type fleetSyncStats struct {
 	ResumedFrom    int
 	Forwarded      int
 	Deduped        int
+	Quarantined    int
 }
 
 type fleetLogReport struct {
@@ -58,7 +61,7 @@ type fleetRun struct {
 	Metrics     map[string]any            `json:"metrics"`
 }
 
-func checkFleet(path1, path2 string) int {
+func checkFleet(path1, path2, journal1, journal2 string) int {
 	run1, run2 := loadFleet(path1), loadFleet(path2)
 
 	var failures []string
@@ -184,15 +187,103 @@ func checkFleet(path1, path2 string) int {
 		failf("no circuit breaker re-closed after opening")
 	}
 
+	// Journal replay: the summed monitor.sync.end accounting must
+	// reproduce each run's stats rollup exactly — including run 1's
+	// interrupted crawls, whose final sync.end carries the partial
+	// counts the SIGTERM cut short.
+	journals := 0
+	for _, rj := range []struct {
+		journal string
+		path    string
+		run     fleetRun
+	}{{journal1, path1, run1}, {journal2, path2, run2}} {
+		if rj.journal == "" {
+			continue
+		}
+		reconcileJournal(rj.journal, rj.path, rj.run, failf)
+		journals++
+	}
+
 	if len(failures) > 0 {
 		for _, f := range failures {
 			fmt.Fprintf(os.Stderr, "soakcheck: FAIL: %s\n", f)
 		}
 		return 1
 	}
-	fmt.Printf("soakcheck: PASS: fleet of %d logs, %d resumed, %d+%d unique entries, %d+%d duplicates, breaker opened %.0f× and closed %.0f×\n",
-		len(run1.LogSizes), resumed, run1.Unique, run2.Unique, run1.Deduped, run2.Deduped, opened, closed)
+	fmt.Printf("soakcheck: PASS: fleet of %d logs, %d resumed, %d+%d unique entries, %d+%d duplicates, breaker opened %.0f× and closed %.0f×, %d journals replayed exactly\n",
+		len(run1.LogSizes), resumed, run1.Unique, run2.Unique, run1.Deduped, run2.Deduped, opened, closed, journals)
 	return 0
+}
+
+// journalSums accumulates one log's monitor.sync.end accounting.
+type journalSums struct {
+	fetched, deduped, quarantined, skipped int
+	ends                                   int
+}
+
+// attrInt reads a numeric journal attr (JSON numbers decode as
+// float64).
+func attrInt(attrs map[string]any, key string) int {
+	if v, ok := attrs[key].(float64); ok {
+		return int(v)
+	}
+	return 0
+}
+
+// reconcileJournal replays path's JSONL events and fails unless each
+// log's summed sync.end accounting matches the run's stats exactly.
+func reconcileJournal(journalPath, statsPath string, run fleetRun, failf func(string, ...any)) {
+	f, err := os.Open(journalPath)
+	if err != nil {
+		failf("journal %s: %v", journalPath, err)
+		return
+	}
+	defer f.Close()
+	events, err := obs.ReadJournal(f)
+	if err != nil {
+		failf("journal %s: %v", journalPath, err)
+		return
+	}
+	sums := map[string]*journalSums{}
+	for _, ev := range events {
+		if ev.Schema != obs.JournalSchema {
+			failf("journal %s: event seq %d has schema v%d, want v%d", journalPath, ev.Seq, ev.Schema, obs.JournalSchema)
+			return
+		}
+		if ev.Type != "monitor.sync.end" {
+			continue
+		}
+		name, _ := ev.Attrs["log"].(string)
+		s := sums[name]
+		if s == nil {
+			s = &journalSums{}
+			sums[name] = s
+		}
+		s.ends++
+		s.fetched += attrInt(ev.Attrs, "fetched")
+		s.deduped += attrInt(ev.Attrs, "deduped")
+		s.quarantined += attrInt(ev.Attrs, "quarantined")
+		s.skipped += attrInt(ev.Attrs, "skipped")
+	}
+	for name, rep := range run.Logs {
+		s := sums[name]
+		if s == nil {
+			failf("journal %s: no monitor.sync.end events for log %q", journalPath, name)
+			continue
+		}
+		st := rep.Stats
+		if s.fetched != st.Fetched || s.deduped != st.Deduped ||
+			s.quarantined != st.Quarantined || s.skipped != st.SkippedEntries {
+			failf("journal %s: %s replay (fetched %d, deduped %d, quarantined %d, skipped %d) != %s stats (fetched %d, deduped %d, quarantined %d, skipped %d)",
+				journalPath, name, s.fetched, s.deduped, s.quarantined, s.skipped,
+				statsPath, st.Fetched, st.Deduped, st.Quarantined, st.SkippedEntries)
+		}
+	}
+	for name := range sums {
+		if _, ok := run.Logs[name]; !ok {
+			failf("journal %s: sync.end events for unknown log %q", journalPath, name)
+		}
+	}
 }
 
 func sameSizes(a, b map[string]int) bool {

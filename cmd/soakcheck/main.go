@@ -19,9 +19,16 @@
 // accounting, poisoned-entry quarantine, and fleet health that
 // degrades without dying. See fleet.go.
 //
+// With -journal1/-journal2 (fleet mode) it additionally replays each
+// run's JSONL event journal and reconciles the summed
+// monitor.sync.end accounting per log against that run's -stats-json
+// rollup — fetched, deduped, quarantined, and skipped must match
+// EXACTLY, proving the journal records every crawl outcome including
+// interrupted ones.
+//
 // Usage:
 //
-//	soakcheck [-fleet] run1.json run2.json
+//	soakcheck [-fleet] [-journal1 run1.jsonl -journal2 run2.jsonl] run1.json run2.json
 package main
 
 import (
@@ -48,13 +55,15 @@ type run struct {
 
 func main() {
 	fleetMode := flag.Bool("fleet", false, "check a fleet-mode soak (ctmonitor -logs stats-json schema)")
+	journal1 := flag.String("journal1", "", "fleet mode: run 1's -journal JSONL file to replay against its stats")
+	journal2 := flag.String("journal2", "", "fleet mode: run 2's -journal JSONL file to replay against its stats")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: soakcheck [-fleet] run1.json run2.json")
+		fmt.Fprintln(os.Stderr, "usage: soakcheck [-fleet] [-journal1 run1.jsonl -journal2 run2.jsonl] run1.json run2.json")
 		os.Exit(2)
 	}
 	if *fleetMode {
-		os.Exit(checkFleet(flag.Arg(0), flag.Arg(1)))
+		os.Exit(checkFleet(flag.Arg(0), flag.Arg(1), *journal1, *journal2))
 	}
 	run1, run2 := load(flag.Arg(0)), load(flag.Arg(1))
 

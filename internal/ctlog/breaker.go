@@ -65,6 +65,11 @@ type Breaker struct {
 	Cooldown time.Duration
 	// Now is a test hook for the cooldown clock.
 	Now func() time.Time
+	// OnTransition, when non-nil, observes every state change with the
+	// old and new state. It is called AFTER the breaker's lock is
+	// released, so the hook may safely call State() or journal/dump —
+	// set it before the breaker sees traffic.
+	OnTransition func(from, to int32)
 
 	mu       sync.Mutex
 	state    int32
@@ -117,21 +122,26 @@ func (b *Breaker) Allow() bool {
 		return true
 	}
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	var transitioned bool
+	var allowed bool
 	switch b.state {
 	case BreakerClosed:
-		return true
+		allowed = true
 	case BreakerHalfOpen:
 		// One probe is already in flight; hold the rest back.
-		return false
 	default: // BreakerOpen
-		if b.now().Sub(b.openedAt) < b.cooldown() {
-			return false
+		if b.now().Sub(b.openedAt) >= b.cooldown() {
+			b.state = BreakerHalfOpen
+			b.toHalfOpen.Inc()
+			transitioned = true
+			allowed = true
 		}
-		b.state = BreakerHalfOpen
-		b.toHalfOpen.Inc()
-		return true
 	}
+	b.mu.Unlock()
+	if transitioned && b.OnTransition != nil {
+		b.OnTransition(BreakerOpen, BreakerHalfOpen)
+	}
+	return allowed
 }
 
 // Record feeds an attempt outcome into the breaker. Success and
@@ -145,29 +155,36 @@ func (b *Breaker) Record(err error) {
 	}
 	retryable := err != nil && IsRetryable(err)
 	b.mu.Lock()
-	defer b.mu.Unlock()
+	from, to := b.state, b.state
 	if !retryable {
 		if b.state != BreakerClosed {
 			b.toClosed.Inc()
 		}
 		b.state = BreakerClosed
 		b.failures = 0
-		return
-	}
-	switch b.state {
-	case BreakerHalfOpen:
-		// The probe failed: back to a full cooldown.
-		b.state = BreakerOpen
-		b.openedAt = b.now()
-		b.toOpen.Inc()
-	case BreakerClosed:
-		b.failures++
-		if b.failures >= b.threshold() {
+		to = BreakerClosed
+	} else {
+		switch b.state {
+		case BreakerHalfOpen:
+			// The probe failed: back to a full cooldown.
 			b.state = BreakerOpen
 			b.openedAt = b.now()
-			b.failures = 0
 			b.toOpen.Inc()
+			to = BreakerOpen
+		case BreakerClosed:
+			b.failures++
+			if b.failures >= b.threshold() {
+				b.state = BreakerOpen
+				b.openedAt = b.now()
+				b.failures = 0
+				b.toOpen.Inc()
+				to = BreakerOpen
+			}
 		}
+	}
+	b.mu.Unlock()
+	if from != to && b.OnTransition != nil {
+		b.OnTransition(from, to)
 	}
 }
 

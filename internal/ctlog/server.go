@@ -53,6 +53,11 @@ type Server struct {
 	// exposition endpoints (/metrics, /debug/vars, /debug/pprof/) on
 	// the handler.
 	Obs *obs.Registry
+	// Journal, when non-nil, receives a serve.shed event for every shed
+	// decision the limiter makes, labeled with Name.
+	Journal *obs.Journal
+	// Name labels this server's journal events (default "ctlog").
+	Name string
 }
 
 func (s *Server) maxGetEntries() int {
@@ -84,11 +89,17 @@ func (s *Server) Handler() http.Handler {
 	s.route(mux, "/ct/v1/get-sth-consistency", "get-sth-consistency", s.getConsistency)
 	var api http.Handler = mux
 	if s.MaxInFlight > 0 || s.RateLimit > 0 {
+		name := s.Name
+		if name == "" {
+			name = "ctlog"
+		}
 		lim := &serve.Limiter{
 			MaxInFlight: s.MaxInFlight,
 			Rate:        s.RateLimit,
 			Burst:       s.RateBurst,
 			OnShed:      s.shedObserver(),
+			Journal:     s.Journal,
+			Name:        name,
 		}
 		api = lim.Wrap(mux)
 	}

@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestDebugHandler runs a two-log fleet to completion, then asserts the
+// /debug/fleet report serves both representations: parseable JSON with
+// per-log rows (sorted, with breaker state and exact accounting) and an
+// HTML table when the client asks for it.
+func TestDebugHandler(t *testing.T) {
+	urlA := serveLog(t, 501, ders(t, "dbg-a", 6))
+	urlB := serveLog(t, 502, ders(t, "dbg-b", 4))
+	reg := obs.NewRegistry()
+	var journal bytes.Buffer
+	fl := obs.NewFlight(t.TempDir(), 64, reg)
+	c, err := New(Config{
+		Logs: []LogSpec{
+			{Name: "beta", Client: fastClient(urlB, nil)},
+			{Name: "alpha", Client: fastClient(urlA, nil)},
+		},
+		Obs:     reg,
+		Journal: obs.NewJournal(&journal, reg),
+		Flight:  fl,
+		Sleep:   noSleep,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	slo := obs.NewSLOEngine(reg, nil)
+	slo.AddFreshness("fleet_freshness", func() float64 { return 10 }, 60, 1, 2)
+	slo.Tick()
+	h := c.DebugHandler(slo, fl)
+
+	// JSON is the default representation.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/fleet", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("default Content-Type = %q, want JSON", ct)
+	}
+	var rep debugReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("debug JSON does not parse: %v", err)
+	}
+	if len(rep.Logs) != 2 || rep.Logs[0].Name != "alpha" || rep.Logs[1].Name != "beta" {
+		t.Fatalf("logs not sorted by name: %+v", rep.Logs)
+	}
+	if rep.Logs[0].Stats.Fetched != 6 || rep.Logs[1].Stats.Fetched != 4 {
+		t.Fatalf("per-log fetched accounting wrong: %+v", rep.Logs)
+	}
+	if rep.Logs[0].Breaker != "closed" {
+		t.Fatalf("breaker = %q, want closed", rep.Logs[0].Breaker)
+	}
+	if rep.Unique != 10 || rep.Ready != "ok" {
+		t.Fatalf("unique=%d ready=%q", rep.Unique, rep.Ready)
+	}
+	if len(rep.SLOs) != 1 || rep.SLOs[0].StateStr != "ok" {
+		t.Fatalf("slos: %+v", rep.SLOs)
+	}
+	if len(rep.Flight) == 0 {
+		t.Fatal("flight tail empty; expected ring events from the crawl")
+	}
+
+	// ?format=html and Accept: text/html both select the HTML table.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest("GET", "/debug/fleet?format=html", nil))
+	body := rec.Body.String()
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Fatalf("html Content-Type = %q", ct)
+	}
+	for _, want := range []string{"<table>", "alpha", "beta", "fleet_freshness", "<h2>flight"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("html missing %q:\n%s", want, body)
+		}
+	}
+	rec = httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/debug/fleet", nil)
+	req.Header.Set("Accept", "text/html,application/xhtml+xml")
+	h.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "text/html") {
+		t.Fatalf("Accept text/html Content-Type = %q", ct)
+	}
+}
+
+// TestDebugHandlerNilExtras: slo and flight are optional; the handler
+// must not panic and the sections are omitted.
+func TestDebugHandlerNilExtras(t *testing.T) {
+	url := serveLog(t, 503, ders(t, "dbg-n", 2))
+	c, err := New(Config{Logs: []LogSpec{{Name: "solo", Client: fastClient(url, nil)}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rec := httptest.NewRecorder()
+	c.DebugHandler(nil, nil).ServeHTTP(rec, httptest.NewRequest("GET", "/debug/fleet", nil))
+	var rep debugReport
+	if err := json.Unmarshal(rec.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SLOs) != 0 || len(rep.Flight) != 0 {
+		t.Fatalf("nil extras must omit sections: %+v", rep)
+	}
+}

@@ -112,6 +112,15 @@ type Config struct {
 	Obs *obs.Registry
 	// Tracer, when non-nil, is shared by all crawls.
 	Tracer *obs.Tracer
+	// Journal, when non-nil, receives the fleet's audit events:
+	// fleet.log_state and fleet.state health transitions,
+	// breaker.transition for every per-log breaker flip, and the
+	// per-crawl monitor.* events from each worker's sync.
+	Journal *obs.Journal
+	// Flight, when non-nil, is threaded into every worker's crawl and
+	// supervisor; fleet health transitions and breaker-opens trigger
+	// dumps.
+	Flight *obs.Flight
 	// Backoff/sleep overrides for tests.
 	BaseBackoff time.Duration
 	Sleep       func(context.Context, time.Duration) error
@@ -227,6 +236,7 @@ type Coordinator struct {
 	uniqueCtr   *obs.Counter
 	dedupedCtr  *obs.Counter
 	transitions map[State]*obs.Counter
+	ring        *obs.FlightRing
 }
 
 // New validates cfg and builds a Coordinator. Checkpoint locks are NOT
@@ -255,8 +265,34 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, fmt.Errorf("fleet: quorum %d exceeds %d logs", q, len(cfg.Logs))
 	}
 	c.feed = pipeline.NewFeed[ctlog.Entry](cfg.queueDepth(), "fleet_feed", cfg.Obs)
+	c.ring = cfg.Flight.Ring("fleet")
 	c.instrument()
+	c.instrumentBreakers()
 	return c, nil
+}
+
+// instrumentBreakers journals every per-log breaker transition and
+// dumps the flight recorder when a breaker trips open — a breaker-open
+// is the moment a log's failure domain proved sick, and the ring holds
+// the lead-up. Hooks are installed before any crawl traffic, and the
+// breaker fires them outside its own lock.
+func (c *Coordinator) instrumentBreakers() {
+	for _, w := range c.workers {
+		b := w.spec.Client.Breaker
+		if b == nil {
+			continue
+		}
+		name := w.spec.Name
+		b.OnTransition = func(from, to int32) {
+			c.ring.Record("breaker", name, int64(from), int64(to))
+			c.cfg.Journal.Emit(nil, "breaker.transition", map[string]any{
+				"name": name, "from": ctlog.BreakerStateName(from), "to": ctlog.BreakerStateName(to),
+			})
+			if to == ctlog.BreakerOpen {
+				_, _ = c.cfg.Flight.Trigger("breaker-open")
+			}
+		}
+	}
 }
 
 func (c *Coordinator) instrument() {
@@ -272,8 +308,10 @@ func (c *Coordinator) instrument() {
 	reg.Help("fleet_log_state", "Per-log health (0 healthy, 1 degraded, 2 stalled).")
 	reg.Help("fleet_state", "Fleet health (0 healthy, 1 degraded, 2 stalled).")
 	reg.Help("fleet_state_transitions_total", "Fleet state transitions by destination state.")
+	reg.Help("fleet_log_state_transitions_total", "Per-log health transitions by log and destination state.")
 	reg.Help("fleet_log_restarts_total", "Per-log supervised crawl restarts.")
 	reg.Help("fleet_log_checkpoint", "Per-log next index the crawl will fetch.")
+	reg.Help("fleet_log_checkpoint_age_seconds", "Per-log seconds since the crawl last advanced; the freshness-SLO source.")
 	reg.Help("fleet_entries_unique_total", "First-seen entries delivered downstream (cross-log dedup winners).")
 	reg.Help("fleet_entries_deduped_total", "Cross-log duplicate entries dropped at the fleet sink.")
 	reg.Help("fleet_logs", "Number of logs the fleet crawls.")
@@ -291,7 +329,22 @@ func (c *Coordinator) instrument() {
 		w.restartCtr = reg.Counter("fleet_log_restarts_total", "log", w.spec.Name)
 		w := w
 		reg.GaugeFunc("fleet_log_checkpoint", func() float64 { return float64(w.checkpoint.Load()) }, "log", w.spec.Name)
+		reg.GaugeFunc("fleet_log_checkpoint_age_seconds", func() float64 { return w.checkpointAge().Seconds() }, "log", w.spec.Name)
 	}
+}
+
+// checkpointAge reports how long this log's crawl has gone without
+// advancing (0 before the first advance or after a clean finish — a
+// done log is not "stale", it is complete).
+func (w *worker) checkpointAge() time.Duration {
+	if w.done.Load() {
+		return 0
+	}
+	last := w.mon.LastAdvance()
+	if last.IsZero() {
+		return 0
+	}
+	return time.Since(last)
 }
 
 // State returns the fleet's current health.
@@ -461,9 +514,12 @@ func (c *Coordinator) releaseStores() {
 // per-log story instead.
 func (c *Coordinator) runWorker(ctx context.Context, w *worker) {
 	opts := monitor.SyncOptions{
-		Batch:  w.spec.Batch,
-		Tracer: c.cfg.Tracer,
-		Sink:   c.sink(ctx, w),
+		Batch:   w.spec.Batch,
+		Tracer:  c.cfg.Tracer,
+		Sink:    c.sink(ctx, w),
+		Name:    w.spec.Name,
+		Journal: c.cfg.Journal,
+		Flight:  c.cfg.Flight,
 	}
 	if w.store != nil {
 		opts.Checkpoints = w.store
@@ -473,6 +529,7 @@ func (c *Coordinator) runWorker(ctx context.Context, w *worker) {
 		BaseBackoff: c.cfg.BaseBackoff,
 		Sleep:       c.cfg.Sleep,
 		Obs:         c.cfg.Obs,
+		Flight:      c.cfg.Flight,
 		OnRestart: func(r monitor.Restart) {
 			w.restarts.Add(1)
 			w.consecFails.Add(1)
@@ -566,6 +623,11 @@ func (c *Coordinator) evalHealth() {
 			if c.cfg.Obs != nil {
 				c.cfg.Obs.Counter("fleet_log_state_transitions_total", "log", w.spec.Name, "to", s.String()).Inc()
 			}
+			c.ring.Record("log-state", w.spec.Name, int64(prev), int64(s))
+			c.cfg.Journal.Emit(nil, "fleet.log_state", map[string]any{
+				"log": w.spec.Name, "from": prev.String(), "to": s.String(),
+				"restarts": int(w.restarts.Load()),
+			})
 		}
 		w.stateGauge.Set(float64(s))
 		switch s {
@@ -586,6 +648,14 @@ func (c *Coordinator) evalHealth() {
 	}
 	if prev := State(c.fleetState.Swap(int32(fs))); prev != fs {
 		c.transitions[fs].Inc()
+		c.ring.Record("fleet-state", "", int64(prev), int64(fs))
+		c.cfg.Journal.Emit(nil, "fleet.state", map[string]any{
+			"from": prev.String(), "to": fs.String(),
+			"healthy": healthyLogs, "total": len(c.workers),
+		})
+		// A fleet-level health change is a capture-the-context moment:
+		// the rings hold what every subsystem was doing when it flipped.
+		_, _ = c.cfg.Flight.Trigger("fleet-state")
 	}
 	c.stateGauge.Set(float64(fs))
 }

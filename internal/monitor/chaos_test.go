@@ -7,10 +7,12 @@ package monitor
 // the monitor any parseable certificate.
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -400,6 +402,159 @@ func TestChaosStaleSTH(t *testing.T) {
 	}
 	if res := m.Query("late.example"); len(res.IDs) != total-phase1 {
 		t.Fatalf("late.example has %d ids, want %d", len(res.IDs), total-phase1)
+	}
+}
+
+// TestChaosJournalReconciles replays the structured journal written
+// during a chaos crawl and asserts the invariant the fleet soak's
+// journal replay depends on: every bisection and skip in SyncStats has
+// a matching journal event, and the single monitor.sync.end carries
+// the exact final accounting.
+func TestChaosJournalReconciles(t *testing.T) {
+	const total = 260
+	log, _ := chaosLog(t, 71, total, 0)
+	poisoned := map[int]bool{33: true, 150: true, 201: true}
+	srv := httptest.NewServer((&ctlog.Server{Log: log}).Handler())
+	defer srv.Close()
+
+	injector := faultinject.New(faultinject.Config{
+		Seed:          17,
+		Rate:          0.2,
+		Kinds:         []faultinject.Kind{faultinject.ServerError, faultinject.Drop},
+		PoisonEntries: poisoned,
+	}, nil)
+	client := fastChaosClient(srv.URL, injector)
+
+	var buf bytes.Buffer
+	journal := obs.NewJournal(&buf, nil)
+	m := New(Monitors()[0])
+	stats, err := m.SyncFromLog(context.Background(), client, SyncOptions{
+		Batch: 16, Name: "chaos", Journal: journal,
+	})
+	if err != nil {
+		t.Fatalf("crawl: %v (injector %+v)", err, injector.Stats())
+	}
+	if stats.SkippedEntries != len(poisoned) || stats.Bisections == 0 {
+		t.Fatalf("chaos run exercised too little: %+v", stats)
+	}
+
+	events, err := obs.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	skipIdx := map[int]bool{}
+	var end *obs.JournalEvent
+	for i, ev := range events {
+		if ev.Schema != obs.JournalSchema {
+			t.Fatalf("event seq %d has schema v%d, want v%d", ev.Seq, ev.Schema, obs.JournalSchema)
+		}
+		if i > 0 && ev.Seq <= events[i-1].Seq {
+			t.Fatalf("journal seq not strictly increasing at event %d: %d after %d", i, ev.Seq, events[i-1].Seq)
+		}
+		if name, _ := ev.Attrs["log"].(string); name != "chaos" {
+			t.Fatalf("event %s seq %d names log %q, want chaos", ev.Type, ev.Seq, name)
+		}
+		counts[ev.Type]++
+		switch ev.Type {
+		case "monitor.skip":
+			idx, ok := ev.Attrs["index"].(float64)
+			if !ok {
+				t.Fatalf("monitor.skip seq %d has no numeric index: %v", ev.Seq, ev.Attrs)
+			}
+			skipIdx[int(idx)] = true
+		case "monitor.sync.end":
+			end = &events[i]
+		}
+	}
+	if counts["monitor.sync.start"] != 1 || counts["monitor.sync.end"] != 1 {
+		t.Fatalf("sync.start/sync.end = %d/%d, want exactly one of each; counts %v",
+			counts["monitor.sync.start"], counts["monitor.sync.end"], counts)
+	}
+	if counts["monitor.bisect"] != stats.Bisections {
+		t.Errorf("monitor.bisect events %d, stats say %d bisections", counts["monitor.bisect"], stats.Bisections)
+	}
+	if counts["monitor.skip"] != stats.SkippedEntries {
+		t.Errorf("monitor.skip events %d, stats say %d skipped", counts["monitor.skip"], stats.SkippedEntries)
+	}
+	if counts["monitor.quarantine"] != stats.Quarantined {
+		t.Errorf("monitor.quarantine events %d, stats say %d quarantined", counts["monitor.quarantine"], stats.Quarantined)
+	}
+	for idx := range poisoned {
+		if !skipIdx[idx] {
+			t.Errorf("poisoned index %d has no monitor.skip event (skips journaled: %v)", idx, skipIdx)
+		}
+	}
+	for key, want := range map[string]int{
+		"fetched": stats.Fetched, "indexed": stats.Indexed,
+		"deduped": stats.Deduped, "quarantined": stats.Quarantined,
+		"skipped": stats.SkippedEntries, "bisections": stats.Bisections,
+		"retries": stats.Retries, "resumed_from": stats.ResumedFrom,
+	} {
+		got, ok := end.Attrs[key].(float64)
+		if !ok || int(got) != want {
+			t.Errorf("sync.end attr %s = %v, want %d", key, end.Attrs[key], want)
+		}
+	}
+	if interrupted, _ := end.Attrs["interrupted"].(bool); interrupted {
+		t.Error("sync.end marked interrupted on a completed crawl")
+	}
+}
+
+// TestChaosQuarantineJournalsEveryEntry pins the quarantine side of the
+// replay invariant: a panicking index path leaves one
+// monitor.quarantine event per quarantined entry, carrying the entry's
+// index, and triggers a flight-recorder dump for forensics.
+func TestChaosQuarantineJournalsEveryEntry(t *testing.T) {
+	der := cert(t, "quarantine.example", "quarantine.example").Raw
+	broken := &Monitor{Caps: Monitors()[0]} // nil index map: Index panics
+	var buf bytes.Buffer
+	dir := t.TempDir()
+	stats := &SyncStats{}
+	entries := []ctlog.Entry{
+		{Index: 0, DER: der},
+		{Index: 1, DER: []byte{0x00}}, // parse error, not a panic
+		{Index: 2, DER: der},
+	}
+	opts := &SyncOptions{
+		Name:    "broken",
+		Journal: obs.NewJournal(&buf, nil),
+		Flight:  obs.NewFlight(dir, 32, nil),
+	}
+	if err := broken.ingest(context.Background(), entries, stats, newSyncMetrics(nil, broken), opts); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Quarantined != 2 {
+		t.Fatalf("Quarantined = %d, want 2", stats.Quarantined)
+	}
+
+	events, err := obs.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quarantined := map[int]bool{}
+	for _, ev := range events {
+		if ev.Type != "monitor.quarantine" {
+			continue
+		}
+		idx, ok := ev.Attrs["index"].(float64)
+		if !ok {
+			t.Fatalf("monitor.quarantine seq %d has no numeric index: %v", ev.Seq, ev.Attrs)
+		}
+		if name, _ := ev.Attrs["log"].(string); name != "broken" {
+			t.Errorf("quarantine event names log %q, want broken", name)
+		}
+		quarantined[int(idx)] = true
+	}
+	if len(quarantined) != stats.Quarantined || !quarantined[0] || !quarantined[2] {
+		t.Fatalf("quarantine events for indices %v, want exactly {0, 2}", quarantined)
+	}
+	dumps, err := filepath.Glob(filepath.Join(dir, "flight-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) == 0 {
+		t.Fatal("quarantine left no flight-recorder dump")
 	}
 }
 

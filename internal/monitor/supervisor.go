@@ -43,6 +43,9 @@ type SupervisorOptions struct {
 	// Obs, when non-nil, receives monitor_supervisor_restarts_total
 	// and monitor_supervisor_panics_total.
 	Obs *obs.Registry
+	// Flight, when non-nil, dumps the flight recorder when a supervised
+	// run panics — the crash window is exactly what the rings hold.
+	Flight *obs.Flight
 	// Sleep overrides the backoff sleep (tests inject a no-op). The
 	// default honors context cancellation.
 	Sleep func(context.Context, time.Duration) error
@@ -130,6 +133,7 @@ func Supervise(ctx context.Context, opts SupervisorOptions, fn func(context.Cont
 		defer func() {
 			if r := recover(); r != nil {
 				panics.Inc()
+				_, _ = opts.Flight.Trigger("panic")
 				err = &PanicError{Value: r}
 			}
 		}()

@@ -180,7 +180,7 @@ func TestIngestQuarantinesPanickingIndex(t *testing.T) {
 		{Index: 1, DER: []byte{0x00}}, // parse error, not a panic
 		{Index: 2, DER: der},
 	}
-	if err := broken.ingest(entries, stats, sm, nil); err != nil {
+	if err := broken.ingest(context.Background(), entries, stats, sm, &SyncOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if stats.Quarantined != 2 {
@@ -202,7 +202,7 @@ func TestIngestQuarantinesPanickingIndex(t *testing.T) {
 	// A healthy monitor ingests the same batch without quarantining.
 	ok := New(Monitors()[0])
 	stats2 := &SyncStats{}
-	if err := ok.ingest(entries, stats2, newSyncMetrics(nil, ok), nil); err != nil {
+	if err := ok.ingest(context.Background(), entries, stats2, newSyncMetrics(nil, ok), &SyncOptions{}); err != nil {
 		t.Fatal(err)
 	}
 	if stats2.Quarantined != 0 || stats2.Indexed != 2 {

@@ -62,6 +62,19 @@ type SyncOptions struct {
 	// the crawl with the checkpoint still BEFORE the entry, so a resume
 	// re-delivers it — an entry is never claimed without being sunk.
 	Sink func(e ctlog.Entry) (SinkAction, error)
+	// Name labels this crawl's journal events and flight-recorder
+	// entries (the log's name in fleet mode; empty for a single-log
+	// crawl).
+	Name string
+	// Journal, when non-nil, receives the crawl's audit events:
+	// monitor.sync.start/.end, monitor.bisect, monitor.skip,
+	// monitor.quarantine, and checkpoint.persist/.restore, each stamped
+	// with the sync span so journal lines stitch to traces.
+	Journal *obs.Journal
+	// Flight, when non-nil, records fine-grained crawl events (batches,
+	// bisects, skips, quarantines) into the "monitor" flight ring and
+	// triggers a dump when an entry is quarantined.
+	Flight *obs.Flight
 }
 
 // SinkAction is a Sink's verdict on one fetched entry.
@@ -147,6 +160,7 @@ type syncMetrics struct {
 	perSec      *obs.Gauge   // monitor_entries_per_sec
 	checkpoint  *obs.Gauge   // monitor_checkpoint
 	treeSize    *obs.Gauge   // monitor_sth_tree_size
+	ring        *obs.FlightRing
 	start       time.Time
 	fetched     int // this crawl's fetch count, for the entries/sec gauge
 }
@@ -249,14 +263,19 @@ func (m *Monitor) SyncFromLog(ctx context.Context, client *ctlog.Client, opts Sy
 			return SyncStats{}, fmt.Errorf("monitor: loading checkpoint: %w", err)
 		} else if ok {
 			m.SetCheckpoint(cp.NextIndex)
+			opts.Journal.Emit(ctx, "checkpoint.restore", map[string]any{
+				"log": opts.Name, "index": cp.NextIndex,
+			})
 		}
 	}
 	stats := SyncStats{ResumedFrom: m.nextIndex}
 	sm := newSyncMetrics(opts.Obs, m)
+	sm.ring = opts.Flight.Ring("monitor")
 	m.lastAdvance.Store(started.UnixNano())
 	ctx, span := opts.Tracer.Start(ctx, "monitor.sync")
 	span.SetAttr("resumed_from", strconv.Itoa(m.nextIndex))
 	treeSize := 0
+	lastPersisted := -1
 	persist := func() {
 		if opts.Checkpoints == nil {
 			return
@@ -265,6 +284,13 @@ func (m *Monitor) SyncFromLog(ctx context.Context, client *ctlog.Client, opts Sy
 		if err := opts.Checkpoints.Save(cp); err != nil {
 			stats.CheckpointErrors++
 			sm.cpErrors.Inc()
+			return
+		}
+		if cp.NextIndex != lastPersisted {
+			lastPersisted = cp.NextIndex
+			opts.Journal.Emit(ctx, "checkpoint.persist", map[string]any{
+				"log": opts.Name, "index": cp.NextIndex,
+			})
 		}
 	}
 	finish := func(err error) (SyncStats, error) {
@@ -276,6 +302,17 @@ func (m *Monitor) SyncFromLog(ctx context.Context, client *ctlog.Client, opts Sy
 			span.SetAttr("error", err.Error())
 		}
 		span.End()
+		// The end event carries the full accounting so a journal replay
+		// reconciles exactly against SyncStats rollups — it is emitted on
+		// every exit path, including context cancellation.
+		opts.Journal.Emit(ctx, "monitor.sync.end", map[string]any{
+			"log": opts.Name, "fetched": stats.Fetched, "indexed": stats.Indexed,
+			"precerts": stats.Precerts, "parse_errors": stats.ParseErrors,
+			"forwarded": stats.Forwarded, "deduped": stats.Deduped,
+			"quarantined": stats.Quarantined, "skipped": stats.SkippedEntries,
+			"bisections": stats.Bisections, "retries": stats.Retries,
+			"resumed_from": stats.ResumedFrom, "interrupted": err != nil,
+		})
 		return stats, err
 	}
 
@@ -286,6 +323,10 @@ func (m *Monitor) SyncFromLog(ctx context.Context, client *ctlog.Client, opts Sy
 	treeSize = size
 	sm.treeSize.Set(float64(size))
 	span.SetAttr("tree_size", strconv.Itoa(size))
+	opts.Journal.Emit(ctx, "monitor.sync.start", map[string]any{
+		"log": opts.Name, "tree_size": size, "resume_from": m.nextIndex,
+	})
+	sm.ring.Record("sync-start", opts.Name, int64(m.nextIndex), int64(size))
 	batch := opts.batch()
 	for m.nextIndex < size {
 		end := min(m.nextIndex+batch-1, size-1)
@@ -335,7 +376,7 @@ func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi in
 			// forever; treat it as a server bug.
 			return fmt.Errorf("monitor: get-entries [%d,%d]: empty response", lo, hi)
 		}
-		return m.ingest(entries, stats, sm, opts)
+		return m.ingest(ctx, entries, stats, sm, opts)
 	}
 	if ctx.Err() != nil || ctlog.IsRetryable(err) {
 		return fmt.Errorf("monitor: get-entries [%d,%d]: %w", lo, hi, err)
@@ -347,7 +388,7 @@ func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi in
 		for attempt := 0; attempt < 3; attempt++ {
 			entries, err = client.GetEntries(ctx, lo, hi)
 			if err == nil && len(entries) > 0 {
-				return m.ingest(entries, stats, sm, opts)
+				return m.ingest(ctx, entries, stats, sm, opts)
 			}
 			if err != nil && (ctx.Err() != nil || ctlog.IsRetryable(err)) {
 				return fmt.Errorf("monitor: get-entries [%d,%d]: %w", lo, hi, err)
@@ -357,6 +398,8 @@ func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi in
 		_, skip := tracer.Start(ctx, "skip-entry")
 		skip.SetAttr("index", strconv.Itoa(hi))
 		skip.End()
+		opts.Journal.Emit(ctx, "monitor.skip", map[string]any{"log": opts.Name, "index": hi})
+		sm.ring.Record("skip", opts.Name, int64(hi), 0)
 		stats.SkippedEntries++
 		sm.skipped.Inc()
 		m.nextIndex = hi + 1
@@ -369,6 +412,8 @@ func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi in
 	bisect.SetAttr("lo", strconv.Itoa(lo))
 	bisect.SetAttr("hi", strconv.Itoa(hi))
 	defer bisect.End()
+	opts.Journal.Emit(bctx, "monitor.bisect", map[string]any{"log": opts.Name, "lo": lo, "hi": hi})
+	sm.ring.Record("bisect", opts.Name, int64(lo), int64(hi))
 	mid := lo + (hi-lo)/2
 	if err := m.syncRange(bctx, client, lo, mid, stats, sm, opts); err != nil {
 		return err
@@ -385,7 +430,7 @@ func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi in
 // going. When opts carries a Sink, each non-precert entry is offered
 // to it first; a sink error aborts the batch with the checkpoint still
 // before the undelivered entry (work already handled stays claimed).
-func (m *Monitor) ingest(entries []ctlog.Entry, stats *SyncStats, sm *syncMetrics, opts *SyncOptions) error {
+func (m *Monitor) ingest(ctx context.Context, entries []ctlog.Entry, stats *SyncStats, sm *syncMetrics, opts *SyncOptions) error {
 	fetched := 0
 	for _, e := range entries {
 		if e.Index < m.nextIndex {
@@ -431,9 +476,18 @@ func (m *Monitor) ingest(entries []ctlog.Entry, stats *SyncStats, sm *syncMetric
 		case ingestQuarantined:
 			stats.Quarantined++
 			sm.quarantined.Inc()
+			sm.ring.Record("quarantine", opts.Name, int64(e.Index), 0)
+			opts.Journal.Emit(ctx, "monitor.quarantine", map[string]any{
+				"log": opts.Name, "index": e.Index,
+			})
+			// A contained parser panic is exactly the forensic moment the
+			// flight recorder exists for: dump the recent event history.
+			// A dump failure must not fail the crawl.
+			_, _ = opts.Flight.Trigger("quarantine")
 		}
 	}
 	sm.advanced(m, fetched)
+	sm.ring.Record("ingest", opts.Name, int64(m.nextIndex), int64(fetched))
 	return nil
 }
 

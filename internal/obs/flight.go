@@ -1,0 +1,296 @@
+package obs
+
+// Flight recorder: always-on, per-subsystem bounded rings of cheap
+// structured events that exist to answer "what was the process doing
+// just before it went wrong?". Recording is the hot path — one short
+// per-ring mutex hold, zero allocations, no I/O — and dumping is the
+// cold path: on a trigger (panic, quarantine, breaker-open, fleet
+// state transition, SIGQUIT, degraded exit) the merged event history
+// is written to a timestamped JSONL file in the recorder's directory,
+// throttled per reason so a trigger storm cannot flood the disk.
+//
+// The recorder deliberately does NOT replace the journal (journal.go):
+// the journal is the durable, append-only record of coarse operational
+// events; the flight rings hold the fine-grained recent history that
+// is too hot to persist continuously and only matters in a crash
+// window.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Flight defaults.
+const (
+	// DefaultFlightRing is the per-subsystem ring capacity NewFlight(…, 0)
+	// adopts.
+	DefaultFlightRing = 256
+	// DefaultDumpGap is the per-reason dump throttle: a second Trigger
+	// with the same reason inside the gap is dropped (counted, not
+	// written).
+	DefaultDumpGap = time.Second
+)
+
+// FlightEvent is one recorded event. Kind and Detail should be static
+// or pre-existing strings (recording copies only the string headers);
+// V1/V2 are kind-defined numeric fields (an entry index, a state code
+// — whatever the subsystem finds forensic).
+type FlightEvent struct {
+	Seq       uint64    `json:"seq"`
+	Time      time.Time `json:"ts"`
+	Subsystem string    `json:"subsystem"`
+	Kind      string    `json:"kind"`
+	Detail    string    `json:"detail,omitempty"`
+	V1        int64     `json:"v1"`
+	V2        int64     `json:"v2"`
+}
+
+// Flight owns the per-subsystem rings and the dump directory. A nil
+// *Flight is a valid no-op recorder: Ring returns a nil ring whose
+// Record does nothing, and Trigger is a no-op.
+type Flight struct {
+	dir      string
+	capacity int
+	reg      *Registry
+	seq      atomic.Uint64
+	now      func() time.Time // test hook
+
+	// Journal, when non-nil, receives a "flight.dump" event for every
+	// dump file written, tying crash artifacts into the event stream.
+	Journal *Journal
+
+	mu       sync.Mutex
+	rings    map[string]*FlightRing
+	lastDump map[string]time.Time
+	minGap   time.Duration
+
+	lastDumpUnix *Gauge
+}
+
+// NewFlight builds a recorder. dir is where Trigger writes dump files
+// (empty disables disk dumps; rings still record and Dump/Snapshot
+// still work). capacity is the per-subsystem ring size (0 means
+// DefaultFlightRing). reg, when non-nil, receives
+// flight_events_total{subsystem}, flight_dumps_total{reason},
+// flight_dump_errors_total, and flight_last_dump_unix_seconds.
+func NewFlight(dir string, capacity int, reg *Registry) *Flight {
+	if capacity <= 0 {
+		capacity = DefaultFlightRing
+	}
+	f := &Flight{
+		dir:      dir,
+		capacity: capacity,
+		reg:      reg,
+		now:      time.Now,
+		rings:    make(map[string]*FlightRing),
+		lastDump: make(map[string]time.Time),
+		minGap:   DefaultDumpGap,
+	}
+	if reg != nil {
+		reg.Help("flight_events_total", "Events recorded into flight-recorder rings, by subsystem.")
+		reg.Help("flight_dumps_total", "Flight-recorder dump files written, by trigger reason.")
+		reg.Help("flight_dump_errors_total", "Flight-recorder dumps that failed to write.")
+		reg.Help("flight_last_dump_unix_seconds", "Unix time of the last successful flight-recorder dump (0 = never).")
+		f.lastDumpUnix = reg.Gauge("flight_last_dump_unix_seconds")
+	}
+	return f
+}
+
+// Ring returns the named subsystem's ring, creating it on first use.
+// This is the cold path — callers resolve the ring once and cache the
+// handle, exactly like metric instruments.
+func (f *Flight) Ring(subsystem string) *FlightRing {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	r, ok := f.rings[subsystem]
+	if !ok {
+		r = &FlightRing{
+			f:      f,
+			name:   subsystem,
+			events: make([]FlightEvent, f.capacity),
+		}
+		if f.reg != nil {
+			r.ctr = f.reg.Counter("flight_events_total", "subsystem", subsystem)
+		}
+		f.rings[subsystem] = r
+	}
+	return r
+}
+
+// FlightRing is one subsystem's bounded event ring. Methods on a nil
+// ring are no-ops, so call sites record unconditionally.
+type FlightRing struct {
+	f    *Flight
+	name string
+	ctr  *Counter
+
+	mu     sync.Mutex
+	events []FlightEvent // fixed length == capacity, written in place
+	n      uint64        // total events ever recorded
+}
+
+// Record appends one event: a recorder-wide monotonic sequence number,
+// a timestamp, and the caller's typed fields. The hot path: one atomic
+// add, one short mutex hold, zero allocations.
+func (r *FlightRing) Record(kind, detail string, v1, v2 int64) {
+	if r == nil {
+		return
+	}
+	seq := r.f.seq.Add(1)
+	now := time.Now()
+	r.mu.Lock()
+	slot := &r.events[r.n%uint64(len(r.events))]
+	slot.Seq = seq
+	slot.Time = now
+	slot.Kind = kind
+	slot.Detail = detail
+	slot.V1 = v1
+	slot.V2 = v2
+	r.n++
+	r.mu.Unlock()
+	r.ctr.Inc()
+}
+
+// Len reports how many events the ring currently holds (≤ capacity).
+func (r *FlightRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n < uint64(len(r.events)) {
+		return int(r.n)
+	}
+	return len(r.events)
+}
+
+// snapshot copies the ring's live events, oldest first, stamping the
+// subsystem name.
+func (r *FlightRing) snapshot() []FlightEvent {
+	r.mu.Lock()
+	n := r.n
+	capacity := uint64(len(r.events))
+	held := n
+	if held > capacity {
+		held = capacity
+	}
+	out := make([]FlightEvent, 0, held)
+	start := n - held
+	for i := start; i < n; i++ {
+		out = append(out, r.events[i%capacity])
+	}
+	r.mu.Unlock()
+	for i := range out {
+		out[i].Subsystem = r.name
+	}
+	return out
+}
+
+// Snapshot returns the recorder's events merged across every ring in
+// sequence order, keeping only the newest n (0 = all).
+func (f *Flight) Snapshot(n int) []FlightEvent {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	rings := make([]*FlightRing, 0, len(f.rings))
+	for _, r := range f.rings {
+		rings = append(rings, r)
+	}
+	f.mu.Unlock()
+	var all []FlightEvent
+	for _, r := range rings {
+		all = append(all, r.snapshot()...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Seq < all[j].Seq })
+	if n > 0 && len(all) > n {
+		all = all[len(all)-n:]
+	}
+	return all
+}
+
+// Dump writes the merged event history as JSONL, one event per line,
+// oldest first.
+func (f *Flight) Dump(w io.Writer) error {
+	if f == nil {
+		return nil
+	}
+	enc := json.NewEncoder(w)
+	for _, e := range f.Snapshot(0) {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Trigger dumps the recorder to a timestamped file in the dump
+// directory. Dumps with the same reason inside the throttle gap are
+// dropped (the counter still moves, the disk does not). Returns the
+// written path, or "" when no file was written (no directory, or
+// throttled). Safe to call from any goroutine, including signal
+// handlers and panic recovery paths.
+func (f *Flight) Trigger(reason string) (string, error) {
+	if f == nil || f.dir == "" {
+		return "", nil
+	}
+	now := f.now()
+	f.mu.Lock()
+	if last, ok := f.lastDump[reason]; ok && now.Sub(last) < f.minGap {
+		f.mu.Unlock()
+		return "", nil
+	}
+	f.lastDump[reason] = now
+	f.mu.Unlock()
+
+	if err := os.MkdirAll(f.dir, 0o755); err != nil {
+		f.reg.Counter("flight_dump_errors_total").Inc()
+		return "", fmt.Errorf("obs: flight dump dir: %w", err)
+	}
+	path := filepath.Join(f.dir, fmt.Sprintf("flight-%d-%s.jsonl", now.UnixNano(), sanitizeReason(reason)))
+	file, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		f.reg.Counter("flight_dump_errors_total").Inc()
+		return "", fmt.Errorf("obs: flight dump: %w", err)
+	}
+	werr := f.Dump(file)
+	if cerr := file.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		f.reg.Counter("flight_dump_errors_total").Inc()
+		return path, fmt.Errorf("obs: flight dump %s: %w", path, werr)
+	}
+	f.reg.Counter("flight_dumps_total", "reason", reason).Inc()
+	f.lastDumpUnix.Set(float64(now.Unix()))
+	f.Journal.Emit(nil, "flight.dump", map[string]any{"reason": reason, "path": path})
+	return path, nil
+}
+
+// sanitizeReason keeps dump filenames shell-safe.
+func sanitizeReason(reason string) string {
+	b := make([]byte, 0, len(reason))
+	for i := 0; i < len(reason); i++ {
+		c := reason[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '-', c == '_':
+			b = append(b, c)
+		default:
+			b = append(b, '-')
+		}
+	}
+	if len(b) == 0 {
+		return "dump"
+	}
+	return string(b)
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestFlightRingWrapAndOrder(t *testing.T) {
+	f := NewFlight("", 4, NewRegistry())
+	r := f.Ring("monitor")
+	if f.Ring("monitor") != r {
+		t.Fatal("ring handle not cached per subsystem")
+	}
+	for i := int64(0); i < 10; i++ {
+		r.Record("tick", "", i, 0)
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("ring len = %d, want 4 (capacity)", got)
+	}
+	evs := f.Snapshot(0)
+	if len(evs) != 4 {
+		t.Fatalf("snapshot holds %d events, want 4", len(evs))
+	}
+	for i, e := range evs {
+		if e.V1 != int64(6+i) {
+			t.Fatalf("event %d V1 = %d, want %d (oldest-first, newest kept)", i, e.V1, 6+i)
+		}
+		if e.Subsystem != "monitor" || e.Kind != "tick" {
+			t.Fatalf("event %d = %+v", i, e)
+		}
+		if i > 0 && evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("sequence not monotonic: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	// Snapshot(n) keeps the newest n across rings.
+	f.Ring("fleet").Record("state", "degraded", 1, 2)
+	got := f.Snapshot(2)
+	if len(got) != 2 || got[1].Subsystem != "fleet" || got[0].V1 != 9 {
+		t.Fatalf("Snapshot(2) = %+v", got)
+	}
+}
+
+// TestFlightRace hammers two rings from concurrent writers while dumps
+// and snapshots run mid-write; run under -race via `make check`.
+func TestFlightRace(t *testing.T) {
+	f := NewFlight("", 64, NewRegistry())
+	rings := []*FlightRing{f.Ring("a"), f.Ring("b")}
+	const goroutines, each = 8, 2000
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				var buf bytes.Buffer
+				if err := f.Dump(&buf); err != nil {
+					t.Errorf("dump during writes: %v", err)
+					return
+				}
+				_ = f.Snapshot(16)
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := rings[g%len(rings)]
+			for i := 0; i < each; i++ {
+				r.Record("hot", "detail", int64(g), int64(i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	total, ok := f.reg.Sum("flight_events_total")
+	if !ok || total != goroutines*each {
+		t.Fatalf("flight_events_total = %v (ok=%v), want %d", total, ok, goroutines*each)
+	}
+}
+
+// TestFlightRecordAllocBudget proves the hot-path event record is
+// allocation-free, like every other per-entry instrument op.
+func TestFlightRecordAllocBudget(t *testing.T) {
+	f := NewFlight("", 128, NewRegistry())
+	r := f.Ring("monitor")
+	if n := testing.AllocsPerRun(200, func() {
+		r.Record("entry", "quarantine", 77, 1)
+	}); n != 0 {
+		t.Fatalf("flight Record allocates %v times, want 0", n)
+	}
+}
+
+func TestFlightTriggerDumpAndThrottle(t *testing.T) {
+	dir := t.TempDir()
+	reg := NewRegistry()
+	var jbuf bytes.Buffer
+	f := NewFlight(dir, 8, reg)
+	f.Journal = NewJournal(&jbuf, nil)
+	clock := time.Unix(1700000000, 0).UTC()
+	f.now = func() time.Time { return clock }
+
+	f.Ring("monitor").Record("quarantine", "poison", 77, 0)
+	f.Ring("fleet").Record("state", "healthy->degraded", 1, 2)
+
+	path, err := f.Trigger("quarantine")
+	if err != nil || path == "" {
+		t.Fatalf("trigger: path=%q err=%v", path, err)
+	}
+	// Same reason inside the gap: throttled, no second file.
+	if p2, err := f.Trigger("quarantine"); err != nil || p2 != "" {
+		t.Fatalf("throttled trigger wrote %q err=%v", p2, err)
+	}
+	// Different reason dumps immediately.
+	clock = clock.Add(time.Millisecond)
+	if p3, err := f.Trigger("fleet-state"); err != nil || p3 == "" {
+		t.Fatalf("second reason: path=%q err=%v", p3, err)
+	}
+	// Past the gap the first reason dumps again.
+	clock = clock.Add(2 * time.Second)
+	if p4, err := f.Trigger("quarantine"); err != nil || p4 == "" {
+		t.Fatalf("post-gap trigger: path=%q err=%v", p4, err)
+	}
+
+	files, err := filepath.Glob(filepath.Join(dir, "flight-*.jsonl"))
+	if err != nil || len(files) != 3 {
+		t.Fatalf("dump files = %v err=%v, want 3", files, err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("dump holds %d lines, want 2:\n%s", len(lines), raw)
+	}
+	var ev FlightEvent
+	if err := json.Unmarshal([]byte(lines[0]), &ev); err != nil {
+		t.Fatalf("dump line not JSON: %v", err)
+	}
+	if ev.Subsystem != "monitor" || ev.Kind != "quarantine" || ev.V1 != 77 {
+		t.Fatalf("dump line = %+v", ev)
+	}
+	if dumps, _ := reg.Sum("flight_dumps_total"); dumps != 3 {
+		t.Fatalf("flight_dumps_total = %v, want 3", dumps)
+	}
+	// Every successful dump is journaled as flight.dump.
+	if got := strings.Count(jbuf.String(), `"type":"flight.dump"`); got != 3 {
+		t.Fatalf("journal flight.dump lines = %d, want 3:\n%s", got, jbuf.String())
+	}
+}
+
+func TestFlightNilSafety(t *testing.T) {
+	var f *Flight
+	r := f.Ring("x")
+	r.Record("k", "d", 1, 2)
+	if r.Len() != 0 || f.Snapshot(0) != nil {
+		t.Fatal("nil flight recorded events")
+	}
+	if path, err := f.Trigger("panic"); path != "" || err != nil {
+		t.Fatalf("nil trigger: %q %v", path, err)
+	}
+	if err := f.Dump(&bytes.Buffer{}); err != nil {
+		t.Fatalf("nil dump: %v", err)
+	}
+	// No dump dir: rings record, Trigger is a silent no-op.
+	f2 := NewFlight("", 8, nil)
+	f2.Ring("m").Record("k", "", 0, 0)
+	if path, err := f2.Trigger("panic"); path != "" || err != nil {
+		t.Fatalf("dirless trigger: %q %v", path, err)
+	}
+}

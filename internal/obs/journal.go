@@ -1,0 +1,147 @@
+package obs
+
+// Structured event journal: an append-only JSONL stream of coarse
+// operational events — sync lifecycle, health transitions, breaker
+// flips, checkpoint persistence, quarantines, shed decisions. Where
+// metrics answer "how much" and the flight recorder answers "what just
+// happened", the journal is the durable audit trail an operator (or a
+// reconciliation tool like cmd/soakcheck) replays after the fact.
+//
+// Every line is a self-describing JSON object with a schema version,
+// a monotonic per-journal sequence number, a timestamp, the event
+// type, the emitting span's ID when the context carries one (stitching
+// journal lines to PR 3 traces), and free-form typed attributes. The
+// line format is golden-tested: bump JournalSchema when the envelope
+// changes shape, and the golden test will fail until the fixtures are
+// deliberately regenerated.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+)
+
+// JournalSchema is the envelope version stamped on every line as "v".
+// Bump it whenever the envelope fields change meaning or shape.
+const JournalSchema = 1
+
+// JournalEvent is the wire envelope for one journal line.
+type JournalEvent struct {
+	Schema int            `json:"v"`
+	Seq    uint64         `json:"seq"`
+	Time   time.Time      `json:"ts"`
+	Type   string         `json:"type"`
+	Span   uint64         `json:"span,omitempty"`
+	Attrs  map[string]any `json:"attrs,omitempty"`
+}
+
+// Journal serializes events to a writer. A nil *Journal is a valid
+// no-op sink — call sites emit unconditionally. Writes are mutex-
+// serialized; each event is one line, flushed to the underlying writer
+// per event so a crash loses at most the event being written.
+type Journal struct {
+	mu     sync.Mutex
+	w      io.Writer
+	closer io.Closer
+	seq    uint64
+	now    func() time.Time // test hook
+
+	events *Counter
+	errs   *Counter
+}
+
+// NewJournal wraps an arbitrary writer (a buffer in tests, a pipe, an
+// already-open file). reg, when non-nil, receives
+// journal_events_total and journal_write_errors_total.
+func NewJournal(w io.Writer, reg *Registry) *Journal {
+	j := &Journal{w: w, now: time.Now}
+	if reg != nil {
+		reg.Help("journal_events_total", "Events appended to the structured JSONL journal.")
+		reg.Help("journal_write_errors_total", "Journal lines that failed to write.")
+		j.events = reg.Counter("journal_events_total")
+		j.errs = reg.Counter("journal_write_errors_total")
+	}
+	return j
+}
+
+// OpenJournal opens (creating, appending) a JSONL journal file at
+// path. The append-only open means successive runs of the same process
+// extend one continuous history.
+func OpenJournal(path string, reg *Registry) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("obs: open journal: %w", err)
+	}
+	j := NewJournal(f, reg)
+	j.closer = f
+	return j, nil
+}
+
+// Emit appends one event. typ names the event (dotted hierarchy:
+// "monitor.sync.end", "fleet.log_state", "breaker.transition", …);
+// attrs carries the typed payload and is marshaled with sorted keys by
+// encoding/json, which is what makes golden-file tests byte-stable.
+// ctx may be nil; when it carries an obs span, the span ID is stamped
+// on the line. Write errors are counted, not returned — journaling
+// must never fail the operation being journaled.
+func (j *Journal) Emit(ctx context.Context, typ string, attrs map[string]any) {
+	if j == nil {
+		return
+	}
+	var span uint64
+	if ctx != nil {
+		span = SpanFromContext(ctx).ID()
+	}
+	j.mu.Lock()
+	j.seq++
+	ev := JournalEvent{
+		Schema: JournalSchema,
+		Seq:    j.seq,
+		Time:   j.now(),
+		Type:   typ,
+		Span:   span,
+		Attrs:  attrs,
+	}
+	line, err := json.Marshal(ev)
+	if err == nil {
+		line = append(line, '\n')
+		_, err = j.w.Write(line)
+	}
+	j.mu.Unlock()
+	if err != nil {
+		j.errs.Inc()
+		return
+	}
+	j.events.Inc()
+}
+
+// Close flushes nothing (writes are unbuffered) but releases the
+// underlying file when the journal owns one.
+func (j *Journal) Close() error {
+	if j == nil || j.closer == nil {
+		return nil
+	}
+	return j.closer.Close()
+}
+
+// ReadJournal parses a JSONL journal stream back into events, for
+// replay/reconciliation tools. Lines that fail to parse are returned
+// as an error naming the line number — a journal is an audit artifact,
+// so silent skips would defeat its purpose.
+func ReadJournal(r io.Reader) ([]JournalEvent, error) {
+	dec := json.NewDecoder(r)
+	var out []JournalEvent
+	for line := 1; ; line++ {
+		var ev JournalEvent
+		if err := dec.Decode(&ev); err == io.EOF {
+			return out, nil
+		} else if err != nil {
+			return out, fmt.Errorf("obs: journal line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+}

@@ -243,6 +243,75 @@ func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *
 	return c.inst.(*Histogram)
 }
 
+// instValue reads the current value of a child instrument, for the
+// read-back helpers below.
+func instValue(inst any) (float64, bool) {
+	switch v := inst.(type) {
+	case *Counter:
+		return float64(v.Value()), true
+	case *Gauge:
+		return v.Value(), true
+	case *Histogram:
+		return float64(v.Snapshot().Count), true
+	}
+	return 0, false
+}
+
+// Sample reads back the current value of one labeled child: a
+// counter's count, a gauge's value, a GaugeFunc's computed value, or a
+// histogram's observation count. Returns ok=false when the family or
+// child does not exist. This is a cold-path read for SLO sources and
+// debug rollups — scrapes, not hot loops.
+func (r *Registry) Sample(name string, labels ...string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	key := labelKey(labels)
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if fn, ok := f.fns[key]; ok {
+		return fn(), true
+	}
+	if c, ok := f.children[key]; ok {
+		return instValue(c.inst)
+	}
+	return 0, false
+}
+
+// Sum reads back the sum of a family's children across all label sets
+// (counters by count, gauges by value, GaugeFuncs by computed value,
+// histograms by observation count). Returns ok=false when the family
+// does not exist. Cold path, like Sample.
+func (r *Registry) Sum(name string) (float64, bool) {
+	if r == nil {
+		return 0, false
+	}
+	r.mu.RLock()
+	f, ok := r.families[name]
+	r.mu.RUnlock()
+	if !ok {
+		return 0, false
+	}
+	var total float64
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	for _, c := range f.children {
+		if v, ok := instValue(c.inst); ok {
+			total += v
+		}
+	}
+	for _, fn := range f.fns {
+		total += fn()
+	}
+	return total, true
+}
+
 // Counter is a monotonically increasing count. The zero value is ready
 // to use; methods are nil-safe.
 type Counter struct {

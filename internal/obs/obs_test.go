@@ -87,7 +87,9 @@ func TestExpBuckets(t *testing.T) {
 
 // TestPrometheusGolden pins the exposition format: family and label
 // ordering, value formatting, histogram cumulative buckets, and label
-// value escaping.
+// value escaping — including the flight-recorder and SLO-engine
+// instruments, whose multi-label children must expose in the same
+// deterministic order on every scrape.
 func TestPrometheusGolden(t *testing.T) {
 	reg := NewRegistry()
 	reg.Help("ctlog_requests_total", "CT log client attempts by outcome.")
@@ -100,9 +102,22 @@ func TestPrometheusGolden(t *testing.T) {
 	h.Observe(0.05)
 	h.Observe(5)
 
+	fl := NewFlight("", 8, reg)
+	fl.Ring("monitor").Record("quarantine", "poison", 77, 0)
+	fl.Ring("fleet").Record("state", "", 1, 2)
+	slo := NewSLOEngine(reg, nil)
+	slo.AddFreshness("fleet_freshness", func() float64 { return 30 }, 60, 1, 2)
+	slo.AddFreshness("alpha_freshness", func() float64 { return 120 }, 60, 1, 2)
+	slo.Tick()
+
 	var buf bytes.Buffer
 	if err := reg.WritePrometheus(&buf); err != nil {
 		t.Fatal(err)
+	}
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile("testdata/metrics.golden", buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
 	}
 	golden, err := os.ReadFile("testdata/metrics.golden")
 	if err != nil {
@@ -318,8 +333,44 @@ func TestProgressEmits(t *testing.T) {
 	if strings.Contains(out, "other_depth") {
 		t.Fatalf("prefix filter leaked:\n%s", out)
 	}
+	// Exactly one line — the last — is the final flush.
+	if got := strings.Count(out, "final=1"); got != 1 {
+		t.Fatalf("final markers = %d, want 1:\n%s", got, out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.Contains(lines[len(lines)-1], "final=1") {
+		t.Fatalf("final marker not on last line:\n%s", out)
+	}
 	// Stop again is safe and emits nothing new.
 	p.Stop()
+	mu.Lock()
+	if buf.String() != out {
+		t.Fatal("second Stop emitted again")
+	}
+	mu.Unlock()
+}
+
+// TestProgressFinalFlushWithoutStart pins the short-run fix: a
+// reporter that drains before Start was ever called (or whose run
+// finished inside the first interval) still emits one final line, so
+// short crawls are not invisible in progress output.
+func TestProgressFinalFlushWithoutStart(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("crawl_entries_total").Add(5)
+	var buf bytes.Buffer
+	p := NewProgress(&buf, reg, time.Hour, "crawl_")
+	p.Stop()
+	out := buf.String()
+	if strings.Count(out, "progress elapsed=") != 1 || !strings.Contains(out, "final=1") {
+		t.Fatalf("never-started Stop output:\n%q", out)
+	}
+	if !strings.Contains(out, "crawl_entries_total=5") {
+		t.Fatalf("final flush missing instrument:\n%s", out)
+	}
+	p.Stop()
+	if buf.String() != out {
+		t.Fatal("second Stop emitted again")
+	}
 }
 
 type writerFunc func([]byte) (int, error)

@@ -22,10 +22,11 @@ type Progress struct {
 	every    time.Duration
 	prefixes []string
 
-	mu    sync.Mutex
-	stop  chan struct{}
-	done  chan struct{}
-	start time.Time
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	start   time.Time
+	stopped bool
 }
 
 // NewProgress builds a reporter that writes to w every interval
@@ -36,7 +37,9 @@ func NewProgress(w io.Writer, reg *Registry, every time.Duration, prefixes ...st
 	if every <= 0 {
 		every = 10 * time.Second
 	}
-	return &Progress{w: w, reg: reg, every: every, prefixes: prefixes}
+	// start is stamped at construction so the final line's elapsed is
+	// meaningful even when Stop arrives before (or without) Start.
+	return &Progress{w: w, reg: reg, every: every, prefixes: prefixes, start: time.Now()}
 }
 
 // Start launches the reporting goroutine. Calling Start on a running
@@ -60,7 +63,7 @@ func (p *Progress) Start() {
 		for {
 			select {
 			case <-t.C:
-				p.emit()
+				p.emit(false)
 			case <-stop:
 				return
 			}
@@ -68,22 +71,29 @@ func (p *Progress) Start() {
 	}(p.stop, p.done)
 }
 
-// Stop halts the reporter and emits one final line so short runs still
-// leave a record. Safe to call on a never-started or nil reporter.
+// Stop halts the reporter and emits one final flush line (marked
+// final=1) so runs shorter than the reporting interval — or runs that
+// drained before Start was ever called — still leave a record. Only
+// the first Stop emits; later calls are no-ops. Safe on a nil
+// reporter.
 func (p *Progress) Stop() {
 	if p == nil {
 		return
 	}
 	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
 	stop, done := p.stop, p.done
 	p.stop, p.done = nil, nil
 	p.mu.Unlock()
-	if stop == nil {
-		return
+	if stop != nil {
+		close(stop)
+		<-done
 	}
-	close(stop)
-	<-done
-	p.emit()
+	p.emit(true)
 }
 
 func (p *Progress) matches(name string) bool {
@@ -100,11 +110,16 @@ func (p *Progress) matches(name string) bool {
 
 // emit writes one logfmt line: progress elapsed=… name=value …
 // Histogram instruments report count and p50/p99 in place of a scalar.
-func (p *Progress) emit() {
+// The final line carries final=1 so log scrapers can tell a flush from
+// a periodic tick.
+func (p *Progress) emit(final bool) {
 	p.mu.Lock()
 	start := p.start
 	p.mu.Unlock()
 	var fields []string
+	if final {
+		fields = append(fields, "final=1")
+	}
 	p.reg.visit(func(f familyView) {
 		if !p.matches(f.name) {
 			return

@@ -1,0 +1,322 @@
+package obs
+
+// SLO engine: turns the metrics the system already exposes into
+// alertable service-level objectives. Two rule shapes cover the fleet
+// monitor's needs:
+//
+//   - Freshness: an instantaneous value (checkpoint age) against a
+//     target (the log's maximum merge delay analogue). Burn is simply
+//     value/target; fast and slow windows coincide.
+//   - Burn rate: a bad-events/total-events ratio (sync retryable rate,
+//     shed rate) sampled over time and evaluated over two windows —
+//     the SRE multi-window rule: page only when BOTH the fast window
+//     (is it happening now?) and the slow window (has it been
+//     happening long enough to matter?) exceed the threshold, which
+//     suppresses both blips and stale pages.
+//
+// Each rule runs an ok→warn→page state machine; transitions bump
+// slo_transitions_total{slo,to} and land in the journal as
+// "slo.transition" events. Live burn and state are exported as
+// slo_burn_rate{slo,window} and slo_state{slo} gauges, and Err()
+// condenses paging rules into one error for /readyz detail.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SLOState is a rule's alert state.
+type SLOState int
+
+// Alert states, in escalation order.
+const (
+	SLOOK SLOState = iota
+	SLOWarn
+	SLOPage
+)
+
+func (s SLOState) String() string {
+	switch s {
+	case SLOOK:
+		return "ok"
+	case SLOWarn:
+		return "warn"
+	case SLOPage:
+		return "page"
+	}
+	return fmt.Sprintf("slostate(%d)", int(s))
+}
+
+// SLOStatus is one rule's point-in-time evaluation, for /debug/fleet.
+type SLOStatus struct {
+	Name     string   `json:"name"`
+	State    SLOState `json:"-"`
+	StateStr string   `json:"state"`
+	BurnFast float64  `json:"burn_fast"`
+	BurnSlow float64  `json:"burn_slow"`
+	Warn     float64  `json:"warn_threshold"`
+	Page     float64  `json:"page_threshold"`
+}
+
+// burnSample is one Tick's reading of a burn-rate rule's sources.
+type burnSample struct {
+	t     time.Time
+	bad   float64
+	total float64
+}
+
+// sloRule is one registered objective.
+type sloRule struct {
+	name string
+	warn float64
+	page float64
+
+	// freshness rules: value() / target, both windows identical.
+	value  func() float64
+	target float64
+
+	// burn-rate rules: (Δbad/Δtotal)/objective over fast and slow
+	// trailing windows of samples.
+	bad       func() float64
+	total     func() float64
+	objective float64
+	fast      time.Duration
+	slow      time.Duration
+	samples   []burnSample // trailing, pruned to slow window
+
+	state    SLOState
+	burnFast float64
+	burnSlow float64
+
+	gFast *Gauge
+	gSlow *Gauge
+	gSt   *Gauge
+}
+
+// SLOEngine evaluates registered rules on Tick. All mutation happens
+// under one mutex; Tick is called from a single Run loop but States /
+// Err are read from HTTP handlers, so the lock is not optional.
+type SLOEngine struct {
+	reg     *Registry
+	journal *Journal
+	now     func() time.Time // test hook
+
+	mu    sync.Mutex
+	rules []*sloRule
+}
+
+// NewSLOEngine builds an engine exporting to reg (which may be nil for
+// tests) and journaling transitions to journal (which may be nil).
+func NewSLOEngine(reg *Registry, journal *Journal) *SLOEngine {
+	if reg != nil {
+		reg.Help("slo_burn_rate", "Current SLO burn rate by objective and window (1.0 = burning exactly the error budget).")
+		reg.Help("slo_state", "SLO alert state by objective (0 = ok, 1 = warn, 2 = page).")
+		reg.Help("slo_transitions_total", "SLO alert state transitions by objective and destination state.")
+	}
+	return &SLOEngine{reg: reg, journal: journal, now: time.Now}
+}
+
+// AddFreshness registers a freshness objective: value() (e.g. the
+// newest checkpoint age in seconds) is divided by target to give the
+// burn; warn/page are burn thresholds (e.g. 1.0 warn, 2.0 page means
+// "warn when the age reaches the target, page at double").
+func (e *SLOEngine) AddFreshness(name string, value func() float64, target, warn, page float64) {
+	if e == nil || value == nil || target <= 0 {
+		return
+	}
+	e.addRule(&sloRule{name: name, value: value, target: target, warn: warn, page: page})
+}
+
+// AddBurnRate registers a ratio objective: bad() and total() are
+// cumulative counters (read at each Tick); objective is the acceptable
+// bad/total ratio (e.g. 0.05 = 5% error budget); burn is the observed
+// ratio divided by the objective, computed over a fast and a slow
+// trailing window. Alerting follows the multi-window rule: a state is
+// entered only when BOTH windows exceed its threshold.
+func (e *SLOEngine) AddBurnRate(name string, bad, total func() float64, objective float64, fast, slow time.Duration, warn, page float64) {
+	if e == nil || bad == nil || total == nil || objective <= 0 {
+		return
+	}
+	if fast <= 0 || slow < fast {
+		panic("obs: AddBurnRate needs 0 < fast <= slow")
+	}
+	e.addRule(&sloRule{
+		name: name, warn: warn, page: page,
+		bad: bad, total: total, objective: objective,
+		fast: fast, slow: slow,
+	})
+}
+
+func (e *SLOEngine) addRule(r *sloRule) {
+	if e.reg != nil {
+		r.gFast = e.reg.Gauge("slo_burn_rate", "slo", r.name, "window", "fast")
+		r.gSlow = e.reg.Gauge("slo_burn_rate", "slo", r.name, "window", "slow")
+		r.gSt = e.reg.Gauge("slo_state", "slo", r.name)
+	}
+	e.mu.Lock()
+	e.rules = append(e.rules, r)
+	e.mu.Unlock()
+}
+
+// windowBurn computes the burn over the trailing window ending at the
+// newest sample: the bad/total delta between the newest sample and the
+// oldest sample still inside the window, divided by the objective.
+// With fewer than two samples in the window the burn is 0 — a brand
+// new process has no evidence to page on. Partial windows evaluate
+// with whatever history exists, so short soak runs still alert.
+func (r *sloRule) windowBurn(window time.Duration) float64 {
+	n := len(r.samples)
+	if n < 2 {
+		return 0
+	}
+	newest := r.samples[n-1]
+	oldest := r.samples[0]
+	for i := n - 2; i >= 0; i-- {
+		if newest.t.Sub(r.samples[i].t) <= window {
+			oldest = r.samples[i]
+		} else {
+			break
+		}
+	}
+	dTotal := newest.total - oldest.total
+	if dTotal <= 0 {
+		return 0
+	}
+	dBad := newest.bad - oldest.bad
+	if dBad < 0 {
+		dBad = 0
+	}
+	return (dBad / dTotal) / r.objective
+}
+
+// evaluate recomputes one rule's burns and next state. Caller holds
+// e.mu.
+func (e *SLOEngine) evaluate(r *sloRule, now time.Time) (from, to SLOState) {
+	if r.value != nil {
+		burn := r.value() / r.target
+		r.burnFast, r.burnSlow = burn, burn
+	} else {
+		r.samples = append(r.samples, burnSample{t: now, bad: r.bad(), total: r.total()})
+		cutoff := now.Add(-r.slow)
+		drop := 0
+		for drop < len(r.samples)-1 && r.samples[drop+1].t.Before(cutoff) {
+			drop++
+		}
+		r.samples = r.samples[drop:]
+		r.burnFast = r.windowBurn(r.fast)
+		r.burnSlow = r.windowBurn(r.slow)
+	}
+
+	next := SLOOK
+	switch {
+	case r.burnFast >= r.page && r.burnSlow >= r.page:
+		next = SLOPage
+	case r.burnFast >= r.warn && r.burnSlow >= r.warn:
+		next = SLOWarn
+	}
+	from, to = r.state, next
+	r.state = next
+
+	r.gFast.Set(r.burnFast)
+	r.gSlow.Set(r.burnSlow)
+	r.gSt.Set(float64(next))
+	return from, to
+}
+
+// Tick evaluates every rule once. Transitions are journaled and
+// counted outside the engine lock.
+func (e *SLOEngine) Tick() {
+	if e == nil {
+		return
+	}
+	now := e.now()
+	type transition struct {
+		rule     string
+		from, to SLOState
+		fast     float64
+		slow     float64
+	}
+	var trans []transition
+	e.mu.Lock()
+	for _, r := range e.rules {
+		from, to := e.evaluate(r, now)
+		if from != to {
+			trans = append(trans, transition{r.name, from, to, r.burnFast, r.burnSlow})
+		}
+	}
+	e.mu.Unlock()
+	for _, t := range trans {
+		e.reg.Counter("slo_transitions_total", "slo", t.rule, "to", t.to.String()).Inc()
+		e.journal.Emit(nil, "slo.transition", map[string]any{
+			"slo": t.rule, "from": t.from.String(), "to": t.to.String(),
+			"burn_fast": t.fast, "burn_slow": t.slow,
+		})
+	}
+}
+
+// Run ticks the engine every interval until ctx is done. One final
+// tick runs on shutdown so short-lived runs still evaluate.
+func (e *SLOEngine) Run(ctx context.Context, every time.Duration) {
+	if e == nil {
+		return
+	}
+	if every <= 0 {
+		every = time.Second
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	e.Tick()
+	for {
+		select {
+		case <-ctx.Done():
+			e.Tick()
+			return
+		case <-tick.C:
+			e.Tick()
+		}
+	}
+}
+
+// States returns every rule's current status, sorted by name.
+func (e *SLOEngine) States() []SLOStatus {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	out := make([]SLOStatus, 0, len(e.rules))
+	for _, r := range e.rules {
+		out = append(out, SLOStatus{
+			Name: r.name, State: r.state, StateStr: r.state.String(),
+			BurnFast: r.burnFast, BurnSlow: r.burnSlow,
+			Warn: r.warn, Page: r.page,
+		})
+	}
+	e.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Err returns nil when no rule is paging, else one error naming every
+// paging rule — shaped for a /readyz detail line.
+func (e *SLOEngine) Err() error {
+	if e == nil {
+		return nil
+	}
+	var paging []string
+	e.mu.Lock()
+	for _, r := range e.rules {
+		if r.state == SLOPage {
+			paging = append(paging, r.name)
+		}
+	}
+	e.mu.Unlock()
+	if len(paging) == 0 {
+		return nil
+	}
+	sort.Strings(paging)
+	return fmt.Errorf("slo paging: %s", strings.Join(paging, ", "))
+}

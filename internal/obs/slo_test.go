@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSLOFreshnessStateMachine(t *testing.T) {
+	reg := NewRegistry()
+	var jbuf bytes.Buffer
+	e := NewSLOEngine(reg, NewJournal(&jbuf, nil))
+	age := 10.0
+	e.AddFreshness("fleet_freshness", func() float64 { return age }, 60, 1, 2)
+
+	e.Tick()
+	st := e.States()
+	if len(st) != 1 || st[0].State != SLOOK || st[0].BurnFast != 10.0/60 {
+		t.Fatalf("states = %+v", st)
+	}
+	if err := e.Err(); err != nil {
+		t.Fatalf("ok state errs: %v", err)
+	}
+
+	age = 90 // 1.5x target: warn
+	e.Tick()
+	if st := e.States(); st[0].State != SLOWarn {
+		t.Fatalf("state = %v, want warn", st[0].State)
+	}
+	if err := e.Err(); err != nil {
+		t.Fatalf("warn must not page /readyz: %v", err)
+	}
+
+	age = 150 // 2.5x target: page
+	e.Tick()
+	if st := e.States(); st[0].State != SLOPage {
+		t.Fatalf("state = %v, want page", st[0].State)
+	}
+	err := e.Err()
+	if err == nil || !strings.Contains(err.Error(), "fleet_freshness") {
+		t.Fatalf("page err = %v", err)
+	}
+
+	age = 5
+	e.Tick()
+	if st := e.States(); st[0].State != SLOOK {
+		t.Fatalf("state = %v, want ok after recovery", st[0].State)
+	}
+
+	// Transitions: ok→warn→page→ok = 3, journaled and counted.
+	if got := strings.Count(jbuf.String(), `"type":"slo.transition"`); got != 3 {
+		t.Fatalf("journaled transitions = %d, want 3:\n%s", got, jbuf.String())
+	}
+	if v, ok := reg.Sample("slo_transitions_total", "slo", "fleet_freshness", "to", "page"); !ok || v != 1 {
+		t.Fatalf("slo_transitions_total{to=page} = %v ok=%v", v, ok)
+	}
+	if v, ok := reg.Sample("slo_state", "slo", "fleet_freshness"); !ok || v != 0 {
+		t.Fatalf("slo_state gauge = %v ok=%v", v, ok)
+	}
+	if v, ok := reg.Sample("slo_burn_rate", "slo", "fleet_freshness", "window", "fast"); !ok || v != 5.0/60 {
+		t.Fatalf("slo_burn_rate fast = %v ok=%v", v, ok)
+	}
+}
+
+// TestSLOBurnRateMultiWindow exercises the SRE two-window rule: a
+// burst must trip the fast window AND have persisted into the slow
+// window before paging, and recovery clears the page as soon as the
+// fast window cools even while the slow window is still hot.
+func TestSLOBurnRateMultiWindow(t *testing.T) {
+	reg := NewRegistry()
+	e := NewSLOEngine(reg, nil)
+	clock := time.Unix(1700000000, 0).UTC()
+	e.now = func() time.Time { return clock }
+	var bad, total float64
+	// 5% error budget, 10s fast / 60s slow windows, warn at 2x burn,
+	// page at 10x (i.e. page means >=50% observed error rate).
+	e.AddBurnRate("sync_errors", func() float64 { return bad }, func() float64 { return total },
+		0.05, 10*time.Second, 60*time.Second, 2, 10)
+
+	step := func(dBad, dTotal float64) {
+		clock = clock.Add(2 * time.Second)
+		bad += dBad
+		total += dTotal
+		e.Tick()
+	}
+
+	// Healthy traffic: 1% errors, burn 0.2 — ok.
+	for i := 0; i < 10; i++ {
+		step(1, 100)
+	}
+	if st := e.States()[0]; st.State != SLOOK {
+		t.Fatalf("healthy state = %v (burns %v/%v)", st.State, st.BurnFast, st.BurnSlow)
+	}
+
+	// Sudden 100% failure. The fast window trips immediately but the
+	// slow window still remembers the healthy traffic: no page yet.
+	step(100, 100)
+	st := e.States()[0]
+	if st.BurnFast < 2 {
+		t.Fatalf("fast burn = %v, want >= warn threshold after burst", st.BurnFast)
+	}
+	if st.State == SLOPage {
+		t.Fatalf("paged on a single fast-window burst (slow burn %v)", st.BurnSlow)
+	}
+
+	// Failure persists long enough to dominate the slow window: page.
+	for i := 0; i < 25; i++ {
+		step(100, 100)
+	}
+	if st := e.States()[0]; st.State != SLOPage {
+		t.Fatalf("sustained failure state = %v (burns %v/%v)", st.State, st.BurnFast, st.BurnSlow)
+	}
+
+	// Recovery: errors stop. The fast window cools first and the page
+	// clears even though the slow window is still above threshold.
+	for i := 0; i < 6; i++ {
+		step(0, 100)
+	}
+	st = e.States()[0]
+	if st.BurnSlow < 10 {
+		t.Fatalf("slow burn = %v, want still >= 10 right after recovery", st.BurnSlow)
+	}
+	if st.State == SLOPage {
+		t.Fatalf("page not cleared by cooled fast window (burns %v/%v)", st.BurnFast, st.BurnSlow)
+	}
+}
+
+func TestSLONoEvidenceNoAlert(t *testing.T) {
+	e := NewSLOEngine(nil, nil)
+	var bad, total float64
+	e.AddBurnRate("quiet", func() float64 { return bad }, func() float64 { return total },
+		0.05, time.Second, 10*time.Second, 2, 10)
+	// No samples, then one sample, then zero traffic: never alerts.
+	e.Tick()
+	e.Tick()
+	if st := e.States()[0]; st.State != SLOOK || st.BurnFast != 0 {
+		t.Fatalf("zero-traffic state = %+v", st)
+	}
+}
+
+func TestSLOEngineNilAndValidation(t *testing.T) {
+	var e *SLOEngine
+	e.AddFreshness("x", func() float64 { return 1 }, 1, 1, 2)
+	e.Tick()
+	if e.States() != nil || e.Err() != nil {
+		t.Fatal("nil engine leaked state")
+	}
+
+	e2 := NewSLOEngine(nil, nil)
+	e2.AddFreshness("bad_target", func() float64 { return 1 }, 0, 1, 2) // ignored
+	e2.AddFreshness("nil_source", nil, 1, 1, 2)                         // ignored
+	if got := len(e2.States()); got != 0 {
+		t.Fatalf("invalid rules registered: %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("fast > slow must panic")
+		}
+	}()
+	e2.AddBurnRate("bad_windows", func() float64 { return 0 }, func() float64 { return 1 },
+		0.05, time.Minute, time.Second, 2, 10)
+}
+
+func TestRegistrySampleAndSum(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("reqs_total", "outcome", "ok").Add(7)
+	reg.Counter("reqs_total", "outcome", "retryable").Add(3)
+	reg.Gauge("depth").Set(2.5)
+	reg.GaugeFunc("computed", func() float64 { return 4 })
+	reg.Histogram("lat_seconds", nil).Observe(0.5)
+
+	if v, ok := reg.Sample("reqs_total", "outcome", "ok"); !ok || v != 7 {
+		t.Fatalf("Sample counter = %v ok=%v", v, ok)
+	}
+	if v, ok := reg.Sample("depth"); !ok || v != 2.5 {
+		t.Fatalf("Sample gauge = %v ok=%v", v, ok)
+	}
+	if v, ok := reg.Sample("computed"); !ok || v != 4 {
+		t.Fatalf("Sample gaugefunc = %v ok=%v", v, ok)
+	}
+	if v, ok := reg.Sample("lat_seconds"); !ok || v != 1 {
+		t.Fatalf("Sample histogram = %v ok=%v (want observation count)", v, ok)
+	}
+	if _, ok := reg.Sample("missing"); ok {
+		t.Fatal("Sample invented a family")
+	}
+	if _, ok := reg.Sample("reqs_total", "outcome", "nope"); ok {
+		t.Fatal("Sample invented a child")
+	}
+	if v, ok := reg.Sum("reqs_total"); !ok || v != 10 {
+		t.Fatalf("Sum = %v ok=%v, want 10", v, ok)
+	}
+	if _, ok := reg.Sum("missing"); ok {
+		t.Fatal("Sum invented a family")
+	}
+	var nilReg *Registry
+	if _, ok := nilReg.Sample("x"); ok {
+		t.Fatal("nil Sample ok")
+	}
+	if _, ok := nilReg.Sum("x"); ok {
+		t.Fatal("nil Sum ok")
+	}
+}

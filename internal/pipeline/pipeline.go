@@ -53,6 +53,12 @@ type Config struct {
 	// observability layers.
 	Progress      func(Stats)
 	ProgressEvery time.Duration
+	// Journal, when non-nil, receives a pipeline.quarantine event for
+	// every generate/lint panic contained to one item.
+	Journal *obs.Journal
+	// Flight, when non-nil, records quarantines into the "pipeline"
+	// flight ring and triggers a dump per quarantine burst.
+	Flight *obs.Flight
 }
 
 func (c Config) workers() int {
@@ -83,11 +89,16 @@ type metrics struct {
 	genSeconds  *obs.Histogram // pipeline_slot_generate_seconds
 	lintSeconds *obs.Histogram // pipeline_slot_lint_seconds
 
+	journal *obs.Journal
+	flight  *obs.Flight
+	ring    *obs.FlightRing
+
 	gen0, lint0, quar0 uint64
 	start              time.Time
 }
 
-func newMetrics(reg *obs.Registry) *metrics {
+func newMetrics(pc Config) *metrics {
+	reg := pc.Obs
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
@@ -108,12 +119,28 @@ func newMetrics(reg *obs.Registry) *metrics {
 		certsPerSec: reg.Gauge("pipeline_certs_per_sec"),
 		genSeconds:  reg.Histogram("pipeline_slot_generate_seconds", nil),
 		lintSeconds: reg.Histogram("pipeline_slot_lint_seconds", nil),
+		journal:     pc.Journal,
+		flight:      pc.Flight,
+		ring:        pc.Flight.Ring("pipeline"),
 		start:       time.Now(),
 	}
 	m.gen0 = m.generated.Value()
 	m.lint0 = m.linted.Value()
 	m.quar0 = m.quarantined.Value()
 	return m
+}
+
+// quarantine accounts one contained generate/lint panic: counter,
+// journal event, flight-ring record, and a (throttled) flight dump —
+// the quarantined artifact is the forensic payload the ISSUE's threat
+// model cares about.
+func (m *metrics) quarantine(slot, index int, stage string) {
+	m.quarantined.Inc()
+	m.ring.Record("quarantine", stage, int64(slot), int64(index))
+	m.journal.Emit(nil, "pipeline.quarantine", map[string]any{
+		"slot": slot, "index": index, "stage": stage,
+	})
+	_, _ = m.flight.Trigger("quarantine")
 }
 
 // Stats is a point-in-time snapshot of pipeline progress.
@@ -219,7 +246,7 @@ func MeasureStream(ctx context.Context, cfg corpus.Config, reg *lint.Registry, o
 		return Stats{}, err
 	}
 	workers := pc.workers()
-	ctr := newMetrics(pc.Obs)
+	ctr := newMetrics(pc)
 
 	jobs := make(chan int, pc.queue(workers))
 	ctx, cancel := context.WithCancel(ctx)
@@ -252,7 +279,7 @@ func MeasureStream(ctx context.Context, cfg corpus.Config, reg *lint.Registry, o
 						fail(err)
 						return
 					}
-					ctr.quarantined.Inc()
+					ctr.quarantine(i, -1, "generate")
 					continue
 				}
 				ctr.genSeconds.Observe(time.Since(tGen).Seconds())
@@ -263,10 +290,10 @@ func MeasureStream(ctx context.Context, cfg corpus.Config, reg *lint.Registry, o
 				ctr.generated.Add(uint64(n))
 				tLint := time.Now()
 				results = results[:0]
-				for _, e := range s.Entries {
+				for j, e := range s.Entries {
 					r, lerr := runLintSafe(reg, e.Cert, opts)
 					if lerr != nil {
-						ctr.quarantined.Inc()
+						ctr.quarantine(i, j, "lint")
 						r = nil
 					}
 					results = append(results, r)
@@ -314,7 +341,7 @@ func Measure(ctx context.Context, cfg corpus.Config, reg *lint.Registry, opts li
 		return nil, err
 	}
 	workers := pc.workers()
-	ctr := newMetrics(pc.Obs)
+	ctr := newMetrics(pc)
 
 	type slotResult struct {
 		slot        *corpus.Slot
@@ -376,7 +403,7 @@ func Measure(ctx context.Context, cfg corpus.Config, reg *lint.Registry, opts li
 						fail(err)
 						return
 					}
-					ctr.quarantined.Inc()
+					ctr.quarantine(i, -1, "generate")
 					outs[i] = slotResult{
 						slot:        &corpus.Slot{},
 						quarantined: []Quarantine{{Slot: i, Index: -1, Stage: "generate", Err: err}},
@@ -397,7 +424,7 @@ func Measure(ctx context.Context, cfg corpus.Config, reg *lint.Registry, opts li
 					r, lerr := runLintSafe(reg, e.Cert, opts)
 					res[j] = r
 					if lerr != nil {
-						ctr.quarantined.Inc()
+						ctr.quarantine(i, j, "lint")
 						quar = append(quar, Quarantine{Slot: i, Index: j, Stage: "lint", Err: lerr})
 					}
 				}

@@ -317,7 +317,7 @@ func TestLintDERsPanickingLintErrorsWithIndex(t *testing.T) {
 // allocate, so instrumentation adds 0 (≤ the budgeted 2) allocations
 // per certificate.
 func TestPipelineInstrumentationAllocBudget(t *testing.T) {
-	ctr := newMetrics(obs.NewRegistry())
+	ctr := newMetrics(Config{Obs: obs.NewRegistry()})
 	if n := testing.AllocsPerRun(500, func() {
 		ctr.inFlight.Add(1)
 		t0 := time.Now()

@@ -6,6 +6,8 @@ import (
 	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Limiter sheds load before it reaches a handler: a max-in-flight
@@ -31,6 +33,11 @@ type Limiter struct {
 	OnShed func(reason string)
 	// Now is a test hook for the token bucket clock.
 	Now func() time.Time
+	// Journal, when non-nil, receives a serve.shed event for every shed
+	// decision, labeled with Name and the shed reason.
+	Journal *obs.Journal
+	// Name labels this limiter's journal events (the listener name).
+	Name string
 
 	semOnce sync.Once
 	sem     chan struct{}
@@ -98,6 +105,7 @@ func (l *Limiter) shed(w http.ResponseWriter, status int, reason string) {
 	if l.OnShed != nil {
 		l.OnShed(reason)
 	}
+	l.Journal.Emit(nil, "serve.shed", map[string]any{"name": l.Name, "reason": reason})
 	http.Error(w, http.StatusText(status), status)
 }
 

@@ -79,6 +79,10 @@ type Config struct {
 	Obs *obs.Registry
 	// Name labels this listener's obs instruments (default "server").
 	Name string
+	// Journal, when non-nil, receives a serve.state event for every
+	// lifecycle transition (idle→serving→draining→stopped), labeled
+	// with the listener name.
+	Journal *obs.Journal
 }
 
 func (c Config) readTimeout() time.Duration       { return defDur(c.ReadTimeout, 15*time.Second) }
@@ -142,6 +146,18 @@ func New(h http.Handler, cfg Config) *Server {
 // State returns the current lifecycle state.
 func (s *Server) State() int32 { return s.state.Load() }
 
+// transition CASes the lifecycle state and journals the change when it
+// took effect.
+func (s *Server) transition(from, to int32) bool {
+	if !s.state.CompareAndSwap(from, to) {
+		return false
+	}
+	s.cfg.Journal.Emit(nil, "serve.state", map[string]any{
+		"name": s.cfg.name(), "from": StateName(from), "to": StateName(to),
+	})
+	return true
+}
+
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	// Liveness: answering at all is the signal. Draining processes are
 	// still alive — only report failure once fully stopped.
@@ -172,12 +188,12 @@ func (s *Server) readyz(w http.ResponseWriter, r *http.Request) {
 // http.Serve it swallows http.ErrServerClosed, which graceful paths
 // always produce.
 func (s *Server) Serve(ln net.Listener) error {
-	s.state.CompareAndSwap(StateIdle, StateServing)
+	s.transition(StateIdle, StateServing)
 	err := s.http.Serve(ln)
 	// A graceful Shutdown is mid-drain here: leave the draining state
 	// for Shutdown to retire. Only a hard listener death jumps straight
 	// from serving to stopped.
-	s.state.CompareAndSwap(StateServing, StateStopped)
+	s.transition(StateServing, StateStopped)
 	if errors.Is(err, http.ErrServerClosed) {
 		return nil
 	}
@@ -188,11 +204,15 @@ func (s *Server) Serve(ln net.Listener) error {
 // in-flight requests get up to DrainTimeout to finish before remaining
 // connections are cut. Safe to call more than once.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.state.CompareAndSwap(StateServing, StateDraining)
+	s.transition(StateServing, StateDraining)
 	dctx, cancel := context.WithTimeout(ctx, s.cfg.drainTimeout())
 	defer cancel()
 	err := s.http.Shutdown(dctx)
-	s.state.Store(StateStopped)
+	if prev := s.state.Swap(StateStopped); prev != StateStopped {
+		s.cfg.Journal.Emit(nil, "serve.state", map[string]any{
+			"name": s.cfg.name(), "from": StateName(prev), "to": StateName(StateStopped),
+		})
+	}
 	return err
 }
 

@@ -1,0 +1,71 @@
+#!/bin/sh
+# obs_lint.sh — bidirectional drift check between the metrics the code
+# registers and the metrics reference table in DESIGN.md.
+#
+# Code side: every statically-named instrument registration
+# (.Counter/.Gauge/.GaugeFunc/.Histogram/.Help("name") in non-test Go
+# under internal/ and cmd/), plus the DYNAMIC list below for families
+# whose names are built at runtime (the pipeline Feed suffixes its
+# instance name). Docs side: the `name` column of the table between
+# the `<!-- metrics:begin -->` / `<!-- metrics:end -->` markers in
+# DESIGN.md.
+#
+# Fails `make check` when either side has a name the other lacks — an
+# undocumented metric or a stale doc row both count as drift.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+DESIGN=DESIGN.md
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# Families the regex can't see because their names are concatenated at
+# runtime: internal/fleet builds its feed as NewFeed(..., "fleet_feed",
+# ...), and Feed registers these four suffixes.
+cat > "$tmp/dynamic" <<'EOF'
+fleet_feed_depth
+fleet_feed_put_total
+fleet_feed_get_total
+fleet_feed_put_stalls_total
+EOF
+
+{
+    grep -rnoE '\.(Counter|Gauge|GaugeFunc|Histogram|Help)\("[a-z0-9_]+"' \
+        --include='*.go' internal/ cmd/ \
+        | grep -v '_test\.go' \
+        | sed -E 's/.*\("([a-z0-9_]+)"$/\1/'
+    cat "$tmp/dynamic"
+} | sort -u > "$tmp/code"
+
+awk '/<!-- metrics:begin -->/{t=1; next}
+     /<!-- metrics:end -->/{t=0}
+     t && /^\| `/ { name=$2; gsub(/`/, "", name); print name }' \
+    "$DESIGN" | sort -u > "$tmp/docs"
+
+if ! [ -s "$tmp/docs" ]; then
+    echo "obs-lint: FAIL: no metrics table found between <!-- metrics:begin --> and <!-- metrics:end --> in $DESIGN" >&2
+    exit 1
+fi
+
+status=0
+if ! comm -23 "$tmp/code" "$tmp/docs" > "$tmp/undocumented" || [ -s "$tmp/undocumented" ]; then
+    if [ -s "$tmp/undocumented" ]; then
+        echo "obs-lint: FAIL: metrics registered in code but missing from the $DESIGN table:" >&2
+        sed 's/^/  /' "$tmp/undocumented" >&2
+        status=1
+    fi
+fi
+if ! comm -13 "$tmp/code" "$tmp/docs" > "$tmp/stale" || [ -s "$tmp/stale" ]; then
+    if [ -s "$tmp/stale" ]; then
+        echo "obs-lint: FAIL: metrics documented in $DESIGN but never registered in code:" >&2
+        sed 's/^/  /' "$tmp/stale" >&2
+        status=1
+    fi
+fi
+
+if [ $status -eq 0 ]; then
+    n=$(grep -c . "$tmp/code")
+    echo "obs-lint: OK ($n metric families, code and $DESIGN agree)"
+fi
+exit $status

@@ -14,13 +14,22 @@
 # quarantined exactly its poisoned indices without stalling, the fleet
 # never reported stalled, and the breakers opened and re-closed.
 #
-# Tunables (env): SOAK_ENTRIES, SOAK_KILL_AFTER, SOAK_DIR.
+# Observability assertions ride along: both runs write a -journal and
+# a -flight-dir; run 1's SIGTERM must leave a flight-recorder dump
+# behind, run 2's live /metrics must expose the slo_* gauges and its
+# /debug/fleet endpoint must answer in both JSON and HTML, and
+# soakcheck replays both journals, reconciling the summed
+# monitor.sync.end accounting against each run's -stats-json exactly.
+#
+# Tunables (env): SOAK_ENTRIES, SOAK_KILL_AFTER, SOAK_DIR,
+# SOAK_METRICS_ADDR.
 set -eu
 
 GO=${GO:-go}
 SOAK_ENTRIES=${SOAK_ENTRIES:-1000}
 SOAK_KILL_AFTER=${SOAK_KILL_AFTER:-3.5}
 SOAK_DIR=${SOAK_DIR:-$(mktemp -d /tmp/ctsoakfleet.XXXXXX)}
+SOAK_METRICS_ADDR=${SOAK_METRICS_ADDR:-127.0.0.1:19377}
 
 echo "soak-fleet: workdir $SOAK_DIR"
 $GO build -o "$SOAK_DIR/ctmonitor" ./cmd/ctmonitor
@@ -49,7 +58,8 @@ run() {
 rm -rf "$SOAK_DIR/ckpt"
 
 echo "soak-fleet: run 1 (SIGTERM after ${SOAK_KILL_AFTER}s)"
-run 7 "$SOAK_DIR/run1.json" &
+run 7 "$SOAK_DIR/run1.json" \
+    -journal "$SOAK_DIR/run1.jsonl" -flight-dir "$SOAK_DIR/flight1" &
 pid=$!
 sleep "$SOAK_KILL_AFTER"
 if ! kill -TERM "$pid" 2>/dev/null; then
@@ -61,8 +71,49 @@ wait "$pid" || {
     exit 1
 }
 
-echo "soak-fleet: run 2 (resume all logs from checkpoints)"
-( run 8 "$SOAK_DIR/run2.json" )
+# The interrupted run must have captured its final moments: the
+# SIGTERM path triggers a degraded-exit flight dump.
+if ! ls "$SOAK_DIR"/flight1/flight-*.jsonl >/dev/null 2>&1; then
+    echo "soak-fleet: FAIL: run 1 left no flight-recorder dump in $SOAK_DIR/flight1 after the SIGTERM" >&2
+    exit 1
+fi
 
-"$SOAK_DIR/soakcheck" -fleet "$SOAK_DIR/run1.json" "$SOAK_DIR/run2.json"
+echo "soak-fleet: run 2 (resume all logs from checkpoints, probe live endpoints)"
+run 8 "$SOAK_DIR/run2.json" \
+    -journal "$SOAK_DIR/run2.jsonl" -flight-dir "$SOAK_DIR/flight2" \
+    -metrics-addr "$SOAK_METRICS_ADDR" &
+pid=$!
+
+# While run 2 crawls, assert the live observability surface: the slo_*
+# gauges on /metrics, and /debug/fleet in both representations.
+got_slo=0; got_json=0; got_html=0
+while kill -0 "$pid" 2>/dev/null; do
+    if [ "$got_slo" -eq 0 ] && curl -sf "http://$SOAK_METRICS_ADDR/metrics" 2>/dev/null \
+            | grep -q '^slo_state{'; then
+        got_slo=1
+    fi
+    if [ "$got_json" -eq 0 ] && curl -sf "http://$SOAK_METRICS_ADDR/debug/fleet" 2>/dev/null \
+            | grep -q '"fleet_state"'; then
+        got_json=1
+    fi
+    if [ "$got_html" -eq 0 ] && curl -sf "http://$SOAK_METRICS_ADDR/debug/fleet?format=html" 2>/dev/null \
+            | grep -q '<table>'; then
+        got_html=1
+    fi
+    if [ "$got_slo" -eq 1 ] && [ "$got_json" -eq 1 ] && [ "$got_html" -eq 1 ]; then
+        break
+    fi
+    sleep 0.1
+done
+wait "$pid" || {
+    echo "soak-fleet: FAIL: run 2 exited non-zero (see $SOAK_DIR/run2.json.log)" >&2
+    exit 1
+}
+[ "$got_slo" -eq 1 ] || { echo "soak-fleet: FAIL: no slo_state gauge ever appeared on /metrics" >&2; exit 1; }
+[ "$got_json" -eq 1 ] || { echo "soak-fleet: FAIL: /debug/fleet never served the JSON report" >&2; exit 1; }
+[ "$got_html" -eq 1 ] || { echo "soak-fleet: FAIL: /debug/fleet?format=html never served the HTML report" >&2; exit 1; }
+
+"$SOAK_DIR/soakcheck" -fleet \
+    -journal1 "$SOAK_DIR/run1.jsonl" -journal2 "$SOAK_DIR/run2.jsonl" \
+    "$SOAK_DIR/run1.json" "$SOAK_DIR/run2.json"
 echo "soak-fleet: OK (artifacts in $SOAK_DIR)"
