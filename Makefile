@@ -5,13 +5,14 @@ GO ?= go
 # run under the race detector in `make check`.
 RACE_PKGS := ./internal/ctlog/... ./internal/monitor/... ./internal/faultinject/... \
 	./internal/pipeline/... ./internal/corpus/... ./internal/lint/... \
-	./internal/obs/... ./internal/serve/... ./internal/fleet/...
+	./internal/obs/... ./internal/serve/... ./internal/fleet/... \
+	./internal/index/...
 
 # End-to-end corpus size for `make bench` (34800 ≈ 1:1000 of the
 # paper's dataset). Lower it for quick local runs:
 #   make bench BENCH_E2E_SIZE=3480
 BENCH_E2E_SIZE ?= 34800
-# Free-form note recorded in BENCH_5.json (hardware caveats etc.).
+# Free-form note recorded in BENCH_6.json (hardware caveats etc.).
 BENCH_NOTE ?=
 # Interleaved bench rounds: the whole suite runs BENCH_ROUNDS times
 # (round-robin, not back-to-back -count repeats) so benchjson's medians
@@ -38,11 +39,13 @@ check: build vet test race allocguard obs-lint smoke-metrics soak-fleet
 
 # bench runs the end-to-end pipeline benchmarks (1 iteration each at
 # paper scale), the streaming slot-recycling variant, the per-stage
-# generate/lint benchmarks, the registry allocation guard, and the
-# fleet-crawl throughput benchmark — BENCH_ROUNDS interleaved times —
-# then records medians, min/max spread, derived per-cert allocation
-# costs, the obs histogram snapshots, and a delta table against the
-# previous BENCH_*.json in BENCH_5.json.
+# generate/lint benchmarks, the registry allocation guard, the
+# fleet-crawl throughput benchmark, and the certificate-index T1–T5
+# query grid (point / prefix / range / ingest / mixed, LSM vs B+tree)
+# — BENCH_ROUNDS interleaved times — then records medians, min/max
+# spread, derived per-cert allocation costs, the obs histogram
+# snapshots, and a delta table against the previous BENCH_*.json in
+# BENCH_6.json.
 bench:
 	{ for r in $$(seq 1 $(BENCH_ROUNDS)); do \
 	    BENCH_E2E_SIZE=$(BENCH_E2E_SIZE) $(GO) test -run '^$$' \
@@ -50,8 +53,10 @@ bench:
 		-benchtime 1x -benchmem . ; \
 	    $(GO) test -run '^$$' -bench 'RegistryRun' -benchmem ./internal/lint ; \
 	    $(GO) test -run '^$$' -bench 'FleetCrawl' -benchtime 5x ./internal/fleet ; \
+	    $(GO) test -run '^$$' -bench 'Index(Point|Prefix|Range|Ingest|Mixed)' \
+		-benchmem ./internal/index ; \
 	  done ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_5.json -note "$(BENCH_NOTE)"
+	| $(GO) run ./cmd/benchjson -o BENCH_6.json -note "$(BENCH_NOTE)"
 
 # profile captures CPU + heap (alloc_space) pprof profiles from a live
 # paper-scale ctscan run via the internal/obs pprof handler; artifacts
@@ -60,7 +65,7 @@ profile:
 	./scripts/profile.sh
 
 # allocguard enforces the per-cert allocation budgets in
-# scripts/alloc_budgets.txt against the committed BENCH_5.json — a
+# scripts/alloc_budgets.txt against the committed BENCH_6.json — a
 # fast read-only check that fails `make check` when a recorded budget
 # regresses.
 allocguard:

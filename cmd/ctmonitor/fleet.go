@@ -28,6 +28,7 @@ import (
 	"repro/internal/ctlog"
 	"repro/internal/faultinject"
 	"repro/internal/fleet"
+	"repro/internal/index"
 	"repro/internal/monitor"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -53,6 +54,11 @@ type fleetParams struct {
 	queueDepth       int
 	stallAfter       time.Duration
 	metricsAddr      string
+	indexDir         string
+	queryAddr        string
+	queryRateLimit   float64
+	queryBurst       int
+	queryMaxInflight int
 	statsJSON        bool
 	query            string
 	monitorFilter    string
@@ -301,9 +307,22 @@ func runFleet(ctx context.Context, out io.Writer, reg *obs.Registry, tracer *obs
 			mons = append(mons, monitor.New(caps))
 		}
 	}
+	// The certificate index rides the same consume goroutine: each
+	// unique entry is parsed once and fed to both the monitor models
+	// and the LSM index, tagged with the log it was first seen on.
+	var ix index.Index
+	if p.indexDir != "" {
+		lsm, err := index.Open(index.Options{Dir: p.indexDir, Obs: reg, Journal: p.journal})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctmonitor: index: %v\n", err)
+			return 1
+		}
+		ix = lsm
+	}
 	nextID := 0
 	parseErrors := 0
-	handle := func(e ctlog.Entry) {
+	indexPutErrors := 0
+	handle := func(src string, e ctlog.Entry) {
 		cert, err := x509cert.ParseWithMode(e.DER, x509cert.ParseLenient)
 		if err != nil {
 			parseErrors++
@@ -313,6 +332,13 @@ func runFleet(ctx context.Context, out io.Writer, reg *obs.Registry, tracer *obs
 		for _, m := range mons {
 			indexContained(m, nextID, cert)
 		}
+		if ix != nil {
+			for _, rec := range index.FromCert(src, uint64(e.Index), ctlog.LeafHash(e.DER), cert) {
+				if err := ix.Put(rec); err != nil {
+					indexPutErrors++
+				}
+			}
+		}
 	}
 
 	coord, err := fleet.New(fleet.Config{
@@ -321,7 +347,7 @@ func runFleet(ctx context.Context, out io.Writer, reg *obs.Registry, tracer *obs
 		Quorum:        p.quorum,
 		QueueDepth:    p.queueDepth,
 		StallAfter:    p.stallAfter,
-		Handle:        handle,
+		HandleSourced: handle,
 		Obs:           reg,
 		Tracer:        tracer,
 		Journal:       p.journal,
@@ -330,6 +356,41 @@ func runFleet(ctx context.Context, out io.Writer, reg *obs.Registry, tracer *obs
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ctmonitor: %v\n", err)
 		return 1
+	}
+
+	// The query API gets its own listener behind the shedding Limiter —
+	// overload on the query side must never slow the crawl down.
+	if ix != nil && p.queryAddr != "" {
+		reg.Help("index_server_shed_total", "Query API requests shed by the limiter, by reason.")
+		lim := &serve.Limiter{
+			MaxInFlight: p.queryMaxInflight,
+			Rate:        p.queryRateLimit,
+			Burst:       p.queryBurst,
+			OnShed: func(reason string) {
+				reg.Counter("index_server_shed_total", "reason", reason).Inc()
+			},
+			Journal: p.journal,
+			Name:    "query",
+		}
+		qsrv := serve.New(lim.Wrap(index.Handler(ix, reg, p.journal)), serve.Config{
+			Name:         "query",
+			DrainTimeout: p.drain,
+			Journal:      p.journal,
+		})
+		qln, err := net.Listen("tcp", p.queryAddr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ctmonitor: query listener: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(out, "query API on http://%s/ct/v1/query\n", qln.Addr())
+		qdone := make(chan error, 1)
+		go func() { qdone <- qsrv.Run(ctx, qln) }()
+		defer func() {
+			if err := qsrv.Shutdown(context.Background()); err != nil {
+				fmt.Fprintf(os.Stderr, "ctmonitor: query shutdown: %v\n", err)
+			}
+			<-qdone
+		}()
 	}
 
 	// The SLO engine reads its signals straight off the registry: one
@@ -381,6 +442,23 @@ func runFleet(ctx context.Context, out io.Writer, reg *obs.Registry, tracer *obs
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ctmonitor: fleet: %v\n", err)
 		return 1
+	}
+	// Run has drained the feed, so every unique entry has been Put; a
+	// flush here seals them into a segment before the process exits —
+	// this is the zero-loss half of the SIGTERM contract the soak
+	// checks. Close is deferred before the query server finishes
+	// draining, which is safe: Close seals the memtable and keeps the
+	// segment set readable, so late queries still see every record.
+	if ix != nil {
+		if err := ix.Flush(); err != nil {
+			fmt.Fprintf(os.Stderr, "ctmonitor: index flush: %v\n", err)
+			return 1
+		}
+		defer func() {
+			if err := ix.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "ctmonitor: index close: %v\n", err)
+			}
+		}()
 	}
 	// An interrupted or less-than-healthy finish is a flight moment:
 	// capture what every subsystem was doing as the run wound down.
@@ -450,21 +528,28 @@ func runFleet(ctx context.Context, out io.Writer, reg *obs.Registry, tracer *obs
 				injectors[fl.name] = map[string]int64{"requests": st.Requests, "faults": st.Total(), "poisoned": st.Poisoned}
 			}
 		}
+		var ixStats *index.Stats
+		if ix != nil {
+			st := ix.Stats()
+			ixStats = &st
+		}
 		obj := struct {
-			Mode        string                      `json:"mode"`
-			Entries     int                         `json:"entries"`
-			Interrupted bool                        `json:"interrupted"`
-			FinalState  string                      `json:"final_state"`
-			Unique      int                         `json:"unique_entries"`
-			Deduped     int                         `json:"dup_entries"`
-			ParseErrors int                         `json:"parse_errors"`
-			LogSizes    map[string]int              `json:"log_sizes"`
-			Poisoned    map[string][]int            `json:"poisoned"`
-			Injectors   map[string]any              `json:"injectors"`
-			Logs        map[string]*fleet.LogReport `json:"logs"`
-			Metrics     map[string]any              `json:"metrics"`
+			Mode         string                      `json:"mode"`
+			Entries      int                         `json:"entries"`
+			Interrupted  bool                        `json:"interrupted"`
+			FinalState   string                      `json:"final_state"`
+			Unique       int                         `json:"unique_entries"`
+			Deduped      int                         `json:"dup_entries"`
+			ParseErrors  int                         `json:"parse_errors"`
+			IndexPutErrs int                         `json:"index_put_errors"`
+			Index        *index.Stats                `json:"index,omitempty"`
+			LogSizes     map[string]int              `json:"log_sizes"`
+			Poisoned     map[string][]int            `json:"poisoned"`
+			Injectors    map[string]any              `json:"injectors"`
+			Logs         map[string]*fleet.LogReport `json:"logs"`
+			Metrics      map[string]any              `json:"metrics"`
 		}{"fleet", total, res.Interrupted, res.FinalState, res.UniqueEntries, res.DupEntries,
-			parseErrors, sizes, poisoned, injectors, res.Logs, reg.VarsSnapshot()}
+			parseErrors, indexPutErrors, ixStats, sizes, poisoned, injectors, res.Logs, reg.VarsSnapshot()}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(obj); err != nil {

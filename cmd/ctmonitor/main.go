@@ -104,6 +104,11 @@ func main() {
 	checkpointDir := flag.String("checkpoint-dir", "", "fleet mode: directory for per-log crash-safe checkpoints (one advisory-locked file per log)")
 	fleetQueue := flag.Int("fleet-queue", 0, "fleet mode: bounded entry-feed depth shared by all crawls (0 = 256)")
 	fleetStallAfter := flag.Duration("fleet-stall-after", 0, "fleet mode: mark a log stalled when its checkpoint stops advancing for this long (0 disables age-based stalling)")
+	indexDir := flag.String("index-dir", "", "fleet mode: persist a queryable certificate index (LSM segment files) in this directory")
+	queryAddr := flag.String("query-addr", "", "fleet mode: serve the /ct/v1/query lookup API on this address (requires -index-dir)")
+	queryRateLimit := flag.Float64("query-rate-limit", 0, "sustained query requests/second budget; excess sheds 429 (0 = unlimited)")
+	queryBurst := flag.Int("query-burst", 0, "token-bucket burst for -query-rate-limit")
+	queryMaxInflight := flag.Int("query-max-inflight", 0, "cap on concurrently served queries; excess sheds 503 (0 = unlimited)")
 	journalPath := flag.String("journal", "", "append schema-versioned JSONL audit events (sync, health, breaker, checkpoint, shed) to this file")
 	flightDir := flag.String("flight-dir", "", "write flight-recorder dumps (JSONL) here on panic, quarantine, breaker-open, fleet transitions, SIGQUIT, and degraded exit")
 	flag.Parse()
@@ -172,6 +177,11 @@ func main() {
 			queueDepth:       *fleetQueue,
 			stallAfter:       *fleetStallAfter,
 			metricsAddr:      *metricsAddr,
+			indexDir:         *indexDir,
+			queryAddr:        *queryAddr,
+			queryRateLimit:   *queryRateLimit,
+			queryBurst:       *queryBurst,
+			queryMaxInflight: *queryMaxInflight,
 			statsJSON:        *statsJSON,
 			query:            *query,
 			monitorFilter:    *monitorFilter,

@@ -48,17 +48,30 @@ type fleetLogReport struct {
 	Err      string         `json:"err"`
 }
 
+// fleetIndexStats mirrors the index.Stats self-report embedded in the
+// stats JSON when the run persisted a certificate index.
+type fleetIndexStats struct {
+	Backend  string   `json:"backend"`
+	Certs    uint64   `json:"certs"`
+	Postings uint64   `json:"postings"`
+	Segments int      `json:"segments"`
+	Damaged  []string `json:"damaged"`
+}
+
 type fleetRun struct {
-	Mode        string                    `json:"mode"`
-	Entries     int                       `json:"entries"`
-	Interrupted bool                      `json:"interrupted"`
-	FinalState  string                    `json:"final_state"`
-	Unique      int                       `json:"unique_entries"`
-	Deduped     int                       `json:"dup_entries"`
-	LogSizes    map[string]int            `json:"log_sizes"`
-	Poisoned    map[string][]int          `json:"poisoned"`
-	Logs        map[string]fleetLogReport `json:"logs"`
-	Metrics     map[string]any            `json:"metrics"`
+	Mode         string                    `json:"mode"`
+	Entries      int                       `json:"entries"`
+	Interrupted  bool                      `json:"interrupted"`
+	FinalState   string                    `json:"final_state"`
+	Unique       int                       `json:"unique_entries"`
+	Deduped      int                       `json:"dup_entries"`
+	ParseErrors  int                       `json:"parse_errors"`
+	IndexPutErrs int                       `json:"index_put_errors"`
+	Index        *fleetIndexStats          `json:"index"`
+	LogSizes     map[string]int            `json:"log_sizes"`
+	Poisoned     map[string][]int          `json:"poisoned"`
+	Logs         map[string]fleetLogReport `json:"logs"`
+	Metrics      map[string]any            `json:"metrics"`
 }
 
 func checkFleet(path1, path2, journal1, journal2 string) int {
@@ -178,6 +191,47 @@ func checkFleet(path1, path2, journal1, journal2 string) int {
 		}
 	}
 
+	// Certificate-index zero-loss accounting across the SIGTERM. Both
+	// runs share one index directory: run 1's graceful shutdown must
+	// have sealed every Put into segments, so run 2's final durable
+	// cert count is exactly run 1's count plus the certificates run 2
+	// itself indexed (its index_puts_total counter). Any gap means the
+	// restart lost indexed entries.
+	if run1.Index == nil || run2.Index == nil {
+		failf("missing index stats (was ctmonitor run with -index-dir?)")
+	} else {
+		puts1 := uint64(metricSum("index_puts_total", run1.Metrics))
+		puts2 := uint64(metricSum("index_puts_total", run2.Metrics))
+		if run1.Index.Certs != puts1 {
+			failf("run 1 indexed %d certs but its store holds %d — flush lost entries before exit",
+				puts1, run1.Index.Certs)
+		}
+		if want := run1.Index.Certs + puts2; run2.Index.Certs != want {
+			failf("run 2's index holds %d certs, want %d (run 1's %d + run 2's %d puts) — indexed entries lost across the restart",
+				run2.Index.Certs, want, run1.Index.Certs, puts2)
+		}
+		if puts2 == 0 {
+			failf("run 2 indexed nothing; the resumed crawl never reached the index")
+		}
+		for _, r := range []struct {
+			path string
+			run  fleetRun
+		}{{path1, run1}, {path2, run2}} {
+			if r.run.IndexPutErrs != 0 {
+				failf("%s: %d index put errors, want 0", r.path, r.run.IndexPutErrs)
+			}
+			if len(r.run.Index.Damaged) != 0 {
+				failf("%s: index quarantined damaged segments %v", r.path, r.run.Index.Damaged)
+			}
+			// Every indexed certificate carries exactly 5 postings
+			// (cert, domain, skeleton, issuer, time spaces).
+			if r.run.Index.Postings != 5*r.run.Index.Certs {
+				failf("%s: %d postings for %d certs, want exactly 5 per cert",
+					r.path, r.run.Index.Postings, r.run.Index.Certs)
+			}
+		}
+	}
+
 	opened := metricSum(`ctlog_breaker_transitions_total{to="open"}`, run1.Metrics, run2.Metrics)
 	closed := metricSum(`ctlog_breaker_transitions_total{to="closed"}`, run1.Metrics, run2.Metrics)
 	if opened < 1 {
@@ -210,8 +264,8 @@ func checkFleet(path1, path2, journal1, journal2 string) int {
 		}
 		return 1
 	}
-	fmt.Printf("soakcheck: PASS: fleet of %d logs, %d resumed, %d+%d unique entries, %d+%d duplicates, breaker opened %.0f× and closed %.0f×, %d journals replayed exactly\n",
-		len(run1.LogSizes), resumed, run1.Unique, run2.Unique, run1.Deduped, run2.Deduped, opened, closed, journals)
+	fmt.Printf("soakcheck: PASS: fleet of %d logs, %d resumed, %d+%d unique entries, %d+%d duplicates, %d certs indexed with zero loss across the restart, breaker opened %.0f× and closed %.0f×, %d journals replayed exactly\n",
+		len(run1.LogSizes), resumed, run1.Unique, run2.Unique, run1.Deduped, run2.Deduped, run2.Index.Certs, opened, closed, journals)
 	return 0
 }
 

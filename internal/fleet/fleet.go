@@ -104,6 +104,11 @@ type Config struct {
 	// Handle consumes each unique (first-seen across all logs) entry,
 	// serially from one goroutine. Nil means count-only.
 	Handle func(e ctlog.Entry)
+	// HandleSourced, when non-nil, additionally receives each unique
+	// entry together with the name of the log it was first seen on —
+	// the cross-log provenance consumers like the certificate index
+	// record. Called serially from the same goroutine as Handle.
+	HandleSourced func(log string, e ctlog.Entry)
 	// Obs, when non-nil, receives the fleet instruments:
 	// fleet_log_state{log}, fleet_state, fleet_state_transitions_total,
 	// fleet_log_restarts_total{log}, fleet_log_checkpoint{log},
@@ -220,11 +225,18 @@ func (w *worker) snapshotStats() monitor.SyncStats {
 	return w.stats
 }
 
+// sourced is a feed element: one entry plus the log it came from, so
+// the consumer can hand provenance to the index.
+type sourced struct {
+	log string
+	e   ctlog.Entry
+}
+
 // Coordinator runs one crawl worker per configured log.
 type Coordinator struct {
 	cfg     Config
 	workers []*worker
-	feed    *pipeline.Feed[ctlog.Entry]
+	feed    *pipeline.Feed[sourced]
 
 	dedupMu sync.Mutex
 	seen    map[ctlog.Hash]struct{}
@@ -264,7 +276,7 @@ func New(cfg Config) (*Coordinator, error) {
 	if q := cfg.quorum(); q > len(cfg.Logs) {
 		return nil, fmt.Errorf("fleet: quorum %d exceeds %d logs", q, len(cfg.Logs))
 	}
-	c.feed = pipeline.NewFeed[ctlog.Entry](cfg.queueDepth(), "fleet_feed", cfg.Obs)
+	c.feed = pipeline.NewFeed[sourced](cfg.queueDepth(), "fleet_feed", cfg.Obs)
 	c.ring = cfg.Flight.Ring("fleet")
 	c.instrument()
 	c.instrumentBreakers()
@@ -410,7 +422,7 @@ func (c *Coordinator) sink(ctx context.Context, w *worker) func(ctlog.Entry) (mo
 		}
 		c.seen[h] = struct{}{}
 		c.dedupMu.Unlock()
-		if err := c.feed.Put(ctx, e); err != nil {
+		if err := c.feed.Put(ctx, sourced{log: w.spec.Name, e: e}); err != nil {
 			c.dedupMu.Lock()
 			delete(c.seen, h)
 			c.dedupMu.Unlock()
@@ -563,14 +575,17 @@ func (c *Coordinator) runWorker(ctx context.Context, w *worker) {
 func (c *Coordinator) consume(done chan<- struct{}) {
 	defer close(done)
 	for {
-		e, ok, _ := c.feed.Get(context.Background())
+		s, ok, _ := c.feed.Get(context.Background())
 		if !ok {
 			return
 		}
 		c.unique.Add(1)
 		c.uniqueCtr.Inc()
 		if c.cfg.Handle != nil {
-			c.cfg.Handle(e)
+			c.cfg.Handle(s.e)
+		}
+		if c.cfg.HandleSourced != nil {
+			c.cfg.HandleSourced(s.log, s.e)
 		}
 	}
 }

@@ -1,0 +1,177 @@
+package index
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// buildTwoSegments returns the raw bytes of two committed segment
+// files: a small victim (the one the tests will damage) and a healthy
+// sibling, along with their base names and the cert count per segment.
+func buildTwoSegments(t *testing.T) (victim, healthy []byte, victimName, healthyName string, certsPer int) {
+	t.Helper()
+	dir := t.TempDir()
+	lsm, err := Open(Options{Dir: dir, CompactAfter: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	const per = 4
+	for seg := 0; seg < 2; seg++ {
+		for i := 0; i < per; i++ {
+			rec := mkRec([]string{"example.com", "example.org", "mail.example.com", "other.net"}[i],
+				"CN=Alpha CA", "alpha", uint64(seg*per+i), testBase.Add(time.Duration(i)*time.Hour))
+			if err := lsm.Put(rec); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+		}
+		if err := lsm.Flush(); err != nil {
+			t.Fatalf("Flush: %v", err)
+		}
+	}
+	if err := lsm.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	files, err := segmentFiles(dir)
+	if err != nil || len(files) != 2 {
+		t.Fatalf("segmentFiles: %v (%d files)", err, len(files))
+	}
+	healthyBuf, err := os.ReadFile(files[0])
+	if err != nil {
+		t.Fatalf("reading segment: %v", err)
+	}
+	victimBuf, err := os.ReadFile(files[1])
+	if err != nil {
+		t.Fatalf("reading segment: %v", err)
+	}
+	return victimBuf, healthyBuf, filepath.Base(files[1]), filepath.Base(files[0]), per
+}
+
+// openDamaged writes the two segments (victim possibly corrupted) into
+// a fresh dir and opens the store, returning it for inspection.
+func openDamaged(t *testing.T, healthy, victim []byte, healthyName, victimName string) *LSM {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, healthyName), healthy, 0o644); err != nil {
+		t.Fatalf("writing healthy segment: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, victimName), victim, 0o644); err != nil {
+		t.Fatalf("writing victim segment: %v", err)
+	}
+	lsm, err := Open(Options{Dir: dir, CompactAfter: -1})
+	if err != nil {
+		t.Fatalf("Open with damaged segment: %v", err)
+	}
+	t.Cleanup(func() { lsm.Close() })
+	return lsm
+}
+
+// checkQuarantine asserts the contract after opening over a corrupted
+// victim: open succeeds, the healthy segment's data is served, and the
+// victim is REPORTED — listed in Stats().Damaged and renamed aside —
+// never silently dropped.
+func checkQuarantine(t *testing.T, lsm *LSM, victimName string, certsPer int, label string) {
+	t.Helper()
+	st := lsm.Stats()
+	if len(st.Damaged) != 1 || filepath.Base(st.Damaged[0]) != victimName {
+		t.Fatalf("%s: Damaged = %v, want exactly %s", label, st.Damaged, victimName)
+	}
+	if st.Segments != 1 || st.Certs != uint64(certsPer) {
+		t.Fatalf("%s: stats %+v, want 1 segment with %d certs", label, st, certsPer)
+	}
+	if _, err := os.Stat(st.Damaged[0] + ".damaged"); err != nil {
+		t.Fatalf("%s: quarantined file missing: %v", label, err)
+	}
+	got, err := lsm.Lookup(PointQuery("example.com"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("%s: healthy segment not served: %d records, err %v", label, len(got), err)
+	}
+}
+
+// TestSegmentCrashSafetyTruncation simulates a torn write at EVERY
+// byte offset of a segment file: each prefix must open cleanly with
+// the damaged file quarantined and reported.
+func TestSegmentCrashSafetyTruncation(t *testing.T) {
+	victim, healthy, victimName, healthyName, per := buildTwoSegments(t)
+	for cut := 0; cut < len(victim); cut++ {
+		lsm := openDamaged(t, healthy, victim[:cut], healthyName, victimName)
+		checkQuarantine(t, lsm, victimName, per, "truncate@"+strconv.Itoa(cut))
+		lsm.Close()
+	}
+}
+
+// TestSegmentCrashSafetyBitFlip flips one bit at every byte offset:
+// the CRC (or an earlier structural check) must catch each flip, and
+// the opener must quarantine-and-report rather than serve bad data.
+func TestSegmentCrashSafetyBitFlip(t *testing.T) {
+	victim, healthy, victimName, healthyName, per := buildTwoSegments(t)
+	for off := 0; off < len(victim); off++ {
+		mut := append([]byte(nil), victim...)
+		mut[off] ^= 0x01
+		lsm := openDamaged(t, healthy, mut, healthyName, victimName)
+		checkQuarantine(t, lsm, victimName, per, "bitflip@"+strconv.Itoa(off))
+		lsm.Close()
+	}
+}
+
+// TestLeftoverTempFilesRemoved checks the other crash artifact: a temp
+// file abandoned mid-flush is swept at open, not loaded and not
+// reported as damage.
+func TestLeftoverTempFilesRemoved(t *testing.T) {
+	victim, healthy, victimName, healthyName, _ := buildTwoSegments(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, healthyName), healthy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, victimName), victim, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tmp := filepath.Join(dir, victimName+".tmp123")
+	if err := os.WriteFile(tmp, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	lsm, err := Open(Options{Dir: dir, CompactAfter: -1})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer lsm.Close()
+	if st := lsm.Stats(); len(st.Damaged) != 0 || st.Segments != 2 {
+		t.Fatalf("stats %+v, want 2 clean segments", st)
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("temp file survived open: %v", err)
+	}
+}
+
+// TestDamagedSegmentJournaled pins the reporting side channel: the
+// quarantine emits an index.segment_damaged journal event naming the
+// file.
+func TestDamagedSegmentJournaled(t *testing.T) {
+	victim, healthy, victimName, healthyName, _ := buildTwoSegments(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, healthyName), healthy, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, victimName), victim[:len(victim)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	lsm, err := Open(Options{Dir: dir, CompactAfter: -1, Journal: obs.NewJournal(&buf, obs.NewRegistry())})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer lsm.Close()
+	out := buf.String()
+	if !strings.Contains(out, "index.segment_damaged") || !strings.Contains(out, victimName) {
+		t.Fatalf("journal missing damage event:\n%s", out)
+	}
+	if !strings.Contains(out, "index.open") {
+		t.Fatalf("journal missing open event:\n%s", out)
+	}
+}

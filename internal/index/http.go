@@ -1,0 +1,182 @@
+package index
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Handler serves the crt.sh-style query API over an Index:
+//
+//	GET /ct/v1/query?domain=example.com          point lookup
+//	GET /ct/v1/query?prefix=exam                 domain-prefix scan
+//	GET /ct/v1/query?skeleton=paypal.com         homograph cluster
+//	GET /ct/v1/query?issuer=CN=Root+CA           exact issuer DN
+//	GET /ct/v1/query?from=<RFC3339>&to=<RFC3339> notBefore range
+//	GET /ct/v1/stats                             backend self-report
+//
+// Exactly one query class per request (from/to travel together); an
+// optional limit=N caps results (default DefaultLimit). The handler
+// is mounted behind the serve.Limiter shedding layer by the caller —
+// overload policy belongs to the listener, query semantics live here.
+// Per-class traffic is counted in index_queries_total{class} and timed
+// in index_query_seconds{class}.
+func Handler(ix Index, reg *obs.Registry, journal *obs.Journal) http.Handler {
+	h := &queryHandler{ix: ix, journal: journal}
+	if reg != nil {
+		reg.Help("index_queries_total", "Index lookups served, by query class and outcome.")
+		reg.Help("index_query_seconds", "Index lookup latency by query class.")
+		h.counters = map[Class]*obs.Counter{}
+		h.badCtr = reg.Counter("index_queries_total", "class", "invalid")
+		h.latencies = map[Class]*obs.Histogram{}
+		for _, c := range []Class{Point, Prefix, Range, Homograph, Issuer} {
+			h.counters[c] = reg.Counter("index_queries_total", "class", c.String())
+			h.latencies[c] = reg.Histogram("index_query_seconds", nil, "class", c.String())
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ct/v1/query", h.query)
+	mux.HandleFunc("/ct/v1/stats", h.stats)
+	return mux
+}
+
+type queryHandler struct {
+	ix        Index
+	journal   *obs.Journal
+	counters  map[Class]*obs.Counter
+	latencies map[Class]*obs.Histogram
+	badCtr    *obs.Counter
+}
+
+// queryResult is one record in the response, with the leaf hash
+// rendered for correlation against log proofs.
+type queryResult struct {
+	Record
+	LeafHash string `json:"leaf_hash"`
+}
+
+type queryResponse struct {
+	Class   string        `json:"class"`
+	Key     string        `json:"key,omitempty"`
+	From    string        `json:"from,omitempty"`
+	To      string        `json:"to,omitempty"`
+	Count   int           `json:"count"`
+	Results []queryResult `json:"results"`
+}
+
+// parseQuery maps URL parameters onto exactly one query class.
+func parseQuery(r *http.Request) (Query, error) {
+	v := r.URL.Query()
+	limit := 0
+	if s := v.Get("limit"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			return Query{}, fmt.Errorf("bad limit %q", s)
+		}
+		if n > DefaultLimit {
+			n = DefaultLimit
+		}
+		limit = n
+	}
+	classes := 0
+	var q Query
+	if d := v.Get("domain"); d != "" {
+		q, classes = PointQuery(d), classes+1
+	}
+	if p := v.Get("prefix"); p != "" {
+		q, classes = PrefixQuery(p), classes+1
+	}
+	if s := v.Get("skeleton"); s != "" {
+		q, classes = HomographQuery(s), classes+1
+	}
+	if i := v.Get("issuer"); i != "" {
+		q, classes = IssuerQuery(i), classes+1
+	}
+	if f, t := v.Get("from"), v.Get("to"); f != "" || t != "" {
+		from, err := parseTimeParam(f, time.Unix(0, 0).UTC())
+		if err != nil {
+			return Query{}, err
+		}
+		to, err := parseTimeParam(t, time.Date(9999, 1, 1, 0, 0, 0, 0, time.UTC))
+		if err != nil {
+			return Query{}, err
+		}
+		q, classes = RangeQuery(from, to), classes+1
+	}
+	if classes != 1 {
+		return Query{}, fmt.Errorf("want exactly one of domain=, prefix=, skeleton=, issuer=, from=/to= (got %d)", classes)
+	}
+	q.Limit = limit
+	return q, nil
+}
+
+func parseTimeParam(s string, def time.Time) (time.Time, error) {
+	if s == "" {
+		return def, nil
+	}
+	t, err := time.Parse(time.RFC3339, s)
+	if err != nil {
+		return time.Time{}, fmt.Errorf("bad time %q (want RFC3339)", s)
+	}
+	return t, nil
+}
+
+func (h *queryHandler) query(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	q, err := parseQuery(r)
+	if err != nil {
+		h.badCtr.Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	start := time.Now()
+	recs, err := h.ix.Lookup(q)
+	if h.latencies != nil {
+		h.latencies[q.Class].Observe(time.Since(start).Seconds())
+	}
+	if h.counters != nil {
+		h.counters[q.Class].Inc()
+	}
+	if err != nil {
+		h.journal.Emit(r.Context(), "index.query_error", map[string]any{
+			"class": q.Class.String(), "err": err.Error(),
+		})
+		http.Error(w, "index scan failed", http.StatusInternalServerError)
+		return
+	}
+	resp := queryResponse{
+		Class:   q.Class.String(),
+		Key:     q.Key,
+		Count:   len(recs),
+		Results: make([]queryResult, 0, len(recs)),
+	}
+	if q.Class == Range {
+		resp.From, resp.To = q.From.UTC().Format(time.RFC3339), q.To.UTC().Format(time.RFC3339)
+	}
+	for _, rec := range recs {
+		resp.Results = append(resp.Results, queryResult{
+			Record:   rec,
+			LeafHash: hex.EncodeToString(rec.LeafHash[:]),
+		})
+	}
+	writeJSON(w, resp)
+}
+
+func (h *queryHandler) stats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, h.ix.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

@@ -1,0 +1,431 @@
+package index
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+	"repro/internal/obs"
+	"repro/internal/raceflag"
+	"repro/internal/uni"
+	"repro/internal/x509cert"
+)
+
+// openTestLSM opens an LSM in a fresh temp dir with auto-compaction
+// disabled so tests drive Flush/Compact deterministically.
+func openTestLSM(t *testing.T, opts Options) *LSM {
+	t.Helper()
+	if opts.Dir == "" {
+		opts.Dir = t.TempDir()
+	}
+	if opts.CompactAfter == 0 {
+		opts.CompactAfter = -1
+	}
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+// mkRec builds a test record the way FromCert would: lowercased domain,
+// uni.Skeleton skeleton, leaf hash derived from the domain so records
+// are distinguishable.
+func mkRec(domain, issuer, log string, logIndex uint64, nb time.Time) Record {
+	var lh [32]byte
+	copy(lh[:], domain)
+	d := strings.ToLower(domain)
+	return Record{
+		Domain:    d,
+		Skeleton:  uni.Skeleton(d),
+		Issuer:    issuer,
+		NotBefore: nb,
+		Log:       log,
+		LogIndex:  logIndex,
+		LeafHash:  lh,
+	}
+}
+
+func sameRecords(t *testing.T, label string, got, want []Record) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d records, want %d\n got: %+v\nwant: %+v", label, len(got), len(want), got, want)
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		if g.Domain != w.Domain || g.Skeleton != w.Skeleton || g.Issuer != w.Issuer ||
+			g.Log != w.Log || g.LogIndex != w.LogIndex || g.LeafHash != w.LeafHash ||
+			g.Seq != w.Seq || g.NotBefore.Unix() != w.NotBefore.Unix() {
+			t.Fatalf("%s: record %d mismatch\n got: %+v\nwant: %+v", label, i, g, w)
+		}
+	}
+}
+
+var testBase = time.Date(2025, 6, 1, 0, 0, 0, 0, time.UTC)
+
+// seedCorpusRecords is the shared fixture: a handful of domains across
+// two issuers and a spread of notBefore times.
+func seedCorpusRecords() []Record {
+	return []Record{
+		mkRec("example.com", "CN=Alpha CA", "alpha", 10, testBase),
+		mkRec("example.com", "CN=Beta CA", "bravo", 11, testBase.Add(time.Hour)),
+		mkRec("example.org", "CN=Alpha CA", "alpha", 12, testBase.Add(2*time.Hour)),
+		mkRec("mail.example.com", "CN=Beta CA", "bravo", 13, testBase.Add(3*time.Hour)),
+		mkRec("other.net", "CN=Alpha CA", "alpha", 14, testBase.Add(4*time.Hour)),
+	}
+}
+
+// put loads recs into ix in order, assigning Seq 1..n like the store.
+func put(t *testing.T, ix Index, recs []Record) []Record {
+	t.Helper()
+	out := make([]Record, len(recs))
+	for i, r := range recs {
+		if err := ix.Put(r); err != nil {
+			t.Fatalf("Put(%q): %v", r.Domain, err)
+		}
+		r.Seq = uint64(i + 1)
+		out[i] = r
+	}
+	return out
+}
+
+// TestLookupBothBackends drives the full query-class battery through
+// both backends and expects identical, reference-checked answers.
+func TestLookupBothBackends(t *testing.T) {
+	lsm := openTestLSM(t, Options{FlushAt: 3}) // forces a mid-stream flush
+	backends := []struct {
+		name string
+		ix   Index
+	}{
+		{"lsm", lsm},
+		{"btree", NewBTree()},
+	}
+	for _, b := range backends {
+		t.Run(b.name, func(t *testing.T) {
+			recs := put(t, b.ix, seedCorpusRecords())
+
+			got, err := b.ix.Lookup(PointQuery("EXAMPLE.com"))
+			if err != nil {
+				t.Fatalf("point: %v", err)
+			}
+			sameRecords(t, "point", got, []Record{recs[0], recs[1]})
+
+			got, err = b.ix.Lookup(PrefixQuery("example."))
+			if err != nil {
+				t.Fatalf("prefix: %v", err)
+			}
+			sameRecords(t, "prefix", got, []Record{recs[0], recs[1], recs[2]})
+
+			got, err = b.ix.Lookup(RangeQuery(testBase.Add(time.Hour), testBase.Add(3*time.Hour)))
+			if err != nil {
+				t.Fatalf("range: %v", err)
+			}
+			sameRecords(t, "range", got, []Record{recs[1], recs[2], recs[3]})
+
+			got, err = b.ix.Lookup(IssuerQuery("CN=Beta CA"))
+			if err != nil {
+				t.Fatalf("issuer: %v", err)
+			}
+			sameRecords(t, "issuer", got, []Record{recs[1], recs[3]})
+
+			// Limit truncates in key order.
+			q := PrefixQuery("")
+			q.Limit = 2
+			got, err = b.ix.Lookup(q)
+			if err != nil {
+				t.Fatalf("limited: %v", err)
+			}
+			sameRecords(t, "limited", got, []Record{recs[0], recs[1]})
+
+			// Missing domain and inverted range are empty, not errors.
+			if got, err = b.ix.Lookup(PointQuery("absent.test")); err != nil || len(got) != 0 {
+				t.Fatalf("missing domain: got %d records, err %v", len(got), err)
+			}
+			if got, err = b.ix.Lookup(RangeQuery(testBase.Add(time.Hour), testBase)); err != nil || len(got) != 0 {
+				t.Fatalf("inverted range: got %d records, err %v", len(got), err)
+			}
+		})
+	}
+}
+
+// TestLSMSurvivesFlushCompactReopen checks the basic durability story:
+// flush + compact + reopen lose nothing and keep the same answers.
+func TestLSMSurvivesFlushCompactReopen(t *testing.T) {
+	dir := t.TempDir()
+	lsm := openTestLSM(t, Options{Dir: dir, FlushAt: 2})
+	recs := put(t, lsm, seedCorpusRecords())
+	if err := lsm.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if err := lsm.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	st := lsm.Stats()
+	if st.Certs != uint64(len(recs)) || st.Segments != 1 || len(st.Damaged) != 0 {
+		t.Fatalf("post-compact stats: %+v", st)
+	}
+	if err := lsm.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	re := openTestLSM(t, Options{Dir: dir})
+	st = re.Stats()
+	if st.Certs != uint64(len(recs)) || len(st.Damaged) != 0 {
+		t.Fatalf("reopen stats: %+v", st)
+	}
+	got, err := re.Lookup(PointQuery("example.com"))
+	if err != nil {
+		t.Fatalf("point after reopen: %v", err)
+	}
+	sameRecords(t, "reopen point", got, []Record{recs[0], recs[1]})
+
+	// Seq continues past the recovered maximum, so new postings never
+	// collide with persisted ones.
+	extra := mkRec("new.example", "CN=Alpha CA", "alpha", 99, testBase)
+	if err := re.Put(extra); err != nil {
+		t.Fatalf("Put after reopen: %v", err)
+	}
+	got, err = re.Lookup(PointQuery("new.example"))
+	if err != nil || len(got) != 1 {
+		t.Fatalf("new posting after reopen: %d records, err %v", len(got), err)
+	}
+	if got[0].Seq != uint64(len(recs))+1 {
+		t.Fatalf("Seq after reopen = %d, want %d", got[0].Seq, len(recs)+1)
+	}
+}
+
+// homographCluster is the golden fixture: one Latin target plus
+// Cyrillic, Greek, and mixed-script spoofs that all skeletonize to
+// paypal.com. The decoys are visually close but skeleton-distinct.
+var homographCluster = []string{
+	"paypal.com", // the Latin target
+	"pаypal.com", // Cyrillic а (U+0430)
+	"раypal.com", // Cyrillic р + Cyrillic а
+	"ρaypal.com", // Greek ρ (U+03C1)
+	"pаyρal.com", // mixed: Cyrillic а + Greek ρ
+}
+
+var homographDecoys = []string{
+	"paypa1.com",  // digit 1, skeleton-distinct from l
+	"paypal.co",   // different TLD
+	"paypall.com", // doubled l
+	"paypa１.com",  // fullwidth １ → skeleton paypa1.com, still distinct
+}
+
+// TestHomographGoldenCluster pins the ?skeleton= contract: querying by
+// any cluster member returns exactly the cluster, and none of the
+// decoys, in insertion (seq) order.
+func TestHomographGoldenCluster(t *testing.T) {
+	// Fixture self-check: the cluster really is one skeleton and the
+	// decoys really are not — if the uni tables change, fail loudly
+	// here rather than silently weakening the lookup assertion.
+	want := uni.Skeleton("paypal.com")
+	for _, d := range homographCluster {
+		if got := uni.Skeleton(strings.ToLower(d)); got != want {
+			t.Fatalf("fixture: Skeleton(%q) = %q, want %q", d, got, want)
+		}
+	}
+	for _, d := range homographDecoys {
+		if got := uni.Skeleton(strings.ToLower(d)); got == want {
+			t.Fatalf("fixture: decoy %q skeletonizes into the cluster", d)
+		}
+	}
+
+	lsm := openTestLSM(t, Options{})
+	for _, b := range []struct {
+		name string
+		ix   Index
+	}{{"lsm", lsm}, {"btree", NewBTree()}} {
+		t.Run(b.name, func(t *testing.T) {
+			var all []Record
+			for i, d := range homographCluster {
+				all = append(all, mkRec(d, "CN=Spoof CA", "alpha", uint64(i), testBase))
+			}
+			for i, d := range homographDecoys {
+				all = append(all, mkRec(d, "CN=Spoof CA", "alpha", uint64(100+i), testBase))
+			}
+			recs := put(t, b.ix, all)
+			if l, ok := b.ix.(*LSM); ok {
+				if err := l.Flush(); err != nil {
+					t.Fatalf("Flush: %v", err)
+				}
+			}
+
+			// Query by the target AND by each spoof: same cluster back.
+			for _, probe := range homographCluster {
+				got, err := b.ix.Lookup(HomographQuery(probe))
+				if err != nil {
+					t.Fatalf("homograph(%q): %v", probe, err)
+				}
+				sameRecords(t, "cluster via "+probe, got, recs[:len(homographCluster)])
+			}
+			// A decoy probe must NOT pull in the cluster.
+			got, err := b.ix.Lookup(HomographQuery("paypal.co"))
+			if err != nil {
+				t.Fatalf("decoy probe: %v", err)
+			}
+			sameRecords(t, "decoy probe", got, []Record{recs[len(homographCluster)+1]})
+		})
+	}
+}
+
+// TestFromCertCorpus runs real corpus DER through FromCert and checks
+// the records are queryable end to end.
+func TestFromCertCorpus(t *testing.T) {
+	c, err := corpus.Generate(corpus.Config{Size: 8, Seed: 31})
+	if err != nil {
+		t.Fatalf("corpus: %v", err)
+	}
+	lsm := openTestLSM(t, Options{})
+	var lh [32]byte
+	total := 0
+	for i, e := range c.Entries {
+		cert, err := x509cert.ParseWithMode(e.DER, x509cert.ParseLenient)
+		if err != nil {
+			continue
+		}
+		recs := FromCert("alpha", uint64(i), lh, cert)
+		if len(recs) == 0 {
+			t.Fatalf("FromCert returned no records for corpus entry %d", i)
+		}
+		for _, r := range recs {
+			if r.Domain != strings.ToLower(r.Domain) {
+				t.Fatalf("FromCert domain %q not lowercased", r.Domain)
+			}
+			if r.Skeleton != uni.Skeleton(r.Domain) {
+				t.Fatalf("FromCert skeleton %q != Skeleton(%q)", r.Skeleton, r.Domain)
+			}
+			if err := lsm.Put(r); err != nil {
+				t.Fatalf("Put: %v", err)
+			}
+			total++
+			got, err := lsm.Lookup(PointQuery(r.Domain))
+			if err != nil || len(got) == 0 {
+				t.Fatalf("corpus domain %q not findable: %d records, err %v", r.Domain, len(got), err)
+			}
+		}
+	}
+	if st := lsm.Stats(); st.Certs != uint64(total) {
+		t.Fatalf("Stats.Certs = %d, want %d", st.Certs, total)
+	}
+}
+
+// TestHandlerQuery exercises the HTTP surface over a populated index.
+func TestHandlerQuery(t *testing.T) {
+	lsm := openTestLSM(t, Options{})
+	recs := put(t, lsm, seedCorpusRecords())
+	reg := obs.NewRegistry()
+	var jbuf bytes.Buffer
+	h := Handler(lsm, reg, obs.NewJournal(&jbuf, reg))
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	fetch := func(t *testing.T, path string, wantStatus int) queryResponse {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantStatus {
+			t.Fatalf("GET %s: status %d, want %d", path, resp.StatusCode, wantStatus)
+		}
+		var qr queryResponse
+		if wantStatus == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&qr); err != nil {
+				t.Fatalf("GET %s: decoding: %v", path, err)
+			}
+		}
+		return qr
+	}
+
+	qr := fetch(t, "/ct/v1/query?domain=example.com", http.StatusOK)
+	if qr.Class != "point" || qr.Count != 2 || len(qr.Results) != 2 {
+		t.Fatalf("point response: %+v", qr)
+	}
+	if qr.Results[0].Domain != "example.com" || qr.Results[0].LeafHash == "" {
+		t.Fatalf("point result: %+v", qr.Results[0])
+	}
+
+	qr = fetch(t, "/ct/v1/query?prefix=example.&limit=1", http.StatusOK)
+	if qr.Class != "prefix" || qr.Count != 1 {
+		t.Fatalf("prefix response: %+v", qr)
+	}
+
+	qr = fetch(t, "/ct/v1/query?skeleton=example.com", http.StatusOK)
+	if qr.Class != "homograph" || qr.Count != 2 {
+		t.Fatalf("homograph response: %+v", qr)
+	}
+
+	from := testBase.Add(time.Hour).Format(time.RFC3339)
+	to := testBase.Add(3 * time.Hour).Format(time.RFC3339)
+	qr = fetch(t, "/ct/v1/query?from="+from+"&to="+to, http.StatusOK)
+	if qr.Class != "range" || qr.Count != 3 {
+		t.Fatalf("range response: %+v", qr)
+	}
+
+	// Bad requests: no class, two classes, junk limit, junk time.
+	for _, path := range []string{
+		"/ct/v1/query",
+		"/ct/v1/query?domain=a&prefix=b",
+		"/ct/v1/query?domain=a&limit=zero",
+		"/ct/v1/query?from=yesterday",
+	} {
+		fetch(t, path, http.StatusBadRequest)
+	}
+	if v, ok := reg.Sample("index_queries_total", "class", "invalid"); !ok || v != 4 {
+		t.Fatalf("invalid counter = %v (ok=%v), want 4", v, ok)
+	}
+	if v, ok := reg.Sample("index_queries_total", "class", "point"); !ok || v != 1 {
+		t.Fatalf("point counter = %v (ok=%v), want 1", v, ok)
+	}
+
+	// Stats endpoint reflects the backend self-report.
+	resp, err := http.Get(srv.URL + "/ct/v1/stats")
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatalf("stats decode: %v", err)
+	}
+	if st.Backend != "lsm" || st.Certs != uint64(len(recs)) {
+		t.Fatalf("stats response: %+v", st)
+	}
+}
+
+// TestPointLookupAllocs is the read-path allocation guard: a point
+// lookup into a reused destination slice must stay within a fixed
+// allocation budget (the decoded strings plus scan scaffolding).
+func TestPointLookupAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("allocation counts are meaningless under -race")
+	}
+	lsm := openTestLSM(t, Options{})
+	put(t, lsm, seedCorpusRecords())
+	if err := lsm.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	q := PointQuery("example.com")
+	dst := make([]Record, 0, 16)
+	avg := testing.AllocsPerRun(200, func() {
+		var err error
+		dst, err = lsm.LookupAppend(q, dst[:0])
+		if err != nil || len(dst) != 2 {
+			panic("lookup failed inside alloc guard")
+		}
+	})
+	// Budget: 2 results × 4 decoded strings + prefix/bound/cursor
+	// scratch. Hold the line at 16 — a regression that adds per-call
+	// allocations (copies, boxing, closure churn) trips this.
+	if avg > 16 {
+		t.Errorf("point lookup allocs/op = %.1f, budget 16", avg)
+	}
+}

@@ -1,0 +1,86 @@
+package index
+
+import (
+	"encoding/binary"
+	"fmt"
+	"time"
+)
+
+// Posting value wire format (version 1, little-endian fixed fields,
+// uvarint-prefixed strings):
+//
+//	u8      version (1)
+//	uvarint len + bytes  domain
+//	uvarint len + bytes  skeleton
+//	uvarint len + bytes  issuer
+//	uvarint len + bytes  log
+//	i64     notBefore (unix seconds)
+//	u64     log index
+//	u64     seq
+//	32 B    leaf hash
+//
+// The record is denormalized into every posting (domain, skeleton,
+// issuer, time, cert spaces all carry the same value), trading bytes
+// for join-free single-scan lookups — the standard LSM posting trick.
+const recordVersion = 1
+
+// appendRecord encodes rec onto buf.
+func appendRecord(buf []byte, rec *Record) []byte {
+	buf = append(buf, recordVersion)
+	buf = appendString(buf, rec.Domain)
+	buf = appendString(buf, rec.Skeleton)
+	buf = appendString(buf, rec.Issuer)
+	buf = appendString(buf, rec.Log)
+	var fixed [8]byte
+	binary.LittleEndian.PutUint64(fixed[:], uint64(rec.NotBefore.Unix()))
+	buf = append(buf, fixed[:]...)
+	binary.LittleEndian.PutUint64(fixed[:], rec.LogIndex)
+	buf = append(buf, fixed[:]...)
+	binary.LittleEndian.PutUint64(fixed[:], rec.Seq)
+	buf = append(buf, fixed[:]...)
+	return append(buf, rec.LeafHash[:]...)
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// decodeRecord parses an encoded posting value into rec. It validates
+// every length against the buffer so a corrupt value errors instead of
+// panicking — the fuzz harness leans on this.
+func decodeRecord(buf []byte, rec *Record) error {
+	if len(buf) < 1 || buf[0] != recordVersion {
+		return fmt.Errorf("index: bad record version")
+	}
+	p := buf[1:]
+	var err error
+	if rec.Domain, p, err = takeString(p); err != nil {
+		return err
+	}
+	if rec.Skeleton, p, err = takeString(p); err != nil {
+		return err
+	}
+	if rec.Issuer, p, err = takeString(p); err != nil {
+		return err
+	}
+	if rec.Log, p, err = takeString(p); err != nil {
+		return err
+	}
+	if len(p) != 8+8+8+32 {
+		return fmt.Errorf("index: record tail is %d bytes, want 56", len(p))
+	}
+	rec.NotBefore = time.Unix(int64(binary.LittleEndian.Uint64(p[0:8])), 0).UTC()
+	rec.LogIndex = binary.LittleEndian.Uint64(p[8:16])
+	rec.Seq = binary.LittleEndian.Uint64(p[16:24])
+	copy(rec.LeafHash[:], p[24:56])
+	return nil
+}
+
+func takeString(p []byte) (string, []byte, error) {
+	n, w := binary.Uvarint(p)
+	if w <= 0 || n > uint64(len(p)-w) {
+		return "", nil, fmt.Errorf("index: truncated record string")
+	}
+	return string(p[w : w+int(n)]), p[w+int(n):], nil
+}

@@ -21,8 +21,16 @@
 # soakcheck replays both journals, reconciling the summed
 # monitor.sync.end accounting against each run's -stats-json exactly.
 #
+# The certificate index rides both runs: each crawl persists LSM
+# segments under $SOAK_DIR/index and serves the /ct/v1/query API. The
+# query surface is smoked live during BOTH runs (a query mid-crawl,
+# and a re-query after the SIGTERM restart), and soakcheck -fleet
+# asserts zero indexed-entry loss across the restart: run 2's durable
+# cert count must equal run 1's plus exactly the certificates run 2
+# itself indexed.
+#
 # Tunables (env): SOAK_ENTRIES, SOAK_KILL_AFTER, SOAK_DIR,
-# SOAK_METRICS_ADDR.
+# SOAK_METRICS_ADDR, SOAK_QUERY_ADDR.
 set -eu
 
 GO=${GO:-go}
@@ -30,6 +38,7 @@ SOAK_ENTRIES=${SOAK_ENTRIES:-1000}
 SOAK_KILL_AFTER=${SOAK_KILL_AFTER:-3.5}
 SOAK_DIR=${SOAK_DIR:-$(mktemp -d /tmp/ctsoakfleet.XXXXXX)}
 SOAK_METRICS_ADDR=${SOAK_METRICS_ADDR:-127.0.0.1:19377}
+SOAK_QUERY_ADDR=${SOAK_QUERY_ADDR:-127.0.0.1:19378}
 
 echo "soak-fleet: workdir $SOAK_DIR"
 $GO build -o "$SOAK_DIR/ctmonitor" ./cmd/ctmonitor
@@ -52,15 +61,42 @@ run() {
         -timeout 300ms -max-retries 6 \
         -rate-limit 10 -rate-burst 2 \
         -breaker-threshold 2 -breaker-cooldown 200ms \
+        -index-dir "$SOAK_DIR/index" -query-addr "$SOAK_QUERY_ADDR" \
         -stats-json "$@" >"$out" 2>"$out.log"
 }
 
-rm -rf "$SOAK_DIR/ckpt"
+# probe_query polls the live query API while pid runs; exits 0 once
+# the stats endpoint reports indexed certs AND a lookup answers with a
+# well-formed response, non-zero if the process exits first. Runs as a
+# background job so the caller can `wait` on its verdict.
+probe_query() {
+    pid=$1
+    got_qstats=0; got_qlookup=0
+    while kill -0 "$pid" 2>/dev/null; do
+        if [ "$got_qstats" -eq 0 ] && curl -sf "http://$SOAK_QUERY_ADDR/ct/v1/stats" 2>/dev/null \
+                | grep -q '"certs": *[1-9]'; then
+            got_qstats=1
+        fi
+        if [ "$got_qlookup" -eq 0 ] && curl -sf "http://$SOAK_QUERY_ADDR/ct/v1/query?prefix=a" 2>/dev/null \
+                | grep -q '"class": *"prefix"'; then
+            got_qlookup=1
+        fi
+        if [ "$got_qstats" -eq 1 ] && [ "$got_qlookup" -eq 1 ]; then
+            return 0
+        fi
+        sleep 0.1
+    done
+    [ "$got_qstats" -eq 1 ] && [ "$got_qlookup" -eq 1 ]
+}
 
-echo "soak-fleet: run 1 (SIGTERM after ${SOAK_KILL_AFTER}s)"
+rm -rf "$SOAK_DIR/ckpt" "$SOAK_DIR/index"
+
+echo "soak-fleet: run 1 (SIGTERM after ${SOAK_KILL_AFTER}s, query smoke mid-crawl)"
 run 7 "$SOAK_DIR/run1.json" \
     -journal "$SOAK_DIR/run1.jsonl" -flight-dir "$SOAK_DIR/flight1" &
 pid=$!
+probe_query "$pid" &
+probe1=$!
 sleep "$SOAK_KILL_AFTER"
 if ! kill -TERM "$pid" 2>/dev/null; then
     echo "soak-fleet: FAIL: run 1 exited before the SIGTERM landed; raise SOAK_ENTRIES or lower SOAK_KILL_AFTER" >&2
@@ -68,6 +104,10 @@ if ! kill -TERM "$pid" 2>/dev/null; then
 fi
 wait "$pid" || {
     echo "soak-fleet: FAIL: run 1 exited non-zero after SIGTERM (see $SOAK_DIR/run1.json.log)" >&2
+    exit 1
+}
+wait "$probe1" || {
+    echo "soak-fleet: FAIL: query API never answered (stats with certs + prefix lookup) during run 1's crawl" >&2
     exit 1
 }
 
@@ -85,8 +125,11 @@ run 8 "$SOAK_DIR/run2.json" \
 pid=$!
 
 # While run 2 crawls, assert the live observability surface: the slo_*
-# gauges on /metrics, and /debug/fleet in both representations.
-got_slo=0; got_json=0; got_html=0
+# gauges on /metrics, /debug/fleet in both representations, and the
+# re-query smoke — the restarted index must serve run 1's persisted
+# certificates (stats reports certs before the resumed crawl adds any)
+# and answer lookups again.
+got_slo=0; got_json=0; got_html=0; got_requery=0
 while kill -0 "$pid" 2>/dev/null; do
     if [ "$got_slo" -eq 0 ] && curl -sf "http://$SOAK_METRICS_ADDR/metrics" 2>/dev/null \
             | grep -q '^slo_state{'; then
@@ -100,7 +143,13 @@ while kill -0 "$pid" 2>/dev/null; do
             | grep -q '<table>'; then
         got_html=1
     fi
-    if [ "$got_slo" -eq 1 ] && [ "$got_json" -eq 1 ] && [ "$got_html" -eq 1 ]; then
+    if [ "$got_requery" -eq 0 ] && curl -sf "http://$SOAK_QUERY_ADDR/ct/v1/stats" 2>/dev/null \
+            | grep -q '"certs": *[1-9]' \
+            && curl -sf "http://$SOAK_QUERY_ADDR/ct/v1/query?prefix=a" 2>/dev/null \
+            | grep -q '"class": *"prefix"'; then
+        got_requery=1
+    fi
+    if [ "$got_slo" -eq 1 ] && [ "$got_json" -eq 1 ] && [ "$got_html" -eq 1 ] && [ "$got_requery" -eq 1 ]; then
         break
     fi
     sleep 0.1
@@ -112,6 +161,7 @@ wait "$pid" || {
 [ "$got_slo" -eq 1 ] || { echo "soak-fleet: FAIL: no slo_state gauge ever appeared on /metrics" >&2; exit 1; }
 [ "$got_json" -eq 1 ] || { echo "soak-fleet: FAIL: /debug/fleet never served the JSON report" >&2; exit 1; }
 [ "$got_html" -eq 1 ] || { echo "soak-fleet: FAIL: /debug/fleet?format=html never served the HTML report" >&2; exit 1; }
+[ "$got_requery" -eq 1 ] || { echo "soak-fleet: FAIL: the restarted query API never served the persisted index" >&2; exit 1; }
 
 "$SOAK_DIR/soakcheck" -fleet \
     -journal1 "$SOAK_DIR/run1.jsonl" -journal2 "$SOAK_DIR/run2.jsonl" \
