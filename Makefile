@@ -12,7 +12,7 @@ RACE_PKGS := ./internal/ctlog/... ./internal/monitor/... ./internal/faultinject/
 # paper's dataset). Lower it for quick local runs:
 #   make bench BENCH_E2E_SIZE=3480
 BENCH_E2E_SIZE ?= 34800
-# Free-form note recorded in BENCH_6.json (hardware caveats etc.).
+# Free-form note recorded in BENCH_7.json (hardware caveats etc.).
 BENCH_NOTE ?=
 # Interleaved bench rounds: the whole suite runs BENCH_ROUNDS times
 # (round-robin, not back-to-back -count repeats) so benchjson's medians
@@ -22,7 +22,7 @@ BENCH_ROUNDS ?= 3
 # Address the smoke-metrics crawl serves its /metrics endpoint on.
 SMOKE_METRICS_ADDR ?= 127.0.0.1:19321
 
-.PHONY: build vet test race check bench profile allocguard obs-lint smoke-metrics soak soak-fleet
+.PHONY: build vet test race fuzz check bench profile allocguard obs-lint smoke-metrics soak soak-fleet
 build:
 	$(GO) build ./...
 
@@ -35,17 +35,25 @@ test:
 race:
 	$(GO) test -race $(RACE_PKGS)
 
-check: build vet test race allocguard obs-lint smoke-metrics soak-fleet
+# Seconds of coverage-guided fuzzing against the Merkle proof
+# verifiers in `make check` — enough to shake out fold regressions
+# without stalling the suite. Raise for a dedicated fuzz session.
+FUZZ_TIME ?= 10s
+fuzz:
+	$(GO) test -run '^$$' -fuzz 'FuzzProofVerification' -fuzztime $(FUZZ_TIME) ./internal/ctlog
+
+check: build vet test race fuzz allocguard obs-lint smoke-metrics soak-fleet
 
 # bench runs the end-to-end pipeline benchmarks (1 iteration each at
 # paper scale), the streaming slot-recycling variant, the per-stage
 # generate/lint benchmarks, the registry allocation guard, the
-# fleet-crawl throughput benchmark, and the certificate-index T1–T5
-# query grid (point / prefix / range / ingest / mixed, LSM vs B+tree)
-# — BENCH_ROUNDS interleaved times — then records medians, min/max
-# spread, derived per-cert allocation costs, the obs histogram
-# snapshots, and a delta table against the previous BENCH_*.json in
-# BENCH_6.json.
+# fleet-crawl throughput benchmark, the certificate-index T1–T5
+# query grid (point / prefix / range / ingest / mixed, LSM vs B+tree),
+# and the ctlog T6 write grid (baseline parse+SCT / pre-parsed SCT /
+# Merkle-batched seal) — BENCH_ROUNDS interleaved times — then records
+# medians, min/max spread, derived per-cert allocation costs, the obs
+# histogram snapshots, and a delta table against the previous
+# BENCH_*.json in BENCH_7.json.
 bench:
 	{ for r in $$(seq 1 $(BENCH_ROUNDS)); do \
 	    BENCH_E2E_SIZE=$(BENCH_E2E_SIZE) $(GO) test -run '^$$' \
@@ -55,8 +63,10 @@ bench:
 	    $(GO) test -run '^$$' -bench 'FleetCrawl' -benchtime 5x ./internal/fleet ; \
 	    $(GO) test -run '^$$' -bench 'Index(Point|Prefix|Range|Ingest|Mixed)' \
 		-benchmem ./internal/index ; \
+	    $(GO) test -run '^$$' -bench 'Write(Baseline|PerEntry|Batched)' \
+		-benchmem ./internal/ctlog ; \
 	  done ; } \
-	| $(GO) run ./cmd/benchjson -o BENCH_6.json -note "$(BENCH_NOTE)"
+	| $(GO) run ./cmd/benchjson -o BENCH_7.json -note "$(BENCH_NOTE)"
 
 # profile captures CPU + heap (alloc_space) pprof profiles from a live
 # paper-scale ctscan run via the internal/obs pprof handler; artifacts
@@ -65,7 +75,7 @@ profile:
 	./scripts/profile.sh
 
 # allocguard enforces the per-cert allocation budgets in
-# scripts/alloc_budgets.txt against the committed BENCH_6.json — a
+# scripts/alloc_budgets.txt against the committed BENCH_7.json — a
 # fast read-only check that fails `make check` when a recorded budget
 # regresses.
 allocguard:

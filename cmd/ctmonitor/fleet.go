@@ -50,6 +50,8 @@ type fleetParams struct {
 	rateLimit        float64
 	rateBurst        int
 	checkpointDir    string
+	audit            bool
+	sthStoreDir      string
 	quorum           int
 	queueDepth       int
 	stallAfter       time.Duration
@@ -344,6 +346,8 @@ func runFleet(ctx context.Context, out io.Writer, reg *obs.Registry, tracer *obs
 	coord, err := fleet.New(fleet.Config{
 		Logs:          fleetSpecs,
 		CheckpointDir: p.checkpointDir,
+		Audit:         p.audit,
+		STHStoreDir:   p.sthStoreDir,
 		Quorum:        p.quorum,
 		QueueDepth:    p.queueDepth,
 		StallAfter:    p.stallAfter,
@@ -417,6 +421,15 @@ func runFleet(ctx context.Context, out io.Writer, reg *obs.Registry, tracer *obs
 		v, _ := reg.Sum("ctlog_requests_total")
 		return v
 	}, sloErrObjective, sloFastWindow, sloSlowWindow, sloBurnWarn, sloBurnPage)
+	if p.audit {
+		// Any proof failure pages: target 1 failure, warn at half a
+		// failure (unreachable for an integer — the first failure jumps
+		// straight to page), so a log caught lying takes the fleet out
+		// of rotation via /readyz even before the health loop pins it.
+		slo.AddFreshness("proof-failures", func() float64 {
+			return float64(coord.ProofFailures())
+		}, 1.0, 0.5, 1.0)
+	}
 	slo.AddBurnRate("shed-rate", func() float64 {
 		v, _ := reg.Sum("ctlog_server_shed_total")
 		return v
@@ -479,6 +492,7 @@ func runFleet(ctx context.Context, out io.Writer, reg *obs.Registry, tracer *obs
 			fl.profile,
 			fmt.Sprintf("%d", fl.size),
 			fmt.Sprintf("%d", rep.Stats.Fetched),
+			fmt.Sprintf("%d", rep.Stats.Audited),
 			fmt.Sprintf("%d", rep.Stats.SkippedEntries),
 			fmt.Sprintf("%d", rep.Stats.Retries),
 			fmt.Sprintf("%d", rep.Restarts),
@@ -487,7 +501,7 @@ func runFleet(ctx context.Context, out io.Writer, reg *obs.Registry, tracer *obs
 		})
 	}
 	fmt.Fprintln(out, report.Table(
-		[]string{"Log", "Profile", "Size", "Fetched", "Skipped", "Retries", "Restarts", "Resumed", "State"},
+		[]string{"Log", "Profile", "Size", "Fetched", "Audited", "Skipped", "Retries", "Restarts", "Resumed", "State"},
 		rows))
 	fmt.Fprintf(out, "\nfleet: %d unique, %d cross-log duplicates, state %s", res.UniqueEntries, res.DupEntries, res.FinalState)
 	if res.Interrupted {
@@ -535,6 +549,7 @@ func runFleet(ctx context.Context, out io.Writer, reg *obs.Registry, tracer *obs
 		}
 		obj := struct {
 			Mode         string                      `json:"mode"`
+			Audit        bool                        `json:"audit"`
 			Entries      int                         `json:"entries"`
 			Interrupted  bool                        `json:"interrupted"`
 			FinalState   string                      `json:"final_state"`
@@ -548,7 +563,7 @@ func runFleet(ctx context.Context, out io.Writer, reg *obs.Registry, tracer *obs
 			Injectors    map[string]any              `json:"injectors"`
 			Logs         map[string]*fleet.LogReport `json:"logs"`
 			Metrics      map[string]any              `json:"metrics"`
-		}{"fleet", total, res.Interrupted, res.FinalState, res.UniqueEntries, res.DupEntries,
+		}{"fleet", p.audit, total, res.Interrupted, res.FinalState, res.UniqueEntries, res.DupEntries,
 			parseErrors, indexPutErrors, ixStats, sizes, poisoned, injectors, res.Logs, reg.VarsSnapshot()}
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")

@@ -53,6 +53,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -61,6 +62,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -94,6 +96,8 @@ func main() {
 	breakerCooldown := flag.Duration("breaker-cooldown", ctlog.DefaultBreakerCooldown, "how long an open breaker waits before a half-open probe")
 	checkpointFile := flag.String("checkpoint-file", "", "crash-safe crawl checkpoint path prefix (one file per monitor)")
 	supervise := flag.Bool("supervise", false, "wrap each crawl in a panic-recovering supervisor with restart backoff")
+	audit := flag.Bool("audit", false, "verify Merkle inclusion/consistency proofs for every crawl; a proof failure is terminal (single log) or lands the log distrusted (fleet)")
+	sthStoreDir := flag.String("sth-store-dir", "", "persist each crawl's last verified tree head (CRC-sealed, crash-safe) in this directory; resumes re-anchor on it (requires -audit)")
 	monitorFilter := flag.String("monitor", "", "comma-separated monitor name filter (substring match; empty = all)")
 	metricsAddr := flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (e.g. :9090)")
 	statsJSON := flag.Bool("stats-json", false, "print final SyncStats + metrics snapshot as one JSON object on stdout")
@@ -159,6 +163,15 @@ func main() {
 	// Fleet mode replaces the single-log pipeline wholesale: N in-process
 	// logs, one supervised crawl worker per log, fleet-wide dedup and
 	// health. Everything below this block is the single-log path.
+	if *sthStoreDir != "" {
+		if !*audit {
+			fatal("-sth-store-dir requires -audit")
+		}
+		if err := os.MkdirAll(*sthStoreDir, 0o755); err != nil {
+			fatal("sth store dir: %v", err)
+		}
+	}
+
 	if *fleetLogs != "" {
 		code := runFleet(ctx, out, reg, tracer, fleetParams{
 			specs:            *fleetLogs,
@@ -173,6 +186,8 @@ func main() {
 			rateLimit:        *rateLimit,
 			rateBurst:        *rateBurst,
 			checkpointDir:    *checkpointDir,
+			audit:            *audit,
+			sthStoreDir:      *sthStoreDir,
 			quorum:           *fleetQuorum,
 			queueDepth:       *fleetQueue,
 			stallAfter:       *fleetStallAfter,
@@ -322,9 +337,13 @@ func main() {
 		opts := monitor.SyncOptions{
 			Batch: *batch, Obs: reg, Tracer: tracer,
 			Name: caps.Name, Journal: journal, Flight: flight,
+			Audit: *audit,
 		}
 		if *checkpointFile != "" {
 			opts.Checkpoints = &monitor.FileCheckpointStore{Path: *checkpointFile + "." + slug(caps.Name)}
+		}
+		if *sthStoreDir != "" {
+			opts.STHStore = &monitor.FileSTHStore{Path: filepath.Join(*sthStoreDir, slug(caps.Name)+".sth")}
 		}
 		var stats monitor.SyncStats
 		first := true
@@ -345,6 +364,9 @@ func main() {
 			cerr = monitor.Supervise(ctx, monitor.SupervisorOptions{
 				Obs:    reg,
 				Flight: flight,
+				// A failed Merkle proof cannot be restarted into success;
+				// surface it immediately instead of burning the budget.
+				Terminal: func(err error) bool { return errors.Is(err, monitor.ErrProofFailure) },
 				OnRestart: func(r monitor.Restart) {
 					fmt.Fprintf(os.Stderr, "ctmonitor: %s crawl restart %d after: %v\n", caps.Name, r.Attempt, r.Err)
 				},
@@ -391,7 +413,7 @@ func main() {
 	if injector != nil {
 		st := injector.Stats()
 		fmt.Fprintf(out, "\ninjector: %d requests, %d faults", st.Requests, st.Total())
-		for _, k := range append(faultinject.AllKinds(), faultinject.Hang, faultinject.Reset) {
+		for _, k := range append(faultinject.AllKinds(), faultinject.Hang, faultinject.Reset, faultinject.ProofTamper, faultinject.SthEquivocate) {
 			if n := st.Faults[k]; n > 0 {
 				fmt.Fprintf(out, ", %s×%d", k, n)
 			}
@@ -449,6 +471,8 @@ func addStats(dst *monitor.SyncStats, src monitor.SyncStats) {
 	dst.Quarantined += src.Quarantined
 	dst.CheckpointErrors += src.CheckpointErrors
 	dst.Bisections += src.Bisections
+	dst.Audited += src.Audited
+	dst.ProofFailures += src.ProofFailures
 	dst.Duration += src.Duration
 }
 

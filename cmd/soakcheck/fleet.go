@@ -20,6 +20,15 @@ package main
 //     both runs combined — and still ended healthy (bisection
 //     quarantines entries, it does not stall the log);
 //   - the shared client breaker opened and re-closed at least once.
+//
+// When both runs crawled with -audit, the calculus changes and extra
+// criteria apply: every claimed entry was Merkle-verified (Audited ==
+// Fetched − Skipped with zero skips), the clean logs finished with
+// zero proof failures, and the poisoned log — whose hole the audited
+// tree cannot be verified past — ended run 2 distrusted with exactly
+// the entries before its first poisoned index verified, a
+// monitor.proof_failure and a fleet.log_state → distrusted event in
+// the journals, and the fleet degraded-but-ready.
 
 import (
 	"encoding/json"
@@ -39,6 +48,8 @@ type fleetSyncStats struct {
 	Forwarded      int
 	Deduped        int
 	Quarantined    int
+	Audited        int
+	ProofFailures  int
 }
 
 type fleetLogReport struct {
@@ -60,6 +71,7 @@ type fleetIndexStats struct {
 
 type fleetRun struct {
 	Mode         string                    `json:"mode"`
+	Audit        bool                      `json:"audit"`
 	Entries      int                       `json:"entries"`
 	Interrupted  bool                      `json:"interrupted"`
 	FinalState   string                    `json:"final_state"`
@@ -90,6 +102,10 @@ func checkFleet(path1, path2, journal1, journal2 string) int {
 			failf("%s: mode %q, want \"fleet\" (was ctmonitor run with -logs?)", r.path, r.run.Mode)
 		}
 	}
+	if run1.Audit != run2.Audit {
+		failf("runs disagree on audit mode (%v vs %v); both must use the same -audit setting", run1.Audit, run2.Audit)
+	}
+	audit := run1.Audit && run2.Audit
 	if len(run1.LogSizes) < 2 {
 		failf("run 1 reports %d logs; a fleet soak needs at least 2", len(run1.LogSizes))
 	}
@@ -109,7 +125,15 @@ func checkFleet(path1, path2, journal1, journal2 string) int {
 	if run1.FinalState == "stalled" {
 		failf("run 1 ended with the fleet stalled; degraded-mode isolation failed")
 	}
-	if run2.FinalState != "healthy" {
+	// Under audit a poisoned log is distrusted (the tree cannot be
+	// verified past a hole), so the resumed fleet correctly ends
+	// degraded — never stalled — while the quorum holds. Without audit
+	// the poisoned entries are skipped and every log ends healthy.
+	if audit && len(run2.Poisoned) > 0 {
+		if run2.FinalState != "degraded" {
+			failf("run 2 ended with fleet state %q, want degraded (the poisoned log must be distrusted, its siblings healthy)", run2.FinalState)
+		}
+	} else if run2.FinalState != "healthy" {
 		failf("run 2 ended with fleet state %q, want healthy", run2.FinalState)
 	}
 
@@ -138,6 +162,49 @@ func checkFleet(path1, path2, journal1, journal2 string) int {
 		}
 		if l2.Stats.ResumedFrom > 0 {
 			resumed++
+		}
+		if audit {
+			// The audit contract, per run: every claimed entry was
+			// Merkle-verified and nothing was skipped — a persistently
+			// unfetchable entry distrusts the log instead.
+			for _, rl := range []struct {
+				path string
+				st   fleetSyncStats
+			}{{path1, l1.Stats}, {path2, l2.Stats}} {
+				if rl.st.Audited != rl.st.Fetched-rl.st.SkippedEntries {
+					failf("%s: %s audited %d entries but fetched %d − skipped %d; unverified entries were claimed",
+						rl.path, name, rl.st.Audited, rl.st.Fetched, rl.st.SkippedEntries)
+				}
+				if rl.st.SkippedEntries != 0 {
+					failf("%s: %s skipped %d entries under audit; a hole must distrust the log, never be skipped",
+						rl.path, name, rl.st.SkippedEntries)
+				}
+			}
+		}
+		if _, isPoisoned := run2.Poisoned[name]; audit && isPoisoned {
+			// The audited crawl cannot verify the tree past the first
+			// poisoned (unfetchable) entry: everything before it is
+			// claimed and verified, the log lands distrusted there.
+			p0 := run2.Poisoned[name][0]
+			for _, i := range run2.Poisoned[name] {
+				if i < p0 {
+					p0 = i
+				}
+			}
+			if l2.State != "distrusted" {
+				failf("%s: run 2 ended %s (%s), want distrusted — audit cannot verify past the poisoned entry", name, l2.State, l2.Err)
+			}
+			if l1.Stats.ProofFailures+l2.Stats.ProofFailures == 0 {
+				failf("%s: poisoned log recorded no proof-failure incident across either run", name)
+			}
+			if got := handled1 + l2.Stats.Fetched; got != p0 {
+				failf("%s: runs verified %d entries, want exactly the %d before the first poisoned index %v",
+					name, got, p0, run2.Poisoned[name])
+			}
+			continue
+		}
+		if audit && l1.Stats.ProofFailures+l2.Stats.ProofFailures != 0 {
+			failf("%s: %d proof failures on a clean log", name, l1.Stats.ProofFailures+l2.Stats.ProofFailures)
 		}
 		if want := size - l2.Stats.ResumedFrom - l2.Stats.SkippedEntries; l2.Stats.Fetched != want {
 			failf("%s: resumed at %d but fetched %d of %d (want exactly %d; skipped %d) — refetch or loss",
@@ -175,7 +242,13 @@ func checkFleet(path1, path2, journal1, journal2 string) int {
 	if len(run2.Poisoned) == 0 {
 		failf("no poisoned log in the fleet; quarantine untested (add a :poison profile)")
 	}
+	// Audit mode never skips (the distrust assertions above cover the
+	// poisoned log); without audit, bisection quarantines exactly the
+	// poisoned indices.
 	for name, idxs := range run2.Poisoned {
+		if audit {
+			break
+		}
 		skipped := run1.Logs[name].Stats.SkippedEntries + run2.Logs[name].Stats.SkippedEntries
 		if skipped != len(idxs) {
 			failf("%s: skipped %d entries across both runs, want exactly the %d poisoned %v",
@@ -246,6 +319,7 @@ func checkFleet(path1, path2, journal1, journal2 string) int {
 	// interrupted crawls, whose final sync.end carries the partial
 	// counts the SIGTERM cut short.
 	journals := 0
+	evidence := &incidentEvidence{distrusted: map[string]bool{}, proofFailed: map[string]bool{}}
 	for _, rj := range []struct {
 		journal string
 		path    string
@@ -254,8 +328,21 @@ func checkFleet(path1, path2, journal1, journal2 string) int {
 		if rj.journal == "" {
 			continue
 		}
-		reconcileJournal(rj.journal, rj.path, rj.run, failf)
+		reconcileJournal(rj.journal, rj.path, rj.run, evidence, failf)
 		journals++
+	}
+	// The distrust incident trail: under audit the poisoned log's
+	// proof failure and its distrusted state transition must both be
+	// journaled (in whichever run first reached the hole).
+	if audit && journals == 2 {
+		for name := range run2.Poisoned {
+			if !evidence.proofFailed[name] {
+				failf("no monitor.proof_failure journal event for poisoned log %q in either run", name)
+			}
+			if !evidence.distrusted[name] {
+				failf("no fleet.log_state → distrusted journal event for poisoned log %q in either run", name)
+			}
+		}
 	}
 
 	if len(failures) > 0 {
@@ -264,15 +351,33 @@ func checkFleet(path1, path2, journal1, journal2 string) int {
 		}
 		return 1
 	}
-	fmt.Printf("soakcheck: PASS: fleet of %d logs, %d resumed, %d+%d unique entries, %d+%d duplicates, %d certs indexed with zero loss across the restart, breaker opened %.0f× and closed %.0f×, %d journals replayed exactly\n",
-		len(run1.LogSizes), resumed, run1.Unique, run2.Unique, run1.Deduped, run2.Deduped, run2.Index.Certs, opened, closed, journals)
+	auditNote := ""
+	if audit {
+		audited, pf := 0, 0
+		for _, r := range []fleetRun{run1, run2} {
+			for _, l := range r.Logs {
+				audited += l.Stats.Audited
+				pf += l.Stats.ProofFailures
+			}
+		}
+		auditNote = fmt.Sprintf(", %d entries Merkle-audited with %d proof-failure incident(s) on the poisoned log", audited, pf)
+	}
+	fmt.Printf("soakcheck: PASS: fleet of %d logs, %d resumed, %d+%d unique entries, %d+%d duplicates, %d certs indexed with zero loss across the restart, breaker opened %.0f× and closed %.0f×, %d journals replayed exactly%s\n",
+		len(run1.LogSizes), resumed, run1.Unique, run2.Unique, run1.Deduped, run2.Deduped, run2.Index.Certs, opened, closed, journals, auditNote)
 	return 0
 }
 
 // journalSums accumulates one log's monitor.sync.end accounting.
 type journalSums struct {
-	fetched, deduped, quarantined, skipped int
-	ends                                   int
+	fetched, deduped, quarantined, skipped, audited int
+	ends                                            int
+}
+
+// incidentEvidence records which logs the journals show being
+// distrusted and failing proofs, for the audit-mode assertions.
+type incidentEvidence struct {
+	distrusted  map[string]bool
+	proofFailed map[string]bool
 }
 
 // attrInt reads a numeric journal attr (JSON numbers decode as
@@ -286,7 +391,7 @@ func attrInt(attrs map[string]any, key string) int {
 
 // reconcileJournal replays path's JSONL events and fails unless each
 // log's summed sync.end accounting matches the run's stats exactly.
-func reconcileJournal(journalPath, statsPath string, run fleetRun, failf func(string, ...any)) {
+func reconcileJournal(journalPath, statsPath string, run fleetRun, evidence *incidentEvidence, failf func(string, ...any)) {
 	f, err := os.Open(journalPath)
 	if err != nil {
 		failf("journal %s: %v", journalPath, err)
@@ -304,7 +409,21 @@ func reconcileJournal(journalPath, statsPath string, run fleetRun, failf func(st
 			failf("journal %s: event seq %d has schema v%d, want v%d", journalPath, ev.Seq, ev.Schema, obs.JournalSchema)
 			return
 		}
-		if ev.Type != "monitor.sync.end" {
+		switch ev.Type {
+		case "monitor.proof_failure":
+			if name, _ := ev.Attrs["log"].(string); name != "" {
+				evidence.proofFailed[name] = true
+			}
+			continue
+		case "fleet.log_state":
+			if to, _ := ev.Attrs["to"].(string); to == "distrusted" {
+				if name, _ := ev.Attrs["log"].(string); name != "" {
+					evidence.distrusted[name] = true
+				}
+			}
+			continue
+		case "monitor.sync.end":
+		default:
 			continue
 		}
 		name, _ := ev.Attrs["log"].(string)
@@ -318,6 +437,7 @@ func reconcileJournal(journalPath, statsPath string, run fleetRun, failf func(st
 		s.deduped += attrInt(ev.Attrs, "deduped")
 		s.quarantined += attrInt(ev.Attrs, "quarantined")
 		s.skipped += attrInt(ev.Attrs, "skipped")
+		s.audited += attrInt(ev.Attrs, "audited")
 	}
 	for name, rep := range run.Logs {
 		s := sums[name]
@@ -327,10 +447,11 @@ func reconcileJournal(journalPath, statsPath string, run fleetRun, failf func(st
 		}
 		st := rep.Stats
 		if s.fetched != st.Fetched || s.deduped != st.Deduped ||
-			s.quarantined != st.Quarantined || s.skipped != st.SkippedEntries {
-			failf("journal %s: %s replay (fetched %d, deduped %d, quarantined %d, skipped %d) != %s stats (fetched %d, deduped %d, quarantined %d, skipped %d)",
-				journalPath, name, s.fetched, s.deduped, s.quarantined, s.skipped,
-				statsPath, st.Fetched, st.Deduped, st.Quarantined, st.SkippedEntries)
+			s.quarantined != st.Quarantined || s.skipped != st.SkippedEntries ||
+			s.audited != st.Audited {
+			failf("journal %s: %s replay (fetched %d, deduped %d, quarantined %d, skipped %d, audited %d) != %s stats (fetched %d, deduped %d, quarantined %d, skipped %d, audited %d)",
+				journalPath, name, s.fetched, s.deduped, s.quarantined, s.skipped, s.audited,
+				statsPath, st.Fetched, st.Deduped, st.Quarantined, st.SkippedEntries, st.Audited)
 		}
 	}
 	for name := range sums {

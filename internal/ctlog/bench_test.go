@@ -1,0 +1,120 @@
+package ctlog
+
+import (
+	"math/big"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/x509cert"
+)
+
+// The T6 write-throughput grid, run by `make bench` and recorded into
+// BENCH_7.json:
+//
+//	BenchmarkWriteBaseline  Add: DER parse + one SCT signature per entry
+//	BenchmarkWritePerEntry  AddParsed: pre-parsed, one SCT signature per entry
+//	BenchmarkWriteBatched   Batcher at DefaultBatchSize: one seal
+//	                        signature per 256-leaf subtree
+//
+// All three report certs/s so benchjson derives per-cert costs; the
+// spread between PerEntry and Batched is the price of the per-entry
+// ECDSA operation that batch sealing amortizes away.
+
+const benchCorpusSize = 256
+
+var (
+	benchCorpusOnce sync.Once
+	benchCorpusDERs [][]byte
+)
+
+// benchCorpus builds a deterministic set of distinct leaf
+// certificates once, outside any timed region. One key signs all of
+// them — the write path under test never touches the issuing key, so
+// key diversity would only slow corpus construction.
+func benchCorpus(b *testing.B) [][]byte {
+	b.Helper()
+	benchCorpusOnce.Do(func() {
+		key, err := x509cert.GenerateKey(77)
+		if err != nil {
+			return
+		}
+		ders := make([][]byte, 0, benchCorpusSize)
+		for i := 0; i < benchCorpusSize; i++ {
+			host := "host" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + ".bench.test"
+			tpl := &x509cert.Template{
+				SerialNumber: big.NewInt(int64(1000 + i)),
+				Issuer:       x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, "Bench CA")),
+				Subject:      x509cert.SimpleDN(x509cert.TextATV(x509cert.OIDCommonName, host)),
+				NotBefore:    time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC),
+				NotAfter:     time.Date(2025, 4, 1, 0, 0, 0, 0, time.UTC),
+				SAN:          []x509cert.GeneralName{x509cert.DNSName(host)},
+			}
+			der, err := x509cert.Build(tpl, key, key)
+			if err != nil {
+				return
+			}
+			ders = append(ders, der)
+		}
+		benchCorpusDERs = ders
+	})
+	if len(benchCorpusDERs) != benchCorpusSize {
+		b.Fatal("bench corpus construction failed")
+	}
+	return benchCorpusDERs
+}
+
+func benchLog(b *testing.B) *Log {
+	b.Helper()
+	log, err := NewLog(7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return log
+}
+
+func reportCertsPerSec(b *testing.B) {
+	b.ReportMetric(float64(b.N)*1e9/float64(b.Elapsed().Nanoseconds()), "certs/s")
+}
+
+func BenchmarkWriteBaseline(b *testing.B) {
+	ders := benchCorpus(b)
+	log := benchLog(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := log.Add(ders[i%len(ders)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCertsPerSec(b)
+}
+
+func BenchmarkWritePerEntry(b *testing.B) {
+	ders := benchCorpus(b)
+	log := benchLog(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := log.AddParsed(ders[i%len(ders)], false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reportCertsPerSec(b)
+}
+
+func BenchmarkWriteBatched(b *testing.B) {
+	ders := benchCorpus(b)
+	batcher := &Batcher{Log: benchLog(b)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := batcher.AddParsed(ders[i%len(ders)], false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := batcher.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	reportCertsPerSec(b)
+}

@@ -12,6 +12,7 @@ package ctlog
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/base64"
 	"encoding/json"
 	"errors"
@@ -20,6 +21,7 @@ import (
 	"math/rand"
 	"mime"
 	"net/http"
+	"net/url"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -91,14 +93,16 @@ type Client struct {
 // clientMetrics caches the instrument handles so the request path pays
 // one atomic op per sample, never a registry lookup.
 type clientMetrics struct {
-	reqOK        *obs.Counter
-	reqRetryable *obs.Counter
-	reqFatal     *obs.Counter
-	retries      *obs.Counter
-	rejected     *obs.Counter // breaker rejections; not HTTP attempts
-	latSTH       *obs.Histogram
-	latEntries   *obs.Histogram
-	latOther     *obs.Histogram
+	reqOK          *obs.Counter
+	reqRetryable   *obs.Counter
+	reqFatal       *obs.Counter
+	retries        *obs.Counter
+	rejected       *obs.Counter // breaker rejections; not HTTP attempts
+	latSTH         *obs.Histogram
+	latEntries     *obs.Histogram
+	latProof       *obs.Histogram
+	latConsistency *obs.Histogram
+	latOther       *obs.Histogram
 }
 
 func (m *clientMetrics) latency(endpoint string) *obs.Histogram {
@@ -107,6 +111,10 @@ func (m *clientMetrics) latency(endpoint string) *obs.Histogram {
 		return m.latSTH
 	case "get-entries":
 		return m.latEntries
+	case "get-proof-by-hash":
+		return m.latProof
+	case "get-sth-consistency":
+		return m.latConsistency
 	}
 	return m.latOther
 }
@@ -135,14 +143,16 @@ func (c *Client) metrics() *clientMetrics {
 		r.Help("ctlog_retries_total", "Retry attempts performed after retryable failures.")
 		r.Help("ctlog_breaker_rejected_total", "Attempts rejected locally by the open circuit breaker.")
 		c.met = &clientMetrics{
-			reqOK:        r.Counter("ctlog_requests_total", "outcome", "ok"),
-			reqRetryable: r.Counter("ctlog_requests_total", "outcome", "retryable"),
-			reqFatal:     r.Counter("ctlog_requests_total", "outcome", "fatal"),
-			retries:      r.Counter("ctlog_retries_total"),
-			rejected:     r.Counter("ctlog_breaker_rejected_total"),
-			latSTH:       r.Histogram("ctlog_request_seconds", nil, "endpoint", "get-sth"),
-			latEntries:   r.Histogram("ctlog_request_seconds", nil, "endpoint", "get-entries"),
-			latOther:     r.Histogram("ctlog_request_seconds", nil, "endpoint", "other"),
+			reqOK:          r.Counter("ctlog_requests_total", "outcome", "ok"),
+			reqRetryable:   r.Counter("ctlog_requests_total", "outcome", "retryable"),
+			reqFatal:       r.Counter("ctlog_requests_total", "outcome", "fatal"),
+			retries:        r.Counter("ctlog_retries_total"),
+			rejected:       r.Counter("ctlog_breaker_rejected_total"),
+			latSTH:         r.Histogram("ctlog_request_seconds", nil, "endpoint", "get-sth"),
+			latEntries:     r.Histogram("ctlog_request_seconds", nil, "endpoint", "get-entries"),
+			latProof:       r.Histogram("ctlog_request_seconds", nil, "endpoint", "get-proof-by-hash"),
+			latConsistency: r.Histogram("ctlog_request_seconds", nil, "endpoint", "get-sth-consistency"),
+			latOther:       r.Histogram("ctlog_request_seconds", nil, "endpoint", "other"),
 		}
 		c.Breaker.instrument(r)
 	})
@@ -160,6 +170,10 @@ func endpointOf(path string) string {
 		return "get-sth"
 	case strings.HasSuffix(path, "/get-entries"):
 		return "get-entries"
+	case strings.HasSuffix(path, "/get-proof-by-hash"):
+		return "get-proof-by-hash"
+	case strings.HasSuffix(path, "/get-sth-consistency"):
+		return "get-sth-consistency"
 	}
 	return "other"
 }
@@ -239,6 +253,56 @@ func (c *Client) GetEntries(ctx context.Context, start, end int) ([]Entry, error
 			return nil, &RequestError{Path: path, Err: fmt.Errorf("entry %d: bad leaf base64: %v", e.Index, err)}
 		}
 		out = append(out, Entry{Index: e.Index, DER: der, Precert: e.Precert})
+	}
+	return out, nil
+}
+
+// GetProofByHash fetches the inclusion proof for the entry whose RFC
+// 6962 leaf hash is leaf, under the tree of size treeSize, returning
+// the entry's index and the audit path. It shares the retry policy,
+// breaker gating, per-endpoint metrics, and request spans with the
+// other accessors. A log that does not contain the leaf answers 404,
+// which surfaces as a non-retryable *RequestError — for an auditor
+// that status is evidence, not noise.
+func (c *Client) GetProofByHash(ctx context.Context, leaf Hash, treeSize int) (int, []Hash, error) {
+	path := fmt.Sprintf("/ct/v1/get-proof-by-hash?hash=%s&tree_size=%d",
+		url.QueryEscape(base64.StdEncoding.EncodeToString(leaf[:])), treeSize)
+	var resp proofResponse
+	if err := c.getJSON(ctx, path, &resp); err != nil {
+		return 0, nil, err
+	}
+	if resp.LeafIndex < 0 || resp.LeafIndex >= treeSize {
+		return 0, nil, &RequestError{Path: path, Err: fmt.Errorf("leaf index %d outside tree of size %d", resp.LeafIndex, treeSize)}
+	}
+	nodes, err := decodeProofNodes(path, resp.AuditPath)
+	if err != nil {
+		return 0, nil, err
+	}
+	return resp.LeafIndex, nodes, nil
+}
+
+// GetConsistency fetches the consistency proof between tree sizes
+// first and second, with the same fault handling as GetProofByHash.
+func (c *Client) GetConsistency(ctx context.Context, first, second int) ([]Hash, error) {
+	path := fmt.Sprintf("/ct/v1/get-sth-consistency?first=%d&second=%d", first, second)
+	var resp consistencyResponse
+	if err := c.getJSON(ctx, path, &resp); err != nil {
+		return nil, err
+	}
+	return decodeProofNodes(path, resp.Consistency)
+}
+
+// decodeProofNodes decodes a base64 proof-node vector, rejecting any
+// node that is not exactly one SHA-256 hash. Malformed nodes are
+// deterministic for a given response, so the error is non-retryable.
+func decodeProofNodes(path string, in []string) ([]Hash, error) {
+	out := make([]Hash, len(in))
+	for i, s := range in {
+		raw, err := base64.StdEncoding.DecodeString(s)
+		if err != nil || len(raw) != sha256.Size {
+			return nil, &RequestError{Path: path, Err: fmt.Errorf("proof node %d: not a sha256 hash", i)}
+		}
+		copy(out[i][:], raw)
 	}
 	return out, nil
 }

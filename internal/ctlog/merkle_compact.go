@@ -1,0 +1,80 @@
+package ctlog
+
+// A compact Merkle range: the O(log n) representation of an
+// append-only tree over leaves [0, n) — one cached subtree root per
+// set bit of n, largest subtree first. Unlike Tree it never retains
+// leaves, so an auditor can mirror a log of any size in a few hundred
+// bytes, and the hash vector round-trips through persistence
+// (monitor.STHStore) so a restarted crawl resumes appending exactly
+// where the verified prefix ended.
+
+import (
+	"crypto/sha256"
+	"errors"
+	"math/bits"
+)
+
+// CompactTree is an append-only Merkle tree that stores only the
+// right-edge subtree roots. Appending leaf n merges completed sibling
+// subtrees in place, and Root folds the cached roots right-to-left,
+// which is exactly RFC 6962 MTH over the first n leaves.
+type CompactTree struct {
+	size   int
+	hashes []Hash // one per set bit of size, largest subtree first
+}
+
+// NewCompactTree reconstructs a compact tree from a persisted (size,
+// hashes) pair. The hash count must equal the number of set bits of
+// size — anything else cannot be a valid right edge.
+func NewCompactTree(size int, hashes []Hash) (*CompactTree, error) {
+	if size < 0 {
+		return nil, errors.New("ctlog: negative compact tree size")
+	}
+	if len(hashes) != bits.OnesCount64(uint64(size)) {
+		return nil, errors.New("ctlog: compact tree hash count does not match size")
+	}
+	t := &CompactTree{size: size, hashes: append([]Hash(nil), hashes...)}
+	return t, nil
+}
+
+// Size returns the number of leaves appended so far.
+func (t *CompactTree) Size() int { return t.size }
+
+// Hashes returns a copy of the right-edge subtree roots, largest
+// subtree first — the persistable form consumed by NewCompactTree.
+func (t *CompactTree) Hashes() []Hash {
+	return append([]Hash(nil), t.hashes...)
+}
+
+// Clone returns an independent copy, so a caller can extend the tree
+// tentatively and discard the extension if verification fails.
+func (t *CompactTree) Clone() *CompactTree {
+	return &CompactTree{size: t.size, hashes: append([]Hash(nil), t.hashes...)}
+}
+
+// Append adds a leaf hash and returns its index. Each completed
+// power-of-two sibling pair merges immediately, so the cached vector
+// never exceeds one hash per set bit of the new size.
+func (t *CompactTree) Append(leaf Hash) int {
+	t.hashes = append(t.hashes, leaf)
+	for mask := t.size; mask&1 == 1; mask >>= 1 {
+		n := len(t.hashes)
+		t.hashes[n-2] = nodeHash(t.hashes[n-2], t.hashes[n-1])
+		t.hashes = t.hashes[:n-1]
+	}
+	t.size++
+	return t.size - 1
+}
+
+// Root computes the RFC 6962 Merkle tree hash of the appended leaves.
+// Root of an empty tree is SHA-256 of the empty string.
+func (t *CompactTree) Root() Hash {
+	if t.size == 0 {
+		return sha256.Sum256(nil)
+	}
+	r := t.hashes[len(t.hashes)-1]
+	for i := len(t.hashes) - 2; i >= 0; i-- {
+		r = nodeHash(t.hashes[i], r)
+	}
+	return r
+}

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"testing"
 )
 
@@ -92,35 +93,14 @@ func TestGetProofByHash(t *testing.T) {
 		}
 	}
 	h := LeafHash(target)
-	url := srv.URL + "/ct/v1/get-proof-by-hash?tree_size=8&hash=" + queryEscapeB64(h[:])
-	resp, err := http.Get(url)
+	cl := &Client{Base: srv.URL}
+	// All entries share the same DER here, so index 0 matches first.
+	idx, proof, err := cl.GetProofByHash(context.Background(), h, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("get-proof: %s", resp.Status)
-	}
-	var pr struct {
-		LeafIndex int      `json:"leaf_index"`
-		AuditPath []string `json:"audit_path"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
-		t.Fatal(err)
-	}
-	// All entries share the same DER here, so index 0 matches first.
-	proof := make([]Hash, 0, len(pr.AuditPath))
-	for _, p := range pr.AuditPath {
-		raw, err := base64.StdEncoding.DecodeString(p)
-		if err != nil {
-			t.Fatal(err)
-		}
-		var hh Hash
-		copy(hh[:], raw)
-		proof = append(proof, hh)
-	}
 	root, _ := log.tree.Root(8)
-	if !VerifyInclusion(h, pr.LeafIndex, 8, proof, root) {
+	if !VerifyInclusion(h, idx, 8, proof, root) {
 		t.Fatal("HTTP-delivered proof does not verify")
 	}
 }
@@ -133,26 +113,10 @@ func TestGetConsistencyOverHTTP(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	resp, err := http.Get(srv.URL + "/ct/v1/get-sth-consistency?first=3&second=6")
+	cl := &Client{Base: srv.URL}
+	proof, err := cl.GetConsistency(context.Background(), 3, 6)
 	if err != nil {
 		t.Fatal(err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("consistency: %s", resp.Status)
-	}
-	var cr struct {
-		Consistency []string `json:"consistency"`
-	}
-	if err := json.NewDecoder(resp.Body).Decode(&cr); err != nil {
-		t.Fatal(err)
-	}
-	proof := make([]Hash, 0, len(cr.Consistency))
-	for _, p := range cr.Consistency {
-		raw, _ := base64.StdEncoding.DecodeString(p)
-		var hh Hash
-		copy(hh[:], raw)
-		proof = append(proof, hh)
 	}
 	oldRoot, _ := log.tree.Root(3)
 	newRoot, _ := log.tree.Root(6)
@@ -209,13 +173,19 @@ func TestBadRequests(t *testing.T) {
 		t.Error("garbage add-chain should fail")
 	}
 	// A proof request for a hash absent from the tree is a 404.
-	resp, err = http.Get(srv.URL + "/ct/v1/get-proof-by-hash?tree_size=1&hash=" + queryEscapeB64(make([]byte, 32)))
+	resp, err = http.Get(srv.URL + "/ct/v1/get-proof-by-hash?tree_size=1&hash=" +
+		url.QueryEscape(base64.StdEncoding.EncodeToString(make([]byte, 32))))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("unknown hash: got %s, want 404", resp.Status)
+	}
+	// The typed client surfaces the same 404 as an error, not a proof.
+	cl := &Client{Base: srv.URL}
+	if _, _, err := cl.GetProofByHash(context.Background(), Hash{}, 1); err == nil {
+		t.Error("GetProofByHash for an unknown hash should fail")
 	}
 }
 
@@ -253,22 +223,4 @@ func TestGetEntriesBatchCap(t *testing.T) {
 	if len(entries) != 3 || entries[0].Index != 4 {
 		t.Fatalf("in-cap range: %+v", entries)
 	}
-}
-
-func queryEscapeB64(b []byte) string {
-	s := base64.StdEncoding.EncodeToString(b)
-	out := ""
-	for _, c := range s {
-		switch c {
-		case '+':
-			out += "%2B"
-		case '/':
-			out += "%2F"
-		case '=':
-			out += "%3D"
-		default:
-			out += string(c)
-		}
-	}
-	return out
 }

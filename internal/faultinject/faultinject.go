@@ -18,6 +18,7 @@ package faultinject
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -55,6 +56,19 @@ const (
 	// modeling a mid-transfer TCP reset. Opt-in like Hang: adding it to
 	// AllKinds would reshuffle every seeded fault sequence.
 	Reset
+	// ProofTamper flips one bit inside a Merkle proof node on
+	// get-proof-by-hash and get-sth-consistency responses (re-encoded as
+	// valid base64, so only verification — not decoding — rejects it).
+	// Elsewhere it degrades to ServerError. Opt-in like Hang/Reset: it
+	// only matters to auditing crawls and must not reshuffle seeded
+	// sequences.
+	ProofTamper
+	// SthEquivocate flips one bit of the root hash in get-sth responses,
+	// keeping the tree size: the canonical split-view signal a
+	// consistency-auditing monitor must catch. The response stays
+	// well-formed, so like StaleSTH it does not consume the
+	// consecutive-fault budget and works at rate 1.0. Opt-in.
+	SthEquivocate
 )
 
 func (k Kind) String() string {
@@ -75,6 +89,10 @@ func (k Kind) String() string {
 		return "hang"
 	case Reset:
 		return "reset"
+	case ProofTamper:
+		return "proof-tamper"
+	case SthEquivocate:
+		return "sth-equivocate"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -96,7 +114,7 @@ func ParseKinds(s string) ([]Kind, error) {
 		return nil, nil
 	}
 	byName := make(map[string]Kind)
-	for _, k := range append(AllKinds(), Hang, Reset) {
+	for _, k := range append(AllKinds(), Hang, Reset, ProofTamper, SthEquivocate) {
 		byName[k.String()] = k
 	}
 	var kinds []Kind
@@ -215,7 +233,7 @@ func (t *Transport) Stats() Stats {
 // draw decides whether, and which, fault to inject for key. It holds
 // the lock only for the decision so slow downstream requests don't
 // serialize.
-func (t *Transport) draw(key string, isSTH bool) (Kind, bool) {
+func (t *Transport) draw(key string, isSTH, isProof bool) (Kind, bool) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.stats.Requests++
@@ -226,13 +244,22 @@ func (t *Transport) draw(key string, isSTH bool) (Kind, bool) {
 	}
 	kind := t.cfg.Kinds[t.rng.Intn(len(t.cfg.Kinds))]
 	// StaleSTH only makes sense on get-sth with a cached head; degrade
-	// to a plain 503 elsewhere so the configured rate still holds.
+	// to a plain 503 elsewhere so the configured rate still holds. The
+	// proof/STH mangling kinds degrade the same way off their endpoints.
 	if kind == StaleSTH && (!isSTH || t.staleSTH == nil) {
 		kind = ServerError
 	}
-	// Latency and StaleSTH produce usable responses, so they don't
-	// consume the consecutive-failure budget.
-	if kind == Latency || kind == StaleSTH {
+	if kind == SthEquivocate && !isSTH {
+		kind = ServerError
+	}
+	if kind == ProofTamper && !isProof {
+		kind = ServerError
+	}
+	// Latency, StaleSTH, and SthEquivocate produce usable responses, so
+	// they don't consume the consecutive-failure budget. ProofTamper
+	// does: the cap is what lets an auditing crawl's proof refetch heal
+	// transient damage while a persistently lying log stays caught.
+	if kind == Latency || kind == StaleSTH || kind == SthEquivocate {
 		t.consecutive[key] = 0
 	} else {
 		t.consecutive[key]++
@@ -247,8 +274,10 @@ func (t *Transport) draw(key string, isSTH bool) (Kind, bool) {
 // RoundTrip implements http.RoundTripper.
 func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	isSTH := strings.HasSuffix(req.URL.Path, "/get-sth")
+	isProof := strings.HasSuffix(req.URL.Path, "/get-proof-by-hash") ||
+		strings.HasSuffix(req.URL.Path, "/get-sth-consistency")
 	key := req.URL.Path + "?" + req.URL.RawQuery
-	kind, faulted := t.draw(key, isSTH)
+	kind, faulted := t.draw(key, isSTH, isProof)
 	if faulted {
 		switch kind {
 		case ServerError:
@@ -280,7 +309,8 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 	}
 	// Body-level faults and persistent poisoning need the real bytes.
 	needsPoison := len(t.cfg.PoisonEntries) > 0 && strings.HasSuffix(req.URL.Path, "/get-entries")
-	needsBody := needsPoison || isSTH || (faulted && (kind == Truncate || kind == CorruptJSON || kind == Reset))
+	needsBody := needsPoison || isSTH ||
+		(faulted && (kind == Truncate || kind == CorruptJSON || kind == Reset || kind == ProofTamper || kind == SthEquivocate))
 	if !needsBody || resp.StatusCode != http.StatusOK {
 		return resp, nil
 	}
@@ -313,6 +343,10 @@ func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
 			return resp, nil
 		case CorruptJSON:
 			body = corrupt(body)
+		case ProofTamper:
+			body = tamperProof(body)
+		case SthEquivocate:
+			body = equivocateSTH(body)
 		}
 	}
 	resp.Body = io.NopCloser(bytes.NewReader(body))
@@ -367,6 +401,63 @@ func (t *Transport) poison(body []byte) []byte {
 	return out
 }
 
+// tamperProof flips one bit inside the first node of a Merkle proof
+// body (audit_path or consistency array) and re-encodes it as valid
+// base64: decoding succeeds everywhere and only proof verification
+// rejects the response. An empty proof (single-leaf tree) passes
+// through unchanged — there is nothing to tamper.
+func tamperProof(body []byte) []byte {
+	var resp map[string]any
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return body
+	}
+	for _, field := range []string{"audit_path", "consistency"} {
+		arr, ok := resp[field].([]any)
+		if !ok || len(arr) == 0 {
+			continue
+		}
+		s, ok := arr[0].(string)
+		if !ok {
+			continue
+		}
+		raw, err := base64.StdEncoding.DecodeString(s)
+		if err != nil || len(raw) == 0 {
+			continue
+		}
+		raw[0] ^= 0x01
+		arr[0] = base64.StdEncoding.EncodeToString(raw)
+		resp[field] = arr
+		if out, err := json.Marshal(resp); err == nil {
+			return out
+		}
+	}
+	return body
+}
+
+// equivocateSTH flips one bit of a get-sth body's root hash, keeping
+// the tree size and signature bytes: a split view. Only a monitor that
+// actually checks roots (or proofs against them) can tell.
+func equivocateSTH(body []byte) []byte {
+	var resp map[string]any
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return body
+	}
+	s, ok := resp["sha256_root_hash"].(string)
+	if !ok {
+		return body
+	}
+	raw, err := base64.StdEncoding.DecodeString(s)
+	if err != nil || len(raw) == 0 {
+		return body
+	}
+	raw[0] ^= 0x01
+	resp["sha256_root_hash"] = base64.StdEncoding.EncodeToString(raw)
+	if out, err := json.Marshal(resp); err == nil {
+		return out
+	}
+	return body
+}
+
 // corrupt deterministically mangles a JSON body so decoding fails.
 func corrupt(body []byte) []byte {
 	out := append([]byte(nil), body...)
@@ -419,7 +510,7 @@ func syntheticResponse(req *http.Request, status int, body []byte, contentType s
 func (t *Transport) Handler(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		key := r.URL.Path + "?" + r.URL.RawQuery
-		kind, faulted := t.draw(key, false)
+		kind, faulted := t.draw(key, false, false)
 		if !faulted {
 			next.ServeHTTP(w, r)
 			return

@@ -36,12 +36,14 @@ type debugLog struct {
 
 // debugStats is the accounting subset the soak harness reconciles.
 type debugStats struct {
-	Fetched     int `json:"fetched"`
-	Deduped     int `json:"deduped"`
-	Quarantined int `json:"quarantined"`
-	Skipped     int `json:"skipped"`
-	Bisections  int `json:"bisections"`
-	Retries     int `json:"retries"`
+	Fetched       int `json:"fetched"`
+	Deduped       int `json:"deduped"`
+	Quarantined   int `json:"quarantined"`
+	Skipped       int `json:"skipped"`
+	Bisections    int `json:"bisections"`
+	Retries       int `json:"retries"`
+	Audited       int `json:"audited"`
+	ProofFailures int `json:"proof_failures"`
 }
 
 // debugReport is the full /debug/fleet JSON document.
@@ -83,12 +85,14 @@ func (c *Coordinator) debugReport(slo *obs.SLOEngine, flight *obs.Flight) debugR
 			Restarts:      int(w.restarts.Load()),
 			Done:          w.done.Load(),
 			Stats: debugStats{
-				Fetched:     stats.Fetched,
-				Deduped:     stats.Deduped,
-				Quarantined: stats.Quarantined,
-				Skipped:     stats.SkippedEntries,
-				Bisections:  stats.Bisections,
-				Retries:     stats.Retries,
+				Fetched:       stats.Fetched,
+				Deduped:       stats.Deduped,
+				Quarantined:   stats.Quarantined,
+				Skipped:       stats.SkippedEntries,
+				Bisections:    stats.Bisections,
+				Retries:       stats.Retries,
+				Audited:       stats.Audited,
+				ProofFailures: stats.ProofFailures,
 			},
 		}
 		w.mu.Lock()

@@ -20,10 +20,15 @@ package fleet
 // restart budget exhausted); fleet-wide, ready iff at least Quorum of
 // the logs are not stalled. A poisoned log that is skipping entries by
 // bisection stays HEALTHY — skips are progress; that is the designed
-// degradation, not a failure.
+// degradation, not a failure. Under Config.Audit the calculus changes:
+// every batch must prove itself against the log's signed tree head, a
+// skip would be an unverifiable hole, and a failed proof pins the log
+// DISTRUSTED — terminally, because a forged tree cannot be retried
+// into honesty — while its siblings keep crawling.
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -42,11 +47,15 @@ import (
 // State is a log's (or the whole fleet's) health.
 type State int32
 
-// Health states, ordered by severity.
+// Health states, ordered by severity. Distrusted outranks Stalled: a
+// stalled log is sick, a distrusted one was caught lying — its Merkle
+// proofs failed verification — and no restart budget or backoff can
+// make a forged tree head verify.
 const (
 	Healthy State = iota
 	Degraded
 	Stalled
+	Distrusted
 )
 
 func (s State) String() string {
@@ -57,6 +66,8 @@ func (s State) String() string {
 		return "degraded"
 	case Stalled:
 		return "stalled"
+	case Distrusted:
+		return "distrusted"
 	default:
 		return "unknown"
 	}
@@ -99,6 +110,16 @@ type Config struct {
 	// has not advanced for this long (0 disables age-based stalling;
 	// supervisor exhaustion always stalls a log).
 	StallAfter time.Duration
+	// Audit enables Merkle verification on every crawl: inclusion for
+	// each fetched batch and consistency across each STH advance. A
+	// proof failure is terminal for that log — it lands Distrusted and
+	// stops feeding the shared sink, while its siblings keep crawling.
+	Audit bool
+	// STHStoreDir is where per-log verified-tree-head anchors live
+	// (<dir>/<name>.sth) when Audit is set. Empty keeps anchors
+	// in-memory only (a restart re-anchors from scratch). No separate
+	// lock: the checkpoint flock already serializes workers per log.
+	STHStoreDir string
 	// HealthEvery is the health-evaluation cadence (default 250ms).
 	HealthEvery time.Duration
 	// Handle consumes each unique (first-seen across all logs) entry,
@@ -189,6 +210,7 @@ type worker struct {
 	checkpoint  atomic.Int64
 	done        atomic.Bool
 	gaveUp      atomic.Bool
+	distrusted  atomic.Bool
 
 	mu    sync.Mutex
 	stats monitor.SyncStats
@@ -216,6 +238,8 @@ func (w *worker) addStats(s monitor.SyncStats) {
 	w.stats.Quarantined += s.Quarantined
 	w.stats.CheckpointErrors += s.CheckpointErrors
 	w.stats.Bisections += s.Bisections
+	w.stats.Audited += s.Audited
+	w.stats.ProofFailures += s.ProofFailures
 	w.stats.Duration += s.Duration
 }
 
@@ -312,12 +336,12 @@ func (c *Coordinator) instrument() {
 	c.transitions = map[State]*obs.Counter{}
 	if reg == nil {
 		// Nil-safe instruments keep the hot paths branch-free.
-		for _, s := range []State{Healthy, Degraded, Stalled} {
+		for _, s := range []State{Healthy, Degraded, Stalled, Distrusted} {
 			c.transitions[s] = nil
 		}
 		return
 	}
-	reg.Help("fleet_log_state", "Per-log health (0 healthy, 1 degraded, 2 stalled).")
+	reg.Help("fleet_log_state", "Per-log health (0 healthy, 1 degraded, 2 stalled, 3 distrusted).")
 	reg.Help("fleet_state", "Fleet health (0 healthy, 1 degraded, 2 stalled).")
 	reg.Help("fleet_state_transitions_total", "Fleet state transitions by destination state.")
 	reg.Help("fleet_log_state_transitions_total", "Per-log health transitions by log and destination state.")
@@ -331,7 +355,7 @@ func (c *Coordinator) instrument() {
 	c.stateGauge = reg.Gauge("fleet_state")
 	c.uniqueCtr = reg.Counter("fleet_entries_unique_total")
 	c.dedupedCtr = reg.Counter("fleet_entries_deduped_total")
-	for _, s := range []State{Healthy, Degraded, Stalled} {
+	for _, s := range []State{Healthy, Degraded, Stalled, Distrusted} {
 		c.transitions[s] = reg.Counter("fleet_state_transitions_total", "to", s.String())
 	}
 	reg.Gauge("fleet_logs").Set(float64(len(c.workers)))
@@ -362,6 +386,17 @@ func (w *worker) checkpointAge() time.Duration {
 // State returns the fleet's current health.
 func (c *Coordinator) State() State { return State(c.fleetState.Load()) }
 
+// ProofFailures sums Merkle proof-verification failures across every
+// log's crawl so far — the signal an SLO pages on: under audit, any
+// nonzero value means a log served something it could not prove.
+func (c *Coordinator) ProofFailures() int {
+	n := 0
+	for _, w := range c.workers {
+		n += w.snapshotStats().ProofFailures
+	}
+	return n
+}
+
 // LogState returns one log's current health (Healthy for unknown
 // names, matching the zero value).
 func (c *Coordinator) LogState(name string) State {
@@ -374,20 +409,22 @@ func (c *Coordinator) LogState(name string) State {
 }
 
 // Ready implements the /readyz quorum rule: nil while at least Quorum
-// logs are not stalled, an error naming the stalled logs otherwise.
+// logs are neither stalled nor distrusted, an error naming the down
+// logs otherwise. A distrusted log counts against quorum exactly like
+// a stalled one — verified entries stop flowing either way.
 func (c *Coordinator) Ready() error {
-	alive, stalled := 0, []string{}
+	alive, down := 0, []string{}
 	for _, w := range c.workers {
-		if State(w.state.Load()) == Stalled {
-			stalled = append(stalled, w.spec.Name)
+		if s := State(w.state.Load()); s == Stalled || s == Distrusted {
+			down = append(down, w.spec.Name)
 		} else {
 			alive++
 		}
 	}
 	if q := c.cfg.quorum(); alive < q {
-		sort.Strings(stalled)
-		return fmt.Errorf("fleet: %d/%d logs alive, quorum %d (stalled: %s)",
-			alive, len(c.workers), q, strings.Join(stalled, ","))
+		sort.Strings(down)
+		return fmt.Errorf("fleet: %d/%d logs alive, quorum %d (down: %s)",
+			alive, len(c.workers), q, strings.Join(down, ","))
 	}
 	return nil
 }
@@ -447,6 +484,11 @@ func (c *Coordinator) Run(ctx context.Context) (*Result, error) {
 	if c.cfg.CheckpointDir != "" {
 		if err := os.MkdirAll(c.cfg.CheckpointDir, 0o755); err != nil {
 			return nil, fmt.Errorf("fleet: checkpoint dir: %w", err)
+		}
+	}
+	if c.cfg.Audit && c.cfg.STHStoreDir != "" {
+		if err := os.MkdirAll(c.cfg.STHStoreDir, 0o755); err != nil {
+			return nil, fmt.Errorf("fleet: sth store dir: %w", err)
 		}
 	}
 	for _, w := range c.workers {
@@ -532,9 +574,13 @@ func (c *Coordinator) runWorker(ctx context.Context, w *worker) {
 		Name:    w.spec.Name,
 		Journal: c.cfg.Journal,
 		Flight:  c.cfg.Flight,
+		Audit:   c.cfg.Audit,
 	}
 	if w.store != nil {
 		opts.Checkpoints = w.store
+	}
+	if c.cfg.Audit && c.cfg.STHStoreDir != "" {
+		opts.STHStore = &monitor.FileSTHStore{Path: filepath.Join(c.cfg.STHStoreDir, w.spec.Name+".sth")}
 	}
 	err := monitor.Supervise(ctx, monitor.SupervisorOptions{
 		MaxRestarts: c.cfg.MaxRestarts,
@@ -542,6 +588,10 @@ func (c *Coordinator) runWorker(ctx context.Context, w *worker) {
 		Sleep:       c.cfg.Sleep,
 		Obs:         c.cfg.Obs,
 		Flight:      c.cfg.Flight,
+		// A proof failure is not a transient fault: restarting the crawl
+		// would just refetch the same forged tree. Let it surface at once
+		// so the health evaluator can mark the log distrusted.
+		Terminal: func(err error) bool { return errors.Is(err, monitor.ErrProofFailure) },
 		OnRestart: func(r monitor.Restart) {
 			w.restarts.Add(1)
 			w.consecFails.Add(1)
@@ -559,9 +609,16 @@ func (c *Coordinator) runWorker(ctx context.Context, w *worker) {
 	})
 	w.done.Store(true)
 	if err != nil && ctx.Err() == nil {
-		// Restart budget exhausted while the fleet was still supposed
-		// to run: this log is terminally stuck. The others keep going.
-		w.gaveUp.Store(true)
+		if errors.Is(err, monitor.ErrProofFailure) {
+			// The log was caught lying. Nothing more from it reaches the
+			// dedup sink (its crawl is over), and the health evaluator
+			// will pin it Distrusted; siblings are unaffected.
+			w.distrusted.Store(true)
+		} else {
+			// Restart budget exhausted while the fleet was still supposed
+			// to run: this log is terminally stuck. The others keep going.
+			w.gaveUp.Store(true)
+		}
 		w.mu.Lock()
 		w.err = err
 		w.mu.Unlock()
@@ -613,10 +670,12 @@ func (c *Coordinator) healthLoop(ctx context.Context, done chan<- struct{}) {
 // and rolls them up into the fleet state.
 func (c *Coordinator) evalHealth() {
 	now := time.Now()
-	healthyLogs, stalledLogs := 0, 0
+	healthyLogs, downLogs := 0, 0
 	for _, w := range c.workers {
 		s := Healthy
 		switch {
+		case w.distrusted.Load():
+			s = Distrusted
 		case w.gaveUp.Load():
 			s = Stalled
 		case w.done.Load():
@@ -648,15 +707,18 @@ func (c *Coordinator) evalHealth() {
 		switch s {
 		case Healthy:
 			healthyLogs++
-		case Stalled:
-			stalledLogs++
+		case Stalled, Distrusted:
+			downLogs++
 		}
 	}
+	// The fleet itself never reads "distrusted" — distrust is a per-log
+	// verdict. A distrusted log degrades the fleet (and counts against
+	// quorum) exactly like a stalled one.
 	fs := Healthy
 	switch {
 	case healthyLogs == len(c.workers):
 		fs = Healthy
-	case len(c.workers)-stalledLogs >= c.cfg.quorum():
+	case len(c.workers)-downLogs >= c.cfg.quorum():
 		fs = Degraded
 	default:
 		fs = Stalled

@@ -288,7 +288,7 @@ func TestFleetQuorumAndStalledLog(t *testing.T) {
 	if err == nil {
 		t.Fatal("Ready() nil with quorum unmet")
 	}
-	if want := "stalled: bad"; !strings.Contains(err.Error(), want) {
+	if want := "down: bad"; !strings.Contains(err.Error(), want) {
 		t.Fatalf("Ready() = %q, want mention of %q", err, want)
 	}
 }
@@ -499,4 +499,144 @@ func mustLog(t testing.TB, seed int64, leaves [][]byte) *ctlog.Log {
 		}
 	}
 	return log
+}
+
+// TestFleetDistrustsEquivocatingLog is the split-view incident
+// end-to-end: an audited fleet crawls two honest logs and one that
+// serves forked tree heads. The lying log must land in the distrusted
+// state — terminal, no restart burn — with the incident journaled and
+// flight-dumped, while its siblings complete verified crawls and the
+// dedup accounting stays exact.
+func TestFleetDistrustsEquivocatingLog(t *testing.T) {
+	const perLog = 30
+	shared := ders(t, "fshared", 10)
+	logA := append(ders(t, "fa", perLog-10), shared...)
+	logB := append(ders(t, "fb", perLog-10), shared...)
+	logC := ders(t, "fc", perLog)
+
+	// charlie answers every get-sth with a flipped root hash: a forked
+	// view of its own tree.
+	injector := faultinject.New(faultinject.Config{
+		Seed:  37,
+		Rate:  1.0,
+		Kinds: []faultinject.Kind{faultinject.SthEquivocate},
+	}, nil)
+
+	var mu sync.Mutex
+	delivered := map[ctlog.Hash]int{}
+	var journal strings.Builder
+	flightDir := t.TempDir()
+	reg := obs.NewRegistry()
+	c, err := New(Config{
+		Logs: []LogSpec{
+			{Name: "alpha", Client: fastClient(serveLog(t, 501, logA), nil), Batch: 8},
+			{Name: "bravo", Client: fastClient(serveLog(t, 502, logB), nil), Batch: 8},
+			{Name: "charlie", Client: fastClient(serveLog(t, 503, logC), injector), Batch: 8},
+		},
+		Quorum:      2,
+		Audit:       true,
+		STHStoreDir: t.TempDir(),
+		MaxRestarts: 3,
+		Sleep:       noSleep,
+		Obs:         reg,
+		Journal:     obs.NewJournal(&journal, nil),
+		Flight:      obs.NewFlight(flightDir, 64, nil),
+		Handle: func(e ctlog.Entry) {
+			mu.Lock()
+			delivered[ctlog.LeafHash(e.DER)]++
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The lying log is distrusted, not stalled, and burned no restarts.
+	rep := res.Logs["charlie"]
+	if rep.State != "distrusted" {
+		t.Fatalf("charlie state %q, want distrusted: %+v", rep.State, rep)
+	}
+	if !strings.Contains(rep.Err, "proof") {
+		t.Fatalf("charlie error %q does not name the proof failure", rep.Err)
+	}
+	if rep.Restarts != 0 {
+		t.Fatalf("charlie burned %d restarts on a terminal proof failure", rep.Restarts)
+	}
+	if rep.Stats.ProofFailures == 0 || rep.Stats.Audited != rep.Stats.Fetched {
+		t.Fatalf("charlie stats: %+v", rep.Stats)
+	}
+	if c.LogState("charlie") != Distrusted {
+		t.Fatalf("LogState(charlie) = %v", c.LogState("charlie"))
+	}
+	if got := c.ProofFailures(); got != rep.Stats.ProofFailures {
+		t.Fatalf("Coordinator.ProofFailures() = %d, report says %d", got, rep.Stats.ProofFailures)
+	}
+
+	// Siblings completed full verified crawls; distrust is contained.
+	for _, name := range []string{"alpha", "bravo"} {
+		rep := res.Logs[name]
+		if rep.State != "healthy" || rep.Stats.Fetched != perLog || rep.Stats.Audited != perLog || rep.Stats.ProofFailures != 0 {
+			t.Fatalf("%s: %+v (a lying sibling must not affect it)", name, rep)
+		}
+	}
+	// Dedup stays exact across the surviving logs: the shared ten
+	// arrive once, everything delivered exactly once.
+	if res.UniqueEntries+res.DupEntries != res.Logs["alpha"].Stats.Fetched+res.Logs["bravo"].Stats.Fetched+rep.Stats.Fetched {
+		t.Fatalf("dedup accounting broken: %+v", res)
+	}
+	mu.Lock()
+	for h, n := range delivered {
+		if n != 1 {
+			t.Fatalf("cert %x delivered %d times", h[:4], n)
+		}
+	}
+	mu.Unlock()
+
+	// Quorum 2/3 holds: the fleet degrades but stays ready.
+	if res.FinalState != "degraded" {
+		t.Fatalf("fleet state %q, want degraded", res.FinalState)
+	}
+	if err := c.Ready(); err != nil {
+		t.Fatalf("quorum met but Ready() = %v", err)
+	}
+	if got := reg.Gauge("fleet_log_state", "log", "charlie").Value(); got != float64(Distrusted) {
+		t.Fatalf("fleet_log_state{charlie} = %v, want %d", got, Distrusted)
+	}
+
+	// The incident trail exists: a distrusted state transition and a
+	// proof-failure event in the journal, and a flight dump on disk.
+	events, err := obs.ReadJournal(strings.NewReader(journal.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawTransition, sawIncident bool
+	for _, ev := range events {
+		switch ev.Type {
+		case "fleet.log_state":
+			if to, _ := ev.Attrs["to"].(string); to == "distrusted" {
+				if name, _ := ev.Attrs["log"].(string); name != "charlie" {
+					t.Fatalf("distrusted transition names %q", name)
+				}
+				sawTransition = true
+			}
+		case "monitor.proof_failure":
+			if name, _ := ev.Attrs["log"].(string); name == "charlie" {
+				sawIncident = true
+			}
+		}
+	}
+	if !sawTransition || !sawIncident {
+		t.Fatalf("journal missing the incident trail: transition=%v incident=%v", sawTransition, sawIncident)
+	}
+	dumps, err := filepath.Glob(filepath.Join(flightDir, "flight-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) == 0 {
+		t.Fatal("distrust left no flight-recorder dump")
+	}
 }

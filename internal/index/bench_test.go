@@ -8,7 +8,7 @@ import (
 )
 
 // The T1–T5 query benchmark grid, run for both backends by `make
-// bench` and recorded into BENCH_6.json:
+// bench` and recorded into BENCH_7.json:
 //
 //	T1 BenchmarkIndexPoint*   exact-domain lookup
 //	T2 BenchmarkIndexPrefix*  domain-prefix scan

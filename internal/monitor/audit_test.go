@@ -1,0 +1,425 @@
+package monitor
+
+// Audit-mode chaos tests: the Merkle-audited crawl against clean logs,
+// damaged transports, and actively lying logs. The contract under
+// test: every claimed entry is proof-verified (Audited == Fetched −
+// SkippedEntries, and audit mode never skips), transient proof damage
+// heals through refetch, and a log caught equivocating or hiding an
+// entry aborts the crawl with ErrProofFailure plus the full incident
+// trail (stats, metrics, journal, flight dump).
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/ctlog"
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+)
+
+func TestAuditCleanCrawl(t *testing.T) {
+	const total = 130
+	log, _ := chaosLog(t, 83, total, 10)
+	srv := httptest.NewServer((&ctlog.Server{Log: log}).Handler())
+	defer srv.Close()
+
+	reg := obs.NewRegistry()
+	client := fastChaosClient(srv.URL, nil)
+	m := New(Monitors()[0])
+	stats, err := m.SyncFromLog(context.Background(), client, SyncOptions{Batch: 32, Audit: true, Obs: reg})
+	if err != nil {
+		t.Fatalf("clean audited crawl failed: %v", err)
+	}
+	if stats.Fetched != total || stats.Audited != total || stats.ProofFailures != 0 || stats.SkippedEntries != 0 {
+		t.Fatalf("clean crawl accounting: %+v, want fetched=audited=%d with zero failures", stats, total)
+	}
+	if got := reg.Counter("monitor_entries_audited_total").Value(); int(got) != total {
+		t.Fatalf("monitor_entries_audited_total = %d, want %d", got, total)
+	}
+	// The verified mirror tracks the checkpoint exactly, at the log's
+	// real root.
+	if m.audit == nil || m.audit.tree.Size() != total {
+		t.Fatalf("audit mirror size %d, want %d", m.audit.tree.Size(), total)
+	}
+	sth, err := log.STH()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.audit.tree.Root() != sth.Root {
+		t.Fatal("audit mirror root diverges from the log's STH root")
+	}
+
+	// A repeat crawl is a verified no-op.
+	stats2, err := m.SyncFromLog(context.Background(), client, SyncOptions{Batch: 32, Audit: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats2.Fetched != 0 || stats2.Audited != 0 || stats2.ProofFailures != 0 {
+		t.Fatalf("repeat crawl should verify and fetch nothing: %+v", stats2)
+	}
+}
+
+// TestAuditChaosCrawl is the audited acceptance scenario: transport
+// chaos (5xx, drops, truncation, corrupt JSON) *plus* per-request
+// proof tampering, and the crawl must still finish with every entry
+// verified — transient damage heals, accounting stays exact.
+func TestAuditChaosCrawl(t *testing.T) {
+	const total = 300
+	log, _ := chaosLog(t, 89, total, 8)
+	srv := httptest.NewServer((&ctlog.Server{Log: log}).Handler())
+	defer srv.Close()
+
+	injector := faultinject.New(faultinject.Config{
+		Seed: 23,
+		Rate: 0.25,
+		Kinds: []faultinject.Kind{
+			faultinject.ServerError,
+			faultinject.Drop,
+			faultinject.Truncate,
+			faultinject.CorruptJSON,
+			faultinject.ProofTamper,
+		},
+	}, nil)
+	client := fastChaosClient(srv.URL, injector)
+	m := New(Monitors()[0])
+	stats, err := m.SyncFromLog(context.Background(), client, SyncOptions{Batch: 24, Audit: true})
+	if err != nil {
+		t.Fatalf("audited crawl did not survive the chaos: %v\nstats %+v\ninjector %+v", err, stats, injector.Stats())
+	}
+	if stats.Audited != stats.Fetched-stats.SkippedEntries {
+		t.Fatalf("audit contract broken: audited %d != fetched %d - skipped %d", stats.Audited, stats.Fetched, stats.SkippedEntries)
+	}
+	if stats.Fetched != total || stats.Audited != total || stats.ProofFailures != 0 {
+		t.Fatalf("chaos crawl accounting: %+v, want fetched=audited=%d", stats, total)
+	}
+	if m.Checkpoint() != total || m.audit.tree.Size() != total {
+		t.Fatalf("checkpoint %d / mirror %d, want %d/%d", m.Checkpoint(), m.audit.tree.Size(), total, total)
+	}
+}
+
+// TestAuditProofTamperHeals isolates the proof-tampering fault at a
+// high rate: the consistency check fails, the crawl falls back to
+// per-entry inclusion proofs, those heal through refetch (the injector
+// caps consecutive faults), and no incident is declared.
+func TestAuditProofTamperHeals(t *testing.T) {
+	const total = 64
+	log, _ := chaosLog(t, 97, total, 0)
+	srv := httptest.NewServer((&ctlog.Server{Log: log}).Handler())
+	defer srv.Close()
+
+	injector := faultinject.New(faultinject.Config{
+		Seed:           31,
+		Rate:           0.9,
+		Kinds:          []faultinject.Kind{faultinject.ProofTamper},
+		MaxConsecutive: 2,
+	}, nil)
+	client := fastChaosClient(srv.URL, injector)
+	m := New(Monitors()[0])
+	stats, err := m.SyncFromLog(context.Background(), client, SyncOptions{Batch: 16, Audit: true})
+	if err != nil {
+		t.Fatalf("tampered proofs should heal, not abort: %v (injector %+v)", err, injector.Stats())
+	}
+	if stats.Audited != total || stats.ProofFailures != 0 {
+		t.Fatalf("healing crawl accounting: %+v", stats)
+	}
+	if injector.Stats().Faults[faultinject.ProofTamper] == 0 {
+		t.Fatal("test exercised nothing: no proofs were tampered")
+	}
+}
+
+// TestAuditStaleSTHTolerated: a lagging-but-honest head is consistent
+// with the verified mirror, so audit mode treats it like the plain
+// crawl does — finish early, catch up later, never an incident.
+func TestAuditStaleSTHTolerated(t *testing.T) {
+	const phase1, total = 40, 80
+	log, _ := chaosLog(t, 101, phase1, 0)
+	srv := httptest.NewServer((&ctlog.Server{Log: log}).Handler())
+	defer srv.Close()
+
+	injector := faultinject.New(faultinject.Config{
+		Seed:  13,
+		Rate:  0.5,
+		Kinds: []faultinject.Kind{faultinject.StaleSTH},
+	}, nil)
+	client := fastChaosClient(srv.URL, injector)
+	ctx := context.Background()
+	if _, _, err := client.GetSTH(ctx); err != nil { // prime the stale cache
+		t.Fatal(err)
+	}
+	c := cert(t, "late.example", "late.example")
+	for i := phase1; i < total; i++ {
+		if _, err := log.AddParsed(c.Raw, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	m := New(Monitors()[0])
+	audited := 0
+	for round := 0; round < 20 && m.Checkpoint() < total; round++ {
+		stats, err := m.SyncFromLog(ctx, client, SyncOptions{Batch: 16, Audit: true})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if stats.ProofFailures != 0 {
+			t.Fatalf("stale head booked as incident: %+v", stats)
+		}
+		audited += stats.Audited
+	}
+	if m.Checkpoint() != total || audited != total {
+		t.Fatalf("checkpoint %d, audited %d across rounds, want %d/%d", m.Checkpoint(), audited, total, total)
+	}
+}
+
+// TestAuditEquivocationDetected is the split-view scenario: the crawl
+// verifies the log once, then the log starts serving a same-size STH
+// with a different root. The crawl must abort with ErrProofFailure and
+// leave the full incident trail.
+func TestAuditEquivocationDetected(t *testing.T) {
+	const total = 50
+	log, _ := chaosLog(t, 103, total, 0)
+	srv := httptest.NewServer((&ctlog.Server{Log: log}).Handler())
+	defer srv.Close()
+
+	ctx := context.Background()
+	m := New(Monitors()[0])
+	if _, err := m.SyncFromLog(ctx, fastChaosClient(srv.URL, nil), SyncOptions{Batch: 16, Audit: true}); err != nil {
+		t.Fatalf("phase 1 (honest log): %v", err)
+	}
+
+	// Phase 2: every STH response has its root flipped — an
+	// equivocating log presenting this monitor a forked view.
+	injector := faultinject.New(faultinject.Config{
+		Seed:  3,
+		Rate:  1.0,
+		Kinds: []faultinject.Kind{faultinject.SthEquivocate},
+	}, nil)
+	var buf bytes.Buffer
+	dir := t.TempDir()
+	flight := obs.NewFlight(dir, 64, nil)
+	reg := obs.NewRegistry()
+	stats, err := m.SyncFromLog(ctx, fastChaosClient(srv.URL, injector), SyncOptions{
+		Batch: 16, Audit: true, Name: "fork",
+		Journal: obs.NewJournal(&buf, nil),
+		Flight:  flight,
+		Obs:     reg,
+	})
+	if err == nil {
+		t.Fatalf("equivocating log accepted: %+v", stats)
+	}
+	if !errors.Is(err, ErrProofFailure) {
+		t.Fatalf("equivocation error does not wrap ErrProofFailure: %v", err)
+	}
+	if stats.ProofFailures != 1 || stats.Fetched != 0 {
+		t.Fatalf("equivocation stats: %+v, want 1 proof failure and nothing fetched", stats)
+	}
+	if got := reg.Counter("monitor_proof_failures_total", "kind", ProofFailConsistency).Value(); got != 1 {
+		t.Fatalf("monitor_proof_failures_total{kind=consistency} = %d, want 1", got)
+	}
+
+	events, err := obs.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var incident *obs.JournalEvent
+	var end *obs.JournalEvent
+	for i, ev := range events {
+		switch ev.Type {
+		case "monitor.proof_failure":
+			incident = &events[i]
+		case "monitor.sync.end":
+			end = &events[i]
+		}
+	}
+	if incident == nil {
+		t.Fatal("no monitor.proof_failure journal event")
+	}
+	if kind, _ := incident.Attrs["kind"].(string); kind != ProofFailConsistency {
+		t.Fatalf("incident kind %q, want consistency", kind)
+	}
+	if name, _ := incident.Attrs["log"].(string); name != "fork" {
+		t.Fatalf("incident names log %q, want fork", name)
+	}
+	if end == nil {
+		t.Fatal("no monitor.sync.end despite the abort")
+	}
+	if pf, _ := end.Attrs["proof_failures"].(float64); int(pf) != 1 {
+		t.Fatalf("sync.end proof_failures = %v, want 1", end.Attrs["proof_failures"])
+	}
+	if interrupted, _ := end.Attrs["interrupted"].(bool); !interrupted {
+		t.Fatal("sync.end not marked interrupted")
+	}
+	dumps, err := filepath.Glob(filepath.Join(dir, "flight-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dumps) == 0 {
+		t.Fatal("proof failure left no flight-recorder dump")
+	}
+}
+
+// TestAuditRollbackToEmptyDetected: a head that shrinks to zero after
+// entries were verified is never "stale", it is a rollback.
+func TestAuditRollbackToEmptyDetected(t *testing.T) {
+	const total = 20
+	log, _ := chaosLog(t, 107, total, 0)
+	inner := (&ctlog.Server{Log: log}).Handler()
+	var rollback atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if rollback.Load() && r.URL.Path == "/ct/v1/get-sth" {
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte(`{"tree_size":0,"sha256_root_hash":"47DEQpj8HBSa+/TImW+5JCeuQeRkm5NMpJWZG3hSuFU="}`))
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+
+	ctx := context.Background()
+	client := fastChaosClient(srv.URL, nil)
+	m := New(Monitors()[0])
+	if _, err := m.SyncFromLog(ctx, client, SyncOptions{Batch: 8, Audit: true}); err != nil {
+		t.Fatal(err)
+	}
+	rollback.Store(true)
+	stats, err := m.SyncFromLog(ctx, client, SyncOptions{Batch: 8, Audit: true})
+	if !errors.Is(err, ErrProofFailure) || stats.ProofFailures != 1 {
+		t.Fatalf("rollback to empty tree: err=%v stats=%+v, want a consistency incident", err, stats)
+	}
+}
+
+// TestAuditPoisonedEntryIsHole: with auditing on, a persistently
+// unfetchable entry cannot be skipped — the tree cannot be verified
+// past a hole — so the crawl stops exactly there with a hole incident,
+// and every entry before the hole is still claimed and verified.
+func TestAuditPoisonedEntryIsHole(t *testing.T) {
+	const total, poisoned = 40, 17
+	log, _ := chaosLog(t, 109, total, 0)
+	srv := httptest.NewServer((&ctlog.Server{Log: log}).Handler())
+	defer srv.Close()
+
+	injector := faultinject.New(faultinject.Config{
+		Seed:          19,
+		PoisonEntries: map[int]bool{poisoned: true},
+	}, nil)
+	client := fastChaosClient(srv.URL, injector)
+	m := New(Monitors()[0])
+	stats, err := m.SyncFromLog(context.Background(), client, SyncOptions{Batch: 8, Audit: true})
+	if !errors.Is(err, ErrProofFailure) {
+		t.Fatalf("poisoned entry under audit: err=%v, want ErrProofFailure", err)
+	}
+	if stats.ProofFailures != 1 || stats.SkippedEntries != 0 {
+		t.Fatalf("hole stats: %+v, want 1 proof failure and no skips", stats)
+	}
+	// Exact accounting up to the hole: everything before it is claimed
+	// and verified, nothing past it.
+	if stats.Fetched != poisoned || stats.Audited != poisoned {
+		t.Fatalf("fetched %d audited %d, want both %d (entries before the hole)", stats.Fetched, stats.Audited, poisoned)
+	}
+	if m.Checkpoint() != poisoned || m.audit.tree.Size() != poisoned {
+		t.Fatalf("checkpoint %d mirror %d, want both %d", m.Checkpoint(), m.audit.tree.Size(), poisoned)
+	}
+}
+
+// TestAuditResumeReanchors exercises the restart paths: a killed
+// process resumes from its persisted anchor without refetching, and a
+// lost anchor forces a re-anchor refetch that re-verifies the gap.
+func TestAuditResumeReanchors(t *testing.T) {
+	const phase1, total = 60, 90
+	log, _ := chaosLog(t, 113, phase1, 0)
+	srv := httptest.NewServer((&ctlog.Server{Log: log}).Handler())
+	defer srv.Close()
+
+	dir := t.TempDir()
+	ctx := context.Background()
+	client := fastChaosClient(srv.URL, nil)
+	newOpts := func(buf *bytes.Buffer) SyncOptions {
+		return SyncOptions{
+			Batch: 16, Audit: true, Name: "resume",
+			STHStore:    &FileSTHStore{Path: filepath.Join(dir, "resume.sth")},
+			Checkpoints: &FileCheckpointStore{Path: filepath.Join(dir, "resume.ckpt")},
+			Journal:     obs.NewJournal(buf, nil),
+		}
+	}
+
+	// Process 1 crawls and dies (goes away).
+	if _, err := New(Monitors()[0]).SyncFromLog(ctx, client, newOpts(&bytes.Buffer{})); err != nil {
+		t.Fatal(err)
+	}
+
+	// The log grows; process 2 resumes on the persisted anchor.
+	c := cert(t, "resume.example", "resume.example")
+	for i := phase1; i < total; i++ {
+		if _, err := log.AddParsed(c.Raw, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	m2 := New(Monitors()[0])
+	stats, err := m2.SyncFromLog(ctx, client, newOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.ResumedFrom != phase1 || stats.Fetched != total-phase1 || stats.Audited != total-phase1 {
+		t.Fatalf("resumed crawl: %+v, want resume from %d fetching %d", stats, phase1, total-phase1)
+	}
+	events, err := obs.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anchored := false
+	for _, ev := range events {
+		if ev.Type == "monitor.audit.anchor" {
+			anchored = true
+			if size, _ := ev.Attrs["size"].(float64); int(size) != phase1 {
+				t.Fatalf("anchor restored at size %v, want %d", ev.Attrs["size"], phase1)
+			}
+		}
+	}
+	if !anchored {
+		t.Fatal("resume emitted no monitor.audit.anchor event")
+	}
+
+	// Process 3 starts with the checkpoint intact but the anchor gone:
+	// the crawl must re-anchor at the verified head (zero here) and
+	// re-verify everything rather than trust unproven progress.
+	if err := os.Remove(filepath.Join(dir, "resume.sth")); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	m3 := New(Monitors()[0])
+	stats3, err := m3.SyncFromLog(ctx, client, newOpts(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats3.Fetched != total || stats3.Audited != total {
+		t.Fatalf("re-anchored crawl: %+v, want full refetch of %d", stats3, total)
+	}
+	events, err = obs.ReadJournal(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reanchored := false
+	for _, ev := range events {
+		if ev.Type == "monitor.audit.reanchor" {
+			reanchored = true
+			from, _ := ev.Attrs["from"].(float64)
+			to, _ := ev.Attrs["to"].(float64)
+			if int(from) != total || int(to) != 0 {
+				t.Fatalf("reanchor from %v to %v, want %d to 0", from, to, total)
+			}
+		}
+	}
+	if !reanchored {
+		t.Fatal("lost anchor produced no monitor.audit.reanchor event")
+	}
+	if m3.Checkpoint() != total || m3.audit.tree.Size() != total {
+		t.Fatalf("after re-anchor: checkpoint %d mirror %d, want %d", m3.Checkpoint(), m3.audit.tree.Size(), total)
+	}
+}

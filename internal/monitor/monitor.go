@@ -58,6 +58,10 @@ type Monitor struct {
 	// atomic because the checkpoint-age gauge reads it from the scrape
 	// goroutine while a crawl runs.
 	lastAdvance atomic.Int64
+	// audit is the Merkle audit state (verified mirror of the log's
+	// tree); nil until a crawl runs with SyncOptions.Audit (see
+	// audit.go).
+	audit *auditor
 }
 
 // New builds an empty monitor with the given capabilities.

@@ -1,0 +1,189 @@
+package monitor
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/ctlog"
+)
+
+// verifiedSTHForSize builds a self-consistent anchor by appending
+// deterministic leaves to a compact tree.
+func verifiedSTHForSize(size int) VerifiedSTH {
+	t := &ctlog.CompactTree{}
+	for i := 0; i < size; i++ {
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], uint64(i))
+		t.Append(ctlog.LeafHash(b[:]))
+	}
+	return VerifiedSTH{
+		Size:      t.Size(),
+		Root:      t.Root(),
+		Hashes:    t.Hashes(),
+		UpdatedAt: time.Unix(1700000000, 12345),
+	}
+}
+
+func TestSTHStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	for _, size := range []int{1, 2, 3, 7, 64, 100} {
+		store := &FileSTHStore{Path: filepath.Join(dir, "anchor.sth")}
+		want := verifiedSTHForSize(size)
+		if err := store.Save(want); err != nil {
+			t.Fatalf("save size %d: %v", size, err)
+		}
+		got, ok, err := store.Load()
+		if err != nil || !ok {
+			t.Fatalf("load size %d: ok=%v err=%v", size, ok, err)
+		}
+		if got.Size != want.Size || got.Root != want.Root || !got.UpdatedAt.Equal(want.UpdatedAt) {
+			t.Fatalf("size %d round-trip: got %+v, want %+v", size, got, want)
+		}
+		if len(got.Hashes) != len(want.Hashes) {
+			t.Fatalf("size %d: %d hashes back, want %d", size, len(got.Hashes), len(want.Hashes))
+		}
+		for i := range got.Hashes {
+			if got.Hashes[i] != want.Hashes[i] {
+				t.Fatalf("size %d hash %d differs", size, i)
+			}
+		}
+	}
+}
+
+func TestSTHStoreMissingFileIsCleanNoRecord(t *testing.T) {
+	store := &FileSTHStore{Path: filepath.Join(t.TempDir(), "never-written.sth")}
+	_, ok, err := store.Load()
+	if err != nil || ok {
+		t.Fatalf("missing file: ok=%v err=%v, want clean no-record", ok, err)
+	}
+}
+
+// TestSTHStoreRejectsDamage corrupts a valid record every way a crash
+// or bit rot can, and requires each variant to read back as a clean
+// "no record" — never an error, never a trusted anchor.
+func TestSTHStoreRejectsDamage(t *testing.T) {
+	valid, err := verifiedSTHForSize(13).MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reseal := func(buf []byte) []byte {
+		n := len(buf) - 4
+		binary.LittleEndian.PutUint32(buf[n:], crc32.ChecksumIEEE(buf[:n]))
+		return buf
+	}
+	damage := map[string][]byte{
+		"empty":           {},
+		"torn header":     valid[:20],
+		"torn mid-hashes": valid[:sthHeaderLen+40],
+		"torn CRC":        valid[:len(valid)-2],
+		"bad magic": func() []byte {
+			b := append([]byte(nil), valid...)
+			b[0] = 'X'
+			return b
+		}(),
+		"flipped payload byte": func() []byte {
+			b := append([]byte(nil), valid...)
+			b[sthHeaderLen+5] ^= 0x01 // hash byte: CRC now mismatches
+			return b
+		}(),
+		"future version": func() []byte {
+			b := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint16(b[4:6], 99)
+			return reseal(b)
+		}(),
+		"hash count disagrees with size": func() []byte {
+			b := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint64(b[8:16], 12) // popcount 2, record carries popcount(13)=3 hashes
+			return reseal(b)
+		}(),
+		"root does not fold from hashes": func() []byte {
+			b := append([]byte(nil), valid...)
+			b[24] ^= 0xff // root byte, CRC resealed so only the fold check can catch it
+			return reseal(b)
+		}(),
+		"trailing garbage": append(append([]byte(nil), valid...), 0xde, 0xad),
+	}
+	dir := t.TempDir()
+	for name, buf := range damage {
+		path := filepath.Join(dir, "anchor.sth")
+		if err := os.WriteFile(path, buf, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		store := &FileSTHStore{Path: path}
+		v, ok, err := store.Load()
+		if err != nil {
+			t.Errorf("%s: Load errored (%v), want clean no-record", name, err)
+		}
+		if ok {
+			t.Errorf("%s: damaged record loaded as trusted anchor %+v", name, v)
+		}
+	}
+}
+
+func TestSTHStoreSaveReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	store := &FileSTHStore{Path: filepath.Join(dir, "anchor.sth")}
+	if err := store.Save(verifiedSTHForSize(5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Save(verifiedSTHForSize(12)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := store.Load()
+	if err != nil || !ok || got.Size != 12 {
+		t.Fatalf("after two saves: size %d ok=%v err=%v, want 12", got.Size, ok, err)
+	}
+	// No temp files leak past a successful rename.
+	matches, err := filepath.Glob(filepath.Join(dir, "*.tmp*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) != 0 {
+		t.Fatalf("temp files left behind: %v", matches)
+	}
+}
+
+func TestVerifiedSTHMarshalRejectsBadShapes(t *testing.T) {
+	if _, err := (VerifiedSTH{Size: -1}).MarshalBinary(); err == nil {
+		t.Error("negative size marshaled")
+	}
+	v := verifiedSTHForSize(3)
+	v.Hashes = v.Hashes[:1] // popcount(3) = 2
+	if _, err := v.MarshalBinary(); err == nil {
+		t.Error("hash count / size mismatch marshaled")
+	}
+}
+
+// TestSTHStoreRecordBytes pins the wire layout so a future refactor
+// cannot silently orphan every anchor on disk.
+func TestSTHStoreRecordBytes(t *testing.T) {
+	v := verifiedSTHForSize(3)
+	buf, err := v.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buf) != sthHeaderLen+32*2+4 {
+		t.Fatalf("record is %d bytes, want %d", len(buf), sthHeaderLen+32*2+4)
+	}
+	if !bytes.Equal(buf[0:4], []byte("USTH")) {
+		t.Fatalf("magic %q", buf[0:4])
+	}
+	if binary.LittleEndian.Uint16(buf[4:6]) != 1 {
+		t.Fatalf("version %d", binary.LittleEndian.Uint16(buf[4:6]))
+	}
+	if binary.LittleEndian.Uint64(buf[8:16]) != 3 {
+		t.Fatalf("size field %d", binary.LittleEndian.Uint64(buf[8:16]))
+	}
+	var back VerifiedSTH
+	if err := back.UnmarshalBinary(buf); err != nil {
+		t.Fatal(err)
+	}
+	if back.Size != v.Size || back.Root != v.Root {
+		t.Fatalf("round-trip mismatch: %+v vs %+v", back, v)
+	}
+}

@@ -49,6 +49,12 @@ type SupervisorOptions struct {
 	// Sleep overrides the backoff sleep (tests inject a no-op). The
 	// default honors context cancellation.
 	Sleep func(context.Context, time.Duration) error
+	// Terminal, when non-nil, classifies errors that must NOT be
+	// retried: Supervise returns such an error immediately, restart
+	// budget unspent. Proof failures are the canonical case — a log
+	// caught lying would just lie again, and a supervisor that retried
+	// it into its stall budget would misfile distrust as a stall.
+	Terminal func(error) bool
 }
 
 func (o SupervisorOptions) maxRestarts() int {
@@ -152,6 +158,9 @@ func Supervise(ctx context.Context, opts SupervisorOptions, fn func(context.Cont
 			// Cancellation, not failure: the error is just the run
 			// observing its dying context.
 			return ctx.Err()
+		}
+		if opts.Terminal != nil && opts.Terminal(lastErr) {
+			return lastErr
 		}
 		if attempt >= opts.maxRestarts() {
 			return lastErr

@@ -220,3 +220,30 @@ func TestSuperviseDefaults(t *testing.T) {
 		t.Fatal("negative MaxRestarts must disable restarts")
 	}
 }
+
+// TestSuperviseTerminalErrorReturnsImmediately pins the distrust path:
+// an error the Terminal classifier matches must come back on the first
+// failure with zero restarts, while unmatched errors keep the normal
+// restart budget.
+func TestSuperviseTerminalErrorReturnsImmediately(t *testing.T) {
+	terminal := fmt.Errorf("crawl aborted: %w", ErrProofFailure)
+	calls, restarts := 0, 0
+	err := Supervise(context.Background(), SupervisorOptions{
+		MaxRestarts: 10,
+		Sleep:       noSleep,
+		OnRestart:   func(Restart) { restarts++ },
+		Terminal:    func(err error) bool { return errors.Is(err, ErrProofFailure) },
+	}, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return terminal
+	})
+	if !errors.Is(err, ErrProofFailure) {
+		t.Fatalf("err = %v, want the terminal error surfaced verbatim", err)
+	}
+	if calls != 3 || restarts != 2 {
+		t.Fatalf("calls=%d restarts=%d: transient errors should restart, the terminal one should not", calls, restarts)
+	}
+}

@@ -75,6 +75,21 @@ type SyncOptions struct {
 	// bisects, skips, quarantines) into the "monitor" flight ring and
 	// triggers a dump when an entry is quarantined.
 	Flight *obs.Flight
+	// Audit makes the crawl auditing-grade: every batch must prove
+	// consistency with the signed tree head before any entry reaches a
+	// sink or the index, every STH advance must prove consistency with
+	// the last verified head, and an entry the tree cannot be verified
+	// past aborts the crawl (wrapping ErrProofFailure) instead of
+	// being skipped. See audit.go.
+	Audit bool
+	// STHStore, when non-nil (and Audit is set), persists the verified
+	// tree head so consistency auditing survives restarts; a resume
+	// re-anchors on the verified head.
+	STHStore STHStore
+	// ProofRetries is how many times a failing proof is refetched
+	// before the failure becomes an incident (default 3; negative
+	// disables).
+	ProofRetries int
 }
 
 // SinkAction is a Sink's verdict on one fetched entry.
@@ -109,6 +124,16 @@ func (o SyncOptions) sthRetries() int {
 	return 3
 }
 
+func (o SyncOptions) proofRetries() int {
+	switch {
+	case o.ProofRetries > 0:
+		return o.ProofRetries
+	case o.ProofRetries < 0:
+		return 0
+	}
+	return 3
+}
+
 // SyncStats summarizes one crawl.
 type SyncStats struct {
 	Fetched     int
@@ -137,6 +162,15 @@ type SyncStats struct {
 	// Bisections counts range splits performed while isolating
 	// failures.
 	Bisections int
+	// Audited counts entries claimed only after Merkle verification
+	// (Audit mode). The crawl's contract is Audited == Fetched −
+	// SkippedEntries whenever Audit is on — and audit mode never
+	// skips, so Audited == Fetched.
+	Audited int
+	// ProofFailures counts proof-failure incidents: inclusion or
+	// consistency proofs that did not verify, or entries the tree
+	// could not be verified past (see monitor_proof_failures_total).
+	ProofFailures int
 	// ResumedFrom is the checkpoint the crawl started at; 0 means a
 	// fresh crawl.
 	ResumedFrom int
@@ -157,6 +191,10 @@ type syncMetrics struct {
 	bisections  *obs.Counter // monitor_bisections_total
 	quarantined *obs.Counter // monitor_quarantined_entries_total
 	cpErrors    *obs.Counter // monitor_checkpoint_persist_errors_total
+	audited     *obs.Counter // monitor_entries_audited_total
+	pfInclusion *obs.Counter // monitor_proof_failures_total{kind="inclusion"}
+	pfConsist   *obs.Counter // monitor_proof_failures_total{kind="consistency"}
+	pfHole      *obs.Counter // monitor_proof_failures_total{kind="hole"}
 	perSec      *obs.Gauge   // monitor_entries_per_sec
 	checkpoint  *obs.Gauge   // monitor_checkpoint
 	treeSize    *obs.Gauge   // monitor_sth_tree_size
@@ -180,6 +218,8 @@ func newSyncMetrics(reg *obs.Registry, m *Monitor) *syncMetrics {
 	reg.Help("monitor_bisections_total", "Range splits performed while isolating failures.")
 	reg.Help("monitor_quarantined_entries_total", "Entries whose parse/index step panicked and was contained.")
 	reg.Help("monitor_checkpoint_persist_errors_total", "Checkpoint saves that failed (crawl continued).")
+	reg.Help("monitor_entries_audited_total", "Entries claimed only after Merkle proof verification (audit mode).")
+	reg.Help("monitor_proof_failures_total", "Proof-failure incidents by kind (inclusion, consistency, hole).")
 	reg.Help("monitor_entries_per_sec", "Fetch rate of the current (or last) crawl.")
 	reg.Help("monitor_checkpoint", "Next log index the crawl will fetch.")
 	reg.Help("monitor_checkpoint_age_seconds", "Seconds since the checkpoint last advanced; a growing age means the crawl is stuck.")
@@ -194,6 +234,10 @@ func newSyncMetrics(reg *obs.Registry, m *Monitor) *syncMetrics {
 	sm.bisections = reg.Counter("monitor_bisections_total")
 	sm.quarantined = reg.Counter("monitor_quarantined_entries_total")
 	sm.cpErrors = reg.Counter("monitor_checkpoint_persist_errors_total")
+	sm.audited = reg.Counter("monitor_entries_audited_total")
+	sm.pfInclusion = reg.Counter("monitor_proof_failures_total", "kind", ProofFailInclusion)
+	sm.pfConsist = reg.Counter("monitor_proof_failures_total", "kind", ProofFailConsistency)
+	sm.pfHole = reg.Counter("monitor_proof_failures_total", "kind", ProofFailHole)
 	sm.perSec = reg.Gauge("monitor_entries_per_sec")
 	sm.checkpoint = reg.Gauge("monitor_checkpoint")
 	sm.treeSize = reg.Gauge("monitor_sth_tree_size")
@@ -207,6 +251,18 @@ func newSyncMetrics(reg *obs.Registry, m *Monitor) *syncMetrics {
 		return time.Since(time.Unix(0, last)).Seconds()
 	})
 	return sm
+}
+
+// proofFailed bumps the proof-failure counter for one incident kind.
+func (sm *syncMetrics) proofFailed(kind string) {
+	switch kind {
+	case ProofFailInclusion:
+		sm.pfInclusion.Inc()
+	case ProofFailConsistency:
+		sm.pfConsist.Inc()
+	case ProofFailHole:
+		sm.pfHole.Inc()
+	}
 }
 
 // advanced records crawl progress: fetch counters, checkpoint gauges,
@@ -268,6 +324,21 @@ func (m *Monitor) SyncFromLog(ctx context.Context, client *ctlog.Client, opts Sy
 			})
 		}
 	}
+	if opts.Audit {
+		if err := m.ensureAudit(ctx, &opts); err != nil {
+			return SyncStats{}, err
+		}
+		if s := m.audit.tree.Size(); s < m.nextIndex {
+			// The verified mirror is behind the checkpoint (lost or torn
+			// anchor): re-anchor the crawl on the verified head. The gap
+			// is refetched and re-verified; dedup and the index absorb
+			// the re-delivery.
+			opts.Journal.Emit(ctx, "monitor.audit.reanchor", map[string]any{
+				"log": opts.Name, "from": m.nextIndex, "to": s,
+			})
+			m.SetCheckpoint(s)
+		}
+	}
 	stats := SyncStats{ResumedFrom: m.nextIndex}
 	sm := newSyncMetrics(opts.Obs, m)
 	sm.ring = opts.Flight.Ring("monitor")
@@ -277,6 +348,21 @@ func (m *Monitor) SyncFromLog(ctx context.Context, client *ctlog.Client, opts Sy
 	treeSize := 0
 	lastPersisted := -1
 	persist := func() {
+		if opts.Audit && m.audit != nil && opts.STHStore != nil {
+			// The anchor goes first: if the process dies between the two
+			// saves, a mirror ahead of the checkpoint is re-proven
+			// per-entry on resume, while a checkpoint ahead of the
+			// mirror would force a re-anchor refetch.
+			if s := m.audit.tree.Size(); s != m.audit.lastSaved {
+				v := VerifiedSTH{Size: s, Root: m.audit.tree.Root(), Hashes: m.audit.tree.Hashes(), UpdatedAt: time.Now()}
+				if err := opts.STHStore.Save(v); err != nil {
+					stats.CheckpointErrors++
+					sm.cpErrors.Inc()
+				} else {
+					m.audit.lastSaved = s
+				}
+			}
+		}
 		if opts.Checkpoints == nil {
 			return
 		}
@@ -311,14 +397,20 @@ func (m *Monitor) SyncFromLog(ctx context.Context, client *ctlog.Client, opts Sy
 			"forwarded": stats.Forwarded, "deduped": stats.Deduped,
 			"quarantined": stats.Quarantined, "skipped": stats.SkippedEntries,
 			"bisections": stats.Bisections, "retries": stats.Retries,
+			"audited": stats.Audited, "proof_failures": stats.ProofFailures,
 			"resumed_from": stats.ResumedFrom, "interrupted": err != nil,
 		})
 		return stats, err
 	}
 
-	size, _, err := m.getSTH(ctx, client, opts)
+	size, root, err := m.getSTH(ctx, client, opts)
 	if err != nil {
 		return finish(fmt.Errorf("monitor: get-sth: %w", err))
+	}
+	if opts.Audit {
+		if err := m.auditSTHAdvance(ctx, client, size, root, &stats, sm, &opts); err != nil {
+			return finish(err)
+		}
 	}
 	treeSize = size
 	sm.treeSize.Set(float64(size))
@@ -376,7 +468,7 @@ func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi in
 			// forever; treat it as a server bug.
 			return fmt.Errorf("monitor: get-entries [%d,%d]: empty response", lo, hi)
 		}
-		return m.ingest(ctx, entries, stats, sm, opts)
+		return m.deliver(ctx, client, entries, stats, sm, opts)
 	}
 	if ctx.Err() != nil || ctlog.IsRetryable(err) {
 		return fmt.Errorf("monitor: get-entries [%d,%d]: %w", lo, hi, err)
@@ -388,11 +480,16 @@ func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi in
 		for attempt := 0; attempt < 3; attempt++ {
 			entries, err = client.GetEntries(ctx, lo, hi)
 			if err == nil && len(entries) > 0 {
-				return m.ingest(ctx, entries, stats, sm, opts)
+				return m.deliver(ctx, client, entries, stats, sm, opts)
 			}
 			if err != nil && (ctx.Err() != nil || ctlog.IsRetryable(err)) {
 				return fmt.Errorf("monitor: get-entries [%d,%d]: %w", lo, hi, err)
 			}
+		}
+		if opts.Audit {
+			// An unfetchable entry is a hole the Merkle mirror cannot be
+			// verified past: under audit that is an incident, not a skip.
+			return m.proofFailure(ctx, ProofFailHole, hi, "entry unfetchable; tree cannot be verified past it", stats, sm, opts)
 		}
 		// Isolated a persistently poisoned entry: skip it, keep crawling.
 		_, skip := tracer.Start(ctx, "skip-entry")
@@ -423,6 +520,18 @@ func (m *Monitor) syncRange(ctx context.Context, client *ctlog.Client, lo, hi in
 	return m.syncRange(bctx, client, max(mid+1, m.nextIndex), hi, stats, sm, opts)
 }
 
+// deliver gates one fetched batch through Merkle verification (audit
+// mode) before ingest may claim any of it: no entry reaches a sink or
+// the index without a proof chain to the signed tree head.
+func (m *Monitor) deliver(ctx context.Context, client *ctlog.Client, entries []ctlog.Entry, stats *SyncStats, sm *syncMetrics, opts *SyncOptions) error {
+	if opts.Audit {
+		if err := m.auditBatch(ctx, client, entries, stats, sm, opts); err != nil {
+			return err
+		}
+	}
+	return m.ingest(ctx, entries, stats, sm, opts)
+}
+
 // ingest indexes one batch of entries, advances the checkpoint, and
 // feeds the crawl instruments. A panic from the parse or index step —
 // a hostile DER hitting a parser edge case — is contained to that one
@@ -451,6 +560,16 @@ func (m *Monitor) ingest(ctx context.Context, entries []ctlog.Entry, stats *Sync
 		stats.Fetched++
 		fetched++
 		m.nextIndex = e.Index + 1
+		if opts != nil && opts.Audit && m.audit != nil {
+			// The batch was verified in deliver; claim the entry into the
+			// mirror in lockstep with the checkpoint (entries already in
+			// the mirror were individually re-proven, not re-appended).
+			if e.Index == m.audit.tree.Size() {
+				m.audit.tree.Append(ctlog.LeafHash(e.DER))
+			}
+			stats.Audited++
+			sm.audited.Inc()
+		}
 		if e.Precert {
 			stats.Precerts++
 			sm.precerts.Inc()

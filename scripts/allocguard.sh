@@ -2,11 +2,11 @@
 # allocguard fails `make check` when any derived per-certificate
 # allocation number in the committed benchmark record exceeds its
 # budget in scripts/alloc_budgets.txt. It only reads the committed
-# BENCH_6.json — it never runs benchmarks — so it is fast and
+# BENCH_7.json — it never runs benchmarks — so it is fast and
 # deterministic: the contract is "whoever regenerates the record must
 # keep (or consciously renegotiate) the budgets".
 set -eu
-RECORD=${ALLOCGUARD_RECORD:-BENCH_6.json}
+RECORD=${ALLOCGUARD_RECORD:-BENCH_7.json}
 BUDGETS=${ALLOCGUARD_BUDGETS:-scripts/alloc_budgets.txt}
 
 [ -f "$RECORD" ] || { echo "allocguard: FAIL: $RECORD missing (run 'make bench' and commit the record)"; exit 1; }

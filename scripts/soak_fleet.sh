@@ -10,9 +10,18 @@
 # restarts against identically rebuilt logs and must finish.
 # soakcheck -fleet then asserts: every log resumed exactly where its
 # checkpoint left it with zero refetch, exact per-log entry accounting
-# across the kill, exact cross-log dedup counts, the poisoned log
-# quarantined exactly its poisoned indices without stalling, the fleet
-# never reported stalled, and the breakers opened and re-closed.
+# across the kill, exact cross-log dedup counts, the fleet never
+# reported stalled, and the breakers opened and re-closed.
+#
+# Both runs crawl with -audit and a shared -sth-store-dir: every
+# claimed entry is Merkle-verified against the signed tree head, the
+# verified-head anchors persist across the SIGTERM, and the clean logs
+# finish both runs with audited == fetched and zero proof failures.
+# The poisoned log exercises the distrust path instead of quarantine:
+# the audited tree cannot be verified past charlie's first poisoned
+# entry, so charlie lands distrusted (terminal, journaled,
+# flight-dumped) with exactly the entries before the hole verified,
+# while the fleet stays degraded-but-ready on quorum.
 #
 # Observability assertions ride along: both runs write a -journal and
 # a -flight-dir; run 1's SIGTERM must leave a flight-recorder dump
@@ -57,6 +66,7 @@ run() {
         -logs "alpha:hang,bravo:flaky,charlie:poison,delta:clean" \
         -entries "$SOAK_ENTRIES" -batch 16 -monitor crt.sh \
         -checkpoint-dir "$SOAK_DIR/ckpt" \
+        -audit -sth-store-dir "$SOAK_DIR/sth" \
         -fault-seed "$seed" \
         -timeout 300ms -max-retries 6 \
         -rate-limit 10 -rate-burst 2 \
@@ -89,7 +99,7 @@ probe_query() {
     [ "$got_qstats" -eq 1 ] && [ "$got_qlookup" -eq 1 ]
 }
 
-rm -rf "$SOAK_DIR/ckpt" "$SOAK_DIR/index"
+rm -rf "$SOAK_DIR/ckpt" "$SOAK_DIR/index" "$SOAK_DIR/sth"
 
 echo "soak-fleet: run 1 (SIGTERM after ${SOAK_KILL_AFTER}s, query smoke mid-crawl)"
 run 7 "$SOAK_DIR/run1.json" \
@@ -162,6 +172,19 @@ wait "$pid" || {
 [ "$got_json" -eq 1 ] || { echo "soak-fleet: FAIL: /debug/fleet never served the JSON report" >&2; exit 1; }
 [ "$got_html" -eq 1 ] || { echo "soak-fleet: FAIL: /debug/fleet?format=html never served the HTML report" >&2; exit 1; }
 [ "$got_requery" -eq 1 ] || { echo "soak-fleet: FAIL: the restarted query API never served the persisted index" >&2; exit 1; }
+
+# The distrust incident must leave forensics behind: charlie's proof
+# failure (whichever run first reached the poisoned hole) triggers a
+# proof-failure flight dump, and the verified-head anchors must exist
+# for the logs that crawled under audit.
+if ! ls "$SOAK_DIR"/flight1/flight-*.jsonl "$SOAK_DIR"/flight2/flight-*.jsonl >/dev/null 2>&1; then
+    echo "soak-fleet: FAIL: no flight-recorder dump from either audited run" >&2
+    exit 1
+fi
+if ! ls "$SOAK_DIR"/sth/*.sth >/dev/null 2>&1; then
+    echo "soak-fleet: FAIL: no verified-STH anchors persisted in $SOAK_DIR/sth" >&2
+    exit 1
+fi
 
 "$SOAK_DIR/soakcheck" -fleet \
     -journal1 "$SOAK_DIR/run1.jsonl" -journal2 "$SOAK_DIR/run2.jsonl" \
